@@ -1,0 +1,384 @@
+//! Conference management system — the "Django" baseline with
+//! hand-coded policy checks (§6.2.1, Figure 8).
+//!
+//! Same schemas and pages as [`crate::conf`], but on the vanilla ORM:
+//! every view must remember to call the right policy methods and
+//! substitute placeholders itself. Policy code is spread across this
+//! whole file (both the model-level checks and their call sites in
+//! the views) — exactly the distribution Figure 6 measures.
+
+use jacqueline::{VanillaDb, Viewer};
+use microdb::{ColumnDef, ColumnType, Row, Value};
+
+// [section: models]
+
+/// Conference phases.
+pub use crate::conf::{PHASE_FINAL, PHASE_REVIEW, PHASE_SUBMISSION};
+
+/// The baseline application: a plain database plus the phase cell.
+pub struct ConfVanilla {
+    /// The vanilla ORM.
+    pub db: VanillaDb,
+}
+
+impl ConfVanilla {
+    /// Creates the schema.
+    ///
+    /// # Panics
+    ///
+    /// Panics on schema errors (static program structure).
+    #[must_use]
+    pub fn new() -> ConfVanilla {
+        let mut db = VanillaDb::new();
+        db.create_table("conf_state", vec![ColumnDef::new("phase", ColumnType::Str)])
+            .unwrap();
+        db.create_table(
+            "user_profile",
+            vec![
+                ColumnDef::new("name", ColumnType::Str),
+                ColumnDef::new("level", ColumnType::Str),
+                ColumnDef::new("affiliation", ColumnType::Str),
+                ColumnDef::new("email", ColumnType::Str),
+            ],
+        )
+        .unwrap();
+        db.create_table(
+            "paper",
+            vec![
+                ColumnDef::new("title", ColumnType::Str),
+                ColumnDef::new("author", ColumnType::Int),
+                ColumnDef::new("accepted", ColumnType::Bool),
+            ],
+        )
+        .unwrap();
+        db.create_table(
+            "review",
+            vec![
+                ColumnDef::new("paper", ColumnType::Int),
+                ColumnDef::new("reviewer", ColumnType::Int),
+                ColumnDef::new("score", ColumnType::Int),
+                ColumnDef::new("text", ColumnType::Str),
+            ],
+        )
+        .unwrap();
+        db.create_table(
+            "paper_pc_conflict",
+            vec![
+                ColumnDef::new("paper", ColumnType::Int),
+                ColumnDef::new("pc", ColumnType::Int),
+            ],
+        )
+        .unwrap();
+        db.create_index("paper_pc_conflict", "paper").unwrap();
+        db.create_index("review", "paper").unwrap();
+        ConfVanilla { db }
+    }
+
+    /// Sets the conference phase.
+    pub fn set_phase(&mut self, phase: &str) {
+        let ids: Vec<i64> = self
+            .db
+            .all("conf_state")
+            .unwrap()
+            .iter()
+            .map(|r| r[0].as_int().unwrap())
+            .collect();
+        for id in ids {
+            self.db.delete("conf_state", id).unwrap();
+        }
+        self.db.insert("conf_state", vec![Value::from(phase)]).unwrap();
+    }
+
+    fn phase(&mut self) -> String {
+        self.db
+            .all("conf_state")
+            .ok()
+            .and_then(|rows| rows.first().and_then(|r| r[1].as_str().map(str::to_owned)))
+            .unwrap_or_else(|| PHASE_SUBMISSION.to_owned())
+    }
+
+    // <policy>
+    /// Figure 8's `policy_author`: may `viewer` see the author of
+    /// `paper_row`?
+    pub fn policy_author(&mut self, paper_row: &Row, viewer: &Viewer) -> bool {
+        if self.phase() == PHASE_FINAL {
+            return true;
+        }
+        let Some(v) = viewer.user_jid() else { return false };
+        let paper_id = paper_row[0].as_int().unwrap_or(-1);
+        let conflicted = self
+            .db
+            .filter_eq("paper_pc_conflict", "paper", Value::Int(paper_id))
+            .unwrap_or_default()
+            .iter()
+            .any(|c| c[2] == Value::Int(v));
+        if conflicted {
+            return false;
+        }
+        paper_row[2].as_int() == Some(v) || self.is_committee(v)
+    }
+
+    /// May `viewer` see the title of `paper_row`?
+    pub fn policy_title(&mut self, paper_row: &Row, viewer: &Viewer) -> bool {
+        if self.phase() == PHASE_FINAL {
+            return true;
+        }
+        let Some(v) = viewer.user_jid() else { return false };
+        paper_row[2].as_int() == Some(v) || self.is_committee(v)
+    }
+
+    /// May `viewer` see the reviewer identity of `review_row`?
+    pub fn policy_reviewer(&mut self, review_row: &Row, viewer: &Viewer) -> bool {
+        let Some(v) = viewer.user_jid() else { return false };
+        review_row[2].as_int() == Some(v) || self.is_committee(v)
+    }
+
+    /// May `viewer` see the text of `review_row`?
+    pub fn policy_review_text(&mut self, review_row: &Row, viewer: &Viewer) -> bool {
+        let Some(v) = viewer.user_jid() else { return false };
+        if self.is_committee(v) {
+            return true;
+        }
+        if self.phase() == PHASE_FINAL {
+            let paper_id = review_row[1].as_int().unwrap_or(-1);
+            if let Ok(Some(paper)) = self.db.get("paper", paper_id) {
+                return paper[2].as_int() == Some(v);
+            }
+        }
+        false
+    }
+
+    /// May `viewer` see the email of `user_row`?
+    pub fn policy_email(&mut self, user_row: &Row, viewer: &Viewer) -> bool {
+        let Some(v) = viewer.user_jid() else { return false };
+        user_row[0].as_int() == Some(v) || self.role_of(v).as_deref() == Some("chair")
+    }
+
+    fn role_of(&mut self, user: i64) -> Option<String> {
+        self.db
+            .get("user_profile", user)
+            .ok()
+            .flatten()
+            .and_then(|r| r[2].as_str().map(str::to_owned))
+    }
+
+    fn is_committee(&mut self, user: i64) -> bool {
+        matches!(self.role_of(user).as_deref(), Some("pc") | Some("chair"))
+    }
+    // </policy>
+
+// [section: views]
+    /// Submit a paper.
+    pub fn submit_paper(&mut self, viewer: &Viewer, title: &str) -> i64 {
+        let author = viewer.user_jid().unwrap_or(-1);
+        self.db
+            .insert(
+                "paper",
+                vec![Value::from(title), Value::Int(author), Value::Bool(false)],
+            )
+            .unwrap()
+    }
+
+    /// Submit a review.
+    pub fn submit_review(&mut self, viewer: &Viewer, paper: i64, score: i64, text: &str) -> i64 {
+        let reviewer = viewer.user_jid().unwrap_or(-1);
+        self.db
+            .insert(
+                "review",
+                vec![
+                    Value::Int(paper),
+                    Value::Int(reviewer),
+                    Value::Int(score),
+                    Value::from(text),
+                ],
+            )
+            .unwrap()
+    }
+
+    fn user_name(&mut self, id: i64) -> String {
+        self.db
+            .get("user_profile", id)
+            .ok()
+            .flatten()
+            .and_then(|r| r[1].as_str().map(str::to_owned))
+            .unwrap_or_else(|| "(unknown)".to_owned())
+    }
+
+    /// View all papers — note the repeated inline checks (Figure 8's
+    /// `papers_view`).
+    pub fn all_papers(&mut self, viewer: &Viewer) -> String {
+        let papers = self.db.all("paper").unwrap_or_default();
+        let mut page = String::from("== Papers ==\n");
+        for p in papers {
+            // <policy>
+            let title = if self.policy_title(&p, viewer) {
+                p[1].as_str().unwrap_or("?").to_owned()
+            } else {
+                "(title hidden)".to_owned()
+            };
+            let author = if self.policy_author(&p, viewer) {
+                self.user_name(p[2].as_int().unwrap_or(-1))
+            } else {
+                "(anonymous)".to_owned()
+            };
+            // </policy>
+            page.push_str(&format!("{title} by {author}\n"));
+        }
+        page
+    }
+
+    /// View one paper with reviews.
+    pub fn single_paper(&mut self, viewer: &Viewer, paper: i64) -> String {
+        let Ok(Some(p)) = self.db.get("paper", paper) else {
+            return "no such paper".to_owned();
+        };
+        // <policy>
+        let title = if self.policy_title(&p, viewer) {
+            p[1].as_str().unwrap_or("?").to_owned()
+        } else {
+            "(title hidden)".to_owned()
+        };
+        let author = if self.policy_author(&p, viewer) {
+            self.user_name(p[2].as_int().unwrap_or(-1))
+        } else {
+            "(anonymous)".to_owned()
+        };
+        // </policy>
+        let mut page = format!("= {title} by {author} =\n");
+        let reviews = self
+            .db
+            .filter_eq("review", "paper", Value::Int(paper))
+            .unwrap_or_default();
+        for r in reviews {
+            // <policy>
+            let reviewer = if self.policy_reviewer(&r, viewer) {
+                self.user_name(r[2].as_int().unwrap_or(-1))
+            } else {
+                "(anonymous)".to_owned()
+            };
+            let text = if self.policy_review_text(&r, viewer) {
+                r[4].as_str().unwrap_or("?").to_owned()
+            } else {
+                "[review hidden]".to_owned()
+            };
+            // </policy>
+            page.push_str(&format!("review by {reviewer}: score {} — {text}\n", r[3]));
+        }
+        page
+    }
+
+    /// View all users.
+    pub fn all_users(&mut self, viewer: &Viewer) -> String {
+        let users = self.db.all("user_profile").unwrap_or_default();
+        let mut page = String::from("== Users ==\n");
+        for u in users {
+            // <policy>
+            let email = if self.policy_email(&u, viewer) {
+                u[4].as_str().unwrap_or("?").to_owned()
+            } else {
+                "[email withheld]".to_owned()
+            };
+            // </policy>
+            page.push_str(&format!(
+                "{} ({}) <{}>\n",
+                u[1].as_str().unwrap_or("?"),
+                u[3].as_str().unwrap_or("?"),
+                email,
+            ));
+        }
+        page
+    }
+
+    /// View one user.
+    pub fn single_user(&mut self, viewer: &Viewer, user: i64) -> String {
+        let Ok(Some(u)) = self.db.get("user_profile", user) else {
+            return "no such user".to_owned();
+        };
+        // <policy>
+        let email = if self.policy_email(&u, viewer) {
+            u[4].as_str().unwrap_or("?").to_owned()
+        } else {
+            "[email withheld]".to_owned()
+        };
+        // </policy>
+        format!(
+            "{} ({}) <{}>\n",
+            u[1].as_str().unwrap_or("?"),
+            u[3].as_str().unwrap_or("?"),
+            email,
+        )
+    }
+}
+
+impl Default for ConfVanilla {
+    fn default() -> ConfVanilla {
+        ConfVanilla::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (ConfVanilla, i64, i64, i64) {
+        let mut app = ConfVanilla::new();
+        app.set_phase(PHASE_REVIEW);
+        let chair = app
+            .db
+            .insert(
+                "user_profile",
+                vec![
+                    Value::from("carol chair"),
+                    Value::from("chair"),
+                    Value::from("CMU"),
+                    Value::from("carol@cmu.edu"),
+                ],
+            )
+            .unwrap();
+        let author = app
+            .db
+            .insert(
+                "user_profile",
+                vec![
+                    Value::from("alice author"),
+                    Value::from("normal"),
+                    Value::from("MIT"),
+                    Value::from("alice@mit.edu"),
+                ],
+            )
+            .unwrap();
+        let paper = app.submit_paper(&Viewer::User(author), "Faceted Everything");
+        (app, chair, author, paper)
+    }
+
+    #[test]
+    fn baseline_enforces_same_policy_outcomes() {
+        let (mut app, chair, author, _) = setup();
+        let own = app.all_papers(&Viewer::User(author));
+        assert!(own.contains("Faceted Everything"));
+        let chairs = app.all_papers(&Viewer::User(chair));
+        assert!(chairs.contains("alice author"));
+        let anon = app.all_papers(&Viewer::Anonymous);
+        assert!(anon.contains("(title hidden)"));
+        assert!(anon.contains("(anonymous)"));
+    }
+
+    #[test]
+    fn baseline_email_policy() {
+        let (mut app, chair, author, _) = setup();
+        assert!(app.single_user(&Viewer::User(author), author).contains("alice@mit.edu"));
+        assert!(app.single_user(&Viewer::User(chair), author).contains("alice@mit.edu"));
+        assert!(app
+            .single_user(&Viewer::User(author), chair)
+            .contains("[email withheld]"));
+    }
+
+    #[test]
+    fn baseline_final_phase() {
+        let (mut app, _, _, _) = setup();
+        app.set_phase(PHASE_FINAL);
+        let page = app.all_papers(&Viewer::Anonymous);
+        assert!(page.contains("Faceted Everything"));
+        assert!(page.contains("alice author"));
+    }
+}

@@ -1,0 +1,189 @@
+//! Course manager — hand-coded baseline.
+
+use jacqueline::{VanillaDb, Viewer};
+use microdb::{ColumnDef, ColumnType, Row, Value};
+
+// [section: models]
+
+/// The baseline course app.
+pub struct CoursesVanilla {
+    /// The vanilla ORM.
+    pub db: VanillaDb,
+}
+
+impl CoursesVanilla {
+    /// Creates the schema.
+    ///
+    /// # Panics
+    ///
+    /// Panics on schema errors (static program structure).
+    #[must_use]
+    pub fn new() -> CoursesVanilla {
+        let mut db = VanillaDb::new();
+        db.create_table(
+            "cuser",
+            vec![
+                ColumnDef::new("name", ColumnType::Str),
+                ColumnDef::new("role", ColumnType::Str),
+            ],
+        )
+        .unwrap();
+        db.create_table(
+            "course",
+            vec![
+                ColumnDef::new("title", ColumnType::Str),
+                ColumnDef::new("instructor", ColumnType::Int),
+            ],
+        )
+        .unwrap();
+        db.create_table(
+            "enrollment",
+            vec![
+                ColumnDef::new("course", ColumnType::Int),
+                ColumnDef::new("student", ColumnType::Int),
+            ],
+        )
+        .unwrap();
+        db.create_table(
+            "assignment",
+            vec![
+                ColumnDef::new("course", ColumnType::Int),
+                ColumnDef::new("title", ColumnType::Str),
+            ],
+        )
+        .unwrap();
+        db.create_table(
+            "submission",
+            vec![
+                ColumnDef::new("assignment", ColumnType::Int),
+                ColumnDef::new("student", ColumnType::Int),
+                ColumnDef::new("text", ColumnType::Str),
+                ColumnDef::new("grade", ColumnType::Int),
+                ColumnDef::new("graded", ColumnType::Bool),
+            ],
+        )
+        .unwrap();
+        db.create_index("enrollment", "course").unwrap();
+        db.create_index("assignment", "course").unwrap();
+        db.create_index("submission", "assignment").unwrap();
+        CoursesVanilla { db }
+    }
+
+    // <policy>
+    /// May `viewer` see the details of `course_row`?
+    pub fn policy_course(&mut self, course_row: &Row, viewer: &Viewer) -> bool {
+        let Some(v) = viewer.user_jid() else { return false };
+        if course_row[2].as_int() == Some(v) {
+            return true;
+        }
+        let course_id = course_row[0].as_int().unwrap_or(-1);
+        self.db
+            .filter_eq("enrollment", "course", Value::Int(course_id))
+            .unwrap_or_default()
+            .iter()
+            .any(|e| e[2] == Value::Int(v))
+    }
+
+    /// May `viewer` see the text of `submission_row`?
+    pub fn policy_submission_text(&mut self, submission_row: &Row, viewer: &Viewer) -> bool {
+        let Some(v) = viewer.user_jid() else { return false };
+        submission_row[2].as_int() == Some(v)
+            || self.instructor_of_assignment(submission_row[1].as_int()) == Some(v)
+    }
+
+    /// May `viewer` see the grade of `submission_row`?
+    pub fn policy_grade(&mut self, submission_row: &Row, viewer: &Viewer) -> bool {
+        let Some(v) = viewer.user_jid() else { return false };
+        if self.instructor_of_assignment(submission_row[1].as_int()) == Some(v) {
+            return true;
+        }
+        submission_row[2].as_int() == Some(v)
+            && submission_row[5].as_bool() == Some(true)
+    }
+
+    fn instructor_of_assignment(&mut self, assignment: Option<i64>) -> Option<i64> {
+        let a = self.db.get("assignment", assignment?).ok()??;
+        let course = a[1].as_int()?;
+        let c = self.db.get("course", course).ok()??;
+        c[2].as_int()
+    }
+    // </policy>
+
+// [section: views]
+    /// The all-courses page with inline checks.
+    pub fn all_courses(&mut self, viewer: &Viewer) -> String {
+        let courses = self.db.all("course").unwrap_or_default();
+        let mut page = String::from("== Courses ==\n");
+        for c in courses {
+            // <policy>
+            let (title, name) = if self.policy_course(&c, viewer) {
+                let instructor = c[2].as_int().unwrap_or(-1);
+                let name = self
+                    .db
+                    .get("cuser", instructor)
+                    .ok()
+                    .flatten()
+                    .and_then(|u| u[1].as_str().map(str::to_owned))
+                    .unwrap_or_else(|| "(unknown)".to_owned());
+                (c[1].as_str().unwrap_or("?").to_owned(), name)
+            } else {
+                ("[closed course]".to_owned(), "(unlisted)".to_owned())
+            };
+            // </policy>
+            page.push_str(&format!("{title} taught by {name}\n"));
+        }
+        page
+    }
+
+    /// A submission view with inline checks.
+    pub fn view_submission(&mut self, viewer: &Viewer, submission: i64) -> String {
+        let Ok(Some(s)) = self.db.get("submission", submission) else {
+            return "no such submission".to_owned();
+        };
+        // <policy>
+        let text = if self.policy_submission_text(&s, viewer) {
+            s[3].as_str().unwrap_or("?").to_owned()
+        } else {
+            "[submission hidden]".to_owned()
+        };
+        let grade = match s[4].as_int() {
+            Some(g) if g >= 0 && self.policy_grade(&s, viewer) => g.to_string(),
+            _ => "(not released)".to_owned(),
+        };
+        // </policy>
+        format!("{text} — grade {grade}\n")
+    }
+}
+
+impl Default for CoursesVanilla {
+    fn default() -> CoursesVanilla {
+        CoursesVanilla::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_course_visibility() {
+        let mut app = CoursesVanilla::new();
+        let teacher = app
+            .db
+            .insert("cuser", vec![Value::from("prof"), Value::from("instructor")])
+            .unwrap();
+        let student = app
+            .db
+            .insert("cuser", vec![Value::from("sam"), Value::from("student")])
+            .unwrap();
+        let course = app
+            .db
+            .insert("course", vec![Value::from("PL 101"), Value::Int(teacher)])
+            .unwrap();
+        app.db
+            .insert("enrollment", vec![Value::Int(course), Value::Int(student)])
+            .unwrap();
+        assert!(app.all_courses(&Viewer::User(student)).contains("PL 101"));
+        assert!(app.all_courses(&Viewer::Anonymous).contains("[closed course]"));
+    }
+}

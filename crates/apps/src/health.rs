@@ -1,0 +1,202 @@
+//! Health record manager — Jacqueline implementation (§6.1).
+//!
+//! Models a representative fragment of the HIPAA privacy standards:
+//! individuals (patients, doctors, insurers), health records, and
+//! permission waivers. Visibility depends on roles and on stateful
+//! information — whether a waiver exists *at output time*.
+
+use faceted::Faceted;
+use form::faceted_count;
+use jacqueline::{label_for, App, ModelDef, Session, Viewer};
+use microdb::{ColumnDef, ColumnType, Value};
+
+// [section: models]
+
+/// Registers the health models and policies.
+///
+/// # Errors
+///
+/// Propagates registration errors.
+pub fn register(app: &mut App) -> form::FormResult<()> {
+    app.register_model(ModelDef::public(
+        "individual",
+        vec![
+            ColumnDef::new("name", ColumnType::Str),
+            ColumnDef::new("role", ColumnType::Str), // patient | doctor | insurer
+        ],
+    ))?;
+    app.register_model(ModelDef::public(
+        "waiver",
+        vec![
+            ColumnDef::new("record", ColumnType::Int),
+            ColumnDef::new("grantee", ColumnType::Int),
+            ColumnDef::new("active", ColumnType::Bool),
+        ],
+    ))?;
+
+    let record = ModelDef::public(
+        "health_record",
+        vec![
+            ColumnDef::new("patient", ColumnType::Int),
+            ColumnDef::new("doctor", ColumnType::Int),
+            ColumnDef::new("insurer", ColumnType::Int),
+            ColumnDef::new("diagnosis", ColumnType::Str),
+            ColumnDef::new("treatment", ColumnType::Str),
+        ],
+    )
+    // <policy>
+    .with_policy(label_for(
+        // HIPAA-style disclosure rule for the medical contents.
+        "restrict_contents",
+        vec![3, 4],
+        |_row| vec![Value::from("[protected]"), Value::from("[protected]")],
+        |args| {
+            let Some(viewer) = args.viewer.user_jid() else {
+                return Faceted::leaf(false);
+            };
+            // The patient and the treating doctor always have access.
+            if args.row[0].as_int() == Some(viewer) || args.row[1].as_int() == Some(viewer) {
+                return Faceted::leaf(true);
+            }
+            // The insurer (or anyone else) needs an *active* waiver —
+            // checked against the waiver table at output time.
+            let waivers = args
+                .db
+                .filter_eq("waiver", "record", Value::Int(args.jid))
+                .unwrap_or_default();
+            let granted = waivers.filter_rows(|w| {
+                w.fields[1] == Value::Int(viewer) && w.fields[2] == Value::Bool(true)
+            });
+            faceted_count(&granted).map(&mut |n| *n > 0)
+        },
+    ));
+    // </policy>
+    app.register_model(record)?;
+
+    // Foreign-key indexes (Django defaults).
+    app.db.create_index("waiver", "record")?;
+    app.db.create_index("health_record", "patient")?;
+
+    Ok(())
+}
+
+// [section: views]
+/// Summary page of all records (the Figure 9b stress-test page):
+/// patient name, diagnosis (policy-resolved), treatment.
+pub fn all_records_summary(app: &mut App, viewer: &Viewer) -> String {
+    let mut session = Session::new(viewer.clone());
+    let records = app.all("health_record").unwrap_or_default();
+    let mut page = String::from("== Records ==\n");
+    for row in session.view_rows(app, &records) {
+        let patient = row[0].as_int().unwrap_or(-1);
+        let name = app
+            .get("individual", patient)
+            .ok()
+            .and_then(|o| session.view_object(app, &o))
+            .map_or_else(|| "(unknown)".to_owned(), |r| {
+                r[0].as_str().unwrap_or("?").to_owned()
+            });
+        page.push_str(&format!(
+            "{name}: {} / {}\n",
+            row[3].as_str().unwrap_or("?"),
+            row[4].as_str().unwrap_or("?"),
+        ));
+    }
+    page
+}
+
+/// One record in detail.
+pub fn single_record(app: &mut App, viewer: &Viewer, record: i64) -> String {
+    let mut session = Session::new(viewer.clone());
+    let Ok(obj) = app.get("health_record", record) else {
+        return "no such record".to_owned();
+    };
+    match session.view_object(app, &obj) {
+        Some(row) => format!(
+            "patient #{}: {} / {}\n",
+            row[0],
+            row[3].as_str().unwrap_or("?"),
+            row[4].as_str().unwrap_or("?"),
+        ),
+        None => "no such record".to_owned(),
+    }
+}
+
+/// Grants or revokes a waiver (stateful policy input).
+///
+/// # Errors
+///
+/// Propagates database errors.
+pub fn set_waiver(app: &mut App, record: i64, grantee: i64, active: bool) -> form::FormResult<i64> {
+    app.create(
+        "waiver",
+        vec![Value::Int(record), Value::Int(grantee), Value::Bool(active)],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (App, i64, i64, i64, i64) {
+        let mut app = App::new();
+        register(&mut app).unwrap();
+        let patient = app
+            .create("individual", vec![Value::from("pat"), Value::from("patient")])
+            .unwrap();
+        let doctor = app
+            .create("individual", vec![Value::from("doc"), Value::from("doctor")])
+            .unwrap();
+        let insurer = app
+            .create("individual", vec![Value::from("ins"), Value::from("insurer")])
+            .unwrap();
+        let record = app
+            .create(
+                "health_record",
+                vec![
+                    Value::Int(patient),
+                    Value::Int(doctor),
+                    Value::Int(insurer),
+                    Value::from("flu"),
+                    Value::from("rest"),
+                ],
+            )
+            .unwrap();
+        (app, patient, doctor, insurer, record)
+    }
+
+    #[test]
+    fn patient_and_doctor_see_contents() {
+        let (mut app, patient, doctor, _, record) = setup();
+        assert!(single_record(&mut app, &Viewer::User(patient), record).contains("flu"));
+        assert!(single_record(&mut app, &Viewer::User(doctor), record).contains("flu"));
+    }
+
+    #[test]
+    fn insurer_needs_active_waiver() {
+        let (mut app, _, _, insurer, record) = setup();
+        let before = single_record(&mut app, &Viewer::User(insurer), record);
+        assert!(before.contains("[protected]"), "{before}");
+        set_waiver(&mut app, record, insurer, true).unwrap();
+        let after = single_record(&mut app, &Viewer::User(insurer), record);
+        assert!(after.contains("flu"), "{after}");
+    }
+
+    #[test]
+    fn inactive_waiver_grants_nothing() {
+        let (mut app, _, _, insurer, record) = setup();
+        set_waiver(&mut app, record, insurer, false).unwrap();
+        assert!(single_record(&mut app, &Viewer::User(insurer), record).contains("[protected]"));
+    }
+
+    #[test]
+    fn strangers_see_placeholders_in_summary() {
+        let (mut app, _, _, _, _) = setup();
+        let stranger = app
+            .create("individual", vec![Value::from("eve"), Value::from("patient")])
+            .unwrap();
+        let page = all_records_summary(&mut app, &Viewer::User(stranger));
+        assert!(page.contains("[protected]"), "{page}");
+        assert!(!page.contains("flu"));
+    }
+}

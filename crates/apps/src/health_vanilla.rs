@@ -1,0 +1,169 @@
+//! Health record manager — hand-coded baseline.
+
+use jacqueline::{VanillaDb, Viewer};
+use microdb::{ColumnDef, ColumnType, Row, Value};
+
+// [section: models]
+
+/// The baseline health app.
+pub struct HealthVanilla {
+    /// The vanilla ORM.
+    pub db: VanillaDb,
+}
+
+impl HealthVanilla {
+    /// Creates the schema.
+    ///
+    /// # Panics
+    ///
+    /// Panics on schema errors (static program structure).
+    #[must_use]
+    pub fn new() -> HealthVanilla {
+        let mut db = VanillaDb::new();
+        db.create_table(
+            "individual",
+            vec![
+                ColumnDef::new("name", ColumnType::Str),
+                ColumnDef::new("role", ColumnType::Str),
+            ],
+        )
+        .unwrap();
+        db.create_table(
+            "health_record",
+            vec![
+                ColumnDef::new("patient", ColumnType::Int),
+                ColumnDef::new("doctor", ColumnType::Int),
+                ColumnDef::new("insurer", ColumnType::Int),
+                ColumnDef::new("diagnosis", ColumnType::Str),
+                ColumnDef::new("treatment", ColumnType::Str),
+            ],
+        )
+        .unwrap();
+        db.create_table(
+            "waiver",
+            vec![
+                ColumnDef::new("record", ColumnType::Int),
+                ColumnDef::new("grantee", ColumnType::Int),
+                ColumnDef::new("active", ColumnType::Bool),
+            ],
+        )
+        .unwrap();
+        db.create_index("waiver", "record").unwrap();
+        db.create_index("health_record", "patient").unwrap();
+        HealthVanilla { db }
+    }
+
+    // <policy>
+    /// May `viewer` see the medical contents of `record_row`?
+    pub fn policy_contents(&mut self, record_row: &Row, viewer: &Viewer) -> bool {
+        let Some(v) = viewer.user_jid() else { return false };
+        if record_row[1].as_int() == Some(v) || record_row[2].as_int() == Some(v) {
+            return true;
+        }
+        let record_id = record_row[0].as_int().unwrap_or(-1);
+        self.db
+            .filter_eq("waiver", "record", Value::Int(record_id))
+            .unwrap_or_default()
+            .iter()
+            .any(|w| w[2] == Value::Int(v) && w[3] == Value::Bool(true))
+    }
+    // </policy>
+
+// [section: views]
+    /// Summary page of all records.
+    pub fn all_records_summary(&mut self, viewer: &Viewer) -> String {
+        let records = self.db.all("health_record").unwrap_or_default();
+        let mut page = String::from("== Records ==\n");
+        for r in records {
+            let name = self
+                .db
+                .get("individual", r[1].as_int().unwrap_or(-1))
+                .ok()
+                .flatten()
+                .and_then(|u| u[1].as_str().map(str::to_owned))
+                .unwrap_or_else(|| "(unknown)".to_owned());
+            // <policy>
+            let (diagnosis, treatment) = if self.policy_contents(&r, viewer) {
+                (
+                    r[4].as_str().unwrap_or("?").to_owned(),
+                    r[5].as_str().unwrap_or("?").to_owned(),
+                )
+            } else {
+                ("[protected]".to_owned(), "[protected]".to_owned())
+            };
+            // </policy>
+            page.push_str(&format!("{name}: {diagnosis} / {treatment}\n"));
+        }
+        page
+    }
+
+    /// One record in detail.
+    pub fn single_record(&mut self, viewer: &Viewer, record: i64) -> String {
+        let Ok(Some(r)) = self.db.get("health_record", record) else {
+            return "no such record".to_owned();
+        };
+        // <policy>
+        let (diagnosis, treatment) = if self.policy_contents(&r, viewer) {
+            (
+                r[4].as_str().unwrap_or("?").to_owned(),
+                r[5].as_str().unwrap_or("?").to_owned(),
+            )
+        } else {
+            ("[protected]".to_owned(), "[protected]".to_owned())
+        };
+        // </policy>
+        format!("patient #{}: {diagnosis} / {treatment}\n", r[1])
+    }
+}
+
+impl Default for HealthVanilla {
+    fn default() -> HealthVanilla {
+        HealthVanilla::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_waiver_behaviour_matches() {
+        let mut app = HealthVanilla::new();
+        let patient = app
+            .db
+            .insert("individual", vec![Value::from("pat"), Value::from("patient")])
+            .unwrap();
+        let doctor = app
+            .db
+            .insert("individual", vec![Value::from("doc"), Value::from("doctor")])
+            .unwrap();
+        let insurer = app
+            .db
+            .insert("individual", vec![Value::from("ins"), Value::from("insurer")])
+            .unwrap();
+        let record = app
+            .db
+            .insert(
+                "health_record",
+                vec![
+                    Value::Int(patient),
+                    Value::Int(doctor),
+                    Value::Int(insurer),
+                    Value::from("flu"),
+                    Value::from("rest"),
+                ],
+            )
+            .unwrap();
+        assert!(app.single_record(&Viewer::User(patient), record).contains("flu"));
+        assert!(app
+            .single_record(&Viewer::User(insurer), record)
+            .contains("[protected]"));
+        app.db
+            .insert(
+                "waiver",
+                vec![Value::Int(record), Value::Int(insurer), Value::Bool(true)],
+            )
+            .unwrap();
+        assert!(app.single_record(&Viewer::User(insurer), record).contains("flu"));
+    }
+}

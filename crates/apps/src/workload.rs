@@ -1,0 +1,230 @@
+//! Workload generators for the paper's parameter sweeps (§6.3).
+//!
+//! Every generator populates both the Jacqueline and the baseline
+//! database the same way, so measurements compare identical data.
+
+use jacqueline::{App, Viewer};
+use microdb::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{conf, conf_vanilla::ConfVanilla, courses, courses_vanilla::CoursesVanilla, health,
+            health_vanilla::HealthVanilla};
+
+/// Fixed RNG seed so every run measures identical data.
+pub const SEED: u64 = 0x4a61_6371; // "Jacq"
+
+/// A populated conference pair: Jacqueline and baseline apps with
+/// `n_papers` papers and `n_users` users, plus interesting viewers.
+pub struct ConfWorkload {
+    /// The Jacqueline app.
+    pub app: App,
+    /// The baseline app.
+    pub vanilla: ConfVanilla,
+    /// A PC member's id (same in both databases).
+    pub pc_member: i64,
+    /// An ordinary author id.
+    pub author: i64,
+}
+
+/// Populates conference databases: `n_users` users (first is the
+/// chair, ~10% PC), `n_papers` papers with one review each.
+#[must_use]
+pub fn conference(n_users: usize, n_papers: usize) -> ConfWorkload {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut app = App::new();
+    conf::register(&mut app).unwrap();
+    conf::set_phase(&mut app, conf::PHASE_REVIEW).unwrap();
+    let mut vanilla = ConfVanilla::new();
+    vanilla.set_phase(conf::PHASE_REVIEW);
+
+    let mut user_ids = Vec::with_capacity(n_users);
+    for i in 0..n_users.max(2) {
+        let level = if i == 0 {
+            "chair"
+        } else if i % 10 == 1 {
+            "pc"
+        } else {
+            "normal"
+        };
+        let row = vec![
+            Value::from(format!("user{i}")),
+            Value::from(level),
+            Value::from(format!("org{}", i % 7)),
+            Value::from(format!("user{i}@example.org")),
+        ];
+        let j = app.create("user_profile", row.clone()).unwrap();
+        let v = vanilla.db.insert("user_profile", row).unwrap();
+        assert_eq!(j, v, "workloads must line up across implementations");
+        user_ids.push(j);
+    }
+
+    for i in 0..n_papers {
+        let author = user_ids[rng.gen_range(0..user_ids.len())];
+        let title = format!("Paper {i}: faceted systems");
+        let pj = conf::submit_paper(&mut app, &Viewer::User(author), &title).unwrap();
+        let pv = vanilla.submit_paper(&Viewer::User(author), &title);
+        debug_assert!(pj > 0 && pv > 0);
+        let reviewer = user_ids[rng.gen_range(0..user_ids.len())];
+        conf::submit_review(&mut app, &Viewer::User(reviewer), pj, (i % 5) as i64, "fine").unwrap();
+        vanilla.submit_review(&Viewer::User(reviewer), pv, (i % 5) as i64, "fine");
+    }
+
+    let pc_member = user_ids.get(1).copied().unwrap_or(user_ids[0]);
+    let author = *user_ids.last().expect("at least two users");
+    ConfWorkload { app, vanilla, pc_member, author }
+}
+
+/// A populated health pair.
+pub struct HealthWorkload {
+    /// The Jacqueline app.
+    pub app: App,
+    /// The baseline app.
+    pub vanilla: HealthVanilla,
+    /// A doctor id.
+    pub doctor: i64,
+    /// A patient id.
+    pub patient: i64,
+}
+
+/// Populates health databases: `n_users` individuals (patients with
+/// one record each; every 5th user is a doctor, every 7th an
+/// insurer), waivers for ~20% of records.
+#[must_use]
+pub fn health(n_users: usize) -> HealthWorkload {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut app = App::new();
+    health::register(&mut app).unwrap();
+    let mut vanilla = HealthVanilla::new();
+
+    let mut ids = Vec::with_capacity(n_users);
+    for i in 0..n_users.max(3) {
+        let role = if i % 5 == 0 {
+            "doctor"
+        } else if i % 7 == 0 {
+            "insurer"
+        } else {
+            "patient"
+        };
+        let row = vec![Value::from(format!("person{i}")), Value::from(role)];
+        let j = app.create("individual", row.clone()).unwrap();
+        vanilla.db.insert("individual", row).unwrap();
+        ids.push((j, role));
+    }
+    let doctors: Vec<i64> = ids.iter().filter(|(_, r)| *r == "doctor").map(|(i, _)| *i).collect();
+    let insurers: Vec<i64> = ids.iter().filter(|(_, r)| *r == "insurer").map(|(i, _)| *i).collect();
+    let patients: Vec<i64> = ids.iter().filter(|(_, r)| *r == "patient").map(|(i, _)| *i).collect();
+
+    for &p in &patients {
+        let doctor = doctors[rng.gen_range(0..doctors.len().max(1))];
+        let insurer = insurers.first().copied().unwrap_or(doctor);
+        let row = vec![
+            Value::Int(p),
+            Value::Int(doctor),
+            Value::Int(insurer),
+            Value::from(format!("diagnosis-{p}")),
+            Value::from(format!("treatment-{p}")),
+        ];
+        let rec = app.create("health_record", row.clone()).unwrap();
+        vanilla.db.insert("health_record", row).unwrap();
+        if rng.gen_bool(0.2) {
+            let waiver = vec![Value::Int(rec), Value::Int(insurer), Value::Bool(true)];
+            app.create("waiver", waiver.clone()).unwrap();
+            vanilla.db.insert("waiver", waiver).unwrap();
+        }
+    }
+
+    HealthWorkload {
+        app,
+        vanilla,
+        doctor: doctors[0],
+        patient: patients[0],
+    }
+}
+
+/// A populated courses pair.
+pub struct CoursesWorkload {
+    /// The Jacqueline app.
+    pub app: App,
+    /// The baseline app.
+    pub vanilla: CoursesVanilla,
+    /// A student enrolled in roughly half the courses.
+    pub student: i64,
+    /// An instructor id.
+    pub instructor: i64,
+}
+
+/// Populates course databases: `n_courses` courses each with an
+/// instructor and one assignment; one student enrolled in every other
+/// course.
+#[must_use]
+pub fn courses(n_courses: usize) -> CoursesWorkload {
+    let mut app = App::new();
+    courses::register(&mut app).unwrap();
+    let mut vanilla = CoursesVanilla::new();
+
+    let srow = vec![Value::from("sam"), Value::from("student")];
+    let student = app.create("cuser", srow.clone()).unwrap();
+    vanilla.db.insert("cuser", srow).unwrap();
+
+    let mut first_instructor = None;
+    for i in 0..n_courses {
+        let irow = vec![Value::from(format!("prof{i}")), Value::from("instructor")];
+        let teacher = app.create("cuser", irow.clone()).unwrap();
+        vanilla.db.insert("cuser", irow).unwrap();
+        first_instructor.get_or_insert(teacher);
+
+        let crow = vec![Value::from(format!("Course {i}")), Value::Int(teacher)];
+        let cj = app.create("course", crow.clone()).unwrap();
+        let cv = vanilla.db.insert("course", crow).unwrap();
+
+        let arow_j = vec![Value::Int(cj), Value::from(format!("hw-{i}"))];
+        app.create("assignment", arow_j).unwrap();
+        let arow_v = vec![Value::Int(cv), Value::from(format!("hw-{i}"))];
+        vanilla.db.insert("assignment", arow_v).unwrap();
+
+        if i % 2 == 0 {
+            app.create("enrollment", vec![Value::Int(cj), Value::Int(student)])
+                .unwrap();
+            vanilla
+                .db
+                .insert("enrollment", vec![Value::Int(cv), Value::Int(student)])
+                .unwrap();
+        }
+    }
+
+    CoursesWorkload {
+        app,
+        vanilla,
+        student,
+        instructor: first_instructor.expect("at least one course"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conference_workload_lines_up() {
+        let w = conference(8, 8);
+        let mut w = w;
+        assert_eq!(w.vanilla.db.all("paper").unwrap().len(), 8);
+        assert!(w.app.db.physical_rows("paper").unwrap() >= 8);
+    }
+
+    #[test]
+    fn health_workload_has_roles() {
+        let mut w = health(10);
+        assert!(w.vanilla.db.all("health_record").unwrap().len() >= 5);
+        assert!(w.doctor > 0 && w.patient > 0);
+    }
+
+    #[test]
+    fn courses_workload_enrolls_alternating() {
+        let mut w = courses(6);
+        assert_eq!(w.vanilla.db.all("course").unwrap().len(), 6);
+        assert_eq!(w.vanilla.db.all("enrollment").unwrap().len(), 3);
+        assert!(w.instructor > 0);
+    }
+}

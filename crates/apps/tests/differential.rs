@@ -1,0 +1,165 @@
+//! Differential testing: the Jacqueline (policy-agnostic) and the
+//! hand-coded baseline implementations must render *identical* pages
+//! for every viewer — the strongest end-to-end policy-compliance
+//! check in the repository.
+
+use apps::workload;
+use jacqueline::Viewer;
+
+#[test]
+fn conference_all_pages_agree_for_every_viewer() {
+    let w = workload::conference(12, 10);
+    let mut app = w.app;
+    let mut vanilla = w.vanilla;
+    let viewers: Vec<Viewer> = std::iter::once(Viewer::Anonymous)
+        .chain((1..=12).map(Viewer::User))
+        .collect();
+    for viewer in &viewers {
+        assert_eq!(
+            apps::conf::all_papers(&mut app, viewer),
+            vanilla.all_papers(viewer),
+            "all_papers for {viewer}"
+        );
+        assert_eq!(
+            apps::conf::all_users(&mut app, viewer),
+            vanilla.all_users(viewer),
+            "all_users for {viewer}"
+        );
+        for paper in 1..=10 {
+            assert_eq!(
+                apps::conf::single_paper(&mut app, viewer, paper),
+                vanilla.single_paper(viewer, paper),
+                "single_paper {paper} for {viewer}"
+            );
+        }
+        for user in 1..=12 {
+            assert_eq!(
+                apps::conf::single_user(&mut app, viewer, user),
+                vanilla.single_user(viewer, user),
+                "single_user {user} for {viewer}"
+            );
+        }
+    }
+}
+
+#[test]
+fn conference_final_phase_agrees() {
+    let w = workload::conference(6, 5);
+    let mut app = w.app;
+    let mut vanilla = w.vanilla;
+    apps::conf::set_phase(&mut app, apps::conf::PHASE_FINAL).unwrap();
+    vanilla.set_phase(apps::conf::PHASE_FINAL);
+    for viewer in [Viewer::Anonymous, Viewer::User(2), Viewer::User(6)] {
+        assert_eq!(
+            apps::conf::all_papers(&mut app, &viewer),
+            vanilla.all_papers(&viewer),
+            "final-phase all_papers for {viewer}"
+        );
+    }
+}
+
+#[test]
+fn health_pages_agree_for_every_viewer() {
+    let w = workload::health(15);
+    let mut app = w.app;
+    let mut vanilla = w.vanilla;
+    let viewers: Vec<Viewer> = std::iter::once(Viewer::Anonymous)
+        .chain((1..=15).map(Viewer::User))
+        .collect();
+    for viewer in &viewers {
+        assert_eq!(
+            apps::health::all_records_summary(&mut app, viewer),
+            vanilla.all_records_summary(viewer),
+            "all_records for {viewer}"
+        );
+    }
+    let n_records = vanilla.db.all("health_record").unwrap().len() as i64;
+    for viewer in &viewers {
+        for rec in 1..=n_records {
+            assert_eq!(
+                apps::health::single_record(&mut app, viewer, rec),
+                vanilla.single_record(viewer, rec),
+                "record {rec} for {viewer}"
+            );
+        }
+    }
+}
+
+#[test]
+fn courses_pages_agree_for_every_viewer() {
+    let w = workload::courses(8);
+    let mut app = w.app;
+    let mut vanilla = w.vanilla;
+    let n_users = vanilla.db.all("cuser").unwrap().len() as i64;
+    let viewers: Vec<Viewer> = std::iter::once(Viewer::Anonymous)
+        .chain((1..=n_users).map(Viewer::User))
+        .collect();
+    for viewer in &viewers {
+        assert_eq!(
+            apps::courses::all_courses(&mut app, viewer),
+            vanilla.all_courses(viewer),
+            "all_courses for {viewer}"
+        );
+    }
+}
+
+#[test]
+fn courses_pruned_and_unpruned_agree_with_baseline() {
+    let w = workload::courses(6);
+    let mut app = w.app;
+    let mut vanilla = w.vanilla;
+    for viewer in [Viewer::Anonymous, Viewer::User(w.student), Viewer::User(w.instructor)] {
+        let baseline = vanilla.all_courses(&viewer);
+        assert_eq!(apps::courses::all_courses(&mut app, &viewer), baseline);
+        assert_eq!(
+            apps::courses::all_courses_no_pruning(&mut app, &viewer),
+            baseline,
+            "no-pruning page must agree for {viewer}"
+        );
+    }
+}
+
+#[test]
+fn submissions_agree_after_grading() {
+    let w = workload::courses(4);
+    let mut app = w.app;
+    let mut vanilla = w.vanilla;
+    use microdb::Value;
+    // Create the same submission in both worlds, grade only later.
+    let subm_row = vec![
+        Value::Int(1),
+        Value::Int(w.student),
+        Value::from("answer"),
+        Value::Int(-1),
+        Value::Bool(false),
+    ];
+    let sj = app.create("submission", subm_row.clone()).unwrap();
+    let sv = vanilla.db.insert("submission", subm_row).unwrap();
+    assert_eq!(sj, sv);
+    for viewer in [Viewer::User(w.student), Viewer::User(w.instructor), Viewer::Anonymous] {
+        assert_eq!(
+            apps::courses::view_submission(&mut app, &viewer, sj),
+            vanilla.view_submission(&viewer, sv),
+            "pre-grading view for {viewer}"
+        );
+    }
+    apps::courses::grade_submission(&mut app, sj, 88).unwrap();
+    vanilla
+        .db
+        .update(
+            "submission",
+            sv,
+            &[
+                ("grade".to_owned(), Value::Int(88)),
+                ("graded".to_owned(), Value::Bool(true)),
+            ],
+        )
+        .unwrap();
+    for viewer in [Viewer::User(w.student), Viewer::User(w.instructor), Viewer::Anonymous] {
+        assert_eq!(
+            apps::courses::view_submission(&mut app, &viewer, sj),
+            vanilla.view_submission(&viewer, sv),
+            "post-grading view for {viewer}"
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Figure 9a / Table 3: conference-manager stress tests — time to
+//! view all papers and all users, Jacqueline vs the hand-coded
+//! baseline, as the row count doubles.
+
+use apps::{conf, workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jacqueline::Viewer;
+
+const SIZES: [usize; 3] = [8, 64, 256];
+
+fn bench_all_papers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9a_all_papers");
+    group.sample_size(10);
+    for n in SIZES {
+        let w = workload::conference(32, n);
+        let mut app = w.app;
+        let mut vanilla = w.vanilla;
+        let viewer = Viewer::User(w.pc_member);
+        group.bench_with_input(BenchmarkId::new("jacqueline", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(conf::all_papers(&mut app, &viewer)));
+        });
+        group.bench_with_input(BenchmarkId::new("baseline", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(vanilla.all_papers(&viewer)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_all_users(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9a_all_users");
+    group.sample_size(10);
+    for n in SIZES {
+        let w = workload::conference(n, 8);
+        let mut app = w.app;
+        let mut vanilla = w.vanilla;
+        let viewer = Viewer::User(w.author);
+        group.bench_with_input(BenchmarkId::new("jacqueline", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(conf::all_users(&mut app, &viewer)));
+        });
+        group.bench_with_input(BenchmarkId::new("baseline", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(vanilla.all_users(&viewer)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_all_papers, bench_all_users);
+criterion_main!(benches);

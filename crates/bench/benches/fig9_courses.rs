@@ -1,0 +1,30 @@
+//! Figure 9c: course-manager stress test — time to view all courses
+//! (with instructor lookups) as the course count doubles; Early
+//! Pruning is on, keeping the page linear.
+
+use apps::{courses, workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jacqueline::Viewer;
+
+const SIZES: [usize; 3] = [8, 64, 256];
+
+fn bench_courses(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9c_all_courses");
+    group.sample_size(10);
+    for n in SIZES {
+        let w = workload::courses(n);
+        let mut app = w.app;
+        let mut vanilla = w.vanilla;
+        let viewer = Viewer::User(w.student);
+        group.bench_with_input(BenchmarkId::new("jacqueline", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(courses::all_courses(&mut app, &viewer)));
+        });
+        group.bench_with_input(BenchmarkId::new("baseline", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(vanilla.all_courses(&viewer)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_courses);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figure 9b: health-record stress test — time to view all record
+//! summaries as the number of users doubles.
+
+use apps::{health, workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jacqueline::Viewer;
+
+const SIZES: [usize; 3] = [8, 64, 256];
+
+fn bench_records(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9b_all_records");
+    group.sample_size(10);
+    for n in SIZES {
+        let w = workload::health(n);
+        let mut app = w.app;
+        let mut vanilla = w.vanilla;
+        let viewer = Viewer::User(w.doctor);
+        group.bench_with_input(BenchmarkId::new("jacqueline", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(health::all_records_summary(&mut app, &viewer)));
+        });
+        group.bench_with_input(BenchmarkId::new("baseline", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(vanilla.all_records_summary(&viewer)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_records);
+criterion_main!(benches);

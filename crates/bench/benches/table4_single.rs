@@ -1,0 +1,49 @@
+//! Table 4: representative actions — time to view a *single* paper
+//! and a single user profile while the underlying tables grow. The
+//! paper's observation: flat in table size, and Jacqueline can beat
+//! the baseline on single-paper because it resolves each policy once.
+
+use apps::{conf, workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jacqueline::Viewer;
+
+const SIZES: [usize; 3] = [8, 64, 256];
+
+fn bench_single_paper(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_single_paper");
+    group.sample_size(10);
+    for n in SIZES {
+        let w = workload::conference(32, n);
+        let mut app = w.app;
+        let mut vanilla = w.vanilla;
+        let viewer = Viewer::User(w.pc_member);
+        group.bench_with_input(BenchmarkId::new("jacqueline", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(conf::single_paper(&mut app, &viewer, 1)));
+        });
+        group.bench_with_input(BenchmarkId::new("baseline", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(vanilla.single_paper(&viewer, 1)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_user(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_single_user");
+    group.sample_size(10);
+    for n in SIZES {
+        let w = workload::conference(n, 8);
+        let mut app = w.app;
+        let mut vanilla = w.vanilla;
+        let viewer = Viewer::User(w.author);
+        group.bench_with_input(BenchmarkId::new("jacqueline", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(conf::single_user(&mut app, &viewer, 2)));
+        });
+        group.bench_with_input(BenchmarkId::new("baseline", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(vanilla.single_user(&viewer, 2)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_paper, bench_single_user);
+criterion_main!(benches);

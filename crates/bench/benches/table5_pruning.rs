@@ -1,0 +1,39 @@
+//! Table 5: the Early Pruning ablation — "show all courses" with the
+//! session-based pruned path vs the fully faceted page (one faceted
+//! string whose leaf count doubles per course). The no-pruning
+//! variant is only run at small sizes; beyond that it blows up,
+//! matching the paper's `—` rows.
+
+use apps::{courses, workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jacqueline::Viewer;
+
+fn bench_pruning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5_pruning");
+    group.sample_size(10);
+    for n in [4usize, 8, 12] {
+        let w = workload::courses(n);
+        let mut app = w.app;
+        let viewer = Viewer::User(w.student);
+        group.bench_with_input(BenchmarkId::new("with_pruning", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(courses::all_courses(&mut app, &viewer)));
+        });
+        group.bench_with_input(BenchmarkId::new("without_pruning", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(courses::all_courses_no_pruning(&mut app, &viewer)));
+        });
+    }
+    // The pruned path keeps scaling linearly where the unpruned path
+    // cannot run at all.
+    for n in [64usize, 256] {
+        let w = workload::courses(n);
+        let mut app = w.app;
+        let viewer = Viewer::User(w.student);
+        group.bench_with_input(BenchmarkId::new("with_pruning", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(courses::all_courses(&mut app, &viewer)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pruning);
+criterion_main!(benches);

@@ -1,0 +1,217 @@
+//! Regenerates every table and figure of the paper's evaluation (§6).
+//!
+//! Run with `cargo run --release -p jbench --bin experiments -- --all`
+//! (or a subset: `--fig6 --fig9a --fig9b --fig9c --table3 --table4
+//! --table5`). Output mirrors the paper's rows; absolute times are
+//! this machine's, the comparison *shapes* are the reproduction
+//! target (see EXPERIMENTS.md).
+
+use apps::{conf, courses, health, workload};
+use jacqueline::Viewer;
+use jbench::{doubling_sweep, fmt_secs, print_row, time_avg};
+
+/// Matches the paper's protocol: average over 10 sequential requests.
+const REPS: usize = 10;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = args.is_empty() || args.iter().any(|a| a == "--all");
+    let want = |flag: &str| all || args.iter().any(|a| a == flag);
+
+    if want("--fig6") {
+        fig6();
+    }
+    if want("--table3") || want("--fig9a") {
+        fig9a_table3();
+    }
+    if want("--table4") {
+        table4();
+    }
+    if want("--fig9b") {
+        fig9b();
+    }
+    if want("--fig9c") {
+        fig9c();
+    }
+    if want("--table5") {
+        table5();
+    }
+}
+
+/// Figure 6: lines of policy code, Jacqueline vs hand-coded.
+fn fig6() {
+    println!("\n==== Figure 6: distribution and size of policy code ====");
+    for (name, j, v) in [
+        ("conference manager", "conf.rs", "conf_vanilla.rs"),
+        ("health record manager", "health.rs", "health_vanilla.rs"),
+        ("course manager", "courses.rs", "courses_vanilla.rs"),
+    ] {
+        if let Err(e) = jbench::loc::print_comparison(name, j, v) {
+            eprintln!("loc analysis failed for {name}: {e}");
+        }
+    }
+}
+
+/// Figure 9a + Table 3: conference stress tests.
+fn fig9a_table3() {
+    println!("\n==== Table 3 / Figure 9a: time to view all papers ====");
+    print_row(&["# P".into(), "Jacq.".into(), "Baseline".into(), "ratio".into()]);
+    for n in doubling_sweep() {
+        let w = workload::conference(32, n);
+        let mut app = w.app;
+        let mut vanilla = w.vanilla;
+        let viewer = Viewer::User(w.pc_member);
+        let tj = time_avg(REPS, || {
+            std::hint::black_box(conf::all_papers(&mut app, &viewer));
+        });
+        let tv = time_avg(REPS, || {
+            std::hint::black_box(vanilla.all_papers(&viewer));
+        });
+        print_row(&[
+            n.to_string(),
+            fmt_secs(tj),
+            fmt_secs(tv),
+            format!("{:.2}x", tj / tv),
+        ]);
+    }
+
+    println!("\n==== Table 3 / Figure 9a: time to view all users ====");
+    print_row(&["# U".into(), "Jacq.".into(), "Baseline".into(), "ratio".into()]);
+    for n in doubling_sweep() {
+        let w = workload::conference(n, 8);
+        let mut app = w.app;
+        let mut vanilla = w.vanilla;
+        let viewer = Viewer::User(w.author);
+        let tj = time_avg(REPS, || {
+            std::hint::black_box(conf::all_users(&mut app, &viewer));
+        });
+        let tv = time_avg(REPS, || {
+            std::hint::black_box(vanilla.all_users(&viewer));
+        });
+        print_row(&[
+            n.to_string(),
+            fmt_secs(tj),
+            fmt_secs(tv),
+            format!("{:.2}x", tj / tv),
+        ]);
+    }
+}
+
+/// Table 4: single paper / single user while the table grows.
+fn table4() {
+    println!("\n==== Table 4: time to view a single paper ====");
+    print_row(&["Papers".into(), "Jacq.".into(), "Baseline".into(), "ratio".into()]);
+    for n in doubling_sweep() {
+        let w = workload::conference(32, n);
+        let mut app = w.app;
+        let mut vanilla = w.vanilla;
+        let viewer = Viewer::User(w.pc_member);
+        let tj = time_avg(REPS, || {
+            std::hint::black_box(conf::single_paper(&mut app, &viewer, 1));
+        });
+        let tv = time_avg(REPS, || {
+            std::hint::black_box(vanilla.single_paper(&viewer, 1));
+        });
+        print_row(&[
+            n.to_string(),
+            fmt_secs(tj),
+            fmt_secs(tv),
+            format!("{:.2}x", tj / tv),
+        ]);
+    }
+
+    println!("\n==== Table 4: time to view a single user ====");
+    print_row(&["Users".into(), "Jacq.".into(), "Baseline".into(), "ratio".into()]);
+    for n in doubling_sweep() {
+        let w = workload::conference(n, 8);
+        let mut app = w.app;
+        let mut vanilla = w.vanilla;
+        let viewer = Viewer::User(w.author);
+        let tj = time_avg(REPS, || {
+            std::hint::black_box(conf::single_user(&mut app, &viewer, 2));
+        });
+        let tv = time_avg(REPS, || {
+            std::hint::black_box(vanilla.single_user(&viewer, 2));
+        });
+        print_row(&[
+            n.to_string(),
+            fmt_secs(tj),
+            fmt_secs(tv),
+            format!("{:.2}x", tj / tv),
+        ]);
+    }
+}
+
+/// Figure 9b: health-record stress test.
+fn fig9b() {
+    println!("\n==== Figure 9b: health records, time to view summaries ====");
+    print_row(&["# Users".into(), "Jacq.".into(), "Baseline".into(), "ratio".into()]);
+    for n in doubling_sweep() {
+        let w = workload::health(n);
+        let mut app = w.app;
+        let mut vanilla = w.vanilla;
+        let viewer = Viewer::User(w.doctor);
+        let tj = time_avg(REPS, || {
+            std::hint::black_box(health::all_records_summary(&mut app, &viewer));
+        });
+        let tv = time_avg(REPS, || {
+            std::hint::black_box(vanilla.all_records_summary(&viewer));
+        });
+        print_row(&[
+            n.to_string(),
+            fmt_secs(tj),
+            fmt_secs(tv),
+            format!("{:.2}x", tj / tv),
+        ]);
+    }
+}
+
+/// Figure 9c: course-manager stress test (Early Pruning on).
+fn fig9c() {
+    println!("\n==== Figure 9c: courses, time to view all courses ====");
+    print_row(&["# C".into(), "Jacq.".into(), "Baseline".into(), "ratio".into()]);
+    for n in doubling_sweep() {
+        let w = workload::courses(n);
+        let mut app = w.app;
+        let mut vanilla = w.vanilla;
+        let viewer = Viewer::User(w.student);
+        let tj = time_avg(REPS, || {
+            std::hint::black_box(courses::all_courses(&mut app, &viewer));
+        });
+        let tv = time_avg(REPS, || {
+            std::hint::black_box(vanilla.all_courses(&viewer));
+        });
+        print_row(&[
+            n.to_string(),
+            fmt_secs(tj),
+            fmt_secs(tv),
+            format!("{:.2}x", tj / tv),
+        ]);
+    }
+}
+
+/// Table 5: Early Pruning on vs off.
+fn table5() {
+    println!("\n==== Table 5: all courses, with and without Early Pruning ====");
+    print_row(&["Courses".into(), "w/o pruning".into(), "w/ pruning".into(), String::new()]);
+    // Without pruning the page is one faceted string whose leaf count
+    // doubles per course; like the paper we stop measuring once it
+    // blows up and print "—".
+    const NO_PRUNE_MAX: usize = 16;
+    for n in [4usize, 8, 16, 32, 64, 128, 256, 512, 1024] {
+        let w = workload::courses(n);
+        let mut app = w.app;
+        let viewer = Viewer::User(w.student);
+        let slow = if n <= NO_PRUNE_MAX {
+            fmt_secs(time_avg(3, || {
+                std::hint::black_box(courses::all_courses_no_pruning(&mut app, &viewer));
+            }))
+        } else {
+            "—".to_owned()
+        };
+        let fast = fmt_secs(time_avg(REPS, || {
+            std::hint::black_box(courses::all_courses(&mut app, &viewer));
+        }));
+        print_row(&[n.to_string(), slow, fast, String::new()]);
+    }
+}

@@ -1,0 +1,19 @@
+//! Figure 6 as a standalone tool: lines of policy vs non-policy code
+//! in the Jacqueline and hand-coded case studies.
+//!
+//! Run with `cargo run -p jbench --bin loc_report`.
+
+fn main() {
+    println!("Figure 6 — distribution and size of policy code");
+    println!("(policy regions are the `// <policy>` blocks in crates/apps/src)");
+    for (name, j, v) in [
+        ("conference manager", "conf.rs", "conf_vanilla.rs"),
+        ("health record manager", "health.rs", "health_vanilla.rs"),
+        ("course manager", "courses.rs", "courses_vanilla.rs"),
+    ] {
+        if let Err(e) = jbench::loc::print_comparison(name, j, v) {
+            eprintln!("loc analysis failed for {name}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

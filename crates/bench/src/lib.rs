@@ -1,0 +1,72 @@
+//! `jbench` — shared infrastructure for the evaluation harness.
+//!
+//! The `experiments` binary regenerates every table and figure of the
+//! paper's §6 (run with `--release`); the criterion benches under
+//! `benches/` track the same workloads for regression purposes; and
+//! `loc_report` reproduces the Figure 6 lines-of-code analysis.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod loc;
+
+use std::time::Instant;
+
+/// Average seconds over `reps` sequential runs of `f` — the paper's
+/// measurement protocol ("average over 10 rapid sequential requests",
+/// §6.3).
+pub fn time_avg(reps: usize, mut f: impl FnMut()) -> f64 {
+    // One warm-up run outside the measurement.
+    f();
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    start.elapsed().as_secs_f64() / reps as f64
+}
+
+/// The paper's doubling sweep: 8, 16, …, 1024.
+#[must_use]
+pub fn doubling_sweep() -> Vec<usize> {
+    (3..=10).map(|i| 1usize << i).collect()
+}
+
+/// Formats seconds the way the paper's tables do (e.g. `0.241s`).
+#[must_use]
+pub fn fmt_secs(s: f64) -> String {
+    format!("{s:.6}s")
+}
+
+/// Prints one table row with aligned columns.
+pub fn print_row(cols: &[String]) {
+    let widths = [8, 14, 14, 10];
+    let mut line = String::new();
+    for (i, c) in cols.iter().enumerate() {
+        let w = widths.get(i).copied().unwrap_or(12);
+        line.push_str(&format!("{c:>w$}  "));
+    }
+    println!("{}", line.trim_end());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_doubling() {
+        assert_eq!(doubling_sweep(), vec![8, 16, 32, 64, 128, 256, 512, 1024]);
+    }
+
+    #[test]
+    fn time_avg_is_positive() {
+        let t = time_avg(3, || {
+            std::hint::black_box((0..100).sum::<u64>());
+        });
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_secs(0.2414), "0.241400s");
+    }
+}

@@ -1,0 +1,507 @@
+//! The Jacqueline application object: policy-agnostic object manager
+//! plus the computation-sink machinery.
+
+use std::collections::{BTreeMap, HashMap};
+
+use faceted::{Faceted, FacetedList, Label, View};
+use form::{FacetedObject, FormDb, FormResult, GuardedRow};
+use labelsat::{max_true_assignment, Assignment, Formula};
+use microdb::{Predicate, Row, SortOrder, Value};
+
+use crate::model::{ModelDef, PolicyArgs, PolicyFn, Viewer};
+
+/// A policy attached to a live label: the check plus the
+/// creation-time row snapshot it closes over (§2.1.2: "with respect
+/// to the value of event at the time a value is created and the state
+/// of the system at the time of output").
+#[derive(Clone)]
+pub(crate) struct PolicyEntry {
+    pub(crate) check: PolicyFn,
+    pub(crate) row: Row,
+    pub(crate) jid: i64,
+}
+
+/// A Jacqueline application: registered models, the faceted database,
+/// and the label→policy map.
+///
+/// The programmer's contract (§2): declare policies in the models,
+/// access data only through this API, and the runtime guarantees
+/// outputs comply with the policies.
+pub struct App {
+    /// The faceted database.
+    pub db: FormDb,
+    models: BTreeMap<String, ModelDef>,
+    pub(crate) policies: HashMap<Label, PolicyEntry>,
+    /// Labels allocated per object, in model-policy order — needed to
+    /// rebuild facet structure on updates.
+    object_labels: HashMap<(String, i64), Vec<Label>>,
+}
+
+impl App {
+    /// Creates an application with an empty database.
+    #[must_use]
+    pub fn new() -> App {
+        App {
+            db: FormDb::new(),
+            models: BTreeMap::new(),
+            policies: HashMap::new(),
+            object_labels: HashMap::new(),
+        }
+    }
+
+    /// Registers a model, creating its backing table.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table-creation errors.
+    pub fn register_model(&mut self, model: ModelDef) -> FormResult<()> {
+        self.db.create_table(&model.name, model.columns.clone())?;
+        self.models.insert(model.name.clone(), model);
+        Ok(())
+    }
+
+    /// The registered model definition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model was not registered (a programming error).
+    #[must_use]
+    pub fn model(&self, name: &str) -> &ModelDef {
+        self.models
+            .get(name)
+            .unwrap_or_else(|| panic!("model {name} not registered"))
+    }
+
+    /// `Model.objects.create(...)`: allocates one label per field
+    /// policy, builds the faceted object (secret facets on the
+    /// high side, computed public views on the low side), records the
+    /// policies, and stores the physical rows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates insertion errors.
+    pub fn create(&mut self, model_name: &str, row: Row) -> FormResult<i64> {
+        let model = self.model(model_name).clone();
+        let jid = self.db.reserve_jid(&model.name);
+        let mut labels = Vec::with_capacity(model.policies.len());
+        let mut object: FacetedObject = Faceted::leaf(Some(row.clone()));
+        for fp in &model.policies {
+            let label = self.db.fresh_label(&format!("{model_name}.{}", fp.label_name));
+            labels.push(label);
+            self.policies.insert(
+                label,
+                PolicyEntry { check: fp.check.clone(), row: row.clone(), jid },
+            );
+            let public_values = (fp.public_view)(&row);
+            assert_eq!(
+                public_values.len(),
+                fp.fields.len(),
+                "public view must produce one value per protected field"
+            );
+            let fields = fp.fields.clone();
+            let public_side = object.map(&mut |opt: &Option<Row>| {
+                opt.as_ref().map(|r| {
+                    let mut r = r.clone();
+                    for (ix, v) in fields.iter().zip(&public_values) {
+                        r[*ix] = v.clone();
+                    }
+                    r
+                })
+            });
+            object = Faceted::split(label, object, public_side);
+        }
+        self.object_labels
+            .insert((model.name.clone(), jid), labels);
+        self.db.insert_with_jid(&model.name, jid, &object)?;
+        Ok(jid)
+    }
+
+    /// Updates columns of an object, preserving its labels and
+    /// re-applying the model's public-view computations — the faceted
+    /// analogue of `obj.field = v; obj.save()`. A non-empty `pc`
+    /// performs the write as a guarded update.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lookup and write errors.
+    pub fn update_fields(
+        &mut self,
+        model_name: &str,
+        jid: i64,
+        updates: &[(usize, Value)],
+        pc: &faceted::Branches,
+    ) -> FormResult<()> {
+        let model = self.model(model_name).clone();
+        let labels = self
+            .object_labels
+            .get(&(model_name.to_owned(), jid))
+            .cloned()
+            .unwrap_or_default();
+        let current = self.db.get(model_name, jid)?;
+        // The all-labels-true view is the fully secret row.
+        let all_true = View::from_labels(current.labels());
+        let Some(mut secret) = current.project(&all_true).clone() else {
+            return Ok(()); // object absent in every authorized view
+        };
+        for (ix, v) in updates {
+            secret[*ix] = v.clone();
+        }
+        let mut object: FacetedObject = Faceted::leaf(Some(secret.clone()));
+        for (fp, label) in model.policies.iter().zip(&labels) {
+            let public_values = (fp.public_view)(&secret);
+            let fields = fp.fields.clone();
+            let public_side = object.map(&mut |opt: &Option<Row>| {
+                opt.as_ref().map(|r| {
+                    let mut r = r.clone();
+                    for (ix, v) in fields.iter().zip(&public_values) {
+                        r[*ix] = v.clone();
+                    }
+                    r
+                })
+            });
+            object = Faceted::split(*label, object, public_side);
+        }
+        self.db.save(&model.name, jid, &object, pc)
+    }
+
+    /// Faceted `objects.all()`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates query errors.
+    pub fn all(&mut self, model: &str) -> FormResult<FacetedList<GuardedRow>> {
+        self.db.all(model)
+    }
+
+    /// Faceted `objects.filter(column=value)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates query errors.
+    pub fn filter_eq(
+        &mut self,
+        model: &str,
+        column: &str,
+        value: Value,
+    ) -> FormResult<FacetedList<GuardedRow>> {
+        self.db.filter_eq(model, column, value)
+    }
+
+    /// Faceted filter with an arbitrary predicate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates query errors.
+    pub fn filter(
+        &mut self,
+        model: &str,
+        predicate: Predicate,
+    ) -> FormResult<FacetedList<GuardedRow>> {
+        self.db.filter(model, predicate)
+    }
+
+    /// Faceted `ORDER BY`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates query errors.
+    pub fn order_by(
+        &mut self,
+        model: &str,
+        column: &str,
+        order: SortOrder,
+    ) -> FormResult<FacetedList<GuardedRow>> {
+        self.db.order_by(model, column, order)
+    }
+
+    /// Reconstructs a single object.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lookup errors.
+    pub fn get(&mut self, model: &str, jid: i64) -> FormResult<FacetedObject> {
+        self.db.get(model, jid)
+    }
+
+    /// Saves an object under a path condition (guarded write).
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn save(
+        &mut self,
+        model: &str,
+        jid: i64,
+        new: &FacetedObject,
+        pc: &faceted::Branches,
+    ) -> FormResult<()> {
+        self.db.save(model, jid, new, pc)
+    }
+
+    /// Resolves the given labels (and, transitively, every label their
+    /// policies mention — `closeK`) for a viewer, returning the
+    /// maximal-true satisfying assignment.
+    ///
+    /// Policies are evaluated against the *current* database state;
+    /// faceted policy results become constraints for the solver, which
+    /// handles the mutual-dependency case of §2.3.
+    pub fn resolve_labels(&mut self, labels: &[Label], viewer: &Viewer) -> Assignment {
+        let mut constraint = Formula::constant(true);
+        let mut pending: Vec<Label> = labels.to_vec();
+        let mut seen: Vec<Label> = Vec::new();
+        while let Some(label) = pending.pop() {
+            if seen.contains(&label) {
+                continue;
+            }
+            seen.push(label);
+            let Some(entry) = self.policies.get(&label).cloned() else {
+                continue; // unconstrained label: defaults to shown
+            };
+            let mut args = PolicyArgs {
+                row: &entry.row,
+                jid: entry.jid,
+                viewer,
+                db: &mut self.db,
+            };
+            let verdict = (entry.check)(&mut args);
+            for dep in verdict.labels() {
+                if !seen.contains(&dep) {
+                    pending.push(dep);
+                }
+            }
+            constraint = constraint.and(
+                Formula::var(label).implies(Formula::from_faceted_bool(&verdict)),
+            );
+        }
+        let mut assignment = max_true_assignment(&constraint)
+            .expect("guarded constraints are always satisfiable (all-false)");
+        for l in seen {
+            if !assignment.is_assigned(l) {
+                assignment.set(l, true);
+            }
+        }
+        assignment
+    }
+
+    /// The view a given viewer obtains for a set of labels.
+    pub fn view_for(&mut self, labels: &[Label], viewer: &Viewer) -> View {
+        self.resolve_labels(labels, viewer).to_view()
+    }
+
+    /// Computation sink for a faceted scalar: resolve policies and
+    /// project (the `print`/template-render of §2.3).
+    pub fn show_value<T: Clone + PartialEq>(&mut self, viewer: &Viewer, v: &Faceted<T>) -> T {
+        let view = self.view_for(&v.labels(), viewer);
+        v.project(&view).clone()
+    }
+
+    /// Computation sink for a faceted query result: resolve the
+    /// policies of every guard label once, then project the rows.
+    pub fn show_rows(
+        &mut self,
+        viewer: &Viewer,
+        rows: &FacetedList<GuardedRow>,
+    ) -> Vec<Row> {
+        let view = self.view_for(&rows.labels(), viewer);
+        rows.project(&view)
+            .into_iter()
+            .map(|g| g.fields.clone())
+            .collect()
+    }
+
+    /// Computation sink for a single object.
+    pub fn show_object(&mut self, viewer: &Viewer, obj: &FacetedObject) -> Option<Row> {
+        let view = self.view_for(&obj.labels(), viewer);
+        obj.project(&view).clone()
+    }
+}
+
+impl Default for App {
+    fn default() -> App {
+        App::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{label_for, simple_policy};
+    use microdb::{ColumnDef, ColumnType};
+
+    /// The paper's §2 social-calendar example, end to end.
+    fn calendar_app() -> App {
+        let mut app = App::new();
+        let event = ModelDef::public(
+            "event",
+            vec![
+                ColumnDef::new("name", ColumnType::Str),
+                ColumnDef::new("location", ColumnType::Str),
+            ],
+        )
+        .with_policy(label_for(
+            "restrict_event",
+            vec![0, 1],
+            |_row| vec![Value::from("Private event"), Value::from("Undisclosed location")],
+            |args| {
+                // Policy: viewer must be on the guest list (queries the
+                // EventGuest table at output time).
+                let Some(user) = args.viewer.user_jid() else {
+                    return Faceted::leaf(false);
+                };
+                let event_jid = args.jid;
+                let guests = args
+                    .db
+                    .filter_eq("eventguest", "guest", Value::Int(user))
+                    .unwrap_or_default();
+                let matching = guests.filter_rows(|g| g.fields[0] == Value::Int(event_jid));
+                form::faceted_count(&matching).map(&mut |n| *n > 0)
+            },
+        ));
+        app.register_model(event).unwrap();
+        app.register_model(ModelDef::public(
+            "eventguest",
+            vec![
+                ColumnDef::new("event", ColumnType::Int),
+                ColumnDef::new("guest", ColumnType::Int),
+            ],
+        ))
+        .unwrap();
+        app.register_model(ModelDef::public(
+            "userprofile",
+            vec![ColumnDef::new("name", ColumnType::Str)],
+        ))
+        .unwrap();
+        app
+    }
+
+    #[test]
+    fn create_allocates_labels_and_facets() {
+        let mut app = calendar_app();
+        let jid = app
+            .create(
+                "event",
+                vec![
+                    Value::from("Carol's surprise party"),
+                    Value::from("Schloss Dagstuhl"),
+                ],
+            )
+            .unwrap();
+        assert_eq!(jid, 1);
+        assert_eq!(app.db.physical_rows("event").unwrap(), 2);
+    }
+
+    #[test]
+    fn sink_shows_secret_to_guest_public_to_other() {
+        let mut app = calendar_app();
+        let alice = app.create("userprofile", vec![Value::from("alice")]).unwrap();
+        let carol = app.create("userprofile", vec![Value::from("carol")]).unwrap();
+        let party = app
+            .create(
+                "event",
+                vec![
+                    Value::from("Carol's surprise party"),
+                    Value::from("Schloss Dagstuhl"),
+                ],
+            )
+            .unwrap();
+        app.create("eventguest", vec![Value::Int(party), Value::Int(alice)]).unwrap();
+
+        let obj = app.get("event", party).unwrap();
+        let shown_alice = app.show_object(&Viewer::User(alice), &obj).unwrap();
+        assert_eq!(shown_alice[0], Value::from("Carol's surprise party"));
+        let shown_carol = app.show_object(&Viewer::User(carol), &obj).unwrap();
+        assert_eq!(shown_carol[0], Value::from("Private event"));
+        assert_eq!(shown_carol[1], Value::from("Undisclosed location"));
+        let anon = app.show_object(&Viewer::Anonymous, &obj).unwrap();
+        assert_eq!(anon[0], Value::from("Private event"));
+    }
+
+    #[test]
+    fn filter_on_sensitive_field_stays_protected() {
+        let mut app = calendar_app();
+        let alice = app.create("userprofile", vec![Value::from("alice")]).unwrap();
+        let party = app
+            .create(
+                "event",
+                vec![Value::from("party"), Value::from("Schloss Dagstuhl")],
+            )
+            .unwrap();
+        app.create("eventguest", vec![Value::Int(party), Value::Int(alice)]).unwrap();
+
+        let result = app
+            .filter_eq("event", "location", Value::from("Schloss Dagstuhl"))
+            .unwrap();
+        let for_alice = app.show_rows(&Viewer::User(alice), &result);
+        assert_eq!(for_alice.len(), 1);
+        let for_anon = app.show_rows(&Viewer::Anonymous, &result);
+        assert!(for_anon.is_empty(), "outsiders must not learn the location matched");
+    }
+
+    #[test]
+    fn policy_reads_state_at_output_time() {
+        let mut app = calendar_app();
+        let bob = app.create("userprofile", vec![Value::from("bob")]).unwrap();
+        let party = app
+            .create("event", vec![Value::from("secret"), Value::from("here")])
+            .unwrap();
+        let obj = app.get("event", party).unwrap();
+        // Not yet a guest: public view.
+        assert_eq!(
+            app.show_object(&Viewer::User(bob), &obj).unwrap()[0],
+            Value::from("Private event")
+        );
+        // Added to the guest list after creation: secret view.
+        app.create("eventguest", vec![Value::Int(party), Value::Int(bob)]).unwrap();
+        assert_eq!(
+            app.show_object(&Viewer::User(bob), &obj).unwrap()[0],
+            Value::from("secret")
+        );
+    }
+
+    #[test]
+    fn multiple_policies_compose() {
+        let mut app = App::new();
+        let m = ModelDef::public(
+            "doc",
+            vec![
+                ColumnDef::new("title", ColumnType::Str),
+                ColumnDef::new("body", ColumnType::Str),
+            ],
+        )
+        .with_policy(simple_policy(
+            "title_policy",
+            vec![0],
+            |_| vec![Value::from("[title hidden]")],
+            |args| args.viewer.user_jid() == Some(1),
+        ))
+        .with_policy(simple_policy(
+            "body_policy",
+            vec![1],
+            |_| vec![Value::from("[body hidden]")],
+            |args| args.viewer.user_jid().is_some(),
+        ));
+        app.register_model(m).unwrap();
+        let jid = app
+            .create("doc", vec![Value::from("T"), Value::from("B")])
+            .unwrap();
+        assert_eq!(app.db.physical_rows("doc").unwrap(), 4, "2 labels ⇒ up to 4 facet rows");
+        let obj = app.get("doc", jid).unwrap();
+        let owner = app.show_object(&Viewer::User(1), &obj).unwrap();
+        assert_eq!(owner, vec![Value::from("T"), Value::from("B")]);
+        let other = app.show_object(&Viewer::User(2), &obj).unwrap();
+        assert_eq!(other, vec![Value::from("[title hidden]"), Value::from("B")]);
+        let anon = app.show_object(&Viewer::Anonymous, &obj).unwrap();
+        assert_eq!(
+            anon,
+            vec![Value::from("[title hidden]"), Value::from("[body hidden]")]
+        );
+    }
+
+    #[test]
+    fn unregistered_label_defaults_to_shown() {
+        let mut app = App::new();
+        let k = app.db.fresh_label("loose");
+        let v = Faceted::split(k, Faceted::leaf(1), Faceted::leaf(0));
+        assert_eq!(app.show_value(&Viewer::Anonymous, &v), 1);
+    }
+}

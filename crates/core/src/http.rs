@@ -1,0 +1,152 @@
+//! A minimal MVC request layer: enough to express the paper's
+//! "representative actions" and stress tests as routed requests.
+//!
+//! The paper measured HTTP round-trips through FunkLoad; we simulate
+//! the request/controller/response cycle in-process (DESIGN.md §4
+//! documents this substitution) — the work that differs between
+//! Jacqueline and the hand-coded baseline is all server-side.
+
+use std::collections::BTreeMap;
+
+use crate::app::App;
+use crate::model::Viewer;
+
+/// An incoming request: path, authenticated viewer, query params.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Route name, e.g. `"papers/all"`.
+    pub path: String,
+    /// The session user (the Early Pruning speculation target).
+    pub viewer: Viewer,
+    /// Query parameters.
+    pub params: BTreeMap<String, String>,
+}
+
+impl Request {
+    /// Builds a request with no parameters.
+    #[must_use]
+    pub fn new(path: &str, viewer: Viewer) -> Request {
+        Request { path: path.to_owned(), viewer, params: BTreeMap::new() }
+    }
+
+    /// Adds a query parameter (builder style).
+    #[must_use]
+    pub fn with_param(mut self, key: &str, value: &str) -> Request {
+        self.params.insert(key.to_owned(), value.to_owned());
+        self
+    }
+
+    /// An integer parameter.
+    #[must_use]
+    pub fn int_param(&self, key: &str) -> Option<i64> {
+        self.params.get(key).and_then(|v| v.parse().ok())
+    }
+}
+
+/// A response: status code and rendered body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP-ish status code.
+    pub status: u16,
+    /// The rendered page body.
+    pub body: String,
+}
+
+impl Response {
+    /// A 200 response.
+    #[must_use]
+    pub fn ok(body: String) -> Response {
+        Response { status: 200, body }
+    }
+
+    /// A 404 response.
+    #[must_use]
+    pub fn not_found() -> Response {
+        Response { status: 404, body: "not found".to_owned() }
+    }
+
+    /// A 500 response.
+    #[must_use]
+    pub fn error(message: &str) -> Response {
+        Response { status: 500, body: message.to_owned() }
+    }
+}
+
+/// A controller: takes the app and the request, renders a response.
+pub type Controller = Box<dyn Fn(&mut App, &Request) -> Response>;
+
+/// Routes requests to controllers by exact path.
+#[derive(Default)]
+pub struct Router {
+    routes: BTreeMap<String, Controller>,
+}
+
+impl Router {
+    /// An empty router.
+    #[must_use]
+    pub fn new() -> Router {
+        Router::default()
+    }
+
+    /// Registers a controller under a path.
+    pub fn route(
+        &mut self,
+        path: &str,
+        controller: impl Fn(&mut App, &Request) -> Response + 'static,
+    ) {
+        self.routes.insert(path.to_owned(), Box::new(controller));
+    }
+
+    /// Dispatches one request.
+    pub fn handle(&self, app: &mut App, request: &Request) -> Response {
+        match self.routes.get(&request.path) {
+            Some(c) => c(app, request),
+            None => Response::not_found(),
+        }
+    }
+
+    /// Registered paths, for diagnostics.
+    #[must_use]
+    pub fn paths(&self) -> Vec<&str> {
+        self.routes.keys().map(String::as_str).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_dispatches_by_path() {
+        let mut router = Router::new();
+        router.route("hello", |_, req| Response::ok(format!("hi {}", req.viewer)));
+        let mut app = App::new();
+        let r = router.handle(&mut app, &Request::new("hello", Viewer::User(1)));
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, "hi user#1");
+        let miss = router.handle(&mut app, &Request::new("nope", Viewer::Anonymous));
+        assert_eq!(miss.status, 404);
+    }
+
+    #[test]
+    fn params_parse() {
+        let req = Request::new("x", Viewer::Anonymous).with_param("id", "42");
+        assert_eq!(req.int_param("id"), Some(42));
+        assert_eq!(req.int_param("missing"), None);
+    }
+
+    #[test]
+    fn response_constructors() {
+        assert_eq!(Response::not_found().status, 404);
+        assert_eq!(Response::error("x").status, 500);
+        assert_eq!(Response::ok(String::new()).status, 200);
+    }
+
+    #[test]
+    fn paths_lists_routes() {
+        let mut router = Router::new();
+        router.route("b", |_, _| Response::ok(String::new()));
+        router.route("a", |_, _| Response::ok(String::new()));
+        assert_eq!(router.paths(), vec!["a", "b"]);
+    }
+}

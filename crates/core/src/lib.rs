@@ -1,0 +1,67 @@
+//! `jacqueline` — a policy-agnostic web framework with dynamic
+//! information flow across the application and the database.
+//!
+//! This crate is the Rust analogue of the paper's Jacqueline
+//! framework (Yang et al., PLDI 2016, §2, §5, §6): models declare
+//! their information-flow policies **once**, next to the schema, and
+//! the runtime + faceted object-relational mapping enforce them
+//! everywhere — through application computation and through database
+//! queries. Application code contains *no* policy checks.
+//!
+//! * [`ModelDef`] / [`label_for`] / [`simple_policy`] — schemas with
+//!   attached policies and public-view computations (§2.1);
+//! * [`App`] — the policy-agnostic object manager (`create`, `all`,
+//!   `filter_eq`, `get`, `save`) and the computation sinks
+//!   (`show_object`, `show_rows`, `show_value`) that resolve policies
+//!   per viewer, via SAT when policies and data are mutually
+//!   dependent (§2.3);
+//! * [`Session`] — the Early Pruning request path (§3.2): resolve
+//!   each label once for the session user and prune all other facets;
+//! * [`Router`] / [`Request`] / [`Response`] — a minimal MVC layer
+//!   for the case studies and stress tests;
+//! * [`VanillaDb`] — the non-faceted ORM used by the hand-coded
+//!   baseline applications the paper compares against.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), form::FormError> {
+//! use jacqueline::{simple_policy, App, ModelDef, Viewer};
+//! use microdb::{ColumnDef, ColumnType, Value};
+//!
+//! let mut app = App::new();
+//! app.register_model(
+//!     ModelDef::public("note", vec![
+//!         ColumnDef::new("owner", ColumnType::Int),
+//!         ColumnDef::new("text", ColumnType::Str),
+//!     ])
+//!     .with_policy(simple_policy(
+//!         "owner_only",
+//!         vec![1],
+//!         |_row| vec![Value::from("[private]")],
+//!         |args| args.viewer.user_jid() == args.row[0].as_int(),
+//!     )),
+//! )?;
+//!
+//! let note = app.create("note", vec![Value::Int(7), Value::from("my secret")])?;
+//! let obj = app.get("note", note)?;
+//! assert_eq!(app.show_object(&Viewer::User(7), &obj).unwrap()[1], Value::from("my secret"));
+//! assert_eq!(app.show_object(&Viewer::User(8), &obj).unwrap()[1], Value::from("[private]"));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod app;
+mod http;
+mod model;
+mod session;
+mod vanilla;
+
+pub use app::App;
+pub use http::{Controller, Request, Response, Router};
+pub use model::{label_for, simple_policy, FieldPolicy, ModelDef, PolicyArgs, PolicyFn, Viewer};
+pub use session::Session;
+pub use vanilla::VanillaDb;

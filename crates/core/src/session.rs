@@ -1,0 +1,261 @@
+//! Request sessions: the Early Pruning fast path (§3.2).
+//!
+//! "Two properties of web programs make this analysis simple. First,
+//! the session user is often the viewing context. Second, computation
+//! sinks are easy to identify" — so for a "get" request Jacqueline
+//! speculates that the session user is the viewer and resolves each
+//! label's policy *once, eagerly*, pruning all other facets instead
+//! of carrying them through the whole computation.
+
+use std::collections::BTreeSet;
+
+use faceted::{Branch, Branches, Faceted, FacetedList, Label};
+use form::{FacetedObject, GuardedRow};
+use microdb::Row;
+
+use crate::app::App;
+use crate::model::Viewer;
+
+/// A per-request session: the speculated viewer plus the label
+/// assignment resolved so far.
+///
+/// Each label's policy is evaluated at most once per request — the
+/// reason Jacqueline can beat hand-coded checks that re-run per use
+/// site (§6.3.2).
+#[derive(Clone, Debug)]
+pub struct Session {
+    viewer: Viewer,
+    resolved: Branches,
+    decided: BTreeSet<Label>,
+    in_progress: BTreeSet<Label>,
+}
+
+impl Session {
+    /// Starts a request session for a (speculated) viewer.
+    #[must_use]
+    pub fn new(viewer: Viewer) -> Session {
+        Session {
+            viewer,
+            resolved: Branches::new(),
+            decided: BTreeSet::new(),
+            in_progress: BTreeSet::new(),
+        }
+    }
+
+    /// The session's viewer.
+    #[must_use]
+    pub fn viewer(&self) -> &Viewer {
+        &self.viewer
+    }
+
+    /// The branches resolved so far (the pruning constraint).
+    #[must_use]
+    pub fn constraint(&self) -> &Branches {
+        &self.resolved
+    }
+
+    /// Resolves one label for this viewer, caching the outcome.
+    ///
+    /// Cycles (a policy that depends on its own label, §2.3) resolve
+    /// optimistically: assume shown, evaluate, and keep the
+    /// assumption only if the policy verdict is consistent with it —
+    /// the maximal-true choice of the constraint semantics.
+    pub fn resolve(&mut self, app: &mut App, label: Label) -> bool {
+        if self.decided.contains(&label) {
+            return self.resolved.contains(Branch::pos(label));
+        }
+        if self.in_progress.contains(&label) {
+            // Optimistic self-reference: tentatively shown.
+            return true;
+        }
+        self.in_progress.insert(label);
+        let verdict = self.policy_verdict(app, label);
+        self.in_progress.remove(&label);
+        self.decided.insert(label);
+        self.resolved.insert(if verdict {
+            Branch::pos(label)
+        } else {
+            Branch::neg(label)
+        });
+        verdict
+    }
+
+    fn policy_verdict(&mut self, app: &mut App, label: Label) -> bool {
+        let Some(entry) = app.policies.get(&label).cloned() else {
+            return true; // unconstrained labels are shown
+        };
+        let mut args = crate::model::PolicyArgs {
+            row: &entry.row,
+            jid: entry.jid,
+            viewer: &self.viewer.clone(),
+            db: &mut app.db,
+        };
+        let faceted_verdict = (entry.check)(&mut args);
+        // The verdict may itself be faceted; resolve its labels
+        // recursively and project.
+        let mut current = faceted_verdict;
+        while let Some(k) = current.root_label() {
+            let polarity = if k == label {
+                // Self-reference: optimistic "shown"; verified below.
+                true
+            } else {
+                self.resolve(app, k)
+            };
+            current = current.assume(k, polarity);
+        }
+        let optimistic = *current.as_leaf().expect("fully resolved");
+        if optimistic {
+            true
+        } else {
+            // If the optimistic self-reference was refuted, fall back
+            // to hidden (the all-false side is always consistent).
+            false
+        }
+    }
+
+    /// Resolves every label guarding the rows and returns the rows
+    /// this viewer sees (pruned, concrete).
+    pub fn view_rows(&mut self, app: &mut App, rows: &FacetedList<GuardedRow>) -> Vec<Row> {
+        let mut out = Vec::new();
+        for (guard, row) in rows.iter() {
+            if self.guard_holds(app, guard) {
+                out.push(row.fields.clone());
+            }
+        }
+        out
+    }
+
+    /// Resolves the labels of one object and projects it.
+    pub fn view_object(&mut self, app: &mut App, obj: &FacetedObject) -> Option<Row> {
+        let mut current = obj.clone();
+        while let Some(k) = current.root_label() {
+            let polarity = self.resolve(app, k);
+            current = current.assume(k, polarity);
+        }
+        current.as_leaf().expect("fully resolved").clone()
+    }
+
+    /// Resolves the labels of a faceted scalar and projects it.
+    pub fn view_value<T: Clone + PartialEq>(&mut self, app: &mut App, v: &Faceted<T>) -> T {
+        let mut current = v.clone();
+        while let Some(k) = current.root_label() {
+            let polarity = self.resolve(app, k);
+            current = current.assume(k, polarity);
+        }
+        current.as_leaf().expect("fully resolved").clone()
+    }
+
+    fn guard_holds(&mut self, app: &mut App, guard: &Branches) -> bool {
+        let branches: Vec<Branch> = guard.iter().collect();
+        branches
+            .into_iter()
+            .all(|b| self.resolve(app, b.label()) == b.is_positive())
+    }
+
+    /// Installs this session's resolved constraint as the FORM's
+    /// pruning filter, so subsequent queries skip inconsistent facet
+    /// rows entirely.
+    pub fn enable_db_pruning(&self, app: &mut App) {
+        app.db.set_pruning(Some(self.resolved.clone()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{simple_policy, ModelDef};
+    use microdb::{ColumnDef, ColumnType, Value};
+
+    fn app_with_owner_policy() -> App {
+        let mut app = App::new();
+        let m = ModelDef::public(
+            "note",
+            vec![
+                ColumnDef::new("owner", ColumnType::Int),
+                ColumnDef::new("text", ColumnType::Str),
+            ],
+        )
+        .with_policy(simple_policy(
+            "note_owner",
+            vec![1],
+            |_| vec![Value::from("[private]")],
+            |args| args.viewer.user_jid() == args.row[0].as_int(),
+        ));
+        app.register_model(m).unwrap();
+        app
+    }
+
+    #[test]
+    fn session_resolves_each_label_once() {
+        let mut app = app_with_owner_policy();
+        let jid = app
+            .create("note", vec![Value::Int(7), Value::from("secret text")])
+            .unwrap();
+        let obj = app.get("note", jid).unwrap();
+        let mut owner = Session::new(Viewer::User(7));
+        let row = owner.view_object(&mut app, &obj).unwrap();
+        assert_eq!(row[1], Value::from("secret text"));
+        // Second resolution hits the cache (same outcome).
+        let row2 = owner.view_object(&mut app, &obj).unwrap();
+        assert_eq!(row, row2);
+        assert_eq!(owner.constraint().len(), 1);
+    }
+
+    #[test]
+    fn session_matches_full_sink_resolution() {
+        let mut app = app_with_owner_policy();
+        let jid = app
+            .create("note", vec![Value::Int(7), Value::from("secret text")])
+            .unwrap();
+        let obj = app.get("note", jid).unwrap();
+        for viewer in [Viewer::User(7), Viewer::User(8), Viewer::Anonymous] {
+            let full = app.show_object(&viewer, &obj);
+            let mut s = Session::new(viewer);
+            let pruned = s.view_object(&mut app, &obj);
+            assert_eq!(full, pruned);
+        }
+    }
+
+    #[test]
+    fn session_rows_prune_guards() {
+        let mut app = app_with_owner_policy();
+        for i in 0..4 {
+            app.create("note", vec![Value::Int(i), Value::from(format!("n{i}"))])
+                .unwrap();
+        }
+        let rows = app.all("note").unwrap();
+        let mut s = Session::new(Viewer::User(2));
+        let visible = s.view_rows(&mut app, &rows);
+        assert_eq!(visible.len(), 4, "all rows visible, fields differ");
+        let secret_texts: Vec<&Row> = visible
+            .iter()
+            .filter(|r| r[1] == Value::from("n2"))
+            .collect();
+        assert_eq!(secret_texts.len(), 1, "only own note shows its text");
+    }
+
+    #[test]
+    fn db_pruning_reduces_unmarshalled_rows() {
+        let mut app = app_with_owner_policy();
+        let jid = app
+            .create("note", vec![Value::Int(7), Value::from("s")])
+            .unwrap();
+        let obj = app.get("note", jid).unwrap();
+        let mut s = Session::new(Viewer::User(7));
+        s.view_object(&mut app, &obj);
+        s.enable_db_pruning(&mut app);
+        let rows = app.all("note").unwrap();
+        assert_eq!(rows.len(), 1, "the inconsistent facet row is never unmarshalled");
+        app.db.set_pruning(None);
+    }
+
+    #[test]
+    fn faceted_scalar_resolution() {
+        let mut app = app_with_owner_policy();
+        let jid = app.create("note", vec![Value::Int(1), Value::from("s")]).unwrap();
+        let obj = app.get("note", jid).unwrap();
+        let text = form::object_field(&obj, 1);
+        let mut s = Session::new(Viewer::Anonymous);
+        assert_eq!(s.view_value(&mut app, &text), Value::from("[private]"));
+    }
+}

@@ -1,0 +1,183 @@
+//! The vanilla (non-faceted) ORM: the substrate for the paper's
+//! "Django with hand-coded policy checks" baselines.
+//!
+//! Same storage engine, no facets, no meta-data columns: every object
+//! is exactly one row with an auto-increment `id`, and *application
+//! code* is responsible for policy checks at every use site (the
+//! paper's Figure 8 style).
+
+use microdb::{
+    ColumnDef, ColumnType, Database, DbResult, Operand, Predicate, Query, Row, Schema, SortOrder,
+    Value,
+};
+
+/// A plain ORM over [`microdb`].
+#[derive(Clone, Debug, Default)]
+pub struct VanillaDb {
+    /// The underlying engine.
+    pub db: Database,
+}
+
+impl VanillaDb {
+    /// An empty database.
+    #[must_use]
+    pub fn new() -> VanillaDb {
+        VanillaDb::default()
+    }
+
+    /// Creates a table with an implicit auto-increment `id` column
+    /// (prepended), mirroring Django models.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn create_table(&mut self, name: &str, user_columns: Vec<ColumnDef>) -> DbResult<()> {
+        let mut cols = vec![ColumnDef::new("id", ColumnType::Int).auto_increment()];
+        cols.extend(user_columns);
+        self.db.create_table(name, Schema::new(cols))?;
+        self.db.table_mut(name)?.create_index("id")?;
+        Ok(())
+    }
+
+    /// Declares a hash index on a column (Django indexes foreign keys
+    /// by default).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn create_index(&mut self, table: &str, column: &str) -> DbResult<()> {
+        self.db.table_mut(table)?.create_index(column)
+    }
+
+    /// Inserts a row (without the `id`; it is assigned), returning
+    /// the new id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn insert(&mut self, table: &str, mut row: Row) -> DbResult<i64> {
+        row.insert(0, Value::Null);
+        let pos = self.db.insert(table, row)?;
+        Ok(self.db.table(table)?.rows()[pos][0]
+            .as_int()
+            .expect("auto-increment id"))
+    }
+
+    /// All rows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn all(&mut self, table: &str) -> DbResult<Vec<Row>> {
+        Query::from(table).execute(&mut self.db)
+    }
+
+    /// Rows with `column = value`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn filter_eq(&mut self, table: &str, column: &str, value: Value) -> DbResult<Vec<Row>> {
+        Query::from(table)
+            .filter(Predicate::eq(Operand::col(column), Operand::Lit(value)))
+            .execute(&mut self.db)
+    }
+
+    /// The row with the given id, if any.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn get(&mut self, table: &str, id: i64) -> DbResult<Option<Row>> {
+        Ok(self
+            .filter_eq(table, "id", Value::Int(id))?
+            .into_iter()
+            .next())
+    }
+
+    /// All rows ordered by a column.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn order_by(&mut self, table: &str, column: &str, order: SortOrder) -> DbResult<Vec<Row>> {
+        Query::from(table).order_by(column, order).execute(&mut self.db)
+    }
+
+    /// Updates columns of the row with the given id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn update(
+        &mut self,
+        table: &str,
+        id: i64,
+        assignments: &[(String, Value)],
+    ) -> DbResult<usize> {
+        self.db.update(
+            table,
+            &Predicate::eq(Operand::col("id"), Operand::lit(id)),
+            assignments,
+        )
+    }
+
+    /// Deletes the row with the given id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn delete(&mut self, table: &str, id: i64) -> DbResult<usize> {
+        self.db
+            .delete(table, &Predicate::eq(Operand::col("id"), Operand::lit(id)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> VanillaDb {
+        let mut v = VanillaDb::new();
+        v.create_table("user", vec![ColumnDef::new("name", ColumnType::Str)])
+            .unwrap();
+        v
+    }
+
+    #[test]
+    fn insert_assigns_sequential_ids() {
+        let mut v = db();
+        assert_eq!(v.insert("user", vec![Value::from("a")]).unwrap(), 1);
+        assert_eq!(v.insert("user", vec![Value::from("b")]).unwrap(), 2);
+    }
+
+    #[test]
+    fn get_and_filter() {
+        let mut v = db();
+        let id = v.insert("user", vec![Value::from("a")]).unwrap();
+        assert_eq!(v.get("user", id).unwrap().unwrap()[1], Value::from("a"));
+        assert!(v.get("user", 99).unwrap().is_none());
+        assert_eq!(v.filter_eq("user", "name", Value::from("a")).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn update_and_delete() {
+        let mut v = db();
+        let id = v.insert("user", vec![Value::from("a")]).unwrap();
+        v.update("user", id, &[("name".to_owned(), Value::from("z"))]).unwrap();
+        assert_eq!(v.get("user", id).unwrap().unwrap()[1], Value::from("z"));
+        assert_eq!(v.delete("user", id).unwrap(), 1);
+        assert!(v.get("user", id).unwrap().is_none());
+    }
+
+    #[test]
+    fn order_by_sorts() {
+        let mut v = db();
+        for n in ["c", "a", "b"] {
+            v.insert("user", vec![Value::from(n)]).unwrap();
+        }
+        let rows = v.order_by("user", "name", SortOrder::Asc).unwrap();
+        let names: Vec<&str> = rows.iter().map(|r| r[1].as_str().unwrap()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+}

@@ -1,0 +1,369 @@
+//! Faceted collections: guarded row sets.
+//!
+//! The paper deliberately does *not* represent a faceted table as
+//! `⟨k ? table T₁ : table T₂⟩` (it would duplicate large tables).
+//! Instead a table is a sequence of rows `(B, s)` where the branch set
+//! `B` says who can see the row (§4.2). [`FacetedList`] is that
+//! representation, generic over the row type, together with the table
+//! variant of the `⟨⟨k ? T_H : T_L⟩⟩` join operator including the
+//! shared-row optimization.
+
+use std::fmt;
+
+use crate::branch::{Branch, Branches};
+use crate::label::Label;
+use crate::view::View;
+
+/// A faceted collection: rows guarded by branch sets.
+///
+/// This is simultaneously the runtime representation of a faceted
+/// database table and of a faceted query result (a "faceted list").
+///
+/// # Examples
+///
+/// ```
+/// use faceted::{Branch, Branches, FacetedList, Label, View};
+///
+/// let k = Label::from_index(0);
+/// let mut t = FacetedList::new();
+/// t.push(Branches::new().with(Branch::pos(k)), "secret row");
+/// t.push(Branches::new(), "public row");
+/// assert_eq!(t.project(&View::empty()), vec![&"public row"]);
+/// assert_eq!(t.project(&View::from_labels([k])).len(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct FacetedList<T> {
+    rows: Vec<(Branches, T)>,
+}
+
+// Manual impl: `derive(Default)` would wrongly require `T: Default`.
+impl<T> Default for FacetedList<T> {
+    fn default() -> FacetedList<T> {
+        FacetedList { rows: Vec::new() }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for FacetedList<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list()
+            .entries(self.rows.iter().map(|(b, r)| (b, r)))
+            .finish()
+    }
+}
+
+impl<T> FacetedList<T> {
+    /// Creates an empty collection.
+    #[must_use]
+    pub fn new() -> FacetedList<T> {
+        FacetedList { rows: Vec::new() }
+    }
+
+    /// Creates a collection of unguarded (public) rows.
+    pub fn from_public<I: IntoIterator<Item = T>>(rows: I) -> FacetedList<T> {
+        FacetedList {
+            rows: rows.into_iter().map(|r| (Branches::new(), r)).collect(),
+        }
+    }
+
+    /// Appends a guarded row.
+    pub fn push(&mut self, guard: Branches, row: T) {
+        self.rows.push((guard, row));
+    }
+
+    /// Number of physical rows (across all facets).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the collection stores no rows at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterates over `(guard, row)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Branches, &T)> {
+        self.rows.iter().map(|(b, r)| (b, r))
+    }
+
+    /// Consumes the collection, yielding its `(guard, row)` pairs.
+    pub fn into_rows(self) -> Vec<(Branches, T)> {
+        self.rows
+    }
+
+    /// The rows visible to view `L` — the paper's
+    /// `L(table T) = {(∅, s) | (B, s) ∈ T, B ∼ L}`.
+    #[must_use]
+    pub fn project(&self, view: &View) -> Vec<&T> {
+        self.rows
+            .iter()
+            .filter(|(b, _)| b.visible_to(view))
+            .map(|(_, r)| r)
+            .collect()
+    }
+
+    /// Early Pruning (`F-PRUNE`, §4.4): keeps only rows whose guard is
+    /// consistent with the program counter `pc`.
+    #[must_use]
+    pub fn prune(&self, pc: &Branches) -> FacetedList<T>
+    where
+        T: Clone,
+    {
+        FacetedList {
+            rows: self
+                .rows
+                .iter()
+                .filter(|(b, _)| b.consistent_with(pc))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Every label mentioned by any row guard.
+    #[must_use]
+    pub fn labels(&self) -> Vec<Label> {
+        let mut out: Vec<Label> = self
+            .rows
+            .iter()
+            .flat_map(|(b, _)| b.labels().collect::<Vec<_>>())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Maps the row type, keeping guards.
+    #[must_use]
+    pub fn map_rows<U>(&self, mut f: impl FnMut(&T) -> U) -> FacetedList<U> {
+        FacetedList {
+            rows: self.rows.iter().map(|(b, r)| (b.clone(), f(r))).collect(),
+        }
+    }
+
+    /// Filters physical rows by a predicate on the row payload,
+    /// keeping guards (faceted `WHERE`: because secret and public
+    /// facets are separate rows, plain filtering is already
+    /// flow-correct — §3.1.1).
+    #[must_use]
+    pub fn filter_rows(&self, mut pred: impl FnMut(&T) -> bool) -> FacetedList<T>
+    where
+        T: Clone,
+    {
+        FacetedList {
+            rows: self
+                .rows
+                .iter()
+                .filter(|(_, r)| pred(r))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Appends another collection (the `F-UNION` rule: plain
+    /// concatenation of guarded rows).
+    pub fn extend_from(&mut self, other: FacetedList<T>) {
+        self.rows.extend(other.rows);
+    }
+}
+
+impl<T: Clone + Ord> FacetedList<T> {
+    /// The table variant of `⟨⟨k ? T_H : T_L⟩⟩` (§4.2), with the
+    /// shared-row optimization:
+    ///
+    /// * rows present in both sides are stored once, unguarded by `k`;
+    /// * rows only in the high side gain branch `k` (unless they
+    ///   already carry `¬k`, in which case no view could see them);
+    /// * rows only in the low side gain `¬k` symmetrically.
+    #[must_use]
+    pub fn facet_join(label: Label, high: &FacetedList<T>, low: &FacetedList<T>) -> FacetedList<T> {
+        // Multiset intersection by sort-merge over (guard, row) pairs.
+        let mut hi: Vec<(Branches, T)> = high.rows.clone();
+        let mut lo: Vec<(Branches, T)> = low.rows.clone();
+        hi.sort();
+        lo.sort();
+        let mut shared: Vec<(Branches, T)> = Vec::new();
+        let mut only_high: Vec<(Branches, T)> = Vec::new();
+        let mut only_low: Vec<(Branches, T)> = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < hi.len() && j < lo.len() {
+            match hi[i].cmp(&lo[j]) {
+                std::cmp::Ordering::Equal => {
+                    shared.push(hi[i].clone());
+                    i += 1;
+                    j += 1;
+                }
+                std::cmp::Ordering::Less => {
+                    only_high.push(hi[i].clone());
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    only_low.push(lo[j].clone());
+                    j += 1;
+                }
+            }
+        }
+        only_high.extend_from_slice(&hi[i..]);
+        only_low.extend_from_slice(&lo[j..]);
+
+        let mut rows = shared;
+        for (b, r) in only_high {
+            if !b.contains(Branch::neg(label)) {
+                rows.push((b.with(Branch::pos(label)), r));
+            }
+        }
+        for (b, r) in only_low {
+            if !b.contains(Branch::pos(label)) {
+                rows.push((b.with(Branch::neg(label)), r));
+            }
+        }
+        FacetedList { rows }
+    }
+
+    /// N-ary `⟨⟨B ? T_H : T_L⟩⟩`, folding [`FacetedList::facet_join`]
+    /// over the branch set exactly as the scalar operator does.
+    #[must_use]
+    pub fn facet_join_branches(
+        branches: &Branches,
+        high: &FacetedList<T>,
+        low: &FacetedList<T>,
+    ) -> FacetedList<T> {
+        let bs: Vec<Branch> = branches.iter().collect();
+        let mut acc = high.clone();
+        for b in bs.into_iter().rev() {
+            acc = if b.is_positive() {
+                FacetedList::facet_join(b.label(), &acc, low)
+            } else {
+                FacetedList::facet_join(b.label(), low, &acc)
+            };
+        }
+        acc
+    }
+}
+
+impl<T> FromIterator<(Branches, T)> for FacetedList<T> {
+    fn from_iter<I: IntoIterator<Item = (Branches, T)>>(iter: I) -> FacetedList<T> {
+        FacetedList {
+            rows: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<T> IntoIterator for FacetedList<T> {
+    type Item = (Branches, T);
+    type IntoIter = std::vec::IntoIter<(Branches, T)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.rows.into_iter()
+    }
+}
+
+impl<T> Extend<(Branches, T)> for FacetedList<T> {
+    fn extend<I: IntoIterator<Item = (Branches, T)>>(&mut self, iter: I) {
+        self.rows.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(i: u32) -> Label {
+        Label::from_index(i)
+    }
+
+    fn guarded(b: &[Branch], row: &str) -> (Branches, String) {
+        (Branches::from_iter(b.iter().copied()), row.to_owned())
+    }
+
+    #[test]
+    fn paper_example_alice_bob() {
+        // ⟨k ? row "Alice" "Smith" : row "Bob" "Jones"⟩ becomes
+        //   ({k}, Alice Smith) ; ({¬k}, Bob Jones)
+        let high = FacetedList::from_public(["Alice Smith".to_owned()]);
+        let low = FacetedList::from_public(["Bob Jones".to_owned()]);
+        let t = FacetedList::facet_join(k(0), &high, &low);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.project(&View::from_labels([k(0)])), vec!["Alice Smith"]);
+        assert_eq!(t.project(&View::empty()), vec!["Bob Jones"]);
+    }
+
+    #[test]
+    fn shared_rows_are_not_duplicated() {
+        let common = guarded(&[], "common");
+        let high: FacetedList<String> =
+            [common.clone(), guarded(&[], "secret")].into_iter().collect();
+        let low: FacetedList<String> = [common].into_iter().collect();
+        let t = FacetedList::facet_join(k(0), &high, &low);
+        // "common" kept once unguarded, "secret" guarded by k.
+        assert_eq!(t.len(), 2);
+        let public = t.project(&View::empty());
+        assert_eq!(public, vec!["common"]);
+        let mut secret = t.project(&View::from_labels([k(0)]));
+        secret.sort();
+        assert_eq!(secret, vec!["common", "secret"]);
+    }
+
+    #[test]
+    fn contradictory_rows_are_dropped_by_join() {
+        // A high-side row already carrying ¬k can never be seen on the
+        // high side; the paper's definition omits it.
+        let high: FacetedList<String> =
+            [guarded(&[Branch::neg(k(0))], "ghost")].into_iter().collect();
+        let t = FacetedList::facet_join(k(0), &high, &FacetedList::new());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn facet_join_branches_multi() {
+        let high = FacetedList::from_public(["secret".to_owned()]);
+        let low = FacetedList::from_public(["public".to_owned()]);
+        let b = Branches::from_iter([Branch::pos(k(0)), Branch::neg(k(1))]);
+        let t = FacetedList::facet_join_branches(&b, &high, &low);
+        assert_eq!(t.project(&View::from_labels([k(0)])), vec!["secret"]);
+        assert_eq!(t.project(&View::from_labels([k(0), k(1)])), vec!["public"]);
+        assert_eq!(t.project(&View::empty()), vec!["public"]);
+    }
+
+    #[test]
+    fn prune_keeps_consistent_rows() {
+        let t: FacetedList<String> = [
+            guarded(&[Branch::pos(k(0))], "high"),
+            guarded(&[Branch::neg(k(0))], "low"),
+            guarded(&[], "both"),
+        ]
+        .into_iter()
+        .collect();
+        let pc = Branches::new().with(Branch::pos(k(0)));
+        let pruned = t.prune(&pc);
+        assert_eq!(pruned.len(), 2);
+        let mut rows = pruned.project(&View::from_labels([k(0)]));
+        rows.sort();
+        assert_eq!(rows, vec!["both", "high"]);
+    }
+
+    #[test]
+    fn filter_preserves_guards() {
+        let t: FacetedList<i32> = [
+            (Branches::new().with(Branch::pos(k(0))), 10),
+            (Branches::new().with(Branch::neg(k(0))), 5),
+        ]
+        .into_iter()
+        .collect();
+        let big = t.filter_rows(|v| *v > 7);
+        assert_eq!(big.len(), 1);
+        assert!(big.project(&View::empty()).is_empty());
+        assert_eq!(big.project(&View::from_labels([k(0)])), vec![&10]);
+    }
+
+    #[test]
+    fn labels_collects_all_guards() {
+        let t: FacetedList<String> = [
+            guarded(&[Branch::pos(k(2))], "a"),
+            guarded(&[Branch::neg(k(1))], "b"),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(t.labels(), vec![k(1), k(2)]);
+    }
+}

@@ -1,0 +1,60 @@
+//! Faceted values for precise, dynamic information flow control.
+//!
+//! This crate is the foundation of a Rust reproduction of
+//! *Precise, Dynamic Information Flow for Database-Backed Applications*
+//! (Yang, Hance, Austin, Solar-Lezama, Flanagan, Chong — PLDI 2016).
+//! A *faceted value* `⟨k ? v_H : v_L⟩` behaves as the secret facet
+//! `v_H` for observers authorized to see label `k` and as the public
+//! facet `v_L` for everyone else; faceted *execution* propagates labels
+//! through every derived value so that outputs can be resolved per
+//! observer at a computation sink.
+//!
+//! The crate provides:
+//!
+//! * [`Label`] / [`LabelRegistry`] — interned policy labels;
+//! * [`Branch`] / [`Branches`] — `k` / `¬k` literals and branch sets,
+//!   used as program counters and row guards;
+//! * [`View`] — the set of labels an observer may see;
+//! * [`Faceted`] — canonical faceted-value trees with the
+//!   `⟨⟨k ? · : ·⟩⟩` constructor, projection, and the strict-context
+//!   combinators (`map`, `zip_with`, `and_then`);
+//! * [`FacetedList`] — the guarded-row representation of faceted
+//!   tables, with the shared-row `⟨⟨·⟩⟩` table join and Early Pruning.
+//!
+//! # Quick example
+//!
+//! ```
+//! use faceted::{Faceted, LabelRegistry, View};
+//!
+//! let mut labels = LabelRegistry::new();
+//! let k = labels.fresh("party_name");
+//!
+//! // ⟨k ? "Carol's surprise party" : "Private event"⟩
+//! let name = Faceted::split(
+//!     k,
+//!     Faceted::leaf("Carol's surprise party".to_owned()),
+//!     Faceted::leaf("Private event".to_owned()),
+//! );
+//!
+//! // Derived values keep the label (faceted execution).
+//! let banner = name.map(&mut |n| format!("Alice's events: {n}"));
+//!
+//! let guest = View::from_labels([k]);
+//! assert_eq!(banner.project(&guest), "Alice's events: Carol's surprise party");
+//! assert_eq!(banner.project(&View::empty()), "Alice's events: Private event");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod branch;
+mod collection;
+mod label;
+mod value;
+mod view;
+
+pub use branch::{Branch, Branches};
+pub use collection::FacetedList;
+pub use label::{Label, LabelRegistry};
+pub use value::Faceted;
+pub use view::View;

@@ -1,0 +1,537 @@
+//! Faceted values: the runtime representation of sensitive data.
+//!
+//! A [`Faceted<T>`] is the paper's `⟨k ? v_high : v_low⟩`, generalized
+//! to nested facets. Values are kept in a *canonical* binary-decision
+//! tree form: label ids strictly increase along every root-to-leaf path
+//! and no node has equal children. Canonical form makes structural
+//! equality coincide with semantic equality ("same value under every
+//! view"), which the tests and the FORM rely on.
+
+use std::fmt;
+use std::rc::Rc;
+
+use crate::branch::{Branch, Branches};
+use crate::label::Label;
+use crate::view::View;
+
+/// A faceted value: either a plain leaf or a split `⟨k ? high : low⟩`.
+///
+/// Cloning is O(1) (the tree is shared behind [`Rc`]); all operations
+/// produce new trees. Construction through [`Faceted::leaf`] and
+/// [`Faceted::split`] maintains canonical form.
+///
+/// # Examples
+///
+/// ```
+/// use faceted::{Faceted, Label, View};
+///
+/// let k = Label::from_index(0);
+/// let name = Faceted::split(k, Faceted::leaf("Carol's party"), Faceted::leaf("Private event"));
+/// let guest = View::from_labels([k]);
+/// assert_eq!(name.project(&guest), &"Carol's party");
+/// assert_eq!(name.project(&View::empty()), &"Private event");
+/// ```
+pub struct Faceted<T>(Rc<Node<T>>);
+
+enum Node<T> {
+    Leaf(T),
+    Split {
+        label: Label,
+        high: Faceted<T>,
+        low: Faceted<T>,
+    },
+}
+
+impl<T> Clone for Faceted<T> {
+    fn clone(&self) -> Faceted<T> {
+        Faceted(Rc::clone(&self.0))
+    }
+}
+
+impl<T: PartialEq> PartialEq for Faceted<T> {
+    fn eq(&self, other: &Faceted<T>) -> bool {
+        if Rc::ptr_eq(&self.0, &other.0) {
+            return true;
+        }
+        match (&*self.0, &*other.0) {
+            (Node::Leaf(a), Node::Leaf(b)) => a == b,
+            (
+                Node::Split { label: la, high: ha, low: wa },
+                Node::Split { label: lb, high: hb, low: wb },
+            ) => la == lb && ha == hb && wa == wb,
+            _ => false,
+        }
+    }
+}
+
+impl<T: Eq> Eq for Faceted<T> {}
+
+impl<T: fmt::Debug> fmt::Debug for Faceted<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &*self.0 {
+            Node::Leaf(v) => write!(f, "{v:?}"),
+            Node::Split { label, high, low } => {
+                write!(f, "⟨{label:?} ? {high:?} : {low:?}⟩")
+            }
+        }
+    }
+}
+
+impl<T> From<T> for Faceted<T> {
+    fn from(value: T) -> Faceted<T> {
+        Faceted::leaf(value)
+    }
+}
+
+impl<T> Faceted<T> {
+    /// Wraps a plain value as a faceted leaf.
+    #[must_use]
+    pub fn leaf(value: T) -> Faceted<T> {
+        Faceted(Rc::new(Node::Leaf(value)))
+    }
+
+    /// If this value is a plain (non-faceted) leaf, returns it.
+    #[must_use]
+    pub fn as_leaf(&self) -> Option<&T> {
+        match &*self.0 {
+            Node::Leaf(v) => Some(v),
+            Node::Split { .. } => None,
+        }
+    }
+
+    /// Whether the value carries no facets at all.
+    #[must_use]
+    pub fn is_leaf(&self) -> bool {
+        self.as_leaf().is_some()
+    }
+
+    /// The root label, if the value is split.
+    #[must_use]
+    pub fn root_label(&self) -> Option<Label> {
+        match &*self.0 {
+            Node::Leaf(_) => None,
+            Node::Split { label, .. } => Some(*label),
+        }
+    }
+
+    /// Projects the value under view `L`: the paper's `L(V)`.
+    ///
+    /// Walks the tree choosing the high facet when `L` sees the label
+    /// and the low facet otherwise.
+    #[must_use]
+    pub fn project(&self, view: &View) -> &T {
+        let mut cur = self;
+        loop {
+            match &*cur.0 {
+                Node::Leaf(v) => return v,
+                Node::Split { label, high, low } => {
+                    cur = if view.sees(*label) { high } else { low };
+                }
+            }
+        }
+    }
+
+    /// Collects every label occurring in the tree, in id order.
+    #[must_use]
+    pub fn labels(&self) -> Vec<Label> {
+        fn walk<T>(n: &Faceted<T>, out: &mut Vec<Label>) {
+            if let Node::Split { label, high, low } = &*n.0 {
+                out.push(*label);
+                walk(high, out);
+                walk(low, out);
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Iterates over `(guard, leaf)` pairs: every leaf together with
+    /// the branch set describing which views reach it.
+    #[must_use]
+    pub fn leaves(&self) -> Vec<(Branches, &T)> {
+        fn walk<'a, T>(n: &'a Faceted<T>, pc: &Branches, out: &mut Vec<(Branches, &'a T)>) {
+            match &*n.0 {
+                Node::Leaf(v) => out.push((pc.clone(), v)),
+                Node::Split { label, high, low } => {
+                    walk(high, &pc.with(Branch::pos(*label)), out);
+                    walk(low, &pc.with(Branch::neg(*label)), out);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &Branches::new(), &mut out);
+        out
+    }
+
+    /// Number of leaves (the "facet blowup" measure used by the Early
+    /// Pruning experiments).
+    #[must_use]
+    pub fn leaf_count(&self) -> usize {
+        match &*self.0 {
+            Node::Leaf(_) => 1,
+            Node::Split { high, low, .. } => high.leaf_count() + low.leaf_count(),
+        }
+    }
+}
+
+impl<T: Clone + PartialEq> Faceted<T> {
+    /// The canonical facet constructor `⟨⟨k ? high : low⟩⟩` (§4.2).
+    ///
+    /// Partially evaluates both sides under the assumption `k = true`
+    /// (resp. `false`), merges identical results, and keeps label order
+    /// canonical — so `⟨k ? v : v⟩` collapses to `v` and a label never
+    /// guards itself twice along a path.
+    #[must_use]
+    pub fn split(label: Label, high: Faceted<T>, low: Faceted<T>) -> Faceted<T> {
+        let high = high.assume(label, true);
+        let low = low.assume(label, false);
+        Faceted::ite(label, &high, &low)
+    }
+
+    /// Internal: builds `if label then high else low` assuming `label`
+    /// no longer occurs in either argument, restoring canonical label
+    /// order by BDD-style merging.
+    fn ite(label: Label, high: &Faceted<T>, low: &Faceted<T>) -> Faceted<T> {
+        if high == low {
+            return high.clone();
+        }
+        // Find the smallest label that must sit at the root.
+        let mut top = label;
+        if let Some(l) = high.root_label() {
+            top = top.min(l);
+        }
+        if let Some(l) = low.root_label() {
+            top = top.min(l);
+        }
+        if top == label {
+            return Faceted(Rc::new(Node::Split {
+                label,
+                high: high.clone(),
+                low: low.clone(),
+            }));
+        }
+        let h = Faceted::ite(label, &high.cofactor(top, true), &low.cofactor(top, true));
+        let l = Faceted::ite(label, &high.cofactor(top, false), &low.cofactor(top, false));
+        Faceted::mk(top, h, l)
+    }
+
+    /// Internal: node constructor that merges equal children. Children
+    /// must already be free of `label` and canonically ordered below it.
+    fn mk(label: Label, high: Faceted<T>, low: Faceted<T>) -> Faceted<T> {
+        if high == low {
+            high
+        } else {
+            Faceted(Rc::new(Node::Split { label, high, low }))
+        }
+    }
+
+    /// Internal: the subtree reached when `label` takes `polarity`,
+    /// *if* `label` is at the root; otherwise the tree itself (which
+    /// then cannot mention `label` above any occurrence — only valid
+    /// when `label ≤` every root label, as in canonical recursion).
+    fn cofactor(&self, label: Label, polarity: bool) -> Faceted<T> {
+        match &*self.0 {
+            Node::Split { label: l, high, low } if *l == label => {
+                if polarity { high.clone() } else { low.clone() }
+            }
+            _ => self.clone(),
+        }
+    }
+
+    /// Partially evaluates the tree under the assumption
+    /// `label = polarity`, removing every decision on `label`.
+    #[must_use]
+    pub fn assume(&self, label: Label, polarity: bool) -> Faceted<T> {
+        match &*self.0 {
+            Node::Leaf(_) => self.clone(),
+            Node::Split { label: l, high, low } => {
+                if *l == label {
+                    if polarity { high.assume(label, polarity) } else { low.assume(label, polarity) }
+                } else {
+                    let h = high.assume(label, polarity);
+                    let w = low.assume(label, polarity);
+                    if &h == high && &w == low {
+                        self.clone()
+                    } else {
+                        Faceted::mk(*l, h, w)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Partially evaluates under every branch in `pc` (used when a
+    /// value flows into a context already guarded by `pc`).
+    #[must_use]
+    pub fn assume_all(&self, pc: &Branches) -> Faceted<T> {
+        let mut cur = self.clone();
+        for b in pc.iter() {
+            cur = cur.assume(b.label(), b.is_positive());
+        }
+        cur
+    }
+
+    /// The n-ary facet constructor `⟨⟨B ? v_high : v_low⟩⟩` over a set
+    /// of branches (§4.2): observers satisfying every branch of `B` see
+    /// `high`, all others see `low`.
+    #[must_use]
+    pub fn split_branches(branches: &Branches, high: Faceted<T>, low: Faceted<T>) -> Faceted<T> {
+        // ⟨⟨∅ ? H : L⟩⟩ = H;
+        // ⟨⟨{k}∪B ? H : L⟩⟩  = ⟨⟨k ? ⟨⟨B ? H : L⟩⟩ : L⟩⟩
+        // ⟨⟨{¬k}∪B ? H : L⟩⟩ = ⟨⟨k ? L : ⟨⟨B ? H : L⟩⟩⟩⟩
+        let mut acc = high;
+        for b in branches.iter().collect::<Vec<_>>().into_iter().rev() {
+            acc = if b.is_positive() {
+                Faceted::split(b.label(), acc, low.clone())
+            } else {
+                Faceted::split(b.label(), low.clone(), acc)
+            };
+        }
+        acc
+    }
+
+    /// Applies a function to every leaf, preserving facet structure
+    /// (the `F-STRICT` rule for unary operators).
+    #[must_use]
+    pub fn map<U: Clone + PartialEq>(&self, f: &mut impl FnMut(&T) -> U) -> Faceted<U> {
+        match &*self.0 {
+            Node::Leaf(v) => Faceted::leaf(f(v)),
+            Node::Split { label, high, low } => {
+                let h = high.map(f);
+                let l = low.map(f);
+                Faceted::mk(*label, h, l)
+            }
+        }
+    }
+
+    /// Applies a binary function across two faceted values, aligning
+    /// their facets (the `F-STRICT` rule for binary operators, e.g.
+    /// `⟨k ? 1 : 2⟩ + ⟨l ? 10 : 20⟩`).
+    #[must_use]
+    pub fn zip_with<U: Clone + PartialEq, V: Clone + PartialEq>(
+        &self,
+        other: &Faceted<U>,
+        f: &mut impl FnMut(&T, &U) -> V,
+    ) -> Faceted<V> {
+        match (&*self.0, &*other.0) {
+            (Node::Leaf(a), Node::Leaf(b)) => Faceted::leaf(f(a, b)),
+            _ => {
+                let la = self.root_label();
+                let lb = other.root_label();
+                let top = match (la, lb) {
+                    (Some(a), Some(b)) => a.min(b),
+                    (Some(a), None) => a,
+                    (None, Some(b)) => b,
+                    (None, None) => unreachable!("both leaves handled above"),
+                };
+                let h = self
+                    .cofactor_any(top, true)
+                    .zip_with(&other.cofactor_any(top, true), f);
+                let l = self
+                    .cofactor_any(top, false)
+                    .zip_with(&other.cofactor_any(top, false), f);
+                Faceted::mk(top, h, l)
+            }
+        }
+    }
+
+    /// Like `cofactor` but usable on values of any leaf type pair in
+    /// `zip_with` recursion (identical semantics).
+    fn cofactor_any(&self, label: Label, polarity: bool) -> Faceted<T> {
+        self.cofactor(label, polarity)
+    }
+
+    /// Monadic bind: substitutes a faceted computation for every leaf
+    /// and re-canonicalizes (used for faceted function application
+    /// where the function itself returns faceted results).
+    #[must_use]
+    pub fn and_then<U: Clone + PartialEq>(&self, f: &mut impl FnMut(&T) -> Faceted<U>) -> Faceted<U> {
+        match &*self.0 {
+            Node::Leaf(v) => f(v),
+            Node::Split { label, high, low } => {
+                let h = high.and_then(f);
+                let l = low.and_then(f);
+                Faceted::split(*label, h, l)
+            }
+        }
+    }
+
+    /// Projects under a *partial* assignment of labels: labels the
+    /// assignment does not mention keep their facet structure.
+    #[must_use]
+    pub fn project_partial(&self, assignment: &Branches) -> Faceted<T> {
+        self.assume_all(assignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(i: u32) -> Label {
+        Label::from_index(i)
+    }
+
+    #[test]
+    fn leaf_projects_to_itself() {
+        let v = Faceted::leaf(42);
+        assert_eq!(*v.project(&View::empty()), 42);
+        assert!(v.is_leaf());
+    }
+
+    #[test]
+    fn split_projects_by_view() {
+        let v = Faceted::split(k(0), Faceted::leaf(1), Faceted::leaf(2));
+        assert_eq!(*v.project(&View::from_labels([k(0)])), 1);
+        assert_eq!(*v.project(&View::empty()), 2);
+    }
+
+    #[test]
+    fn equal_facets_collapse() {
+        let v = Faceted::split(k(0), Faceted::leaf(7), Faceted::leaf(7));
+        assert!(v.is_leaf());
+        assert_eq!(v, Faceted::leaf(7));
+    }
+
+    #[test]
+    fn nested_same_label_resolves() {
+        // ⟨k ? ⟨k ? 1 : 2⟩ : 3⟩ ≡ ⟨k ? 1 : 3⟩
+        let inner = Faceted::split(k(0), Faceted::leaf(1), Faceted::leaf(2));
+        let v = Faceted::split(k(0), inner, Faceted::leaf(3));
+        assert_eq!(v, Faceted::split(k(0), Faceted::leaf(1), Faceted::leaf(3)));
+    }
+
+    #[test]
+    fn split_restores_label_order() {
+        // Building ⟨k1 ? ... ⟩ under k0-children must keep k0 at the root.
+        let a = Faceted::split(k(0), Faceted::leaf(1), Faceted::leaf(2));
+        let b = Faceted::split(k(0), Faceted::leaf(3), Faceted::leaf(4));
+        let v = Faceted::split(k(1), a, b);
+        assert_eq!(v.root_label(), Some(k(0)));
+        // Check all four views agree with the naive semantics.
+        for (sees0, sees1, expect) in [
+            (true, true, 1),
+            (true, false, 3),
+            (false, true, 2),
+            (false, false, 4),
+        ] {
+            let mut view = View::empty();
+            if sees0 {
+                view.insert(k(0));
+            }
+            if sees1 {
+                view.insert(k(1));
+            }
+            assert_eq!(*v.project(&view), expect);
+        }
+    }
+
+    #[test]
+    fn map_preserves_structure_and_merges() {
+        let v = Faceted::split(k(0), Faceted::leaf(1), Faceted::leaf(2));
+        let doubled = v.map(&mut |x| x * 2);
+        assert_eq!(*doubled.project(&View::from_labels([k(0)])), 2);
+        assert_eq!(*doubled.project(&View::empty()), 4);
+        let merged = v.map(&mut |_| 0);
+        assert!(merged.is_leaf());
+    }
+
+    #[test]
+    fn zip_with_aligns_facets() {
+        let a = Faceted::split(k(0), Faceted::leaf(1), Faceted::leaf(2));
+        let b = Faceted::split(k(1), Faceted::leaf(10), Faceted::leaf(20));
+        let sum = a.zip_with(&b, &mut |x, y| x + y);
+        for (s0, s1, expect) in [
+            (true, true, 11),
+            (true, false, 21),
+            (false, true, 12),
+            (false, false, 22),
+        ] {
+            let mut view = View::empty();
+            if s0 {
+                view.insert(k(0));
+            }
+            if s1 {
+                view.insert(k(1));
+            }
+            assert_eq!(*sum.project(&view), expect, "view ({s0},{s1})");
+        }
+    }
+
+    #[test]
+    fn zip_with_same_label_stays_linear() {
+        let a = Faceted::split(k(0), Faceted::leaf(1), Faceted::leaf(2));
+        let b = Faceted::split(k(0), Faceted::leaf(10), Faceted::leaf(20));
+        let sum = a.zip_with(&b, &mut |x, y| x + y);
+        assert_eq!(sum, Faceted::split(k(0), Faceted::leaf(11), Faceted::leaf(22)));
+        assert_eq!(sum.leaf_count(), 2);
+    }
+
+    #[test]
+    fn assume_eliminates_label() {
+        let v = Faceted::split(k(0), Faceted::leaf(1), Faceted::leaf(2));
+        assert_eq!(v.assume(k(0), true), Faceted::leaf(1));
+        assert_eq!(v.assume(k(0), false), Faceted::leaf(2));
+        assert_eq!(v.assume(k(5), true), v);
+    }
+
+    #[test]
+    fn split_branches_positive_and_negative() {
+        let b = Branches::from_iter([Branch::pos(k(0)), Branch::neg(k(1))]);
+        let v = Faceted::split_branches(&b, Faceted::leaf(1), Faceted::leaf(0));
+        // Visible only when k0 ∈ L and k1 ∉ L.
+        assert_eq!(*v.project(&View::from_labels([k(0)])), 1);
+        assert_eq!(*v.project(&View::from_labels([k(0), k(1)])), 0);
+        assert_eq!(*v.project(&View::empty()), 0);
+        assert_eq!(*v.project(&View::from_labels([k(1)])), 0);
+    }
+
+    #[test]
+    fn split_branches_empty_is_high() {
+        let v = Faceted::split_branches(&Branches::new(), Faceted::leaf(1), Faceted::leaf(0));
+        assert_eq!(v, Faceted::leaf(1));
+    }
+
+    #[test]
+    fn and_then_grafts_and_canonicalizes() {
+        let v = Faceted::split(k(1), Faceted::leaf(true), Faceted::leaf(false));
+        let w = v.and_then(&mut |b| {
+            if *b {
+                Faceted::split(k(0), Faceted::leaf(1), Faceted::leaf(2))
+            } else {
+                Faceted::leaf(2)
+            }
+        });
+        // Result must be canonically ordered with k0 at the root.
+        assert_eq!(w.root_label(), Some(k(0)));
+        assert_eq!(*w.project(&View::from_labels([k(0), k(1)])), 1);
+        assert_eq!(*w.project(&View::from_labels([k(1)])), 2);
+        assert_eq!(*w.project(&View::empty()), 2);
+    }
+
+    #[test]
+    fn leaves_enumerates_guards() {
+        let v = Faceted::split(k(0), Faceted::leaf(1), Faceted::leaf(2));
+        let leaves = v.leaves();
+        assert_eq!(leaves.len(), 2);
+        assert!(leaves[0].0.contains(Branch::pos(k(0))));
+        assert!(leaves[1].0.contains(Branch::neg(k(0))));
+    }
+
+    #[test]
+    fn labels_are_sorted_and_deduped() {
+        let a = Faceted::split(k(1), Faceted::leaf(1), Faceted::leaf(2));
+        let v = Faceted::split(k(0), a, Faceted::leaf(3));
+        assert_eq!(v.labels(), vec![k(0), k(1)]);
+    }
+
+    #[test]
+    fn identical_children_merge_even_when_faceted() {
+        let a = Faceted::split(k(1), Faceted::leaf(1), Faceted::leaf(2));
+        let v = Faceted::split(k(0), a.clone(), a.clone());
+        assert_eq!(v, a);
+    }
+}

@@ -1,0 +1,128 @@
+//! Views: the observer side of faceted execution.
+//!
+//! A [`View`] `L` is the set of labels an observer is authorized to see
+//! (§4.3: "A view L is a set of principals"). Projection of faceted
+//! values under a view lives on [`crate::Faceted::project`]; row
+//! visibility lives on [`crate::Branches::visible_to`].
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::label::Label;
+
+/// A view `L`: the set of labels visible to some observer.
+///
+/// # Examples
+///
+/// ```
+/// use faceted::{Label, View};
+///
+/// let k = Label::from_index(0);
+/// let alice = View::from_labels([k]);
+/// let bob = View::empty();
+/// assert!(alice.sees(k));
+/// assert!(!bob.sees(k));
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct View(BTreeSet<Label>);
+
+impl View {
+    /// The empty view: sees only public (low-confidentiality) facets.
+    #[must_use]
+    pub fn empty() -> View {
+        View::default()
+    }
+
+    /// Builds a view from the labels it may see.
+    pub fn from_labels<I: IntoIterator<Item = Label>>(labels: I) -> View {
+        View(labels.into_iter().collect())
+    }
+
+    /// Whether this view is authorized for `label`.
+    #[must_use]
+    pub fn sees(&self, label: Label) -> bool {
+        self.0.contains(&label)
+    }
+
+    /// Adds a label to the view (functional update).
+    #[must_use]
+    pub fn with(&self, label: Label) -> View {
+        let mut s = self.0.clone();
+        s.insert(label);
+        View(s)
+    }
+
+    /// Adds a label in place.
+    pub fn insert(&mut self, label: Label) {
+        self.0.insert(label);
+    }
+
+    /// Removes a label in place.
+    pub fn remove(&mut self, label: Label) {
+        self.0.remove(&label);
+    }
+
+    /// Number of visible labels.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the view sees no labels.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterates over the visible labels in order.
+    pub fn iter(&self) -> impl Iterator<Item = Label> + '_ {
+        self.0.iter().copied()
+    }
+}
+
+impl FromIterator<Label> for View {
+    fn from_iter<I: IntoIterator<Item = Label>>(iter: I) -> View {
+        View(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Debug for View {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{{")?;
+        for (i, l) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{l:?}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_view_sees_nothing() {
+        let v = View::empty();
+        assert!(v.is_empty());
+        assert!(!v.sees(Label::from_index(0)));
+    }
+
+    #[test]
+    fn with_is_functional() {
+        let v = View::empty();
+        let w = v.with(Label::from_index(1));
+        assert!(!v.sees(Label::from_index(1)));
+        assert!(w.sees(Label::from_index(1)));
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let v: View = (0..3).map(Label::from_index).collect();
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.iter().count(), 3);
+    }
+}

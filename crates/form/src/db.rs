@@ -1,0 +1,625 @@
+//! The faceted database handle: meta-data management, marshalling,
+//! faceted queries, guarded writes, Early Pruning.
+
+use faceted::{Branches, FacetedList, Label, LabelRegistry};
+use microdb::{
+    ColumnDef, ColumnType, Database, Operand, Predicate, Query, Row, Schema, SortOrder, Value,
+};
+
+use crate::error::{FormError, FormResult};
+use crate::meta::{encode_jvars, parse_jvars, JID, JVARS};
+use crate::object::{flatten_object, rebuild_object, FacetedObject, GuardedRow};
+
+/// A faceted database: a relational engine driven purely through
+/// meta-data columns, per §3 of the paper.
+///
+/// Every logical table gets two extra columns: `jid` (logical object
+/// id, also the target of faceted foreign keys) and `jvars` (the
+/// encoded branch set saying which views see the row). All
+/// marshalling and unmarshalling happens here; the underlying
+/// [`microdb::Database`] stays completely facet-unaware.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), form::FormError> {
+/// use faceted::Faceted;
+/// use form::FormDb;
+/// use microdb::{ColumnDef, ColumnType, Value};
+///
+/// let mut db = FormDb::new();
+/// db.create_table("event", vec![
+///     ColumnDef::new("name", ColumnType::Str),
+/// ])?;
+///
+/// let k = db.fresh_label("event_name");
+/// let name = Faceted::split(
+///     k,
+///     Faceted::leaf(Some(vec![Value::from("Carol's surprise party")])),
+///     Faceted::leaf(Some(vec![Value::from("Private event")])),
+/// );
+/// let jid = db.insert("event", &name)?;
+///
+/// // Two physical rows share the jid (Table 1 of the paper).
+/// assert_eq!(db.physical_rows("event")?, 2);
+/// let obj = db.get("event", jid)?;
+/// assert_eq!(obj.project(&faceted::View::from_labels([k])).as_ref().unwrap()[0],
+///            Value::from("Carol's surprise party"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct FormDb {
+    db: Database,
+    labels: LabelRegistry,
+    /// Per-table next logical id (Django primary keys are per-model).
+    next_jid: std::collections::BTreeMap<String, i64>,
+    /// When set, unmarshalling reconstructs only facets consistent
+    /// with this viewer constraint (Early Pruning, §3.2).
+    pruning: Option<Branches>,
+}
+
+impl FormDb {
+    /// An empty faceted database.
+    #[must_use]
+    pub fn new() -> FormDb {
+        FormDb::default()
+    }
+
+    /// Direct access to the underlying relational engine (for
+    /// baselines and diagnostics; application code should stay on the
+    /// faceted API).
+    pub fn raw(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// Allocates a fresh policy label.
+    pub fn fresh_label(&mut self, name: &str) -> Label {
+        self.labels.fresh(name)
+    }
+
+    /// The label registry.
+    #[must_use]
+    pub fn labels(&self) -> &LabelRegistry {
+        &self.labels
+    }
+
+    /// Enables Early Pruning for a known viewer constraint; queries
+    /// will reconstruct only the consistent facets.
+    pub fn set_pruning(&mut self, constraint: Option<Branches>) {
+        self.pruning = constraint;
+    }
+
+    /// The active pruning constraint, if any.
+    #[must_use]
+    pub fn pruning(&self) -> Option<&Branches> {
+        self.pruning.as_ref()
+    }
+
+    /// Creates a logical table: the user columns plus `jid`/`jvars`
+    /// meta columns, with a hash index on `jid`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`microdb::DbError`] (e.g. duplicate table).
+    pub fn create_table(&mut self, name: &str, user_columns: Vec<ColumnDef>) -> FormResult<()> {
+        let mut cols = user_columns;
+        cols.push(ColumnDef::new(JID, ColumnType::Int));
+        cols.push(ColumnDef::new(JVARS, ColumnType::Str));
+        self.db.create_table(name, Schema::new(cols))?;
+        self.db.table_mut(name)?.create_index(JID)?;
+        Ok(())
+    }
+
+    /// Declares a hash index on a user column (Django indexes foreign
+    /// keys by default; the FORM queries are plain SQL, so they
+    /// benefit like any other query).
+    ///
+    /// # Errors
+    ///
+    /// Propagates table/column lookup errors.
+    pub fn create_index(&mut self, table: &str, column: &str) -> FormResult<()> {
+        self.db.table_mut(table)?.create_index(column)?;
+        Ok(())
+    }
+
+    /// Number of *physical* rows in a table (facets included) — the
+    /// space-overhead metric of §3.3.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table-lookup errors.
+    pub fn physical_rows(&self, table: &str) -> FormResult<usize> {
+        Ok(self.db.table(table)?.len())
+    }
+
+    /// Number of user columns of a logical table.
+    fn user_width(&self, table: &str) -> FormResult<usize> {
+        Ok(self.db.table(table)?.schema().len() - 2)
+    }
+
+    /// Reserves the next logical object id of a table without writing
+    /// anything — used when the object's own `jid` must be visible to
+    /// its policies before insertion.
+    pub fn reserve_jid(&mut self, table: &str) -> i64 {
+        let next = self.next_jid.entry(table.to_owned()).or_insert(1);
+        let jid = *next;
+        *next += 1;
+        jid
+    }
+
+    /// Inserts a faceted object, returning its fresh `jid`. Each
+    /// reachable facet leaf becomes one physical row with the guard
+    /// encoded in `jvars`.
+    ///
+    /// # Errors
+    ///
+    /// Schema-validation errors from the engine.
+    pub fn insert(&mut self, table: &str, object: &FacetedObject) -> FormResult<i64> {
+        let jid = self.reserve_jid(table);
+        self.insert_with_jid(table, jid, object)?;
+        Ok(jid)
+    }
+
+    /// Inserts a faceted object under a pre-reserved `jid`.
+    ///
+    /// # Errors
+    ///
+    /// Schema-validation errors from the engine.
+    pub fn insert_with_jid(
+        &mut self,
+        table: &str,
+        jid: i64,
+        object: &FacetedObject,
+    ) -> FormResult<()> {
+        self.write_rows(table, jid, object)
+    }
+
+    fn write_rows(&mut self, table: &str, jid: i64, object: &FacetedObject) -> FormResult<()> {
+        for (guard, fields) in flatten_object(object) {
+            let mut row: Row = fields;
+            row.push(Value::Int(jid));
+            row.push(Value::Str(encode_jvars(&guard)));
+            self.db.insert(table, row)?;
+        }
+        Ok(())
+    }
+
+    /// Parses one physical row into a [`GuardedRow`].
+    fn decode_row(&self, row: &Row, width: usize) -> FormResult<GuardedRow> {
+        let jid = row[width]
+            .as_int()
+            .ok_or_else(|| FormError::BadJvars("jid is not an integer".into()))?;
+        let jvars = row[width + 1]
+            .as_str()
+            .ok_or_else(|| FormError::BadJvars("jvars is not a string".into()))?;
+        Ok(GuardedRow {
+            jid,
+            guard: parse_jvars(jvars)?,
+            fields: row[..width].to_vec(),
+        })
+    }
+
+    fn apply_pruning(&self, rows: Vec<GuardedRow>) -> Vec<GuardedRow> {
+        match &self.pruning {
+            None => rows,
+            Some(constraint) => rows
+                .into_iter()
+                .filter(|r| r.guard.consistent_with(constraint))
+                .collect(),
+        }
+    }
+
+    /// All guarded rows of a table — the faceted `objects.all()`.
+    ///
+    /// # Errors
+    ///
+    /// Table lookup / decoding errors.
+    pub fn all(&mut self, table: &str) -> FormResult<FacetedList<GuardedRow>> {
+        let width = self.user_width(table)?;
+        let rows = Query::from(table).execute(&mut self.db)?;
+        self.collect_guarded(rows, width)
+    }
+
+    /// Faceted `filter`: issues the WHERE query directly against the
+    /// physical table — because each facet lives in its own row,
+    /// standard relational filtering is already flow-correct (§3.1.1).
+    ///
+    /// # Errors
+    ///
+    /// Table lookup / decoding errors.
+    pub fn filter(
+        &mut self,
+        table: &str,
+        predicate: Predicate,
+    ) -> FormResult<FacetedList<GuardedRow>> {
+        let width = self.user_width(table)?;
+        let rows = Query::from(table).filter(predicate).execute(&mut self.db)?;
+        self.collect_guarded(rows, width)
+    }
+
+    /// Faceted equality filter on one column.
+    ///
+    /// # Errors
+    ///
+    /// Table lookup / decoding errors.
+    pub fn filter_eq(
+        &mut self,
+        table: &str,
+        column: &str,
+        value: Value,
+    ) -> FormResult<FacetedList<GuardedRow>> {
+        self.filter(table, Predicate::eq(Operand::col(column), Operand::Lit(value)))
+    }
+
+    /// Faceted `ORDER BY`: relies on SQL sorting of physical rows —
+    /// secret and public facets sort independently because they are
+    /// separate rows (§3.1.1).
+    ///
+    /// # Errors
+    ///
+    /// Table lookup / decoding errors.
+    pub fn order_by(
+        &mut self,
+        table: &str,
+        column: &str,
+        order: SortOrder,
+    ) -> FormResult<FacetedList<GuardedRow>> {
+        let width = self.user_width(table)?;
+        let rows = Query::from(table)
+            .order_by(column, order)
+            .execute(&mut self.db)?;
+        self.collect_guarded(rows, width)
+    }
+
+    /// Faceted join: `left JOIN right ON left.fk = right.jid`,
+    /// SELECTing both `jvars` columns and unioning the guards — the
+    /// translated query of Table 2. Pairs whose combined guard is
+    /// contradictory are dropped (no view could see them).
+    ///
+    /// Returns `(left_row, right_row)` pairs with the combined guard.
+    ///
+    /// # Errors
+    ///
+    /// Table lookup / decoding errors.
+    pub fn join_on_fk(
+        &mut self,
+        left: &str,
+        fk_column: &str,
+        right: &str,
+    ) -> FormResult<FacetedList<(GuardedRow, GuardedRow)>> {
+        let lwidth = self.user_width(left)?;
+        let rwidth = self.user_width(right)?;
+        let rows = Query::from(left)
+            .join(right, fk_column, JID)
+            .execute(&mut self.db)?;
+        let mut out = FacetedList::new();
+        let lphys = lwidth + 2;
+        for row in rows {
+            let l = self.decode_row(&row[..lphys].to_vec(), lwidth)?;
+            let r = self.decode_row(&row[lphys..].to_vec(), rwidth)?;
+            let guard = l.guard.union(&r.guard);
+            if !guard.is_consistent() {
+                continue;
+            }
+            let (mut l, mut r) = (l, r);
+            l.guard = guard.clone();
+            r.guard = guard.clone();
+            out.push(guard, (l, r));
+        }
+        if let Some(constraint) = &self.pruning {
+            out = out.prune(constraint);
+        }
+        Ok(out)
+    }
+
+    fn collect_guarded(
+        &self,
+        rows: Vec<Row>,
+        width: usize,
+    ) -> FormResult<FacetedList<GuardedRow>> {
+        let mut decoded = Vec::with_capacity(rows.len());
+        for r in &rows {
+            decoded.push(self.decode_row(r, width)?);
+        }
+        let decoded = self.apply_pruning(decoded);
+        Ok(decoded.into_iter().map(|g| (g.guard.clone(), g)).collect())
+    }
+
+    /// Reconstructs one logical object from its physical rows.
+    ///
+    /// # Errors
+    ///
+    /// [`FormError::NoSuchObject`] if no row carries this `jid`;
+    /// [`FormError::FacetConflict`] on ambiguous facets.
+    pub fn get(&mut self, table: &str, jid: i64) -> FormResult<FacetedObject> {
+        let width = self.user_width(table)?;
+        let rows = Query::from(table)
+            .filter(Predicate::eq(Operand::col(JID), Operand::lit(jid)))
+            .execute(&mut self.db)?;
+        if rows.is_empty() {
+            return Err(FormError::NoSuchObject { table: table.to_owned(), jid });
+        }
+        let mut guarded = Vec::with_capacity(rows.len());
+        for r in &rows {
+            let g = self.decode_row(r, width)?;
+            guarded.push((g.guard, g.fields));
+        }
+        let guarded = match &self.pruning {
+            None => guarded,
+            Some(c) => guarded
+                .into_iter()
+                .filter(|(g, _)| g.consistent_with(c))
+                .collect(),
+        };
+        rebuild_object(jid, &guarded)
+    }
+
+    /// Saves an object under a path condition: the paper's guarded
+    /// write (§2.2/§3.1.2). The stored object becomes
+    /// `⟨⟨pc ? new : current⟩⟩`; with an empty `pc` this is a plain
+    /// overwrite.
+    ///
+    /// # Errors
+    ///
+    /// Lookup/decoding errors; a missing object is treated as absent
+    /// (`None` facets) rather than an error, so guarded creation
+    /// works.
+    pub fn save(
+        &mut self,
+        table: &str,
+        jid: i64,
+        new: &FacetedObject,
+        pc: &Branches,
+    ) -> FormResult<()> {
+        let current = match self.get(table, jid) {
+            Ok(cur) => cur,
+            Err(FormError::NoSuchObject { .. }) => faceted::Faceted::leaf(None),
+            Err(e) => return Err(e),
+        };
+        let merged = faceted::Faceted::split_branches(pc, new.clone(), current);
+        self.db.delete(
+            table,
+            &Predicate::eq(Operand::col(JID), Operand::lit(jid)),
+        )?;
+        self.write_rows(table, jid, &merged)
+    }
+
+    /// Deletes an object under a path condition: views satisfying
+    /// `pc` stop seeing it, others keep it (implemented as a guarded
+    /// save of the absent object).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FormDb::save`].
+    pub fn delete(&mut self, table: &str, jid: i64, pc: &Branches) -> FormResult<()> {
+        self.save(table, jid, &faceted::Faceted::leaf(None), pc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faceted::{Branch, Faceted, View};
+
+    fn event_db() -> (FormDb, Label, i64) {
+        let mut db = FormDb::new();
+        db.create_table(
+            "event",
+            vec![
+                ColumnDef::new("name", ColumnType::Str),
+                ColumnDef::new("location", ColumnType::Str),
+            ],
+        )
+        .unwrap();
+        let k = db.fresh_label("event_policy");
+        let obj = Faceted::split(
+            k,
+            Faceted::leaf(Some(vec![
+                Value::from("Carol's surprise party"),
+                Value::from("Schloss Dagstuhl"),
+            ])),
+            Faceted::leaf(Some(vec![
+                Value::from("Private event"),
+                Value::from("Undisclosed location"),
+            ])),
+        );
+        let jid = db.insert("event", &obj).unwrap();
+        (db, k, jid)
+    }
+
+    #[test]
+    fn insert_stores_one_row_per_facet() {
+        let (db, _, _) = event_db();
+        assert_eq!(db.physical_rows("event").unwrap(), 2);
+    }
+
+    #[test]
+    fn get_round_trips_facets() {
+        let (mut db, k, jid) = event_db();
+        let obj = db.get("event", jid).unwrap();
+        let secret = obj.project(&View::from_labels([k])).clone().unwrap();
+        let public = obj.project(&View::empty()).clone().unwrap();
+        assert_eq!(secret[0], Value::from("Carol's surprise party"));
+        assert_eq!(public[1], Value::from("Undisclosed location"));
+    }
+
+    #[test]
+    fn filter_tracks_sensitive_values() {
+        // The §3.1.1 query: only the secret facet matches; the result
+        // is guarded so only authorized viewers see the event.
+        let (mut db, k, _) = event_db();
+        let result = db
+            .filter_eq("event", "location", Value::from("Schloss Dagstuhl"))
+            .unwrap();
+        assert_eq!(result.len(), 1);
+        assert_eq!(result.project(&View::from_labels([k])).len(), 1);
+        assert!(result.project(&View::empty()).is_empty());
+    }
+
+    #[test]
+    fn order_by_sorts_facets_independently() {
+        // §3.1.1: ⟨a?"Charlie":"***"⟩, ⟨b?"Bob":"***"⟩, ⟨c?"Alice":"***"⟩
+        let mut db = FormDb::new();
+        db.create_table("t", vec![ColumnDef::new("f", ColumnType::Str)]).unwrap();
+        let (a, b, c) = (
+            db.fresh_label("a"),
+            db.fresh_label("b"),
+            db.fresh_label("c"),
+        );
+        for (l, name) in [(a, "Charlie"), (b, "Bob"), (c, "Alice")] {
+            let obj = Faceted::split(
+                l,
+                Faceted::leaf(Some(vec![Value::from(name)])),
+                Faceted::leaf(Some(vec![Value::from("***")])),
+            );
+            db.insert("t", &obj).unwrap();
+        }
+        let sorted = db.order_by("t", "f", SortOrder::Asc).unwrap();
+        // View {a, ¬b, c}: sees "Charlie", "***", "Alice" — sorted
+        // as ["***", "Alice", "Charlie"] (the paper's example).
+        let view = View::from_labels([a, c]);
+        let names: Vec<String> = sorted
+            .project(&view)
+            .into_iter()
+            .map(|g| g.fields[0].as_str().unwrap().to_owned())
+            .collect();
+        assert_eq!(names, vec!["***", "Alice", "Charlie"]);
+    }
+
+    #[test]
+    fn join_unions_jvars_from_both_tables() {
+        let (mut db, k, jid) = event_db();
+        db.create_table(
+            "guest",
+            vec![
+                ColumnDef::new("event", ColumnType::Int),
+                ColumnDef::new("name", ColumnType::Str),
+            ],
+        )
+        .unwrap();
+        let g = db.fresh_label("guest_policy");
+        let guest = Faceted::split(
+            g,
+            Faceted::leaf(Some(vec![Value::Int(jid), Value::from("alice")])),
+            Faceted::leaf(None),
+        );
+        db.insert("guest", &guest).unwrap();
+
+        let joined = db.join_on_fk("guest", "event", "event").unwrap();
+        // Pairs: (guest-secret × event-secret), (guest-secret × event-public).
+        assert_eq!(joined.len(), 2);
+        let both = View::from_labels([k, g]);
+        let seen = joined.project(&both);
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0].1.fields[0], Value::from("Carol's surprise party"));
+        // A viewer with only g sees the public event side.
+        let only_g = View::from_labels([g]);
+        let seen = joined.project(&only_g);
+        assert_eq!(seen[0].1.fields[0], Value::from("Private event"));
+        // A viewer without g sees no joined row at all.
+        assert!(joined.project(&View::from_labels([k])).is_empty());
+    }
+
+    #[test]
+    fn save_without_pc_overwrites() {
+        let (mut db, _, jid) = event_db();
+        let new = Faceted::leaf(Some(vec![Value::from("X"), Value::from("Y")]));
+        db.save("event", jid, &new, &Branches::new()).unwrap();
+        assert_eq!(db.physical_rows("event").unwrap(), 1);
+        let obj = db.get("event", jid).unwrap();
+        assert_eq!(obj, new);
+    }
+
+    #[test]
+    fn save_under_pc_keeps_old_value_for_other_views() {
+        // The Dagstuhl-update example of §2.2: a write inside a branch
+        // on sensitive data becomes ⟨k ? new : old⟩.
+        let (mut db, k, jid) = event_db();
+        let new = Faceted::leaf(Some(vec![
+            Value::from("Carol's surprise party"),
+            Value::from("Dagstuhl event!"),
+        ]));
+        let pc = Branches::new().with(Branch::pos(k));
+        db.save("event", jid, &new, &pc).unwrap();
+        let obj = db.get("event", jid).unwrap();
+        assert_eq!(
+            obj.project(&View::from_labels([k])).clone().unwrap()[1],
+            Value::from("Dagstuhl event!")
+        );
+        assert_eq!(
+            obj.project(&View::empty()).clone().unwrap()[1],
+            Value::from("Undisclosed location"),
+            "unauthorized views keep the old facet"
+        );
+    }
+
+    #[test]
+    fn guarded_delete_hides_for_matching_views() {
+        let (mut db, k, jid) = event_db();
+        let pc = Branches::new().with(Branch::pos(k));
+        db.delete("event", jid, &pc).unwrap();
+        let obj = db.get("event", jid).unwrap();
+        assert_eq!(obj.project(&View::from_labels([k])), &None);
+        assert!(obj.project(&View::empty()).is_some());
+    }
+
+    #[test]
+    fn full_delete_removes_object() {
+        let (mut db, _, jid) = event_db();
+        db.delete("event", jid, &Branches::new()).unwrap();
+        assert!(matches!(
+            db.get("event", jid),
+            Err(FormError::NoSuchObject { .. })
+        ));
+        assert_eq!(db.physical_rows("event").unwrap(), 0);
+    }
+
+    #[test]
+    fn early_pruning_reconstructs_fewer_facets() {
+        let (mut db, k, _) = event_db();
+        db.set_pruning(Some(Branches::new().with(Branch::pos(k))));
+        let all = db.all("event").unwrap();
+        assert_eq!(all.len(), 1, "only the consistent facet is unmarshalled");
+        assert_eq!(
+            all.project(&View::from_labels([k]))[0].fields[0],
+            Value::from("Carol's surprise party")
+        );
+    }
+
+    #[test]
+    fn pruned_get_matches_unpruned_projection() {
+        let (mut db, k, jid) = event_db();
+        let full = db.get("event", jid).unwrap();
+        db.set_pruning(Some(Branches::new().with(Branch::pos(k))));
+        let pruned = db.get("event", jid).unwrap();
+        let view = View::from_labels([k]);
+        assert_eq!(pruned.project(&view), full.project(&view));
+    }
+
+    #[test]
+    fn missing_object_is_reported() {
+        let (mut db, _, _) = event_db();
+        assert!(matches!(
+            db.get("event", 999),
+            Err(FormError::NoSuchObject { .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_jvars_detected() {
+        let (mut db, _, _) = event_db();
+        db.raw()
+            .insert(
+                "event",
+                vec![
+                    Value::from("x"),
+                    Value::from("y"),
+                    Value::Int(50),
+                    Value::from("garbage-jvars"),
+                ],
+            )
+            .unwrap();
+        assert!(matches!(db.get("event", 50), Err(FormError::BadJvars(_))));
+    }
+}

@@ -1,0 +1,77 @@
+//! FORM errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Result alias for FORM operations.
+pub type FormResult<T> = Result<T, FormError>;
+
+/// Errors raised by the faceted object-relational mapping.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FormError {
+    /// Underlying relational engine error.
+    Db(microdb::DbError),
+    /// A `jvars` cell could not be parsed back into a branch set.
+    BadJvars(String),
+    /// Two physical rows of one object are visible to the same view
+    /// (the facet structure is ambiguous).
+    FacetConflict {
+        /// Logical object id.
+        jid: i64,
+    },
+    /// The requested object does not exist.
+    NoSuchObject {
+        /// Table searched.
+        table: String,
+        /// Logical object id.
+        jid: i64,
+    },
+    /// A faceted aggregate was asked of a non-integer column.
+    NonNumericAggregate(String),
+}
+
+impl fmt::Display for FormError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormError::Db(e) => write!(f, "database error: {e}"),
+            FormError::BadJvars(s) => write!(f, "malformed jvars cell: {s:?}"),
+            FormError::FacetConflict { jid } => {
+                write!(f, "conflicting facet rows for jid {jid}")
+            }
+            FormError::NoSuchObject { table, jid } => {
+                write!(f, "no object with jid {jid} in table {table}")
+            }
+            FormError::NonNumericAggregate(c) => {
+                write!(f, "faceted aggregate over non-numeric column {c}")
+            }
+        }
+    }
+}
+
+impl Error for FormError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FormError::Db(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<microdb::DbError> for FormError {
+    fn from(e: microdb::DbError) -> FormError {
+        FormError::Db(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = FormError::from(microdb::DbError::NoSuchTable("t".into()));
+        assert!(e.to_string().contains("t"));
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&FormError::FacetConflict { jid: 3 }).is_none());
+    }
+}

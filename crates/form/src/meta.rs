@@ -1,0 +1,122 @@
+//! Meta-data columns: `jid` and `jvars` (§3.1 of the paper).
+//!
+//! Each faceted row maps to multiple physical database rows sharing a
+//! `jid` (the logical object id) and distinguished by `jvars`, a
+//! textual encoding of the branch set such as `"k1=True,k2=False"`.
+//! Foreign keys reference `jid`, not the physical primary key
+//! (Table 2).
+
+use faceted::{Branch, Branches, Label};
+
+use crate::error::{FormError, FormResult};
+
+/// Name of the logical-object-id meta column.
+pub const JID: &str = "jid";
+/// Name of the facet-guard meta column.
+pub const JVARS: &str = "jvars";
+
+/// Encodes a branch set as the paper's `jvars` string:
+/// `"k1=True,k2=False"`, labels in id order; the empty guard encodes
+/// as `""`.
+///
+/// # Examples
+///
+/// ```
+/// use faceted::{Branch, Branches, Label};
+/// use form::encode_jvars;
+///
+/// let k = Label::from_index(3);
+/// let b = Branches::new().with(Branch::pos(k));
+/// assert_eq!(encode_jvars(&b), "k3=True");
+/// ```
+#[must_use]
+pub fn encode_jvars(guard: &Branches) -> String {
+    let mut parts: Vec<String> = guard
+        .iter()
+        .map(|b| {
+            format!(
+                "k{}={}",
+                b.label().index(),
+                if b.is_positive() { "True" } else { "False" }
+            )
+        })
+        .collect();
+    parts.sort();
+    parts.join(",")
+}
+
+/// Parses a `jvars` string back into a branch set.
+///
+/// # Errors
+///
+/// [`FormError::BadJvars`] on any malformed entry.
+pub fn parse_jvars(s: &str) -> FormResult<Branches> {
+    let mut out = Branches::new();
+    if s.is_empty() {
+        return Ok(out);
+    }
+    for part in s.split(',') {
+        let (name, value) = part
+            .split_once('=')
+            .ok_or_else(|| FormError::BadJvars(s.to_owned()))?;
+        let index: u32 = name
+            .strip_prefix('k')
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| FormError::BadJvars(s.to_owned()))?;
+        let label = Label::from_index(index);
+        let branch = match value {
+            "True" => Branch::pos(label),
+            "False" => Branch::neg(label),
+            _ => return Err(FormError::BadJvars(s.to_owned())),
+        };
+        out.insert(branch);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(i: u32) -> Label {
+        Label::from_index(i)
+    }
+
+    #[test]
+    fn round_trip() {
+        let b = Branches::from_iter([Branch::pos(k(1)), Branch::neg(k(2))]);
+        let s = encode_jvars(&b);
+        assert_eq!(s, "k1=True,k2=False");
+        assert_eq!(parse_jvars(&s).unwrap(), b);
+    }
+
+    #[test]
+    fn empty_guard() {
+        assert_eq!(encode_jvars(&Branches::new()), "");
+        assert_eq!(parse_jvars("").unwrap(), Branches::new());
+    }
+
+    #[test]
+    fn paper_single_label_example() {
+        // Table 1 stores "k=True" / "k=False" (we render k's id).
+        let pos = Branches::new().with(Branch::pos(k(0)));
+        assert_eq!(encode_jvars(&pos), "k0=True");
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        for bad in ["k1", "x1=True", "k1=Yes", "k=True", "k1=True,,", "=True"] {
+            assert!(parse_jvars(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn ordering_is_canonical() {
+        let b = Branches::from_iter([Branch::neg(k(10)), Branch::pos(k(2))]);
+        // k10 sorts after k2 numerically in label order but the encoded
+        // string is sorted lexically for determinism; parsing is
+        // insensitive to order either way.
+        let s = encode_jvars(&b);
+        assert_eq!(parse_jvars(&s).unwrap(), b);
+    }
+}

@@ -1,0 +1,219 @@
+//! Property tests: marshal/unmarshal round-trips, query/projection
+//! commutation, guarded-save semantics, pruning equivalence.
+
+use faceted::{Branch, Branches, Faceted, Label, View};
+use form::{encode_jvars, parse_jvars, FacetedObject, FormDb};
+use microdb::{ColumnDef, ColumnType, SortOrder, Value};
+use proptest::prelude::*;
+
+const LABELS: u32 = 3;
+
+fn arb_label() -> impl Strategy<Value = Label> {
+    (0..LABELS).prop_map(Label::from_index)
+}
+
+fn arb_branch() -> impl Strategy<Value = Branch> {
+    (arb_label(), any::<bool>())
+        .prop_map(|(l, p)| if p { Branch::pos(l) } else { Branch::neg(l) })
+}
+
+fn arb_branches() -> impl Strategy<Value = Branches> {
+    proptest::collection::vec(arb_branch(), 0..3).prop_map(Branches::from_iter)
+}
+
+fn all_views() -> Vec<View> {
+    (0..(1u32 << LABELS))
+        .map(|bits| {
+            View::from_labels((0..LABELS).filter(|i| bits & (1 << i) != 0).map(Label::from_index))
+        })
+        .collect()
+}
+
+/// An arbitrary one-column faceted object (possibly absent in some
+/// facets).
+fn arb_object(depth: u32) -> impl Strategy<Value = FacetedObject> {
+    let leaf = prop_oneof![
+        3 => (0i64..6).prop_map(|v| Faceted::leaf(Some(vec![Value::Int(v)]))),
+        1 => Just(Faceted::leaf(None)),
+    ];
+    leaf.prop_recursive(depth, 24, 2, |inner| {
+        (arb_label(), inner.clone(), inner).prop_map(|(l, h, w)| Faceted::split(l, h, w))
+    })
+}
+
+fn fresh_db() -> FormDb {
+    let mut db = FormDb::new();
+    db.create_table("t", vec![ColumnDef::new("v", ColumnType::Int)]).unwrap();
+    for i in 0..LABELS {
+        let l = db.fresh_label(&format!("k{i}"));
+        assert_eq!(l.index(), i);
+    }
+    db
+}
+
+proptest! {
+    /// jvars encoding round-trips arbitrary guards.
+    #[test]
+    fn jvars_round_trip(b in arb_branches()) {
+        prop_assert_eq!(parse_jvars(&encode_jvars(&b)).unwrap(), b);
+    }
+
+    /// insert ∘ get = identity on canonical objects, for every view.
+    #[test]
+    fn marshal_unmarshal_round_trip(obj in arb_object(3)) {
+        let mut db = fresh_db();
+        let jid = db.insert("t", &obj).unwrap();
+        // Fully-absent objects store zero rows and read back as "no
+        // such object" — equivalent to the all-None tree.
+        match db.get("t", jid) {
+            Ok(read) => {
+                for view in all_views() {
+                    prop_assert_eq!(
+                        read.project(&view),
+                        obj.project(&view),
+                        "view {:?}", view
+                    );
+                }
+            }
+            Err(form::FormError::NoSuchObject { .. }) => {
+                for view in all_views() {
+                    prop_assert_eq!(obj.project(&view), &None);
+                }
+            }
+            Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+        }
+    }
+
+    /// Faceted filter commutes with projection: what a view sees in
+    /// the faceted query result equals filtering what the view sees.
+    #[test]
+    fn filter_commutes_with_projection(
+        objs in proptest::collection::vec(arb_object(2), 1..6),
+        needle in 0i64..6,
+    ) {
+        let mut db = fresh_db();
+        for o in &objs {
+            db.insert("t", o).unwrap();
+        }
+        let result = db.filter_eq("t", "v", Value::Int(needle)).unwrap();
+        for view in all_views() {
+            let mut got: Vec<i64> = result
+                .project(&view)
+                .into_iter()
+                .map(|g| g.fields[0].as_int().unwrap())
+                .collect();
+            got.sort_unstable();
+            let mut expected: Vec<i64> = objs
+                .iter()
+                .filter_map(|o| o.project(&view).clone())
+                .map(|r| r[0].as_int().unwrap())
+                .filter(|v| *v == needle)
+                .collect();
+            expected.sort_unstable();
+            prop_assert_eq!(got, expected, "view {:?}", view);
+        }
+    }
+
+    /// ORDER BY commutes with projection (the §3.1.1 sorting claim).
+    #[test]
+    fn order_by_commutes_with_projection(
+        objs in proptest::collection::vec(arb_object(2), 1..6),
+    ) {
+        let mut db = fresh_db();
+        for o in &objs {
+            db.insert("t", o).unwrap();
+        }
+        let sorted = db.order_by("t", "v", SortOrder::Asc).unwrap();
+        for view in all_views() {
+            let got: Vec<i64> = sorted
+                .project(&view)
+                .into_iter()
+                .map(|g| g.fields[0].as_int().unwrap())
+                .collect();
+            let mut expected: Vec<i64> = objs
+                .iter()
+                .filter_map(|o| o.project(&view).clone())
+                .map(|r| r[0].as_int().unwrap())
+                .collect();
+            expected.sort_unstable();
+            prop_assert_eq!(got, expected, "view {:?}", view);
+        }
+    }
+
+    /// Guarded save: views satisfying pc see the new object, others
+    /// keep the old one — exactly ⟨⟨pc ? new : old⟩⟩.
+    #[test]
+    fn guarded_save_semantics(old in arb_object(2), new in arb_object(2), pc in arb_branches()) {
+        prop_assume!(pc.is_consistent());
+        let mut db = fresh_db();
+        let jid = db.insert("t", &old).unwrap();
+        db.save("t", jid, &new, &pc).unwrap();
+        match db.get("t", jid) {
+            Ok(merged) => {
+                for view in all_views() {
+                    let expected = if pc.visible_to(&view) {
+                        new.project(&view)
+                    } else {
+                        old.project(&view)
+                    };
+                    prop_assert_eq!(merged.project(&view), expected, "view {:?}", view);
+                }
+            }
+            Err(form::FormError::NoSuchObject { .. }) => {
+                for view in all_views() {
+                    let expected = if pc.visible_to(&view) {
+                        new.project(&view)
+                    } else {
+                        old.project(&view)
+                    };
+                    prop_assert_eq!(&None, expected, "view {:?}", view);
+                }
+            }
+            Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+        }
+    }
+
+    /// Early Pruning never changes what a consistent viewer sees.
+    #[test]
+    fn pruning_preserves_consistent_views(
+        objs in proptest::collection::vec(arb_object(2), 1..5),
+        constraint in arb_branches(),
+    ) {
+        prop_assume!(constraint.is_consistent());
+        let mut plain = fresh_db();
+        let mut pruned = fresh_db();
+        for o in &objs {
+            plain.insert("t", o).unwrap();
+            pruned.insert("t", o).unwrap();
+        }
+        pruned.set_pruning(Some(constraint.clone()));
+        let a = plain.all("t").unwrap();
+        let b = pruned.all("t").unwrap();
+        prop_assert!(b.len() <= a.len());
+        for view in all_views() {
+            if !constraint.visible_to(&view) {
+                continue;
+            }
+            let mut va: Vec<i64> = a.project(&view).iter().map(|g| g.fields[0].as_int().unwrap()).collect();
+            let mut vb: Vec<i64> = b.project(&view).iter().map(|g| g.fields[0].as_int().unwrap()).collect();
+            va.sort_unstable();
+            vb.sort_unstable();
+            prop_assert_eq!(va, vb, "view {:?}", view);
+        }
+    }
+
+    /// Faceted count equals per-view counting.
+    #[test]
+    fn count_commutes_with_projection(objs in proptest::collection::vec(arb_object(2), 0..5)) {
+        let mut db = fresh_db();
+        for o in &objs {
+            db.insert("t", o).unwrap();
+        }
+        let rows = db.all("t").unwrap();
+        let count = form::faceted_count(&rows);
+        for view in all_views() {
+            let expected = objs.iter().filter(|o| o.project(&view).is_some()).count() as i64;
+            prop_assert_eq!(*count.project(&view), expected, "view {:?}", view);
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Label assignments: candidate solutions of the policy constraints.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use faceted::{Label, View};
+
+/// A (possibly partial) mapping from labels to Booleans.
+///
+/// A *total* satisfying assignment chosen at a computation sink plays
+/// the role of the paper's "pick pc such that ..." in `F-PRINT`: it
+/// determines which facet of every value the observer receives.
+///
+/// # Examples
+///
+/// ```
+/// use faceted::Label;
+/// use labelsat::Assignment;
+///
+/// let k = Label::from_index(0);
+/// let a = Assignment::new().with(k, true);
+/// assert_eq!(a.get(k), Some(true));
+/// assert!(a.to_view().sees(k));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Assignment(BTreeMap<Label, bool>);
+
+impl Assignment {
+    /// The empty assignment.
+    #[must_use]
+    pub fn new() -> Assignment {
+        Assignment::default()
+    }
+
+    /// Builds an assignment mapping every given label to `false` —
+    /// the always-valid fallback the paper guarantees (§2.3).
+    pub fn all_false<I: IntoIterator<Item = Label>>(labels: I) -> Assignment {
+        Assignment(labels.into_iter().map(|l| (l, false)).collect())
+    }
+
+    /// Functional update.
+    #[must_use]
+    pub fn with(&self, label: Label, value: bool) -> Assignment {
+        let mut m = self.0.clone();
+        m.insert(label, value);
+        Assignment(m)
+    }
+
+    /// In-place update.
+    pub fn set(&mut self, label: Label, value: bool) {
+        self.0.insert(label, value);
+    }
+
+    /// Removes a binding (backtracking).
+    pub fn unset(&mut self, label: Label) {
+        self.0.remove(&label);
+    }
+
+    /// The value assigned to `label`, if any.
+    #[must_use]
+    pub fn get(&self, label: Label) -> Option<bool> {
+        self.0.get(&label).copied()
+    }
+
+    /// Whether `label` is assigned.
+    #[must_use]
+    pub fn is_assigned(&self, label: Label) -> bool {
+        self.0.contains_key(&label)
+    }
+
+    /// Number of assigned labels.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether no label is assigned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Number of labels assigned `true` (the quantity the solver
+    /// maximizes so values are shown whenever policies allow).
+    #[must_use]
+    pub fn count_true(&self) -> usize {
+        self.0.values().filter(|v| **v).count()
+    }
+
+    /// Iterates over `(label, value)` pairs in label order.
+    pub fn iter(&self) -> impl Iterator<Item = (Label, bool)> + '_ {
+        self.0.iter().map(|(l, v)| (*l, *v))
+    }
+
+    /// Converts to a [`View`]: exactly the labels assigned `true`.
+    #[must_use]
+    pub fn to_view(&self) -> View {
+        View::from_labels(self.0.iter().filter(|(_, v)| **v).map(|(l, _)| *l))
+    }
+}
+
+impl FromIterator<(Label, bool)> for Assignment {
+    fn from_iter<I: IntoIterator<Item = (Label, bool)>>(iter: I) -> Assignment {
+        Assignment(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for Assignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (l, v)) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{l}={v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(i: u32) -> Label {
+        Label::from_index(i)
+    }
+
+    #[test]
+    fn all_false_fallback() {
+        let a = Assignment::all_false([k(0), k(1)]);
+        assert_eq!(a.get(k(0)), Some(false));
+        assert_eq!(a.count_true(), 0);
+        assert!(a.to_view().is_empty());
+    }
+
+    #[test]
+    fn set_unset_roundtrip() {
+        let mut a = Assignment::new();
+        a.set(k(0), true);
+        assert!(a.is_assigned(k(0)));
+        a.unset(k(0));
+        assert!(!a.is_assigned(k(0)));
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn to_view_keeps_only_true() {
+        let a = Assignment::new().with(k(0), true).with(k(1), false);
+        let v = a.to_view();
+        assert!(v.sees(k(0)));
+        assert!(!v.sees(k(1)));
+        assert_eq!(a.count_true(), 1);
+    }
+
+    #[test]
+    fn display_lists_bindings() {
+        let a = Assignment::new().with(k(0), true);
+        assert_eq!(a.to_string(), "{k0=true}");
+    }
+}

@@ -1,0 +1,210 @@
+//! Conjunctive normal form and the Tseitin transformation.
+
+use faceted::Label;
+
+use crate::assignment::Assignment;
+use crate::formula::Formula;
+
+/// A literal: a variable index with polarity. Variables `0..n_orig`
+/// are original labels; variables `≥ n_orig` are Tseitin auxiliaries.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Lit {
+    /// Variable index in the CNF's variable space.
+    pub var: usize,
+    /// `true` for the positive literal.
+    pub positive: bool,
+}
+
+impl Lit {
+    /// Builds a literal.
+    #[must_use]
+    pub fn new(var: usize, positive: bool) -> Lit {
+        Lit { var, positive }
+    }
+
+    /// The complementary literal.
+    #[must_use]
+    pub fn negate(self) -> Lit {
+        Lit { var: self.var, positive: !self.positive }
+    }
+}
+
+/// A CNF instance: clauses over original + auxiliary variables.
+#[derive(Clone, Debug, Default)]
+pub struct Cnf {
+    /// The original labels, in variable order (`var i` ↔ `labels[i]`).
+    pub labels: Vec<Label>,
+    /// Total number of variables (originals first, then auxiliaries).
+    pub n_vars: usize,
+    /// The clauses; each clause is a disjunction of literals.
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Tseitin-transforms `formula` into an equisatisfiable CNF whose
+    /// first variables are exactly the formula's labels (in label
+    /// order), so solutions restrict directly to label assignments.
+    #[must_use]
+    pub fn from_formula(formula: &Formula) -> Cnf {
+        let labels: Vec<Label> = formula.vars().into_iter().collect();
+        let mut cnf = Cnf {
+            n_vars: labels.len(),
+            labels,
+            clauses: Vec::new(),
+        };
+        let root = cnf.encode(formula);
+        match root {
+            Enc::Const(true) => {}
+            Enc::Const(false) => cnf.clauses.push(vec![]), // unsatisfiable
+            Enc::Lit(l) => cnf.clauses.push(vec![l]),
+        }
+        cnf
+    }
+
+    fn fresh(&mut self) -> usize {
+        let v = self.n_vars;
+        self.n_vars += 1;
+        v
+    }
+
+    fn var_of(&self, label: Label) -> usize {
+        self.labels
+            .iter()
+            .position(|l| *l == label)
+            .expect("label collected by vars()")
+    }
+
+    fn encode(&mut self, f: &Formula) -> Enc {
+        match f {
+            Formula::Const(b) => Enc::Const(*b),
+            Formula::Var(l) => Enc::Lit(Lit::new(self.var_of(*l), true)),
+            Formula::Not(g) => match self.encode(g) {
+                Enc::Const(b) => Enc::Const(!b),
+                Enc::Lit(l) => Enc::Lit(l.negate()),
+            },
+            Formula::And(fs) => {
+                let mut lits = Vec::new();
+                for g in fs {
+                    match self.encode(g) {
+                        Enc::Const(false) => return Enc::Const(false),
+                        Enc::Const(true) => {}
+                        Enc::Lit(l) => lits.push(l),
+                    }
+                }
+                match lits.len() {
+                    0 => Enc::Const(true),
+                    1 => Enc::Lit(lits[0]),
+                    _ => {
+                        // y ↔ l1 ∧ ... ∧ ln
+                        let y = Lit::new(self.fresh(), true);
+                        for &l in &lits {
+                            self.clauses.push(vec![y.negate(), l]);
+                        }
+                        let mut big: Vec<Lit> = lits.iter().map(|l| l.negate()).collect();
+                        big.push(y);
+                        self.clauses.push(big);
+                        Enc::Lit(y)
+                    }
+                }
+            }
+            Formula::Or(fs) => {
+                let mut lits = Vec::new();
+                for g in fs {
+                    match self.encode(g) {
+                        Enc::Const(true) => return Enc::Const(true),
+                        Enc::Const(false) => {}
+                        Enc::Lit(l) => lits.push(l),
+                    }
+                }
+                match lits.len() {
+                    0 => Enc::Const(false),
+                    1 => Enc::Lit(lits[0]),
+                    _ => {
+                        // y ↔ l1 ∨ ... ∨ ln
+                        let y = Lit::new(self.fresh(), true);
+                        for &l in &lits {
+                            self.clauses.push(vec![y, l.negate()]);
+                        }
+                        let mut big = lits;
+                        big.push(y.negate());
+                        self.clauses.push(big);
+                        Enc::Lit(y)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Restricts a full CNF model (over all variables) to the original
+    /// labels.
+    #[must_use]
+    pub fn model_to_assignment(&self, model: &[bool]) -> Assignment {
+        self.labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (*l, model[i]))
+            .collect()
+    }
+}
+
+enum Enc {
+    Const(bool),
+    Lit(Lit),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(i: u32) -> Label {
+        Label::from_index(i)
+    }
+
+    #[test]
+    fn constants_produce_trivial_cnfs() {
+        let t = Cnf::from_formula(&Formula::constant(true));
+        assert!(t.clauses.is_empty());
+        let f = Cnf::from_formula(&Formula::constant(false));
+        assert!(f.clauses.iter().any(Vec::is_empty));
+    }
+
+    #[test]
+    fn single_var_is_a_unit_clause() {
+        let cnf = Cnf::from_formula(&Formula::var(k(0)));
+        assert_eq!(cnf.n_vars, 1);
+        assert_eq!(cnf.clauses, vec![vec![Lit::new(0, true)]]);
+    }
+
+    #[test]
+    fn tseitin_preserves_models() {
+        // (k0 ∨ ¬k1) ∧ (k1 ∨ k2): check all 8 label assignments agree
+        // with CNF satisfiability-under-fixed-labels.
+        let f = Formula::var(k(0))
+            .or(Formula::var(k(1)).not())
+            .and(Formula::var(k(1)).or(Formula::var(k(2))));
+        let cnf = Cnf::from_formula(&f);
+        for bits in 0..8u32 {
+            let a: Assignment = (0..3).map(|i| (k(i), bits & (1 << i) != 0)).collect();
+            let expected = f.eval(&a) == Some(true);
+            // Brute-force the auxiliaries.
+            let n_aux = cnf.n_vars - cnf.labels.len();
+            let mut sat = false;
+            for aux in 0..(1u32 << n_aux) {
+                let mut model = vec![false; cnf.n_vars];
+                for (i, l) in cnf.labels.iter().enumerate() {
+                    model[i] = a.get(*l).unwrap();
+                }
+                for j in 0..n_aux {
+                    model[cnf.labels.len() + j] = aux & (1 << j) != 0;
+                }
+                if cnf.clauses.iter().all(|c| {
+                    c.iter().any(|l| model[l.var] == l.positive)
+                }) {
+                    sat = true;
+                    break;
+                }
+            }
+            assert_eq!(sat, expected, "assignment {a}");
+        }
+    }
+}

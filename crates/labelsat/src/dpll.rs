@@ -1,0 +1,185 @@
+//! A DPLL SAT solver with unit propagation and true-first branching.
+//!
+//! The paper resolves mutually-dependent policies with "the SAT subset
+//! of the Z3 SMT solver" over "an ordering over Boolean label
+//! assignments" (§5.1.2). This solver reproduces that role: it
+//! branches on the original label variables first, trying `true`
+//! before `false`, so the first model found is the *lexicographically
+//! greatest* label assignment — Jacqueline "always attempts to show
+//! values unless policies require otherwise" (§2.3).
+
+use crate::cnf::{Cnf, Lit};
+
+/// Outcome of a DPLL run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SatResult {
+    /// A model, indexed by variable.
+    Sat(Vec<bool>),
+    /// No model exists.
+    Unsat,
+}
+
+/// Solves a CNF instance.
+///
+/// Branching order: variable 0, 1, 2, … with `true` tried first.
+/// Because [`Cnf::from_formula`] places original labels before Tseitin
+/// auxiliaries, the first model maximizes labels lexicographically.
+#[must_use]
+pub fn solve(cnf: &Cnf) -> SatResult {
+    let mut assign: Vec<Option<bool>> = vec![None; cnf.n_vars];
+    if dpll(cnf, &mut assign) {
+        SatResult::Sat(assign.into_iter().map(|v| v.unwrap_or(false)).collect())
+    } else {
+        SatResult::Unsat
+    }
+}
+
+fn dpll(cnf: &Cnf, assign: &mut Vec<Option<bool>>) -> bool {
+    // Unit propagation to fixpoint; record the trail for backtracking.
+    let mut trail: Vec<usize> = Vec::new();
+    loop {
+        match propagate_once(cnf, assign) {
+            Propagation::Conflict => {
+                for v in trail {
+                    assign[v] = None;
+                }
+                return false;
+            }
+            Propagation::Assigned(v) => trail.push(v),
+            Propagation::Fixpoint => break,
+        }
+    }
+
+    // Pick the lowest unassigned variable (label order, true first).
+    let var = (0..cnf.n_vars).find(|&v| assign[v].is_none());
+    let Some(var) = var else {
+        // Full assignment with no conflict: a model.
+        return true;
+    };
+    for value in [true, false] {
+        assign[var] = Some(value);
+        if dpll(cnf, assign) {
+            return true;
+        }
+        assign[var] = None;
+    }
+    for v in trail {
+        assign[v] = None;
+    }
+    false
+}
+
+enum Propagation {
+    /// A unit clause forced this variable.
+    Assigned(usize),
+    /// An empty (all-false) clause was found.
+    Conflict,
+    /// Nothing left to propagate.
+    Fixpoint,
+}
+
+fn propagate_once(cnf: &Cnf, assign: &mut [Option<bool>]) -> Propagation {
+    for clause in &cnf.clauses {
+        let mut unassigned: Option<Lit> = None;
+        let mut satisfied = false;
+        let mut n_unassigned = 0;
+        for &lit in clause {
+            match assign[lit.var] {
+                Some(v) if v == lit.positive => {
+                    satisfied = true;
+                    break;
+                }
+                Some(_) => {}
+                None => {
+                    n_unassigned += 1;
+                    unassigned = Some(lit);
+                }
+            }
+        }
+        if satisfied {
+            continue;
+        }
+        match n_unassigned {
+            0 => return Propagation::Conflict,
+            1 => {
+                let lit = unassigned.expect("counted one unassigned literal");
+                assign[lit.var] = Some(lit.positive);
+                return Propagation::Assigned(lit.var);
+            }
+            _ => {}
+        }
+    }
+    Propagation::Fixpoint
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::Formula;
+    use faceted::Label;
+
+    fn k(i: u32) -> Label {
+        Label::from_index(i)
+    }
+
+    fn solve_formula(f: &Formula) -> SatResult {
+        solve(&Cnf::from_formula(f))
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        assert!(matches!(solve_formula(&Formula::constant(true)), SatResult::Sat(_)));
+        assert_eq!(solve_formula(&Formula::constant(false)), SatResult::Unsat);
+    }
+
+    #[test]
+    fn contradiction_is_unsat() {
+        let f = Formula::var(k(0)).and(Formula::var(k(0)).not());
+        assert_eq!(solve_formula(&f), SatResult::Unsat);
+    }
+
+    #[test]
+    fn prefers_true() {
+        // k0 ∨ k1 is satisfied by k0=true,k1=true first.
+        let f = Formula::var(k(0)).or(Formula::var(k(1)));
+        let cnf = Cnf::from_formula(&f);
+        match solve(&cnf) {
+            SatResult::Sat(m) => {
+                assert!(m[0] && m[1], "true-first branching should keep both labels true");
+            }
+            SatResult::Unsat => panic!("satisfiable"),
+        }
+    }
+
+    #[test]
+    fn unit_propagation_forces_chain() {
+        // k0 ∧ (k0 ⇒ k1) ∧ (k1 ⇒ ¬k2)
+        let f = Formula::var(k(0))
+            .and(Formula::var(k(0)).implies(Formula::var(k(1))))
+            .and(Formula::var(k(1)).implies(Formula::var(k(2)).not()));
+        let cnf = Cnf::from_formula(&f);
+        match solve(&cnf) {
+            SatResult::Sat(m) => {
+                let a = cnf.model_to_assignment(&m);
+                assert_eq!(a.get(k(0)), Some(true));
+                assert_eq!(a.get(k(1)), Some(true));
+                assert_eq!(a.get(k(2)), Some(false));
+            }
+            SatResult::Unsat => panic!("satisfiable"),
+        }
+    }
+
+    #[test]
+    fn pigeonhole_two_holes_three_vars_unsat() {
+        // (a ∨ b) ∧ (¬a ∨ ¬b) ∧ (a ∨ ¬b) ∧ (¬a ∨ b) is unsat.
+        let a = Formula::var(k(0));
+        let b = Formula::var(k(1));
+        let f = a
+            .clone()
+            .or(b.clone())
+            .and(a.clone().not().or(b.clone().not()))
+            .and(a.clone().or(b.clone().not()))
+            .and(a.not().or(b));
+        assert_eq!(solve_formula(&f), SatResult::Unsat);
+    }
+}

@@ -1,0 +1,337 @@
+//! Boolean formulas over information-flow labels.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use faceted::{Faceted, Label, View};
+
+use crate::assignment::Assignment;
+
+/// A Boolean formula whose variables are labels.
+///
+/// Produced by evaluating policies at a computation sink: the
+/// `F-PRINT` rule builds the conjunction of all (transitively)
+/// relevant policies and asks for a satisfying label assignment.
+///
+/// # Examples
+///
+/// ```
+/// use faceted::Label;
+/// use labelsat::{Assignment, Formula};
+///
+/// let k = Label::from_index(0);
+/// let f = Formula::var(k).implies(Formula::constant(false));
+/// let a = Assignment::new().with(k, false);
+/// assert_eq!(f.eval(&a), Some(true));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Formula {
+    /// A constant.
+    Const(bool),
+    /// A label variable.
+    Var(Label),
+    /// Negation.
+    Not(Box<Formula>),
+    /// N-ary conjunction (empty = true).
+    And(Vec<Formula>),
+    /// N-ary disjunction (empty = false).
+    Or(Vec<Formula>),
+}
+
+impl Formula {
+    /// The constant formula.
+    #[must_use]
+    pub fn constant(b: bool) -> Formula {
+        Formula::Const(b)
+    }
+
+    /// A variable.
+    #[must_use]
+    pub fn var(label: Label) -> Formula {
+        Formula::Var(label)
+    }
+
+    /// `¬self`.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Formula {
+        match self {
+            Formula::Const(b) => Formula::Const(!b),
+            Formula::Not(f) => *f,
+            f => Formula::Not(Box::new(f)),
+        }
+    }
+
+    /// `self ∧ other`, flattening nested conjunctions.
+    #[must_use]
+    pub fn and(self, other: Formula) -> Formula {
+        match (self, other) {
+            (Formula::Const(false), _) | (_, Formula::Const(false)) => Formula::Const(false),
+            (Formula::Const(true), f) | (f, Formula::Const(true)) => f,
+            (Formula::And(mut a), Formula::And(b)) => {
+                a.extend(b);
+                Formula::And(a)
+            }
+            (Formula::And(mut a), f) => {
+                a.push(f);
+                Formula::And(a)
+            }
+            (f, Formula::And(mut b)) => {
+                b.insert(0, f);
+                Formula::And(b)
+            }
+            (a, b) => Formula::And(vec![a, b]),
+        }
+    }
+
+    /// `self ∨ other`, flattening nested disjunctions.
+    #[must_use]
+    pub fn or(self, other: Formula) -> Formula {
+        match (self, other) {
+            (Formula::Const(true), _) | (_, Formula::Const(true)) => Formula::Const(true),
+            (Formula::Const(false), f) | (f, Formula::Const(false)) => f,
+            (Formula::Or(mut a), Formula::Or(b)) => {
+                a.extend(b);
+                Formula::Or(a)
+            }
+            (Formula::Or(mut a), f) => {
+                a.push(f);
+                Formula::Or(a)
+            }
+            (f, Formula::Or(mut b)) => {
+                b.insert(0, f);
+                Formula::Or(b)
+            }
+            (a, b) => Formula::Or(vec![a, b]),
+        }
+    }
+
+    /// `self ⇒ other` (used for policy constraints `k ⇒ policy(k)`).
+    #[must_use]
+    pub fn implies(self, other: Formula) -> Formula {
+        self.not().or(other)
+    }
+
+    /// Conjunction of an iterator of formulas.
+    pub fn all<I: IntoIterator<Item = Formula>>(iter: I) -> Formula {
+        iter.into_iter().fold(Formula::Const(true), Formula::and)
+    }
+
+    /// Disjunction of an iterator of formulas.
+    pub fn any<I: IntoIterator<Item = Formula>>(iter: I) -> Formula {
+        iter.into_iter().fold(Formula::Const(false), Formula::or)
+    }
+
+    /// The formula "view satisfies this faceted Boolean": true exactly
+    /// for assignments under which `v` projects to `true`.
+    ///
+    /// This is how the runtime turns an evaluated (possibly faceted)
+    /// policy check into a constraint for the solver.
+    #[must_use]
+    pub fn from_faceted_bool(v: &Faceted<bool>) -> Formula {
+        Formula::any(v.leaves().into_iter().filter(|(_, leaf)| **leaf).map(|(guard, _)| {
+            Formula::all(guard.iter().map(|b| {
+                if b.is_positive() {
+                    Formula::var(b.label())
+                } else {
+                    Formula::var(b.label()).not()
+                }
+            }))
+        }))
+    }
+
+    /// Evaluates under a (possibly partial) assignment. Returns `None`
+    /// when the result depends on an unassigned variable.
+    #[must_use]
+    pub fn eval(&self, a: &Assignment) -> Option<bool> {
+        match self {
+            Formula::Const(b) => Some(*b),
+            Formula::Var(l) => a.get(*l),
+            Formula::Not(f) => f.eval(a).map(|b| !b),
+            Formula::And(fs) => {
+                let mut unknown = false;
+                for f in fs {
+                    match f.eval(a) {
+                        Some(false) => return Some(false),
+                        Some(true) => {}
+                        None => unknown = true,
+                    }
+                }
+                if unknown { None } else { Some(true) }
+            }
+            Formula::Or(fs) => {
+                let mut unknown = false;
+                for f in fs {
+                    match f.eval(a) {
+                        Some(true) => return Some(true),
+                        Some(false) => {}
+                        None => unknown = true,
+                    }
+                }
+                if unknown { None } else { Some(false) }
+            }
+        }
+    }
+
+    /// Evaluates under a total view (labels in the view are true).
+    #[must_use]
+    pub fn holds_in(&self, view: &View) -> bool {
+        match self {
+            Formula::Const(b) => *b,
+            Formula::Var(l) => view.sees(*l),
+            Formula::Not(f) => !f.holds_in(view),
+            Formula::And(fs) => fs.iter().all(|f| f.holds_in(view)),
+            Formula::Or(fs) => fs.iter().any(|f| f.holds_in(view)),
+        }
+    }
+
+    /// Partially evaluates: fixes `label := value` and simplifies.
+    #[must_use]
+    pub fn assume(&self, label: Label, value: bool) -> Formula {
+        match self {
+            Formula::Const(_) => self.clone(),
+            Formula::Var(l) => {
+                if *l == label {
+                    Formula::Const(value)
+                } else {
+                    self.clone()
+                }
+            }
+            Formula::Not(f) => f.assume(label, value).not(),
+            Formula::And(fs) => Formula::all(fs.iter().map(|f| f.assume(label, value))),
+            Formula::Or(fs) => Formula::any(fs.iter().map(|f| f.assume(label, value))),
+        }
+    }
+
+    /// The set of variables occurring in the formula.
+    #[must_use]
+    pub fn vars(&self) -> BTreeSet<Label> {
+        fn walk(f: &Formula, out: &mut BTreeSet<Label>) {
+            match f {
+                Formula::Const(_) => {}
+                Formula::Var(l) => {
+                    out.insert(*l);
+                }
+                Formula::Not(g) => walk(g, out),
+                Formula::And(fs) | Formula::Or(fs) => {
+                    for g in fs {
+                        walk(g, out);
+                    }
+                }
+            }
+        }
+        let mut out = BTreeSet::new();
+        walk(self, &mut out);
+        out
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::Const(b) => write!(f, "{b}"),
+            Formula::Var(l) => write!(f, "{l}"),
+            Formula::Not(g) => write!(f, "¬{g}"),
+            Formula::And(fs) => {
+                write!(f, "(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Or(fs) => {
+                write!(f, "(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(i: u32) -> Label {
+        Label::from_index(i)
+    }
+
+    #[test]
+    fn constant_folding() {
+        assert_eq!(Formula::constant(true).and(Formula::var(k(0))), Formula::var(k(0)));
+        assert_eq!(
+            Formula::constant(false).and(Formula::var(k(0))),
+            Formula::constant(false)
+        );
+        assert_eq!(Formula::constant(false).or(Formula::var(k(0))), Formula::var(k(0)));
+        assert_eq!(Formula::constant(true).not(), Formula::constant(false));
+        assert_eq!(Formula::var(k(0)).not().not(), Formula::var(k(0)));
+    }
+
+    #[test]
+    fn eval_partial_and_total() {
+        let f = Formula::var(k(0)).and(Formula::var(k(1)));
+        let partial = Assignment::new().with(k(0), true);
+        assert_eq!(f.eval(&partial), None);
+        assert_eq!(f.eval(&partial.with(k(1), false)), Some(false));
+        // Short-circuit: k0=false decides the conjunction.
+        let decided = Assignment::new().with(k(0), false);
+        assert_eq!(f.eval(&decided), Some(false));
+    }
+
+    #[test]
+    fn implies_semantics() {
+        let f = Formula::var(k(0)).implies(Formula::var(k(1)));
+        let tt = Assignment::new().with(k(0), true).with(k(1), true);
+        let tf = Assignment::new().with(k(0), true).with(k(1), false);
+        let ft = Assignment::new().with(k(0), false).with(k(1), false);
+        assert_eq!(f.eval(&tt), Some(true));
+        assert_eq!(f.eval(&tf), Some(false));
+        assert_eq!(f.eval(&ft), Some(true));
+    }
+
+    #[test]
+    fn from_faceted_bool_matches_projection() {
+        // ⟨k0 ? true : ⟨k1 ? false : true⟩⟩
+        let v = Faceted::split(
+            k(0),
+            Faceted::leaf(true),
+            Faceted::split(k(1), Faceted::leaf(false), Faceted::leaf(true)),
+        );
+        let f = Formula::from_faceted_bool(&v);
+        for bits in 0..4u32 {
+            let view = View::from_labels(
+                (0..2).filter(|i| bits & (1 << i) != 0).map(Label::from_index),
+            );
+            assert_eq!(f.holds_in(&view), *v.project(&view), "view {view:?}");
+        }
+    }
+
+    #[test]
+    fn assume_fixes_variable() {
+        let f = Formula::var(k(0)).or(Formula::var(k(1)));
+        assert_eq!(f.assume(k(0), true), Formula::constant(true));
+        assert_eq!(f.assume(k(0), false), Formula::var(k(1)));
+    }
+
+    #[test]
+    fn vars_collects() {
+        let f = Formula::var(k(2)).and(Formula::var(k(0)).not());
+        let vs: Vec<Label> = f.vars().into_iter().collect();
+        assert_eq!(vs, vec![k(0), k(2)]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let f = Formula::var(k(0)).and(Formula::var(k(1)).not());
+        assert_eq!(f.to_string(), "(k0 ∧ ¬k1)");
+    }
+}

@@ -1,0 +1,48 @@
+//! `labelsat` — Boolean constraint solving for information-flow labels.
+//!
+//! At a computation sink, the Jacqueline runtime must pick Boolean
+//! values for every relevant label such that all attached policies are
+//! satisfied (rule `F-PRINT` of Yang et al., PLDI 2016). When policies
+//! and sensitive values depend on each other the choice is a genuine
+//! constraint problem; the paper solves it with "the SAT subset of the
+//! Z3 SMT solver" (§5.1.2). This crate substitutes a from-scratch
+//! solver:
+//!
+//! * [`Formula`] — Boolean formulas over [`faceted::Label`]s, with a
+//!   conversion from faceted Booleans;
+//! * [`Assignment`] — (partial) label valuations;
+//! * [`Cnf`] / [`Lit`] — Tseitin CNF;
+//! * [`solve`] — DPLL with unit propagation and *true-first*
+//!   branching, so the first model shows as much as policies allow;
+//! * [`PolicySet`] — per-label policies with `restrict` semantics, the
+//!   `closeK` transitive closure, and one-call [`PolicySet::resolve`].
+//!
+//! # Example
+//!
+//! ```
+//! use faceted::Label;
+//! use labelsat::{Formula, PolicySet};
+//!
+//! let k = Label::from_index(0);
+//! let mut policies = PolicySet::new();
+//! // Self-referential policy (the paper's circular guest-list case):
+//! // k may be shown only if k is shown. Both outcomes are consistent;
+//! // the solver prefers showing.
+//! policies.restrict(k, Formula::var(k));
+//! assert_eq!(policies.resolve([k]).unwrap().get(k), Some(true));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod assignment;
+mod cnf;
+mod dpll;
+mod formula;
+mod solver;
+
+pub use assignment::Assignment;
+pub use cnf::{Cnf, Lit};
+pub use dpll::{solve, SatResult};
+pub use formula::Formula;
+pub use solver::{brute_force_max_true, max_true_assignment, PolicySet};

@@ -1,0 +1,274 @@
+//! High-level policy resolution.
+//!
+//! [`max_true_assignment`] finds the satisfying assignment that shows
+//! as much as possible (lexicographically greatest, `true` preferred);
+//! [`PolicySet`] stores per-label policy constraints and implements
+//! the `closeK` transitive closure and the `F-PRINT` resolution step.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use faceted::Label;
+
+use crate::assignment::Assignment;
+use crate::cnf::Cnf;
+use crate::dpll::{solve, SatResult};
+use crate::formula::Formula;
+
+/// Finds the satisfying assignment of `formula` that is
+/// lexicographically greatest under the label order with
+/// `true > false` — i.e. labels are shown unless the constraints
+/// force hiding. Returns `None` when the formula is unsatisfiable.
+///
+/// # Examples
+///
+/// ```
+/// use faceted::Label;
+/// use labelsat::{max_true_assignment, Formula};
+///
+/// let k = Label::from_index(0);
+/// // k ⇒ false forces hiding.
+/// let a = max_true_assignment(&Formula::var(k).implies(Formula::constant(false))).unwrap();
+/// assert_eq!(a.get(k), Some(false));
+/// ```
+#[must_use]
+pub fn max_true_assignment(formula: &Formula) -> Option<Assignment> {
+    let cnf = Cnf::from_formula(formula);
+    match solve(&cnf) {
+        SatResult::Sat(model) => {
+            let mut a = cnf.model_to_assignment(&model);
+            // Variables the formula never mentions default to shown.
+            for l in formula.vars() {
+                if !a.is_assigned(l) {
+                    a.set(l, true);
+                }
+            }
+            Some(a)
+        }
+        SatResult::Unsat => None,
+    }
+}
+
+/// Reference implementation: enumerate all assignments. Exponential;
+/// used by tests to validate the DPLL path.
+#[must_use]
+pub fn brute_force_max_true(formula: &Formula) -> Option<Assignment> {
+    let vars: Vec<Label> = formula.vars().into_iter().collect();
+    let n = vars.len();
+    assert!(n <= 20, "brute force limited to 20 variables");
+    // Descending lexicographic order with true=1: start from all-true.
+    for bits in (0..(1u64 << n)).rev() {
+        let a: Assignment = vars
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (*l, bits & (1 << (n - 1 - i)) != 0))
+            .collect();
+        if formula.eval(&a) == Some(true) {
+            return Some(a);
+        }
+    }
+    None
+}
+
+/// A set of label policies: `label ⇒ formula` constraints.
+///
+/// Mirrors the store's label component in λ<sub>JDB</sub>: `restrict`
+/// conjoins (policies only become more restrictive, rule
+/// `F-RESTRICT`), and resolution picks a maximal-true satisfying
+/// assignment over the `closeK` transitive closure of relevant labels
+/// (rule `F-PRINT`).
+///
+/// # Examples
+///
+/// ```
+/// use faceted::Label;
+/// use labelsat::{Formula, PolicySet};
+///
+/// let k = Label::from_index(0);
+/// let mut ps = PolicySet::new();
+/// ps.restrict(k, Formula::constant(false));
+/// let a = ps.resolve([k]).expect("all-false is always valid");
+/// assert_eq!(a.get(k), Some(false));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct PolicySet {
+    policies: BTreeMap<Label, Formula>,
+}
+
+impl PolicySet {
+    /// Creates an empty set (every label defaults to policy `true`,
+    /// matching `F-LABEL`'s `λx.true`).
+    #[must_use]
+    pub fn new() -> PolicySet {
+        PolicySet::default()
+    }
+
+    /// Conjoins `policy` onto the label's current policy
+    /// (`F-RESTRICT`).
+    pub fn restrict(&mut self, label: Label, policy: Formula) {
+        let cur = self
+            .policies
+            .remove(&label)
+            .unwrap_or(Formula::Const(true));
+        self.policies.insert(label, cur.and(policy));
+    }
+
+    /// The current policy formula for `label` (default `true`).
+    #[must_use]
+    pub fn policy(&self, label: Label) -> Formula {
+        self.policies
+            .get(&label)
+            .cloned()
+            .unwrap_or(Formula::Const(true))
+    }
+
+    /// Labels with a registered (non-default) policy.
+    pub fn labels(&self) -> impl Iterator<Item = Label> + '_ {
+        self.policies.keys().copied()
+    }
+
+    /// The paper's `closeK`: starting from `seed`, repeatedly add
+    /// every label mentioned by the policies of labels already in the
+    /// set, to fixpoint.
+    #[must_use]
+    pub fn close_k<I: IntoIterator<Item = Label>>(&self, seed: I) -> BTreeSet<Label> {
+        let mut set: BTreeSet<Label> = seed.into_iter().collect();
+        loop {
+            let mut grew = false;
+            let current: Vec<Label> = set.iter().copied().collect();
+            for l in current {
+                for dep in self.policy(l).vars() {
+                    grew |= set.insert(dep);
+                }
+            }
+            if !grew {
+                return set;
+            }
+        }
+    }
+
+    /// Builds the sink constraint for the given labels:
+    /// `⋀_k (k ⇒ policy(k))` over `closeK(seed)`.
+    #[must_use]
+    pub fn constraint<I: IntoIterator<Item = Label>>(&self, seed: I) -> Formula {
+        Formula::all(self.close_k(seed).into_iter().map(|l| {
+            Formula::var(l).implies(self.policy(l))
+        }))
+    }
+
+    /// Resolves the labels reachable from `seed` to a maximal-true
+    /// assignment satisfying every policy constraint.
+    ///
+    /// Always succeeds when constraints have the guarded form
+    /// `k ⇒ φ` (the all-false assignment is valid, §2.3); returns
+    /// `None` only if an ill-formed policy makes even that
+    /// unsatisfiable.
+    #[must_use]
+    pub fn resolve<I: IntoIterator<Item = Label>>(&self, seed: I) -> Option<Assignment> {
+        let relevant = self.close_k(seed);
+        let constraint = self.constraint(relevant.iter().copied());
+        let mut a = max_true_assignment(&constraint)?;
+        // Labels without constraints resolve to "shown".
+        for l in relevant {
+            if !a.is_assigned(l) {
+                a.set(l, true);
+            }
+        }
+        Some(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(i: u32) -> Label {
+        Label::from_index(i)
+    }
+
+    #[test]
+    fn unconstrained_labels_are_shown() {
+        let ps = PolicySet::new();
+        let a = ps.resolve([k(0), k(1)]).unwrap();
+        assert_eq!(a.get(k(0)), Some(true));
+        assert_eq!(a.get(k(1)), Some(true));
+    }
+
+    #[test]
+    fn denying_policy_hides() {
+        let mut ps = PolicySet::new();
+        ps.restrict(k(0), Formula::constant(false));
+        let a = ps.resolve([k(0)]).unwrap();
+        assert_eq!(a.get(k(0)), Some(false));
+    }
+
+    #[test]
+    fn restrict_only_tightens() {
+        let mut ps = PolicySet::new();
+        ps.restrict(k(0), Formula::constant(true));
+        ps.restrict(k(0), Formula::constant(false));
+        ps.restrict(k(0), Formula::constant(true));
+        let a = ps.resolve([k(0)]).unwrap();
+        assert_eq!(a.get(k(0)), Some(false), "policies must only become more restrictive");
+    }
+
+    #[test]
+    fn close_k_follows_dependencies() {
+        let mut ps = PolicySet::new();
+        ps.restrict(k(0), Formula::var(k(1)));
+        ps.restrict(k(1), Formula::var(k(2)));
+        let closed = ps.close_k([k(0)]);
+        assert_eq!(closed.into_iter().collect::<Vec<_>>(), vec![k(0), k(1), k(2)]);
+    }
+
+    #[test]
+    fn mutual_dependency_self_referential_policy() {
+        // The paper's circular case (§2.3): the policy for the guest
+        // list depends on the guest list itself — the guard k's policy
+        // mentions k. Both "show" and "hide" are consistent; the
+        // solver must pick "show".
+        let mut ps = PolicySet::new();
+        ps.restrict(k(0), Formula::var(k(0)));
+        let a = ps.resolve([k(0)]).unwrap();
+        assert_eq!(a.get(k(0)), Some(true), "Jacqueline always attempts to show values");
+    }
+
+    #[test]
+    fn mutual_dependency_forced_hide() {
+        // k's policy says ¬k: only the all-false outcome is consistent.
+        let mut ps = PolicySet::new();
+        ps.restrict(k(0), Formula::var(k(0)).not());
+        let a = ps.resolve([k(0)]).unwrap();
+        assert_eq!(a.get(k(0)), Some(false));
+    }
+
+    #[test]
+    fn chained_policies_resolve_transitively() {
+        // k0 visible only if k1 visible; k1's policy denies.
+        let mut ps = PolicySet::new();
+        ps.restrict(k(0), Formula::var(k(1)));
+        ps.restrict(k(1), Formula::constant(false));
+        let a = ps.resolve([k(0)]).unwrap();
+        assert_eq!(a.get(k(0)), Some(false));
+        assert_eq!(a.get(k(1)), Some(false));
+    }
+
+    #[test]
+    fn dpll_matches_brute_force_on_examples() {
+        let cases = [
+            Formula::var(k(0)).or(Formula::var(k(1))),
+            Formula::var(k(0)).implies(Formula::var(k(1)).not()),
+            Formula::var(k(0))
+                .and(Formula::var(k(1)).or(Formula::var(k(2)).not()))
+                .and(Formula::var(k(2)).implies(Formula::var(k(0)))),
+            Formula::constant(false),
+            Formula::var(k(0)).and(Formula::var(k(0)).not()),
+        ];
+        for f in cases {
+            assert_eq!(
+                max_true_assignment(&f),
+                brute_force_max_true(&f),
+                "formula {f}"
+            );
+        }
+    }
+}

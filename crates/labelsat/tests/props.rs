@@ -1,0 +1,103 @@
+//! Property tests: the DPLL path agrees with brute force, and policy
+//! resolution laws.
+
+use faceted::{Faceted, Label, View};
+use labelsat::{brute_force_max_true, max_true_assignment, Formula, PolicySet};
+use proptest::prelude::*;
+
+const LABELS: u32 = 4;
+
+fn arb_label() -> impl Strategy<Value = Label> {
+    (0..LABELS).prop_map(Label::from_index)
+}
+
+fn arb_formula(depth: u32) -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![
+        any::<bool>().prop_map(Formula::constant),
+        arb_label().prop_map(Formula::var),
+    ];
+    leaf.prop_recursive(depth, 64, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Formula::not),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            (inner.clone(), inner).prop_map(|(a, b)| a.implies(b)),
+        ]
+    })
+}
+
+fn arb_faceted_bool(depth: u32) -> impl Strategy<Value = Faceted<bool>> {
+    let leaf = any::<bool>().prop_map(Faceted::leaf);
+    leaf.prop_recursive(depth, 32, 2, |inner| {
+        (arb_label(), inner.clone(), inner).prop_map(|(l, h, w)| Faceted::split(l, h, w))
+    })
+}
+
+proptest! {
+    /// The DPLL solver and exhaustive enumeration find the same
+    /// maximal-true assignment (or both report UNSAT).
+    #[test]
+    fn dpll_matches_brute_force(f in arb_formula(4)) {
+        prop_assert_eq!(max_true_assignment(&f), brute_force_max_true(&f));
+    }
+
+    /// A found assignment actually satisfies the formula.
+    #[test]
+    fn solutions_satisfy(f in arb_formula(4)) {
+        if let Some(a) = max_true_assignment(&f) {
+            prop_assert_eq!(f.eval(&a), Some(true));
+        }
+    }
+
+    /// from_faceted_bool is the view semantics of the faceted Boolean.
+    #[test]
+    fn formula_of_faceted_bool_matches(v in arb_faceted_bool(4)) {
+        let f = Formula::from_faceted_bool(&v);
+        for bits in 0..(1u32 << LABELS) {
+            let view = View::from_labels(
+                (0..LABELS).filter(|i| bits & (1 << i) != 0).map(Label::from_index),
+            );
+            prop_assert_eq!(f.holds_in(&view), *v.project(&view));
+        }
+    }
+
+    /// Policy resolution always succeeds on guarded constraints and
+    /// satisfies every policy: for each label shown, its policy holds
+    /// under the chosen assignment.
+    #[test]
+    fn resolve_satisfies_policies(
+        policies in proptest::collection::vec((arb_label(), arb_formula(3)), 0..4)
+    ) {
+        let mut ps = PolicySet::new();
+        for (l, f) in &policies {
+            ps.restrict(*l, f.clone());
+        }
+        let seed: Vec<Label> = (0..LABELS).map(Label::from_index).collect();
+        let a = ps.resolve(seed.clone()).expect("guarded constraints are satisfiable");
+        for l in seed {
+            if a.get(l) == Some(true) {
+                prop_assert_eq!(
+                    ps.policy(l).eval(&a),
+                    Some(true),
+                    "label {} shown but its policy fails", l
+                );
+            }
+        }
+    }
+
+    /// The all-false assignment always satisfies the constraint set
+    /// (the paper's fallback guarantee).
+    #[test]
+    fn all_false_is_always_consistent(
+        policies in proptest::collection::vec((arb_label(), arb_formula(3)), 0..4)
+    ) {
+        let mut ps = PolicySet::new();
+        for (l, f) in &policies {
+            ps.restrict(*l, f.clone());
+        }
+        let labels: Vec<Label> = (0..LABELS).map(Label::from_index).collect();
+        let constraint = ps.constraint(labels.clone());
+        let all_false = labelsat::Assignment::all_false(labels);
+        prop_assert_eq!(constraint.eval(&all_false), Some(true));
+    }
+}

@@ -1,0 +1,361 @@
+//! Abstract syntax of λ<sub>JDB</sub> (Figure 3 of the paper, plus the
+//! runtime syntax of Figure 4).
+//!
+//! The λ<sub>jeeves</sub> subset: variables, constants, λ-abstraction,
+//! application, references, faceted expressions, `label k in e`,
+//! `restrict(k, e)`. The λ<sub>JDB</sub> extension: `row`, selection
+//! `σ`, projection `π`, join `⋈`, union `∪`, and `fold`. Runtime
+//! syntax adds addresses, concrete labels, and table values, so that
+//! (following the paper) evaluation is substitution-based and values
+//! are a subset of expressions.
+
+use std::fmt;
+use std::rc::Rc;
+
+use faceted::{Branches, FacetedList, Label};
+
+/// A database row: a sequence of strings (the paper fixes row fields
+/// to strings).
+pub type RowStrings = Vec<String>;
+
+/// A faceted table: rows guarded by branch sets.
+pub type Table = FacetedList<RowStrings>;
+
+/// Primitive binary operators (the "standard imperative λ-calculus"
+/// operations λ<sub>jeeves</sub> builds on).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Integer addition.
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Integer multiplication.
+    Mul,
+    /// Equality on constants (ints, bools, strings).
+    Eq,
+    /// Integer less-than.
+    Lt,
+    /// Boolean conjunction.
+    And,
+    /// Boolean disjunction.
+    Or,
+    /// String concatenation.
+    Concat,
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Op::Add => "+",
+            Op::Sub => "-",
+            Op::Mul => "*",
+            Op::Eq => "==",
+            Op::Lt => "<",
+            Op::And => "&&",
+            Op::Or => "||",
+            Op::Concat => "++",
+        };
+        f.write_str(s)
+    }
+}
+
+/// λ<sub>JDB</sub> expressions.
+///
+/// Source syntax refers to labels through bound variables
+/// (`label k in e` binds `k`); at runtime labels are the concrete
+/// [`Expr::LabelLit`] values substituted for those variables.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Unit constant.
+    Unit,
+    /// Boolean constant.
+    Bool(bool),
+    /// Integer constant.
+    Int(i64),
+    /// String constant.
+    Str(String),
+    /// File handle constant (an output channel for `print`).
+    File(String),
+    /// Variable.
+    Var(String),
+    /// λ-abstraction.
+    Lam(String, Rc<Expr>),
+    /// Application `e₁ e₂`.
+    App(Rc<Expr>, Rc<Expr>),
+    /// Reference allocation `ref e`.
+    Ref(Rc<Expr>),
+    /// Dereference `!e`.
+    Deref(Rc<Expr>),
+    /// Assignment `e₁ := e₂`.
+    Assign(Rc<Expr>, Rc<Expr>),
+    /// Faceted expression `⟨k ? e_H : e_L⟩`; the first position is an
+    /// expression that must evaluate to a label.
+    Facet(Rc<Expr>, Rc<Expr>, Rc<Expr>),
+    /// `label k in e`: allocate a fresh label (default policy
+    /// `λx.true`) and bind it to `k` in `e` (rule `F-LABEL`).
+    LabelIn(String, Rc<Expr>),
+    /// `restrict(k, e)`: attach policy `e` to the label `k` evaluates
+    /// to (rule `F-RESTRICT`).
+    Restrict(Rc<Expr>, Rc<Expr>),
+    /// `row e…`: a one-row table (fields must evaluate to strings).
+    Row(Vec<Rc<Expr>>),
+    /// Selection `σ_{i=j} e`: rows whose fields `i` and `j` coincide.
+    Select(usize, usize, Rc<Expr>),
+    /// Projection `π_ī e`: keep columns `ī`.
+    Project(Vec<usize>, Rc<Expr>),
+    /// Join (cross product) `e₁ ⋈ e₂`.
+    Join(Rc<Expr>, Rc<Expr>),
+    /// Union `e₁ ∪ e₂`.
+    Union(Rc<Expr>, Rc<Expr>),
+    /// `fold f acc table` (rule `F-FOLD-*`; the row is passed to `f`
+    /// as a single-row table).
+    Fold(Rc<Expr>, Rc<Expr>, Rc<Expr>),
+    /// Conditional (faceted conditions split execution).
+    If(Rc<Expr>, Rc<Expr>, Rc<Expr>),
+    /// Primitive binary operation (strict in both operands).
+    BinOp(Op, Rc<Expr>, Rc<Expr>),
+    /// `let x = e in body` (sugar for application, kept for
+    /// readability of programs and traces).
+    Let(String, Rc<Expr>, Rc<Expr>),
+    /// Runtime: a store address.
+    Addr(usize),
+    /// Runtime: a concrete label value.
+    LabelLit(Label),
+    /// Runtime: a table value.
+    TableLit(Table),
+}
+
+impl Expr {
+    /// Convenience: shared-pointer wrap.
+    #[must_use]
+    pub fn rc(self) -> Rc<Expr> {
+        Rc::new(self)
+    }
+
+    /// A string literal.
+    #[must_use]
+    pub fn str(s: &str) -> Expr {
+        Expr::Str(s.to_owned())
+    }
+
+    /// A variable.
+    #[must_use]
+    pub fn var(name: &str) -> Expr {
+        Expr::Var(name.to_owned())
+    }
+
+    /// A λ-abstraction.
+    #[must_use]
+    pub fn lam(param: &str, body: Expr) -> Expr {
+        Expr::Lam(param.to_owned(), body.rc())
+    }
+
+    /// An application.
+    #[must_use]
+    pub fn app(f: Expr, a: Expr) -> Expr {
+        Expr::App(f.rc(), a.rc())
+    }
+
+    /// A let binding.
+    #[must_use]
+    pub fn let_in(name: &str, bound: Expr, body: Expr) -> Expr {
+        Expr::Let(name.to_owned(), bound.rc(), body.rc())
+    }
+
+    /// A faceted expression with a concrete label.
+    #[must_use]
+    pub fn facet(label: Label, high: Expr, low: Expr) -> Expr {
+        Expr::Facet(Expr::LabelLit(label).rc(), high.rc(), low.rc())
+    }
+
+    /// Capture-avoiding substitution `self[x := v]`, where `v` is a
+    /// *value expression* (closed), so no capture can occur through it;
+    /// binders shadow as usual.
+    #[must_use]
+    pub fn subst(&self, x: &str, v: &Expr) -> Expr {
+        match self {
+            Expr::Var(y) => {
+                if y == x {
+                    v.clone()
+                } else {
+                    self.clone()
+                }
+            }
+            Expr::Unit
+            | Expr::Bool(_)
+            | Expr::Int(_)
+            | Expr::Str(_)
+            | Expr::File(_)
+            | Expr::Addr(_)
+            | Expr::LabelLit(_)
+            | Expr::TableLit(_) => self.clone(),
+            Expr::Lam(p, b) => {
+                if p == x {
+                    self.clone()
+                } else {
+                    Expr::Lam(p.clone(), b.subst(x, v).rc())
+                }
+            }
+            Expr::App(f, a) => Expr::App(f.subst(x, v).rc(), a.subst(x, v).rc()),
+            Expr::Ref(e) => Expr::Ref(e.subst(x, v).rc()),
+            Expr::Deref(e) => Expr::Deref(e.subst(x, v).rc()),
+            Expr::Assign(a, b) => Expr::Assign(a.subst(x, v).rc(), b.subst(x, v).rc()),
+            Expr::Facet(k, h, l) => Expr::Facet(
+                k.subst(x, v).rc(),
+                h.subst(x, v).rc(),
+                l.subst(x, v).rc(),
+            ),
+            Expr::LabelIn(k, e) => {
+                if k == x {
+                    self.clone()
+                } else {
+                    Expr::LabelIn(k.clone(), e.subst(x, v).rc())
+                }
+            }
+            Expr::Restrict(k, e) => Expr::Restrict(k.subst(x, v).rc(), e.subst(x, v).rc()),
+            Expr::Row(es) => Expr::Row(es.iter().map(|e| e.subst(x, v).rc()).collect()),
+            Expr::Select(i, j, e) => Expr::Select(*i, *j, e.subst(x, v).rc()),
+            Expr::Project(ix, e) => Expr::Project(ix.clone(), e.subst(x, v).rc()),
+            Expr::Join(a, b) => Expr::Join(a.subst(x, v).rc(), b.subst(x, v).rc()),
+            Expr::Union(a, b) => Expr::Union(a.subst(x, v).rc(), b.subst(x, v).rc()),
+            Expr::Fold(f, p, t) => Expr::Fold(
+                f.subst(x, v).rc(),
+                p.subst(x, v).rc(),
+                t.subst(x, v).rc(),
+            ),
+            Expr::If(c, t, e) => Expr::If(
+                c.subst(x, v).rc(),
+                t.subst(x, v).rc(),
+                e.subst(x, v).rc(),
+            ),
+            Expr::BinOp(op, a, b) => Expr::BinOp(*op, a.subst(x, v).rc(), b.subst(x, v).rc()),
+            Expr::Let(y, bound, body) => {
+                let bound = bound.subst(x, v).rc();
+                if y == x {
+                    Expr::Let(y.clone(), bound, body.clone())
+                } else {
+                    Expr::Let(y.clone(), bound, body.subst(x, v).rc())
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Unit => write!(f, "()"),
+            Expr::Bool(b) => write!(f, "{b}"),
+            Expr::Int(i) => write!(f, "{i}"),
+            Expr::Str(s) => write!(f, "{s:?}"),
+            Expr::File(name) => write!(f, "#file:{name}"),
+            Expr::Var(x) => write!(f, "{x}"),
+            Expr::Lam(p, b) => write!(f, "(λ{p}. {b})"),
+            Expr::App(a, b) => write!(f, "({a} {b})"),
+            Expr::Ref(e) => write!(f, "(ref {e})"),
+            Expr::Deref(e) => write!(f, "(!{e})"),
+            Expr::Assign(a, b) => write!(f, "({a} := {b})"),
+            Expr::Facet(k, h, l) => write!(f, "⟨{k} ? {h} : {l}⟩"),
+            Expr::LabelIn(k, e) => write!(f, "(label {k} in {e})"),
+            Expr::Restrict(k, e) => write!(f, "restrict({k}, {e})"),
+            Expr::Row(es) => {
+                write!(f, "(row")?;
+                for e in es {
+                    write!(f, " {e}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Select(i, j, e) => write!(f, "σ[{i}={j}]({e})"),
+            Expr::Project(ix, e) => {
+                write!(f, "π[")?;
+                for (n, i) in ix.iter().enumerate() {
+                    if n > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{i}")?;
+                }
+                write!(f, "]({e})")
+            }
+            Expr::Join(a, b) => write!(f, "({a} ⋈ {b})"),
+            Expr::Union(a, b) => write!(f, "({a} ∪ {b})"),
+            Expr::Fold(g, p, t) => write!(f, "(fold {g} {p} {t})"),
+            Expr::If(c, t, e) => write!(f, "(if {c} then {t} else {e})"),
+            Expr::BinOp(op, a, b) => write!(f, "({a} {op} {b})"),
+            Expr::Let(x, bound, body) => write!(f, "(let {x} = {bound} in {body})"),
+            Expr::Addr(a) => write!(f, "#addr:{a}"),
+            Expr::LabelLit(l) => write!(f, "{l}"),
+            Expr::TableLit(t) => {
+                write!(f, "(table")?;
+                for (b, row) in t.iter() {
+                    write!(f, " ({b:?}, {row:?})")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// A λ<sub>JDB</sub> statement (Figure 3).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Statement {
+    /// `let x = e in S`.
+    Let(String, Expr, Box<Statement>),
+    /// `print {e_viewer} e_result`: the computation sink.
+    Print(Expr, Expr),
+    /// Sequencing of prints (convenience for whole programs).
+    Seq(Box<Statement>, Box<Statement>),
+}
+
+/// Builds a single-row table from field strings (used by tests and by
+/// `F-ROW`).
+#[must_use]
+pub fn single_row(fields: RowStrings) -> Table {
+    let mut t = Table::new();
+    t.push(Branches::new(), fields);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subst_replaces_free_occurrences() {
+        let e = Expr::app(Expr::var("x"), Expr::lam("x", Expr::var("x")));
+        let s = e.subst("x", &Expr::Int(1));
+        assert_eq!(
+            s,
+            Expr::app(Expr::Int(1), Expr::lam("x", Expr::var("x"))),
+            "binder must shadow"
+        );
+    }
+
+    #[test]
+    fn subst_respects_let_shadowing() {
+        let e = Expr::let_in("x", Expr::var("x"), Expr::var("x"));
+        let s = e.subst("x", &Expr::Int(7));
+        // The bound expression is substituted; the body is shadowed.
+        assert_eq!(s, Expr::let_in("x", Expr::Int(7), Expr::var("x")));
+    }
+
+    #[test]
+    fn subst_respects_label_binder() {
+        let e = Expr::LabelIn("k".into(), Expr::var("k").rc());
+        assert_eq!(e.subst("k", &Expr::Int(1)), e);
+        let e2 = Expr::LabelIn("k".into(), Expr::var("x").rc());
+        assert_eq!(
+            e2.subst("x", &Expr::Int(1)),
+            Expr::LabelIn("k".into(), Expr::Int(1).rc())
+        );
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        let e = Expr::facet(
+            Label::from_index(0),
+            Expr::str("secret"),
+            Expr::str("public"),
+        );
+        assert_eq!(e.to_string(), "⟨k0 ? \"secret\" : \"public\"⟩");
+    }
+}

@@ -1,0 +1,85 @@
+//! Evaluation errors ("stuck" states of the semantics).
+
+use std::error::Error;
+use std::fmt;
+
+/// Ways a λ<sub>JDB</sub> program can get stuck.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EvalError {
+    /// A free variable was evaluated (programs must be closed).
+    UnboundVariable(String),
+    /// A non-closure was applied.
+    NotAFunction(String),
+    /// A non-label appeared in facet/restrict label position.
+    NotALabel(String),
+    /// A non-address appeared in a dereference/assignment.
+    NotAnAddress(String),
+    /// A non-Boolean condition.
+    NotABool(String),
+    /// Row fields must be strings.
+    RowFieldNotString(String),
+    /// A relational operator was applied to a non-table.
+    ExpectedTable,
+    /// A strict scalar position received a table.
+    ExpectedNonTable,
+    /// `⟨⟨k ? V₁ : V₂⟩⟩` mixed a table with a non-table (the paper's
+    /// footnote-1 stuck case).
+    MixedFacet,
+    /// A column index was out of bounds for a row.
+    ColumnOutOfBounds {
+        /// Requested index.
+        index: usize,
+        /// Row width.
+        width: usize,
+    },
+    /// Ill-typed primitive operation.
+    TypeError(String),
+    /// A policy did not evaluate to a Boolean check.
+    BadPolicy(String),
+    /// The print sink could not find a satisfying label assignment
+    /// (only possible with ill-formed policies).
+    NoValidAssignment,
+    /// `print` channel position did not resolve to a file handle.
+    NotAFile(String),
+    /// Evaluation exceeded its fuel budget.
+    OutOfFuel,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnboundVariable(x) => write!(f, "unbound variable {x}"),
+            EvalError::NotAFunction(v) => write!(f, "cannot apply non-function {v}"),
+            EvalError::NotALabel(v) => write!(f, "expected a label, got {v}"),
+            EvalError::NotAnAddress(v) => write!(f, "expected an address, got {v}"),
+            EvalError::NotABool(v) => write!(f, "expected a boolean, got {v}"),
+            EvalError::RowFieldNotString(v) => write!(f, "row fields must be strings, got {v}"),
+            EvalError::ExpectedTable => write!(f, "relational operator applied to a non-table"),
+            EvalError::ExpectedNonTable => write!(f, "table value in scalar position"),
+            EvalError::MixedFacet => {
+                write!(f, "faceted value mixes a table with a non-table (stuck)")
+            }
+            EvalError::ColumnOutOfBounds { index, width } => {
+                write!(f, "column {index} out of bounds for row of width {width}")
+            }
+            EvalError::TypeError(m) => write!(f, "type error: {m}"),
+            EvalError::BadPolicy(m) => write!(f, "policy error: {m}"),
+            EvalError::NoValidAssignment => write!(f, "no label assignment satisfies the policies"),
+            EvalError::NotAFile(v) => write!(f, "print channel is not a file handle: {v}"),
+            EvalError::OutOfFuel => write!(f, "evaluation exceeded fuel budget"),
+        }
+    }
+}
+
+impl Error for EvalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!EvalError::OutOfFuel.to_string().is_empty());
+        assert!(EvalError::UnboundVariable("x".into()).to_string().contains('x'));
+    }
+}

@@ -1,0 +1,61 @@
+//! `lambdajdb` — the λ<sub>JDB</sub> core language, executable.
+//!
+//! λ<sub>JDB</sub> (Yang et al., PLDI 2016, §4) extends the
+//! λ<sub>jeeves</sub> faceted λ-calculus with relational tables:
+//! `row`, selection, projection, join, union and `fold`, evaluated
+//! under a *program counter* of branches so that every influence of a
+//! sensitive value — direct, indirect, or through database rows — is
+//! tracked. This crate implements:
+//!
+//! * the full syntax of Figure 3 ([`Expr`], [`Statement`]);
+//! * the big-step faceted semantics of Figures 4–5 ([`Interp`]),
+//!   including the `F-FOLD-*` rules and the `⟨⟨·⟩⟩` value join;
+//! * `label`/`restrict` and the `F-PRINT` sink of Appendix A, with the
+//!   `closeK` policy closure and SAT-backed label assignment;
+//! * Early Pruning (`F-PRUNE`, §4.4) behind [`EvalConfig`];
+//! * view projection `L(·)` (§4.3) and the metatheory — Projection,
+//!   Termination-Insensitive Non-Interference, policy compliance —
+//!   as executable property tests;
+//! * an s-expression parser ([`parse_expr`], [`parse_statement`]).
+//!
+//! # Example: the surprise party
+//!
+//! ```
+//! use lambdajdb::{parse_statement, Interp};
+//!
+//! // One label guards the event name; the policy allows only the
+//! // "alice" channel to see the secret facet.
+//! let program = parse_statement(
+//!     "(letstmt party
+//!        (label k (let attached
+//!                   (restrict k (lam viewer (== viewer (file alice))))
+//!                   k))
+//!        (seq
+//!          (print (file alice) (facet party \"Carol's surprise party\" \"Private event\"))
+//!          (print (file carol) (facet party \"Carol's surprise party\" \"Private event\"))))",
+//! ).unwrap();
+//!
+//! let mut interp = Interp::new();
+//! let out = interp.run(&program).unwrap();
+//! assert_eq!(out[0].rendered, "Carol's surprise party");
+//! assert_eq!(out[1].rendered, "Private event");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod error;
+mod eval;
+mod parser;
+mod projection;
+mod value;
+
+pub use ast::{single_row, Expr, Op, RowStrings, Statement, Table};
+pub use error::EvalError;
+pub use eval::{
+    facet_join_branches_val, render, subst_statement, EvalConfig, Interp, Output, Store,
+};
+pub use parser::{parse_expr, parse_statement, ParseError};
+pub use projection::{l_equivalent, project_expr, project_raw, project_store_cells, project_val};
+pub use value::{collect_expr_labels, faceted_to_expr, RawValue, Val};

@@ -1,0 +1,441 @@
+//! An s-expression front end for λ<sub>JDB</sub>.
+//!
+//! Grammar (each form is a parenthesized list):
+//!
+//! ```text
+//! e ::= <int> | true | false | unit | "<string>" | <ident>
+//!     | (file <ident>)              output channel
+//!     | (lam <x> e) | (app e e) | (let <x> e e)
+//!     | (ref e) | (deref e) | (assign e e)
+//!     | (facet e e e)               ⟨k ? e_H : e_L⟩
+//!     | (label <k> e)               label k in e
+//!     | (restrict e e)              restrict(k, policy)
+//!     | (row e ...) | (select i j e) | (project (i ...) e)
+//!     | (join e e) | (union e e) | (fold e e e)
+//!     | (if e e e)
+//!     | (+ e e) | (- e e) | (* e e) | (== e e) | (< e e)
+//!     | (and e e) | (or e e) | (concat e e)
+//! stmt ::= (print e e) | (letstmt <x> e stmt) | (seq stmt stmt)
+//! ```
+
+use std::fmt;
+use std::rc::Rc;
+
+use crate::ast::{Expr, Op, Statement};
+
+/// Parse errors with position information.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the error.
+    pub offset: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Sexp {
+    Atom(String, usize),
+    Str(String, usize),
+    List(Vec<Sexp>, usize),
+}
+
+impl Sexp {
+    fn offset(&self) -> usize {
+        match self {
+            Sexp::Atom(_, o) | Sexp::Str(_, o) | Sexp::List(_, o) => *o,
+        }
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            if c.is_ascii_whitespace() {
+                self.pos += 1;
+            } else if c == b';' {
+                while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn parse_sexp(&mut self) -> Result<Sexp, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.pos >= self.src.len() {
+            return Err(ParseError {
+                offset: start,
+                message: "unexpected end of input".into(),
+            });
+        }
+        match self.src[self.pos] {
+            b'(' => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                loop {
+                    self.skip_ws();
+                    if self.pos >= self.src.len() {
+                        return Err(ParseError {
+                            offset: start,
+                            message: "unclosed parenthesis".into(),
+                        });
+                    }
+                    if self.src[self.pos] == b')' {
+                        self.pos += 1;
+                        return Ok(Sexp::List(items, start));
+                    }
+                    items.push(self.parse_sexp()?);
+                }
+            }
+            b')' => Err(ParseError {
+                offset: start,
+                message: "unexpected ')'".into(),
+            }),
+            b'"' => {
+                self.pos += 1;
+                let mut s = String::new();
+                while self.pos < self.src.len() && self.src[self.pos] != b'"' {
+                    if self.src[self.pos] == b'\\' && self.pos + 1 < self.src.len() {
+                        self.pos += 1;
+                    }
+                    s.push(self.src[self.pos] as char);
+                    self.pos += 1;
+                }
+                if self.pos >= self.src.len() {
+                    return Err(ParseError {
+                        offset: start,
+                        message: "unterminated string".into(),
+                    });
+                }
+                self.pos += 1;
+                Ok(Sexp::Str(s, start))
+            }
+            _ => {
+                let mut s = String::new();
+                while self.pos < self.src.len() {
+                    let c = self.src[self.pos];
+                    if c.is_ascii_whitespace() || c == b'(' || c == b')' || c == b'"' {
+                        break;
+                    }
+                    s.push(c as char);
+                    self.pos += 1;
+                }
+                Ok(Sexp::Atom(s, start))
+            }
+        }
+    }
+}
+
+/// Parses a single expression.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntax problem.
+///
+/// # Examples
+///
+/// ```
+/// use lambdajdb::parse_expr;
+///
+/// let e = parse_expr("(label k (facet k \"secret\" \"public\"))").unwrap();
+/// assert!(e.to_string().contains("label"));
+/// ```
+pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
+    let mut lexer = Lexer { src: src.as_bytes(), pos: 0 };
+    let sexp = lexer.parse_sexp()?;
+    lexer.skip_ws();
+    if lexer.pos != src.len() {
+        return Err(ParseError {
+            offset: lexer.pos,
+            message: "trailing input".into(),
+        });
+    }
+    expr_of(&sexp)
+}
+
+/// Parses a statement (`print` / `letstmt` / `seq` forms).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntax problem.
+pub fn parse_statement(src: &str) -> Result<Statement, ParseError> {
+    let mut lexer = Lexer { src: src.as_bytes(), pos: 0 };
+    let sexp = lexer.parse_sexp()?;
+    statement_of(&sexp)
+}
+
+fn err<T>(offset: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError { offset, message: message.into() })
+}
+
+fn atom_name(s: &Sexp) -> Result<&str, ParseError> {
+    match s {
+        Sexp::Atom(a, _) => Ok(a),
+        other => err(other.offset(), "expected an identifier"),
+    }
+}
+
+fn expr_of(s: &Sexp) -> Result<Expr, ParseError> {
+    match s {
+        Sexp::Str(text, _) => Ok(Expr::Str(text.clone())),
+        Sexp::Atom(a, o) => {
+            if a == "true" {
+                Ok(Expr::Bool(true))
+            } else if a == "false" {
+                Ok(Expr::Bool(false))
+            } else if a == "unit" {
+                Ok(Expr::Unit)
+            } else if let Ok(i) = a.parse::<i64>() {
+                Ok(Expr::Int(i))
+            } else if a.is_empty() {
+                err(*o, "empty atom")
+            } else {
+                Ok(Expr::Var(a.clone()))
+            }
+        }
+        Sexp::List(items, o) => {
+            let Some((head, rest)) = items.split_first() else {
+                return err(*o, "empty list");
+            };
+            let head_name = atom_name(head)?;
+            let arity = |n: usize| -> Result<(), ParseError> {
+                if rest.len() == n {
+                    Ok(())
+                } else {
+                    err(*o, format!("{head_name} expects {n} arguments, got {}", rest.len()))
+                }
+            };
+            let bin = |op: Op| -> Result<Expr, ParseError> {
+                arity(2)?;
+                Ok(Expr::BinOp(op, expr_of(&rest[0])?.rc(), expr_of(&rest[1])?.rc()))
+            };
+            match head_name {
+                "file" => {
+                    arity(1)?;
+                    Ok(Expr::File(atom_name(&rest[0])?.to_owned()))
+                }
+                "lam" => {
+                    arity(2)?;
+                    Ok(Expr::Lam(atom_name(&rest[0])?.to_owned(), expr_of(&rest[1])?.rc()))
+                }
+                "app" => {
+                    arity(2)?;
+                    Ok(Expr::App(expr_of(&rest[0])?.rc(), expr_of(&rest[1])?.rc()))
+                }
+                "let" => {
+                    arity(3)?;
+                    Ok(Expr::Let(
+                        atom_name(&rest[0])?.to_owned(),
+                        expr_of(&rest[1])?.rc(),
+                        expr_of(&rest[2])?.rc(),
+                    ))
+                }
+                "ref" => {
+                    arity(1)?;
+                    Ok(Expr::Ref(expr_of(&rest[0])?.rc()))
+                }
+                "deref" => {
+                    arity(1)?;
+                    Ok(Expr::Deref(expr_of(&rest[0])?.rc()))
+                }
+                "assign" => {
+                    arity(2)?;
+                    Ok(Expr::Assign(expr_of(&rest[0])?.rc(), expr_of(&rest[1])?.rc()))
+                }
+                "facet" => {
+                    arity(3)?;
+                    Ok(Expr::Facet(
+                        expr_of(&rest[0])?.rc(),
+                        expr_of(&rest[1])?.rc(),
+                        expr_of(&rest[2])?.rc(),
+                    ))
+                }
+                "label" => {
+                    arity(2)?;
+                    Ok(Expr::LabelIn(atom_name(&rest[0])?.to_owned(), expr_of(&rest[1])?.rc()))
+                }
+                "restrict" => {
+                    arity(2)?;
+                    Ok(Expr::Restrict(expr_of(&rest[0])?.rc(), expr_of(&rest[1])?.rc()))
+                }
+                "row" => {
+                    let fields: Result<Vec<Rc<Expr>>, ParseError> =
+                        rest.iter().map(|e| Ok(expr_of(e)?.rc())).collect();
+                    Ok(Expr::Row(fields?))
+                }
+                "select" => {
+                    arity(3)?;
+                    let i = index_of(&rest[0])?;
+                    let j = index_of(&rest[1])?;
+                    Ok(Expr::Select(i, j, expr_of(&rest[2])?.rc()))
+                }
+                "project" => {
+                    arity(2)?;
+                    let Sexp::List(ixs, _) = &rest[0] else {
+                        return err(rest[0].offset(), "project expects a list of column indices");
+                    };
+                    let ix: Result<Vec<usize>, ParseError> = ixs.iter().map(index_of).collect();
+                    Ok(Expr::Project(ix?, expr_of(&rest[1])?.rc()))
+                }
+                "join" => {
+                    arity(2)?;
+                    Ok(Expr::Join(expr_of(&rest[0])?.rc(), expr_of(&rest[1])?.rc()))
+                }
+                "union" => {
+                    arity(2)?;
+                    Ok(Expr::Union(expr_of(&rest[0])?.rc(), expr_of(&rest[1])?.rc()))
+                }
+                "fold" => {
+                    arity(3)?;
+                    Ok(Expr::Fold(
+                        expr_of(&rest[0])?.rc(),
+                        expr_of(&rest[1])?.rc(),
+                        expr_of(&rest[2])?.rc(),
+                    ))
+                }
+                "if" => {
+                    arity(3)?;
+                    Ok(Expr::If(
+                        expr_of(&rest[0])?.rc(),
+                        expr_of(&rest[1])?.rc(),
+                        expr_of(&rest[2])?.rc(),
+                    ))
+                }
+                "+" => bin(Op::Add),
+                "-" => bin(Op::Sub),
+                "*" => bin(Op::Mul),
+                "==" => bin(Op::Eq),
+                "<" => bin(Op::Lt),
+                "and" => bin(Op::And),
+                "or" => bin(Op::Or),
+                "concat" => bin(Op::Concat),
+                other => err(*o, format!("unknown form {other}")),
+            }
+        }
+    }
+}
+
+fn index_of(s: &Sexp) -> Result<usize, ParseError> {
+    match s {
+        Sexp::Atom(a, o) => a
+            .parse::<usize>()
+            .map_err(|_| ParseError { offset: *o, message: "expected a column index".into() }),
+        other => err(other.offset(), "expected a column index"),
+    }
+}
+
+fn statement_of(s: &Sexp) -> Result<Statement, ParseError> {
+    let Sexp::List(items, o) = s else {
+        return err(s.offset(), "expected a statement form");
+    };
+    let Some((head, rest)) = items.split_first() else {
+        return err(*o, "empty statement");
+    };
+    match atom_name(head)? {
+        "print" => {
+            if rest.len() != 2 {
+                return err(*o, "print expects 2 arguments");
+            }
+            Ok(Statement::Print(expr_of(&rest[0])?, expr_of(&rest[1])?))
+        }
+        "letstmt" => {
+            if rest.len() != 3 {
+                return err(*o, "letstmt expects 3 arguments");
+            }
+            Ok(Statement::Let(
+                atom_name(&rest[0])?.to_owned(),
+                expr_of(&rest[1])?,
+                Box::new(statement_of(&rest[2])?),
+            ))
+        }
+        "seq" => {
+            if rest.len() != 2 {
+                return err(*o, "seq expects 2 arguments");
+            }
+            Ok(Statement::Seq(
+                Box::new(statement_of(&rest[0])?),
+                Box::new(statement_of(&rest[1])?),
+            ))
+        }
+        other => err(*o, format!("unknown statement form {other}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_literals() {
+        assert_eq!(parse_expr("42").unwrap(), Expr::Int(42));
+        assert_eq!(parse_expr("true").unwrap(), Expr::Bool(true));
+        assert_eq!(parse_expr("\"hi\"").unwrap(), Expr::str("hi"));
+        assert_eq!(parse_expr("unit").unwrap(), Expr::Unit);
+        assert_eq!(parse_expr("x").unwrap(), Expr::var("x"));
+    }
+
+    #[test]
+    fn parses_nested_forms() {
+        let e = parse_expr("(let x (+ 1 2) (* x x))").unwrap();
+        assert_eq!(
+            e,
+            Expr::let_in(
+                "x",
+                Expr::BinOp(Op::Add, Expr::Int(1).rc(), Expr::Int(2).rc()),
+                Expr::BinOp(Op::Mul, Expr::var("x").rc(), Expr::var("x").rc()),
+            )
+        );
+    }
+
+    #[test]
+    fn parses_relational_forms() {
+        let e = parse_expr("(select 0 1 (join (row \"a\" \"a\") (row \"b\")))").unwrap();
+        match e {
+            Expr::Select(0, 1, _) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        let p = parse_expr("(project (1 0) (row \"a\" \"b\"))").unwrap();
+        assert!(matches!(p, Expr::Project(ref ix, _) if ix == &vec![1, 0]));
+    }
+
+    #[test]
+    fn parses_statements() {
+        let s = parse_statement(
+            "(letstmt v (file alice) (print v (facet k \"s\" \"p\")))",
+        )
+        .unwrap();
+        assert!(matches!(s, Statement::Let(..)));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let e = parse_expr("; a comment\n(+ 1 ; inline\n 2)").unwrap();
+        assert!(matches!(e, Expr::BinOp(Op::Add, _, _)));
+    }
+
+    #[test]
+    fn error_reporting() {
+        assert!(parse_expr("(").is_err());
+        assert!(parse_expr(")").is_err());
+        assert!(parse_expr("(unknown-form 1)").is_err());
+        assert!(parse_expr("\"unterminated").is_err());
+        assert!(parse_expr("(+ 1 2) trailing").is_err());
+    }
+}

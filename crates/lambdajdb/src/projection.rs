@@ -1,0 +1,166 @@
+//! View projection `L(·)` over values, expressions and stores (§4.3).
+//!
+//! Projection is the bridge between faceted execution and the
+//! metatheory: Theorem 1 (Projection) says a faceted run projects,
+//! view by view, to standard runs of the projected program. The
+//! property tests in `tests/theorems.rs` execute exactly that
+//! statement.
+
+use faceted::{Faceted, FacetedList, View};
+
+use crate::ast::Expr;
+use crate::eval::Store;
+use crate::value::{RawValue, Val};
+
+/// Projects a raw value: closures project their bodies (the paper
+/// extends `L` homomorphically to all expression forms).
+#[must_use]
+pub fn project_raw(r: &RawValue, view: &View) -> RawValue {
+    match r {
+        RawValue::Closure(p, body) => {
+            RawValue::Closure(p.clone(), project_expr(body, view).rc())
+        }
+        other => other.clone(),
+    }
+}
+
+/// Projects a value: `L(⟨k ? F₁ : F₂⟩)` picks the facet by `k ∈ L`;
+/// `L(table T)` keeps the rows visible to `L`, unguarded.
+///
+/// Tables are semantically multisets (the paper defines the relational
+/// rules with set comprehensions), so the projection is returned in
+/// canonical sorted order — physical row order is not observable.
+#[must_use]
+pub fn project_val(v: &Val, view: &View) -> Val {
+    match v {
+        Val::F(f) => Val::F(Faceted::leaf(project_raw(f.project(view), view))),
+        Val::Table(t) => {
+            let mut rows: Vec<_> = t.project(view).into_iter().cloned().collect();
+            rows.sort();
+            Val::Table(FacetedList::from_public(rows))
+        }
+    }
+}
+
+/// Projects an expression: faceted expressions with concrete labels
+/// resolve to one side; all other forms project recursively.
+#[must_use]
+pub fn project_expr(e: &Expr, view: &View) -> Expr {
+    let p = |e: &Expr| project_expr(e, view).rc();
+    match e {
+        Expr::Facet(k, h, l) => {
+            if let Expr::LabelLit(label) = &**k {
+                if view.sees(*label) {
+                    project_expr(h, view)
+                } else {
+                    project_expr(l, view)
+                }
+            } else {
+                Expr::Facet(p(k), p(h), p(l))
+            }
+        }
+        Expr::TableLit(t) => {
+            let rows = t.project(view).into_iter().cloned();
+            Expr::TableLit(FacetedList::from_public(rows))
+        }
+        Expr::Unit
+        | Expr::Bool(_)
+        | Expr::Int(_)
+        | Expr::Str(_)
+        | Expr::File(_)
+        | Expr::Var(_)
+        | Expr::Addr(_)
+        | Expr::LabelLit(_) => e.clone(),
+        Expr::Lam(x, b) => Expr::Lam(x.clone(), p(b)),
+        Expr::App(a, b) => Expr::App(p(a), p(b)),
+        Expr::Ref(a) => Expr::Ref(p(a)),
+        Expr::Deref(a) => Expr::Deref(p(a)),
+        Expr::Assign(a, b) => Expr::Assign(p(a), p(b)),
+        Expr::LabelIn(k, b) => Expr::LabelIn(k.clone(), p(b)),
+        Expr::Restrict(a, b) => Expr::Restrict(p(a), p(b)),
+        Expr::Row(es) => Expr::Row(es.iter().map(|e| p(e)).collect()),
+        Expr::Select(i, j, a) => Expr::Select(*i, *j, p(a)),
+        Expr::Project(ix, a) => Expr::Project(ix.clone(), p(a)),
+        Expr::Join(a, b) => Expr::Join(p(a), p(b)),
+        Expr::Union(a, b) => Expr::Union(p(a), p(b)),
+        Expr::Fold(a, b, c) => Expr::Fold(p(a), p(b), p(c)),
+        Expr::If(a, b, c) => Expr::If(p(a), p(b), p(c)),
+        Expr::BinOp(op, a, b) => Expr::BinOp(*op, p(a), p(b)),
+        Expr::Let(x, a, b) => Expr::Let(x.clone(), p(a), p(b)),
+    }
+}
+
+/// Projects every cell of a store (the `L(Σ)` of the theorems).
+#[must_use]
+pub fn project_store_cells(store: &Store, view: &View) -> Vec<Val> {
+    store.cells().iter().map(|v| project_val(v, view)).collect()
+}
+
+/// Whether two values are `L`-equivalent: identical under `L`'s view.
+#[must_use]
+pub fn l_equivalent(a: &Val, b: &Val, view: &View) -> bool {
+    project_val(a, view) == project_val(b, view)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faceted::{Branches, Label};
+
+    fn k(i: u32) -> Label {
+        Label::from_index(i)
+    }
+
+    #[test]
+    fn project_scalar_value() {
+        let v = Val::F(Faceted::split(
+            k(0),
+            Faceted::leaf(RawValue::Int(1)),
+            Faceted::leaf(RawValue::Int(2)),
+        ));
+        assert_eq!(project_val(&v, &View::from_labels([k(0)])), Val::int(1));
+        assert_eq!(project_val(&v, &View::empty()), Val::int(2));
+    }
+
+    #[test]
+    fn project_table_keeps_visible_rows() {
+        let mut t = FacetedList::new();
+        t.push(Branches::new().with(faceted::Branch::pos(k(0))), vec!["secret".to_owned()]);
+        t.push(Branches::new(), vec!["public".to_owned()]);
+        let v = Val::Table(t);
+        let lo = project_val(&v, &View::empty());
+        assert_eq!(lo.as_table().unwrap().len(), 1);
+        let hi = project_val(&v, &View::from_labels([k(0)]));
+        assert_eq!(hi.as_table().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn project_expr_resolves_concrete_facets() {
+        let e = Expr::facet(k(0), Expr::Int(1), Expr::Int(2));
+        assert_eq!(project_expr(&e, &View::from_labels([k(0)])), Expr::Int(1));
+        assert_eq!(project_expr(&e, &View::empty()), Expr::Int(2));
+    }
+
+    #[test]
+    fn project_expr_recurses_into_closures() {
+        let e = Expr::lam("x", Expr::facet(k(0), Expr::var("x"), Expr::Int(0)));
+        let p = project_expr(&e, &View::empty());
+        assert_eq!(p, Expr::lam("x", Expr::Int(0)));
+    }
+
+    #[test]
+    fn l_equivalence_ignores_hidden_facets() {
+        let a = Val::F(Faceted::split(
+            k(0),
+            Faceted::leaf(RawValue::Int(1)),
+            Faceted::leaf(RawValue::Int(2)),
+        ));
+        let b = Val::F(Faceted::split(
+            k(0),
+            Faceted::leaf(RawValue::Int(99)),
+            Faceted::leaf(RawValue::Int(2)),
+        ));
+        assert!(l_equivalent(&a, &b, &View::empty()));
+        assert!(!l_equivalent(&a, &b, &View::from_labels([k(0)])));
+    }
+}

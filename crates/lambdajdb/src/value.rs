@@ -1,0 +1,314 @@
+//! Runtime values of λ<sub>JDB</sub> (Figure 4's runtime syntax).
+
+use std::fmt;
+use std::rc::Rc;
+
+use faceted::{Faceted, FacetedList, Label};
+
+use crate::ast::{Expr, Table};
+use crate::error::EvalError;
+
+/// A raw (non-faceted) value `R ::= c | a | (λx.e)` plus labels, which
+/// are first-class at runtime so that `label k in e` can bind them.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RawValue {
+    /// Unit.
+    Unit,
+    /// Boolean constant.
+    Bool(bool),
+    /// Integer constant.
+    Int(i64),
+    /// String constant.
+    Str(String),
+    /// File handle (print channel).
+    File(String),
+    /// A store address.
+    Addr(usize),
+    /// A label (result of evaluating a label variable).
+    Lbl(Label),
+    /// A closure. Substitution-based evaluation means the body is
+    /// already closed up to its parameter.
+    Closure(String, Rc<Expr>),
+}
+
+impl RawValue {
+    /// Embeds the raw value back into expression syntax (values are a
+    /// subset of expressions in the paper's runtime syntax).
+    #[must_use]
+    pub fn to_expr(&self) -> Expr {
+        match self {
+            RawValue::Unit => Expr::Unit,
+            RawValue::Bool(b) => Expr::Bool(*b),
+            RawValue::Int(i) => Expr::Int(*i),
+            RawValue::Str(s) => Expr::Str(s.clone()),
+            RawValue::File(f) => Expr::File(f.clone()),
+            RawValue::Addr(a) => Expr::Addr(*a),
+            RawValue::Lbl(l) => Expr::LabelLit(*l),
+            RawValue::Closure(p, b) => Expr::Lam(p.clone(), Rc::clone(b)),
+        }
+    }
+}
+
+impl fmt::Display for RawValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RawValue::Unit => write!(f, "()"),
+            RawValue::Bool(b) => write!(f, "{b}"),
+            RawValue::Int(i) => write!(f, "{i}"),
+            RawValue::Str(s) => write!(f, "{s}"),
+            RawValue::File(n) => write!(f, "#file:{n}"),
+            RawValue::Addr(a) => write!(f, "#addr:{a}"),
+            RawValue::Lbl(l) => write!(f, "{l}"),
+            RawValue::Closure(p, b) => write!(f, "(λ{p}. {b})"),
+        }
+    }
+}
+
+/// A λ<sub>JDB</sub> value: a (possibly faceted) raw value, or a table
+/// of guarded rows. Tables never occur *inside* faceted values — the
+/// `⟨⟨·⟩⟩` operator pushes facets down to table rows instead (§4.2).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Val {
+    /// A faceted raw value.
+    F(Faceted<RawValue>),
+    /// A faceted table.
+    Table(Table),
+}
+
+impl Val {
+    /// A plain (leaf) value.
+    #[must_use]
+    pub fn raw(r: RawValue) -> Val {
+        Val::F(Faceted::leaf(r))
+    }
+
+    /// Convenience: integer value.
+    #[must_use]
+    pub fn int(i: i64) -> Val {
+        Val::raw(RawValue::Int(i))
+    }
+
+    /// Convenience: Boolean value.
+    #[must_use]
+    pub fn bool(b: bool) -> Val {
+        Val::raw(RawValue::Bool(b))
+    }
+
+    /// Convenience: string value.
+    #[must_use]
+    pub fn str(s: &str) -> Val {
+        Val::raw(RawValue::Str(s.to_owned()))
+    }
+
+    /// The underlying faceted raw value, or an error for tables (used
+    /// by strict positions that cannot accept tables).
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::ExpectedNonTable`] if this is a table.
+    pub fn as_faceted(&self) -> Result<&Faceted<RawValue>, EvalError> {
+        match self {
+            Val::F(f) => Ok(f),
+            Val::Table(_) => Err(EvalError::ExpectedNonTable),
+        }
+    }
+
+    /// The table, or an error (used by relational operators).
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::ExpectedTable`] if this is not a table.
+    pub fn as_table(&self) -> Result<&Table, EvalError> {
+        match self {
+            Val::Table(t) => Ok(t),
+            Val::F(_) => Err(EvalError::ExpectedTable),
+        }
+    }
+
+    /// Embeds the value into expression syntax.
+    #[must_use]
+    pub fn to_expr(&self) -> Expr {
+        match self {
+            Val::F(f) => faceted_to_expr(f),
+            Val::Table(t) => Expr::TableLit(t.clone()),
+        }
+    }
+
+    /// The `⟨⟨k ? V₁ : V₂⟩⟩` operation of §4.2: faceted values wrap in
+    /// a facet, tables merge rows with the shared-row optimization;
+    /// mixing a table with a non-table is the paper's "stuck" case.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::MixedFacet`] when one side is a table and the
+    /// other is not.
+    pub fn facet_join(label: Label, high: Val, low: Val) -> Result<Val, EvalError> {
+        match (high, low) {
+            (Val::F(h), Val::F(l)) => Ok(Val::F(Faceted::split(label, h, l))),
+            (Val::Table(h), Val::Table(l)) => {
+                Ok(Val::Table(FacetedList::facet_join(label, &h, &l)))
+            }
+            _ => Err(EvalError::MixedFacet),
+        }
+    }
+
+    /// All labels occurring in the value (facet structure, row guards,
+    /// and — for closures — their bodies; used by `closeK`).
+    #[must_use]
+    pub fn labels(&self) -> Vec<Label> {
+        let mut out = Vec::new();
+        match self {
+            Val::F(f) => {
+                out.extend(f.labels());
+                for (_, leaf) in f.leaves() {
+                    if let RawValue::Closure(_, body) = leaf {
+                        collect_expr_labels(body, &mut out);
+                    }
+                    if let RawValue::Lbl(l) = leaf {
+                        out.push(*l);
+                    }
+                }
+            }
+            Val::Table(t) => out.extend(t.labels()),
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+impl fmt::Display for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Val::F(v) => write!(f, "{v:?}"),
+            Val::Table(t) => {
+                writeln!(f, "table {{")?;
+                for (b, row) in t.iter() {
+                    writeln!(f, "  ({b:?}, {row:?})")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+/// Embeds a faceted raw value into (runtime) expression syntax.
+#[must_use]
+pub fn faceted_to_expr(f: &Faceted<RawValue>) -> Expr {
+    match f.as_leaf() {
+        Some(r) => r.to_expr(),
+        None => {
+            let k = f.root_label().expect("non-leaf has a root label");
+            Expr::facet(
+                k,
+                faceted_to_expr(&f.assume(k, true)),
+                faceted_to_expr(&f.assume(k, false)),
+            )
+        }
+    }
+}
+
+/// Collects every label mentioned in an expression (facet labels and
+/// label literals).
+pub fn collect_expr_labels(e: &Expr, out: &mut Vec<Label>) {
+    match e {
+        Expr::LabelLit(l) => out.push(*l),
+        Expr::TableLit(t) => out.extend(t.labels()),
+        Expr::Lam(_, b) | Expr::LabelIn(_, b) | Expr::Ref(b) | Expr::Deref(b) => {
+            collect_expr_labels(b, out);
+        }
+        Expr::Select(_, _, b) | Expr::Project(_, b) => collect_expr_labels(b, out),
+        Expr::App(a, b)
+        | Expr::Assign(a, b)
+        | Expr::Restrict(a, b)
+        | Expr::Join(a, b)
+        | Expr::Union(a, b)
+        | Expr::BinOp(_, a, b)
+        | Expr::Let(_, a, b) => {
+            collect_expr_labels(a, out);
+            collect_expr_labels(b, out);
+        }
+        Expr::Facet(k, h, l) => {
+            collect_expr_labels(k, out);
+            collect_expr_labels(h, out);
+            collect_expr_labels(l, out);
+        }
+        Expr::If(c, t, e2) => {
+            collect_expr_labels(c, out);
+            collect_expr_labels(t, out);
+            collect_expr_labels(e2, out);
+        }
+        Expr::Fold(a, b, c) => {
+            collect_expr_labels(a, out);
+            collect_expr_labels(b, out);
+            collect_expr_labels(c, out);
+        }
+        Expr::Row(es) => {
+            for e in es {
+                collect_expr_labels(e, out);
+            }
+        }
+        Expr::Unit
+        | Expr::Bool(_)
+        | Expr::Int(_)
+        | Expr::Str(_)
+        | Expr::File(_)
+        | Expr::Var(_)
+        | Expr::Addr(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faceted::Branches;
+
+    fn k(i: u32) -> Label {
+        Label::from_index(i)
+    }
+
+    #[test]
+    fn facet_join_on_values() {
+        let v = Val::facet_join(k(0), Val::int(1), Val::int(2)).unwrap();
+        match v {
+            Val::F(f) => assert_eq!(f.labels(), vec![k(0)]),
+            Val::Table(_) => panic!("expected faceted value"),
+        }
+    }
+
+    #[test]
+    fn facet_join_on_tables_merges_rows() {
+        let mut hi = Table::new();
+        hi.push(Branches::new(), vec!["Alice".into(), "Smith".into()]);
+        let mut lo = Table::new();
+        lo.push(Branches::new(), vec!["Bob".into(), "Jones".into()]);
+        let v = Val::facet_join(k(0), Val::Table(hi), Val::Table(lo)).unwrap();
+        assert_eq!(v.as_table().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn mixed_join_is_stuck() {
+        let t = Val::Table(Table::new());
+        assert_eq!(
+            Val::facet_join(k(0), Val::int(3), t),
+            Err(EvalError::MixedFacet)
+        );
+    }
+
+    #[test]
+    fn to_expr_round_trip_shape() {
+        let v = Val::F(Faceted::split(
+            k(0),
+            Faceted::leaf(RawValue::Int(1)),
+            Faceted::leaf(RawValue::Int(2)),
+        ));
+        assert_eq!(v.to_expr().to_string(), "⟨k0 ? 1 : 2⟩");
+    }
+
+    #[test]
+    fn labels_sees_closure_bodies() {
+        let body = Expr::facet(k(2), Expr::Bool(true), Expr::Bool(false));
+        let v = Val::raw(RawValue::Closure("x".into(), body.rc()));
+        assert_eq!(v.labels(), vec![k(2)]);
+    }
+}

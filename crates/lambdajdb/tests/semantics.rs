@@ -1,0 +1,419 @@
+//! Rule-by-rule tests of the λJDB semantics, following the paper's
+//! running examples.
+
+use faceted::{Branch, Branches, Label, View};
+use lambdajdb::{
+    parse_expr, parse_statement, project_val, Expr, EvalError, Interp, Statement, Val,
+};
+
+fn eval(src: &str) -> Result<Val, EvalError> {
+    Interp::new().eval(&parse_expr(src).unwrap())
+}
+
+fn eval_ok(src: &str) -> Val {
+    eval(src).unwrap()
+}
+
+fn project_rows(v: &Val, view: &View) -> Vec<Vec<String>> {
+    match project_val(v, view) {
+        Val::Table(t) => t.iter().map(|(_, r)| r.clone()).collect(),
+        other => panic!("expected table, got {other:?}"),
+    }
+}
+
+#[test]
+fn f_val_constants() {
+    assert_eq!(eval_ok("42"), Val::int(42));
+    assert_eq!(eval_ok("true"), Val::bool(true));
+    assert_eq!(eval_ok("\"hi\""), Val::str("hi"));
+}
+
+#[test]
+fn f_app_beta_reduction() {
+    assert_eq!(eval_ok("(app (lam x (+ x 1)) 41)"), Val::int(42));
+    assert_eq!(eval_ok("(let x 3 (* x x))"), Val::int(9));
+}
+
+#[test]
+fn f_split_joins_both_branches() {
+    let v = eval_ok("(label k (facet k 1 2))");
+    let k = Label::from_index(0);
+    assert_eq!(project_val(&v, &View::from_labels([k])), Val::int(1));
+    assert_eq!(project_val(&v, &View::empty()), Val::int(2));
+}
+
+#[test]
+fn f_left_right_respect_pc() {
+    // Nested facet on the same label: inner one resolves by pc.
+    let v = eval_ok("(label k (facet k (facet k 1 2) 3))");
+    let k = Label::from_index(0);
+    assert_eq!(project_val(&v, &View::from_labels([k])), Val::int(1));
+    assert_eq!(project_val(&v, &View::empty()), Val::int(3));
+}
+
+#[test]
+fn f_strict_distributes_over_operators() {
+    // "Alice's events: " ++ ⟨k ? party : private⟩ (§2.2).
+    let v = eval_ok(
+        "(label k (concat \"Alice's events: \" (facet k \"Carol's surprise party\" \"Private event\")))",
+    );
+    let k = Label::from_index(0);
+    assert_eq!(
+        project_val(&v, &View::from_labels([k])),
+        Val::str("Alice's events: Carol's surprise party")
+    );
+    assert_eq!(
+        project_val(&v, &View::empty()),
+        Val::str("Alice's events: Private event")
+    );
+}
+
+#[test]
+fn f_strict_on_faceted_function_position() {
+    let v = eval_ok("(label k (app (facet k (lam x (+ x 1)) (lam x (* x 10))) 4))");
+    let k = Label::from_index(0);
+    assert_eq!(project_val(&v, &View::from_labels([k])), Val::int(5));
+    assert_eq!(project_val(&v, &View::empty()), Val::int(40));
+}
+
+#[test]
+fn f_ref_deref_assign_roundtrip() {
+    assert_eq!(eval_ok("(let r (ref 1) (let tmp (assign r 5) (deref r)))"), Val::int(5));
+}
+
+#[test]
+fn f_deref_null_reads_zero() {
+    // Address 99 was never allocated: [F-DEREF-NULL].
+    let mut interp = Interp::new();
+    let v = interp.eval(&Expr::Deref(Expr::Addr(99).rc())).unwrap();
+    assert_eq!(v, Val::int(0));
+}
+
+#[test]
+fn implicit_flow_through_conditional_assignment() {
+    // if ⟨k ? true : false⟩ then r := 1 — the write is guarded by k.
+    let v = eval_ok(
+        "(label k (let r (ref 0)
+            (let tmp (if (facet k true false) (assign r 1) 0)
+              (deref r))))",
+    );
+    let k = Label::from_index(0);
+    assert_eq!(project_val(&v, &View::from_labels([k])), Val::int(1));
+    assert_eq!(
+        project_val(&v, &View::empty()),
+        Val::int(0),
+        "observers without k must not learn the branch was taken"
+    );
+}
+
+#[test]
+fn f_row_builds_single_row_table() {
+    let v = eval_ok("(row \"Alice\" \"Smith\")");
+    let rows = project_rows(&v, &View::empty());
+    assert_eq!(rows, vec![vec!["Alice".to_owned(), "Smith".to_owned()]]);
+}
+
+#[test]
+fn faceted_row_becomes_two_guarded_rows() {
+    // ⟨k ? row "Alice" "Smith" : row "Bob" "Jones"⟩ — the §4.2 example.
+    let v = eval_ok("(label k (facet k (row \"Alice\" \"Smith\") (row \"Bob\" \"Jones\")))");
+    let k = Label::from_index(0);
+    let t = v.as_table().unwrap();
+    assert_eq!(t.len(), 2, "stored as two guarded rows, not two tables");
+    assert_eq!(
+        project_rows(&v, &View::from_labels([k])),
+        vec![vec!["Alice".to_owned(), "Smith".to_owned()]]
+    );
+    assert_eq!(
+        project_rows(&v, &View::empty()),
+        vec![vec!["Bob".to_owned(), "Jones".to_owned()]]
+    );
+}
+
+#[test]
+fn faceted_field_inside_row_distributes() {
+    let v = eval_ok("(label k (row (facet k \"secret\" \"public\") \"x\"))");
+    let k = Label::from_index(0);
+    assert_eq!(
+        project_rows(&v, &View::from_labels([k])),
+        vec![vec!["secret".to_owned(), "x".to_owned()]]
+    );
+    assert_eq!(
+        project_rows(&v, &View::empty()),
+        vec![vec!["public".to_owned(), "x".to_owned()]]
+    );
+}
+
+#[test]
+fn f_select_filters_by_field_equality() {
+    let v = eval_ok(
+        "(select 0 1 (union (row \"a\" \"a\") (row \"a\" \"b\")))",
+    );
+    assert_eq!(
+        project_rows(&v, &View::empty()),
+        vec![vec!["a".to_owned(), "a".to_owned()]]
+    );
+}
+
+#[test]
+fn select_on_faceted_location_guards_result() {
+    // The paper's filter query (§2.2): only viewers who can see the
+    // location obtain the matching event.
+    let v = eval_ok(
+        "(label k (select 0 1
+            (join (facet k (row \"Schloss Dagstuhl\") (row \"Undisclosed\"))
+                  (row \"Schloss Dagstuhl\"))))",
+    );
+    let k = Label::from_index(0);
+    assert_eq!(project_rows(&v, &View::from_labels([k])).len(), 1);
+    assert_eq!(project_rows(&v, &View::empty()).len(), 0);
+}
+
+#[test]
+fn f_project_reorders_columns() {
+    let v = eval_ok("(project (1 0) (row \"a\" \"b\"))");
+    assert_eq!(
+        project_rows(&v, &View::empty()),
+        vec![vec!["b".to_owned(), "a".to_owned()]]
+    );
+}
+
+#[test]
+fn f_join_unions_guards() {
+    let v = eval_ok(
+        "(label k (label l
+            (join (facet k (row \"x\") (row \"y\"))
+                  (facet l (row \"1\") (row \"2\")))))",
+    );
+    let (k, l) = (Label::from_index(0), Label::from_index(1));
+    assert_eq!(
+        project_rows(&v, &View::from_labels([k, l])),
+        vec![vec!["x".to_owned(), "1".to_owned()]]
+    );
+    assert_eq!(
+        project_rows(&v, &View::from_labels([k])),
+        vec![vec!["x".to_owned(), "2".to_owned()]]
+    );
+    assert_eq!(
+        project_rows(&v, &View::empty()),
+        vec![vec!["y".to_owned(), "2".to_owned()]]
+    );
+}
+
+#[test]
+fn f_union_concatenates() {
+    let v = eval_ok("(union (row \"a\") (row \"b\"))");
+    assert_eq!(project_rows(&v, &View::empty()).len(), 2);
+}
+
+#[test]
+fn f_fold_counts_rows_per_view() {
+    // Count rows of a table with one public and one k-guarded row.
+    let v = eval_ok(
+        "(label k (fold (lam r (lam acc (+ acc 1))) 0
+            (union (row \"pub\") (facet k (row \"secret\") (union (row \"x\") (row \"y\"))))))",
+    );
+    let k = Label::from_index(0);
+    assert_eq!(project_val(&v, &View::from_labels([k])), Val::int(2));
+    assert_eq!(project_val(&v, &View::empty()), Val::int(3));
+}
+
+#[test]
+fn f_fold_empty_returns_accumulator() {
+    let v = eval_ok("(fold (lam r (lam acc (+ acc 1))) 7 (select 0 1 (row \"a\" \"b\")))");
+    assert_eq!(project_val(&v, &View::empty()), Val::int(7));
+}
+
+#[test]
+fn mixing_table_and_scalar_in_facet_is_stuck() {
+    let e = parse_expr("(label k (facet k (row \"a\") 3))").unwrap();
+    assert_eq!(Interp::new().eval(&e), Err(EvalError::MixedFacet));
+}
+
+#[test]
+fn applying_non_function_is_stuck() {
+    assert!(matches!(eval("(app 3 4)"), Err(EvalError::NotAFunction(_))));
+}
+
+#[test]
+fn non_boolean_condition_is_stuck() {
+    assert!(matches!(eval("(if 3 1 2)"), Err(EvalError::NotABool(_))));
+}
+
+#[test]
+fn row_field_must_be_string() {
+    assert!(matches!(eval("(row 3)"), Err(EvalError::RowFieldNotString(_))));
+}
+
+#[test]
+fn select_out_of_bounds_column() {
+    assert!(matches!(
+        eval("(select 0 5 (row \"a\"))"),
+        Err(EvalError::ColumnOutOfBounds { .. })
+    ));
+}
+
+#[test]
+fn print_respects_policies() {
+    let program = parse_statement(
+        "(letstmt secret
+            (label k (let a (restrict k (lam v (== v (file boss)))) k))
+            (seq
+              (print (file boss) (facet secret 1 0))
+              (print (file intern) (facet secret 1 0))))",
+    )
+    .unwrap();
+    let out = Interp::new().run(&program).unwrap();
+    assert_eq!(out[0].channel, "boss");
+    assert_eq!(out[0].rendered, "1");
+    assert_eq!(out[1].channel, "intern");
+    assert_eq!(out[1].rendered, "0");
+}
+
+#[test]
+fn print_unrestricted_label_shows_secret() {
+    let program = parse_statement(
+        "(letstmt k (label k k) (print (file anyone) (facet k \"hi\" \"lo\")))",
+    )
+    .unwrap();
+    let out = Interp::new().run(&program).unwrap();
+    assert_eq!(out[0].rendered, "hi", "no policy means show (maximize true)");
+}
+
+#[test]
+fn print_policy_depending_on_state_at_output_time() {
+    // Policy consults a reference; value written *after* restrict but
+    // *before* print determines the outcome (§2.1.2: "the state of the
+    // system at the time of output").
+    let program = parse_statement(
+        "(letstmt cell (ref false)
+           (letstmt secret
+             (label k (let a (restrict k (lam v (deref cell))) k))
+             (letstmt flip (assign cell true)
+               (print (file u) (facet secret 1 0)))))",
+    )
+    .unwrap();
+    let out = Interp::new().run(&program).unwrap();
+    assert_eq!(out[0].rendered, "1");
+}
+
+#[test]
+fn print_circular_policy_prefers_showing() {
+    // Policy for k: the *faceted* check ⟨k ? true : false⟩ — i.e. "you
+    // may see k only if you see k" (the guest-list circularity, §2.3).
+    // Both all-true and all-false satisfy it; Jacqueline shows.
+    let program = parse_statement(
+        "(letstmt secret
+           (label k (let a (restrict k (lam v (facet k true false))) k))
+           (print (file u) (facet secret \"shown\" \"hidden\")))",
+    )
+    .unwrap();
+    let out = Interp::new().run(&program).unwrap();
+    assert_eq!(out[0].rendered, "shown");
+}
+
+#[test]
+fn print_circular_policy_forced_hiding() {
+    // Policy for k: ⟨k ? false : true⟩ — showing k violates its own
+    // policy, so the only consistent outcome is hiding.
+    let program = parse_statement(
+        "(letstmt secret
+           (label k (let a (restrict k (lam v (facet k false true))) k))
+           (print (file u) (facet secret \"shown\" \"hidden\")))",
+    )
+    .unwrap();
+    let out = Interp::new().run(&program).unwrap();
+    assert_eq!(out[0].rendered, "hidden");
+}
+
+#[test]
+fn print_restrict_conjoins_policies() {
+    // Two restricts: the second denies, so the conjunction denies.
+    let program = parse_statement(
+        "(letstmt secret
+           (label k (let a (restrict k (lam v true))
+                    (let b (restrict k (lam v false)) k)))
+           (print (file u) (facet secret \"shown\" \"hidden\")))",
+    )
+    .unwrap();
+    let out = Interp::new().run(&program).unwrap();
+    assert_eq!(out[0].rendered, "hidden");
+}
+
+#[test]
+fn print_faceted_channel_resolves_consistently() {
+    // The channel itself is faceted; the assignment determines both
+    // where and what is printed.
+    let program = parse_statement(
+        "(letstmt secret
+           (label k (let a (restrict k (lam v false)) k))
+           (print (facet secret (file high) (file low)) (facet secret 1 0)))",
+    )
+    .unwrap();
+    let out = Interp::new().run(&program).unwrap();
+    assert_eq!(out[0].channel, "low");
+    assert_eq!(out[0].rendered, "0");
+}
+
+#[test]
+fn early_pruning_preserves_view_of_speculated_viewer() {
+    let src = "(label k (union (facet k (row \"secret\") (row \"public\")) (row \"both\")))";
+    let e = parse_expr(src).unwrap();
+
+    let mut plain = Interp::new();
+    let v_plain = plain.eval(&e).unwrap();
+
+    let k = Label::from_index(0);
+    let spec = Branches::new().with(Branch::pos(k));
+    let mut pruned = Interp::with_pruning(spec);
+    let v_pruned = pruned.eval(&e).unwrap();
+
+    // The speculated viewer (sees k) observes the same rows...
+    let view = View::from_labels([k]);
+    assert_eq!(project_rows(&v_plain, &view), project_rows(&v_pruned, &view));
+    // ...and the pruned table physically stores fewer rows.
+    assert!(v_pruned.as_table().unwrap().len() < v_plain.as_table().unwrap().len());
+}
+
+#[test]
+fn statements_sequence_and_bind() {
+    let program = parse_statement(
+        "(letstmt x 21 (seq (print (file a) (+ x x)) (print (file b) x)))",
+    )
+    .unwrap();
+    let out = Interp::new().run(&program).unwrap();
+    assert_eq!(out.len(), 2);
+    assert_eq!(out[0].rendered, "42");
+    assert_eq!(out[1].rendered, "21");
+}
+
+#[test]
+fn out_of_fuel_reported() {
+    // Keep fuel small: each β-step is one nested interpreter frame,
+    // so divergence depth is bounded by fuel. Run on a thread with an
+    // explicit stack so the test is robust in debug builds.
+    let handle = std::thread::Builder::new()
+        .stack_size(32 * 1024 * 1024)
+        .spawn(|| {
+            // Ω = (λx. x x)(λx. x x) — built inside the thread because
+            // faceted values are intentionally not Send (Rc-shared).
+            let omega = Expr::app(
+                Expr::lam("x", Expr::app(Expr::var("x"), Expr::var("x"))),
+                Expr::lam("x", Expr::app(Expr::var("x"), Expr::var("x"))),
+            );
+            let mut interp = Interp::new();
+            interp.set_fuel(5_000);
+            // Vals are not Send; report just the outcome.
+            interp.eval(&omega) == Err(EvalError::OutOfFuel)
+        })
+        .unwrap();
+    assert!(handle.join().unwrap(), "divergent program must run out of fuel");
+}
+
+#[test]
+fn statement_let_shadowing() {
+    let s = parse_statement("(letstmt x 1 (letstmt x 2 (print (file f) x)))").unwrap();
+    let out = Interp::new().run(&s).unwrap();
+    assert_eq!(out[0].rendered, "2");
+    assert!(matches!(s, Statement::Let(..)));
+}

@@ -1,0 +1,334 @@
+//! The paper's metatheory, executed: Theorem 1 (Projection), Theorem 2
+//! (Termination-Insensitive Non-Interference), and the `F-PRUNE`
+//! extension (§4.4), checked on randomly generated *typed* λJDB
+//! programs over a pre-populated store.
+//!
+//! Programs are generated without `ref` so the faceted run and its
+//! projections allocate identically (the theorem's "without loss of
+//! generality, both evaluations allocate the same address" wart);
+//! `deref`/`assign` against the pre-allocated cells still exercise the
+//! store rules in depth.
+
+use faceted::{Branch, Branches, Faceted, Label, View};
+use lambdajdb::{project_expr, project_val, Expr, Interp, Op, RawValue, Val};
+use proptest::prelude::*;
+
+const LABELS: u32 = 3;
+const CELLS: usize = 4;
+
+fn k(i: u32) -> Label {
+    Label::from_index(i)
+}
+
+fn all_views() -> Vec<View> {
+    (0..(1u32 << LABELS))
+        .map(|bits| {
+            View::from_labels((0..LABELS).filter(|i| bits & (1 << i) != 0).map(Label::from_index))
+        })
+        .collect()
+}
+
+fn arb_label() -> impl Strategy<Value = Label> {
+    (0..LABELS).prop_map(Label::from_index)
+}
+
+fn rc(e: Expr) -> std::rc::Rc<Expr> {
+    e.rc()
+}
+
+fn arb_int(depth: u32) -> BoxedStrategy<Expr> {
+    if depth == 0 {
+        prop_oneof![
+            (0i64..5).prop_map(Expr::Int),
+            (0..CELLS).prop_map(|a| Expr::Deref(rc(Expr::Addr(a)))),
+        ]
+        .boxed()
+    } else {
+        let d = depth - 1;
+        prop_oneof![
+            2 => arb_int(0),
+            2 => (arb_int(d), arb_int(d)).prop_map(|(a, b)| Expr::BinOp(Op::Add, rc(a), rc(b))),
+            2 => (arb_label(), arb_int(d), arb_int(d))
+                .prop_map(|(l, a, b)| Expr::facet(l, a, b)),
+            2 => (arb_bool(d), arb_int(d), arb_int(d))
+                .prop_map(|(c, a, b)| Expr::If(rc(c), rc(a), rc(b))),
+            1 => (0..CELLS, arb_int(d)).prop_map(|(a, e)| Expr::Assign(rc(Expr::Addr(a)), rc(e))),
+            1 => arb_table(d).prop_map(|t| {
+                // fold (λr. λacc. acc + 1) 0 t — count rows.
+                Expr::Fold(
+                    rc(Expr::lam("r", Expr::lam("acc", Expr::BinOp(
+                        Op::Add,
+                        rc(Expr::var("acc")),
+                        rc(Expr::Int(1)),
+                    )))),
+                    rc(Expr::Int(0)),
+                    rc(t),
+                )
+            }),
+            1 => (arb_int(d), arb_int(d)).prop_map(|(a, b)| Expr::let_in(
+                "v",
+                a,
+                Expr::BinOp(Op::Add, rc(Expr::var("v")), rc(b)),
+            )),
+        ]
+        .boxed()
+    }
+}
+
+fn arb_bool(depth: u32) -> BoxedStrategy<Expr> {
+    if depth == 0 {
+        any::<bool>().prop_map(Expr::Bool).boxed()
+    } else {
+        let d = depth - 1;
+        prop_oneof![
+            2 => arb_bool(0),
+            2 => (arb_int(d), arb_int(d)).prop_map(|(a, b)| Expr::BinOp(Op::Eq, rc(a), rc(b))),
+            1 => (arb_int(d), arb_int(d)).prop_map(|(a, b)| Expr::BinOp(Op::Lt, rc(a), rc(b))),
+            1 => (arb_bool(d), arb_bool(d)).prop_map(|(a, b)| Expr::BinOp(Op::And, rc(a), rc(b))),
+            1 => (arb_bool(d), arb_bool(d)).prop_map(|(a, b)| Expr::BinOp(Op::Or, rc(a), rc(b))),
+            2 => (arb_label(), arb_bool(d), arb_bool(d))
+                .prop_map(|(l, a, b)| Expr::facet(l, a, b)),
+        ]
+        .boxed()
+    }
+}
+
+fn arb_str(depth: u32) -> BoxedStrategy<Expr> {
+    if depth == 0 {
+        prop_oneof!["[abc]".prop_map(Expr::Str)].boxed()
+    } else {
+        let d = depth - 1;
+        prop_oneof![
+            3 => arb_str(0),
+            2 => (arb_str(d), arb_str(d)).prop_map(|(a, b)| Expr::BinOp(Op::Concat, rc(a), rc(b))),
+            2 => (arb_label(), arb_str(d), arb_str(d))
+                .prop_map(|(l, a, b)| Expr::facet(l, a, b)),
+            1 => (arb_bool(d), arb_str(d), arb_str(d))
+                .prop_map(|(c, a, b)| Expr::If(rc(c), rc(a), rc(b))),
+        ]
+        .boxed()
+    }
+}
+
+/// Width-2 tables.
+fn arb_table(depth: u32) -> BoxedStrategy<Expr> {
+    if depth == 0 {
+        (arb_str(0), arb_str(0))
+            .prop_map(|(a, b)| Expr::Row(vec![rc(a), rc(b)]))
+            .boxed()
+    } else {
+        let d = depth - 1;
+        prop_oneof![
+            2 => (arb_str(d), arb_str(d)).prop_map(|(a, b)| Expr::Row(vec![rc(a), rc(b)])),
+            2 => (arb_table(d), arb_table(d)).prop_map(|(a, b)| Expr::Union(rc(a), rc(b))),
+            1 => arb_table(d).prop_map(|t| Expr::Select(0, 1, rc(t))),
+            1 => arb_table(d).prop_map(|t| Expr::Project(vec![1, 0], rc(t))),
+            2 => (arb_label(), arb_table(d), arb_table(d))
+                .prop_map(|(l, a, b)| Expr::facet(l, a, b)),
+            1 => (arb_bool(d), arb_table(d), arb_table(d))
+                .prop_map(|(c, a, b)| Expr::If(rc(c), rc(a), rc(b))),
+        ]
+        .boxed()
+    }
+}
+
+fn arb_expr() -> BoxedStrategy<Expr> {
+    prop_oneof![
+        3 => arb_int(3),
+        1 => arb_bool(3),
+        1 => arb_str(3),
+        3 => arb_table(3),
+        1 => (arb_table(2), arb_table(2)).prop_map(|(a, b)| Expr::Join(a.rc(), b.rc())),
+    ]
+    .boxed()
+}
+
+fn arb_cell() -> impl Strategy<Value = Faceted<RawValue>> {
+    let leaf = (0i64..5).prop_map(|i| Faceted::leaf(RawValue::Int(i)));
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        (arb_label(), inner.clone(), inner).prop_map(|(l, h, w)| Faceted::split(l, h, w))
+    })
+}
+
+fn make_interp(cells: &[Faceted<RawValue>]) -> Interp {
+    let mut interp = Interp::new();
+    for c in cells {
+        interp.store.alloc(Val::F(c.clone()));
+    }
+    interp
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// **Theorem 1 (Projection).** If Σ,e ⇓_∅ Σ′,V then for every view
+    /// L: L(Σ), L(e) ⇓_∅ L(Σ′), L(V).
+    #[test]
+    fn projection_theorem(e in arb_expr(), cells in proptest::collection::vec(arb_cell(), CELLS)) {
+        let mut faceted_run = make_interp(&cells);
+        let Ok(v) = faceted_run.eval(&e) else { return Ok(()); };
+
+        for view in all_views() {
+            let projected_cells: Vec<Faceted<RawValue>> = cells
+                .iter()
+                .map(|c| Faceted::leaf(c.project(&view).clone()))
+                .collect();
+            let mut std_run = make_interp(&projected_cells);
+            let pe = project_expr(&e, &view);
+            let pv = std_run
+                .eval(&pe)
+                .expect("projected run of a converging faceted run must converge");
+            // Compare through projection on both sides: tables are
+            // multisets, and project_val canonicalizes row order.
+            prop_assert_eq!(
+                project_val(&pv, &view),
+                project_val(&v, &view),
+                "value at view {:?}", view
+            );
+            for (i, cell) in faceted_run.store.cells().iter().enumerate() {
+                prop_assert_eq!(
+                    &std_run.store.cells()[i],
+                    &project_val(cell, &view),
+                    "cell {} at view {:?}", i, view
+                );
+            }
+        }
+    }
+
+    /// **Theorem 2 (TINI).** L-equivalent stores and expressions yield
+    /// L-equivalent results and stores. We construct the L-equivalent
+    /// pair by hiding arbitrary alternative computations (with their
+    /// own side effects!) behind a label L sees through.
+    #[test]
+    fn non_interference(
+        e in arb_int(3),
+        e_alt in arb_int(3),
+        cells in proptest::collection::vec(arb_cell(), CELLS),
+        alt_cells in proptest::collection::vec(0i64..5, CELLS),
+        hide in arb_label(),
+    ) {
+        // Run 1: the base program on the base store.
+        let mut run1 = make_interp(&cells);
+        let Ok(v1) = run1.eval(&e) else { return Ok(()); };
+
+        // Run 2: every cell and the program itself carry a hidden
+        // alternative facet behind `hide`.
+        let cells2: Vec<Faceted<RawValue>> = cells
+            .iter()
+            .zip(&alt_cells)
+            .map(|(c, alt)| {
+                Faceted::split(hide, c.clone(), Faceted::leaf(RawValue::Int(*alt)))
+            })
+            .collect();
+        let e2 = Expr::facet(hide, e.clone(), e_alt.clone());
+        let mut run2 = make_interp(&cells2);
+        let Ok(v2) = run2.eval(&e2) else { return Ok(()); };
+
+        // Every view that sees `hide` considered the two runs
+        // L-equivalent inputs; their outputs must be L-equivalent.
+        for view in all_views() {
+            if !view.sees(hide) {
+                continue;
+            }
+            prop_assert_eq!(
+                project_val(&v1, &view),
+                project_val(&v2, &view),
+                "result at view {:?}", view
+            );
+            for i in 0..CELLS {
+                prop_assert_eq!(
+                    project_val(&run1.store.cells()[i], &view),
+                    project_val(&run2.store.cells()[i], &view),
+                    "cell {} at view {:?}", i, view
+                );
+            }
+        }
+    }
+
+    /// **F-PRUNE (§4.4).** Early pruning under a viewer speculation
+    /// never changes what any view consistent with the speculation
+    /// observes — results *and* store effects.
+    #[test]
+    fn pruning_preserves_projection(
+        e in arb_expr(),
+        cells in proptest::collection::vec(arb_cell(), CELLS),
+        spec_label in arb_label(),
+        spec_pol in any::<bool>(),
+    ) {
+        let spec = Branches::new().with(if spec_pol {
+            Branch::pos(spec_label)
+        } else {
+            Branch::neg(spec_label)
+        });
+
+        let mut plain = make_interp(&cells);
+        let Ok(v_plain) = plain.eval(&e) else { return Ok(()); };
+
+        let mut pruned_interp = Interp::with_pruning(spec.clone());
+        for c in &cells {
+            pruned_interp.store.alloc(Val::F(c.clone()));
+        }
+        let v_pruned = pruned_interp
+            .eval(&e)
+            .expect("pruning must not introduce failures");
+
+        for view in all_views() {
+            if !spec.visible_to(&view) {
+                continue;
+            }
+            prop_assert_eq!(
+                project_val(&v_plain, &view),
+                project_val(&v_pruned, &view),
+                "view {:?}", view
+            );
+            for i in 0..CELLS {
+                prop_assert_eq!(
+                    project_val(&plain.store.cells()[i], &view),
+                    project_val(&pruned_interp.store.cells()[i], &view),
+                    "cell {} at view {:?}", i, view
+                );
+            }
+        }
+    }
+
+    /// Policy compliance: printing a value guarded by a label whose
+    /// policy denies the viewer never reveals the secret facet.
+    #[test]
+    fn policy_compliance_at_sink(secret in 0i64..100, public in 0i64..100, allow in any::<bool>()) {
+        use lambdajdb::{parse_statement};
+        let program = parse_statement(&format!(
+            "(letstmt secret
+               (label k (let a (restrict k (lam v {})) k))
+               (print (file u) (facet secret {secret} {public})))",
+            if allow { "true" } else { "false" },
+        )).unwrap();
+        let out = Interp::new().run(&program).unwrap();
+        let expected = if allow { secret } else { public };
+        prop_assert_eq!(&out[0].rendered, &expected.to_string());
+    }
+}
+
+#[test]
+fn projection_of_paper_table1_example() {
+    // Table 1: the event row stored as secret/public rows; check the
+    // projected query result for both viewers.
+    let e = lambdajdb::parse_expr(
+        "(select 1 2 (join
+            (facet (label l l) (row \"Carol's party\" \"Schloss Dagstuhl\")
+                               (row \"Private event\" \"Undisclosed\"))
+            (row \"Schloss Dagstuhl\")))",
+    )
+    .unwrap();
+    // `label l l` allocates label 0 and returns it.
+    let mut interp = Interp::new();
+    let v = interp.eval(&e).unwrap();
+    let guest = View::from_labels([k(0)]);
+    match project_val(&v, &guest) {
+        Val::Table(t) => assert_eq!(t.len(), 1),
+        other => panic!("unexpected {other:?}"),
+    }
+    match project_val(&v, &View::empty()) {
+        Val::Table(t) => assert!(t.is_empty(), "outsiders must not see the match"),
+        other => panic!("unexpected {other:?}"),
+    }
+}

@@ -1,0 +1,197 @@
+//! Aggregation: COUNT / SUM / MIN / MAX / AVG, optionally grouped.
+//!
+//! The paper's FORM deliberately does **not** push aggregates to the
+//! database (§3.1.1: aggregating across facet rows would mix values
+//! from different facets). These helpers exist for the *vanilla*
+//! baseline applications and for the faceted runtime to aggregate
+//! per-facet after unmarshalling.
+
+use std::collections::BTreeMap;
+
+use crate::error::{DbError, DbResult};
+use crate::predicate::resolve_column;
+use crate::query::ResultSet;
+use crate::value::Value;
+
+/// An aggregate function.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Aggregate {
+    /// Row count (column is ignored).
+    Count,
+    /// Numeric sum.
+    Sum,
+    /// Minimum value.
+    Min,
+    /// Maximum value.
+    Max,
+    /// Numeric mean.
+    Avg,
+}
+
+impl Aggregate {
+    /// Applies the aggregate over a column of values. NULLs are
+    /// skipped (SQL semantics); empty inputs yield `Null` except
+    /// `Count`, which yields 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::InvalidOperation`] when summing or averaging
+    /// non-numeric values.
+    pub fn apply(self, values: &[Value]) -> DbResult<Value> {
+        let non_null: Vec<&Value> = values.iter().filter(|v| !v.is_null()).collect();
+        match self {
+            Aggregate::Count => Ok(Value::Int(non_null.len() as i64)),
+            Aggregate::Min => Ok(non_null.iter().min().map_or(Value::Null, |v| (*v).clone())),
+            Aggregate::Max => Ok(non_null.iter().max().map_or(Value::Null, |v| (*v).clone())),
+            Aggregate::Sum | Aggregate::Avg => {
+                if non_null.is_empty() {
+                    return Ok(Value::Null);
+                }
+                let mut all_int = true;
+                let mut sum = 0.0f64;
+                for v in &non_null {
+                    match v {
+                        Value::Int(i) => sum += *i as f64,
+                        Value::Float(f) => {
+                            all_int = false;
+                            sum += *f;
+                        }
+                        other => {
+                            return Err(DbError::InvalidOperation(format!(
+                                "cannot sum non-numeric value {other}"
+                            )))
+                        }
+                    }
+                }
+                if self == Aggregate::Avg {
+                    Ok(Value::Float(sum / non_null.len() as f64))
+                } else if all_int {
+                    Ok(Value::Int(sum as i64))
+                } else {
+                    Ok(Value::Float(sum))
+                }
+            }
+        }
+    }
+}
+
+impl ResultSet {
+    /// Aggregates one column of this result.
+    ///
+    /// # Errors
+    ///
+    /// Column resolution errors, or [`DbError::InvalidOperation`] for
+    /// non-numeric SUM/AVG.
+    pub fn aggregate(&self, agg: Aggregate, column: &str) -> DbResult<Value> {
+        let values = self.column(column)?;
+        agg.apply(&values)
+    }
+
+    /// Groups by `group_col` and aggregates `agg_col` within each
+    /// group, returning `(group value, aggregate)` pairs in group
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Column resolution errors, or [`DbError::InvalidOperation`] for
+    /// non-numeric SUM/AVG.
+    pub fn group_by(
+        &self,
+        group_col: &str,
+        agg: Aggregate,
+        agg_col: &str,
+    ) -> DbResult<Vec<(Value, Value)>> {
+        let gix = resolve_column(&self.schema, group_col)?;
+        let aix = resolve_column(&self.schema, agg_col)?;
+        let mut groups: BTreeMap<Value, Vec<Value>> = BTreeMap::new();
+        for r in &self.rows {
+            groups.entry(r[gix].clone()).or_default().push(r[aix].clone());
+        }
+        groups
+            .into_iter()
+            .map(|(k, vs)| Ok((k, agg.apply(&vs)?)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Database;
+    use crate::query::Query;
+    use crate::schema::{ColumnDef, Schema};
+    use crate::value::ColumnType;
+
+    fn scores() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            "scores",
+            Schema::new(vec![
+                ColumnDef::new("student", ColumnType::Str),
+                ColumnDef::new("points", ColumnType::Int).nullable(),
+            ]),
+        )
+        .unwrap();
+        for (s, p) in [
+            ("alice", Some(10)),
+            ("alice", Some(20)),
+            ("bob", Some(5)),
+            ("bob", None),
+        ] {
+            db.insert(
+                "scores",
+                vec![s.into(), p.map_or(Value::Null, |x| Value::Int(x))],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn scalar_aggregates() {
+        let mut db = scores();
+        let rs = Query::from("scores").execute_full(&mut db).unwrap();
+        assert_eq!(rs.aggregate(Aggregate::Count, "points").unwrap(), Value::Int(3));
+        assert_eq!(rs.aggregate(Aggregate::Sum, "points").unwrap(), Value::Int(35));
+        assert_eq!(rs.aggregate(Aggregate::Min, "points").unwrap(), Value::Int(5));
+        assert_eq!(rs.aggregate(Aggregate::Max, "points").unwrap(), Value::Int(20));
+        assert_eq!(
+            rs.aggregate(Aggregate::Avg, "points").unwrap(),
+            Value::Float(35.0 / 3.0)
+        );
+    }
+
+    #[test]
+    fn group_by_partitions() {
+        let mut db = scores();
+        let rs = Query::from("scores").execute_full(&mut db).unwrap();
+        let groups = rs.group_by("student", Aggregate::Sum, "points").unwrap();
+        assert_eq!(
+            groups,
+            vec![
+                (Value::from("alice"), Value::Int(30)),
+                (Value::from("bob"), Value::Int(5)),
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_input_behaviour() {
+        assert_eq!(Aggregate::Count.apply(&[]).unwrap(), Value::Int(0));
+        assert_eq!(Aggregate::Sum.apply(&[]).unwrap(), Value::Null);
+        assert_eq!(Aggregate::Min.apply(&[Value::Null]).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn sum_rejects_strings() {
+        assert!(Aggregate::Sum.apply(&[Value::from("x")]).is_err());
+    }
+
+    #[test]
+    fn mixed_numeric_sum_is_float() {
+        let v = Aggregate::Sum
+            .apply(&[Value::Int(1), Value::Float(0.5)])
+            .unwrap();
+        assert_eq!(v, Value::Float(1.5));
+    }
+}

@@ -1,0 +1,267 @@
+//! The database: a named collection of tables.
+
+use std::collections::BTreeMap;
+
+use crate::error::{DbError, DbResult};
+use crate::predicate::Predicate;
+use crate::schema::Schema;
+use crate::table::{Row, Table};
+use crate::value::Value;
+
+/// An in-memory relational database.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), microdb::DbError> {
+/// use microdb::{ColumnDef, ColumnType, Database, Schema, Value};
+///
+/// let mut db = Database::new();
+/// db.create_table("t", Schema::new(vec![ColumnDef::new("x", ColumnType::Int)]))?;
+/// db.insert("t", vec![Value::Int(1)])?;
+/// assert_eq!(db.table("t")?.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    #[must_use]
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Creates a table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::TableExists`] if the name is taken.
+    pub fn create_table(&mut self, name: &str, schema: Schema) -> DbResult<()> {
+        if self.tables.contains_key(name) {
+            return Err(DbError::TableExists(name.to_owned()));
+        }
+        self.tables.insert(name.to_owned(), Table::new(name, schema));
+        Ok(())
+    }
+
+    /// Drops a table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::NoSuchTable`] if absent.
+    pub fn drop_table(&mut self, name: &str) -> DbResult<()> {
+        self.tables
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| DbError::NoSuchTable(name.to_owned()))
+    }
+
+    /// Immutable access to a table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::NoSuchTable`] if absent.
+    pub fn table(&self, name: &str) -> DbResult<&Table> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| DbError::NoSuchTable(name.to_owned()))
+    }
+
+    /// Mutable access to a table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::NoSuchTable`] if absent.
+    pub fn table_mut(&mut self, name: &str) -> DbResult<&mut Table> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| DbError::NoSuchTable(name.to_owned()))
+    }
+
+    /// Whether a table exists.
+    #[must_use]
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Names of all tables, sorted.
+    #[must_use]
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// Inserts a row into `table`, returning its physical position.
+    ///
+    /// # Errors
+    ///
+    /// Table lookup and schema validation errors.
+    pub fn insert(&mut self, table: &str, row: Row) -> DbResult<usize> {
+        self.table_mut(table)?.insert(row)
+    }
+
+    /// Inserts many rows.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing row.
+    pub fn insert_many<I: IntoIterator<Item = Row>>(&mut self, table: &str, rows: I) -> DbResult<usize> {
+        let t = self.table_mut(table)?;
+        let mut n = 0;
+        for r in rows {
+            t.insert(r)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Updates rows of `table` matching `pred`; returns the count.
+    ///
+    /// # Errors
+    ///
+    /// Table/column resolution, type and predicate-evaluation errors.
+    pub fn update(
+        &mut self,
+        table: &str,
+        pred: &Predicate,
+        assignments: &[(String, Value)],
+    ) -> DbResult<usize> {
+        let t = self.table_mut(table)?;
+        let schema = t.schema().clone();
+        // Evaluate the predicate outside the row closure so errors
+        // surface instead of silently skipping rows.
+        let mut err = None;
+        let n = t.update_where(
+            |row| match pred.eval(&schema, row) {
+                Ok(b) => b,
+                Err(e) => {
+                    err = Some(e);
+                    false
+                }
+            },
+            assignments,
+        )?;
+        match err {
+            Some(e) => Err(e),
+            None => Ok(n),
+        }
+    }
+
+    /// Deletes rows of `table` matching `pred`; returns the count.
+    ///
+    /// # Errors
+    ///
+    /// Table resolution and predicate-evaluation errors.
+    pub fn delete(&mut self, table: &str, pred: &Predicate) -> DbResult<usize> {
+        let t = self.table_mut(table)?;
+        let schema = t.schema().clone();
+        let mut err = None;
+        let n = t.delete_where(|row| match pred.eval(&schema, row) {
+            Ok(b) => b,
+            Err(e) => {
+                err = Some(e);
+                false
+            }
+        });
+        match err {
+            Some(e) => Err(e),
+            None => Ok(n),
+        }
+    }
+
+    /// Total number of physical rows across all tables (used by the
+    /// space-overhead experiments).
+    #[must_use]
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(Table::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Operand;
+    use crate::schema::ColumnDef;
+    use crate::value::ColumnType;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            "t",
+            Schema::new(vec![
+                ColumnDef::new("id", ColumnType::Int).auto_increment(),
+                ColumnDef::new("x", ColumnType::Int),
+            ]),
+        )
+        .unwrap();
+        db.insert_many(
+            "t",
+            (0..5).map(|i| vec![Value::Null, Value::Int(i)]),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn create_and_drop() {
+        let mut db = db();
+        assert!(db.has_table("t"));
+        assert!(matches!(
+            db.create_table("t", Schema::new(vec![])),
+            Err(DbError::TableExists(_))
+        ));
+        db.drop_table("t").unwrap();
+        assert!(!db.has_table("t"));
+        assert!(matches!(db.drop_table("t"), Err(DbError::NoSuchTable(_))));
+    }
+
+    #[test]
+    fn update_via_predicate() {
+        let mut db = db();
+        let n = db
+            .update(
+                "t",
+                &Predicate::ge(Operand::col("x"), Operand::lit(3i64)),
+                &[("x".to_owned(), Value::Int(100))],
+            )
+            .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(db.total_rows(), 5);
+    }
+
+    #[test]
+    fn delete_via_predicate() {
+        let mut db = db();
+        let n = db
+            .delete("t", &Predicate::lt(Operand::col("x"), Operand::lit(2i64)))
+            .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(db.table("t").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn predicate_errors_propagate() {
+        let mut db = db();
+        assert!(db
+            .update(
+                "t",
+                &Predicate::eq(Operand::col("zzz"), Operand::lit(1i64)),
+                &[("x".to_owned(), Value::Int(0))],
+            )
+            .is_err());
+        assert!(db
+            .delete("t", &Predicate::eq(Operand::col("zzz"), Operand::lit(1i64)))
+            .is_err());
+    }
+
+    #[test]
+    fn table_names_sorted() {
+        let mut db = db();
+        db.create_table("a", Schema::new(vec![ColumnDef::new("y", ColumnType::Int)]))
+            .unwrap();
+        assert_eq!(db.table_names(), vec!["a", "t"]);
+    }
+}

@@ -1,0 +1,77 @@
+//! Error types for the relational engine.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::value::{ColumnType, Value};
+
+/// Result alias for database operations.
+pub type DbResult<T> = Result<T, DbError>;
+
+/// Errors raised by the relational engine.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DbError {
+    /// The named table does not exist.
+    NoSuchTable(String),
+    /// A table with this name already exists.
+    TableExists(String),
+    /// The named column does not exist (in this table / result).
+    NoSuchColumn(String),
+    /// A column reference matched several columns of a join result.
+    AmbiguousColumn(String),
+    /// Row length does not match the schema.
+    Arity {
+        /// Number of columns the schema defines.
+        expected: usize,
+        /// Number of values supplied.
+        got: usize,
+    },
+    /// A value does not fit its column type.
+    TypeMismatch {
+        /// Offending column.
+        column: String,
+        /// Type the schema requires.
+        expected: ColumnType,
+        /// Value that was supplied.
+        got: Value,
+    },
+    /// A predicate or aggregate was applied to an unsupported operand.
+    InvalidOperation(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            DbError::TableExists(t) => write!(f, "table already exists: {t}"),
+            DbError::NoSuchColumn(c) => write!(f, "no such column: {c}"),
+            DbError::AmbiguousColumn(c) => write!(f, "ambiguous column reference: {c}"),
+            DbError::Arity { expected, got } => {
+                write!(f, "row has {got} values but schema has {expected} columns")
+            }
+            DbError::TypeMismatch { column, expected, got } => {
+                write!(f, "column {column} expects {expected}, got {got}")
+            }
+            DbError::InvalidOperation(m) => write!(f, "invalid operation: {m}"),
+        }
+    }
+}
+
+impl Error for DbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DbError::TypeMismatch {
+            column: "age".into(),
+            expected: ColumnType::Int,
+            got: Value::Str("x".into()),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("age") && msg.contains("INT"));
+        assert!(DbError::NoSuchTable("t".into()).to_string().contains('t'));
+    }
+}

@@ -1,0 +1,358 @@
+//! WHERE-clause predicates.
+
+use std::fmt;
+
+use crate::error::{DbError, DbResult};
+use crate::schema::Schema;
+use crate::table::Row;
+use crate::value::Value;
+
+/// A scalar operand in a predicate: a column reference or a literal.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Operand {
+    /// A column, by (possibly qualified) name.
+    Col(String),
+    /// A literal value.
+    Lit(Value),
+}
+
+impl Operand {
+    /// Convenience constructor for a column reference.
+    #[must_use]
+    pub fn col(name: &str) -> Operand {
+        Operand::Col(name.to_owned())
+    }
+
+    /// Convenience constructor for a literal.
+    pub fn lit(v: impl Into<Value>) -> Operand {
+        Operand::Lit(v.into())
+    }
+
+    fn eval<'a>(&'a self, schema: &Schema, row: &'a Row) -> DbResult<&'a Value> {
+        match self {
+            Operand::Lit(v) => Ok(v),
+            Operand::Col(name) => {
+                let ix = resolve_column(schema, name)?;
+                Ok(&row[ix])
+            }
+        }
+    }
+}
+
+/// Resolves a column reference against a (possibly join-qualified)
+/// schema: exact match first, then unique suffix match on `.name`.
+///
+/// # Errors
+///
+/// [`DbError::NoSuchColumn`] if nothing matches,
+/// [`DbError::AmbiguousColumn`] if several columns match.
+pub fn resolve_column(schema: &Schema, name: &str) -> DbResult<usize> {
+    if let Some(ix) = schema.column_index(name) {
+        return Ok(ix);
+    }
+    let suffix = format!(".{name}");
+    let mut found = None;
+    for (i, c) in schema.columns().iter().enumerate() {
+        if c.name().ends_with(&suffix) {
+            if found.is_some() {
+                return Err(DbError::AmbiguousColumn(name.to_owned()));
+            }
+            found = Some(i);
+        }
+    }
+    found.ok_or_else(|| DbError::NoSuchColumn(name.to_owned()))
+}
+
+/// Comparison operators.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    fn test(self, a: &Value, b: &Value) -> bool {
+        // SQL semantics: comparisons involving NULL are not satisfied
+        // (three-valued logic collapsed to false at the row filter).
+        if a.is_null() || b.is_null() {
+            return false;
+        }
+        let ord = a.cmp(b);
+        match self {
+            CmpOp::Eq => ord.is_eq(),
+            CmpOp::Ne => ord.is_ne(),
+            CmpOp::Lt => ord.is_lt(),
+            CmpOp::Le => ord.is_le(),
+            CmpOp::Gt => ord.is_gt(),
+            CmpOp::Ge => ord.is_ge(),
+        }
+    }
+}
+
+/// A WHERE-clause predicate tree.
+///
+/// # Examples
+///
+/// ```
+/// use microdb::{Operand, Predicate};
+///
+/// // location = 'Schloss Dagstuhl' AND id >= 2
+/// let p = Predicate::eq(Operand::col("location"), Operand::lit("Schloss Dagstuhl"))
+///     .and(Predicate::ge(Operand::col("id"), Operand::lit(2i64)));
+/// assert!(format!("{p}").contains("AND"));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub enum Predicate {
+    /// Always true (`WHERE` absent).
+    True,
+    /// Binary comparison.
+    Cmp(Operand, CmpOp, Operand),
+    /// SQL `LIKE` with `%` wildcards.
+    Like(Operand, String),
+    /// `IS NULL`.
+    IsNull(Operand),
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// `a = b`.
+    #[must_use]
+    pub fn eq(a: Operand, b: Operand) -> Predicate {
+        Predicate::Cmp(a, CmpOp::Eq, b)
+    }
+
+    /// `a <> b`.
+    #[must_use]
+    pub fn ne(a: Operand, b: Operand) -> Predicate {
+        Predicate::Cmp(a, CmpOp::Ne, b)
+    }
+
+    /// `a < b`.
+    #[must_use]
+    pub fn lt(a: Operand, b: Operand) -> Predicate {
+        Predicate::Cmp(a, CmpOp::Lt, b)
+    }
+
+    /// `a <= b`.
+    #[must_use]
+    pub fn le(a: Operand, b: Operand) -> Predicate {
+        Predicate::Cmp(a, CmpOp::Le, b)
+    }
+
+    /// `a > b`.
+    #[must_use]
+    pub fn gt(a: Operand, b: Operand) -> Predicate {
+        Predicate::Cmp(a, CmpOp::Gt, b)
+    }
+
+    /// `a >= b`.
+    #[must_use]
+    pub fn ge(a: Operand, b: Operand) -> Predicate {
+        Predicate::Cmp(a, CmpOp::Ge, b)
+    }
+
+    /// `self AND other`.
+    #[must_use]
+    pub fn and(self, other: Predicate) -> Predicate {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self OR other`.
+    #[must_use]
+    pub fn or(self, other: Predicate) -> Predicate {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `NOT self`.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Predicate {
+        Predicate::Not(Box::new(self))
+    }
+
+    /// Evaluates the predicate on a row.
+    ///
+    /// # Errors
+    ///
+    /// Propagates column-resolution errors.
+    pub fn eval(&self, schema: &Schema, row: &Row) -> DbResult<bool> {
+        Ok(match self {
+            Predicate::True => true,
+            Predicate::Cmp(a, op, b) => op.test(a.eval(schema, row)?, b.eval(schema, row)?),
+            Predicate::Like(a, pattern) => match a.eval(schema, row)? {
+                Value::Str(s) => like_match(pattern, s),
+                _ => false,
+            },
+            Predicate::IsNull(a) => a.eval(schema, row)?.is_null(),
+            Predicate::And(a, b) => a.eval(schema, row)? && b.eval(schema, row)?,
+            Predicate::Or(a, b) => a.eval(schema, row)? || b.eval(schema, row)?,
+            Predicate::Not(a) => !a.eval(schema, row)?,
+        })
+    }
+
+    /// If this predicate (possibly under conjunctions) pins `column = literal`
+    /// for some column, returns `(column, literal)` — the planner uses
+    /// it for index probes.
+    #[must_use]
+    pub fn index_candidate(&self) -> Option<(&str, &Value)> {
+        match self {
+            Predicate::Cmp(Operand::Col(c), CmpOp::Eq, Operand::Lit(v)) => Some((c, v)),
+            Predicate::Cmp(Operand::Lit(v), CmpOp::Eq, Operand::Col(c)) => Some((c, v)),
+            Predicate::And(a, b) => a.index_candidate().or_else(|| b.index_candidate()),
+            _ => None,
+        }
+    }
+}
+
+/// SQL LIKE with `%` (any run) wildcards.
+fn like_match(pattern: &str, s: &str) -> bool {
+    fn rec(p: &[u8], s: &[u8]) -> bool {
+        match p.first() {
+            None => s.is_empty(),
+            Some(b'%') => (0..=s.len()).any(|i| rec(&p[1..], &s[i..])),
+            Some(&c) => s.first() == Some(&c) && rec(&p[1..], &s[1..]),
+        }
+    }
+    rec(pattern.as_bytes(), s.as_bytes())
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::True => write!(f, "TRUE"),
+            Predicate::Cmp(a, op, b) => {
+                let sym = match op {
+                    CmpOp::Eq => "=",
+                    CmpOp::Ne => "<>",
+                    CmpOp::Lt => "<",
+                    CmpOp::Le => "<=",
+                    CmpOp::Gt => ">",
+                    CmpOp::Ge => ">=",
+                };
+                write!(f, "{a:?} {sym} {b:?}")
+            }
+            Predicate::Like(a, p) => write!(f, "{a:?} LIKE '{p}'"),
+            Predicate::IsNull(a) => write!(f, "{a:?} IS NULL"),
+            Predicate::And(a, b) => write!(f, "({a} AND {b})"),
+            Predicate::Or(a, b) => write!(f, "({a} OR {b})"),
+            Predicate::Not(a) => write!(f, "NOT ({a})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use crate::value::ColumnType;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ColumnDef::new("id", ColumnType::Int),
+            ColumnDef::new("name", ColumnType::Str),
+            ColumnDef::new("age", ColumnType::Int).nullable(),
+        ])
+    }
+
+    fn row() -> Row {
+        vec![Value::Int(1), "alice".into(), Value::Null]
+    }
+
+    #[test]
+    fn comparisons() {
+        let s = schema();
+        let r = row();
+        assert!(Predicate::eq(Operand::col("name"), Operand::lit("alice"))
+            .eval(&s, &r)
+            .unwrap());
+        assert!(Predicate::lt(Operand::col("id"), Operand::lit(5i64))
+            .eval(&s, &r)
+            .unwrap());
+        assert!(!Predicate::gt(Operand::col("id"), Operand::lit(5i64))
+            .eval(&s, &r)
+            .unwrap());
+    }
+
+    #[test]
+    fn null_comparisons_are_false() {
+        let s = schema();
+        let r = row();
+        assert!(!Predicate::eq(Operand::col("age"), Operand::lit(Value::Null))
+            .eval(&s, &r)
+            .unwrap());
+        assert!(!Predicate::ne(Operand::col("age"), Operand::lit(1i64))
+            .eval(&s, &r)
+            .unwrap());
+        assert!(Predicate::IsNull(Operand::col("age")).eval(&s, &r).unwrap());
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let s = schema();
+        let r = row();
+        let t = Predicate::True;
+        let f = Predicate::True.not();
+        assert!(t.clone().and(t.clone()).eval(&s, &r).unwrap());
+        assert!(!t.clone().and(f.clone()).eval(&s, &r).unwrap());
+        assert!(t.clone().or(f.clone()).eval(&s, &r).unwrap());
+        assert!(!f.clone().or(f).eval(&s, &r).unwrap());
+    }
+
+    #[test]
+    fn like_wildcards() {
+        assert!(like_match("%", ""));
+        assert!(like_match("a%", "alice"));
+        assert!(like_match("%ice", "alice"));
+        assert!(like_match("%li%", "alice"));
+        assert!(!like_match("b%", "alice"));
+        assert!(like_match("alice", "alice"));
+        assert!(!like_match("", "x"));
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let s = schema();
+        let r = row();
+        assert!(matches!(
+            Predicate::eq(Operand::col("zzz"), Operand::lit(1i64)).eval(&s, &r),
+            Err(DbError::NoSuchColumn(_))
+        ));
+    }
+
+    #[test]
+    fn suffix_resolution_and_ambiguity() {
+        let joined = schema().join("a", &schema(), "b");
+        assert!(resolve_column(&joined, "a.id").is_ok());
+        assert!(matches!(
+            resolve_column(&joined, "id"),
+            Err(DbError::AmbiguousColumn(_))
+        ));
+    }
+
+    #[test]
+    fn index_candidate_extraction() {
+        let p = Predicate::eq(Operand::col("name"), Operand::lit("x"))
+            .and(Predicate::gt(Operand::col("id"), Operand::lit(0i64)));
+        let (c, v) = p.index_candidate().unwrap();
+        assert_eq!(c, "name");
+        assert_eq!(v, &Value::from("x"));
+        assert!(Predicate::True.index_candidate().is_none());
+        let swapped = Predicate::eq(Operand::lit(3i64), Operand::col("id"));
+        assert_eq!(swapped.index_candidate().unwrap().0, "id");
+    }
+}

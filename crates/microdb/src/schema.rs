@@ -1,0 +1,283 @@
+//! Table schemas: column definitions and row validation.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::{DbError, DbResult};
+use crate::value::{ColumnType, Value};
+
+/// Definition of a single column.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ColumnDef {
+    name: String,
+    ty: ColumnType,
+    nullable: bool,
+    auto_increment: bool,
+}
+
+impl ColumnDef {
+    /// A non-nullable column.
+    #[must_use]
+    pub fn new(name: &str, ty: ColumnType) -> ColumnDef {
+        ColumnDef {
+            name: name.to_owned(),
+            ty,
+            nullable: false,
+            auto_increment: false,
+        }
+    }
+
+    /// Marks the column nullable (builder style).
+    #[must_use]
+    pub fn nullable(mut self) -> ColumnDef {
+        self.nullable = true;
+        self
+    }
+
+    /// Marks an `Int` column auto-increment: inserting `Null` assigns
+    /// the next unused id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column type is not [`ColumnType::Int`].
+    #[must_use]
+    pub fn auto_increment(mut self) -> ColumnDef {
+        assert_eq!(self.ty, ColumnType::Int, "auto-increment requires an INT column");
+        self.auto_increment = true;
+        self
+    }
+
+    /// The column name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The column type.
+    #[must_use]
+    pub fn column_type(&self) -> ColumnType {
+        self.ty
+    }
+
+    /// Whether NULL is accepted.
+    #[must_use]
+    pub fn is_nullable(&self) -> bool {
+        self.nullable
+    }
+
+    /// Whether the column is auto-increment.
+    #[must_use]
+    pub fn is_auto_increment(&self) -> bool {
+        self.auto_increment
+    }
+
+    /// Whether `value` may be stored in this column.
+    #[must_use]
+    pub fn accepts(&self, value: &Value) -> bool {
+        match value.column_type() {
+            None => self.nullable || self.auto_increment,
+            Some(t) => {
+                t == self.ty || (self.ty == ColumnType::Float && t == ColumnType::Int)
+            }
+        }
+    }
+}
+
+/// An ordered list of columns with by-name lookup.
+///
+/// # Examples
+///
+/// ```
+/// use microdb::{ColumnDef, ColumnType, Schema};
+///
+/// let schema = Schema::new(vec![
+///     ColumnDef::new("id", ColumnType::Int).auto_increment(),
+///     ColumnDef::new("name", ColumnType::Str),
+/// ]);
+/// assert_eq!(schema.column_index("name"), Some(1));
+/// assert_eq!(schema.len(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Schema {
+    columns: Vec<ColumnDef>,
+    by_name: HashMap<String, usize>,
+}
+
+impl Schema {
+    /// Builds a schema from column definitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two columns share a name.
+    #[must_use]
+    pub fn new(columns: Vec<ColumnDef>) -> Schema {
+        let mut by_name = HashMap::with_capacity(columns.len());
+        for (i, c) in columns.iter().enumerate() {
+            let prev = by_name.insert(c.name.clone(), i);
+            assert!(prev.is_none(), "duplicate column name {:?}", c.name);
+        }
+        Schema { columns, by_name }
+    }
+
+    /// The columns in order.
+    #[must_use]
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether the schema has no columns.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Index of the named column.
+    #[must_use]
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Definition of the named column.
+    #[must_use]
+    pub fn column(&self, name: &str) -> Option<&ColumnDef> {
+        self.column_index(name).map(|i| &self.columns[i])
+    }
+
+    /// Validates that `values` fits this schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Arity`] on length mismatch and
+    /// [`DbError::TypeMismatch`] when a value does not fit its column.
+    pub fn check_row(&self, values: &[Value]) -> DbResult<()> {
+        if values.len() != self.columns.len() {
+            return Err(DbError::Arity {
+                expected: self.columns.len(),
+                got: values.len(),
+            });
+        }
+        for (c, v) in self.columns.iter().zip(values) {
+            if !c.accepts(v) {
+                return Err(DbError::TypeMismatch {
+                    column: c.name.clone(),
+                    expected: c.ty,
+                    got: v.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Extends this schema with another, qualifying collisions — used
+    /// to build join result schemas (`left.col`, `right.col`).
+    #[must_use]
+    pub fn join(&self, left_name: &str, other: &Schema, right_name: &str) -> Schema {
+        let mut cols = Vec::with_capacity(self.len() + other.len());
+        let qualify = |table: &str, c: &ColumnDef| {
+            let mut c2 = c.clone();
+            c2.name = format!("{table}.{}", c.name);
+            c2
+        };
+        for c in &self.columns {
+            cols.push(qualify(left_name, c));
+        }
+        for c in &other.columns {
+            cols.push(qualify(right_name, c));
+        }
+        Schema::new(cols)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", c.name, c.ty)?;
+            if c.nullable {
+                write!(f, " NULL")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ColumnDef::new("id", ColumnType::Int).auto_increment(),
+            ColumnDef::new("name", ColumnType::Str),
+            ColumnDef::new("score", ColumnType::Float).nullable(),
+        ])
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = schema();
+        assert_eq!(s.column_index("id"), Some(0));
+        assert_eq!(s.column_index("score"), Some(2));
+        assert_eq!(s.column_index("missing"), None);
+        assert_eq!(s.column("name").unwrap().column_type(), ColumnType::Str);
+    }
+
+    #[test]
+    fn check_row_validates_arity_and_types() {
+        let s = schema();
+        assert!(s
+            .check_row(&[Value::Int(1), Value::from("a"), Value::Float(0.5)])
+            .is_ok());
+        assert!(matches!(
+            s.check_row(&[Value::Int(1)]),
+            Err(DbError::Arity { expected: 3, got: 1 })
+        ));
+        assert!(matches!(
+            s.check_row(&[Value::Int(1), Value::Int(2), Value::Null]),
+            Err(DbError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn nullable_and_auto_increment_accept_null() {
+        let s = schema();
+        assert!(s
+            .check_row(&[Value::Null, Value::from("a"), Value::Null])
+            .is_ok());
+    }
+
+    #[test]
+    fn float_column_accepts_int() {
+        let s = schema();
+        assert!(s
+            .check_row(&[Value::Int(1), Value::from("a"), Value::Int(3)])
+            .is_ok());
+    }
+
+    #[test]
+    fn join_qualifies_names() {
+        let a = Schema::new(vec![ColumnDef::new("id", ColumnType::Int)]);
+        let b = Schema::new(vec![ColumnDef::new("id", ColumnType::Int)]);
+        let j = a.join("left", &b, "right");
+        assert_eq!(j.column_index("left.id"), Some(0));
+        assert_eq!(j.column_index("right.id"), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column name")]
+    fn duplicate_columns_panic() {
+        let _ = Schema::new(vec![
+            ColumnDef::new("x", ColumnType::Int),
+            ColumnDef::new("x", ColumnType::Str),
+        ]);
+    }
+}

@@ -1,0 +1,328 @@
+//! Physical tables: row storage plus hash indexes.
+
+use std::collections::HashMap;
+
+use crate::error::{DbError, DbResult};
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// A stored row: one value per schema column.
+pub type Row = Vec<Value>;
+
+/// A hash index over a single column.
+#[derive(Clone, Debug, Default)]
+struct HashIndex {
+    column: usize,
+    map: HashMap<Value, Vec<usize>>,
+    dirty: bool,
+}
+
+impl HashIndex {
+    fn rebuild(&mut self, rows: &[Row]) {
+        self.map.clear();
+        for (i, r) in rows.iter().enumerate() {
+            self.map.entry(r[self.column].clone()).or_default().push(i);
+        }
+        self.dirty = false;
+    }
+}
+
+/// A single table: schema, rows, and optional hash indexes.
+///
+/// Mutation goes through [`Table::insert`], [`Table::update_where`] and
+/// [`Table::delete_where`]; reads go through [`Table::rows`] or an
+/// index probe. Indexes update incrementally on insert and rebuild
+/// lazily after updates/deletes.
+#[derive(Clone, Debug)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    rows: Vec<Row>,
+    indexes: Vec<HashIndex>,
+    next_auto: i64,
+}
+
+impl Table {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(name: &str, schema: Schema) -> Table {
+        Table {
+            name: name.to_owned(),
+            schema,
+            rows: Vec::new(),
+            indexes: Vec::new(),
+            next_auto: 1,
+        }
+    }
+
+    /// The table name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The table schema.
+    #[must_use]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// All rows, in insertion order.
+    #[must_use]
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Declares a hash index on `column`. Idempotent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::NoSuchColumn`] if the column does not exist.
+    pub fn create_index(&mut self, column: &str) -> DbResult<()> {
+        let ix = self
+            .schema
+            .column_index(column)
+            .ok_or_else(|| DbError::NoSuchColumn(column.to_owned()))?;
+        if self.indexes.iter().any(|i| i.column == ix) {
+            return Ok(());
+        }
+        let mut index = HashIndex { column: ix, map: HashMap::new(), dirty: false };
+        index.rebuild(&self.rows);
+        self.indexes.push(index);
+        Ok(())
+    }
+
+    /// Inserts a row, filling auto-increment columns that are `Null`.
+    /// Returns the row's physical position.
+    ///
+    /// # Errors
+    ///
+    /// Returns schema-validation errors from [`Schema::check_row`].
+    pub fn insert(&mut self, mut values: Row) -> DbResult<usize> {
+        self.schema.check_row(&values)?;
+        for (i, c) in self.schema.columns().iter().enumerate() {
+            if c.is_auto_increment() && values[i].is_null() {
+                values[i] = Value::Int(self.next_auto);
+                self.next_auto += 1;
+            } else if c.is_auto_increment() {
+                if let Value::Int(v) = values[i] {
+                    self.next_auto = self.next_auto.max(v + 1);
+                }
+            }
+        }
+        let pos = self.rows.len();
+        for index in &mut self.indexes {
+            if !index.dirty {
+                index
+                    .map
+                    .entry(values[index.column].clone())
+                    .or_default()
+                    .push(pos);
+            }
+        }
+        self.rows.push(values);
+        Ok(pos)
+    }
+
+    /// Updates every row satisfying `pred`, assigning `assignments`
+    /// (column name → new value). Returns the number of updated rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::NoSuchColumn`] for unknown assignment targets
+    /// and [`DbError::TypeMismatch`] for ill-typed values.
+    pub fn update_where(
+        &mut self,
+        mut pred: impl FnMut(&Row) -> bool,
+        assignments: &[(String, Value)],
+    ) -> DbResult<usize> {
+        let mut resolved = Vec::with_capacity(assignments.len());
+        for (name, v) in assignments {
+            let ix = self
+                .schema
+                .column_index(name)
+                .ok_or_else(|| DbError::NoSuchColumn(name.clone()))?;
+            if !self.schema.columns()[ix].accepts(v) {
+                return Err(DbError::TypeMismatch {
+                    column: name.clone(),
+                    expected: self.schema.columns()[ix].column_type(),
+                    got: v.clone(),
+                });
+            }
+            resolved.push((ix, v.clone()));
+        }
+        let mut n = 0;
+        for row in &mut self.rows {
+            if pred(row) {
+                for (ix, v) in &resolved {
+                    row[*ix] = v.clone();
+                }
+                n += 1;
+            }
+        }
+        if n > 0 {
+            for index in &mut self.indexes {
+                index.dirty = true;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Deletes every row satisfying `pred`; returns how many were
+    /// removed.
+    pub fn delete_where(&mut self, mut pred: impl FnMut(&Row) -> bool) -> usize {
+        let before = self.rows.len();
+        self.rows.retain(|r| !pred(r));
+        let removed = before - self.rows.len();
+        if removed > 0 {
+            for index in &mut self.indexes {
+                index.dirty = true;
+            }
+        }
+        removed
+    }
+
+    /// Probes the hash index on `column` for rows equal to `value`.
+    /// Returns `None` when no index exists (caller falls back to a
+    /// scan). Rebuilds a dirty index first.
+    pub fn index_probe(&mut self, column: &str, value: &Value) -> Option<Vec<usize>> {
+        let ix = self.schema.column_index(column)?;
+        let rows = &self.rows;
+        let index = self.indexes.iter_mut().find(|i| i.column == ix)?;
+        if index.dirty {
+            index.rebuild(rows);
+        }
+        Some(index.map.get(value).cloned().unwrap_or_default())
+    }
+
+    /// Whether `column` has an index (used by the planner).
+    #[must_use]
+    pub fn has_index(&self, column: &str) -> bool {
+        self.schema
+            .column_index(column)
+            .is_some_and(|ix| self.indexes.iter().any(|i| i.column == ix))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use crate::value::ColumnType;
+
+    fn people() -> Table {
+        let schema = Schema::new(vec![
+            ColumnDef::new("id", ColumnType::Int).auto_increment(),
+            ColumnDef::new("name", ColumnType::Str),
+            ColumnDef::new("age", ColumnType::Int),
+        ]);
+        let mut t = Table::new("people", schema);
+        t.insert(vec![Value::Null, "alice".into(), Value::Int(30)]).unwrap();
+        t.insert(vec![Value::Null, "bob".into(), Value::Int(25)]).unwrap();
+        t.insert(vec![Value::Null, "carol".into(), Value::Int(30)]).unwrap();
+        t
+    }
+
+    #[test]
+    fn auto_increment_assigns_sequential_ids() {
+        let t = people();
+        let ids: Vec<i64> = t.rows().iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn explicit_id_advances_counter() {
+        let mut t = people();
+        t.insert(vec![Value::Int(10), "dave".into(), Value::Int(40)]).unwrap();
+        t.insert(vec![Value::Null, "eve".into(), Value::Int(22)]).unwrap();
+        assert_eq!(t.rows()[4][0], Value::Int(11));
+    }
+
+    #[test]
+    fn insert_rejects_bad_rows() {
+        let mut t = people();
+        assert!(t.insert(vec![Value::Null, Value::Int(5), Value::Int(1)]).is_err());
+        assert!(t.insert(vec![Value::Null, "x".into()]).is_err());
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn update_where_applies_assignments() {
+        let mut t = people();
+        let n = t
+            .update_where(
+                |r| r[2] == Value::Int(30),
+                &[("age".to_owned(), Value::Int(31))],
+            )
+            .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(t.rows()[0][2], Value::Int(31));
+        assert_eq!(t.rows()[1][2], Value::Int(25));
+    }
+
+    #[test]
+    fn update_rejects_unknown_column_and_bad_type() {
+        let mut t = people();
+        assert!(matches!(
+            t.update_where(|_| true, &[("nope".to_owned(), Value::Int(0))]),
+            Err(DbError::NoSuchColumn(_))
+        ));
+        assert!(matches!(
+            t.update_where(|_| true, &[("age".to_owned(), Value::Str("x".into()))]),
+            Err(DbError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn delete_where_removes_rows() {
+        let mut t = people();
+        assert_eq!(t.delete_where(|r| r[1] == Value::from("bob")), 1);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.delete_where(|_| false), 0);
+    }
+
+    #[test]
+    fn index_probe_matches_scan() {
+        let mut t = people();
+        t.create_index("age").unwrap();
+        let hits = t.index_probe("age", &Value::Int(30)).unwrap();
+        assert_eq!(hits, vec![0, 2]);
+        assert!(t.index_probe("age", &Value::Int(99)).unwrap().is_empty());
+        assert!(t.index_probe("name", &Value::from("alice")).is_none());
+    }
+
+    #[test]
+    fn index_stays_fresh_across_mutation() {
+        let mut t = people();
+        t.create_index("age").unwrap();
+        t.insert(vec![Value::Null, "dave".into(), Value::Int(30)]).unwrap();
+        assert_eq!(t.index_probe("age", &Value::Int(30)).unwrap(), vec![0, 2, 3]);
+        t.update_where(|r| r[1] == Value::from("alice"), &[("age".to_owned(), Value::Int(99))])
+            .unwrap();
+        assert_eq!(t.index_probe("age", &Value::Int(30)).unwrap(), vec![2, 3]);
+        t.delete_where(|r| r[1] == Value::from("dave"));
+        assert_eq!(t.index_probe("age", &Value::Int(30)).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn create_index_is_idempotent() {
+        let mut t = people();
+        t.create_index("age").unwrap();
+        t.create_index("age").unwrap();
+        assert!(t.has_index("age"));
+        assert!(!t.has_index("name"));
+        assert!(t.create_index("zzz").is_err());
+    }
+}

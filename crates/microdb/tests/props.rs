@@ -1,0 +1,122 @@
+//! Property tests: relational-algebra laws and index/scan agreement.
+
+use microdb::{
+    ColumnDef, ColumnType, Database, Operand, Predicate, Query, Schema, SortOrder, Value,
+};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (0i64..10).prop_map(Value::Int),
+        "[a-c]{1,3}".prop_map(Value::from),
+    ]
+}
+
+fn arb_rows() -> impl Strategy<Value = Vec<(i64, Value)>> {
+    proptest::collection::vec((0i64..10, arb_value()), 0..30)
+}
+
+fn build(rows: &[(i64, Value)]) -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        "t",
+        Schema::new(vec![
+            ColumnDef::new("k", ColumnType::Int),
+            ColumnDef::new("v", ColumnType::Str).nullable(),
+        ]),
+    )
+    .unwrap();
+    for (k, v) in rows {
+        let v = match v {
+            Value::Int(i) => Value::Str(format!("s{i}")),
+            other => other.clone(),
+        };
+        db.insert("t", vec![Value::Int(*k), v]).unwrap();
+    }
+    db
+}
+
+proptest! {
+    /// σ_p(σ_q(T)) = σ_q(σ_p(T)) = σ_{p∧q}(T)
+    #[test]
+    fn selection_commutes(rows in arb_rows(), a in 0i64..10, b in 0i64..10) {
+        let mut db = build(&rows);
+        let p = Predicate::ge(Operand::col("k"), Operand::lit(a));
+        let q = Predicate::lt(Operand::col("k"), Operand::lit(b));
+        let pq = Query::from("t").filter(p.clone()).filter(q.clone()).execute(&mut db).unwrap();
+        let qp = Query::from("t").filter(q.clone()).filter(p.clone()).execute(&mut db).unwrap();
+        let both = Query::from("t").filter(p.and(q)).execute(&mut db).unwrap();
+        prop_assert_eq!(&pq, &qp);
+        prop_assert_eq!(&pq, &both);
+    }
+
+    /// Index probe and full scan return the same rows.
+    #[test]
+    fn index_equals_scan(rows in arb_rows(), key in 0i64..10) {
+        let mut db = build(&rows);
+        let q = Query::from("t").filter(Predicate::eq(Operand::col("k"), Operand::lit(key)));
+        let scan = q.execute(&mut db).unwrap();
+        db.table_mut("t").unwrap().create_index("k").unwrap();
+        let probe = q.execute(&mut db).unwrap();
+        prop_assert_eq!(scan, probe);
+    }
+
+    /// ORDER BY produces a sorted permutation.
+    #[test]
+    fn order_by_sorts_permutation(rows in arb_rows()) {
+        let mut db = build(&rows);
+        let plain = Query::from("t").execute(&mut db).unwrap();
+        let sorted = Query::from("t").order_by("k", SortOrder::Asc).execute(&mut db).unwrap();
+        prop_assert_eq!(plain.len(), sorted.len());
+        for w in sorted.windows(2) {
+            prop_assert!(w[0][0] <= w[1][0]);
+        }
+        let mut a = plain; a.sort();
+        let mut b = sorted; b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Projection then selection = selection then projection (when the
+    /// predicate only touches projected columns).
+    #[test]
+    fn project_select_commute(rows in arb_rows(), key in 0i64..10) {
+        let mut db = build(&rows);
+        let p = Predicate::eq(Operand::col("k"), Operand::lit(key));
+        let a = Query::from("t").select(&["k"]).filter(p.clone()).execute(&mut db).unwrap();
+        let b = Query::from("t").filter(p).select(&["k"]).execute(&mut db).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// DISTINCT is idempotent and never grows the result.
+    #[test]
+    fn distinct_laws(rows in arb_rows()) {
+        let mut db = build(&rows);
+        let once = Query::from("t").select(&["k"]).distinct().execute(&mut db).unwrap();
+        let plain = Query::from("t").select(&["k"]).execute(&mut db).unwrap();
+        prop_assert!(once.len() <= plain.len());
+        let mut seen = std::collections::HashSet::new();
+        for r in &once {
+            prop_assert!(seen.insert(r.clone()), "distinct left a duplicate");
+        }
+    }
+
+    /// Join with a 1-row key table equals a filter.
+    #[test]
+    fn join_singleton_is_filter(rows in arb_rows(), key in 0i64..10) {
+        let mut db = build(&rows);
+        db.create_table("keys", Schema::new(vec![ColumnDef::new("k", ColumnType::Int)])).unwrap();
+        db.insert("keys", vec![Value::Int(key)]).unwrap();
+        let joined = Query::from("t")
+            .join("keys", "k", "k")
+            .select(&["t.k", "t.v"])
+            .execute(&mut db)
+            .unwrap();
+        let filtered = Query::from("t")
+            .filter(Predicate::eq(Operand::col("k"), Operand::lit(key)))
+            .execute(&mut db)
+            .unwrap();
+        let mut a = joined; a.sort();
+        let mut b = filtered; b.sort();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,159 @@
+//! SQL-behaviour tests: NULL semantics, LIKE, multi-key ORDER BY,
+//! aggregation over joins — the surface the FORM and the baselines
+//! rely on.
+
+use microdb::{
+    Aggregate, ColumnDef, ColumnType, Database, Operand, Predicate, Query, Schema, SortOrder,
+    Value,
+};
+
+fn staff_db() -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        "staff",
+        Schema::new(vec![
+            ColumnDef::new("id", ColumnType::Int).auto_increment(),
+            ColumnDef::new("name", ColumnType::Str),
+            ColumnDef::new("dept", ColumnType::Int).nullable(),
+            ColumnDef::new("salary", ColumnType::Int),
+        ]),
+    )
+    .unwrap();
+    db.create_table(
+        "dept",
+        Schema::new(vec![
+            ColumnDef::new("id", ColumnType::Int).auto_increment(),
+            ColumnDef::new("name", ColumnType::Str),
+        ]),
+    )
+    .unwrap();
+    for d in ["eng", "ops"] {
+        db.insert("dept", vec![Value::Null, d.into()]).unwrap();
+    }
+    for (n, d, s) in [
+        ("ada", Some(1), 120),
+        ("bob", Some(1), 100),
+        ("cy", Some(2), 90),
+        ("dee", None, 80),
+        ("ada2", Some(2), 100),
+    ] {
+        db.insert(
+            "staff",
+            vec![Value::Null, n.into(), Value::from(d.map(i64::from)), Value::Int(s)],
+        )
+        .unwrap();
+    }
+    db
+}
+
+#[test]
+fn null_never_matches_comparisons() {
+    let mut db = staff_db();
+    // dept = 1 OR dept <> 1 still excludes the NULL row.
+    let q = Query::from("staff").filter(
+        Predicate::eq(Operand::col("dept"), Operand::lit(1i64))
+            .or(Predicate::ne(Operand::col("dept"), Operand::lit(1i64))),
+    );
+    assert_eq!(q.execute(&mut db).unwrap().len(), 4);
+    // IS NULL finds it.
+    let nulls = Query::from("staff")
+        .filter(Predicate::IsNull(Operand::col("dept")))
+        .execute(&mut db)
+        .unwrap();
+    assert_eq!(nulls.len(), 1);
+    assert_eq!(nulls[0][1], Value::from("dee"));
+}
+
+#[test]
+fn like_patterns_filter_strings() {
+    let mut db = staff_db();
+    let ada_ish = Query::from("staff")
+        .filter(Predicate::Like(Operand::col("name"), "ada%".to_owned()))
+        .execute(&mut db)
+        .unwrap();
+    assert_eq!(ada_ish.len(), 2);
+    let contains_o = Query::from("staff")
+        .filter(Predicate::Like(Operand::col("name"), "%o%".to_owned()))
+        .execute(&mut db)
+        .unwrap();
+    assert_eq!(contains_o.len(), 1, "only bob");
+}
+
+#[test]
+fn multi_key_order_by_is_stable_within_groups() {
+    let mut db = staff_db();
+    let rows = Query::from("staff")
+        .order_by("salary", SortOrder::Desc)
+        .order_by("name", SortOrder::Asc)
+        .execute(&mut db)
+        .unwrap();
+    let names: Vec<&str> = rows.iter().map(|r| r[1].as_str().unwrap()).collect();
+    assert_eq!(names, vec!["ada", "ada2", "bob", "cy", "dee"]);
+}
+
+#[test]
+fn aggregate_over_join_groups() {
+    let mut db = staff_db();
+    let rs = Query::from("staff")
+        .join("dept", "dept", "id")
+        .execute_full(&mut db)
+        .unwrap();
+    // NULL-dept rows drop out of the inner join.
+    assert_eq!(rs.rows.len(), 4);
+    let by_dept = rs
+        .group_by("dept.name", Aggregate::Sum, "staff.salary")
+        .unwrap();
+    assert_eq!(
+        by_dept,
+        vec![
+            (Value::from("eng"), Value::Int(220)),
+            (Value::from("ops"), Value::Int(190)),
+        ]
+    );
+    assert_eq!(
+        rs.aggregate(Aggregate::Max, "staff.salary").unwrap(),
+        Value::Int(120)
+    );
+}
+
+#[test]
+fn limit_applies_after_ordering() {
+    let mut db = staff_db();
+    let top2 = Query::from("staff")
+        .order_by("salary", SortOrder::Desc)
+        .limit(2)
+        .execute(&mut db)
+        .unwrap();
+    assert_eq!(top2.len(), 2);
+    assert_eq!(top2[0][1], Value::from("ada"));
+}
+
+#[test]
+fn update_through_predicates_respects_types() {
+    let mut db = staff_db();
+    let n = db
+        .update(
+            "staff",
+            &Predicate::ge(Operand::col("salary"), Operand::lit(100i64)),
+            &[("salary".to_owned(), Value::Int(99))],
+        )
+        .unwrap();
+    assert_eq!(n, 3);
+    let rich = Query::from("staff")
+        .filter(Predicate::ge(Operand::col("salary"), Operand::lit(100i64)))
+        .execute(&mut db)
+        .unwrap();
+    assert!(rich.is_empty());
+}
+
+#[test]
+fn distinct_on_projection_after_join() {
+    let mut db = staff_db();
+    let depts = Query::from("staff")
+        .join("dept", "dept", "id")
+        .select(&["dept.name"])
+        .distinct()
+        .execute(&mut db)
+        .unwrap();
+    assert_eq!(depts.len(), 2);
+}

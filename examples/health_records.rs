@@ -1,0 +1,53 @@
+//! The HIPAA-style health record case study (§6.1): role- and
+//! state-dependent disclosure, including waivers granted after the
+//! record was created.
+//!
+//! Run with `cargo run --example health_records`.
+
+use apps::health;
+use jacqueline::{App, Viewer};
+use microdb::Value;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut app = App::new();
+    health::register(&mut app)?;
+
+    let patient = app.create("individual", vec![Value::from("pat"), Value::from("patient")])?;
+    let doctor = app.create("individual", vec![Value::from("dr. dee"), Value::from("doctor")])?;
+    let insurer = app.create("individual", vec![Value::from("insco"), Value::from("insurer")])?;
+
+    let record = app.create(
+        "health_record",
+        vec![
+            Value::Int(patient),
+            Value::Int(doctor),
+            Value::Int(insurer),
+            Value::from("seasonal flu"),
+            Value::from("rest and fluids"),
+        ],
+    )?;
+
+    println!("-- before any waiver --");
+    for (who, v) in [
+        ("patient", Viewer::User(patient)),
+        ("doctor", Viewer::User(doctor)),
+        ("insurer", Viewer::User(insurer)),
+    ] {
+        println!("{who}: {}", health::single_record(&mut app, &v, record));
+    }
+
+    // The patient signs a waiver for the insurer — policies consult
+    // the waiver table at *output* time, so the same record object now
+    // renders differently.
+    health::set_waiver(&mut app, record, insurer, true)?;
+    println!("-- after the waiver --");
+    println!(
+        "insurer: {}",
+        health::single_record(&mut app, &Viewer::User(insurer), record)
+    );
+
+    println!("-- records summary as the doctor --");
+    println!("{}", health::all_records_summary(&mut app, &Viewer::User(doctor)));
+
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! A tiny REPL for the λJDB core language: type s-expressions, watch
+//! faceted evaluation happen. Useful for exploring the semantics of
+//! §4 interactively.
+//!
+//! Run with `cargo run --example lambda_jdb_repl`, then try:
+//!
+//! ```text
+//! (label k (facet k 1 2))
+//! (label k (concat "x=" (facet k "secret" "public")))
+//! (select 0 1 (join (row "a") (row "a")))
+//! (letstmt s (label k (let a (restrict k (lam v (== v (file boss)))) k))
+//!   (print (file boss) (facet s "top secret" "nothing here")))
+//! ```
+
+use std::io::{BufRead, Write};
+
+use lambdajdb::{parse_expr, parse_statement, Interp};
+
+fn main() {
+    let stdin = std::io::stdin();
+    let mut interp = Interp::new();
+    println!("λJDB repl — expressions or (print …)/(letstmt …)/(seq …) statements; ctrl-d exits");
+    print!("λ> ");
+    std::io::stdout().flush().ok();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        if line.is_empty() {
+            print!("λ> ");
+            std::io::stdout().flush().ok();
+            continue;
+        }
+        if line.starts_with("(print") || line.starts_with("(letstmt") || line.starts_with("(seq") {
+            match parse_statement(line) {
+                Ok(stmt) => match interp.run(&stmt) {
+                    Ok(outputs) => {
+                        for o in outputs {
+                            println!("[{}] {}", o.channel, o.rendered);
+                        }
+                    }
+                    Err(e) => println!("error: {e}"),
+                },
+                Err(e) => println!("parse error: {e}"),
+            }
+        } else {
+            match parse_expr(line) {
+                Ok(expr) => match interp.eval(&expr) {
+                    Ok(v) => println!("{v}"),
+                    Err(e) => println!("error: {e}"),
+                },
+                Err(e) => println!("parse error: {e}"),
+            }
+        }
+        print!("λ> ");
+        std::io::stdout().flush().ok();
+    }
+    println!();
+}

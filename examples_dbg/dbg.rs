@@ -1,0 +1,10 @@
+use lambdajdb::{parse_statement, Interp};
+fn main() {
+    let program = parse_statement(
+        "(letstmt secret
+           (label k (let a (restrict k (lam v (facet k false true))) k))
+           (print (file u) (facet secret \"shown\" \"hidden\")))",
+    ).unwrap();
+    let out = Interp::new().run(&program).unwrap();
+    println!("{:?}", out);
+}

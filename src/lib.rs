@@ -1,0 +1,27 @@
+//! `jacqueline-repro` — facade crate for the Rust reproduction of
+//! *Precise, Dynamic Information Flow for Database-Backed
+//! Applications* (Yang et al., PLDI 2016).
+//!
+//! This crate re-exports the workspace members under one roof, hosts
+//! the runnable examples (`examples/`) and the cross-crate
+//! integration tests (`tests/`). The interesting code lives in:
+//!
+//! * [`faceted`] — faceted values, labels, views;
+//! * [`microdb`] — the in-memory relational engine substrate;
+//! * [`labelsat`] — the DPLL solver for policy constraints;
+//! * [`lambdajdb`] — the λJDB core language, executable;
+//! * [`form`] — the faceted object-relational mapping;
+//! * [`jacqueline`] — the policy-agnostic web framework;
+//! * [`apps`] — the three case studies (×2 implementations each).
+//!
+//! See README.md for the tour and DESIGN.md for the paper mapping.
+
+#![forbid(unsafe_code)]
+
+pub use apps;
+pub use faceted;
+pub use form;
+pub use jacqueline;
+pub use labelsat;
+pub use lambdajdb;
+pub use microdb;
