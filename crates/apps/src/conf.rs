@@ -112,7 +112,9 @@ pub fn register(app: &mut App) -> form::FormResult<()> {
             if viewer == Some(args.jid) {
                 return Faceted::leaf(true);
             }
-            let Some(v) = viewer else { return Faceted::leaf(false) };
+            let Some(v) = viewer else {
+                return Faceted::leaf(false);
+            };
             Faceted::leaf(role_of(args.db, v).as_deref() == Some("chair"))
         },
     ));
@@ -237,13 +239,10 @@ pub fn register(app: &mut App) -> form::FormResult<()> {
 ///
 /// Propagates database errors.
 pub fn set_phase(app: &mut App, phase: &str) -> form::FormResult<()> {
-    let existing: Vec<i64> = app
-        .all("conf_state")?
-        .iter()
-        .map(|(_, r)| r.jid)
-        .collect();
+    let existing: Vec<i64> = app.all("conf_state")?.iter().map(|(_, r)| r.jid).collect();
     for jid in existing {
-        app.db.delete("conf_state", jid, &faceted::Branches::new())?;
+        app.db
+            .delete("conf_state", jid, &faceted::Branches::new())?;
     }
     app.create("conf_state", vec![Value::from(phase)])?;
     Ok(())
@@ -270,11 +269,10 @@ pub fn all_papers(app: &mut App, viewer: &Viewer) -> String {
 fn author_name(app: &mut App, session: &mut Session, author: &Value) -> String {
     match author.as_int() {
         Some(jid) if jid >= 0 => match app.get("user_profile", jid) {
-            Ok(profile) => session
-                .view_object(app, &profile)
-                .map_or_else(|| "(unknown)".to_owned(), |r| {
-                    r[0].as_str().unwrap_or("?").to_owned()
-                }),
+            Ok(profile) => session.view_object(app, &profile).map_or_else(
+                || "(unknown)".to_owned(),
+                |r| r[0].as_str().unwrap_or("?").to_owned(),
+            ),
             Err(_) => "(unknown)".to_owned(),
         },
         _ => "(anonymous)".to_owned(),
@@ -345,11 +343,7 @@ pub fn single_user(app: &mut App, viewer: &Viewer, user: i64) -> String {
 /// # Errors
 ///
 /// Propagates database errors.
-pub fn submit_paper(
-    app: &mut App,
-    viewer: &Viewer,
-    title: &str,
-) -> form::FormResult<i64> {
+pub fn submit_paper(app: &mut App, viewer: &Viewer, title: &str) -> form::FormResult<i64> {
     let author = viewer.user_jid().unwrap_or(-1);
     app.create(
         "paper",
@@ -388,16 +382,20 @@ pub fn router() -> Router {
     r.route("papers/all", |app, req: &Request| {
         Response::ok(all_papers(app, &req.viewer))
     });
-    r.route("papers/one", |app, req: &Request| match req.int_param("id") {
-        Some(id) => Response::ok(single_paper(app, &req.viewer, id)),
-        None => Response::not_found(),
+    r.route("papers/one", |app, req: &Request| {
+        match req.int_param("id") {
+            Some(id) => Response::ok(single_paper(app, &req.viewer, id)),
+            None => Response::not_found(),
+        }
     });
     r.route("users/all", |app, req: &Request| {
         Response::ok(all_users(app, &req.viewer))
     });
-    r.route("users/one", |app, req: &Request| match req.int_param("id") {
-        Some(id) => Response::ok(single_user(app, &req.viewer, id)),
-        None => Response::not_found(),
+    r.route("users/one", |app, req: &Request| {
+        match req.int_param("id") {
+            Some(id) => Response::ok(single_user(app, &req.viewer, id)),
+            None => Response::not_found(),
+        }
     });
     r
 }
@@ -536,8 +534,10 @@ mod tests {
         set_phase(&mut app, PHASE_FINAL).unwrap();
         let author_final = single_paper(&mut app, &Viewer::User(author), paper);
         assert!(author_final.contains("solid work"), "{author_final}");
-        assert!(author_final.contains("(anonymous)") || !author_final.contains("pat pc"),
-            "reviewer identity stays hidden from the author: {author_final}");
+        assert!(
+            author_final.contains("(anonymous)") || !author_final.contains("pat pc"),
+            "reviewer identity stays hidden from the author: {author_final}"
+        );
     }
 
     #[test]
@@ -550,6 +550,10 @@ mod tests {
         );
         assert_eq!(resp.status, 200);
         assert!(resp.body.contains("Faceted Everything"));
-        assert_eq!(r.handle(&mut app, &Request::new("zzz", Viewer::Anonymous)).status, 404);
+        assert_eq!(
+            r.handle(&mut app, &Request::new("zzz", Viewer::Anonymous))
+                .status,
+            404
+        );
     }
 }

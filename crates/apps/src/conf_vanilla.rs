@@ -86,7 +86,9 @@ impl ConfVanilla {
         for id in ids {
             self.db.delete("conf_state", id).unwrap();
         }
-        self.db.insert("conf_state", vec![Value::from(phase)]).unwrap();
+        self.db
+            .insert("conf_state", vec![Value::from(phase)])
+            .unwrap();
     }
 
     fn phase(&mut self) -> String {
@@ -104,7 +106,9 @@ impl ConfVanilla {
         if self.phase() == PHASE_FINAL {
             return true;
         }
-        let Some(v) = viewer.user_jid() else { return false };
+        let Some(v) = viewer.user_jid() else {
+            return false;
+        };
         let paper_id = paper_row[0].as_int().unwrap_or(-1);
         let conflicted = self
             .db
@@ -123,19 +127,25 @@ impl ConfVanilla {
         if self.phase() == PHASE_FINAL {
             return true;
         }
-        let Some(v) = viewer.user_jid() else { return false };
+        let Some(v) = viewer.user_jid() else {
+            return false;
+        };
         paper_row[2].as_int() == Some(v) || self.is_committee(v)
     }
 
     /// May `viewer` see the reviewer identity of `review_row`?
     pub fn policy_reviewer(&mut self, review_row: &Row, viewer: &Viewer) -> bool {
-        let Some(v) = viewer.user_jid() else { return false };
+        let Some(v) = viewer.user_jid() else {
+            return false;
+        };
         review_row[2].as_int() == Some(v) || self.is_committee(v)
     }
 
     /// May `viewer` see the text of `review_row`?
     pub fn policy_review_text(&mut self, review_row: &Row, viewer: &Viewer) -> bool {
-        let Some(v) = viewer.user_jid() else { return false };
+        let Some(v) = viewer.user_jid() else {
+            return false;
+        };
         if self.is_committee(v) {
             return true;
         }
@@ -150,7 +160,9 @@ impl ConfVanilla {
 
     /// May `viewer` see the email of `user_row`?
     pub fn policy_email(&mut self, user_row: &Row, viewer: &Viewer) -> bool {
-        let Some(v) = viewer.user_jid() else { return false };
+        let Some(v) = viewer.user_jid() else {
+            return false;
+        };
         user_row[0].as_int() == Some(v) || self.role_of(v).as_deref() == Some("chair")
     }
 
@@ -167,7 +179,7 @@ impl ConfVanilla {
     }
     // </policy>
 
-// [section: views]
+    // [section: views]
     /// Submit a paper.
     pub fn submit_paper(&mut self, viewer: &Viewer, title: &str) -> i64 {
         let author = viewer.user_jid().unwrap_or(-1);
@@ -366,8 +378,12 @@ mod tests {
     #[test]
     fn baseline_email_policy() {
         let (mut app, chair, author, _) = setup();
-        assert!(app.single_user(&Viewer::User(author), author).contains("alice@mit.edu"));
-        assert!(app.single_user(&Viewer::User(chair), author).contains("alice@mit.edu"));
+        assert!(app
+            .single_user(&Viewer::User(author), author)
+            .contains("alice@mit.edu"));
+        assert!(app
+            .single_user(&Viewer::User(chair), author)
+            .contains("alice@mit.edu"));
         assert!(app
             .single_user(&Viewer::User(author), chair)
             .contains("[email withheld]"));

@@ -119,15 +119,13 @@ pub fn register(app: &mut App) -> form::FormResult<()> {
                 return Faceted::leaf(false);
             }
             // Graded-ness is read from the *current* row state.
-            let graded = args
-                .db
+            args.db
                 .get("submission", args.jid)
                 .ok()
                 .map(|o| object_field(&o, 4))
                 .map_or(Faceted::leaf(false), |f| {
                     f.map(&mut |v| v.as_bool() == Some(true))
-                });
-            graded
+                })
         },
     ));
     // </policy>
@@ -169,13 +167,17 @@ pub fn all_courses(app: &mut App, viewer: &Viewer) -> String {
             app.get("cuser", instructor)
                 .ok()
                 .and_then(|o| session.view_object(app, &o))
-                .map_or_else(|| "(unknown)".to_owned(), |r| {
-                    r[0].as_str().unwrap_or("?").to_owned()
-                })
+                .map_or_else(
+                    || "(unknown)".to_owned(),
+                    |r| r[0].as_str().unwrap_or("?").to_owned(),
+                )
         } else {
             "(unlisted)".to_owned()
         };
-        page.push_str(&format!("{} taught by {name}\n", row[0].as_str().unwrap_or("?")));
+        page.push_str(&format!(
+            "{} taught by {name}\n",
+            row[0].as_str().unwrap_or("?")
+        ));
     }
     page
 }
@@ -193,8 +195,7 @@ pub fn all_courses_no_pruning(app: &mut App, viewer: &Viewer) -> String {
         let instructor = row.fields[1].as_int().unwrap_or(-1);
         let name = if instructor >= 0 {
             match app.get("cuser", instructor) {
-                Ok(o) => object_field(&o, 0)
-                    .map(&mut |v| v.as_str().unwrap_or("?").to_owned()),
+                Ok(o) => object_field(&o, 0).map(&mut |v| v.as_str().unwrap_or("?").to_owned()),
                 Err(_) => Faceted::leaf("(unknown)".to_owned()),
             }
         } else {
@@ -250,7 +251,10 @@ mod tests {
         let mut app = App::new();
         register(&mut app).unwrap();
         let teacher = app
-            .create("cuser", vec![Value::from("prof"), Value::from("instructor")])
+            .create(
+                "cuser",
+                vec![Value::from("prof"), Value::from("instructor")],
+            )
             .unwrap();
         let student = app
             .create("cuser", vec![Value::from("sam"), Value::from("student")])
@@ -285,7 +289,11 @@ mod tests {
     #[test]
     fn pruned_and_unpruned_pages_agree() {
         let (mut app, teacher, student, _) = setup();
-        for viewer in [Viewer::User(teacher), Viewer::User(student), Viewer::Anonymous] {
+        for viewer in [
+            Viewer::User(teacher),
+            Viewer::User(student),
+            Viewer::Anonymous,
+        ] {
             let fast = all_courses(&mut app, &viewer);
             let slow = all_courses_no_pruning(&mut app, &viewer);
             assert_eq!(fast, slow, "viewer {viewer}");

@@ -72,7 +72,9 @@ impl CoursesVanilla {
     // <policy>
     /// May `viewer` see the details of `course_row`?
     pub fn policy_course(&mut self, course_row: &Row, viewer: &Viewer) -> bool {
-        let Some(v) = viewer.user_jid() else { return false };
+        let Some(v) = viewer.user_jid() else {
+            return false;
+        };
         if course_row[2].as_int() == Some(v) {
             return true;
         }
@@ -86,19 +88,22 @@ impl CoursesVanilla {
 
     /// May `viewer` see the text of `submission_row`?
     pub fn policy_submission_text(&mut self, submission_row: &Row, viewer: &Viewer) -> bool {
-        let Some(v) = viewer.user_jid() else { return false };
+        let Some(v) = viewer.user_jid() else {
+            return false;
+        };
         submission_row[2].as_int() == Some(v)
             || self.instructor_of_assignment(submission_row[1].as_int()) == Some(v)
     }
 
     /// May `viewer` see the grade of `submission_row`?
     pub fn policy_grade(&mut self, submission_row: &Row, viewer: &Viewer) -> bool {
-        let Some(v) = viewer.user_jid() else { return false };
+        let Some(v) = viewer.user_jid() else {
+            return false;
+        };
         if self.instructor_of_assignment(submission_row[1].as_int()) == Some(v) {
             return true;
         }
-        submission_row[2].as_int() == Some(v)
-            && submission_row[5].as_bool() == Some(true)
+        submission_row[2].as_int() == Some(v) && submission_row[5].as_bool() == Some(true)
     }
 
     fn instructor_of_assignment(&mut self, assignment: Option<i64>) -> Option<i64> {
@@ -109,7 +114,7 @@ impl CoursesVanilla {
     }
     // </policy>
 
-// [section: views]
+    // [section: views]
     /// The all-courses page with inline checks.
     pub fn all_courses(&mut self, viewer: &Viewer) -> String {
         let courses = self.db.all("course").unwrap_or_default();
@@ -170,7 +175,10 @@ mod tests {
         let mut app = CoursesVanilla::new();
         let teacher = app
             .db
-            .insert("cuser", vec![Value::from("prof"), Value::from("instructor")])
+            .insert(
+                "cuser",
+                vec![Value::from("prof"), Value::from("instructor")],
+            )
             .unwrap();
         let student = app
             .db
@@ -184,6 +192,8 @@ mod tests {
             .insert("enrollment", vec![Value::Int(course), Value::Int(student)])
             .unwrap();
         assert!(app.all_courses(&Viewer::User(student)).contains("PL 101"));
-        assert!(app.all_courses(&Viewer::Anonymous).contains("[closed course]"));
+        assert!(app
+            .all_courses(&Viewer::Anonymous)
+            .contains("[closed course]"));
     }
 }

@@ -93,9 +93,10 @@ pub fn all_records_summary(app: &mut App, viewer: &Viewer) -> String {
             .get("individual", patient)
             .ok()
             .and_then(|o| session.view_object(app, &o))
-            .map_or_else(|| "(unknown)".to_owned(), |r| {
-                r[0].as_str().unwrap_or("?").to_owned()
-            });
+            .map_or_else(
+                || "(unknown)".to_owned(),
+                |r| r[0].as_str().unwrap_or("?").to_owned(),
+            );
         page.push_str(&format!(
             "{name}: {} / {}\n",
             row[3].as_str().unwrap_or("?"),
@@ -142,13 +143,22 @@ mod tests {
         let mut app = App::new();
         register(&mut app).unwrap();
         let patient = app
-            .create("individual", vec![Value::from("pat"), Value::from("patient")])
+            .create(
+                "individual",
+                vec![Value::from("pat"), Value::from("patient")],
+            )
             .unwrap();
         let doctor = app
-            .create("individual", vec![Value::from("doc"), Value::from("doctor")])
+            .create(
+                "individual",
+                vec![Value::from("doc"), Value::from("doctor")],
+            )
             .unwrap();
         let insurer = app
-            .create("individual", vec![Value::from("ins"), Value::from("insurer")])
+            .create(
+                "individual",
+                vec![Value::from("ins"), Value::from("insurer")],
+            )
             .unwrap();
         let record = app
             .create(
@@ -193,7 +203,10 @@ mod tests {
     fn strangers_see_placeholders_in_summary() {
         let (mut app, _, _, _, _) = setup();
         let stranger = app
-            .create("individual", vec![Value::from("eve"), Value::from("patient")])
+            .create(
+                "individual",
+                vec![Value::from("eve"), Value::from("patient")],
+            )
             .unwrap();
         let page = all_records_summary(&mut app, &Viewer::User(stranger));
         assert!(page.contains("[protected]"), "{page}");

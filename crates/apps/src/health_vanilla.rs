@@ -56,7 +56,9 @@ impl HealthVanilla {
     // <policy>
     /// May `viewer` see the medical contents of `record_row`?
     pub fn policy_contents(&mut self, record_row: &Row, viewer: &Viewer) -> bool {
-        let Some(v) = viewer.user_jid() else { return false };
+        let Some(v) = viewer.user_jid() else {
+            return false;
+        };
         if record_row[1].as_int() == Some(v) || record_row[2].as_int() == Some(v) {
             return true;
         }
@@ -69,7 +71,7 @@ impl HealthVanilla {
     }
     // </policy>
 
-// [section: views]
+    // [section: views]
     /// Summary page of all records.
     pub fn all_records_summary(&mut self, viewer: &Viewer) -> String {
         let records = self.db.all("health_record").unwrap_or_default();
@@ -131,15 +133,24 @@ mod tests {
         let mut app = HealthVanilla::new();
         let patient = app
             .db
-            .insert("individual", vec![Value::from("pat"), Value::from("patient")])
+            .insert(
+                "individual",
+                vec![Value::from("pat"), Value::from("patient")],
+            )
             .unwrap();
         let doctor = app
             .db
-            .insert("individual", vec![Value::from("doc"), Value::from("doctor")])
+            .insert(
+                "individual",
+                vec![Value::from("doc"), Value::from("doctor")],
+            )
             .unwrap();
         let insurer = app
             .db
-            .insert("individual", vec![Value::from("ins"), Value::from("insurer")])
+            .insert(
+                "individual",
+                vec![Value::from("ins"), Value::from("insurer")],
+            )
             .unwrap();
         let record = app
             .db
@@ -154,7 +165,9 @@ mod tests {
                 ],
             )
             .unwrap();
-        assert!(app.single_record(&Viewer::User(patient), record).contains("flu"));
+        assert!(app
+            .single_record(&Viewer::User(patient), record)
+            .contains("flu"));
         assert!(app
             .single_record(&Viewer::User(insurer), record)
             .contains("[protected]"));
@@ -164,6 +177,8 @@ mod tests {
                 vec![Value::Int(record), Value::Int(insurer), Value::Bool(true)],
             )
             .unwrap();
-        assert!(app.single_record(&Viewer::User(insurer), record).contains("flu"));
+        assert!(app
+            .single_record(&Viewer::User(insurer), record)
+            .contains("flu"));
     }
 }

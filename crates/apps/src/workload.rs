@@ -8,8 +8,10 @@ use microdb::Value;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{conf, conf_vanilla::ConfVanilla, courses, courses_vanilla::CoursesVanilla, health,
-            health_vanilla::HealthVanilla};
+use crate::{
+    conf, conf_vanilla::ConfVanilla, courses, courses_vanilla::CoursesVanilla, health,
+    health_vanilla::HealthVanilla,
+};
 
 /// Fixed RNG seed so every run measures identical data.
 pub const SEED: u64 = 0x4a61_6371; // "Jacq"
@@ -66,13 +68,25 @@ pub fn conference(n_users: usize, n_papers: usize) -> ConfWorkload {
         let pv = vanilla.submit_paper(&Viewer::User(author), &title);
         debug_assert!(pj > 0 && pv > 0);
         let reviewer = user_ids[rng.gen_range(0..user_ids.len())];
-        conf::submit_review(&mut app, &Viewer::User(reviewer), pj, (i % 5) as i64, "fine").unwrap();
+        conf::submit_review(
+            &mut app,
+            &Viewer::User(reviewer),
+            pj,
+            (i % 5) as i64,
+            "fine",
+        )
+        .unwrap();
         vanilla.submit_review(&Viewer::User(reviewer), pv, (i % 5) as i64, "fine");
     }
 
     let pc_member = user_ids.get(1).copied().unwrap_or(user_ids[0]);
     let author = *user_ids.last().expect("at least two users");
-    ConfWorkload { app, vanilla, pc_member, author }
+    ConfWorkload {
+        app,
+        vanilla,
+        pc_member,
+        author,
+    }
 }
 
 /// A populated health pair.
@@ -111,9 +125,21 @@ pub fn health(n_users: usize) -> HealthWorkload {
         vanilla.db.insert("individual", row).unwrap();
         ids.push((j, role));
     }
-    let doctors: Vec<i64> = ids.iter().filter(|(_, r)| *r == "doctor").map(|(i, _)| *i).collect();
-    let insurers: Vec<i64> = ids.iter().filter(|(_, r)| *r == "insurer").map(|(i, _)| *i).collect();
-    let patients: Vec<i64> = ids.iter().filter(|(_, r)| *r == "patient").map(|(i, _)| *i).collect();
+    let doctors: Vec<i64> = ids
+        .iter()
+        .filter(|(_, r)| *r == "doctor")
+        .map(|(i, _)| *i)
+        .collect();
+    let insurers: Vec<i64> = ids
+        .iter()
+        .filter(|(_, r)| *r == "insurer")
+        .map(|(i, _)| *i)
+        .collect();
+    let patients: Vec<i64> = ids
+        .iter()
+        .filter(|(_, r)| *r == "patient")
+        .map(|(i, _)| *i)
+        .collect();
 
     for &p in &patients {
         let doctor = doctors[rng.gen_range(0..doctors.len().max(1))];

@@ -108,7 +108,11 @@ fn courses_pruned_and_unpruned_agree_with_baseline() {
     let w = workload::courses(6);
     let mut app = w.app;
     let mut vanilla = w.vanilla;
-    for viewer in [Viewer::Anonymous, Viewer::User(w.student), Viewer::User(w.instructor)] {
+    for viewer in [
+        Viewer::Anonymous,
+        Viewer::User(w.student),
+        Viewer::User(w.instructor),
+    ] {
         let baseline = vanilla.all_courses(&viewer);
         assert_eq!(apps::courses::all_courses(&mut app, &viewer), baseline);
         assert_eq!(
@@ -116,6 +120,149 @@ fn courses_pruned_and_unpruned_agree_with_baseline() {
             baseline,
             "no-pruning page must agree for {viewer}"
         );
+    }
+}
+
+/// Courses: *every* page (course list with and without pruning, every
+/// submission view) for *every* viewer, with both graded and ungraded
+/// submissions on the page — the same exhaustive coverage the
+/// conference app gets in `conference_all_pages_agree_for_every_viewer`.
+#[test]
+fn courses_all_pages_agree_for_every_viewer() {
+    use microdb::Value;
+    let w = workload::courses(5);
+    let mut app = w.app;
+    let mut vanilla = w.vanilla;
+    // One submission per assignment from the enrolled student; every
+    // other submission is graded, so both states of the stateful
+    // grade policy appear.
+    let n_assignments = vanilla.db.all("assignment").unwrap().len() as i64;
+    let mut submissions = Vec::new();
+    for a in 1..=n_assignments {
+        let row = vec![
+            Value::Int(a),
+            Value::Int(w.student),
+            Value::from(format!("answer-{a}")),
+            Value::Int(-1),
+            Value::Bool(false),
+        ];
+        let sj = app.create("submission", row.clone()).unwrap();
+        let sv = vanilla.db.insert("submission", row).unwrap();
+        assert_eq!(sj, sv, "submission ids must line up");
+        submissions.push(sj);
+        if a % 2 == 0 {
+            apps::courses::grade_submission(&mut app, sj, 80 + a).unwrap();
+            vanilla
+                .db
+                .update(
+                    "submission",
+                    sv,
+                    &[
+                        ("grade".to_owned(), Value::Int(80 + a)),
+                        ("graded".to_owned(), Value::Bool(true)),
+                    ],
+                )
+                .unwrap();
+        }
+    }
+    let n_users = vanilla.db.all("cuser").unwrap().len() as i64;
+    let viewers: Vec<Viewer> = std::iter::once(Viewer::Anonymous)
+        .chain((1..=n_users).map(Viewer::User))
+        .collect();
+    for viewer in &viewers {
+        let baseline = vanilla.all_courses(viewer);
+        assert_eq!(
+            apps::courses::all_courses(&mut app, viewer),
+            baseline,
+            "all_courses for {viewer}"
+        );
+        assert_eq!(
+            apps::courses::all_courses_no_pruning(&mut app, viewer),
+            baseline,
+            "all_courses_no_pruning for {viewer}"
+        );
+        for &s in &submissions {
+            assert_eq!(
+                apps::courses::view_submission(&mut app, viewer, s),
+                vanilla.view_submission(viewer, s),
+                "view_submission {s} for {viewer}"
+            );
+        }
+    }
+}
+
+/// Health: every page for every viewer across a full waiver
+/// lifecycle — grant to the insurer, grant to a stranger, add an
+/// inactive waiver — exercising the output-time stateful policy.
+#[test]
+fn health_waiver_lifecycle_agrees_for_every_viewer() {
+    use microdb::Value;
+    let w = workload::health(12);
+    let mut app = w.app;
+    let mut vanilla = w.vanilla;
+    let n_users = vanilla.db.all("individual").unwrap().len() as i64;
+    let n_records = vanilla.db.all("health_record").unwrap().len() as i64;
+    let viewers: Vec<Viewer> = std::iter::once(Viewer::Anonymous)
+        .chain((1..=n_users).map(Viewer::User))
+        .collect();
+
+    let check_all_pages = |app: &mut jacqueline::App,
+                           vanilla: &mut apps::health_vanilla::HealthVanilla,
+                           stage: &str| {
+        for viewer in &viewers {
+            assert_eq!(
+                apps::health::all_records_summary(app, viewer),
+                vanilla.all_records_summary(viewer),
+                "[{stage}] all_records for {viewer}"
+            );
+            for rec in 1..=n_records {
+                assert_eq!(
+                    apps::health::single_record(app, viewer, rec),
+                    vanilla.single_record(viewer, rec),
+                    "[{stage}] record {rec} for {viewer}"
+                );
+            }
+        }
+    };
+    check_all_pages(&mut app, &mut vanilla, "initial");
+
+    // Grant a genuine stranger to record 1 (neither its patient,
+    // doctor, nor insurer) an active waiver — their view of the
+    // record must flip from protected to visible in *both* worlds —
+    // then add an *inactive* waiver for record 2, which must grant
+    // nothing.
+    let mirror_waiver = |app: &mut jacqueline::App,
+                         vanilla: &mut apps::health_vanilla::HealthVanilla,
+                         record: i64,
+                         grantee: i64,
+                         active: bool| {
+        apps::health::set_waiver(app, record, grantee, active).unwrap();
+        vanilla
+            .db
+            .insert(
+                "waiver",
+                vec![Value::Int(record), Value::Int(grantee), Value::Bool(active)],
+            )
+            .unwrap();
+    };
+    let record1 = vanilla.db.get("health_record", 1).unwrap().unwrap();
+    let involved: Vec<i64> = record1[1..=3].iter().filter_map(|v| v.as_int()).collect();
+    let stranger = (1..=n_users)
+        .find(|u| !involved.contains(u))
+        .expect("a stranger to record 1 exists");
+    assert!(
+        apps::health::single_record(&mut app, &Viewer::User(stranger), 1).contains("[protected]"),
+        "the chosen stranger must start out locked out"
+    );
+    mirror_waiver(&mut app, &mut vanilla, 1, stranger, true);
+    assert!(
+        !apps::health::single_record(&mut app, &Viewer::User(stranger), 1).contains("[protected]"),
+        "the active waiver must unlock record 1 for the stranger"
+    );
+    check_all_pages(&mut app, &mut vanilla, "after grant");
+    if n_records >= 2 {
+        mirror_waiver(&mut app, &mut vanilla, 2, w.patient, false);
+        check_all_pages(&mut app, &mut vanilla, "after inactive waiver");
     }
 }
 
@@ -136,7 +283,11 @@ fn submissions_agree_after_grading() {
     let sj = app.create("submission", subm_row.clone()).unwrap();
     let sv = vanilla.db.insert("submission", subm_row).unwrap();
     assert_eq!(sj, sv);
-    for viewer in [Viewer::User(w.student), Viewer::User(w.instructor), Viewer::Anonymous] {
+    for viewer in [
+        Viewer::User(w.student),
+        Viewer::User(w.instructor),
+        Viewer::Anonymous,
+    ] {
         assert_eq!(
             apps::courses::view_submission(&mut app, &viewer, sj),
             vanilla.view_submission(&viewer, sv),
@@ -155,7 +306,11 @@ fn submissions_agree_after_grading() {
             ],
         )
         .unwrap();
-    for viewer in [Viewer::User(w.student), Viewer::User(w.instructor), Viewer::Anonymous] {
+    for viewer in [
+        Viewer::User(w.student),
+        Viewer::User(w.instructor),
+        Viewer::Anonymous,
+    ] {
         assert_eq!(
             apps::courses::view_submission(&mut app, &viewer, sj),
             vanilla.view_submission(&viewer, sv),

@@ -55,7 +55,12 @@ fn fig6() {
 /// Figure 9a + Table 3: conference stress tests.
 fn fig9a_table3() {
     println!("\n==== Table 3 / Figure 9a: time to view all papers ====");
-    print_row(&["# P".into(), "Jacq.".into(), "Baseline".into(), "ratio".into()]);
+    print_row(&[
+        "# P".into(),
+        "Jacq.".into(),
+        "Baseline".into(),
+        "ratio".into(),
+    ]);
     for n in doubling_sweep() {
         let w = workload::conference(32, n);
         let mut app = w.app;
@@ -76,7 +81,12 @@ fn fig9a_table3() {
     }
 
     println!("\n==== Table 3 / Figure 9a: time to view all users ====");
-    print_row(&["# U".into(), "Jacq.".into(), "Baseline".into(), "ratio".into()]);
+    print_row(&[
+        "# U".into(),
+        "Jacq.".into(),
+        "Baseline".into(),
+        "ratio".into(),
+    ]);
     for n in doubling_sweep() {
         let w = workload::conference(n, 8);
         let mut app = w.app;
@@ -100,7 +110,12 @@ fn fig9a_table3() {
 /// Table 4: single paper / single user while the table grows.
 fn table4() {
     println!("\n==== Table 4: time to view a single paper ====");
-    print_row(&["Papers".into(), "Jacq.".into(), "Baseline".into(), "ratio".into()]);
+    print_row(&[
+        "Papers".into(),
+        "Jacq.".into(),
+        "Baseline".into(),
+        "ratio".into(),
+    ]);
     for n in doubling_sweep() {
         let w = workload::conference(32, n);
         let mut app = w.app;
@@ -121,7 +136,12 @@ fn table4() {
     }
 
     println!("\n==== Table 4: time to view a single user ====");
-    print_row(&["Users".into(), "Jacq.".into(), "Baseline".into(), "ratio".into()]);
+    print_row(&[
+        "Users".into(),
+        "Jacq.".into(),
+        "Baseline".into(),
+        "ratio".into(),
+    ]);
     for n in doubling_sweep() {
         let w = workload::conference(n, 8);
         let mut app = w.app;
@@ -145,7 +165,12 @@ fn table4() {
 /// Figure 9b: health-record stress test.
 fn fig9b() {
     println!("\n==== Figure 9b: health records, time to view summaries ====");
-    print_row(&["# Users".into(), "Jacq.".into(), "Baseline".into(), "ratio".into()]);
+    print_row(&[
+        "# Users".into(),
+        "Jacq.".into(),
+        "Baseline".into(),
+        "ratio".into(),
+    ]);
     for n in doubling_sweep() {
         let w = workload::health(n);
         let mut app = w.app;
@@ -169,7 +194,12 @@ fn fig9b() {
 /// Figure 9c: course-manager stress test (Early Pruning on).
 fn fig9c() {
     println!("\n==== Figure 9c: courses, time to view all courses ====");
-    print_row(&["# C".into(), "Jacq.".into(), "Baseline".into(), "ratio".into()]);
+    print_row(&[
+        "# C".into(),
+        "Jacq.".into(),
+        "Baseline".into(),
+        "ratio".into(),
+    ]);
     for n in doubling_sweep() {
         let w = workload::courses(n);
         let mut app = w.app;
@@ -193,7 +223,12 @@ fn fig9c() {
 /// Table 5: Early Pruning on vs off.
 fn table5() {
     println!("\n==== Table 5: all courses, with and without Early Pruning ====");
-    print_row(&["Courses".into(), "w/o pruning".into(), "w/ pruning".into(), String::new()]);
+    print_row(&[
+        "Courses".into(),
+        "w/o pruning".into(),
+        "w/ pruning".into(),
+        String::new(),
+    ]);
     // Without pruning the page is one faceted string whose leaf count
     // doubles per course; like the paper we stop measuring once it
     // blows up and print "—".

@@ -140,7 +140,11 @@ pub fn apps_src_dir() -> std::path::PathBuf {
 /// # Errors
 ///
 /// I/O errors reading the sources.
-pub fn print_comparison(name: &str, jacqueline_file: &str, vanilla_file: &str) -> std::io::Result<()> {
+pub fn print_comparison(
+    name: &str,
+    jacqueline_file: &str,
+    vanilla_file: &str,
+) -> std::io::Result<()> {
     let dir = apps_src_dir();
     let jacq = analyze_file(&dir.join(jacqueline_file))?;
     let van = analyze_file(&dir.join(vanilla_file))?;

@@ -86,11 +86,17 @@ impl App {
         let mut labels = Vec::with_capacity(model.policies.len());
         let mut object: FacetedObject = Faceted::leaf(Some(row.clone()));
         for fp in &model.policies {
-            let label = self.db.fresh_label(&format!("{model_name}.{}", fp.label_name));
+            let label = self
+                .db
+                .fresh_label(&format!("{model_name}.{}", fp.label_name));
             labels.push(label);
             self.policies.insert(
                 label,
-                PolicyEntry { check: fp.check.clone(), row: row.clone(), jid },
+                PolicyEntry {
+                    check: fp.check.clone(),
+                    row: row.clone(),
+                    jid,
+                },
             );
             let public_values = (fp.public_view)(&row);
             assert_eq!(
@@ -110,8 +116,7 @@ impl App {
             });
             object = Faceted::split(label, object, public_side);
         }
-        self.object_labels
-            .insert((model.name.clone(), jid), labels);
+        self.object_labels.insert((model.name.clone(), jid), labels);
         self.db.insert_with_jid(&model.name, jid, &object)?;
         Ok(jid)
     }
@@ -269,9 +274,8 @@ impl App {
                     pending.push(dep);
                 }
             }
-            constraint = constraint.and(
-                Formula::var(label).implies(Formula::from_faceted_bool(&verdict)),
-            );
+            constraint =
+                constraint.and(Formula::var(label).implies(Formula::from_faceted_bool(&verdict)));
         }
         let mut assignment = max_true_assignment(&constraint)
             .expect("guarded constraints are always satisfiable (all-false)");
@@ -297,11 +301,7 @@ impl App {
 
     /// Computation sink for a faceted query result: resolve the
     /// policies of every guard label once, then project the rows.
-    pub fn show_rows(
-        &mut self,
-        viewer: &Viewer,
-        rows: &FacetedList<GuardedRow>,
-    ) -> Vec<Row> {
+    pub fn show_rows(&mut self, viewer: &Viewer, rows: &FacetedList<GuardedRow>) -> Vec<Row> {
         let view = self.view_for(&rows.labels(), viewer);
         rows.project(&view)
             .into_iter()
@@ -341,7 +341,12 @@ mod tests {
         .with_policy(label_for(
             "restrict_event",
             vec![0, 1],
-            |_row| vec![Value::from("Private event"), Value::from("Undisclosed location")],
+            |_row| {
+                vec![
+                    Value::from("Private event"),
+                    Value::from("Undisclosed location"),
+                ]
+            },
             |args| {
                 // Policy: viewer must be on the guest list (queries the
                 // EventGuest table at output time).
@@ -393,8 +398,12 @@ mod tests {
     #[test]
     fn sink_shows_secret_to_guest_public_to_other() {
         let mut app = calendar_app();
-        let alice = app.create("userprofile", vec![Value::from("alice")]).unwrap();
-        let carol = app.create("userprofile", vec![Value::from("carol")]).unwrap();
+        let alice = app
+            .create("userprofile", vec![Value::from("alice")])
+            .unwrap();
+        let carol = app
+            .create("userprofile", vec![Value::from("carol")])
+            .unwrap();
         let party = app
             .create(
                 "event",
@@ -404,7 +413,8 @@ mod tests {
                 ],
             )
             .unwrap();
-        app.create("eventguest", vec![Value::Int(party), Value::Int(alice)]).unwrap();
+        app.create("eventguest", vec![Value::Int(party), Value::Int(alice)])
+            .unwrap();
 
         let obj = app.get("event", party).unwrap();
         let shown_alice = app.show_object(&Viewer::User(alice), &obj).unwrap();
@@ -419,14 +429,17 @@ mod tests {
     #[test]
     fn filter_on_sensitive_field_stays_protected() {
         let mut app = calendar_app();
-        let alice = app.create("userprofile", vec![Value::from("alice")]).unwrap();
+        let alice = app
+            .create("userprofile", vec![Value::from("alice")])
+            .unwrap();
         let party = app
             .create(
                 "event",
                 vec![Value::from("party"), Value::from("Schloss Dagstuhl")],
             )
             .unwrap();
-        app.create("eventguest", vec![Value::Int(party), Value::Int(alice)]).unwrap();
+        app.create("eventguest", vec![Value::Int(party), Value::Int(alice)])
+            .unwrap();
 
         let result = app
             .filter_eq("event", "location", Value::from("Schloss Dagstuhl"))
@@ -434,7 +447,10 @@ mod tests {
         let for_alice = app.show_rows(&Viewer::User(alice), &result);
         assert_eq!(for_alice.len(), 1);
         let for_anon = app.show_rows(&Viewer::Anonymous, &result);
-        assert!(for_anon.is_empty(), "outsiders must not learn the location matched");
+        assert!(
+            for_anon.is_empty(),
+            "outsiders must not learn the location matched"
+        );
     }
 
     #[test]
@@ -451,7 +467,8 @@ mod tests {
             Value::from("Private event")
         );
         // Added to the guest list after creation: secret view.
-        app.create("eventguest", vec![Value::Int(party), Value::Int(bob)]).unwrap();
+        app.create("eventguest", vec![Value::Int(party), Value::Int(bob)])
+            .unwrap();
         assert_eq!(
             app.show_object(&Viewer::User(bob), &obj).unwrap()[0],
             Value::from("secret")
@@ -484,7 +501,11 @@ mod tests {
         let jid = app
             .create("doc", vec![Value::from("T"), Value::from("B")])
             .unwrap();
-        assert_eq!(app.db.physical_rows("doc").unwrap(), 4, "2 labels ⇒ up to 4 facet rows");
+        assert_eq!(
+            app.db.physical_rows("doc").unwrap(),
+            4,
+            "2 labels ⇒ up to 4 facet rows"
+        );
         let obj = app.get("doc", jid).unwrap();
         let owner = app.show_object(&Viewer::User(1), &obj).unwrap();
         assert_eq!(owner, vec![Value::from("T"), Value::from("B")]);

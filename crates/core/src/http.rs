@@ -26,7 +26,11 @@ impl Request {
     /// Builds a request with no parameters.
     #[must_use]
     pub fn new(path: &str, viewer: Viewer) -> Request {
-        Request { path: path.to_owned(), viewer, params: BTreeMap::new() }
+        Request {
+            path: path.to_owned(),
+            viewer,
+            params: BTreeMap::new(),
+        }
     }
 
     /// Adds a query parameter (builder style).
@@ -62,13 +66,19 @@ impl Response {
     /// A 404 response.
     #[must_use]
     pub fn not_found() -> Response {
-        Response { status: 404, body: "not found".to_owned() }
+        Response {
+            status: 404,
+            body: "not found".to_owned(),
+        }
     }
 
     /// A 500 response.
     #[must_use]
     pub fn error(message: &str) -> Response {
-        Response { status: 500, body: message.to_owned() }
+        Response {
+            status: 500,
+            body: message.to_owned(),
+        }
     }
 }
 

@@ -105,7 +105,11 @@ impl ModelDef {
     /// A model with no policies (fully public).
     #[must_use]
     pub fn public(name: &str, columns: Vec<ColumnDef>) -> ModelDef {
-        ModelDef { name: name.to_owned(), columns, policies: Vec::new() }
+        ModelDef {
+            name: name.to_owned(),
+            columns,
+            policies: Vec::new(),
+        }
     }
 
     /// Adds a field policy (builder style).
@@ -177,7 +181,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "no column")]
     fn unknown_column_panics() {
-        ModelDef::public("t", vec![]).col("zzz");
+        let _ = ModelDef::public("t", vec![]).col("zzz");
     }
 
     #[test]
@@ -189,8 +193,9 @@ mod tests {
 
     #[test]
     fn builders_attach_policies() {
-        let m = ModelDef::public("t", vec![ColumnDef::new("a", ColumnType::Str)])
-            .with_policy(simple_policy("p", vec![0], |_| vec![Value::from("?")], |_| true));
+        let m = ModelDef::public("t", vec![ColumnDef::new("a", ColumnType::Str)]).with_policy(
+            simple_policy("p", vec![0], |_| vec![Value::from("?")], |_| true),
+        );
         assert_eq!(m.policies.len(), 1);
         assert_eq!(m.policies[0].fields, vec![0]);
         assert!(format!("{:?}", m.policies[0]).contains("p"));

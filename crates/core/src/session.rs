@@ -245,14 +245,20 @@ mod tests {
         s.view_object(&mut app, &obj);
         s.enable_db_pruning(&mut app);
         let rows = app.all("note").unwrap();
-        assert_eq!(rows.len(), 1, "the inconsistent facet row is never unmarshalled");
+        assert_eq!(
+            rows.len(),
+            1,
+            "the inconsistent facet row is never unmarshalled"
+        );
         app.db.set_pruning(None);
     }
 
     #[test]
     fn faceted_scalar_resolution() {
         let mut app = app_with_owner_policy();
-        let jid = app.create("note", vec![Value::Int(1), Value::from("s")]).unwrap();
+        let jid = app
+            .create("note", vec![Value::Int(1), Value::from("s")])
+            .unwrap();
         let obj = app.get("note", jid).unwrap();
         let text = form::object_field(&obj, 1);
         let mut s = Session::new(Viewer::Anonymous);

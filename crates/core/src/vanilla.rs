@@ -101,7 +101,9 @@ impl VanillaDb {
     ///
     /// Propagates engine errors.
     pub fn order_by(&mut self, table: &str, column: &str, order: SortOrder) -> DbResult<Vec<Row>> {
-        Query::from(table).order_by(column, order).execute(&mut self.db)
+        Query::from(table)
+            .order_by(column, order)
+            .execute(&mut self.db)
     }
 
     /// Updates columns of the row with the given id.
@@ -157,14 +159,18 @@ mod tests {
         let id = v.insert("user", vec![Value::from("a")]).unwrap();
         assert_eq!(v.get("user", id).unwrap().unwrap()[1], Value::from("a"));
         assert!(v.get("user", 99).unwrap().is_none());
-        assert_eq!(v.filter_eq("user", "name", Value::from("a")).unwrap().len(), 1);
+        assert_eq!(
+            v.filter_eq("user", "name", Value::from("a")).unwrap().len(),
+            1
+        );
     }
 
     #[test]
     fn update_and_delete() {
         let mut v = db();
         let id = v.insert("user", vec![Value::from("a")]).unwrap();
-        v.update("user", id, &[("name".to_owned(), Value::from("z"))]).unwrap();
+        v.update("user", id, &[("name".to_owned(), Value::from("z"))])
+            .unwrap();
         assert_eq!(v.get("user", id).unwrap().unwrap()[1], Value::from("z"));
         assert_eq!(v.delete("user", id).unwrap(), 1);
         assert!(v.get("user", id).unwrap().is_none());

@@ -33,13 +33,19 @@ impl Branch {
     /// The positive branch `k`.
     #[must_use]
     pub fn pos(label: Label) -> Branch {
-        Branch { label, positive: true }
+        Branch {
+            label,
+            positive: true,
+        }
     }
 
     /// The negative branch `¬k`.
     #[must_use]
     pub fn neg(label: Label) -> Branch {
-        Branch { label, positive: false }
+        Branch {
+            label,
+            positive: false,
+        }
     }
 
     /// The label this branch constrains.
@@ -57,7 +63,10 @@ impl Branch {
     /// `k` ↦ `¬k` and vice versa.
     #[must_use]
     pub fn negate(self) -> Branch {
-        Branch { label: self.label, positive: !self.positive }
+        Branch {
+            label: self.label,
+            positive: !self.positive,
+        }
     }
 
     /// Whether a view `L` satisfies this branch: `k` requires `k ∈ L`,
@@ -111,11 +120,6 @@ impl Branches {
         Branches::default()
     }
 
-    /// Builds a branch set from an iterator of branches.
-    pub fn from_iter<I: IntoIterator<Item = Branch>>(iter: I) -> Branches {
-        Branches(iter.into_iter().collect())
-    }
-
     /// Returns `self ∪ {b}` (functional update, used when extending the
     /// program counter in `F-SPLIT`).
     #[must_use]
@@ -155,7 +159,10 @@ impl Branches {
     /// both polarities (an internally inconsistent guard).
     #[must_use]
     pub fn polarity_of(&self, label: Label) -> Option<bool> {
-        match (self.contains(Branch::pos(label)), self.contains(Branch::neg(label))) {
+        match (
+            self.contains(Branch::pos(label)),
+            self.contains(Branch::neg(label)),
+        ) {
             (true, false) => Some(true),
             (false, true) => Some(false),
             _ => None,

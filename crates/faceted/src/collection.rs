@@ -151,12 +151,7 @@ impl<T> FacetedList<T> {
         T: Clone,
     {
         FacetedList {
-            rows: self
-                .rows
-                .iter()
-                .filter(|(_, r)| pred(r))
-                .cloned()
-                .collect(),
+            rows: self.rows.iter().filter(|(_, r)| pred(r)).cloned().collect(),
         }
     }
 
@@ -291,8 +286,9 @@ mod tests {
     #[test]
     fn shared_rows_are_not_duplicated() {
         let common = guarded(&[], "common");
-        let high: FacetedList<String> =
-            [common.clone(), guarded(&[], "secret")].into_iter().collect();
+        let high: FacetedList<String> = [common.clone(), guarded(&[], "secret")]
+            .into_iter()
+            .collect();
         let low: FacetedList<String> = [common].into_iter().collect();
         let t = FacetedList::facet_join(k(0), &high, &low);
         // "common" kept once unguarded, "secret" guarded by k.
@@ -308,8 +304,9 @@ mod tests {
     fn contradictory_rows_are_dropped_by_join() {
         // A high-side row already carrying ¬k can never be seen on the
         // high side; the paper's definition omits it.
-        let high: FacetedList<String> =
-            [guarded(&[Branch::neg(k(0))], "ghost")].into_iter().collect();
+        let high: FacetedList<String> = [guarded(&[Branch::neg(k(0))], "ghost")]
+            .into_iter()
+            .collect();
         let t = FacetedList::facet_join(k(0), &high, &FacetedList::new());
         assert!(t.is_empty());
     }

@@ -56,8 +56,16 @@ impl<T: PartialEq> PartialEq for Faceted<T> {
         match (&*self.0, &*other.0) {
             (Node::Leaf(a), Node::Leaf(b)) => a == b,
             (
-                Node::Split { label: la, high: ha, low: wa },
-                Node::Split { label: lb, high: hb, low: wb },
+                Node::Split {
+                    label: la,
+                    high: ha,
+                    low: wa,
+                },
+                Node::Split {
+                    label: lb,
+                    high: hb,
+                    low: wb,
+                },
             ) => la == lb && ha == hb && wa == wb,
             _ => false,
         }
@@ -234,8 +242,16 @@ impl<T: Clone + PartialEq> Faceted<T> {
     /// when `label ≤` every root label, as in canonical recursion).
     fn cofactor(&self, label: Label, polarity: bool) -> Faceted<T> {
         match &*self.0 {
-            Node::Split { label: l, high, low } if *l == label => {
-                if polarity { high.clone() } else { low.clone() }
+            Node::Split {
+                label: l,
+                high,
+                low,
+            } if *l == label => {
+                if polarity {
+                    high.clone()
+                } else {
+                    low.clone()
+                }
             }
             _ => self.clone(),
         }
@@ -247,9 +263,17 @@ impl<T: Clone + PartialEq> Faceted<T> {
     pub fn assume(&self, label: Label, polarity: bool) -> Faceted<T> {
         match &*self.0 {
             Node::Leaf(_) => self.clone(),
-            Node::Split { label: l, high, low } => {
+            Node::Split {
+                label: l,
+                high,
+                low,
+            } => {
                 if *l == label {
-                    if polarity { high.assume(label, polarity) } else { low.assume(label, polarity) }
+                    if polarity {
+                        high.assume(label, polarity)
+                    } else {
+                        low.assume(label, polarity)
+                    }
                 } else {
                     let h = high.assume(label, polarity);
                     let w = low.assume(label, polarity);
@@ -348,7 +372,10 @@ impl<T: Clone + PartialEq> Faceted<T> {
     /// and re-canonicalizes (used for faceted function application
     /// where the function itself returns faceted results).
     #[must_use]
-    pub fn and_then<U: Clone + PartialEq>(&self, f: &mut impl FnMut(&T) -> Faceted<U>) -> Faceted<U> {
+    pub fn and_then<U: Clone + PartialEq>(
+        &self,
+        f: &mut impl FnMut(&T) -> Faceted<U>,
+    ) -> Faceted<U> {
         match &*self.0 {
             Node::Leaf(v) => f(v),
             Node::Split { label, high, low } => {
@@ -466,7 +493,10 @@ mod tests {
         let a = Faceted::split(k(0), Faceted::leaf(1), Faceted::leaf(2));
         let b = Faceted::split(k(0), Faceted::leaf(10), Faceted::leaf(20));
         let sum = a.zip_with(&b, &mut |x, y| x + y);
-        assert_eq!(sum, Faceted::split(k(0), Faceted::leaf(11), Faceted::leaf(22)));
+        assert_eq!(
+            sum,
+            Faceted::split(k(0), Faceted::leaf(11), Faceted::leaf(22))
+        );
         assert_eq!(sum.leaf_count(), 2);
     }
 

@@ -14,7 +14,8 @@ fn arb_label() -> impl Strategy<Value = Label> {
 }
 
 fn arb_branch() -> impl Strategy<Value = Branch> {
-    (arb_label(), any::<bool>()).prop_map(|(l, pos)| if pos { Branch::pos(l) } else { Branch::neg(l) })
+    (arb_label(), any::<bool>())
+        .prop_map(|(l, pos)| if pos { Branch::pos(l) } else { Branch::neg(l) })
 }
 
 fn arb_branches() -> impl Strategy<Value = Branches> {
@@ -22,15 +23,13 @@ fn arb_branches() -> impl Strategy<Value = Branches> {
 }
 
 fn arb_view() -> impl Strategy<Value = View> {
-    proptest::collection::btree_set(arb_label(), 0..LABELS as usize)
-        .prop_map(|s| View::from_labels(s))
+    proptest::collection::btree_set(arb_label(), 0..LABELS as usize).prop_map(View::from_labels)
 }
 
 fn arb_faceted(depth: u32) -> impl Strategy<Value = Faceted<i64>> {
     let leaf = (0i64..6).prop_map(Faceted::leaf);
     leaf.prop_recursive(depth, 32, 2, |inner| {
-        (arb_label(), inner.clone(), inner)
-            .prop_map(|(l, h, w)| Faceted::split(l, h, w))
+        (arb_label(), inner.clone(), inner).prop_map(|(l, h, w)| Faceted::split(l, h, w))
     })
 }
 

@@ -74,7 +74,11 @@ fn assume_all_prunes_with_each_branch() {
     pc.insert(Branch::neg(k(1)));
     let pruned = v.assume_all(&pc);
     assert!(pruned.labels().len() <= 4);
-    for view in [View::empty(), View::from_labels([k(2)]), View::from_labels([k(5)])] {
+    for view in [
+        View::empty(),
+        View::from_labels([k(2)]),
+        View::from_labels([k(5)]),
+    ] {
         assert_eq!(pruned.project(&view), v.project(&view));
     }
 }

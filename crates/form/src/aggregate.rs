@@ -78,7 +78,11 @@ mod tests {
     fn grow(guard: Branches, v: i64) -> (Branches, GuardedRow) {
         (
             guard.clone(),
-            GuardedRow { jid: 1, guard, fields: vec![Value::Int(v)] },
+            GuardedRow {
+                jid: 1,
+                guard,
+                fields: vec![Value::Int(v)],
+            },
         )
     }
 
@@ -114,7 +118,11 @@ mod tests {
         let mut rows = FacetedList::new();
         rows.push(
             Branches::new(),
-            GuardedRow { jid: 1, guard: Branches::new(), fields: vec![Value::from("x")] },
+            GuardedRow {
+                jid: 1,
+                guard: Branches::new(),
+                fields: vec![Value::from("x")],
+            },
         );
         assert!(faceted_sum(&rows, 0).is_err());
     }

@@ -249,7 +249,10 @@ impl FormDb {
         column: &str,
         value: Value,
     ) -> FormResult<FacetedList<GuardedRow>> {
-        self.filter(table, Predicate::eq(Operand::col(column), Operand::Lit(value)))
+        self.filter(
+            table,
+            Predicate::eq(Operand::col(column), Operand::Lit(value)),
+        )
     }
 
     /// Faceted `ORDER BY`: relies on SQL sorting of physical rows —
@@ -313,11 +316,7 @@ impl FormDb {
         Ok(out)
     }
 
-    fn collect_guarded(
-        &self,
-        rows: Vec<Row>,
-        width: usize,
-    ) -> FormResult<FacetedList<GuardedRow>> {
+    fn collect_guarded(&self, rows: Vec<Row>, width: usize) -> FormResult<FacetedList<GuardedRow>> {
         let mut decoded = Vec::with_capacity(rows.len());
         for r in &rows {
             decoded.push(self.decode_row(r, width)?);
@@ -338,7 +337,10 @@ impl FormDb {
             .filter(Predicate::eq(Operand::col(JID), Operand::lit(jid)))
             .execute(&mut self.db)?;
         if rows.is_empty() {
-            return Err(FormError::NoSuchObject { table: table.to_owned(), jid });
+            return Err(FormError::NoSuchObject {
+                table: table.to_owned(),
+                jid,
+            });
         }
         let mut guarded = Vec::with_capacity(rows.len());
         for r in &rows {
@@ -378,10 +380,8 @@ impl FormDb {
             Err(e) => return Err(e),
         };
         let merged = faceted::Faceted::split_branches(pc, new.clone(), current);
-        self.db.delete(
-            table,
-            &Predicate::eq(Operand::col(JID), Operand::lit(jid)),
-        )?;
+        self.db
+            .delete(table, &Predicate::eq(Operand::col(JID), Operand::lit(jid)))?;
         self.write_rows(table, jid, &merged)
     }
 
@@ -461,7 +461,8 @@ mod tests {
     fn order_by_sorts_facets_independently() {
         // §3.1.1: ⟨a?"Charlie":"***"⟩, ⟨b?"Bob":"***"⟩, ⟨c?"Alice":"***"⟩
         let mut db = FormDb::new();
-        db.create_table("t", vec![ColumnDef::new("f", ColumnType::Str)]).unwrap();
+        db.create_table("t", vec![ColumnDef::new("f", ColumnType::Str)])
+            .unwrap();
         let (a, b, c) = (
             db.fresh_label("a"),
             db.fresh_label("b"),

@@ -109,8 +109,14 @@ mod tests {
     #[test]
     fn paper_table1_two_rows() {
         let rows = vec![
-            (Branches::new().with(Branch::pos(k(0))), row("Carol's party")),
-            (Branches::new().with(Branch::neg(k(0))), row("Private event")),
+            (
+                Branches::new().with(Branch::pos(k(0))),
+                row("Carol's party"),
+            ),
+            (
+                Branches::new().with(Branch::neg(k(0))),
+                row("Private event"),
+            ),
         ];
         let obj = rebuild_object(1, &rows).unwrap();
         assert_eq!(
@@ -143,16 +149,16 @@ mod tests {
         // Only a secret row: public views see no object.
         let rows = vec![(Branches::new().with(Branch::pos(k(0))), row("s"))];
         let obj = rebuild_object(1, &rows).unwrap();
-        assert_eq!(obj.project(&faceted::View::from_labels([k(0)])), &Some(row("s")));
+        assert_eq!(
+            obj.project(&faceted::View::from_labels([k(0)])),
+            &Some(row("s"))
+        );
         assert_eq!(obj.project(&faceted::View::empty()), &None);
     }
 
     #[test]
     fn conflicting_rows_detected() {
-        let rows = vec![
-            (Branches::new(), row("a")),
-            (Branches::new(), row("b")),
-        ];
+        let rows = vec![(Branches::new(), row("a")), (Branches::new(), row("b"))];
         assert_eq!(
             rebuild_object(7, &rows),
             Err(FormError::FacetConflict { jid: 7 })
@@ -181,7 +187,10 @@ mod tests {
             Faceted::leaf(None),
         );
         let f = object_field(&obj, 0);
-        assert_eq!(f.project(&faceted::View::from_labels([k(0)])), &Value::Int(5));
+        assert_eq!(
+            f.project(&faceted::View::from_labels([k(0)])),
+            &Value::Int(5)
+        );
         assert_eq!(f.project(&faceted::View::empty()), &Value::Null);
     }
 }

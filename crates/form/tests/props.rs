@@ -13,8 +13,7 @@ fn arb_label() -> impl Strategy<Value = Label> {
 }
 
 fn arb_branch() -> impl Strategy<Value = Branch> {
-    (arb_label(), any::<bool>())
-        .prop_map(|(l, p)| if p { Branch::pos(l) } else { Branch::neg(l) })
+    (arb_label(), any::<bool>()).prop_map(|(l, p)| if p { Branch::pos(l) } else { Branch::neg(l) })
 }
 
 fn arb_branches() -> impl Strategy<Value = Branches> {
@@ -24,7 +23,11 @@ fn arb_branches() -> impl Strategy<Value = Branches> {
 fn all_views() -> Vec<View> {
     (0..(1u32 << LABELS))
         .map(|bits| {
-            View::from_labels((0..LABELS).filter(|i| bits & (1 << i) != 0).map(Label::from_index))
+            View::from_labels(
+                (0..LABELS)
+                    .filter(|i| bits & (1 << i) != 0)
+                    .map(Label::from_index),
+            )
         })
         .collect()
 }
@@ -43,7 +46,8 @@ fn arb_object(depth: u32) -> impl Strategy<Value = FacetedObject> {
 
 fn fresh_db() -> FormDb {
     let mut db = FormDb::new();
-    db.create_table("t", vec![ColumnDef::new("v", ColumnType::Int)]).unwrap();
+    db.create_table("t", vec![ColumnDef::new("v", ColumnType::Int)])
+        .unwrap();
     for i in 0..LABELS {
         let l = db.fresh_label(&format!("k{i}"));
         assert_eq!(l.index(), i);

@@ -25,7 +25,10 @@ impl Lit {
     /// The complementary literal.
     #[must_use]
     pub fn negate(self) -> Lit {
-        Lit { var: self.var, positive: !self.positive }
+        Lit {
+            var: self.var,
+            positive: !self.positive,
+        }
     }
 }
 
@@ -197,9 +200,11 @@ mod tests {
                 for j in 0..n_aux {
                     model[cnf.labels.len() + j] = aux & (1 << j) != 0;
                 }
-                if cnf.clauses.iter().all(|c| {
-                    c.iter().any(|l| model[l.var] == l.positive)
-                }) {
+                if cnf
+                    .clauses
+                    .iter()
+                    .all(|c| c.iter().any(|l| model[l.var] == l.positive))
+                {
                     sat = true;
                     break;
                 }

@@ -128,7 +128,10 @@ mod tests {
 
     #[test]
     fn trivial_sat_and_unsat() {
-        assert!(matches!(solve_formula(&Formula::constant(true)), SatResult::Sat(_)));
+        assert!(matches!(
+            solve_formula(&Formula::constant(true)),
+            SatResult::Sat(_)
+        ));
         assert_eq!(solve_formula(&Formula::constant(false)), SatResult::Unsat);
     }
 
@@ -145,7 +148,10 @@ mod tests {
         let cnf = Cnf::from_formula(&f);
         match solve(&cnf) {
             SatResult::Sat(m) => {
-                assert!(m[0] && m[1], "true-first branching should keep both labels true");
+                assert!(
+                    m[0] && m[1],
+                    "true-first branching should keep both labels true"
+                );
             }
             SatResult::Unsat => panic!("satisfiable"),
         }

@@ -129,15 +129,20 @@ impl Formula {
     /// policy check into a constraint for the solver.
     #[must_use]
     pub fn from_faceted_bool(v: &Faceted<bool>) -> Formula {
-        Formula::any(v.leaves().into_iter().filter(|(_, leaf)| **leaf).map(|(guard, _)| {
-            Formula::all(guard.iter().map(|b| {
-                if b.is_positive() {
-                    Formula::var(b.label())
-                } else {
-                    Formula::var(b.label()).not()
-                }
-            }))
-        }))
+        Formula::any(
+            v.leaves()
+                .into_iter()
+                .filter(|(_, leaf)| **leaf)
+                .map(|(guard, _)| {
+                    Formula::all(guard.iter().map(|b| {
+                        if b.is_positive() {
+                            Formula::var(b.label())
+                        } else {
+                            Formula::var(b.label()).not()
+                        }
+                    }))
+                }),
+        )
     }
 
     /// Evaluates under a (possibly partial) assignment. Returns `None`
@@ -157,7 +162,11 @@ impl Formula {
                         None => unknown = true,
                     }
                 }
-                if unknown { None } else { Some(true) }
+                if unknown {
+                    None
+                } else {
+                    Some(true)
+                }
             }
             Formula::Or(fs) => {
                 let mut unknown = false;
@@ -168,7 +177,11 @@ impl Formula {
                         None => unknown = true,
                     }
                 }
-                if unknown { None } else { Some(false) }
+                if unknown {
+                    None
+                } else {
+                    Some(false)
+                }
             }
         }
     }
@@ -266,12 +279,18 @@ mod tests {
 
     #[test]
     fn constant_folding() {
-        assert_eq!(Formula::constant(true).and(Formula::var(k(0))), Formula::var(k(0)));
+        assert_eq!(
+            Formula::constant(true).and(Formula::var(k(0))),
+            Formula::var(k(0))
+        );
         assert_eq!(
             Formula::constant(false).and(Formula::var(k(0))),
             Formula::constant(false)
         );
-        assert_eq!(Formula::constant(false).or(Formula::var(k(0))), Formula::var(k(0)));
+        assert_eq!(
+            Formula::constant(false).or(Formula::var(k(0))),
+            Formula::var(k(0))
+        );
         assert_eq!(Formula::constant(true).not(), Formula::constant(false));
         assert_eq!(Formula::var(k(0)).not().not(), Formula::var(k(0)));
     }
@@ -309,7 +328,9 @@ mod tests {
         let f = Formula::from_faceted_bool(&v);
         for bits in 0..4u32 {
             let view = View::from_labels(
-                (0..2).filter(|i| bits & (1 << i) != 0).map(Label::from_index),
+                (0..2)
+                    .filter(|i| bits & (1 << i) != 0)
+                    .map(Label::from_index),
             );
             assert_eq!(f.holds_in(&view), *v.project(&view), "view {view:?}");
         }

@@ -105,10 +105,7 @@ impl PolicySet {
     /// Conjoins `policy` onto the label's current policy
     /// (`F-RESTRICT`).
     pub fn restrict(&mut self, label: Label, policy: Formula) {
-        let cur = self
-            .policies
-            .remove(&label)
-            .unwrap_or(Formula::Const(true));
+        let cur = self.policies.remove(&label).unwrap_or(Formula::Const(true));
         self.policies.insert(label, cur.and(policy));
     }
 
@@ -150,9 +147,11 @@ impl PolicySet {
     /// `⋀_k (k ⇒ policy(k))` over `closeK(seed)`.
     #[must_use]
     pub fn constraint<I: IntoIterator<Item = Label>>(&self, seed: I) -> Formula {
-        Formula::all(self.close_k(seed).into_iter().map(|l| {
-            Formula::var(l).implies(self.policy(l))
-        }))
+        Formula::all(
+            self.close_k(seed)
+                .into_iter()
+                .map(|l| Formula::var(l).implies(self.policy(l))),
+        )
     }
 
     /// Resolves the labels reachable from `seed` to a maximal-true
@@ -208,7 +207,11 @@ mod tests {
         ps.restrict(k(0), Formula::constant(false));
         ps.restrict(k(0), Formula::constant(true));
         let a = ps.resolve([k(0)]).unwrap();
-        assert_eq!(a.get(k(0)), Some(false), "policies must only become more restrictive");
+        assert_eq!(
+            a.get(k(0)),
+            Some(false),
+            "policies must only become more restrictive"
+        );
     }
 
     #[test]
@@ -217,7 +220,10 @@ mod tests {
         ps.restrict(k(0), Formula::var(k(1)));
         ps.restrict(k(1), Formula::var(k(2)));
         let closed = ps.close_k([k(0)]);
-        assert_eq!(closed.into_iter().collect::<Vec<_>>(), vec![k(0), k(1), k(2)]);
+        assert_eq!(
+            closed.into_iter().collect::<Vec<_>>(),
+            vec![k(0), k(1), k(2)]
+        );
     }
 
     #[test]
@@ -229,7 +235,11 @@ mod tests {
         let mut ps = PolicySet::new();
         ps.restrict(k(0), Formula::var(k(0)));
         let a = ps.resolve([k(0)]).unwrap();
-        assert_eq!(a.get(k(0)), Some(true), "Jacqueline always attempts to show values");
+        assert_eq!(
+            a.get(k(0)),
+            Some(true),
+            "Jacqueline always attempts to show values"
+        );
     }
 
     #[test]

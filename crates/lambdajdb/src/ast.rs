@@ -200,11 +200,9 @@ impl Expr {
             Expr::Ref(e) => Expr::Ref(e.subst(x, v).rc()),
             Expr::Deref(e) => Expr::Deref(e.subst(x, v).rc()),
             Expr::Assign(a, b) => Expr::Assign(a.subst(x, v).rc(), b.subst(x, v).rc()),
-            Expr::Facet(k, h, l) => Expr::Facet(
-                k.subst(x, v).rc(),
-                h.subst(x, v).rc(),
-                l.subst(x, v).rc(),
-            ),
+            Expr::Facet(k, h, l) => {
+                Expr::Facet(k.subst(x, v).rc(), h.subst(x, v).rc(), l.subst(x, v).rc())
+            }
             Expr::LabelIn(k, e) => {
                 if k == x {
                     self.clone()
@@ -218,16 +216,12 @@ impl Expr {
             Expr::Project(ix, e) => Expr::Project(ix.clone(), e.subst(x, v).rc()),
             Expr::Join(a, b) => Expr::Join(a.subst(x, v).rc(), b.subst(x, v).rc()),
             Expr::Union(a, b) => Expr::Union(a.subst(x, v).rc(), b.subst(x, v).rc()),
-            Expr::Fold(f, p, t) => Expr::Fold(
-                f.subst(x, v).rc(),
-                p.subst(x, v).rc(),
-                t.subst(x, v).rc(),
-            ),
-            Expr::If(c, t, e) => Expr::If(
-                c.subst(x, v).rc(),
-                t.subst(x, v).rc(),
-                e.subst(x, v).rc(),
-            ),
+            Expr::Fold(f, p, t) => {
+                Expr::Fold(f.subst(x, v).rc(), p.subst(x, v).rc(), t.subst(x, v).rc())
+            }
+            Expr::If(c, t, e) => {
+                Expr::If(c.subst(x, v).rc(), t.subst(x, v).rc(), e.subst(x, v).rc())
+            }
             Expr::BinOp(op, a, b) => Expr::BinOp(*op, a.subst(x, v).rc(), b.subst(x, v).rc()),
             Expr::Let(y, bound, body) => {
                 let bound = bound.subst(x, v).rc();

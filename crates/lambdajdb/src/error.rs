@@ -80,6 +80,8 @@ mod tests {
     #[test]
     fn display_nonempty() {
         assert!(!EvalError::OutOfFuel.to_string().is_empty());
-        assert!(EvalError::UnboundVariable("x".into()).to_string().contains('x'));
+        assert!(EvalError::UnboundVariable("x".into())
+            .to_string()
+            .contains('x'));
     }
 }

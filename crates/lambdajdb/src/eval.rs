@@ -159,7 +159,10 @@ impl Interp {
     pub fn with_pruning(speculation: Branches) -> Interp {
         Interp {
             store: Store::new(),
-            config: EvalConfig { early_prune: true, speculation },
+            config: EvalConfig {
+                early_prune: true,
+                speculation,
+            },
             fuel: DEFAULT_FUEL,
         }
     }
@@ -243,11 +246,7 @@ impl Interp {
                 let v2 = v.clone();
                 self.strict(&fa, pc, &mut |me, raw, pc| match raw {
                     RawValue::Addr(a) => {
-                        let old = me
-                            .store
-                            .read(*a)
-                            .cloned()
-                            .unwrap_or_else(|| Val::int(0));
+                        let old = me.store.read(*a).cloned().unwrap_or_else(|| Val::int(0));
                         let merged = facet_join_branches_val(pc, v2.clone(), old)?;
                         me.store.write(*a, merged);
                         Ok(v2.clone())
@@ -334,9 +333,9 @@ impl Interp {
                         return Err(e.clone());
                     }
                 }
-                Ok(Val::F(joined.map(&mut |r| {
-                    r.clone().expect("errors handled above")
-                })))
+                Ok(Val::F(
+                    joined.map(&mut |r| r.clone().expect("errors handled above")),
+                ))
             }
 
             // ---- Relational operators (Figure 5) ----------------------
@@ -610,9 +609,9 @@ impl Interp {
         for &k in &relevant {
             for p in self.store.policies_of(k).to_vec() {
                 let check = self.apply(&p, &vf, &empty)?;
-                let fb = check.as_faceted().map_err(|_| {
-                    EvalError::BadPolicy("policy check returned a table".into())
-                })?;
+                let fb = check
+                    .as_faceted()
+                    .map_err(|_| EvalError::BadPolicy("policy check returned a table".into()))?;
                 let booleans = fb.map(&mut |r| match r {
                     RawValue::Bool(b) => Ok(*b),
                     other => Err(EvalError::BadPolicy(format!(

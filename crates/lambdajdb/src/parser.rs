@@ -158,7 +158,10 @@ impl<'a> Lexer<'a> {
 /// assert!(e.to_string().contains("label"));
 /// ```
 pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
-    let mut lexer = Lexer { src: src.as_bytes(), pos: 0 };
+    let mut lexer = Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+    };
     let sexp = lexer.parse_sexp()?;
     lexer.skip_ws();
     if lexer.pos != src.len() {
@@ -176,13 +179,19 @@ pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
 ///
 /// Returns a [`ParseError`] describing the first syntax problem.
 pub fn parse_statement(src: &str) -> Result<Statement, ParseError> {
-    let mut lexer = Lexer { src: src.as_bytes(), pos: 0 };
+    let mut lexer = Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+    };
     let sexp = lexer.parse_sexp()?;
     statement_of(&sexp)
 }
 
 fn err<T>(offset: usize, message: impl Into<String>) -> Result<T, ParseError> {
-    Err(ParseError { offset, message: message.into() })
+    Err(ParseError {
+        offset,
+        message: message.into(),
+    })
 }
 
 fn atom_name(s: &Sexp) -> Result<&str, ParseError> {
@@ -219,12 +228,19 @@ fn expr_of(s: &Sexp) -> Result<Expr, ParseError> {
                 if rest.len() == n {
                     Ok(())
                 } else {
-                    err(*o, format!("{head_name} expects {n} arguments, got {}", rest.len()))
+                    err(
+                        *o,
+                        format!("{head_name} expects {n} arguments, got {}", rest.len()),
+                    )
                 }
             };
             let bin = |op: Op| -> Result<Expr, ParseError> {
                 arity(2)?;
-                Ok(Expr::BinOp(op, expr_of(&rest[0])?.rc(), expr_of(&rest[1])?.rc()))
+                Ok(Expr::BinOp(
+                    op,
+                    expr_of(&rest[0])?.rc(),
+                    expr_of(&rest[1])?.rc(),
+                ))
             };
             match head_name {
                 "file" => {
@@ -233,7 +249,10 @@ fn expr_of(s: &Sexp) -> Result<Expr, ParseError> {
                 }
                 "lam" => {
                     arity(2)?;
-                    Ok(Expr::Lam(atom_name(&rest[0])?.to_owned(), expr_of(&rest[1])?.rc()))
+                    Ok(Expr::Lam(
+                        atom_name(&rest[0])?.to_owned(),
+                        expr_of(&rest[1])?.rc(),
+                    ))
                 }
                 "app" => {
                     arity(2)?;
@@ -257,7 +276,10 @@ fn expr_of(s: &Sexp) -> Result<Expr, ParseError> {
                 }
                 "assign" => {
                     arity(2)?;
-                    Ok(Expr::Assign(expr_of(&rest[0])?.rc(), expr_of(&rest[1])?.rc()))
+                    Ok(Expr::Assign(
+                        expr_of(&rest[0])?.rc(),
+                        expr_of(&rest[1])?.rc(),
+                    ))
                 }
                 "facet" => {
                     arity(3)?;
@@ -269,11 +291,17 @@ fn expr_of(s: &Sexp) -> Result<Expr, ParseError> {
                 }
                 "label" => {
                     arity(2)?;
-                    Ok(Expr::LabelIn(atom_name(&rest[0])?.to_owned(), expr_of(&rest[1])?.rc()))
+                    Ok(Expr::LabelIn(
+                        atom_name(&rest[0])?.to_owned(),
+                        expr_of(&rest[1])?.rc(),
+                    ))
                 }
                 "restrict" => {
                     arity(2)?;
-                    Ok(Expr::Restrict(expr_of(&rest[0])?.rc(), expr_of(&rest[1])?.rc()))
+                    Ok(Expr::Restrict(
+                        expr_of(&rest[0])?.rc(),
+                        expr_of(&rest[1])?.rc(),
+                    ))
                 }
                 "row" => {
                     let fields: Result<Vec<Rc<Expr>>, ParseError> =
@@ -300,7 +328,10 @@ fn expr_of(s: &Sexp) -> Result<Expr, ParseError> {
                 }
                 "union" => {
                     arity(2)?;
-                    Ok(Expr::Union(expr_of(&rest[0])?.rc(), expr_of(&rest[1])?.rc()))
+                    Ok(Expr::Union(
+                        expr_of(&rest[0])?.rc(),
+                        expr_of(&rest[1])?.rc(),
+                    ))
                 }
                 "fold" => {
                     arity(3)?;
@@ -334,9 +365,10 @@ fn expr_of(s: &Sexp) -> Result<Expr, ParseError> {
 
 fn index_of(s: &Sexp) -> Result<usize, ParseError> {
     match s {
-        Sexp::Atom(a, o) => a
-            .parse::<usize>()
-            .map_err(|_| ParseError { offset: *o, message: "expected a column index".into() }),
+        Sexp::Atom(a, o) => a.parse::<usize>().map_err(|_| ParseError {
+            offset: *o,
+            message: "expected a column index".into(),
+        }),
         other => err(other.offset(), "expected a column index"),
     }
 }
@@ -417,10 +449,8 @@ mod tests {
 
     #[test]
     fn parses_statements() {
-        let s = parse_statement(
-            "(letstmt v (file alice) (print v (facet k \"s\" \"p\")))",
-        )
-        .unwrap();
+        let s =
+            parse_statement("(letstmt v (file alice) (print v (facet k \"s\" \"p\")))").unwrap();
         assert!(matches!(s, Statement::Let(..)));
     }
 

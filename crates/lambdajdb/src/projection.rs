@@ -17,9 +17,7 @@ use crate::value::{RawValue, Val};
 #[must_use]
 pub fn project_raw(r: &RawValue, view: &View) -> RawValue {
     match r {
-        RawValue::Closure(p, body) => {
-            RawValue::Closure(p.clone(), project_expr(body, view).rc())
-        }
+        RawValue::Closure(p, body) => RawValue::Closure(p.clone(), project_expr(body, view).rc()),
         other => other.clone(),
     }
 }
@@ -125,7 +123,10 @@ mod tests {
     #[test]
     fn project_table_keeps_visible_rows() {
         let mut t = FacetedList::new();
-        t.push(Branches::new().with(faceted::Branch::pos(k(0))), vec!["secret".to_owned()]);
+        t.push(
+            Branches::new().with(faceted::Branch::pos(k(0))),
+            vec!["secret".to_owned()],
+        );
         t.push(Branches::new(), vec!["public".to_owned()]);
         let v = Val::Table(t);
         let lo = project_val(&v, &View::empty());

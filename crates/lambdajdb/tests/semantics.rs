@@ -3,7 +3,7 @@
 
 use faceted::{Branch, Branches, Label, View};
 use lambdajdb::{
-    parse_expr, parse_statement, project_val, Expr, EvalError, Interp, Statement, Val,
+    parse_expr, parse_statement, project_val, EvalError, Expr, Interp, Statement, Val,
 };
 
 fn eval(src: &str) -> Result<Val, EvalError> {
@@ -78,7 +78,10 @@ fn f_strict_on_faceted_function_position() {
 
 #[test]
 fn f_ref_deref_assign_roundtrip() {
-    assert_eq!(eval_ok("(let r (ref 1) (let tmp (assign r 5) (deref r)))"), Val::int(5));
+    assert_eq!(
+        eval_ok("(let r (ref 1) (let tmp (assign r 5) (deref r)))"),
+        Val::int(5)
+    );
 }
 
 #[test]
@@ -146,9 +149,7 @@ fn faceted_field_inside_row_distributes() {
 
 #[test]
 fn f_select_filters_by_field_equality() {
-    let v = eval_ok(
-        "(select 0 1 (union (row \"a\" \"a\") (row \"a\" \"b\")))",
-    );
+    let v = eval_ok("(select 0 1 (union (row \"a\" \"a\") (row \"a\" \"b\")))");
     assert_eq!(
         project_rows(&v, &View::empty()),
         vec![vec!["a".to_owned(), "a".to_owned()]]
@@ -242,7 +243,10 @@ fn non_boolean_condition_is_stuck() {
 
 #[test]
 fn row_field_must_be_string() {
-    assert!(matches!(eval("(row 3)"), Err(EvalError::RowFieldNotString(_))));
+    assert!(matches!(
+        eval("(row 3)"),
+        Err(EvalError::RowFieldNotString(_))
+    ));
 }
 
 #[test]
@@ -272,12 +276,14 @@ fn print_respects_policies() {
 
 #[test]
 fn print_unrestricted_label_shows_secret() {
-    let program = parse_statement(
-        "(letstmt k (label k k) (print (file anyone) (facet k \"hi\" \"lo\")))",
-    )
-    .unwrap();
+    let program =
+        parse_statement("(letstmt k (label k k) (print (file anyone) (facet k \"hi\" \"lo\")))")
+            .unwrap();
     let out = Interp::new().run(&program).unwrap();
-    assert_eq!(out[0].rendered, "hi", "no policy means show (maximize true)");
+    assert_eq!(
+        out[0].rendered, "hi",
+        "no policy means show (maximize true)"
+    );
 }
 
 #[test]
@@ -370,17 +376,19 @@ fn early_pruning_preserves_view_of_speculated_viewer() {
 
     // The speculated viewer (sees k) observes the same rows...
     let view = View::from_labels([k]);
-    assert_eq!(project_rows(&v_plain, &view), project_rows(&v_pruned, &view));
+    assert_eq!(
+        project_rows(&v_plain, &view),
+        project_rows(&v_pruned, &view)
+    );
     // ...and the pruned table physically stores fewer rows.
     assert!(v_pruned.as_table().unwrap().len() < v_plain.as_table().unwrap().len());
 }
 
 #[test]
 fn statements_sequence_and_bind() {
-    let program = parse_statement(
-        "(letstmt x 21 (seq (print (file a) (+ x x)) (print (file b) x)))",
-    )
-    .unwrap();
+    let program =
+        parse_statement("(letstmt x 21 (seq (print (file a) (+ x x)) (print (file b) x)))")
+            .unwrap();
     let out = Interp::new().run(&program).unwrap();
     assert_eq!(out.len(), 2);
     assert_eq!(out[0].rendered, "42");
@@ -407,7 +415,10 @@ fn out_of_fuel_reported() {
             interp.eval(&omega) == Err(EvalError::OutOfFuel)
         })
         .unwrap();
-    assert!(handle.join().unwrap(), "divergent program must run out of fuel");
+    assert!(
+        handle.join().unwrap(),
+        "divergent program must run out of fuel"
+    );
 }
 
 #[test]

@@ -23,7 +23,11 @@ fn k(i: u32) -> Label {
 fn all_views() -> Vec<View> {
     (0..(1u32 << LABELS))
         .map(|bits| {
-            View::from_labels((0..LABELS).filter(|i| bits & (1 << i) != 0).map(Label::from_index))
+            View::from_labels(
+                (0..LABELS)
+                    .filter(|i| bits & (1 << i) != 0)
+                    .map(Label::from_index),
+            )
         })
         .collect()
 }

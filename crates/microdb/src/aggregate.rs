@@ -105,7 +105,10 @@ impl ResultSet {
         let aix = resolve_column(&self.schema, agg_col)?;
         let mut groups: BTreeMap<Value, Vec<Value>> = BTreeMap::new();
         for r in &self.rows {
-            groups.entry(r[gix].clone()).or_default().push(r[aix].clone());
+            groups
+                .entry(r[gix].clone())
+                .or_default()
+                .push(r[aix].clone());
         }
         groups
             .into_iter()
@@ -138,11 +141,8 @@ mod tests {
             ("bob", Some(5)),
             ("bob", None),
         ] {
-            db.insert(
-                "scores",
-                vec![s.into(), p.map_or(Value::Null, |x| Value::Int(x))],
-            )
-            .unwrap();
+            db.insert("scores", vec![s.into(), p.map_or(Value::Null, Value::Int)])
+                .unwrap();
         }
         db
     }
@@ -151,10 +151,22 @@ mod tests {
     fn scalar_aggregates() {
         let mut db = scores();
         let rs = Query::from("scores").execute_full(&mut db).unwrap();
-        assert_eq!(rs.aggregate(Aggregate::Count, "points").unwrap(), Value::Int(3));
-        assert_eq!(rs.aggregate(Aggregate::Sum, "points").unwrap(), Value::Int(35));
-        assert_eq!(rs.aggregate(Aggregate::Min, "points").unwrap(), Value::Int(5));
-        assert_eq!(rs.aggregate(Aggregate::Max, "points").unwrap(), Value::Int(20));
+        assert_eq!(
+            rs.aggregate(Aggregate::Count, "points").unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            rs.aggregate(Aggregate::Sum, "points").unwrap(),
+            Value::Int(35)
+        );
+        assert_eq!(
+            rs.aggregate(Aggregate::Min, "points").unwrap(),
+            Value::Int(5)
+        );
+        assert_eq!(
+            rs.aggregate(Aggregate::Max, "points").unwrap(),
+            Value::Int(20)
+        );
         assert_eq!(
             rs.aggregate(Aggregate::Avg, "points").unwrap(),
             Value::Float(35.0 / 3.0)

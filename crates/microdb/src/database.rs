@@ -44,7 +44,8 @@ impl Database {
         if self.tables.contains_key(name) {
             return Err(DbError::TableExists(name.to_owned()));
         }
-        self.tables.insert(name.to_owned(), Table::new(name, schema));
+        self.tables
+            .insert(name.to_owned(), Table::new(name, schema));
         Ok(())
     }
 
@@ -108,7 +109,11 @@ impl Database {
     /// # Errors
     ///
     /// Stops at the first failing row.
-    pub fn insert_many<I: IntoIterator<Item = Row>>(&mut self, table: &str, rows: I) -> DbResult<usize> {
+    pub fn insert_many<I: IntoIterator<Item = Row>>(
+        &mut self,
+        table: &str,
+        rows: I,
+    ) -> DbResult<usize> {
         let t = self.table_mut(table)?;
         let mut n = 0;
         for r in rows {
@@ -197,11 +202,8 @@ mod tests {
             ]),
         )
         .unwrap();
-        db.insert_many(
-            "t",
-            (0..5).map(|i| vec![Value::Null, Value::Int(i)]),
-        )
-        .unwrap();
+        db.insert_many("t", (0..5).map(|i| vec![Value::Null, Value::Int(i)]))
+            .unwrap();
         db
     }
 

@@ -49,7 +49,11 @@ impl fmt::Display for DbError {
             DbError::Arity { expected, got } => {
                 write!(f, "row has {got} values but schema has {expected} columns")
             }
-            DbError::TypeMismatch { column, expected, got } => {
+            DbError::TypeMismatch {
+                column,
+                expected,
+                got,
+            } => {
                 write!(f, "column {column} expects {expected}, got {got}")
             }
             DbError::InvalidOperation(m) => write!(f, "invalid operation: {m}"),

@@ -292,9 +292,11 @@ mod tests {
     fn null_comparisons_are_false() {
         let s = schema();
         let r = row();
-        assert!(!Predicate::eq(Operand::col("age"), Operand::lit(Value::Null))
-            .eval(&s, &r)
-            .unwrap());
+        assert!(
+            !Predicate::eq(Operand::col("age"), Operand::lit(Value::Null))
+                .eval(&s, &r)
+                .unwrap()
+        );
         assert!(!Predicate::ne(Operand::col("age"), Operand::lit(1i64))
             .eval(&s, &r)
             .unwrap());

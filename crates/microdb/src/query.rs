@@ -154,7 +154,9 @@ impl Query {
         let mut rows: Vec<Row>;
         {
             let probe = if self.joins.is_empty() {
-                self.filter.index_candidate().map(|(c, v)| (c.to_owned(), v.clone()))
+                self.filter
+                    .index_candidate()
+                    .map(|(c, v)| (c.to_owned(), v.clone()))
             } else {
                 None
             };
@@ -243,7 +245,11 @@ impl Query {
             rows.sort_by(|a, b| {
                 for (ix, ord) in &keys {
                     let c = a[*ix].cmp(&b[*ix]);
-                    let c = if *ord == SortOrder::Desc { c.reverse() } else { c };
+                    let c = if *ord == SortOrder::Desc {
+                        c.reverse()
+                    } else {
+                        c
+                    };
                     if !c.is_eq() {
                         return c;
                     }
@@ -278,7 +284,11 @@ impl Query {
         }
 
         stats.rows_returned = rows.len() as u64;
-        Ok(ResultSet { schema, rows, stats })
+        Ok(ResultSet {
+            schema,
+            rows,
+            stats,
+        })
     }
 }
 
@@ -360,9 +370,15 @@ mod tests {
         for n in ["alice", "bob", "carol"] {
             db.insert("users", vec![Value::Null, n.into()]).unwrap();
         }
-        db.insert("events", vec![Value::Null, Value::Int(1), "Dagstuhl".into()]).unwrap();
-        db.insert("events", vec![Value::Null, Value::Int(1), "MIT".into()]).unwrap();
-        db.insert("events", vec![Value::Null, Value::Int(2), "CMU".into()]).unwrap();
+        db.insert(
+            "events",
+            vec![Value::Null, Value::Int(1), "Dagstuhl".into()],
+        )
+        .unwrap();
+        db.insert("events", vec![Value::Null, Value::Int(1), "MIT".into()])
+            .unwrap();
+        db.insert("events", vec![Value::Null, Value::Int(2), "CMU".into()])
+            .unwrap();
         db
     }
 
@@ -391,7 +407,11 @@ mod tests {
         let names: Vec<_> = rs.column("users.name").unwrap();
         assert_eq!(
             names,
-            vec![Value::from("bob"), Value::from("alice"), Value::from("alice")]
+            vec![
+                Value::from("bob"),
+                Value::from("alice"),
+                Value::from("alice")
+            ]
         );
     }
 
@@ -421,7 +441,10 @@ mod tests {
     #[test]
     fn index_probe_used_when_available() {
         let mut db = db();
-        db.table_mut("events").unwrap().create_index("host").unwrap();
+        db.table_mut("events")
+            .unwrap()
+            .create_index("host")
+            .unwrap();
         let rs = Query::from("events")
             .filter(Predicate::eq(
                 crate::predicate::Operand::col("host"),
@@ -442,7 +465,10 @@ mod tests {
             crate::predicate::Operand::lit("MIT"),
         ));
         let scan = q.execute(&mut db).unwrap();
-        db.table_mut("events").unwrap().create_index("location").unwrap();
+        db.table_mut("events")
+            .unwrap()
+            .create_index("location")
+            .unwrap();
         let probed = q.execute(&mut db).unwrap();
         assert_eq!(scan, probed);
     }

@@ -42,7 +42,11 @@ impl ColumnDef {
     /// Panics if the column type is not [`ColumnType::Int`].
     #[must_use]
     pub fn auto_increment(mut self) -> ColumnDef {
-        assert_eq!(self.ty, ColumnType::Int, "auto-increment requires an INT column");
+        assert_eq!(
+            self.ty,
+            ColumnType::Int,
+            "auto-increment requires an INT column"
+        );
         self.auto_increment = true;
         self
     }
@@ -76,9 +80,7 @@ impl ColumnDef {
     pub fn accepts(&self, value: &Value) -> bool {
         match value.column_type() {
             None => self.nullable || self.auto_increment,
-            Some(t) => {
-                t == self.ty || (self.ty == ColumnType::Float && t == ColumnType::Int)
-            }
+            Some(t) => t == self.ty || (self.ty == ColumnType::Float && t == ColumnType::Int),
         }
     }
 }
@@ -239,7 +241,10 @@ mod tests {
             .is_ok());
         assert!(matches!(
             s.check_row(&[Value::Int(1)]),
-            Err(DbError::Arity { expected: 3, got: 1 })
+            Err(DbError::Arity {
+                expected: 3,
+                got: 1
+            })
         ));
         assert!(matches!(
             s.check_row(&[Value::Int(1), Value::Int(2), Value::Null]),

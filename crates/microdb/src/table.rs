@@ -98,7 +98,11 @@ impl Table {
         if self.indexes.iter().any(|i| i.column == ix) {
             return Ok(());
         }
-        let mut index = HashIndex { column: ix, map: HashMap::new(), dirty: false };
+        let mut index = HashIndex {
+            column: ix,
+            map: HashMap::new(),
+            dirty: false,
+        };
         index.rebuild(&self.rows);
         self.indexes.push(index);
         Ok(())
@@ -229,9 +233,12 @@ mod tests {
             ColumnDef::new("age", ColumnType::Int),
         ]);
         let mut t = Table::new("people", schema);
-        t.insert(vec![Value::Null, "alice".into(), Value::Int(30)]).unwrap();
-        t.insert(vec![Value::Null, "bob".into(), Value::Int(25)]).unwrap();
-        t.insert(vec![Value::Null, "carol".into(), Value::Int(30)]).unwrap();
+        t.insert(vec![Value::Null, "alice".into(), Value::Int(30)])
+            .unwrap();
+        t.insert(vec![Value::Null, "bob".into(), Value::Int(25)])
+            .unwrap();
+        t.insert(vec![Value::Null, "carol".into(), Value::Int(30)])
+            .unwrap();
         t
     }
 
@@ -245,15 +252,19 @@ mod tests {
     #[test]
     fn explicit_id_advances_counter() {
         let mut t = people();
-        t.insert(vec![Value::Int(10), "dave".into(), Value::Int(40)]).unwrap();
-        t.insert(vec![Value::Null, "eve".into(), Value::Int(22)]).unwrap();
+        t.insert(vec![Value::Int(10), "dave".into(), Value::Int(40)])
+            .unwrap();
+        t.insert(vec![Value::Null, "eve".into(), Value::Int(22)])
+            .unwrap();
         assert_eq!(t.rows()[4][0], Value::Int(11));
     }
 
     #[test]
     fn insert_rejects_bad_rows() {
         let mut t = people();
-        assert!(t.insert(vec![Value::Null, Value::Int(5), Value::Int(1)]).is_err());
+        assert!(t
+            .insert(vec![Value::Null, Value::Int(5), Value::Int(1)])
+            .is_err());
         assert!(t.insert(vec![Value::Null, "x".into()]).is_err());
         assert_eq!(t.len(), 3);
     }
@@ -307,10 +318,17 @@ mod tests {
     fn index_stays_fresh_across_mutation() {
         let mut t = people();
         t.create_index("age").unwrap();
-        t.insert(vec![Value::Null, "dave".into(), Value::Int(30)]).unwrap();
-        assert_eq!(t.index_probe("age", &Value::Int(30)).unwrap(), vec![0, 2, 3]);
-        t.update_where(|r| r[1] == Value::from("alice"), &[("age".to_owned(), Value::Int(99))])
+        t.insert(vec![Value::Null, "dave".into(), Value::Int(30)])
             .unwrap();
+        assert_eq!(
+            t.index_probe("age", &Value::Int(30)).unwrap(),
+            vec![0, 2, 3]
+        );
+        t.update_where(
+            |r| r[1] == Value::from("alice"),
+            &[("age".to_owned(), Value::Int(99))],
+        )
+        .unwrap();
         assert_eq!(t.index_probe("age", &Value::Int(30)).unwrap(), vec![2, 3]);
         t.delete_where(|r| r[1] == Value::from("dave"));
         assert_eq!(t.index_probe("age", &Value::Int(30)).unwrap(), vec![2]);

@@ -3,8 +3,7 @@
 //! rely on.
 
 use microdb::{
-    Aggregate, ColumnDef, ColumnType, Database, Operand, Predicate, Query, Schema, SortOrder,
-    Value,
+    Aggregate, ColumnDef, ColumnType, Database, Operand, Predicate, Query, Schema, SortOrder, Value,
 };
 
 fn staff_db() -> Database {
@@ -39,7 +38,12 @@ fn staff_db() -> Database {
     ] {
         db.insert(
             "staff",
-            vec![Value::Null, n.into(), Value::from(d.map(i64::from)), Value::Int(s)],
+            vec![
+                Value::Null,
+                n.into(),
+                Value::from(d.map(i64::from)),
+                Value::Int(s),
+            ],
         )
         .unwrap();
     }

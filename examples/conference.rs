@@ -7,7 +7,7 @@ use apps::conf;
 use jacqueline::{App, Request, Viewer};
 use microdb::Value;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+pub fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut app = App::new();
     conf::register(&mut app)?;
     conf::set_phase(&mut app, conf::PHASE_REVIEW)?;
@@ -41,7 +41,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     let paper = conf::submit_paper(&mut app, &Viewer::User(author), "Faceted Databases")?;
-    conf::submit_review(&mut app, &Viewer::User(pc), paper, 2, "accept: novel FORM design")?;
+    conf::submit_review(
+        &mut app,
+        &Viewer::User(pc),
+        paper,
+        2,
+        "accept: novel FORM design",
+    )?;
     // The PC member is conflicted with a second paper.
     let other = conf::submit_paper(&mut app, &Viewer::User(chair), "Conflicted Work")?;
     app.create("paper_pc_conflict", vec![Value::Int(other), Value::Int(pc)])?;
@@ -61,13 +67,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // to view code.
     conf::set_phase(&mut app, conf::PHASE_FINAL)?;
     let resp = router.handle(&mut app, &Request::new("papers/all", Viewer::Anonymous));
-    println!("--- papers/all as anonymous, final phase ---\n{}", resp.body);
+    println!(
+        "--- papers/all as anonymous, final phase ---\n{}",
+        resp.body
+    );
 
     let resp = router.handle(
         &mut app,
         &Request::new("papers/one", Viewer::User(author)).with_param("id", &paper.to_string()),
     );
-    println!("--- the author's own paper page (final phase) ---\n{}", resp.body);
+    println!(
+        "--- the author's own paper page (final phase) ---\n{}",
+        resp.body
+    );
 
     Ok(())
 }

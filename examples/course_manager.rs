@@ -9,7 +9,7 @@ use apps::{courses, workload};
 use jacqueline::Viewer;
 use std::time::Instant;
 
-fn main() {
+pub fn main() {
     for n in [4usize, 8, 12] {
         let w = workload::courses(n);
         let mut app = w.app;
@@ -36,5 +36,8 @@ fn main() {
     // Show one page for flavor.
     let w = workload::courses(4);
     let mut app = w.app;
-    println!("\n{}", courses::all_courses(&mut app, &Viewer::User(w.student)));
+    println!(
+        "\n{}",
+        courses::all_courses(&mut app, &Viewer::User(w.student))
+    );
 }

@@ -8,13 +8,22 @@ use apps::health;
 use jacqueline::{App, Viewer};
 use microdb::Value;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+pub fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut app = App::new();
     health::register(&mut app)?;
 
-    let patient = app.create("individual", vec![Value::from("pat"), Value::from("patient")])?;
-    let doctor = app.create("individual", vec![Value::from("dr. dee"), Value::from("doctor")])?;
-    let insurer = app.create("individual", vec![Value::from("insco"), Value::from("insurer")])?;
+    let patient = app.create(
+        "individual",
+        vec![Value::from("pat"), Value::from("patient")],
+    )?;
+    let doctor = app.create(
+        "individual",
+        vec![Value::from("dr. dee"), Value::from("doctor")],
+    )?;
+    let insurer = app.create(
+        "individual",
+        vec![Value::from("insco"), Value::from("insurer")],
+    )?;
 
     let record = app.create(
         "health_record",
@@ -47,7 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("-- records summary as the doctor --");
-    println!("{}", health::all_records_summary(&mut app, &Viewer::User(doctor)));
+    println!(
+        "{}",
+        health::all_records_summary(&mut app, &Viewer::User(doctor))
+    );
 
     Ok(())
 }

@@ -16,18 +16,22 @@ use std::io::{BufRead, Write};
 
 use lambdajdb::{parse_expr, parse_statement, Interp};
 
-fn main() {
-    let stdin = std::io::stdin();
+/// Runs the read-eval-print loop over arbitrary line-based I/O (the
+/// smoke test drives this with canned input).
+pub fn run(input: impl BufRead, mut output: impl Write) -> std::io::Result<()> {
     let mut interp = Interp::new();
-    println!("λJDB repl — expressions or (print …)/(letstmt …)/(seq …) statements; ctrl-d exits");
-    print!("λ> ");
-    std::io::stdout().flush().ok();
-    for line in stdin.lock().lines() {
+    writeln!(
+        output,
+        "λJDB repl — expressions or (print …)/(letstmt …)/(seq …) statements; ctrl-d exits"
+    )?;
+    write!(output, "λ> ")?;
+    output.flush()?;
+    for line in input.lines() {
         let Ok(line) = line else { break };
         let line = line.trim();
         if line.is_empty() {
-            print!("λ> ");
-            std::io::stdout().flush().ok();
+            write!(output, "λ> ")?;
+            output.flush()?;
             continue;
         }
         if line.starts_with("(print") || line.starts_with("(letstmt") || line.starts_with("(seq") {
@@ -35,24 +39,32 @@ fn main() {
                 Ok(stmt) => match interp.run(&stmt) {
                     Ok(outputs) => {
                         for o in outputs {
-                            println!("[{}] {}", o.channel, o.rendered);
+                            writeln!(output, "[{}] {}", o.channel, o.rendered)?;
                         }
                     }
-                    Err(e) => println!("error: {e}"),
+                    Err(e) => writeln!(output, "error: {e}")?,
                 },
-                Err(e) => println!("parse error: {e}"),
+                Err(e) => writeln!(output, "parse error: {e}")?,
             }
         } else {
             match parse_expr(line) {
                 Ok(expr) => match interp.eval(&expr) {
-                    Ok(v) => println!("{v}"),
-                    Err(e) => println!("error: {e}"),
+                    Ok(v) => writeln!(output, "{v}")?,
+                    Err(e) => writeln!(output, "error: {e}")?,
                 },
-                Err(e) => println!("parse error: {e}"),
+                Err(e) => writeln!(output, "parse error: {e}")?,
             }
         }
-        print!("λ> ");
-        std::io::stdout().flush().ok();
+        write!(output, "λ> ")?;
+        output.flush()?;
     }
-    println!();
+    writeln!(output)?;
+    Ok(())
+}
+
+/// Entry point: REPL over stdin/stdout.
+pub fn main() {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    run(stdin.lock(), stdout.lock()).expect("stdout closed");
 }

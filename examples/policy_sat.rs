@@ -1,0 +1,25 @@
+//! The mutually-dependent policy case (§2.3 / §5.1.2): a label whose
+//! policy is *itself* a faceted Boolean over that same label, so the
+//! print sink must hand the choice to the constraint solver. Showing
+//! the secret would require the policy facet that says "don't show" —
+//! the only consistent assignment hides it.
+//!
+//! Run with `cargo run --example policy_sat`.
+
+use lambdajdb::{parse_statement, Interp};
+
+/// Entry point.
+pub fn main() {
+    let program = parse_statement(
+        "(letstmt secret
+           (label k (let a (restrict k (lam v (facet k false true))) k))
+           (print (file u) (facet secret \"shown\" \"hidden\")))",
+    )
+    .unwrap();
+    let out = Interp::new().run(&program).unwrap();
+    println!("channel {} received: {}", out[0].channel, out[0].rendered);
+    assert_eq!(
+        out[0].rendered, "hidden",
+        "the self-denying policy must resolve to the public facet"
+    );
+}

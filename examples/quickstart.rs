@@ -13,7 +13,7 @@ use form::faceted_count;
 use jacqueline::{label_for, App, ModelDef, Viewer};
 use microdb::{ColumnDef, ColumnType, Value};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+pub fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut app = App::new();
 
     app.register_model(ModelDef::public(
@@ -78,7 +78,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         app.create("event_guest", vec![Value::Int(party), Value::Int(guest)])?;
     }
 
-    println!("physical rows for the event: {}", app.db.physical_rows("event")?);
+    println!(
+        "physical rows for the event: {}",
+        app.db.physical_rows("event")?
+    );
 
     // The same render call, three viewers, three outcomes.
     for (name, viewer) in [

@@ -14,7 +14,7 @@
 //! * [`jacqueline`] — the policy-agnostic web framework;
 //! * [`apps`] — the three case studies (×2 implementations each).
 //!
-//! See README.md for the tour and DESIGN.md for the paper mapping.
+//! See README.md for the tour and the paper-section mapping.
 
 #![forbid(unsafe_code)]
 

@@ -57,7 +57,12 @@ fn session_and_sink_paths_agree_across_the_stack() {
             .unwrap();
     }
     let rows = app.all("note").unwrap();
-    for viewer in [Viewer::Anonymous, Viewer::User(0), Viewer::User(3), Viewer::User(99)] {
+    for viewer in [
+        Viewer::Anonymous,
+        Viewer::User(0),
+        Viewer::User(3),
+        Viewer::User(99),
+    ] {
         let full: Vec<_> = app.show_rows(&viewer, &rows);
         let mut session = Session::new(viewer.clone());
         let pruned = session.view_rows(&mut app, &rows);

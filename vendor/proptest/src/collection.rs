@@ -1,0 +1,103 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A target size (range) for a generated collection.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    /// Exclusive.
+    hi: usize,
+}
+
+impl SizeRange {
+    fn pick(self, rng: &mut TestRng) -> usize {
+        if self.lo + 1 >= self.hi {
+            self.lo
+        } else {
+            rng.usize_in(self.lo, self.hi)
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+/// Generates a `Vec` of values from `element`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for a `Vec` whose length falls in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Generates a `BTreeSet` of values from `element`.
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = self.size.pick(rng);
+        let mut out = BTreeSet::new();
+        // Duplicates shrink the set; bound the attempts in case the
+        // element domain is smaller than the target size.
+        for _ in 0..target.saturating_mul(8) {
+            if out.len() >= target {
+                break;
+            }
+            out.insert(self.element.generate(rng));
+        }
+        out
+    }
+}
+
+/// Strategy for a `BTreeSet` with roughly `size` elements (fewer when
+/// the element domain is too small).
+pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}

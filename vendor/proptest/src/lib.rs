@@ -1,0 +1,27 @@
+//! An offline, API-compatible subset of the `proptest` crate.
+//!
+//! The real `proptest` is unavailable in this build environment (no
+//! registry access), so this vendored stand-in implements the exact
+//! surface the workspace's property tests use. Generation is purely
+//! random (no shrinking); every case runs with a deterministic seed
+//! derived from the case index, so failures reproduce across runs.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+mod macros;
+
+/// Everything a property test normally imports.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}

@@ -1,0 +1,118 @@
+//! Regex-pattern string strategies: `"[a-c]{1,3}"` as a
+//! `Strategy<Value = String>`, like real proptest's `&str` instance.
+//!
+//! Supports the subset used in this workspace: literal characters,
+//! character classes `[abc]` / `[a-c]` (including mixed singles and
+//! ranges), and the quantifiers `{n}`, `{m,n}`, `?`, `*`, `+`
+//! (unbounded repetition is capped at 8).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+const UNBOUNDED_CAP: u32 = 8;
+
+#[derive(Clone, Debug)]
+struct Atom {
+    /// The characters this position may produce.
+    choices: Vec<char>,
+    min: u32,
+    max: u32,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let choices = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut class: Vec<char> = Vec::new();
+                for d in chars.by_ref() {
+                    if d == ']' {
+                        break;
+                    }
+                    class.push(d);
+                }
+                let mut i = 0;
+                while i < class.len() {
+                    if i + 2 < class.len() && class[i + 1] == '-' {
+                        let (lo, hi) = (class[i], class[i + 2]);
+                        assert!(lo <= hi, "bad character range in pattern {pattern:?}");
+                        for ch in lo..=hi {
+                            set.push(ch);
+                        }
+                        i += 3;
+                    } else {
+                        set.push(class[i]);
+                        i += 1;
+                    }
+                }
+                assert!(
+                    !set.is_empty(),
+                    "empty character class in pattern {pattern:?}"
+                );
+                set
+            }
+            '\\' => vec![chars.next().expect("dangling escape in pattern")],
+            other => vec![other],
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for d in chars.by_ref() {
+                    if d == '}' {
+                        break;
+                    }
+                    spec.push(d);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad {m,n} quantifier"),
+                        hi.trim().parse().expect("bad {m,n} quantifier"),
+                    ),
+                    None => {
+                        let n: u32 = spec.trim().parse().expect("bad {n} quantifier");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, UNBOUNDED_CAP)
+            }
+            Some('+') => {
+                chars.next();
+                (1, UNBOUNDED_CAP)
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "bad quantifier in pattern {pattern:?}");
+        atoms.push(Atom { choices, min, max });
+    }
+    atoms
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let reps = if atom.min == atom.max {
+                atom.min
+            } else {
+                atom.min + rng.below(u64::from(atom.max - atom.min + 1)) as u32
+            };
+            for _ in 0..reps {
+                out.push(atom.choices[rng.usize_in(0, atom.choices.len())]);
+            }
+        }
+        out
+    }
+}

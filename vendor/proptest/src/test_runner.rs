@@ -1,0 +1,135 @@
+//! Deterministic test runner: config, RNG, case loop.
+
+use std::fmt;
+
+/// A deterministic pseudo-random generator (splitmix64 core).
+///
+/// Each test case gets its own generator seeded from the case index,
+/// so a failing case reproduces on every run.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo < hi);
+        lo + self.below((hi - lo) as u64) as usize
+    }
+
+    /// Fair coin.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Returns `true` with probability `num / denom`.
+    pub fn ratio(&mut self, num: u64, denom: u64) -> bool {
+        self.below(denom) < num
+    }
+}
+
+/// Runner configuration; only `cases` is meaningful in this subset.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property does not hold; the test fails.
+    Fail(String),
+    /// The generated inputs do not satisfy a `prop_assume!`; the case
+    /// is discarded, not failed.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failed case with the given message.
+    pub fn fail(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejected (discarded) case with the given message.
+    pub fn reject(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "{r}"),
+            TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+        }
+    }
+}
+
+/// Result of one test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runs `body` for each case, panicking (like `assert!`) on the first
+/// failing case. Rejected cases are retried with fresh inputs, up to a
+/// bounded number of attempts.
+pub fn run_cases(config: &ProptestConfig, mut body: impl FnMut(&mut TestRng) -> TestCaseResult) {
+    let max_rejects = u64::from(config.cases) * 16 + 256;
+    let mut rejects: u64 = 0;
+    let mut attempt: u64 = 0;
+    let mut passed: u32 = 0;
+    while passed < config.cases {
+        let mut rng = TestRng::from_seed(attempt.wrapping_mul(0xa076_1d64_78bd_642f));
+        attempt += 1;
+        match body(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejects += 1;
+                assert!(
+                    rejects <= max_rejects,
+                    "too many rejected cases ({rejects}); weaken prop_assume! conditions"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest case #{attempt} (seed {}) failed: {msg}",
+                    attempt - 1
+                )
+            }
+        }
+    }
+}
