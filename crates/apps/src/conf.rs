@@ -22,7 +22,7 @@ pub const PHASE_FINAL: &str = "final";
 
 /// Reads the current phase at output time.
 // <policy>
-fn current_phase(db: &mut form::FormDb) -> String {
+fn current_phase(db: &form::FormDb) -> String {
     db.all("conf_state")
         .ok()
         .and_then(|rows| {
@@ -38,7 +38,7 @@ fn current_phase(db: &mut form::FormDb) -> String {
 /// every facet of the profile agrees on it — the empty-view projection
 /// is exact.
 // <policy>
-fn role_of(db: &mut form::FormDb, user: i64) -> Option<String> {
+fn role_of(db: &form::FormDb, user: i64) -> Option<String> {
     let obj = db.get("user_profile", user).ok()?;
     match form::object_field(&obj, 1).project(&faceted::View::empty()) {
         Value::Str(s) => Some(s.clone()),
@@ -49,14 +49,14 @@ fn role_of(db: &mut form::FormDb, user: i64) -> Option<String> {
 
 /// Whether `user` has PC or chair privileges.
 // <policy>
-fn is_committee(db: &mut form::FormDb, user: i64) -> bool {
+fn is_committee(db: &form::FormDb, user: i64) -> bool {
     matches!(role_of(db, user).as_deref(), Some("pc") | Some("chair"))
 }
 // </policy>
 
 /// Whether `user` has a conflict with `paper`.
 // <policy>
-fn has_conflict(db: &mut form::FormDb, paper: i64, user: i64) -> bool {
+fn has_conflict(db: &form::FormDb, paper: i64, user: i64) -> bool {
     let conflicts = db
         .filter_eq("paper_pc_conflict", "paper", Value::Int(paper))
         .unwrap_or_default();
@@ -254,7 +254,7 @@ pub fn set_phase(app: &mut App, phase: &str) -> form::FormResult<()> {
 // ---------------------------------------------------------------------
 
 /// View all papers (the Table 3 / Figure 9a stress-test page).
-pub fn all_papers(app: &mut App, viewer: &Viewer) -> String {
+pub fn all_papers(app: &App, viewer: &Viewer) -> String {
     let mut session = Session::new(viewer.clone());
     let papers = app.all("paper").unwrap_or_default();
     let mut page = String::from("== Papers ==\n");
@@ -266,7 +266,7 @@ pub fn all_papers(app: &mut App, viewer: &Viewer) -> String {
     page
 }
 
-fn author_name(app: &mut App, session: &mut Session, author: &Value) -> String {
+fn author_name(app: &App, session: &mut Session, author: &Value) -> String {
     match author.as_int() {
         Some(jid) if jid >= 0 => match app.get("user_profile", jid) {
             Ok(profile) => session.view_object(app, &profile).map_or_else(
@@ -280,7 +280,7 @@ fn author_name(app: &mut App, session: &mut Session, author: &Value) -> String {
 }
 
 /// View one paper with its reviews (Table 4's representative action).
-pub fn single_paper(app: &mut App, viewer: &Viewer, paper: i64) -> String {
+pub fn single_paper(app: &App, viewer: &Viewer, paper: i64) -> String {
     let mut session = Session::new(viewer.clone());
     let Ok(obj) = app.get("paper", paper) else {
         return "no such paper".to_owned();
@@ -306,7 +306,7 @@ pub fn single_paper(app: &mut App, viewer: &Viewer, paper: i64) -> String {
 }
 
 /// View all user profiles (Table 3).
-pub fn all_users(app: &mut App, viewer: &Viewer) -> String {
+pub fn all_users(app: &App, viewer: &Viewer) -> String {
     let mut session = Session::new(viewer.clone());
     let users = app.all("user_profile").unwrap_or_default();
     let mut page = String::from("== Users ==\n");
@@ -322,7 +322,7 @@ pub fn all_users(app: &mut App, viewer: &Viewer) -> String {
 }
 
 /// View one user profile (Table 4).
-pub fn single_user(app: &mut App, viewer: &Viewer, user: i64) -> String {
+pub fn single_user(app: &App, viewer: &Viewer, user: i64) -> String {
     let mut session = Session::new(viewer.clone());
     let Ok(obj) = app.get("user_profile", user) else {
         return "no such user".to_owned();
@@ -375,26 +375,50 @@ pub fn submit_review(
     )
 }
 
-/// Builds the conference router (the MVC wiring).
+/// Builds the conference router (the MVC wiring). Every page is a
+/// read-only route, so the concurrent executor can serve them in
+/// parallel under the shared lock; the two submission actions are
+/// write routes.
 #[must_use]
 pub fn router() -> Router {
     let mut r = Router::new();
-    r.route("papers/all", |app, req: &Request| {
+    r.route_read("papers/all", |app, req: &Request| {
         Response::ok(all_papers(app, &req.viewer))
     });
-    r.route("papers/one", |app, req: &Request| {
+    r.route_read("papers/one", |app, req: &Request| {
         match req.int_param("id") {
             Some(id) => Response::ok(single_paper(app, &req.viewer, id)),
             None => Response::not_found(),
         }
     });
-    r.route("users/all", |app, req: &Request| {
+    r.route_read("users/all", |app, req: &Request| {
         Response::ok(all_users(app, &req.viewer))
     });
-    r.route("users/one", |app, req: &Request| {
+    r.route_read("users/one", |app, req: &Request| {
         match req.int_param("id") {
             Some(id) => Response::ok(single_user(app, &req.viewer, id)),
             None => Response::not_found(),
+        }
+    });
+    r.route("papers/submit", |app, req: &Request| {
+        match req.params.get("title") {
+            Some(title) => match submit_paper(app, &req.viewer, title) {
+                Ok(jid) => Response::ok(jid.to_string()),
+                Err(e) => Response::error(&e.to_string()),
+            },
+            None => Response::not_found(),
+        }
+    });
+    r.route("reviews/submit", |app, req: &Request| {
+        match (req.int_param("paper"), req.int_param("score")) {
+            (Some(paper), Some(score)) => {
+                let text = req.params.get("text").map_or("", String::as_str);
+                match submit_review(app, &req.viewer, paper, score, text) {
+                    Ok(jid) => Response::ok(jid.to_string()),
+                    Err(e) => Response::error(&e.to_string()),
+                }
+            }
+            _ => Response::not_found(),
         }
     });
     r
@@ -436,8 +460,8 @@ mod tests {
 
     #[test]
     fn author_sees_own_paper_title() {
-        let (mut app, _, author, _) = setup();
-        let page = all_papers(&mut app, &Viewer::User(author));
+        let (app, _, author, _) = setup();
+        let page = all_papers(&app, &Viewer::User(author));
         assert!(page.contains("Faceted Everything"), "{page}");
         assert!(page.contains("alice author"), "{page}");
     }
@@ -456,7 +480,7 @@ mod tests {
                 ],
             )
             .unwrap();
-        let page = all_papers(&mut app, &Viewer::User(outsider));
+        let page = all_papers(&app, &Viewer::User(outsider));
         assert!(page.contains("(title hidden)"), "{page}");
         assert!(!page.contains("Faceted Everything"), "{page}");
         assert!(!page.contains("alice author"), "{page}");
@@ -464,8 +488,8 @@ mod tests {
 
     #[test]
     fn chair_sees_everything() {
-        let (mut app, chair, _, _) = setup();
-        let page = all_papers(&mut app, &Viewer::User(chair));
+        let (app, chair, _, _) = setup();
+        let page = all_papers(&app, &Viewer::User(chair));
         assert!(page.contains("Faceted Everything"));
         assert!(page.contains("alice author"));
     }
@@ -486,7 +510,7 @@ mod tests {
             .unwrap();
         app.create("paper_pc_conflict", vec![Value::Int(paper), Value::Int(pc)])
             .unwrap();
-        let page = all_papers(&mut app, &Viewer::User(pc));
+        let page = all_papers(&app, &Viewer::User(pc));
         assert!(page.contains("(anonymous)"), "{page}");
     }
 
@@ -494,19 +518,19 @@ mod tests {
     fn final_phase_reveals_authors() {
         let (mut app, _, _, _) = setup();
         set_phase(&mut app, PHASE_FINAL).unwrap();
-        let page = all_papers(&mut app, &Viewer::Anonymous);
+        let page = all_papers(&app, &Viewer::Anonymous);
         assert!(page.contains("alice author"), "{page}");
         assert!(page.contains("Faceted Everything"));
     }
 
     #[test]
     fn email_visible_to_self_and_chair_only() {
-        let (mut app, chair, author, _) = setup();
-        let mine = single_user(&mut app, &Viewer::User(author), author);
+        let (app, chair, author, _) = setup();
+        let mine = single_user(&app, &Viewer::User(author), author);
         assert!(mine.contains("alice@mit.edu"));
-        let chairs = single_user(&mut app, &Viewer::User(chair), author);
+        let chairs = single_user(&app, &Viewer::User(chair), author);
         assert!(chairs.contains("alice@mit.edu"));
-        let anon = single_user(&mut app, &Viewer::Anonymous, author);
+        let anon = single_user(&app, &Viewer::Anonymous, author);
         assert!(anon.contains("[email withheld]"), "{anon}");
     }
 
@@ -526,13 +550,13 @@ mod tests {
             .unwrap();
         submit_review(&mut app, &Viewer::User(pc), paper, 2, "solid work").unwrap();
 
-        let author_view = single_paper(&mut app, &Viewer::User(author), paper);
+        let author_view = single_paper(&app, &Viewer::User(author), paper);
         assert!(author_view.contains("[review hidden]"), "{author_view}");
-        let chair_view = single_paper(&mut app, &Viewer::User(chair), paper);
+        let chair_view = single_paper(&app, &Viewer::User(chair), paper);
         assert!(chair_view.contains("solid work"));
 
         set_phase(&mut app, PHASE_FINAL).unwrap();
-        let author_final = single_paper(&mut app, &Viewer::User(author), paper);
+        let author_final = single_paper(&app, &Viewer::User(author), paper);
         assert!(author_final.contains("solid work"), "{author_final}");
         assert!(
             author_final.contains("(anonymous)") || !author_final.contains("pat pc"),

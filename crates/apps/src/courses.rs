@@ -140,7 +140,7 @@ pub fn register(app: &mut App) -> form::FormResult<()> {
 }
 
 // <policy>
-fn instructor_of_assignment(db: &mut form::FormDb, assignment: Option<i64>) -> Option<i64> {
+fn instructor_of_assignment(db: &form::FormDb, assignment: Option<i64>) -> Option<i64> {
     let a = db.get("assignment", assignment?).ok()?;
     let course = a.as_leaf().cloned().flatten()?[0].as_int()?;
     let c = db.get("course", course).ok()?;
@@ -157,7 +157,7 @@ fn instructor_of_assignment(db: &mut form::FormDb, assignment: Option<i64>) -> O
 // [section: views]
 /// The Table 5 / Figure 9c page, Early Pruning ON: one session
 /// resolves each course label once; work stays linear.
-pub fn all_courses(app: &mut App, viewer: &Viewer) -> String {
+pub fn all_courses(app: &App, viewer: &Viewer) -> String {
     let mut session = Session::new(viewer.clone());
     let courses = app.all("course").unwrap_or_default();
     let mut page = String::from("== Courses ==\n");
@@ -186,7 +186,7 @@ pub fn all_courses(app: &mut App, viewer: &Viewer) -> String {
 /// *faceted* string — every course's label doubles the facet count,
 /// reproducing the blowup of Table 5. Policies are resolved only at
 /// the final sink.
-pub fn all_courses_no_pruning(app: &mut App, viewer: &Viewer) -> String {
+pub fn all_courses_no_pruning(app: &App, viewer: &Viewer) -> String {
     let courses: FacetedList<form::GuardedRow> = app.all("course").unwrap_or_default();
     let mut page: Faceted<String> = Faceted::leaf(String::from("== Courses ==\n"));
     for (guard, row) in courses.iter() {
@@ -210,7 +210,7 @@ pub fn all_courses_no_pruning(app: &mut App, viewer: &Viewer) -> String {
 }
 
 /// A student's submission view.
-pub fn view_submission(app: &mut App, viewer: &Viewer, submission: i64) -> String {
+pub fn view_submission(app: &App, viewer: &Viewer, submission: i64) -> String {
     let mut session = Session::new(viewer.clone());
     let Ok(obj) = app.get("submission", submission) else {
         return "no such submission".to_owned();
@@ -269,8 +269,8 @@ mod tests {
 
     #[test]
     fn enrolled_student_sees_course() {
-        let (mut app, _, student, _) = setup();
-        let page = all_courses(&mut app, &Viewer::User(student));
+        let (app, _, student, _) = setup();
+        let page = all_courses(&app, &Viewer::User(student));
         assert!(page.contains("PL 101"), "{page}");
         assert!(page.contains("prof"));
     }
@@ -281,21 +281,21 @@ mod tests {
         let outsider = app
             .create("cuser", vec![Value::from("eve"), Value::from("student")])
             .unwrap();
-        let page = all_courses(&mut app, &Viewer::User(outsider));
+        let page = all_courses(&app, &Viewer::User(outsider));
         assert!(page.contains("[closed course]"), "{page}");
         assert!(!page.contains("PL 101"));
     }
 
     #[test]
     fn pruned_and_unpruned_pages_agree() {
-        let (mut app, teacher, student, _) = setup();
+        let (app, teacher, student, _) = setup();
         for viewer in [
             Viewer::User(teacher),
             Viewer::User(student),
             Viewer::Anonymous,
         ] {
-            let fast = all_courses(&mut app, &viewer);
-            let slow = all_courses_no_pruning(&mut app, &viewer);
+            let fast = all_courses(&app, &viewer);
+            let slow = all_courses_no_pruning(&app, &viewer);
             assert_eq!(fast, slow, "viewer {viewer}");
         }
     }
@@ -318,12 +318,12 @@ mod tests {
                 ],
             )
             .unwrap();
-        let before = view_submission(&mut app, &Viewer::User(student), submission);
+        let before = view_submission(&app, &Viewer::User(student), submission);
         assert!(before.contains("(not released)"), "{before}");
         grade_submission(&mut app, submission, 95).unwrap();
-        let after = view_submission(&mut app, &Viewer::User(student), submission);
+        let after = view_submission(&app, &Viewer::User(student), submission);
         assert!(after.contains("95"), "{after}");
-        let teacher_view = view_submission(&mut app, &Viewer::User(teacher), submission);
+        let teacher_view = view_submission(&app, &Viewer::User(teacher), submission);
         assert!(teacher_view.contains("my answer"));
     }
 
@@ -350,7 +350,7 @@ mod tests {
                 ],
             )
             .unwrap();
-        let peek = view_submission(&mut app, &Viewer::User(other), submission);
+        let peek = view_submission(&app, &Viewer::User(other), submission);
         assert!(peek.contains("[submission hidden]"), "{peek}");
     }
 }

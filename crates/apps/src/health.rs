@@ -83,7 +83,7 @@ pub fn register(app: &mut App) -> form::FormResult<()> {
 // [section: views]
 /// Summary page of all records (the Figure 9b stress-test page):
 /// patient name, diagnosis (policy-resolved), treatment.
-pub fn all_records_summary(app: &mut App, viewer: &Viewer) -> String {
+pub fn all_records_summary(app: &App, viewer: &Viewer) -> String {
     let mut session = Session::new(viewer.clone());
     let records = app.all("health_record").unwrap_or_default();
     let mut page = String::from("== Records ==\n");
@@ -107,7 +107,7 @@ pub fn all_records_summary(app: &mut App, viewer: &Viewer) -> String {
 }
 
 /// One record in detail.
-pub fn single_record(app: &mut App, viewer: &Viewer, record: i64) -> String {
+pub fn single_record(app: &App, viewer: &Viewer, record: i64) -> String {
     let mut session = Session::new(viewer.clone());
     let Ok(obj) = app.get("health_record", record) else {
         return "no such record".to_owned();
@@ -177,18 +177,18 @@ mod tests {
 
     #[test]
     fn patient_and_doctor_see_contents() {
-        let (mut app, patient, doctor, _, record) = setup();
-        assert!(single_record(&mut app, &Viewer::User(patient), record).contains("flu"));
-        assert!(single_record(&mut app, &Viewer::User(doctor), record).contains("flu"));
+        let (app, patient, doctor, _, record) = setup();
+        assert!(single_record(&app, &Viewer::User(patient), record).contains("flu"));
+        assert!(single_record(&app, &Viewer::User(doctor), record).contains("flu"));
     }
 
     #[test]
     fn insurer_needs_active_waiver() {
         let (mut app, _, _, insurer, record) = setup();
-        let before = single_record(&mut app, &Viewer::User(insurer), record);
+        let before = single_record(&app, &Viewer::User(insurer), record);
         assert!(before.contains("[protected]"), "{before}");
         set_waiver(&mut app, record, insurer, true).unwrap();
-        let after = single_record(&mut app, &Viewer::User(insurer), record);
+        let after = single_record(&app, &Viewer::User(insurer), record);
         assert!(after.contains("flu"), "{after}");
     }
 
@@ -196,7 +196,7 @@ mod tests {
     fn inactive_waiver_grants_nothing() {
         let (mut app, _, _, insurer, record) = setup();
         set_waiver(&mut app, record, insurer, false).unwrap();
-        assert!(single_record(&mut app, &Viewer::User(insurer), record).contains("[protected]"));
+        assert!(single_record(&app, &Viewer::User(insurer), record).contains("[protected]"));
     }
 
     #[test]
@@ -208,7 +208,7 @@ mod tests {
                 vec![Value::from("eve"), Value::from("patient")],
             )
             .unwrap();
-        let page = all_records_summary(&mut app, &Viewer::User(stranger));
+        let page = all_records_summary(&app, &Viewer::User(stranger));
         assert!(page.contains("[protected]"), "{page}");
         assert!(!page.contains("flu"));
     }

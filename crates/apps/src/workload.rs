@@ -3,7 +3,7 @@
 //! Every generator populates both the Jacqueline and the baseline
 //! database the same way, so measurements compare identical data.
 
-use jacqueline::{App, Viewer};
+use jacqueline::{App, Request, Viewer};
 use microdb::Value;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -87,6 +87,34 @@ pub fn conference(n_users: usize, n_papers: usize) -> ConfWorkload {
         pc_member,
         author,
     }
+}
+
+/// A deterministic request mix over the conference pages, sized for
+/// the concurrent-executor benchmarks and stress tests: a rotation of
+/// the Table 3 list pages and the Table 4 single-object pages across
+/// `n_viewers` logged-in users.
+///
+/// Every request routes to a *read* page, so batches are
+/// order-independent: the concurrent executor must produce the same
+/// bytes as the sequential one.
+#[must_use]
+pub fn conference_requests(n_requests: usize, n_viewers: usize, n_papers: usize) -> Vec<Request> {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0x7265_7173); // "reqs"
+    let viewers = n_viewers.max(1) as i64;
+    let papers = n_papers.max(1) as i64;
+    (0..n_requests)
+        .map(|i| {
+            let viewer = Viewer::User(1 + rng.gen_range(0..viewers));
+            match i % 4 {
+                0 => Request::new("papers/all", viewer),
+                1 => Request::new("users/all", viewer),
+                2 => Request::new("papers/one", viewer)
+                    .with_param("id", &(1 + rng.gen_range(0..papers)).to_string()),
+                _ => Request::new("users/one", viewer)
+                    .with_param("id", &(1 + rng.gen_range(0..viewers)).to_string()),
+            }
+        })
+        .collect()
 }
 
 /// A populated health pair.

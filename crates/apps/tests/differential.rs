@@ -9,32 +9,32 @@ use jacqueline::Viewer;
 #[test]
 fn conference_all_pages_agree_for_every_viewer() {
     let w = workload::conference(12, 10);
-    let mut app = w.app;
+    let app = w.app;
     let mut vanilla = w.vanilla;
     let viewers: Vec<Viewer> = std::iter::once(Viewer::Anonymous)
         .chain((1..=12).map(Viewer::User))
         .collect();
     for viewer in &viewers {
         assert_eq!(
-            apps::conf::all_papers(&mut app, viewer),
+            apps::conf::all_papers(&app, viewer),
             vanilla.all_papers(viewer),
             "all_papers for {viewer}"
         );
         assert_eq!(
-            apps::conf::all_users(&mut app, viewer),
+            apps::conf::all_users(&app, viewer),
             vanilla.all_users(viewer),
             "all_users for {viewer}"
         );
         for paper in 1..=10 {
             assert_eq!(
-                apps::conf::single_paper(&mut app, viewer, paper),
+                apps::conf::single_paper(&app, viewer, paper),
                 vanilla.single_paper(viewer, paper),
                 "single_paper {paper} for {viewer}"
             );
         }
         for user in 1..=12 {
             assert_eq!(
-                apps::conf::single_user(&mut app, viewer, user),
+                apps::conf::single_user(&app, viewer, user),
                 vanilla.single_user(viewer, user),
                 "single_user {user} for {viewer}"
             );
@@ -51,7 +51,7 @@ fn conference_final_phase_agrees() {
     vanilla.set_phase(apps::conf::PHASE_FINAL);
     for viewer in [Viewer::Anonymous, Viewer::User(2), Viewer::User(6)] {
         assert_eq!(
-            apps::conf::all_papers(&mut app, &viewer),
+            apps::conf::all_papers(&app, &viewer),
             vanilla.all_papers(&viewer),
             "final-phase all_papers for {viewer}"
         );
@@ -61,14 +61,14 @@ fn conference_final_phase_agrees() {
 #[test]
 fn health_pages_agree_for_every_viewer() {
     let w = workload::health(15);
-    let mut app = w.app;
+    let app = w.app;
     let mut vanilla = w.vanilla;
     let viewers: Vec<Viewer> = std::iter::once(Viewer::Anonymous)
         .chain((1..=15).map(Viewer::User))
         .collect();
     for viewer in &viewers {
         assert_eq!(
-            apps::health::all_records_summary(&mut app, viewer),
+            apps::health::all_records_summary(&app, viewer),
             vanilla.all_records_summary(viewer),
             "all_records for {viewer}"
         );
@@ -77,7 +77,7 @@ fn health_pages_agree_for_every_viewer() {
     for viewer in &viewers {
         for rec in 1..=n_records {
             assert_eq!(
-                apps::health::single_record(&mut app, viewer, rec),
+                apps::health::single_record(&app, viewer, rec),
                 vanilla.single_record(viewer, rec),
                 "record {rec} for {viewer}"
             );
@@ -88,7 +88,7 @@ fn health_pages_agree_for_every_viewer() {
 #[test]
 fn courses_pages_agree_for_every_viewer() {
     let w = workload::courses(8);
-    let mut app = w.app;
+    let app = w.app;
     let mut vanilla = w.vanilla;
     let n_users = vanilla.db.all("cuser").unwrap().len() as i64;
     let viewers: Vec<Viewer> = std::iter::once(Viewer::Anonymous)
@@ -96,7 +96,7 @@ fn courses_pages_agree_for_every_viewer() {
         .collect();
     for viewer in &viewers {
         assert_eq!(
-            apps::courses::all_courses(&mut app, viewer),
+            apps::courses::all_courses(&app, viewer),
             vanilla.all_courses(viewer),
             "all_courses for {viewer}"
         );
@@ -106,7 +106,7 @@ fn courses_pages_agree_for_every_viewer() {
 #[test]
 fn courses_pruned_and_unpruned_agree_with_baseline() {
     let w = workload::courses(6);
-    let mut app = w.app;
+    let app = w.app;
     let mut vanilla = w.vanilla;
     for viewer in [
         Viewer::Anonymous,
@@ -114,9 +114,9 @@ fn courses_pruned_and_unpruned_agree_with_baseline() {
         Viewer::User(w.instructor),
     ] {
         let baseline = vanilla.all_courses(&viewer);
-        assert_eq!(apps::courses::all_courses(&mut app, &viewer), baseline);
+        assert_eq!(apps::courses::all_courses(&app, &viewer), baseline);
         assert_eq!(
-            apps::courses::all_courses_no_pruning(&mut app, &viewer),
+            apps::courses::all_courses_no_pruning(&app, &viewer),
             baseline,
             "no-pruning page must agree for {viewer}"
         );
@@ -172,18 +172,18 @@ fn courses_all_pages_agree_for_every_viewer() {
     for viewer in &viewers {
         let baseline = vanilla.all_courses(viewer);
         assert_eq!(
-            apps::courses::all_courses(&mut app, viewer),
+            apps::courses::all_courses(&app, viewer),
             baseline,
             "all_courses for {viewer}"
         );
         assert_eq!(
-            apps::courses::all_courses_no_pruning(&mut app, viewer),
+            apps::courses::all_courses_no_pruning(&app, viewer),
             baseline,
             "all_courses_no_pruning for {viewer}"
         );
         for &s in &submissions {
             assert_eq!(
-                apps::courses::view_submission(&mut app, viewer, s),
+                apps::courses::view_submission(&app, viewer, s),
                 vanilla.view_submission(viewer, s),
                 "view_submission {s} for {viewer}"
             );
@@ -251,12 +251,12 @@ fn health_waiver_lifecycle_agrees_for_every_viewer() {
         .find(|u| !involved.contains(u))
         .expect("a stranger to record 1 exists");
     assert!(
-        apps::health::single_record(&mut app, &Viewer::User(stranger), 1).contains("[protected]"),
+        apps::health::single_record(&app, &Viewer::User(stranger), 1).contains("[protected]"),
         "the chosen stranger must start out locked out"
     );
     mirror_waiver(&mut app, &mut vanilla, 1, stranger, true);
     assert!(
-        !apps::health::single_record(&mut app, &Viewer::User(stranger), 1).contains("[protected]"),
+        !apps::health::single_record(&app, &Viewer::User(stranger), 1).contains("[protected]"),
         "the active waiver must unlock record 1 for the stranger"
     );
     check_all_pages(&mut app, &mut vanilla, "after grant");
@@ -289,7 +289,7 @@ fn submissions_agree_after_grading() {
         Viewer::Anonymous,
     ] {
         assert_eq!(
-            apps::courses::view_submission(&mut app, &viewer, sj),
+            apps::courses::view_submission(&app, &viewer, sj),
             vanilla.view_submission(&viewer, sv),
             "pre-grading view for {viewer}"
         );
@@ -312,7 +312,7 @@ fn submissions_agree_after_grading() {
         Viewer::Anonymous,
     ] {
         assert_eq!(
-            apps::courses::view_submission(&mut app, &viewer, sj),
+            apps::courses::view_submission(&app, &viewer, sj),
             vanilla.view_submission(&viewer, sv),
             "post-grading view for {viewer}"
         );

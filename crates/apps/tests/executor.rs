@@ -1,0 +1,206 @@
+//! Concurrent-executor differential tests: the multi-threaded request
+//! path must produce **byte-identical** page output to the sequential
+//! path (and therefore, transitively through `differential.rs`, to the
+//! hand-coded baselines) — the strongest check that sharing one
+//! `Send + Sync` faceted database across worker threads changes
+//! nothing observable.
+
+use std::sync::RwLock;
+
+use apps::workload;
+use jacqueline::{App, Executor, Request, Response, Router, Viewer};
+
+/// A read-only router over the courses pages (the conference app has
+/// its own router; courses and health get ad-hoc ones here so the
+/// whole differential suite goes through the executor).
+fn courses_router() -> Router {
+    let mut r = Router::new();
+    r.route_read("courses/all", |app: &App, req: &Request| {
+        Response::ok(apps::courses::all_courses(app, &req.viewer))
+    });
+    r.route_read("courses/all_unpruned", |app: &App, req: &Request| {
+        Response::ok(apps::courses::all_courses_no_pruning(app, &req.viewer))
+    });
+    r.route_read("submissions/one", |app: &App, req: &Request| {
+        match req.int_param("id") {
+            Some(id) => Response::ok(apps::courses::view_submission(app, &req.viewer, id)),
+            None => Response::not_found(),
+        }
+    });
+    r
+}
+
+fn health_router() -> Router {
+    let mut r = Router::new();
+    r.route_read("records/all", |app: &App, req: &Request| {
+        Response::ok(apps::health::all_records_summary(app, &req.viewer))
+    });
+    r.route_read("records/one", |app: &App, req: &Request| {
+        match req.int_param("id") {
+            Some(id) => Response::ok(apps::health::single_record(app, &req.viewer, id)),
+            None => Response::not_found(),
+        }
+    });
+    r
+}
+
+/// Runs `requests` sequentially and at 2/4 threads, asserting the
+/// responses (status *and* body bytes) are identical.
+fn assert_concurrent_matches_sequential(
+    app: App,
+    router: &Router,
+    requests: &[Request],
+    context: &str,
+) {
+    let shared = RwLock::new(app);
+    let sequential = Executor::sequential().run(&shared, router, requests);
+    for threads in [2, 4] {
+        let concurrent = Executor::with_threads(threads).run(&shared, router, requests);
+        assert_eq!(
+            concurrent.len(),
+            sequential.len(),
+            "[{context}] response count at {threads} threads"
+        );
+        for (i, (c, s)) in concurrent.iter().zip(&sequential).enumerate() {
+            assert_eq!(
+                c, s,
+                "[{context}] request {i} ({}) differs at {threads} threads",
+                requests[i].path
+            );
+        }
+    }
+}
+
+#[test]
+fn conference_pages_identical_across_executors() {
+    let w = workload::conference(12, 10);
+    let router = apps::conf::router();
+    // The full differential grid: every page for every viewer.
+    let viewers: Vec<Viewer> = std::iter::once(Viewer::Anonymous)
+        .chain((1..=12).map(Viewer::User))
+        .collect();
+    let mut requests = Vec::new();
+    for viewer in &viewers {
+        requests.push(Request::new("papers/all", viewer.clone()));
+        requests.push(Request::new("users/all", viewer.clone()));
+        for paper in 1..=10 {
+            requests.push(
+                Request::new("papers/one", viewer.clone()).with_param("id", &paper.to_string()),
+            );
+        }
+        for user in 1..=12 {
+            requests.push(
+                Request::new("users/one", viewer.clone()).with_param("id", &user.to_string()),
+            );
+        }
+    }
+    assert_concurrent_matches_sequential(w.app, &router, &requests, "conference");
+}
+
+#[test]
+fn conference_executor_matches_vanilla_baseline() {
+    // Close the loop with the hand-coded implementation: pages served
+    // by the 4-thread executor equal the baseline's renderings.
+    let w = workload::conference(8, 6);
+    let mut vanilla = w.vanilla;
+    let router = apps::conf::router();
+    let viewers: Vec<Viewer> = std::iter::once(Viewer::Anonymous)
+        .chain((1..=8).map(Viewer::User))
+        .collect();
+    let requests: Vec<Request> = viewers
+        .iter()
+        .map(|v| Request::new("papers/all", v.clone()))
+        .collect();
+    let shared = RwLock::new(w.app);
+    let responses = Executor::with_threads(4).run(&shared, &router, &requests);
+    for (viewer, response) in viewers.iter().zip(&responses) {
+        assert_eq!(
+            response.body,
+            vanilla.all_papers(viewer),
+            "executor page for {viewer} must match the baseline"
+        );
+    }
+}
+
+#[test]
+fn courses_pages_identical_across_executors() {
+    let w = workload::courses(8);
+    let router = courses_router();
+    let n_users = 1 + 8; // student + one instructor per course
+    let viewers: Vec<Viewer> = std::iter::once(Viewer::Anonymous)
+        .chain((1..=n_users).map(Viewer::User))
+        .collect();
+    let mut requests = Vec::new();
+    for viewer in &viewers {
+        requests.push(Request::new("courses/all", viewer.clone()));
+        requests.push(Request::new("courses/all_unpruned", viewer.clone()));
+    }
+    assert_concurrent_matches_sequential(w.app, &router, &requests, "courses");
+}
+
+#[test]
+fn health_pages_identical_across_executors() {
+    let w = workload::health(12);
+    let router = health_router();
+    let viewers: Vec<Viewer> = std::iter::once(Viewer::Anonymous)
+        .chain((1..=12).map(Viewer::User))
+        .collect();
+    let mut requests = Vec::new();
+    for viewer in &viewers {
+        requests.push(Request::new("records/all", viewer.clone()));
+        for rec in 1..=6 {
+            requests.push(
+                Request::new("records/one", viewer.clone()).with_param("id", &rec.to_string()),
+            );
+        }
+    }
+    assert_concurrent_matches_sequential(w.app, &router, &requests, "health");
+}
+
+/// The stress test of the issue: N threads × M requests on the
+/// conference workload; results must match the sequential executor
+/// request-for-request. Sized to bite in release CI while staying
+/// tractable in debug runs.
+#[test]
+fn concurrent_stress_matches_sequential() {
+    let w = workload::conference(16, 24);
+    let router = apps::conf::router();
+    let requests = workload::conference_requests(192, 16, 24);
+    let shared = RwLock::new(w.app);
+    let sequential = Executor::sequential().run(&shared, &router, &requests);
+    assert!(sequential.iter().all(|r| r.status == 200));
+    for threads in [2, 4, 8] {
+        let concurrent = Executor::with_threads(threads).run(&shared, &router, &requests);
+        assert_eq!(concurrent, sequential, "{threads} threads");
+    }
+}
+
+#[test]
+fn executor_serializes_interleaved_writes() {
+    // Reads and writes interleaved: every write must land exactly
+    // once, and a full read afterwards sees all of them.
+    let w = workload::conference(8, 4);
+    let router = apps::conf::router();
+    let shared = RwLock::new(w.app);
+    let mut requests: Vec<Request> = (0..16)
+        .map(|i| {
+            Request::new("papers/submit", Viewer::User(1 + i % 8))
+                .with_param("title", &format!("Stress paper {i}"))
+        })
+        .collect();
+    requests.extend((0..16).map(|i| Request::new("papers/all", Viewer::User(1 + i % 8))));
+    let responses = Executor::with_threads(4).run(&shared, &router, &requests);
+    assert!(responses.iter().all(|r| r.status == 200));
+    let app = shared.read().unwrap();
+    let papers = app.all("paper").unwrap();
+    let distinct_new: std::collections::BTreeSet<i64> = papers
+        .iter()
+        .filter(|(_, r)| {
+            r.fields[0]
+                .as_str()
+                .is_some_and(|t| t.starts_with("Stress paper"))
+        })
+        .map(|(_, r)| r.jid)
+        .collect();
+    assert_eq!(distinct_new.len(), 16, "each submit landed exactly once");
+}

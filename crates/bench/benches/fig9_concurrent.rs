@@ -1,0 +1,29 @@
+//! Fig. 9 (concurrent variant): throughput of the request executor on
+//! the conference workload at 1/2/4/8 worker threads. The read-only
+//! page mix dispatches in parallel under the shared lock; the target
+//! of the refactor is >1.5× throughput at 4 threads vs 1.
+
+use std::sync::RwLock;
+
+use apps::{conf, workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jacqueline::Executor;
+
+fn bench_concurrent(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_concurrent");
+    group.sample_size(10);
+    let w = workload::conference(32, 48);
+    let app = RwLock::new(w.app);
+    let router = conf::router();
+    let requests = workload::conference_requests(128, 32, 48);
+    for threads in [1usize, 2, 4, 8] {
+        let executor = Executor::with_threads(threads);
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, _| {
+            b.iter(|| std::hint::black_box(executor.run(&app, &router, &requests)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_concurrent);
+criterion_main!(benches);

@@ -13,11 +13,11 @@ fn bench_all_papers(c: &mut Criterion) {
     group.sample_size(10);
     for n in SIZES {
         let w = workload::conference(32, n);
-        let mut app = w.app;
+        let app = w.app;
         let mut vanilla = w.vanilla;
         let viewer = Viewer::User(w.pc_member);
         group.bench_with_input(BenchmarkId::new("jacqueline", n), &n, |b, _| {
-            b.iter(|| std::hint::black_box(conf::all_papers(&mut app, &viewer)));
+            b.iter(|| std::hint::black_box(conf::all_papers(&app, &viewer)));
         });
         group.bench_with_input(BenchmarkId::new("baseline", n), &n, |b, _| {
             b.iter(|| std::hint::black_box(vanilla.all_papers(&viewer)));
@@ -31,11 +31,11 @@ fn bench_all_users(c: &mut Criterion) {
     group.sample_size(10);
     for n in SIZES {
         let w = workload::conference(n, 8);
-        let mut app = w.app;
+        let app = w.app;
         let mut vanilla = w.vanilla;
         let viewer = Viewer::User(w.author);
         group.bench_with_input(BenchmarkId::new("jacqueline", n), &n, |b, _| {
-            b.iter(|| std::hint::black_box(conf::all_users(&mut app, &viewer)));
+            b.iter(|| std::hint::black_box(conf::all_users(&app, &viewer)));
         });
         group.bench_with_input(BenchmarkId::new("baseline", n), &n, |b, _| {
             b.iter(|| std::hint::black_box(vanilla.all_users(&viewer)));

@@ -13,11 +13,11 @@ fn bench_courses(c: &mut Criterion) {
     group.sample_size(10);
     for n in SIZES {
         let w = workload::courses(n);
-        let mut app = w.app;
+        let app = w.app;
         let mut vanilla = w.vanilla;
         let viewer = Viewer::User(w.student);
         group.bench_with_input(BenchmarkId::new("jacqueline", n), &n, |b, _| {
-            b.iter(|| std::hint::black_box(courses::all_courses(&mut app, &viewer)));
+            b.iter(|| std::hint::black_box(courses::all_courses(&app, &viewer)));
         });
         group.bench_with_input(BenchmarkId::new("baseline", n), &n, |b, _| {
             b.iter(|| std::hint::black_box(vanilla.all_courses(&viewer)));

@@ -12,11 +12,11 @@ fn bench_records(c: &mut Criterion) {
     group.sample_size(10);
     for n in SIZES {
         let w = workload::health(n);
-        let mut app = w.app;
+        let app = w.app;
         let mut vanilla = w.vanilla;
         let viewer = Viewer::User(w.doctor);
         group.bench_with_input(BenchmarkId::new("jacqueline", n), &n, |b, _| {
-            b.iter(|| std::hint::black_box(health::all_records_summary(&mut app, &viewer)));
+            b.iter(|| std::hint::black_box(health::all_records_summary(&app, &viewer)));
         });
         group.bench_with_input(BenchmarkId::new("baseline", n), &n, |b, _| {
             b.iter(|| std::hint::black_box(vanilla.all_records_summary(&viewer)));

@@ -14,11 +14,11 @@ fn bench_single_paper(c: &mut Criterion) {
     group.sample_size(10);
     for n in SIZES {
         let w = workload::conference(32, n);
-        let mut app = w.app;
+        let app = w.app;
         let mut vanilla = w.vanilla;
         let viewer = Viewer::User(w.pc_member);
         group.bench_with_input(BenchmarkId::new("jacqueline", n), &n, |b, _| {
-            b.iter(|| std::hint::black_box(conf::single_paper(&mut app, &viewer, 1)));
+            b.iter(|| std::hint::black_box(conf::single_paper(&app, &viewer, 1)));
         });
         group.bench_with_input(BenchmarkId::new("baseline", n), &n, |b, _| {
             b.iter(|| std::hint::black_box(vanilla.single_paper(&viewer, 1)));
@@ -32,11 +32,11 @@ fn bench_single_user(c: &mut Criterion) {
     group.sample_size(10);
     for n in SIZES {
         let w = workload::conference(n, 8);
-        let mut app = w.app;
+        let app = w.app;
         let mut vanilla = w.vanilla;
         let viewer = Viewer::User(w.author);
         group.bench_with_input(BenchmarkId::new("jacqueline", n), &n, |b, _| {
-            b.iter(|| std::hint::black_box(conf::single_user(&mut app, &viewer, 2)));
+            b.iter(|| std::hint::black_box(conf::single_user(&app, &viewer, 2)));
         });
         group.bench_with_input(BenchmarkId::new("baseline", n), &n, |b, _| {
             b.iter(|| std::hint::black_box(vanilla.single_user(&viewer, 2)));

@@ -13,23 +13,23 @@ fn bench_pruning(c: &mut Criterion) {
     group.sample_size(10);
     for n in [4usize, 8, 12] {
         let w = workload::courses(n);
-        let mut app = w.app;
+        let app = w.app;
         let viewer = Viewer::User(w.student);
         group.bench_with_input(BenchmarkId::new("with_pruning", n), &n, |b, _| {
-            b.iter(|| std::hint::black_box(courses::all_courses(&mut app, &viewer)));
+            b.iter(|| std::hint::black_box(courses::all_courses(&app, &viewer)));
         });
         group.bench_with_input(BenchmarkId::new("without_pruning", n), &n, |b, _| {
-            b.iter(|| std::hint::black_box(courses::all_courses_no_pruning(&mut app, &viewer)));
+            b.iter(|| std::hint::black_box(courses::all_courses_no_pruning(&app, &viewer)));
         });
     }
     // The pruned path keeps scaling linearly where the unpruned path
     // cannot run at all.
     for n in [64usize, 256] {
         let w = workload::courses(n);
-        let mut app = w.app;
+        let app = w.app;
         let viewer = Viewer::User(w.student);
         group.bench_with_input(BenchmarkId::new("with_pruning", n), &n, |b, _| {
-            b.iter(|| std::hint::black_box(courses::all_courses(&mut app, &viewer)));
+            b.iter(|| std::hint::black_box(courses::all_courses(&app, &viewer)));
         });
     }
     group.finish();

@@ -1,41 +1,113 @@
-//! Regenerates every table and figure of the paper's evaluation (§6).
+//! Regenerates every table and figure of the paper's evaluation (§6),
+//! plus the post-paper tables added by this reproduction (memoization
+//! ablation, concurrent-executor throughput).
 //!
 //! Run with `cargo run --release -p jbench --bin experiments -- --all`
 //! (or a subset: `--fig6 --fig9a --fig9b --fig9c --table3 --table4
-//! --table5`). Output mirrors the paper's rows; absolute times are
-//! this machine's, the comparison *shapes* are the reproduction
-//! target (see EXPERIMENTS.md).
+//! --table5 --memo --concurrent`). `--smoke` shrinks the sweeps for
+//! CI. Output mirrors the paper's rows; absolute times are this
+//! machine's, the comparison *shapes* are the reproduction target
+//! (see EXPERIMENTS.md). Alongside the printed tables the run records
+//! per-table medians and writes them to `BENCH_results.json` (or the
+//! path given with `--json <path>`), so successive PRs accumulate a
+//! perf trajectory.
+
+use std::path::PathBuf;
+use std::sync::RwLock;
 
 use apps::{conf, courses, health, workload};
-use jacqueline::Viewer;
-use jbench::{doubling_sweep, fmt_secs, print_row, time_avg};
+use faceted::{Branch, Branches, FacetedList, Label};
+use form::GuardedRow;
+use jacqueline::{Executor, Viewer};
+use jbench::{doubling_sweep, fmt_secs, print_row, time_stats, Report};
+use microdb::Value;
 
 /// Matches the paper's protocol: average over 10 sequential requests.
 const REPS: usize = 10;
 
+/// Sweep sizes and repetition counts, shrunk by `--smoke` for CI.
+struct Config {
+    sweep: Vec<usize>,
+    reps: usize,
+    smoke: bool,
+}
+
+/// The flags that select individual tables; any other flag is a
+/// modifier. Running with no table flag at all means `--all`.
+const TABLE_FLAGS: [&str; 9] = [
+    "--fig6",
+    "--fig9a",
+    "--fig9b",
+    "--fig9c",
+    "--table3",
+    "--table4",
+    "--table5",
+    "--memo",
+    "--concurrent",
+];
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let all = args.is_empty() || args.iter().any(|a| a == "--all");
-    let want = |flag: &str| all || args.iter().any(|a| a == flag);
+    let flags: Vec<&str> = args.iter().map(String::as_str).collect();
+    let all = flags.contains(&"--all") || !flags.iter().any(|f| TABLE_FLAGS.contains(f));
+    let want = |flag: &str| all || flags.contains(&flag);
+    let smoke = flags.contains(&"--smoke");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .map_or_else(|| PathBuf::from("BENCH_results.json"), PathBuf::from);
+
+    let cfg = Config {
+        sweep: if smoke {
+            vec![8, 16, 32]
+        } else {
+            doubling_sweep()
+        },
+        reps: if smoke { 3 } else { REPS },
+        smoke,
+    };
+    let mut report = Report::new();
 
     if want("--fig6") {
         fig6();
     }
     if want("--table3") || want("--fig9a") {
-        fig9a_table3();
+        fig9a_table3(&cfg, &mut report);
     }
     if want("--table4") {
-        table4();
+        table4(&cfg, &mut report);
     }
     if want("--fig9b") {
-        fig9b();
+        fig9b(&cfg, &mut report);
     }
     if want("--fig9c") {
-        fig9c();
+        fig9c(&cfg, &mut report);
     }
     if want("--table5") {
-        table5();
+        table5(&cfg, &mut report);
     }
+    if want("--memo") {
+        memo_ablation(&cfg, &mut report);
+    }
+    if want("--concurrent") {
+        concurrent(&cfg, &mut report);
+    }
+
+    if !report.is_empty() {
+        match report.write_json(&json_path) {
+            Ok(()) => println!("\nwrote {}", json_path.display()),
+            Err(e) => eprintln!("\nfailed to write {}: {e}", json_path.display()),
+        }
+    }
+}
+
+/// Times `f`, printing the average (the paper's protocol) and
+/// recording the median under `table`/`label`.
+fn measure(report: &mut Report, table: &str, label: &str, reps: usize, f: impl FnMut()) -> f64 {
+    let stats = time_stats(reps, f);
+    report.record(table, label, stats.median_s);
+    stats.avg_s
 }
 
 /// Figure 6: lines of policy code, Jacqueline vs hand-coded.
@@ -53,7 +125,7 @@ fn fig6() {
 }
 
 /// Figure 9a + Table 3: conference stress tests.
-fn fig9a_table3() {
+fn fig9a_table3(cfg: &Config, report: &mut Report) {
     println!("\n==== Table 3 / Figure 9a: time to view all papers ====");
     print_row(&[
         "# P".into(),
@@ -61,17 +133,29 @@ fn fig9a_table3() {
         "Baseline".into(),
         "ratio".into(),
     ]);
-    for n in doubling_sweep() {
+    for &n in &cfg.sweep {
         let w = workload::conference(32, n);
-        let mut app = w.app;
+        let app = w.app;
         let mut vanilla = w.vanilla;
         let viewer = Viewer::User(w.pc_member);
-        let tj = time_avg(REPS, || {
-            std::hint::black_box(conf::all_papers(&mut app, &viewer));
-        });
-        let tv = time_avg(REPS, || {
-            std::hint::black_box(vanilla.all_papers(&viewer));
-        });
+        let tj = measure(
+            report,
+            "table3_papers",
+            &format!("papers={n} jacqueline"),
+            cfg.reps,
+            || {
+                std::hint::black_box(conf::all_papers(&app, &viewer));
+            },
+        );
+        let tv = measure(
+            report,
+            "table3_papers",
+            &format!("papers={n} baseline"),
+            cfg.reps,
+            || {
+                std::hint::black_box(vanilla.all_papers(&viewer));
+            },
+        );
         print_row(&[
             n.to_string(),
             fmt_secs(tj),
@@ -87,17 +171,29 @@ fn fig9a_table3() {
         "Baseline".into(),
         "ratio".into(),
     ]);
-    for n in doubling_sweep() {
+    for &n in &cfg.sweep {
         let w = workload::conference(n, 8);
-        let mut app = w.app;
+        let app = w.app;
         let mut vanilla = w.vanilla;
         let viewer = Viewer::User(w.author);
-        let tj = time_avg(REPS, || {
-            std::hint::black_box(conf::all_users(&mut app, &viewer));
-        });
-        let tv = time_avg(REPS, || {
-            std::hint::black_box(vanilla.all_users(&viewer));
-        });
+        let tj = measure(
+            report,
+            "table3_users",
+            &format!("users={n} jacqueline"),
+            cfg.reps,
+            || {
+                std::hint::black_box(conf::all_users(&app, &viewer));
+            },
+        );
+        let tv = measure(
+            report,
+            "table3_users",
+            &format!("users={n} baseline"),
+            cfg.reps,
+            || {
+                std::hint::black_box(vanilla.all_users(&viewer));
+            },
+        );
         print_row(&[
             n.to_string(),
             fmt_secs(tj),
@@ -108,7 +204,7 @@ fn fig9a_table3() {
 }
 
 /// Table 4: single paper / single user while the table grows.
-fn table4() {
+fn table4(cfg: &Config, report: &mut Report) {
     println!("\n==== Table 4: time to view a single paper ====");
     print_row(&[
         "Papers".into(),
@@ -116,17 +212,29 @@ fn table4() {
         "Baseline".into(),
         "ratio".into(),
     ]);
-    for n in doubling_sweep() {
+    for &n in &cfg.sweep {
         let w = workload::conference(32, n);
-        let mut app = w.app;
+        let app = w.app;
         let mut vanilla = w.vanilla;
         let viewer = Viewer::User(w.pc_member);
-        let tj = time_avg(REPS, || {
-            std::hint::black_box(conf::single_paper(&mut app, &viewer, 1));
-        });
-        let tv = time_avg(REPS, || {
-            std::hint::black_box(vanilla.single_paper(&viewer, 1));
-        });
+        let tj = measure(
+            report,
+            "table4_paper",
+            &format!("papers={n} jacqueline"),
+            cfg.reps,
+            || {
+                std::hint::black_box(conf::single_paper(&app, &viewer, 1));
+            },
+        );
+        let tv = measure(
+            report,
+            "table4_paper",
+            &format!("papers={n} baseline"),
+            cfg.reps,
+            || {
+                std::hint::black_box(vanilla.single_paper(&viewer, 1));
+            },
+        );
         print_row(&[
             n.to_string(),
             fmt_secs(tj),
@@ -142,17 +250,29 @@ fn table4() {
         "Baseline".into(),
         "ratio".into(),
     ]);
-    for n in doubling_sweep() {
+    for &n in &cfg.sweep {
         let w = workload::conference(n, 8);
-        let mut app = w.app;
+        let app = w.app;
         let mut vanilla = w.vanilla;
         let viewer = Viewer::User(w.author);
-        let tj = time_avg(REPS, || {
-            std::hint::black_box(conf::single_user(&mut app, &viewer, 2));
-        });
-        let tv = time_avg(REPS, || {
-            std::hint::black_box(vanilla.single_user(&viewer, 2));
-        });
+        let tj = measure(
+            report,
+            "table4_user",
+            &format!("users={n} jacqueline"),
+            cfg.reps,
+            || {
+                std::hint::black_box(conf::single_user(&app, &viewer, 2));
+            },
+        );
+        let tv = measure(
+            report,
+            "table4_user",
+            &format!("users={n} baseline"),
+            cfg.reps,
+            || {
+                std::hint::black_box(vanilla.single_user(&viewer, 2));
+            },
+        );
         print_row(&[
             n.to_string(),
             fmt_secs(tj),
@@ -163,7 +283,7 @@ fn table4() {
 }
 
 /// Figure 9b: health-record stress test.
-fn fig9b() {
+fn fig9b(cfg: &Config, report: &mut Report) {
     println!("\n==== Figure 9b: health records, time to view summaries ====");
     print_row(&[
         "# Users".into(),
@@ -171,17 +291,29 @@ fn fig9b() {
         "Baseline".into(),
         "ratio".into(),
     ]);
-    for n in doubling_sweep() {
+    for &n in &cfg.sweep {
         let w = workload::health(n);
-        let mut app = w.app;
+        let app = w.app;
         let mut vanilla = w.vanilla;
         let viewer = Viewer::User(w.doctor);
-        let tj = time_avg(REPS, || {
-            std::hint::black_box(health::all_records_summary(&mut app, &viewer));
-        });
-        let tv = time_avg(REPS, || {
-            std::hint::black_box(vanilla.all_records_summary(&viewer));
-        });
+        let tj = measure(
+            report,
+            "fig9b",
+            &format!("users={n} jacqueline"),
+            cfg.reps,
+            || {
+                std::hint::black_box(health::all_records_summary(&app, &viewer));
+            },
+        );
+        let tv = measure(
+            report,
+            "fig9b",
+            &format!("users={n} baseline"),
+            cfg.reps,
+            || {
+                std::hint::black_box(vanilla.all_records_summary(&viewer));
+            },
+        );
         print_row(&[
             n.to_string(),
             fmt_secs(tj),
@@ -192,7 +324,7 @@ fn fig9b() {
 }
 
 /// Figure 9c: course-manager stress test (Early Pruning on).
-fn fig9c() {
+fn fig9c(cfg: &Config, report: &mut Report) {
     println!("\n==== Figure 9c: courses, time to view all courses ====");
     print_row(&[
         "# C".into(),
@@ -200,17 +332,29 @@ fn fig9c() {
         "Baseline".into(),
         "ratio".into(),
     ]);
-    for n in doubling_sweep() {
+    for &n in &cfg.sweep {
         let w = workload::courses(n);
-        let mut app = w.app;
+        let app = w.app;
         let mut vanilla = w.vanilla;
         let viewer = Viewer::User(w.student);
-        let tj = time_avg(REPS, || {
-            std::hint::black_box(courses::all_courses(&mut app, &viewer));
-        });
-        let tv = time_avg(REPS, || {
-            std::hint::black_box(vanilla.all_courses(&viewer));
-        });
+        let tj = measure(
+            report,
+            "fig9c",
+            &format!("courses={n} jacqueline"),
+            cfg.reps,
+            || {
+                std::hint::black_box(courses::all_courses(&app, &viewer));
+            },
+        );
+        let tv = measure(
+            report,
+            "fig9c",
+            &format!("courses={n} baseline"),
+            cfg.reps,
+            || {
+                std::hint::black_box(vanilla.all_courses(&viewer));
+            },
+        );
         print_row(&[
             n.to_string(),
             fmt_secs(tj),
@@ -221,7 +365,7 @@ fn fig9c() {
 }
 
 /// Table 5: Early Pruning on vs off.
-fn table5() {
+fn table5(cfg: &Config, report: &mut Report) {
     println!("\n==== Table 5: all courses, with and without Early Pruning ====");
     print_row(&[
         "Courses".into(),
@@ -233,20 +377,162 @@ fn table5() {
     // doubles per course; like the paper we stop measuring once it
     // blows up and print "—".
     const NO_PRUNE_MAX: usize = 16;
-    for n in [4usize, 8, 16, 32, 64, 128, 256, 512, 1024] {
+    let sizes: &[usize] = if cfg.smoke {
+        &[4, 8, 16, 32, 64]
+    } else {
+        &[4, 8, 16, 32, 64, 128, 256, 512, 1024]
+    };
+    for &n in sizes {
         let w = workload::courses(n);
-        let mut app = w.app;
+        let app = w.app;
         let viewer = Viewer::User(w.student);
         let slow = if n <= NO_PRUNE_MAX {
-            fmt_secs(time_avg(3, || {
-                std::hint::black_box(courses::all_courses_no_pruning(&mut app, &viewer));
-            }))
+            let t = measure(
+                report,
+                "table5_pruning",
+                &format!("courses={n} unpruned"),
+                3,
+                || {
+                    std::hint::black_box(courses::all_courses_no_pruning(&app, &viewer));
+                },
+            );
+            fmt_secs(t)
         } else {
             "—".to_owned()
         };
-        let fast = fmt_secs(time_avg(REPS, || {
-            std::hint::black_box(courses::all_courses(&mut app, &viewer));
-        }));
+        let fast = fmt_secs(measure(
+            report,
+            "table5_pruning",
+            &format!("courses={n} pruned"),
+            cfg.reps,
+            || {
+                std::hint::black_box(courses::all_courses(&app, &viewer));
+            },
+        ));
         print_row(&[n.to_string(), slow, fast, String::new()]);
+    }
+}
+
+/// A faceted row count over `n` rows with independent singleton
+/// guards: the canonical facet-blow-up aggregate. With hash-consing
+/// the 2^n-path accumulator is an O(n²)-node DAG, and the memoized
+/// `ite`/`assume` walks are linear in *nodes*; without the computed
+/// tables the same walks revisit shared nodes once per path.
+fn counting_workload(n: u32) -> FacetedList<GuardedRow> {
+    (0..n)
+        .map(|i| {
+            let guard = Branches::new().with(Branch::pos(Label::from_index(i)));
+            (
+                guard.clone(),
+                GuardedRow {
+                    jid: i64::from(i),
+                    guard,
+                    fields: vec![Value::Int(1)],
+                },
+            )
+        })
+        .collect()
+}
+
+/// Memoization ablation: the `table5_pruning`-style facet blow-up,
+/// isolated to the faceted runtime (no database), with the computed
+/// tables switched off and on.
+fn memo_ablation(cfg: &Config, report: &mut Report) {
+    println!("\n==== Memoization ablation: faceted count over n guarded rows ====");
+    print_row(&[
+        "Rows".into(),
+        "memo off".into(),
+        "memo on".into(),
+        "speedup".into(),
+    ]);
+    let sizes: &[u32] = if cfg.smoke {
+        &[12, 14, 16]
+    } else {
+        &[12, 14, 16, 18, 20]
+    };
+    for &n in sizes {
+        let rows = counting_workload(n);
+        let was = faceted::set_memoization(false);
+        let off = measure(
+            report,
+            "memoization",
+            &format!("rows={n} memo_off"),
+            3,
+            || {
+                let count = form::faceted_count(&rows);
+                assert_eq!(*count.project(&faceted::View::empty()), 0);
+                std::hint::black_box(count);
+            },
+        );
+        faceted::set_memoization(true);
+        let on = measure(
+            report,
+            "memoization",
+            &format!("rows={n} memo_on"),
+            cfg.reps,
+            || {
+                let count = form::faceted_count(&rows);
+                std::hint::black_box(count);
+            },
+        );
+        faceted::set_memoization(was);
+        print_row(&[
+            n.to_string(),
+            fmt_secs(off),
+            fmt_secs(on),
+            format!("{:.1}x", off / on),
+        ]);
+    }
+    let stats = faceted::intern_stats::<i64>();
+    println!(
+        "  [i64 store: {} leaves, {} splits, {} memo entries, {} hits / {} misses]",
+        stats.leaves, stats.splits, stats.memo_entries, stats.memo_hits, stats.memo_misses
+    );
+}
+
+/// Concurrent executor throughput on the conference workload.
+///
+/// The speedup column is bounded by the machine: on a single-CPU
+/// container the best possible result is ≈1.0× (the table then
+/// measures pure executor/lock/interner *overhead*); the >1.5×
+/// target at 4 threads applies on hardware with ≥4 cores. The
+/// available parallelism is printed and recorded so the JSON
+/// trajectory stays interpretable across machines.
+fn concurrent(cfg: &Config, report: &mut Report) {
+    println!("\n==== Fig. 9 (concurrent): executor throughput, conference page mix ====");
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!("  [available parallelism: {cores} core(s)]");
+    report.record("fig9_concurrent", "available_cores", cores as f64);
+    print_row(&[
+        "Threads".into(),
+        "batch".into(),
+        "req/s".into(),
+        "speedup".into(),
+    ]);
+    let smoke = cfg.smoke;
+    let (users, papers, n_requests) = if smoke { (16, 24, 64) } else { (32, 48, 128) };
+    let w = workload::conference(users, papers);
+    let app = RwLock::new(w.app);
+    let router = conf::router();
+    let requests = workload::conference_requests(n_requests, users, papers);
+    let mut base = None;
+    for threads in [1usize, 2, 4, 8] {
+        let executor = Executor::with_threads(threads);
+        let t = measure(
+            report,
+            "fig9_concurrent",
+            &format!("threads={threads}"),
+            cfg.reps,
+            || {
+                std::hint::black_box(executor.run(&app, &router, &requests));
+            },
+        );
+        let base_t = *base.get_or_insert(t);
+        print_row(&[
+            threads.to_string(),
+            fmt_secs(t),
+            format!("{:.0}", n_requests as f64 / t),
+            format!("{:.2}x", base_t / t),
+        ]);
     }
 }

@@ -9,20 +9,46 @@
 #![warn(missing_docs)]
 
 pub mod loc;
+pub mod report;
 
 use std::time::Instant;
+
+pub use report::Report;
+
+/// Average and median seconds over `reps` timed runs of `f`.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct TimeStats {
+    /// Mean of the per-run wall-clock times.
+    pub avg_s: f64,
+    /// Median of the per-run wall-clock times (what
+    /// `BENCH_results.json` records — robust to scheduler noise).
+    pub median_s: f64,
+}
+
+/// Times `reps` sequential runs of `f` (after one warm-up run),
+/// returning both the paper-protocol average and the median.
+pub fn time_stats(reps: usize, mut f: impl FnMut()) -> TimeStats {
+    // One warm-up run outside the measurement.
+    f();
+    let mut samples = Vec::with_capacity(reps.max(1));
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        f();
+        samples.push(start.elapsed().as_secs_f64());
+    }
+    let avg_s = samples.iter().sum::<f64>() / samples.len() as f64;
+    samples.sort_by(f64::total_cmp);
+    TimeStats {
+        avg_s,
+        median_s: samples[samples.len() / 2],
+    }
+}
 
 /// Average seconds over `reps` sequential runs of `f` — the paper's
 /// measurement protocol ("average over 10 rapid sequential requests",
 /// §6.3).
-pub fn time_avg(reps: usize, mut f: impl FnMut()) -> f64 {
-    // One warm-up run outside the measurement.
-    f();
-    let start = Instant::now();
-    for _ in 0..reps {
-        f();
-    }
-    start.elapsed().as_secs_f64() / reps as f64
+pub fn time_avg(reps: usize, f: impl FnMut()) -> f64 {
+    time_stats(reps, f).avg_s
 }
 
 /// The paper's doubling sweep: 8, 16, …, 1024.

@@ -1,0 +1,161 @@
+//! Machine-readable benchmark results.
+//!
+//! The `experiments` binary prints the paper-style tables *and*
+//! records per-table medians here, emitting a `BENCH_results.json`
+//! so successive PRs accumulate a perf trajectory (CI archives the
+//! file as an artifact). The JSON is hand-rolled: the build
+//! environment is offline, so no serde.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// One measured row of a table.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Entry {
+    /// Row label, e.g. `"papers=64 jacqueline"`.
+    pub label: String,
+    /// Median seconds over the measurement repetitions.
+    pub median_s: f64,
+}
+
+/// A collection of benchmark tables, each a list of labelled medians.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    tables: BTreeMap<String, Vec<Entry>>,
+}
+
+impl Report {
+    /// An empty report.
+    #[must_use]
+    pub fn new() -> Report {
+        Report::default()
+    }
+
+    /// Records one measurement under `table`.
+    pub fn record(&mut self, table: &str, label: &str, median_s: f64) {
+        self.tables
+            .entry(table.to_owned())
+            .or_default()
+            .push(Entry {
+                label: label.to_owned(),
+                median_s,
+            });
+    }
+
+    /// The recorded entries of a table, if any (used by assertions in
+    /// tests and by the summary printer).
+    #[must_use]
+    pub fn table(&self, name: &str) -> Option<&[Entry]> {
+        self.tables.get(name).map(Vec::as_slice)
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Renders the report as a JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"jacqueline-bench/1\",\n  \"tables\": {");
+        for (ti, (table, entries)) in self.tables.iter().enumerate() {
+            if ti > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    {}: [", json_string(table));
+            for (ei, e) in entries.iter().enumerate() {
+                if ei > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "\n      {{\"label\": {}, \"median_s\": {}}}",
+                    json_string(&e.label),
+                    json_number(e.median_s)
+                );
+            }
+            out.push_str("\n    ]");
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Writes the JSON document to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_json(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// Minimal JSON string escaping (labels are ASCII identifiers, but be
+/// correct anyway).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON has no NaN/Infinity; clamp to null for robustness.
+fn json_number(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.9}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut r = Report::new();
+        r.record("table5", "n=4 pruned", 0.001);
+        r.record("table5", "n=4 unpruned", 0.25);
+        r.record("fig9_concurrent", "threads=1", 1.0);
+        let json = r.to_json();
+        assert!(json.contains("\"schema\": \"jacqueline-bench/1\""));
+        assert!(json.contains("\"table5\": ["));
+        assert!(json.contains("{\"label\": \"n=4 pruned\", \"median_s\": 0.001000000}"));
+        assert!(json.contains("\"fig9_concurrent\""));
+        assert_eq!(r.table("table5").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_number(f64::NAN), "null");
+    }
+
+    #[test]
+    fn round_trips_to_disk() {
+        let mut r = Report::new();
+        r.record("t", "row", 0.5);
+        let path = std::env::temp_dir().join("jbench_report_test.json");
+        r.write_json(&path).unwrap();
+        let back = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(back, r.to_json());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -174,7 +174,7 @@ impl App {
     /// # Errors
     ///
     /// Propagates query errors.
-    pub fn all(&mut self, model: &str) -> FormResult<FacetedList<GuardedRow>> {
+    pub fn all(&self, model: &str) -> FormResult<FacetedList<GuardedRow>> {
         self.db.all(model)
     }
 
@@ -184,7 +184,7 @@ impl App {
     ///
     /// Propagates query errors.
     pub fn filter_eq(
-        &mut self,
+        &self,
         model: &str,
         column: &str,
         value: Value,
@@ -197,11 +197,7 @@ impl App {
     /// # Errors
     ///
     /// Propagates query errors.
-    pub fn filter(
-        &mut self,
-        model: &str,
-        predicate: Predicate,
-    ) -> FormResult<FacetedList<GuardedRow>> {
+    pub fn filter(&self, model: &str, predicate: Predicate) -> FormResult<FacetedList<GuardedRow>> {
         self.db.filter(model, predicate)
     }
 
@@ -211,7 +207,7 @@ impl App {
     ///
     /// Propagates query errors.
     pub fn order_by(
-        &mut self,
+        &self,
         model: &str,
         column: &str,
         order: SortOrder,
@@ -224,7 +220,7 @@ impl App {
     /// # Errors
     ///
     /// Propagates lookup errors.
-    pub fn get(&mut self, model: &str, jid: i64) -> FormResult<FacetedObject> {
+    pub fn get(&self, model: &str, jid: i64) -> FormResult<FacetedObject> {
         self.db.get(model, jid)
     }
 
@@ -250,7 +246,7 @@ impl App {
     /// Policies are evaluated against the *current* database state;
     /// faceted policy results become constraints for the solver, which
     /// handles the mutual-dependency case of §2.3.
-    pub fn resolve_labels(&mut self, labels: &[Label], viewer: &Viewer) -> Assignment {
+    pub fn resolve_labels(&self, labels: &[Label], viewer: &Viewer) -> Assignment {
         let mut constraint = Formula::constant(true);
         let mut pending: Vec<Label> = labels.to_vec();
         let mut seen: Vec<Label> = Vec::new();
@@ -266,7 +262,7 @@ impl App {
                 row: &entry.row,
                 jid: entry.jid,
                 viewer,
-                db: &mut self.db,
+                db: &self.db,
             };
             let verdict = (entry.check)(&mut args);
             for dep in verdict.labels() {
@@ -288,20 +284,20 @@ impl App {
     }
 
     /// The view a given viewer obtains for a set of labels.
-    pub fn view_for(&mut self, labels: &[Label], viewer: &Viewer) -> View {
+    pub fn view_for(&self, labels: &[Label], viewer: &Viewer) -> View {
         self.resolve_labels(labels, viewer).to_view()
     }
 
     /// Computation sink for a faceted scalar: resolve policies and
     /// project (the `print`/template-render of §2.3).
-    pub fn show_value<T: Clone + PartialEq>(&mut self, viewer: &Viewer, v: &Faceted<T>) -> T {
+    pub fn show_value<T: faceted::Facet>(&self, viewer: &Viewer, v: &Faceted<T>) -> T {
         let view = self.view_for(&v.labels(), viewer);
         v.project(&view).clone()
     }
 
     /// Computation sink for a faceted query result: resolve the
     /// policies of every guard label once, then project the rows.
-    pub fn show_rows(&mut self, viewer: &Viewer, rows: &FacetedList<GuardedRow>) -> Vec<Row> {
+    pub fn show_rows(&self, viewer: &Viewer, rows: &FacetedList<GuardedRow>) -> Vec<Row> {
         let view = self.view_for(&rows.labels(), viewer);
         rows.project(&view)
             .into_iter()
@@ -310,7 +306,7 @@ impl App {
     }
 
     /// Computation sink for a single object.
-    pub fn show_object(&mut self, viewer: &Viewer, obj: &FacetedObject) -> Option<Row> {
+    pub fn show_object(&self, viewer: &Viewer, obj: &FacetedObject) -> Option<Row> {
         let view = self.view_for(&obj.labels(), viewer);
         obj.project(&view).clone()
     }

@@ -1,0 +1,258 @@
+//! The concurrent request executor: many [`Session`]-style requests
+//! against one shared [`App`].
+//!
+//! The paper evaluates Jacqueline under FunkLoad-generated HTTP load;
+//! this module supplies the server side of that story for the Rust
+//! reproduction. One [`App`] (and its `Send + Sync` faceted database)
+//! sits behind a reader-writer lock; read-only page requests — the
+//! overwhelming majority of web traffic — dispatch in parallel under
+//! the read side, while mutating actions take the exclusive side.
+//! Per-request Early-Pruning state lives inside each request's
+//! [`Session`], so worker threads never share resolution state.
+//!
+//! Determinism: [`Executor::sequential`] processes requests in
+//! submission order on the calling thread and is bit-for-bit
+//! identical to dispatching through [`Router::handle`] one request at
+//! a time — the mode the differential λJDB semantics tests pin.
+//! Multi-threaded runs return responses in submission order too; the
+//! per-response bytes are identical whenever requests are independent
+//! (read-only, or writes that commute), which the executor stress
+//! tests assert against the sequential mode.
+//!
+//! [`Session`]: crate::Session
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{OnceLock, RwLock};
+
+use crate::app::App;
+use crate::http::{Request, Response, Router};
+
+/// Runs batches of requests against a shared application.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::RwLock;
+/// use jacqueline::{App, Executor, Request, Response, Router, Viewer};
+///
+/// let mut router = Router::new();
+/// router.route_read("ping", |_, req| Response::ok(format!("pong {}", req.viewer)));
+///
+/// let app = RwLock::new(App::new());
+/// let requests: Vec<Request> =
+///     (0..8).map(|i| Request::new("ping", Viewer::User(i))).collect();
+/// let responses = Executor::with_threads(4).run(&app, &router, &requests);
+/// assert_eq!(responses.len(), 8);
+/// assert!(responses.iter().all(|r| r.status == 200));
+/// ```
+#[derive(Copy, Clone, Debug)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Executor {
+    /// The deterministic single-thread mode: requests are processed in
+    /// submission order on the calling thread, exactly like a loop
+    /// over [`Router::handle`].
+    #[must_use]
+    pub fn sequential() -> Executor {
+        Executor { threads: 1 }
+    }
+
+    /// A pool of `threads` workers (clamped to at least 1). Workers
+    /// pull requests from a shared queue; read routes run under the
+    /// app's read lock, write routes under the write lock.
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Executor {
+        Executor {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The configured worker count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Processes every request, returning responses in submission
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the app lock is poisoned (a prior request panicked)
+    /// or a worker thread panics.
+    #[must_use]
+    pub fn run(&self, app: &RwLock<App>, router: &Router, requests: &[Request]) -> Vec<Response> {
+        if self.threads == 1 {
+            return requests
+                .iter()
+                .map(|r| Executor::dispatch(app, router, r))
+                .collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<OnceLock<Response>> = requests.iter().map(|_| OnceLock::new()).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(request) = requests.get(i) else {
+                        break;
+                    };
+                    let response = Executor::dispatch(app, router, request);
+                    slots[i]
+                        .set(response)
+                        .unwrap_or_else(|_| unreachable!("slot {i} claimed once"));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("every claimed slot was filled before scope exit")
+            })
+            .collect()
+    }
+
+    /// Dispatches one request with the appropriate lock side. Unknown
+    /// paths answer 404 without taking any lock, so stray requests
+    /// cannot stall the parallel readers behind the write side.
+    fn dispatch(app: &RwLock<App>, router: &Router, request: &Request) -> Response {
+        if let Some(controller) = router.read_controller(&request.path) {
+            let guard = app.read().expect("app lock poisoned");
+            controller(&guard, request)
+        } else if router.has_write_route(&request.path) {
+            let mut guard = app.write().expect("app lock poisoned");
+            router.handle(&mut guard, request)
+        } else {
+            Response::not_found()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{simple_policy, ModelDef, Viewer};
+    use microdb::{ColumnDef, ColumnType, Value};
+
+    fn note_app() -> App {
+        let mut app = App::new();
+        app.register_model(
+            ModelDef::public(
+                "note",
+                vec![
+                    ColumnDef::new("owner", ColumnType::Int),
+                    ColumnDef::new("text", ColumnType::Str),
+                ],
+            )
+            .with_policy(simple_policy(
+                "note_owner",
+                vec![1],
+                |_| vec![Value::from("[private]")],
+                |args| args.viewer.user_jid() == args.row[0].as_int(),
+            )),
+        )
+        .unwrap();
+        for i in 0..6 {
+            app.create("note", vec![Value::Int(i), Value::from(format!("n{i}"))])
+                .unwrap();
+        }
+        app
+    }
+
+    fn note_router() -> Router {
+        let mut router = Router::new();
+        router.route_read("notes", |app: &App, req| {
+            let rows = app.all("note").unwrap_or_default();
+            let mut session = crate::Session::new(req.viewer.clone());
+            let mut body = String::new();
+            for row in session.view_rows(app, &rows) {
+                body.push_str(row[1].as_str().unwrap_or("?"));
+                body.push('\n');
+            }
+            Response::ok(body)
+        });
+        router.route("note/add", |app: &mut App, req| {
+            let owner = req.viewer.user_jid().unwrap_or(-1);
+            match app.create("note", vec![Value::Int(owner), Value::from("added")]) {
+                Ok(jid) => Response::ok(jid.to_string()),
+                Err(e) => Response::error(&e.to_string()),
+            }
+        });
+        router
+    }
+
+    fn read_mix() -> Vec<Request> {
+        (0..24)
+            .map(|i| Request::new("notes", Viewer::User(i % 7)))
+            .collect()
+    }
+
+    #[test]
+    fn sequential_matches_direct_router_dispatch() {
+        let app = RwLock::new(note_app());
+        let router = note_router();
+        let requests = read_mix();
+        let executed = Executor::sequential().run(&app, &router, &requests);
+        let mut direct_app = note_app();
+        let direct: Vec<Response> = requests
+            .iter()
+            .map(|r| router.handle(&mut direct_app, r))
+            .collect();
+        assert_eq!(executed, direct);
+    }
+
+    #[test]
+    fn concurrent_reads_match_sequential() {
+        let app = RwLock::new(note_app());
+        let router = note_router();
+        let requests = read_mix();
+        let sequential = Executor::sequential().run(&app, &router, &requests);
+        for threads in [2, 4, 8] {
+            let concurrent = Executor::with_threads(threads).run(&app, &router, &requests);
+            assert_eq!(concurrent, sequential, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn writes_take_effect_and_unknown_paths_404() {
+        let app = RwLock::new(note_app());
+        let router = note_router();
+        let requests = vec![
+            Request::new("note/add", Viewer::User(1)),
+            Request::new("nope", Viewer::Anonymous),
+            Request::new("notes", Viewer::User(1)),
+        ];
+        let responses = Executor::sequential().run(&app, &router, &requests);
+        assert_eq!(responses[0].status, 200);
+        assert_eq!(responses[1].status, 404);
+        assert!(responses[2].body.contains("added"));
+    }
+
+    #[test]
+    fn executor_shares_one_app_across_threads() {
+        // Mixed reads and (commuting) writes across 4 threads: every
+        // write lands exactly once in the shared database.
+        let app = RwLock::new(note_app());
+        let router = note_router();
+        let writes = 12;
+        let requests: Vec<Request> = (0..writes)
+            .map(|i| Request::new("note/add", Viewer::User(i)))
+            .collect();
+        let responses = Executor::with_threads(4).run(&app, &router, &requests);
+        assert!(responses.iter().all(|r| r.status == 200));
+        let total = app
+            .read()
+            .unwrap()
+            .all("note")
+            .unwrap()
+            .iter()
+            .filter(|(_, r)| r.fields[1] == Value::from("added"))
+            .map(|(_, r)| r.jid)
+            .collect::<std::collections::BTreeSet<_>>()
+            .len();
+        assert_eq!(total as i64, writes);
+    }
+}

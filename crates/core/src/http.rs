@@ -82,13 +82,27 @@ impl Response {
     }
 }
 
-/// A controller: takes the app and the request, renders a response.
-pub type Controller = Box<dyn Fn(&mut App, &Request) -> Response>;
+/// A write controller: takes exclusive app access and the request,
+/// renders a response. `Send + Sync` so routers can be shared across
+/// executor worker threads.
+pub type Controller = Box<dyn Fn(&mut App, &Request) -> Response + Send + Sync>;
+
+/// A read-only controller: takes *shared* app access, so the
+/// concurrent executor can dispatch many of these in parallel under a
+/// read lock.
+pub type ReadController = Box<dyn Fn(&App, &Request) -> Response + Send + Sync>;
 
 /// Routes requests to controllers by exact path.
+///
+/// Pages that only read the database register via
+/// [`Router::route_read`]; actions that mutate register via
+/// [`Router::route`]. The split is what lets the
+/// [`Executor`](crate::Executor) run read requests concurrently while
+/// serializing writes.
 #[derive(Default)]
 pub struct Router {
     routes: BTreeMap<String, Controller>,
+    read_routes: BTreeMap<String, ReadController>,
 }
 
 impl Router {
@@ -98,27 +112,65 @@ impl Router {
         Router::default()
     }
 
-    /// Registers a controller under a path.
+    /// Registers a (write) controller under a path.
     pub fn route(
         &mut self,
         path: &str,
-        controller: impl Fn(&mut App, &Request) -> Response + 'static,
+        controller: impl Fn(&mut App, &Request) -> Response + Send + Sync + 'static,
     ) {
         self.routes.insert(path.to_owned(), Box::new(controller));
     }
 
-    /// Dispatches one request.
+    /// Registers a read-only controller under a path. Read routes are
+    /// preferred over write routes at dispatch time.
+    pub fn route_read(
+        &mut self,
+        path: &str,
+        controller: impl Fn(&App, &Request) -> Response + Send + Sync + 'static,
+    ) {
+        self.read_routes
+            .insert(path.to_owned(), Box::new(controller));
+    }
+
+    /// The read-only controller for `path`, if one is registered —
+    /// how the executor decides between the read and the write lock.
+    #[must_use]
+    pub fn read_controller(&self, path: &str) -> Option<&ReadController> {
+        self.read_routes.get(path)
+    }
+
+    /// Whether a *write* controller is registered for `path`. The
+    /// executor uses this to answer unknown paths 404 without taking
+    /// the exclusive lock.
+    #[must_use]
+    pub fn has_write_route(&self, path: &str) -> bool {
+        self.routes.contains_key(path)
+    }
+
+    /// Dispatches one request (the sequential path: exclusive access
+    /// serves both kinds of route).
     pub fn handle(&self, app: &mut App, request: &Request) -> Response {
+        if let Some(c) = self.read_routes.get(&request.path) {
+            return c(app, request);
+        }
         match self.routes.get(&request.path) {
             Some(c) => c(app, request),
             None => Response::not_found(),
         }
     }
 
-    /// Registered paths, for diagnostics.
+    /// Registered paths (read and write routes), for diagnostics.
     #[must_use]
     pub fn paths(&self) -> Vec<&str> {
-        self.routes.keys().map(String::as_str).collect()
+        let mut all: Vec<&str> = self
+            .routes
+            .keys()
+            .chain(self.read_routes.keys())
+            .map(String::as_str)
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        all
     }
 }
 

@@ -18,7 +18,12 @@
 //! * [`Session`] — the Early Pruning request path (§3.2): resolve
 //!   each label once for the session user and prune all other facets;
 //! * [`Router`] / [`Request`] / [`Response`] — a minimal MVC layer
-//!   for the case studies and stress tests;
+//!   for the case studies and stress tests, with read-only routes
+//!   that take shared (`&App`) access;
+//! * [`Executor`] — the concurrent request executor: one shared
+//!   `App` behind a reader-writer lock, read pages dispatched in
+//!   parallel, writes serialized, plus a deterministic sequential
+//!   mode that the differential tests pin bit-for-bit;
 //! * [`VanillaDb`] — the non-faceted ORM used by the hand-coded
 //!   baseline applications the paper compares against.
 //!
@@ -55,13 +60,15 @@
 #![warn(missing_docs)]
 
 mod app;
+mod executor;
 mod http;
 mod model;
 mod session;
 mod vanilla;
 
 pub use app::App;
-pub use http::{Controller, Request, Response, Router};
+pub use executor::Executor;
+pub use http::{Controller, ReadController, Request, Response, Router};
 pub use model::{label_for, simple_policy, FieldPolicy, ModelDef, PolicyArgs, PolicyFn, Viewer};
 pub use session::Session;
 pub use vanilla::VanillaDb;

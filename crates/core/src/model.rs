@@ -7,7 +7,7 @@
 //! policy-agnostic.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use faceted::Faceted;
 use form::FormDb;
@@ -45,7 +45,9 @@ impl fmt::Display for Viewer {
 
 /// Arguments a policy receives: the *creation-time* row it protects,
 /// the row's own object id, the viewer, and the database **at output
-/// time** (§2.1.2).
+/// time** (§2.1.2). Policies get *shared* database access: output-time
+/// queries are reads, which lets many request sessions resolve
+/// policies concurrently against one database.
 pub struct PolicyArgs<'a> {
     /// The protected row as it was when the value was created.
     pub row: &'a Row,
@@ -53,18 +55,20 @@ pub struct PolicyArgs<'a> {
     pub jid: i64,
     /// The principal viewing the output.
     pub viewer: &'a Viewer,
-    /// The live database — policies may run queries.
-    pub db: &'a mut FormDb,
+    /// The live database — policies may run (read-only) queries.
+    pub db: &'a FormDb,
 }
 
 /// A policy check: may itself compute on faceted data, in which case
 /// the result is a faceted Boolean and resolution goes through the
-/// constraint solver (the mutual-dependency case of §2.3).
-pub type PolicyFn = Rc<dyn Fn(&mut PolicyArgs<'_>) -> Faceted<bool>>;
+/// constraint solver (the mutual-dependency case of §2.3). Checks are
+/// `Send + Sync` so registered models can be shared across executor
+/// worker threads.
+pub type PolicyFn = Arc<dyn Fn(&mut PolicyArgs<'_>) -> Faceted<bool> + Send + Sync>;
 
 /// Computes the public facets for a policy's protected fields, given
 /// the full row (the `jacqueline_get_public_*` methods).
-pub type PublicViewFn = Rc<dyn Fn(&Row) -> Vec<Value>>;
+pub type PublicViewFn = Arc<dyn Fn(&Row) -> Vec<Value> + Send + Sync>;
 
 /// One `label_for(fields…)` declaration: which columns the label
 /// guards, how to compute their public view, and the policy deciding
@@ -138,14 +142,14 @@ impl ModelDef {
 pub fn label_for(
     label_name: &str,
     fields: Vec<usize>,
-    public_view: impl Fn(&Row) -> Vec<Value> + 'static,
-    check: impl Fn(&mut PolicyArgs<'_>) -> Faceted<bool> + 'static,
+    public_view: impl Fn(&Row) -> Vec<Value> + Send + Sync + 'static,
+    check: impl Fn(&mut PolicyArgs<'_>) -> Faceted<bool> + Send + Sync + 'static,
 ) -> FieldPolicy {
     FieldPolicy {
         label_name: label_name.to_owned(),
         fields,
-        public_view: Rc::new(public_view),
-        check: Rc::new(check),
+        public_view: Arc::new(public_view),
+        check: Arc::new(check),
     }
 }
 
@@ -153,8 +157,8 @@ pub fn label_for(
 pub fn simple_policy(
     label_name: &str,
     fields: Vec<usize>,
-    public_view: impl Fn(&Row) -> Vec<Value> + 'static,
-    check: impl Fn(&mut PolicyArgs<'_>) -> bool + 'static,
+    public_view: impl Fn(&Row) -> Vec<Value> + Send + Sync + 'static,
+    check: impl Fn(&mut PolicyArgs<'_>) -> bool + Send + Sync + 'static,
 ) -> FieldPolicy {
     label_for(label_name, fields, public_view, move |args| {
         Faceted::leaf(check(args))

@@ -60,7 +60,7 @@ impl Session {
     /// optimistically: assume shown, evaluate, and keep the
     /// assumption only if the policy verdict is consistent with it —
     /// the maximal-true choice of the constraint semantics.
-    pub fn resolve(&mut self, app: &mut App, label: Label) -> bool {
+    pub fn resolve(&mut self, app: &App, label: Label) -> bool {
         if self.decided.contains(&label) {
             return self.resolved.contains(Branch::pos(label));
         }
@@ -80,7 +80,7 @@ impl Session {
         verdict
     }
 
-    fn policy_verdict(&mut self, app: &mut App, label: Label) -> bool {
+    fn policy_verdict(&mut self, app: &App, label: Label) -> bool {
         let Some(entry) = app.policies.get(&label).cloned() else {
             return true; // unconstrained labels are shown
         };
@@ -88,7 +88,7 @@ impl Session {
             row: &entry.row,
             jid: entry.jid,
             viewer: &self.viewer.clone(),
-            db: &mut app.db,
+            db: &app.db,
         };
         let faceted_verdict = (entry.check)(&mut args);
         // The verdict may itself be faceted; resolve its labels
@@ -115,7 +115,7 @@ impl Session {
 
     /// Resolves every label guarding the rows and returns the rows
     /// this viewer sees (pruned, concrete).
-    pub fn view_rows(&mut self, app: &mut App, rows: &FacetedList<GuardedRow>) -> Vec<Row> {
+    pub fn view_rows(&mut self, app: &App, rows: &FacetedList<GuardedRow>) -> Vec<Row> {
         let mut out = Vec::new();
         for (guard, row) in rows.iter() {
             if self.guard_holds(app, guard) {
@@ -126,7 +126,7 @@ impl Session {
     }
 
     /// Resolves the labels of one object and projects it.
-    pub fn view_object(&mut self, app: &mut App, obj: &FacetedObject) -> Option<Row> {
+    pub fn view_object(&mut self, app: &App, obj: &FacetedObject) -> Option<Row> {
         let mut current = obj.clone();
         while let Some(k) = current.root_label() {
             let polarity = self.resolve(app, k);
@@ -136,7 +136,7 @@ impl Session {
     }
 
     /// Resolves the labels of a faceted scalar and projects it.
-    pub fn view_value<T: Clone + PartialEq>(&mut self, app: &mut App, v: &Faceted<T>) -> T {
+    pub fn view_value<T: faceted::Facet>(&mut self, app: &App, v: &Faceted<T>) -> T {
         let mut current = v.clone();
         while let Some(k) = current.root_label() {
             let polarity = self.resolve(app, k);
@@ -145,7 +145,7 @@ impl Session {
         current.as_leaf().expect("fully resolved").clone()
     }
 
-    fn guard_holds(&mut self, app: &mut App, guard: &Branches) -> bool {
+    fn guard_holds(&mut self, app: &App, guard: &Branches) -> bool {
         let branches: Vec<Branch> = guard.iter().collect();
         branches
             .into_iter()
@@ -193,10 +193,10 @@ mod tests {
             .unwrap();
         let obj = app.get("note", jid).unwrap();
         let mut owner = Session::new(Viewer::User(7));
-        let row = owner.view_object(&mut app, &obj).unwrap();
+        let row = owner.view_object(&app, &obj).unwrap();
         assert_eq!(row[1], Value::from("secret text"));
         // Second resolution hits the cache (same outcome).
-        let row2 = owner.view_object(&mut app, &obj).unwrap();
+        let row2 = owner.view_object(&app, &obj).unwrap();
         assert_eq!(row, row2);
         assert_eq!(owner.constraint().len(), 1);
     }
@@ -211,7 +211,7 @@ mod tests {
         for viewer in [Viewer::User(7), Viewer::User(8), Viewer::Anonymous] {
             let full = app.show_object(&viewer, &obj);
             let mut s = Session::new(viewer);
-            let pruned = s.view_object(&mut app, &obj);
+            let pruned = s.view_object(&app, &obj);
             assert_eq!(full, pruned);
         }
     }
@@ -225,7 +225,7 @@ mod tests {
         }
         let rows = app.all("note").unwrap();
         let mut s = Session::new(Viewer::User(2));
-        let visible = s.view_rows(&mut app, &rows);
+        let visible = s.view_rows(&app, &rows);
         assert_eq!(visible.len(), 4, "all rows visible, fields differ");
         let secret_texts: Vec<&Row> = visible
             .iter()
@@ -242,7 +242,7 @@ mod tests {
             .unwrap();
         let obj = app.get("note", jid).unwrap();
         let mut s = Session::new(Viewer::User(7));
-        s.view_object(&mut app, &obj);
+        s.view_object(&app, &obj);
         s.enable_db_pruning(&mut app);
         let rows = app.all("note").unwrap();
         assert_eq!(
@@ -262,6 +262,6 @@ mod tests {
         let obj = app.get("note", jid).unwrap();
         let text = form::object_field(&obj, 1);
         let mut s = Session::new(Viewer::Anonymous);
-        assert_eq!(s.view_value(&mut app, &text), Value::from("[private]"));
+        assert_eq!(s.view_value(&app, &text), Value::from("[private]"));
     }
 }

@@ -212,8 +212,10 @@ impl Branches {
         self.0.is_empty()
     }
 
-    /// Iterates over the branches in label order.
-    pub fn iter(&self) -> impl Iterator<Item = Branch> + '_ {
+    /// Iterates over the branches in label order. The iterator is
+    /// double-ended, so consumers that fold right-to-left (e.g. the
+    /// `⟨⟨B ? · : ·⟩⟩` constructors) can `.rev()` without collecting.
+    pub fn iter(&self) -> impl DoubleEndedIterator<Item = Branch> + '_ {
         self.0.iter().copied()
     }
 

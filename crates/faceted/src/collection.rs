@@ -31,7 +31,7 @@ use crate::view::View;
 /// assert_eq!(t.project(&View::empty()), vec![&"public row"]);
 /// assert_eq!(t.project(&View::from_labels([k])).len(), 2);
 /// ```
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct FacetedList<T> {
     rows: Vec<(Branches, T)>,
 }
@@ -223,9 +223,8 @@ impl<T: Clone + Ord> FacetedList<T> {
         high: &FacetedList<T>,
         low: &FacetedList<T>,
     ) -> FacetedList<T> {
-        let bs: Vec<Branch> = branches.iter().collect();
         let mut acc = high.clone();
-        for b in bs.into_iter().rev() {
+        for b in branches.iter().rev() {
             acc = if b.is_positive() {
                 FacetedList::facet_join(b.label(), &acc, low)
             } else {

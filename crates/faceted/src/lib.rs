@@ -15,11 +15,29 @@
 //! * [`Branch`] / [`Branches`] — `k` / `¬k` literals and branch sets,
 //!   used as program counters and row guards;
 //! * [`View`] — the set of labels an observer may see;
-//! * [`Faceted`] — canonical faceted-value trees with the
-//!   `⟨⟨k ? · : ·⟩⟩` constructor, projection, and the strict-context
-//!   combinators (`map`, `zip_with`, `and_then`);
+//! * [`Faceted`] — canonical faceted values with the `⟨⟨k ? · : ·⟩⟩`
+//!   constructor, projection, and the strict-context combinators
+//!   (`map`, `zip_with`, `and_then`);
 //! * [`FacetedList`] — the guarded-row representation of faceted
 //!   tables, with the shared-row `⟨⟨·⟩⟩` table join and Early Pruning.
+//!
+//! # Canonical form and hash-consing
+//!
+//! Every `Faceted<T>` is kept in canonical binary-decision form —
+//! label ids strictly increase along every root-to-leaf path and no
+//! node has two equal children — and, since the interner landed, every
+//! canonical node is **hash-consed**: interned exactly once per
+//! process in a sharded, `Arc`-backed node store (see [`intern`]).
+//! The interning invariant upgrades the old structural-equality
+//! guarantee to *pointer* equality: two faceted values denote the same
+//! view function **iff** they are the same node, so `PartialEq` is an
+//! id comparison and shared sub-structure (ubiquitous in aggregates
+//! like faceted counts) is stored once. The canonicalizing operations
+//! are memoized in per-store computed tables ([`intern::intern_stats`]
+//! reports hit rates; [`intern::set_memoization`] toggles them for
+//! measurement), and because the store is thread-safe, `Faceted<T>`
+//! is `Send + Sync` for any `T: Send + Sync` — the property the
+//! concurrent request executor in the `jacqueline` crate builds on.
 //!
 //! # Quick example
 //!
@@ -49,12 +67,14 @@
 
 mod branch;
 mod collection;
+pub mod intern;
 mod label;
 mod value;
 mod view;
 
 pub use branch::{Branch, Branches};
 pub use collection::FacetedList;
+pub use intern::{collect_garbage, intern_stats, set_memoization, Facet, InternStats};
 pub use label::{Label, LabelRegistry};
 pub use value::Faceted;
 pub use view::View;

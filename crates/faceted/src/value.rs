@@ -2,23 +2,36 @@
 //!
 //! A [`Faceted<T>`] is the paper's `⟨k ? v_high : v_low⟩`, generalized
 //! to nested facets. Values are kept in a *canonical* binary-decision
-//! tree form: label ids strictly increase along every root-to-leaf path
-//! and no node has equal children. Canonical form makes structural
-//! equality coincide with semantic equality ("same value under every
-//! view"), which the tests and the FORM rely on.
+//! form: label ids strictly increase along every root-to-leaf path and
+//! no node has equal children. Since PR 2 the canonical form is
+//! additionally *hash-consed* (see [`crate::intern`]): every canonical
+//! node is interned exactly once per process, so structural equality,
+//! semantic equality ("same value under every view") and pointer
+//! equality all coincide, and shared sub-structure is stored once.
 
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
-use std::rc::Rc;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 use crate::branch::{Branch, Branches};
+use crate::intern::{store_of, Facet, Store};
 use crate::label::Label;
 use crate::view::View;
 
 /// A faceted value: either a plain leaf or a split `⟨k ? high : low⟩`.
 ///
-/// Cloning is O(1) (the tree is shared behind [`Rc`]); all operations
-/// produce new trees. Construction through [`Faceted::leaf`] and
-/// [`Faceted::split`] maintains canonical form.
+/// Cloning is O(1) (nodes are shared behind [`Arc`]); all operations
+/// produce interned canonical nodes, so equality is an id comparison
+/// and `Faceted<T>` is `Send + Sync` whenever `T` is. Construction
+/// through [`Faceted::leaf`] and [`Faceted::split`] maintains
+/// canonical form; the canonicalizing operations are memoized in the
+/// node store.
+///
+/// The closures taken by [`Faceted::map`], [`Faceted::zip_with`] and
+/// [`Faceted::and_then`] must be *pure*: because equal sub-trees are
+/// shared and operations are memoized, a closure is invoked once per
+/// distinct input, not once per facet path.
 ///
 /// # Examples
 ///
@@ -31,9 +44,14 @@ use crate::view::View;
 /// assert_eq!(name.project(&guest), &"Carol's party");
 /// assert_eq!(name.project(&View::empty()), &"Private event");
 /// ```
-pub struct Faceted<T>(Rc<Node<T>>);
+pub struct Faceted<T: Facet>(pub(crate) Arc<Node<T>>);
 
-enum Node<T> {
+pub(crate) struct Node<T: Facet> {
+    pub(crate) id: u64,
+    pub(crate) kind: NodeKind<T>,
+}
+
+pub(crate) enum NodeKind<T: Facet> {
     Leaf(T),
     Split {
         label: Label,
@@ -42,68 +60,67 @@ enum Node<T> {
     },
 }
 
-impl<T> Clone for Faceted<T> {
+impl<T: Facet> Clone for Faceted<T> {
     fn clone(&self) -> Faceted<T> {
-        Faceted(Rc::clone(&self.0))
+        Faceted(Arc::clone(&self.0))
     }
 }
 
-impl<T: PartialEq> PartialEq for Faceted<T> {
+impl<T: Facet> PartialEq for Faceted<T> {
     fn eq(&self, other: &Faceted<T>) -> bool {
-        if Rc::ptr_eq(&self.0, &other.0) {
-            return true;
-        }
-        match (&*self.0, &*other.0) {
-            (Node::Leaf(a), Node::Leaf(b)) => a == b,
-            (
-                Node::Split {
-                    label: la,
-                    high: ha,
-                    low: wa,
-                },
-                Node::Split {
-                    label: lb,
-                    high: hb,
-                    low: wb,
-                },
-            ) => la == lb && ha == hb && wa == wb,
-            _ => false,
-        }
+        // Hash-consing makes canonical nodes unique: semantic equality
+        // *is* node identity.
+        self.0.id == other.0.id
     }
 }
 
-impl<T: Eq> Eq for Faceted<T> {}
+impl<T: Facet> Eq for Faceted<T> {}
 
-impl<T: fmt::Debug> fmt::Debug for Faceted<T> {
+impl<T: Facet> Hash for Faceted<T> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.0.id);
+    }
+}
+
+impl<T: Facet + fmt::Debug> fmt::Debug for Faceted<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match &*self.0 {
-            Node::Leaf(v) => write!(f, "{v:?}"),
-            Node::Split { label, high, low } => {
+        match &self.0.kind {
+            NodeKind::Leaf(v) => write!(f, "{v:?}"),
+            NodeKind::Split { label, high, low } => {
                 write!(f, "⟨{label:?} ? {high:?} : {low:?}⟩")
             }
         }
     }
 }
 
-impl<T> From<T> for Faceted<T> {
+impl<T: Facet> From<T> for Faceted<T> {
     fn from(value: T) -> Faceted<T> {
         Faceted::leaf(value)
     }
 }
 
-impl<T> Faceted<T> {
-    /// Wraps a plain value as a faceted leaf.
+impl<T: Facet> Faceted<T> {
+    /// Wraps a plain value as a faceted leaf (interned: equal values
+    /// share one node).
     #[must_use]
     pub fn leaf(value: T) -> Faceted<T> {
-        Faceted(Rc::new(Node::Leaf(value)))
+        store_of::<T>().leaf(value)
+    }
+
+    /// The interned node id: unique per canonical value within this
+    /// process. Two faceted values are semantically equal iff their
+    /// node ids are equal.
+    #[must_use]
+    pub fn node_id(&self) -> u64 {
+        self.0.id
     }
 
     /// If this value is a plain (non-faceted) leaf, returns it.
     #[must_use]
     pub fn as_leaf(&self) -> Option<&T> {
-        match &*self.0 {
-            Node::Leaf(v) => Some(v),
-            Node::Split { .. } => None,
+        match &self.0.kind {
+            NodeKind::Leaf(v) => Some(v),
+            NodeKind::Split { .. } => None,
         }
     }
 
@@ -116,54 +133,59 @@ impl<T> Faceted<T> {
     /// The root label, if the value is split.
     #[must_use]
     pub fn root_label(&self) -> Option<Label> {
-        match &*self.0 {
-            Node::Leaf(_) => None,
-            Node::Split { label, .. } => Some(*label),
+        match &self.0.kind {
+            NodeKind::Leaf(_) => None,
+            NodeKind::Split { label, .. } => Some(*label),
         }
     }
 
     /// Projects the value under view `L`: the paper's `L(V)`.
     ///
-    /// Walks the tree choosing the high facet when `L` sees the label
-    /// and the low facet otherwise.
+    /// Walks one root-to-leaf path choosing the high facet when `L`
+    /// sees the label and the low facet otherwise.
     #[must_use]
     pub fn project(&self, view: &View) -> &T {
         let mut cur = self;
         loop {
-            match &*cur.0 {
-                Node::Leaf(v) => return v,
-                Node::Split { label, high, low } => {
+            match &cur.0.kind {
+                NodeKind::Leaf(v) => return v,
+                NodeKind::Split { label, high, low } => {
                     cur = if view.sees(*label) { high } else { low };
                 }
             }
         }
     }
 
-    /// Collects every label occurring in the tree, in id order.
+    /// Collects every label occurring in the value, in id order.
+    ///
+    /// The walk visits every *node* once (shared sub-structure is not
+    /// revisited) and accumulates into a `BTreeSet`, so the result is
+    /// sorted and deduplicated by construction.
     #[must_use]
     pub fn labels(&self) -> Vec<Label> {
-        fn walk<T>(n: &Faceted<T>, out: &mut Vec<Label>) {
-            if let Node::Split { label, high, low } = &*n.0 {
-                out.push(*label);
-                walk(high, out);
-                walk(low, out);
+        fn walk<T: Facet>(n: &Faceted<T>, seen: &mut HashSet<u64>, out: &mut BTreeSet<Label>) {
+            if !seen.insert(n.0.id) {
+                return;
+            }
+            if let NodeKind::Split { label, high, low } = &n.0.kind {
+                out.insert(*label);
+                walk(high, seen, out);
+                walk(low, seen, out);
             }
         }
-        let mut out = Vec::new();
-        walk(self, &mut out);
-        out.sort_unstable();
-        out.dedup();
-        out
+        let mut out = BTreeSet::new();
+        walk(self, &mut HashSet::new(), &mut out);
+        out.into_iter().collect()
     }
 
     /// Iterates over `(guard, leaf)` pairs: every leaf together with
     /// the branch set describing which views reach it.
     #[must_use]
     pub fn leaves(&self) -> Vec<(Branches, &T)> {
-        fn walk<'a, T>(n: &'a Faceted<T>, pc: &Branches, out: &mut Vec<(Branches, &'a T)>) {
-            match &*n.0 {
-                Node::Leaf(v) => out.push((pc.clone(), v)),
-                Node::Split { label, high, low } => {
+        fn walk<'a, T: Facet>(n: &'a Faceted<T>, pc: &Branches, out: &mut Vec<(Branches, &'a T)>) {
+            match &n.0.kind {
+                NodeKind::Leaf(v) => out.push((pc.clone(), v)),
+                NodeKind::Split { label, high, low } => {
                     walk(high, &pc.with(Branch::pos(*label)), out);
                     walk(low, &pc.with(Branch::neg(*label)), out);
                 }
@@ -175,17 +197,27 @@ impl<T> Faceted<T> {
     }
 
     /// Number of leaves (the "facet blowup" measure used by the Early
-    /// Pruning experiments).
+    /// Pruning experiments). Counts root-to-leaf *paths*; on the
+    /// hash-consed DAG this is computed in one pass over distinct
+    /// nodes, saturating instead of overflowing.
     #[must_use]
     pub fn leaf_count(&self) -> usize {
-        match &*self.0 {
-            Node::Leaf(_) => 1,
-            Node::Split { high, low, .. } => high.leaf_count() + low.leaf_count(),
+        fn walk<T: Facet>(n: &Faceted<T>, memo: &mut HashMap<u64, usize>) -> usize {
+            if let Some(&c) = memo.get(&n.0.id) {
+                return c;
+            }
+            let c = match &n.0.kind {
+                NodeKind::Leaf(_) => 1,
+                NodeKind::Split { high, low, .. } => {
+                    walk(high, memo).saturating_add(walk(low, memo))
+                }
+            };
+            memo.insert(n.0.id, c);
+            c
         }
+        walk(self, &mut HashMap::new())
     }
-}
 
-impl<T: Clone + PartialEq> Faceted<T> {
     /// The canonical facet constructor `⟨⟨k ? high : low⟩⟩` (§4.2).
     ///
     /// Partially evaluates both sides under the assumption `k = true`
@@ -194,17 +226,23 @@ impl<T: Clone + PartialEq> Faceted<T> {
     /// guards itself twice along a path.
     #[must_use]
     pub fn split(label: Label, high: Faceted<T>, low: Faceted<T>) -> Faceted<T> {
-        let high = high.assume(label, true);
-        let low = low.assume(label, false);
-        Faceted::ite(label, &high, &low)
+        let store = store_of::<T>();
+        let high = high.assume_in(&store, label, true);
+        let low = low.assume_in(&store, label, false);
+        Faceted::ite_in(&store, label, &high, &low)
     }
 
     /// Internal: builds `if label then high else low` assuming `label`
     /// no longer occurs in either argument, restoring canonical label
-    /// order by BDD-style merging.
-    fn ite(label: Label, high: &Faceted<T>, low: &Faceted<T>) -> Faceted<T> {
+    /// order by BDD-style merging. Memoized in the store's computed
+    /// table.
+    fn ite_in(store: &Store<T>, label: Label, high: &Faceted<T>, low: &Faceted<T>) -> Faceted<T> {
         if high == low {
             return high.clone();
+        }
+        let key = (label, high.0.id, low.0.id);
+        if let Some(hit) = store.ite_cached(key) {
+            return hit;
         }
         // Find the smallest label that must sit at the root.
         let mut top = label;
@@ -214,35 +252,45 @@ impl<T: Clone + PartialEq> Faceted<T> {
         if let Some(l) = low.root_label() {
             top = top.min(l);
         }
-        if top == label {
-            return Faceted(Rc::new(Node::Split {
+        let out = if top == label {
+            store.split(label, high, low)
+        } else {
+            let h = Faceted::ite_in(
+                store,
                 label,
-                high: high.clone(),
-                low: low.clone(),
-            }));
-        }
-        let h = Faceted::ite(label, &high.cofactor(top, true), &low.cofactor(top, true));
-        let l = Faceted::ite(label, &high.cofactor(top, false), &low.cofactor(top, false));
-        Faceted::mk(top, h, l)
+                &high.cofactor(top, true),
+                &low.cofactor(top, true),
+            );
+            let l = Faceted::ite_in(
+                store,
+                label,
+                &high.cofactor(top, false),
+                &low.cofactor(top, false),
+            );
+            Faceted::mk_in(store, top, h, l)
+        };
+        store.ite_insert(key, out.clone());
+        out
     }
 
     /// Internal: node constructor that merges equal children. Children
     /// must already be free of `label` and canonically ordered below it.
-    fn mk(label: Label, high: Faceted<T>, low: Faceted<T>) -> Faceted<T> {
+    fn mk_in(store: &Store<T>, label: Label, high: Faceted<T>, low: Faceted<T>) -> Faceted<T> {
         if high == low {
             high
         } else {
-            Faceted(Rc::new(Node::Split { label, high, low }))
+            store.split(label, &high, &low)
         }
     }
 
     /// Internal: the subtree reached when `label` takes `polarity`,
-    /// *if* `label` is at the root; otherwise the tree itself (which
+    /// *if* `label` is at the root; otherwise the value itself (which
     /// then cannot mention `label` above any occurrence — only valid
     /// when `label ≤` every root label, as in canonical recursion).
+    /// Used by both the `ite` and the `zip_with` recursions.
     fn cofactor(&self, label: Label, polarity: bool) -> Faceted<T> {
-        match &*self.0 {
-            Node::Split {
+        match &self.0.kind {
+            NodeKind::Split {
                 label: l,
                 high,
                 low,
@@ -257,32 +305,44 @@ impl<T: Clone + PartialEq> Faceted<T> {
         }
     }
 
-    /// Partially evaluates the tree under the assumption
+    /// Partially evaluates the value under the assumption
     /// `label = polarity`, removing every decision on `label`.
     #[must_use]
     pub fn assume(&self, label: Label, polarity: bool) -> Faceted<T> {
-        match &*self.0 {
-            Node::Leaf(_) => self.clone(),
-            Node::Split {
+        self.assume_in(&store_of::<T>(), label, polarity)
+    }
+
+    fn assume_in(&self, store: &Store<T>, label: Label, polarity: bool) -> Faceted<T> {
+        match &self.0.kind {
+            NodeKind::Leaf(_) => self.clone(),
+            NodeKind::Split {
                 label: l,
                 high,
                 low,
             } => {
-                if *l == label {
-                    if polarity {
-                        high.assume(label, polarity)
-                    } else {
-                        low.assume(label, polarity)
-                    }
-                } else {
-                    let h = high.assume(label, polarity);
-                    let w = low.assume(label, polarity);
-                    if &h == high && &w == low {
-                        self.clone()
-                    } else {
-                        Faceted::mk(*l, h, w)
-                    }
+                if label < *l {
+                    // Canonical ordering: labels strictly increase on
+                    // the way down, so `label` cannot occur below.
+                    return self.clone();
                 }
+                if *l == label {
+                    // Canonical form guarantees the child is already
+                    // free of `label`.
+                    return if polarity { high.clone() } else { low.clone() };
+                }
+                let key = (self.0.id, label, polarity);
+                if let Some(hit) = store.assume_cached(key) {
+                    return hit;
+                }
+                let h = high.assume_in(store, label, polarity);
+                let w = low.assume_in(store, label, polarity);
+                let out = if h == *high && w == *low {
+                    self.clone()
+                } else {
+                    Faceted::mk_in(store, *l, h, w)
+                };
+                store.assume_insert(key, out.clone());
+                out
             }
         }
     }
@@ -291,9 +351,10 @@ impl<T: Clone + PartialEq> Faceted<T> {
     /// value flows into a context already guarded by `pc`).
     #[must_use]
     pub fn assume_all(&self, pc: &Branches) -> Faceted<T> {
+        let store = store_of::<T>();
         let mut cur = self.clone();
         for b in pc.iter() {
-            cur = cur.assume(b.label(), b.is_positive());
+            cur = cur.assume_in(&store, b.label(), b.is_positive());
         }
         cur
     }
@@ -307,7 +368,7 @@ impl<T: Clone + PartialEq> Faceted<T> {
         // ⟨⟨{k}∪B ? H : L⟩⟩  = ⟨⟨k ? ⟨⟨B ? H : L⟩⟩ : L⟩⟩
         // ⟨⟨{¬k}∪B ? H : L⟩⟩ = ⟨⟨k ? L : ⟨⟨B ? H : L⟩⟩⟩⟩
         let mut acc = high;
-        for b in branches.iter().collect::<Vec<_>>().into_iter().rev() {
+        for b in branches.iter().rev() {
             acc = if b.is_positive() {
                 Faceted::split(b.label(), acc, low.clone())
             } else {
@@ -319,71 +380,118 @@ impl<T: Clone + PartialEq> Faceted<T> {
 
     /// Applies a function to every leaf, preserving facet structure
     /// (the `F-STRICT` rule for unary operators).
+    ///
+    /// `f` must be pure: thanks to node sharing it runs once per
+    /// *distinct* leaf, not once per facet path.
     #[must_use]
-    pub fn map<U: Clone + PartialEq>(&self, f: &mut impl FnMut(&T) -> U) -> Faceted<U> {
-        match &*self.0 {
-            Node::Leaf(v) => Faceted::leaf(f(v)),
-            Node::Split { label, high, low } => {
-                let h = high.map(f);
-                let l = low.map(f);
-                Faceted::mk(*label, h, l)
+    pub fn map<U: Facet>(&self, f: &mut impl FnMut(&T) -> U) -> Faceted<U> {
+        fn walk<T: Facet, U: Facet>(
+            n: &Faceted<T>,
+            store: &Store<U>,
+            f: &mut impl FnMut(&T) -> U,
+            memo: &mut HashMap<u64, Faceted<U>>,
+        ) -> Faceted<U> {
+            if let Some(hit) = memo.get(&n.0.id) {
+                return hit.clone();
             }
+            let out = match &n.0.kind {
+                NodeKind::Leaf(v) => store.leaf(f(v)),
+                NodeKind::Split { label, high, low } => {
+                    let h = walk(high, store, f, memo);
+                    let l = walk(low, store, f, memo);
+                    Faceted::mk_in(store, *label, h, l)
+                }
+            };
+            memo.insert(n.0.id, out.clone());
+            out
         }
+        walk(self, &store_of::<U>(), f, &mut HashMap::new())
     }
 
     /// Applies a binary function across two faceted values, aligning
     /// their facets (the `F-STRICT` rule for binary operators, e.g.
     /// `⟨k ? 1 : 2⟩ + ⟨l ? 10 : 20⟩`).
+    ///
+    /// `f` must be pure: it runs once per distinct *pair* of aligned
+    /// sub-values (a per-call computed table collapses the recursion
+    /// over shared structure).
     #[must_use]
-    pub fn zip_with<U: Clone + PartialEq, V: Clone + PartialEq>(
+    pub fn zip_with<U: Facet, V: Facet>(
         &self,
         other: &Faceted<U>,
         f: &mut impl FnMut(&T, &U) -> V,
     ) -> Faceted<V> {
-        match (&*self.0, &*other.0) {
-            (Node::Leaf(a), Node::Leaf(b)) => Faceted::leaf(f(a, b)),
-            _ => {
-                let la = self.root_label();
-                let lb = other.root_label();
-                let top = match (la, lb) {
-                    (Some(a), Some(b)) => a.min(b),
-                    (Some(a), None) => a,
-                    (None, Some(b)) => b,
-                    (None, None) => unreachable!("both leaves handled above"),
-                };
-                let h = self
-                    .cofactor_any(top, true)
-                    .zip_with(&other.cofactor_any(top, true), f);
-                let l = self
-                    .cofactor_any(top, false)
-                    .zip_with(&other.cofactor_any(top, false), f);
-                Faceted::mk(top, h, l)
+        fn walk<T: Facet, U: Facet, V: Facet>(
+            a: &Faceted<T>,
+            b: &Faceted<U>,
+            store: &Store<V>,
+            f: &mut impl FnMut(&T, &U) -> V,
+            memo: &mut HashMap<(u64, u64), Faceted<V>>,
+        ) -> Faceted<V> {
+            if let Some(hit) = memo.get(&(a.0.id, b.0.id)) {
+                return hit.clone();
             }
+            let out = match (&a.0.kind, &b.0.kind) {
+                (NodeKind::Leaf(x), NodeKind::Leaf(y)) => store.leaf(f(x, y)),
+                _ => {
+                    let la = a.root_label();
+                    let lb = b.root_label();
+                    let top = match (la, lb) {
+                        (Some(x), Some(y)) => x.min(y),
+                        (Some(x), None) => x,
+                        (None, Some(y)) => y,
+                        (None, None) => unreachable!("both leaves handled above"),
+                    };
+                    let h = walk(
+                        &a.cofactor(top, true),
+                        &b.cofactor(top, true),
+                        store,
+                        f,
+                        memo,
+                    );
+                    let l = walk(
+                        &a.cofactor(top, false),
+                        &b.cofactor(top, false),
+                        store,
+                        f,
+                        memo,
+                    );
+                    Faceted::mk_in(store, top, h, l)
+                }
+            };
+            memo.insert((a.0.id, b.0.id), out.clone());
+            out
         }
-    }
-
-    /// Like `cofactor` but usable on values of any leaf type pair in
-    /// `zip_with` recursion (identical semantics).
-    fn cofactor_any(&self, label: Label, polarity: bool) -> Faceted<T> {
-        self.cofactor(label, polarity)
+        walk(self, other, &store_of::<V>(), f, &mut HashMap::new())
     }
 
     /// Monadic bind: substitutes a faceted computation for every leaf
     /// and re-canonicalizes (used for faceted function application
     /// where the function itself returns faceted results).
+    ///
+    /// `f` must be pure: it runs once per distinct leaf.
     #[must_use]
-    pub fn and_then<U: Clone + PartialEq>(
-        &self,
-        f: &mut impl FnMut(&T) -> Faceted<U>,
-    ) -> Faceted<U> {
-        match &*self.0 {
-            Node::Leaf(v) => f(v),
-            Node::Split { label, high, low } => {
-                let h = high.and_then(f);
-                let l = low.and_then(f);
-                Faceted::split(*label, h, l)
+    pub fn and_then<U: Facet>(&self, f: &mut impl FnMut(&T) -> Faceted<U>) -> Faceted<U> {
+        fn walk<T: Facet, U: Facet>(
+            n: &Faceted<T>,
+            f: &mut impl FnMut(&T) -> Faceted<U>,
+            memo: &mut HashMap<u64, Faceted<U>>,
+        ) -> Faceted<U> {
+            if let Some(hit) = memo.get(&n.0.id) {
+                return hit.clone();
             }
+            let out = match &n.0.kind {
+                NodeKind::Leaf(v) => f(v),
+                NodeKind::Split { label, high, low } => {
+                    let h = walk(high, f, memo);
+                    let l = walk(low, f, memo);
+                    Faceted::split(*label, h, l)
+                }
+            };
+            memo.insert(n.0.id, out.clone());
+            out
         }
+        walk(self, f, &mut HashMap::new())
     }
 
     /// Projects under a *partial* assignment of labels: labels the
@@ -563,5 +671,33 @@ mod tests {
         let a = Faceted::split(k(1), Faceted::leaf(1), Faceted::leaf(2));
         let v = Faceted::split(k(0), a.clone(), a.clone());
         assert_eq!(v, a);
+    }
+
+    #[test]
+    fn hash_consing_shares_equal_values() {
+        let a = Faceted::split(k(0), Faceted::leaf(100), Faceted::leaf(200));
+        let b = Faceted::split(k(0), Faceted::leaf(100), Faceted::leaf(200));
+        assert_eq!(a.node_id(), b.node_id(), "equal values share one node");
+        // Equal values built along *different* routes also share.
+        let c = Faceted::split(k(1), a.clone(), a.clone());
+        assert_eq!(c.node_id(), a.node_id());
+    }
+
+    #[test]
+    fn counting_lattice_stays_polynomial() {
+        // A faceted count over n independent singleton guards has 2^n
+        // facet paths but only O(n^2) distinct sub-values; interning
+        // stores the DAG, and leaf_count still reports the paths.
+        let n = 24;
+        let mut acc = Faceted::leaf(0i64);
+        for i in 0..n {
+            let bumped = acc.map(&mut |c| c + 1);
+            acc = Faceted::split(k(i), bumped, acc);
+        }
+        assert_eq!(acc.leaf_count(), 1usize << n);
+        assert_eq!(acc.labels().len(), n as usize);
+        let all = View::from_labels((0..n).map(k));
+        assert_eq!(*acc.project(&all), i64::from(n));
+        assert_eq!(*acc.project(&View::empty()), 0);
     }
 }

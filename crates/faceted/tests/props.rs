@@ -78,6 +78,15 @@ proptest! {
         prop_assert_eq!(same_denotation, a == b);
     }
 
+    /// Hash-consing: pointer (node-id) equality coincides with
+    /// view-by-view semantic equality — the interning invariant the
+    /// O(1) `PartialEq` relies on.
+    #[test]
+    fn pointer_equality_is_semantic_equality(a in arb_faceted(4), b in arb_faceted(4)) {
+        let same_denotation = all_views().iter().all(|v| denote(&a, v) == denote(&b, v));
+        prop_assert_eq!(same_denotation, a.node_id() == b.node_id());
+    }
+
     /// map is pointwise on views.
     #[test]
     fn map_commutes_with_projection(a in arb_faceted(4), view in arb_view()) {

@@ -11,6 +11,39 @@ fn k(i: u32) -> Label {
 }
 
 #[test]
+fn faceted_values_are_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Faceted<i64>>();
+    assert_send_sync::<Faceted<String>>();
+    assert_send_sync::<FacetedList<String>>();
+    assert_send_sync::<Branches>();
+    assert_send_sync::<View>();
+}
+
+#[test]
+fn interning_is_thread_safe() {
+    // Many threads hammering the same store must agree on node ids.
+    let ids: Vec<u64> = std::thread::scope(|s| {
+        (0..8)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut v = Faceted::leaf(0i64);
+                    for i in 0..8 {
+                        let bumped = v.map(&mut |x| x + 1);
+                        v = Faceted::split(k(i), bumped, v);
+                    }
+                    v.node_id()
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    assert!(ids.windows(2).all(|w| w[0] == w[1]));
+}
+
+#[test]
 fn independent_labels_blow_up_exponentially() {
     // n independent labels, all-distinct leaves: 2^n leaves. This is
     // the Table 5 pathology in miniature.

@@ -19,6 +19,17 @@ use crate::object::{flatten_object, rebuild_object, FacetedObject, GuardedRow};
 /// marshalling and unmarshalling happens here; the underlying
 /// [`microdb::Database`] stays completely facet-unaware.
 ///
+/// # Concurrency
+///
+/// `FormDb` is `Send + Sync`: every query method takes `&self` (the
+/// engine's shared-access plan never mutates, and writers rebuild
+/// indexes eagerly), so the concurrent request executor can serve
+/// many read requests against one `FormDb` behind a reader-writer
+/// lock while writes take the exclusive side. Per-request Early
+/// Pruning should use the `*_with` query variants, which take the
+/// viewer constraint as an argument instead of mutating the shared
+/// [`FormDb::set_pruning`] state.
+///
 /// # Examples
 ///
 /// ```
@@ -71,6 +82,12 @@ impl FormDb {
     /// faceted API).
     pub fn raw(&mut self) -> &mut Database {
         &mut self.db
+    }
+
+    /// Shared access to the underlying relational engine.
+    #[must_use]
+    pub fn raw_ref(&self) -> &Database {
+        &self.db
     }
 
     /// Allocates a fresh policy label.
@@ -182,6 +199,9 @@ impl FormDb {
             row.push(Value::Str(encode_jvars(&guard)));
             self.db.insert(table, row)?;
         }
+        // Writers pay for index maintenance so the shared-access query
+        // plan (`&self`) always finds fresh indexes.
+        self.db.table_mut(table)?.refresh_indexes();
         Ok(())
     }
 
@@ -200,8 +220,8 @@ impl FormDb {
         })
     }
 
-    fn apply_pruning(&self, rows: Vec<GuardedRow>) -> Vec<GuardedRow> {
-        match &self.pruning {
+    fn apply_pruning(rows: Vec<GuardedRow>, constraint: Option<&Branches>) -> Vec<GuardedRow> {
+        match constraint {
             None => rows,
             Some(constraint) => rows
                 .into_iter()
@@ -210,15 +230,31 @@ impl FormDb {
         }
     }
 
-    /// All guarded rows of a table — the faceted `objects.all()`.
+    /// All guarded rows of a table — the faceted `objects.all()` —
+    /// pruned by the database-level constraint, if one is set.
     ///
     /// # Errors
     ///
     /// Table lookup / decoding errors.
-    pub fn all(&mut self, table: &str) -> FormResult<FacetedList<GuardedRow>> {
+    pub fn all(&self, table: &str) -> FormResult<FacetedList<GuardedRow>> {
+        self.all_with(table, self.pruning.as_ref())
+    }
+
+    /// [`FormDb::all`] with an explicit Early-Pruning constraint,
+    /// letting each concurrent request keep its pruning state
+    /// thread-local instead of mutating the shared handle.
+    ///
+    /// # Errors
+    ///
+    /// Table lookup / decoding errors.
+    pub fn all_with(
+        &self,
+        table: &str,
+        prune: Option<&Branches>,
+    ) -> FormResult<FacetedList<GuardedRow>> {
         let width = self.user_width(table)?;
-        let rows = Query::from(table).execute(&mut self.db)?;
-        self.collect_guarded(rows, width)
+        let rows = Query::from(table).execute_ref(&self.db)?;
+        self.collect_guarded(rows, width, prune)
     }
 
     /// Faceted `filter`: issues the WHERE query directly against the
@@ -228,14 +264,24 @@ impl FormDb {
     /// # Errors
     ///
     /// Table lookup / decoding errors.
-    pub fn filter(
-        &mut self,
+    pub fn filter(&self, table: &str, predicate: Predicate) -> FormResult<FacetedList<GuardedRow>> {
+        self.filter_with(table, predicate, self.pruning.as_ref())
+    }
+
+    /// [`FormDb::filter`] with an explicit Early-Pruning constraint.
+    ///
+    /// # Errors
+    ///
+    /// Table lookup / decoding errors.
+    pub fn filter_with(
+        &self,
         table: &str,
         predicate: Predicate,
+        prune: Option<&Branches>,
     ) -> FormResult<FacetedList<GuardedRow>> {
         let width = self.user_width(table)?;
-        let rows = Query::from(table).filter(predicate).execute(&mut self.db)?;
-        self.collect_guarded(rows, width)
+        let rows = Query::from(table).filter(predicate).execute_ref(&self.db)?;
+        self.collect_guarded(rows, width, prune)
     }
 
     /// Faceted equality filter on one column.
@@ -244,7 +290,7 @@ impl FormDb {
     ///
     /// Table lookup / decoding errors.
     pub fn filter_eq(
-        &mut self,
+        &self,
         table: &str,
         column: &str,
         value: Value,
@@ -263,16 +309,31 @@ impl FormDb {
     ///
     /// Table lookup / decoding errors.
     pub fn order_by(
-        &mut self,
+        &self,
         table: &str,
         column: &str,
         order: SortOrder,
     ) -> FormResult<FacetedList<GuardedRow>> {
+        self.order_by_with(table, column, order, self.pruning.as_ref())
+    }
+
+    /// [`FormDb::order_by`] with an explicit Early-Pruning constraint.
+    ///
+    /// # Errors
+    ///
+    /// Table lookup / decoding errors.
+    pub fn order_by_with(
+        &self,
+        table: &str,
+        column: &str,
+        order: SortOrder,
+        prune: Option<&Branches>,
+    ) -> FormResult<FacetedList<GuardedRow>> {
         let width = self.user_width(table)?;
         let rows = Query::from(table)
             .order_by(column, order)
-            .execute(&mut self.db)?;
-        self.collect_guarded(rows, width)
+            .execute_ref(&self.db)?;
+        self.collect_guarded(rows, width, prune)
     }
 
     /// Faceted join: `left JOIN right ON left.fk = right.jid`,
@@ -286,16 +347,32 @@ impl FormDb {
     ///
     /// Table lookup / decoding errors.
     pub fn join_on_fk(
-        &mut self,
+        &self,
         left: &str,
         fk_column: &str,
         right: &str,
+    ) -> FormResult<FacetedList<(GuardedRow, GuardedRow)>> {
+        self.join_on_fk_with(left, fk_column, right, self.pruning.as_ref())
+    }
+
+    /// [`FormDb::join_on_fk`] with an explicit Early-Pruning
+    /// constraint.
+    ///
+    /// # Errors
+    ///
+    /// Table lookup / decoding errors.
+    pub fn join_on_fk_with(
+        &self,
+        left: &str,
+        fk_column: &str,
+        right: &str,
+        prune: Option<&Branches>,
     ) -> FormResult<FacetedList<(GuardedRow, GuardedRow)>> {
         let lwidth = self.user_width(left)?;
         let rwidth = self.user_width(right)?;
         let rows = Query::from(left)
             .join(right, fk_column, JID)
-            .execute(&mut self.db)?;
+            .execute_ref(&self.db)?;
         let mut out = FacetedList::new();
         let lphys = lwidth + 2;
         for row in rows {
@@ -310,18 +387,23 @@ impl FormDb {
             r.guard = guard.clone();
             out.push(guard, (l, r));
         }
-        if let Some(constraint) = &self.pruning {
+        if let Some(constraint) = prune {
             out = out.prune(constraint);
         }
         Ok(out)
     }
 
-    fn collect_guarded(&self, rows: Vec<Row>, width: usize) -> FormResult<FacetedList<GuardedRow>> {
+    fn collect_guarded(
+        &self,
+        rows: Vec<Row>,
+        width: usize,
+        prune: Option<&Branches>,
+    ) -> FormResult<FacetedList<GuardedRow>> {
         let mut decoded = Vec::with_capacity(rows.len());
         for r in &rows {
             decoded.push(self.decode_row(r, width)?);
         }
-        let decoded = self.apply_pruning(decoded);
+        let decoded = FormDb::apply_pruning(decoded, prune);
         Ok(decoded.into_iter().map(|g| (g.guard.clone(), g)).collect())
     }
 
@@ -331,11 +413,25 @@ impl FormDb {
     ///
     /// [`FormError::NoSuchObject`] if no row carries this `jid`;
     /// [`FormError::FacetConflict`] on ambiguous facets.
-    pub fn get(&mut self, table: &str, jid: i64) -> FormResult<FacetedObject> {
+    pub fn get(&self, table: &str, jid: i64) -> FormResult<FacetedObject> {
+        self.get_with(table, jid, self.pruning.as_ref())
+    }
+
+    /// [`FormDb::get`] with an explicit Early-Pruning constraint.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FormDb::get`].
+    pub fn get_with(
+        &self,
+        table: &str,
+        jid: i64,
+        prune: Option<&Branches>,
+    ) -> FormResult<FacetedObject> {
         let width = self.user_width(table)?;
         let rows = Query::from(table)
             .filter(Predicate::eq(Operand::col(JID), Operand::lit(jid)))
-            .execute(&mut self.db)?;
+            .execute_ref(&self.db)?;
         if rows.is_empty() {
             return Err(FormError::NoSuchObject {
                 table: table.to_owned(),
@@ -347,7 +443,7 @@ impl FormDb {
             let g = self.decode_row(r, width)?;
             guarded.push((g.guard, g.fields));
         }
-        let guarded = match &self.pruning {
+        let guarded = match prune {
             None => guarded,
             Some(c) => guarded
                 .into_iter()
@@ -436,7 +532,7 @@ mod tests {
 
     #[test]
     fn get_round_trips_facets() {
-        let (mut db, k, jid) = event_db();
+        let (db, k, jid) = event_db();
         let obj = db.get("event", jid).unwrap();
         let secret = obj.project(&View::from_labels([k])).clone().unwrap();
         let public = obj.project(&View::empty()).clone().unwrap();
@@ -448,7 +544,7 @@ mod tests {
     fn filter_tracks_sensitive_values() {
         // The §3.1.1 query: only the secret facet matches; the result
         // is guarded so only authorized viewers see the event.
-        let (mut db, k, _) = event_db();
+        let (db, k, _) = event_db();
         let result = db
             .filter_eq("event", "location", Value::from("Schloss Dagstuhl"))
             .unwrap();
@@ -577,6 +673,26 @@ mod tests {
     }
 
     #[test]
+    fn form_db_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FormDb>();
+        assert_send_sync::<FacetedObject>();
+        assert_send_sync::<FacetedList<crate::GuardedRow>>();
+    }
+
+    #[test]
+    fn explicit_constraint_matches_db_level_pruning() {
+        let (mut db, k, jid) = event_db();
+        let constraint = Branches::new().with(Branch::pos(k));
+        let explicit_all = db.all_with("event", Some(&constraint)).unwrap();
+        let explicit_get = db.get_with("event", jid, Some(&constraint)).unwrap();
+        db.set_pruning(Some(constraint));
+        assert_eq!(db.all("event").unwrap(), explicit_all);
+        assert_eq!(db.get("event", jid).unwrap(), explicit_get);
+        assert_eq!(explicit_all.len(), 1);
+    }
+
+    #[test]
     fn early_pruning_reconstructs_fewer_facets() {
         let (mut db, k, _) = event_db();
         db.set_pruning(Some(Branches::new().with(Branch::pos(k))));
@@ -600,7 +716,7 @@ mod tests {
 
     #[test]
     fn missing_object_is_reported() {
-        let (mut db, _, _) = event_db();
+        let (db, _, _) = event_db();
         assert!(matches!(
             db.get("event", 999),
             Err(FormError::NoSuchObject { .. })

@@ -10,7 +10,7 @@
 //! are a subset of expressions.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use faceted::{Branches, FacetedList, Label};
 
@@ -23,7 +23,7 @@ pub type Table = FacetedList<RowStrings>;
 
 /// Primitive binary operators (the "standard imperative λ-calculus"
 /// operations λ<sub>jeeves</sub> builds on).
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Op {
     /// Integer addition.
     Add,
@@ -64,7 +64,7 @@ impl fmt::Display for Op {
 /// Source syntax refers to labels through bound variables
 /// (`label k in e` binds `k`); at runtime labels are the concrete
 /// [`Expr::LabelLit`] values substituted for those variables.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Expr {
     /// Unit constant.
     Unit,
@@ -79,44 +79,44 @@ pub enum Expr {
     /// Variable.
     Var(String),
     /// λ-abstraction.
-    Lam(String, Rc<Expr>),
+    Lam(String, Arc<Expr>),
     /// Application `e₁ e₂`.
-    App(Rc<Expr>, Rc<Expr>),
+    App(Arc<Expr>, Arc<Expr>),
     /// Reference allocation `ref e`.
-    Ref(Rc<Expr>),
+    Ref(Arc<Expr>),
     /// Dereference `!e`.
-    Deref(Rc<Expr>),
+    Deref(Arc<Expr>),
     /// Assignment `e₁ := e₂`.
-    Assign(Rc<Expr>, Rc<Expr>),
+    Assign(Arc<Expr>, Arc<Expr>),
     /// Faceted expression `⟨k ? e_H : e_L⟩`; the first position is an
     /// expression that must evaluate to a label.
-    Facet(Rc<Expr>, Rc<Expr>, Rc<Expr>),
+    Facet(Arc<Expr>, Arc<Expr>, Arc<Expr>),
     /// `label k in e`: allocate a fresh label (default policy
     /// `λx.true`) and bind it to `k` in `e` (rule `F-LABEL`).
-    LabelIn(String, Rc<Expr>),
+    LabelIn(String, Arc<Expr>),
     /// `restrict(k, e)`: attach policy `e` to the label `k` evaluates
     /// to (rule `F-RESTRICT`).
-    Restrict(Rc<Expr>, Rc<Expr>),
+    Restrict(Arc<Expr>, Arc<Expr>),
     /// `row e…`: a one-row table (fields must evaluate to strings).
-    Row(Vec<Rc<Expr>>),
+    Row(Vec<Arc<Expr>>),
     /// Selection `σ_{i=j} e`: rows whose fields `i` and `j` coincide.
-    Select(usize, usize, Rc<Expr>),
+    Select(usize, usize, Arc<Expr>),
     /// Projection `π_ī e`: keep columns `ī`.
-    Project(Vec<usize>, Rc<Expr>),
+    Project(Vec<usize>, Arc<Expr>),
     /// Join (cross product) `e₁ ⋈ e₂`.
-    Join(Rc<Expr>, Rc<Expr>),
+    Join(Arc<Expr>, Arc<Expr>),
     /// Union `e₁ ∪ e₂`.
-    Union(Rc<Expr>, Rc<Expr>),
+    Union(Arc<Expr>, Arc<Expr>),
     /// `fold f acc table` (rule `F-FOLD-*`; the row is passed to `f`
     /// as a single-row table).
-    Fold(Rc<Expr>, Rc<Expr>, Rc<Expr>),
+    Fold(Arc<Expr>, Arc<Expr>, Arc<Expr>),
     /// Conditional (faceted conditions split execution).
-    If(Rc<Expr>, Rc<Expr>, Rc<Expr>),
+    If(Arc<Expr>, Arc<Expr>, Arc<Expr>),
     /// Primitive binary operation (strict in both operands).
-    BinOp(Op, Rc<Expr>, Rc<Expr>),
+    BinOp(Op, Arc<Expr>, Arc<Expr>),
     /// `let x = e in body` (sugar for application, kept for
     /// readability of programs and traces).
-    Let(String, Rc<Expr>, Rc<Expr>),
+    Let(String, Arc<Expr>, Arc<Expr>),
     /// Runtime: a store address.
     Addr(usize),
     /// Runtime: a concrete label value.
@@ -128,8 +128,8 @@ pub enum Expr {
 impl Expr {
     /// Convenience: shared-pointer wrap.
     #[must_use]
-    pub fn rc(self) -> Rc<Expr> {
-        Rc::new(self)
+    pub fn rc(self) -> Arc<Expr> {
+        Arc::new(self)
     }
 
     /// A string literal.

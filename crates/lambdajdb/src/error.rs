@@ -4,7 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 /// Ways a λ<sub>JDB</sub> program can get stuck.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum EvalError {
     /// A free variable was evaluated (programs must be closed).
     UnboundVariable(String),

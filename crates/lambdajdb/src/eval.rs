@@ -6,7 +6,7 @@
 //! of §4.4 (enabled by [`EvalConfig::early_prune`]).
 
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use faceted::{Branch, Branches, Faceted, Label, LabelRegistry};
 use labelsat::{max_true_assignment, Assignment, Formula};
@@ -201,7 +201,7 @@ impl Interp {
             Expr::Addr(a) => Ok(Val::raw(RawValue::Addr(*a))),
             Expr::LabelLit(l) => Ok(Val::raw(RawValue::Lbl(*l))),
             Expr::TableLit(t) => Ok(self.maybe_prune(Val::Table(t.clone()), pc)),
-            Expr::Lam(p, b) => Ok(Val::raw(RawValue::Closure(p.clone(), Rc::clone(b)))),
+            Expr::Lam(p, b) => Ok(Val::raw(RawValue::Closure(p.clone(), Arc::clone(b)))),
             Expr::Var(x) => Err(EvalError::UnboundVariable(x.clone())),
 
             // ---- Application ([F-APP] + [F-STRICT]) -------------------
@@ -259,8 +259,8 @@ impl Interp {
             Expr::Facet(ke, high, low) => {
                 let kv = self.eval_pc(ke, pc)?;
                 let kf = kv.as_faceted()?.clone();
-                let high = Rc::clone(high);
-                let low = Rc::clone(low);
+                let high = Arc::clone(high);
+                let low = Arc::clone(low);
                 self.strict(&kf, pc, &mut |me, raw, pc| {
                     let k = match raw {
                         RawValue::Lbl(k) => *k,
@@ -311,8 +311,8 @@ impl Interp {
             Expr::If(c, t, e2) => {
                 let vc = self.eval_pc(c, pc)?;
                 let fc = vc.as_faceted()?.clone();
-                let t = Rc::clone(t);
-                let e2 = Rc::clone(e2);
+                let t = Arc::clone(t);
+                let e2 = Arc::clone(e2);
                 self.strict(&fc, pc, &mut |me, raw, pc| match raw {
                     RawValue::Bool(true) => me.eval_pc(&t, pc),
                     RawValue::Bool(false) => me.eval_pc(&e2, pc),

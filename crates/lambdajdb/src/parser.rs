@@ -19,7 +19,7 @@
 //! ```
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::ast::{Expr, Op, Statement};
 
@@ -304,7 +304,7 @@ fn expr_of(s: &Sexp) -> Result<Expr, ParseError> {
                     ))
                 }
                 "row" => {
-                    let fields: Result<Vec<Rc<Expr>>, ParseError> =
+                    let fields: Result<Vec<Arc<Expr>>, ParseError> =
                         rest.iter().map(|e| Ok(expr_of(e)?.rc())).collect();
                     Ok(Expr::Row(fields?))
                 }

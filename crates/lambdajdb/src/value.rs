@@ -1,7 +1,7 @@
 //! Runtime values of λ<sub>JDB</sub> (Figure 4's runtime syntax).
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use faceted::{Faceted, FacetedList, Label};
 
@@ -10,7 +10,7 @@ use crate::error::EvalError;
 
 /// A raw (non-faceted) value `R ::= c | a | (λx.e)` plus labels, which
 /// are first-class at runtime so that `label k in e` can bind them.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum RawValue {
     /// Unit.
     Unit,
@@ -28,7 +28,7 @@ pub enum RawValue {
     Lbl(Label),
     /// A closure. Substitution-based evaluation means the body is
     /// already closed up to its parameter.
-    Closure(String, Rc<Expr>),
+    Closure(String, Arc<Expr>),
 }
 
 impl RawValue {
@@ -44,7 +44,7 @@ impl RawValue {
             RawValue::File(f) => Expr::File(f.clone()),
             RawValue::Addr(a) => Expr::Addr(*a),
             RawValue::Lbl(l) => Expr::LabelLit(*l),
-            RawValue::Closure(p, b) => Expr::Lam(p.clone(), Rc::clone(b)),
+            RawValue::Closure(p, b) => Expr::Lam(p.clone(), Arc::clone(b)),
         }
     }
 }

@@ -404,14 +404,14 @@ fn out_of_fuel_reported() {
         .stack_size(32 * 1024 * 1024)
         .spawn(|| {
             // Ω = (λx. x x)(λx. x x) — built inside the thread because
-            // faceted values are intentionally not Send (Rc-shared).
+            // the interpreter itself stays single-threaded (values are Send now).
             let omega = Expr::app(
                 Expr::lam("x", Expr::app(Expr::var("x"), Expr::var("x"))),
                 Expr::lam("x", Expr::app(Expr::var("x"), Expr::var("x"))),
             );
             let mut interp = Interp::new();
             interp.set_fuel(5_000);
-            // Vals are not Send; report just the outcome.
+            // Report just the outcome.
             interp.eval(&omega) == Err(EvalError::OutOfFuel)
         })
         .unwrap();

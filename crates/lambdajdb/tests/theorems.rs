@@ -36,7 +36,7 @@ fn arb_label() -> impl Strategy<Value = Label> {
     (0..LABELS).prop_map(Label::from_index)
 }
 
-fn rc(e: Expr) -> std::rc::Rc<Expr> {
+fn rc(e: Expr) -> std::sync::Arc<Expr> {
     e.rc()
 }
 

@@ -140,12 +140,42 @@ impl Query {
         Ok(self.execute_full(db)?.rows)
     }
 
+    /// Executes against a shared database reference, returning only
+    /// the rows. See [`Query::execute_full_ref`] for the contract.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table/column resolution and evaluation errors.
+    pub fn execute_ref(&self, db: &Database) -> DbResult<Vec<Row>> {
+        Ok(self.execute_full_ref(db)?.rows)
+    }
+
     /// Executes, returning rows plus result schema and statistics.
+    ///
+    /// Rebuilds any dirty index on the base table first, then runs the
+    /// shared-access plan of [`Query::execute_full_ref`].
     ///
     /// # Errors
     ///
     /// Propagates table/column resolution and evaluation errors.
     pub fn execute_full(&self, db: &mut Database) -> DbResult<ResultSet> {
+        db.table_mut(&self.table)?.refresh_indexes();
+        self.execute_full_ref(db)
+    }
+
+    /// Executes against a shared database reference, returning rows
+    /// plus result schema and statistics.
+    ///
+    /// This is the plan the concurrent executor runs under a read
+    /// lock: it never mutates the database, falling back to a scan if
+    /// an index is dirty (writers refresh indexes after mutating, so
+    /// that window is small). Results are identical to
+    /// [`Query::execute_full`] either way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table/column resolution and evaluation errors.
+    pub fn execute_full_ref(&self, db: &Database) -> DbResult<ResultSet> {
         let mut stats = ExecStats::default();
 
         // 1. Base scan (or index probe when the filter pins an indexed
@@ -154,21 +184,17 @@ impl Query {
         let mut rows: Vec<Row>;
         {
             let probe = if self.joins.is_empty() {
-                self.filter
-                    .index_candidate()
-                    .map(|(c, v)| (c.to_owned(), v.clone()))
+                self.filter.index_candidate()
             } else {
                 None
             };
-            let base = db.table_mut(&self.table)?;
+            let base = db.table(&self.table)?;
             schema = base.schema().clone();
             let mut probed = None;
             if let Some((col, val)) = probe {
-                if base.has_index(&col) {
-                    if let Some(hits) = base.index_probe(&col, &val) {
-                        stats.index_probes += 1;
-                        probed = Some(hits);
-                    }
+                if let Some(hits) = base.index_probe_ref(col, val) {
+                    stats.index_probes += 1;
+                    probed = Some(hits);
                 }
             }
             rows = match probed {
@@ -488,6 +514,55 @@ mod tests {
         let rs = Query::from("users").execute_full(&mut db).unwrap();
         assert_eq!(rs.value(0, "name").unwrap(), &Value::from("alice"));
         assert!(rs.value(99, "name").is_err());
+    }
+
+    #[test]
+    fn execute_ref_matches_execute() {
+        let mut db = db();
+        db.table_mut("events")
+            .unwrap()
+            .create_index("host")
+            .unwrap();
+        let q = Query::from("events")
+            .filter(Predicate::eq(
+                crate::predicate::Operand::col("host"),
+                crate::predicate::Operand::lit(1i64),
+            ))
+            .order_by("location", SortOrder::Asc);
+        let mutable = q.execute(&mut db).unwrap();
+        let shared = q.execute_ref(&db).unwrap();
+        assert_eq!(mutable, shared);
+        assert_eq!(q.execute_full_ref(&db).unwrap().stats.index_probes, 1);
+    }
+
+    #[test]
+    fn execute_ref_falls_back_to_scan_on_dirty_index() {
+        let mut db = db();
+        db.table_mut("events")
+            .unwrap()
+            .create_index("host")
+            .unwrap();
+        // A delete dirties the index; the shared path must still
+        // return correct rows (by scanning) without mutating.
+        db.delete(
+            "events",
+            &Predicate::eq(
+                crate::predicate::Operand::col("location"),
+                crate::predicate::Operand::lit("CMU"),
+            ),
+        )
+        .unwrap();
+        let q = Query::from("events").filter(Predicate::eq(
+            crate::predicate::Operand::col("host"),
+            crate::predicate::Operand::lit(1i64),
+        ));
+        let full = q.execute_full_ref(&db).unwrap();
+        assert_eq!(full.stats.index_probes, 0, "dirty index is not probed");
+        assert_eq!(full.rows.len(), 2);
+        // The mutable path refreshes and probes again.
+        let refreshed = q.execute_full(&mut db).unwrap();
+        assert_eq!(refreshed.stats.index_probes, 1);
+        assert_eq!(refreshed.rows, full.rows);
     }
 
     #[test]

@@ -211,6 +211,34 @@ impl Table {
         Some(index.map.get(value).cloned().unwrap_or_default())
     }
 
+    /// Read-only index probe for the shared-access query path: returns
+    /// `None` when no index exists **or** the index is dirty (the
+    /// caller falls back to a scan instead of mutating shared state).
+    /// Writers keep indexes fresh via [`Table::refresh_indexes`], so a
+    /// dirty index is only seen between a mutation and its refresh.
+    #[must_use]
+    pub fn index_probe_ref(&self, column: &str, value: &Value) -> Option<Vec<usize>> {
+        let ix = self.schema.column_index(column)?;
+        let index = self.indexes.iter().find(|i| i.column == ix)?;
+        if index.dirty {
+            return None;
+        }
+        Some(index.map.get(value).cloned().unwrap_or_default())
+    }
+
+    /// Rebuilds every dirty index now, so subsequent read-only probes
+    /// ([`Table::index_probe_ref`]) stay on the fast path. Called by
+    /// writers after updates/deletes: the writer pays the rebuild,
+    /// concurrent readers never mutate.
+    pub fn refresh_indexes(&mut self) {
+        let rows = &self.rows;
+        for index in &mut self.indexes {
+            if index.dirty {
+                index.rebuild(rows);
+            }
+        }
+    }
+
     /// Whether `column` has an index (used by the planner).
     #[must_use]
     pub fn has_index(&self, column: &str) -> bool {

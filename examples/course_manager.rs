@@ -12,15 +12,15 @@ use std::time::Instant;
 pub fn main() {
     for n in [4usize, 8, 12] {
         let w = workload::courses(n);
-        let mut app = w.app;
+        let app = w.app;
         let viewer = Viewer::User(w.student);
 
         let t0 = Instant::now();
-        let fast = courses::all_courses(&mut app, &viewer);
+        let fast = courses::all_courses(&app, &viewer);
         let fast_t = t0.elapsed();
 
         let t1 = Instant::now();
-        let slow = courses::all_courses_no_pruning(&mut app, &viewer);
+        let slow = courses::all_courses_no_pruning(&app, &viewer);
         let slow_t = t1.elapsed();
 
         assert_eq!(fast, slow, "both paths must render the same page");
@@ -35,9 +35,6 @@ pub fn main() {
 
     // Show one page for flavor.
     let w = workload::courses(4);
-    let mut app = w.app;
-    println!(
-        "\n{}",
-        courses::all_courses(&mut app, &Viewer::User(w.student))
-    );
+    let app = w.app;
+    println!("\n{}", courses::all_courses(&app, &Viewer::User(w.student)));
 }

@@ -42,7 +42,7 @@ pub fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("doctor", Viewer::User(doctor)),
         ("insurer", Viewer::User(insurer)),
     ] {
-        println!("{who}: {}", health::single_record(&mut app, &v, record));
+        println!("{who}: {}", health::single_record(&app, &v, record));
     }
 
     // The patient signs a waiver for the insurer — policies consult
@@ -52,13 +52,13 @@ pub fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("-- after the waiver --");
     println!(
         "insurer: {}",
-        health::single_record(&mut app, &Viewer::User(insurer), record)
+        health::single_record(&app, &Viewer::User(insurer), record)
     );
 
     println!("-- records summary as the doctor --");
     println!(
         "{}",
-        health::all_records_summary(&mut app, &Viewer::User(doctor))
+        health::all_records_summary(&app, &Viewer::User(doctor))
     );
 
     Ok(())

@@ -65,7 +65,7 @@ fn session_and_sink_paths_agree_across_the_stack() {
     ] {
         let full: Vec<_> = app.show_rows(&viewer, &rows);
         let mut session = Session::new(viewer.clone());
-        let pruned = session.view_rows(&mut app, &rows);
+        let pruned = session.view_rows(&app, &rows);
         assert_eq!(full, pruned, "viewer {viewer}");
     }
 }
