@@ -238,7 +238,7 @@ pub fn register(app: &mut App) -> form::FormResult<()> {
 /// # Errors
 ///
 /// Propagates database errors.
-pub fn set_phase(app: &mut App, phase: &str) -> form::FormResult<()> {
+pub fn set_phase(app: &App, phase: &str) -> form::FormResult<()> {
     let existing: Vec<i64> = app.all("conf_state")?.iter().map(|(_, r)| r.jid).collect();
     for jid in existing {
         app.db
@@ -343,7 +343,7 @@ pub fn single_user(app: &App, viewer: &Viewer, user: i64) -> String {
 /// # Errors
 ///
 /// Propagates database errors.
-pub fn submit_paper(app: &mut App, viewer: &Viewer, title: &str) -> form::FormResult<i64> {
+pub fn submit_paper(app: &App, viewer: &Viewer, title: &str) -> form::FormResult<i64> {
     let author = viewer.user_jid().unwrap_or(-1);
     app.create(
         "paper",
@@ -357,7 +357,7 @@ pub fn submit_paper(app: &mut App, viewer: &Viewer, title: &str) -> form::FormRe
 ///
 /// Propagates database errors.
 pub fn submit_review(
-    app: &mut App,
+    app: &App,
     viewer: &Viewer,
     paper: i64,
     score: i64,
@@ -376,41 +376,63 @@ pub fn submit_review(
 }
 
 /// Builds the conference router (the MVC wiring). Every page is a
-/// read-only route, so the concurrent executor can serve them in
-/// parallel under the shared lock; the two submission actions are
-/// write routes.
+/// read-only route, so the concurrent executor serves them in
+/// parallel; the two submission actions are write routes. Each route
+/// declares its table footprint — including the tables its models'
+/// *policies* consult at output time (`conf_state` for the phase,
+/// `user_profile` for roles, `paper_pc_conflict` for conflicts) — so
+/// the executor locks at table granularity: submitting a review no
+/// longer blocks the user list.
 #[must_use]
 pub fn router() -> Router {
     let mut r = Router::new();
-    r.route_read("papers/all", |app, req: &Request| {
-        Response::ok(all_papers(app, &req.viewer))
-    });
-    r.route_read("papers/one", |app, req: &Request| {
-        match req.int_param("id") {
+    r.route_read_tables(
+        "papers/all",
+        &["conf_state", "paper", "paper_pc_conflict", "user_profile"],
+        |app, req: &Request| Response::ok(all_papers(app, &req.viewer)),
+    );
+    r.route_read_tables(
+        "papers/one",
+        &[
+            "conf_state",
+            "paper",
+            "paper_pc_conflict",
+            "review",
+            "user_profile",
+        ],
+        |app, req: &Request| match req.int_param("id") {
             Some(id) => Response::ok(single_paper(app, &req.viewer, id)),
             None => Response::not_found(),
-        }
-    });
-    r.route_read("users/all", |app, req: &Request| {
+        },
+    );
+    r.route_read_tables("users/all", &["user_profile"], |app, req: &Request| {
         Response::ok(all_users(app, &req.viewer))
     });
-    r.route_read("users/one", |app, req: &Request| {
-        match req.int_param("id") {
+    r.route_read_tables(
+        "users/one",
+        &["user_profile"],
+        |app, req: &Request| match req.int_param("id") {
             Some(id) => Response::ok(single_user(app, &req.viewer, id)),
             None => Response::not_found(),
-        }
-    });
-    r.route("papers/submit", |app, req: &Request| {
-        match req.params.get("title") {
+        },
+    );
+    r.route_tables(
+        "papers/submit",
+        &[],
+        &["paper"],
+        |app, req: &Request| match req.params.get("title") {
             Some(title) => match submit_paper(app, &req.viewer, title) {
                 Ok(jid) => Response::ok(jid.to_string()),
                 Err(e) => Response::error(&e.to_string()),
             },
             None => Response::not_found(),
-        }
-    });
-    r.route("reviews/submit", |app, req: &Request| {
-        match (req.int_param("paper"), req.int_param("score")) {
+        },
+    );
+    r.route_tables(
+        "reviews/submit",
+        &[],
+        &["review"],
+        |app, req: &Request| match (req.int_param("paper"), req.int_param("score")) {
             (Some(paper), Some(score)) => {
                 let text = req.params.get("text").map_or("", String::as_str);
                 match submit_review(app, &req.viewer, paper, score, text) {
@@ -419,8 +441,8 @@ pub fn router() -> Router {
                 }
             }
             _ => Response::not_found(),
-        }
-    });
+        },
+    );
     r
 }
 
@@ -431,7 +453,7 @@ mod tests {
     fn setup() -> (App, i64, i64, i64) {
         let mut app = App::new();
         register(&mut app).unwrap();
-        set_phase(&mut app, PHASE_REVIEW).unwrap();
+        set_phase(&app, PHASE_REVIEW).unwrap();
         let chair = app
             .create(
                 "user_profile",
@@ -454,7 +476,7 @@ mod tests {
                 ],
             )
             .unwrap();
-        let paper = submit_paper(&mut app, &Viewer::User(author), "Faceted Everything").unwrap();
+        let paper = submit_paper(&app, &Viewer::User(author), "Faceted Everything").unwrap();
         (app, chair, author, paper)
     }
 
@@ -468,7 +490,7 @@ mod tests {
 
     #[test]
     fn outsider_sees_placeholders() {
-        let (mut app, _, _, _) = setup();
+        let (app, _, _, _) = setup();
         let outsider = app
             .create(
                 "user_profile",
@@ -496,7 +518,7 @@ mod tests {
 
     #[test]
     fn conflicted_pc_member_cannot_see_author() {
-        let (mut app, _, _, paper) = setup();
+        let (app, _, _, paper) = setup();
         let pc = app
             .create(
                 "user_profile",
@@ -516,8 +538,8 @@ mod tests {
 
     #[test]
     fn final_phase_reveals_authors() {
-        let (mut app, _, _, _) = setup();
-        set_phase(&mut app, PHASE_FINAL).unwrap();
+        let (app, _, _, _) = setup();
+        set_phase(&app, PHASE_FINAL).unwrap();
         let page = all_papers(&app, &Viewer::Anonymous);
         assert!(page.contains("alice author"), "{page}");
         assert!(page.contains("Faceted Everything"));
@@ -536,7 +558,7 @@ mod tests {
 
     #[test]
     fn review_text_hidden_until_final_phase() {
-        let (mut app, chair, author, paper) = setup();
+        let (app, chair, author, paper) = setup();
         let pc = app
             .create(
                 "user_profile",
@@ -548,14 +570,14 @@ mod tests {
                 ],
             )
             .unwrap();
-        submit_review(&mut app, &Viewer::User(pc), paper, 2, "solid work").unwrap();
+        submit_review(&app, &Viewer::User(pc), paper, 2, "solid work").unwrap();
 
         let author_view = single_paper(&app, &Viewer::User(author), paper);
         assert!(author_view.contains("[review hidden]"), "{author_view}");
         let chair_view = single_paper(&app, &Viewer::User(chair), paper);
         assert!(chair_view.contains("solid work"));
 
-        set_phase(&mut app, PHASE_FINAL).unwrap();
+        set_phase(&app, PHASE_FINAL).unwrap();
         let author_final = single_paper(&app, &Viewer::User(author), paper);
         assert!(author_final.contains("solid work"), "{author_final}");
         assert!(
@@ -566,16 +588,16 @@ mod tests {
 
     #[test]
     fn router_dispatches_pages() {
-        let (mut app, _, author, paper) = setup();
+        let (app, _, author, paper) = setup();
         let r = router();
         let resp = r.handle(
-            &mut app,
+            &app,
             &Request::new("papers/one", Viewer::User(author)).with_param("id", &paper.to_string()),
         );
         assert_eq!(resp.status, 200);
         assert!(resp.body.contains("Faceted Everything"));
         assert_eq!(
-            r.handle(&mut app, &Request::new("zzz", Viewer::Anonymous))
+            r.handle(&app, &Request::new("zzz", Viewer::Anonymous))
                 .status,
             404
         );

@@ -277,7 +277,7 @@ mod tests {
 
     #[test]
     fn outsider_sees_closed_listing() {
-        let (mut app, _, _, _) = setup();
+        let (app, _, _, _) = setup();
         let outsider = app
             .create("cuser", vec![Value::from("eve"), Value::from("student")])
             .unwrap();
@@ -329,7 +329,7 @@ mod tests {
 
     #[test]
     fn submission_text_hidden_from_other_students() {
-        let (mut app, _, student, course) = setup();
+        let (app, _, student, course) = setup();
         let other = app
             .create("cuser", vec![Value::from("olly"), Value::from("student")])
             .unwrap();

@@ -201,7 +201,7 @@ mod tests {
 
     #[test]
     fn strangers_see_placeholders_in_summary() {
-        let (mut app, _, _, _, _) = setup();
+        let (app, _, _, _, _) = setup();
         let stranger = app
             .create(
                 "individual",

@@ -36,7 +36,7 @@ pub fn conference(n_users: usize, n_papers: usize) -> ConfWorkload {
     let mut rng = StdRng::seed_from_u64(SEED);
     let mut app = App::new();
     conf::register(&mut app).unwrap();
-    conf::set_phase(&mut app, conf::PHASE_REVIEW).unwrap();
+    conf::set_phase(&app, conf::PHASE_REVIEW).unwrap();
     let mut vanilla = ConfVanilla::new();
     vanilla.set_phase(conf::PHASE_REVIEW);
 
@@ -64,18 +64,11 @@ pub fn conference(n_users: usize, n_papers: usize) -> ConfWorkload {
     for i in 0..n_papers {
         let author = user_ids[rng.gen_range(0..user_ids.len())];
         let title = format!("Paper {i}: faceted systems");
-        let pj = conf::submit_paper(&mut app, &Viewer::User(author), &title).unwrap();
+        let pj = conf::submit_paper(&app, &Viewer::User(author), &title).unwrap();
         let pv = vanilla.submit_paper(&Viewer::User(author), &title);
         debug_assert!(pj > 0 && pv > 0);
         let reviewer = user_ids[rng.gen_range(0..user_ids.len())];
-        conf::submit_review(
-            &mut app,
-            &Viewer::User(reviewer),
-            pj,
-            (i % 5) as i64,
-            "fine",
-        )
-        .unwrap();
+        conf::submit_review(&app, &Viewer::User(reviewer), pj, (i % 5) as i64, "fine").unwrap();
         vanilla.submit_review(&Viewer::User(reviewer), pv, (i % 5) as i64, "fine");
     }
 

@@ -45,9 +45,9 @@ fn conference_all_pages_agree_for_every_viewer() {
 #[test]
 fn conference_final_phase_agrees() {
     let w = workload::conference(6, 5);
-    let mut app = w.app;
+    let app = w.app;
     let mut vanilla = w.vanilla;
-    apps::conf::set_phase(&mut app, apps::conf::PHASE_FINAL).unwrap();
+    apps::conf::set_phase(&app, apps::conf::PHASE_FINAL).unwrap();
     vanilla.set_phase(apps::conf::PHASE_FINAL);
     for viewer in [Viewer::Anonymous, Viewer::User(2), Viewer::User(6)] {
         assert_eq!(
@@ -315,6 +315,135 @@ fn submissions_agree_after_grading() {
             apps::courses::view_submission(&app, &viewer, sj),
             vanilla.view_submission(&viewer, sv),
             "post-grading view for {viewer}"
+        );
+    }
+}
+
+/// Decode-cache differential: with the cache disabled, every page of
+/// every app must render byte-identically for every viewer — pinning
+/// that the generation-stamped decode cache is a pure optimization.
+/// Pages are rendered twice per configuration so the second cached
+/// pass is guaranteed to serve from a warm snapshot.
+#[test]
+fn decode_cache_differential_all_pages_all_viewers() {
+    // Conference: all four pages.
+    let w = workload::conference(10, 8);
+    let mut app = w.app;
+    let viewers: Vec<Viewer> = std::iter::once(Viewer::Anonymous)
+        .chain((1..=10).map(Viewer::User))
+        .collect();
+    let render_conf = |app: &jacqueline::App| {
+        let mut pages = Vec::new();
+        for viewer in &viewers {
+            pages.push(apps::conf::all_papers(app, viewer));
+            pages.push(apps::conf::all_users(app, viewer));
+            for paper in 1..=8 {
+                pages.push(apps::conf::single_paper(app, viewer, paper));
+            }
+            for user in 1..=10 {
+                pages.push(apps::conf::single_user(app, viewer, user));
+            }
+        }
+        pages
+    };
+    let _warm = render_conf(&app);
+    let cached = render_conf(&app);
+    assert!(
+        app.db.decode_cache_stats().hits > 0,
+        "the warm pass must actually exercise the cache"
+    );
+    app.db.set_decode_cache(false);
+    let uncached = render_conf(&app);
+    assert_eq!(
+        cached, uncached,
+        "conference pages must not depend on the cache"
+    );
+    app.db.set_decode_cache(true);
+    let hits_before = app.db.decode_cache_stats().hits;
+    let again = render_conf(&app);
+    assert_eq!(again, cached, "re-enabling the cache changes nothing");
+    assert!(
+        app.db.decode_cache_stats().hits > hits_before,
+        "the re-enabled pass must serve from the cache again"
+    );
+
+    // Courses: both course pages and every submission view.
+    let w = workload::courses(6);
+    let mut app = w.app;
+    let n_users = 1 + 6;
+    let course_viewers: Vec<Viewer> = std::iter::once(Viewer::Anonymous)
+        .chain((1..=n_users).map(Viewer::User))
+        .collect();
+    let render_courses = |app: &jacqueline::App| {
+        let mut pages = Vec::new();
+        for viewer in &course_viewers {
+            pages.push(apps::courses::all_courses(app, viewer));
+            pages.push(apps::courses::all_courses_no_pruning(app, viewer));
+        }
+        pages
+    };
+    let _warm = render_courses(&app);
+    let cached = render_courses(&app);
+    app.db.set_decode_cache(false);
+    assert_eq!(render_courses(&app), cached, "courses pages differ");
+
+    // Health: summary plus every record page.
+    let w = workload::health(12);
+    let mut app = w.app;
+    let mut vanilla = w.vanilla;
+    let n_records = vanilla.db.all("health_record").unwrap().len() as i64;
+    let health_viewers: Vec<Viewer> = std::iter::once(Viewer::Anonymous)
+        .chain((1..=12).map(Viewer::User))
+        .collect();
+    let render_health = |app: &jacqueline::App| {
+        let mut pages = Vec::new();
+        for viewer in &health_viewers {
+            pages.push(apps::health::all_records_summary(app, viewer));
+            for rec in 1..=n_records {
+                pages.push(apps::health::single_record(app, viewer, rec));
+            }
+        }
+        pages
+    };
+    let _warm = render_health(&app);
+    let cached = render_health(&app);
+    app.db.set_decode_cache(false);
+    assert_eq!(render_health(&app), cached, "health pages differ");
+}
+
+/// Cache differential across *mutation*: pages rendered after a write
+/// agree between cached and uncached apps (the cache must invalidate,
+/// not serve stale facets).
+#[test]
+fn decode_cache_differential_survives_writes() {
+    let cached = workload::conference(8, 6).app;
+    let mut uncached = workload::conference(8, 6).app;
+    uncached.db.set_decode_cache(false);
+    let viewers: Vec<Viewer> = std::iter::once(Viewer::Anonymous)
+        .chain((1..=8).map(Viewer::User))
+        .collect();
+    // Warm the cache, then mutate both apps identically.
+    for viewer in &viewers {
+        assert_eq!(
+            apps::conf::all_papers(&cached, viewer),
+            apps::conf::all_papers(&uncached, viewer)
+        );
+    }
+    let pj = apps::conf::submit_paper(&cached, &Viewer::User(3), "Post-cache paper").unwrap();
+    let pu = apps::conf::submit_paper(&uncached, &Viewer::User(3), "Post-cache paper").unwrap();
+    assert_eq!(pj, pu);
+    apps::conf::set_phase(&cached, apps::conf::PHASE_FINAL).unwrap();
+    apps::conf::set_phase(&uncached, apps::conf::PHASE_FINAL).unwrap();
+    for viewer in &viewers {
+        assert_eq!(
+            apps::conf::all_papers(&cached, viewer),
+            apps::conf::all_papers(&uncached, viewer),
+            "post-write page for {viewer}"
+        );
+        assert_eq!(
+            apps::conf::single_paper(&cached, viewer, pj),
+            apps::conf::single_paper(&uncached, viewer, pj),
+            "new paper page for {viewer}"
         );
     }
 }

@@ -5,8 +5,6 @@
 //! `Send + Sync` faceted database across worker threads changes
 //! nothing observable.
 
-use std::sync::RwLock;
-
 use apps::workload;
 use jacqueline::{App, Executor, Request, Response, Router, Viewer};
 
@@ -52,10 +50,9 @@ fn assert_concurrent_matches_sequential(
     requests: &[Request],
     context: &str,
 ) {
-    let shared = RwLock::new(app);
-    let sequential = Executor::sequential().run(&shared, router, requests);
+    let sequential = Executor::sequential().run(&app, router, requests);
     for threads in [2, 4] {
-        let concurrent = Executor::with_threads(threads).run(&shared, router, requests);
+        let concurrent = Executor::with_threads(threads).run(&app, router, requests);
         assert_eq!(
             concurrent.len(),
             sequential.len(),
@@ -111,8 +108,8 @@ fn conference_executor_matches_vanilla_baseline() {
         .iter()
         .map(|v| Request::new("papers/all", v.clone()))
         .collect();
-    let shared = RwLock::new(w.app);
-    let responses = Executor::with_threads(4).run(&shared, &router, &requests);
+    let app = w.app;
+    let responses = Executor::with_threads(4).run(&app, &router, &requests);
     for (viewer, response) in viewers.iter().zip(&responses) {
         assert_eq!(
             response.body,
@@ -166,11 +163,11 @@ fn concurrent_stress_matches_sequential() {
     let w = workload::conference(16, 24);
     let router = apps::conf::router();
     let requests = workload::conference_requests(192, 16, 24);
-    let shared = RwLock::new(w.app);
-    let sequential = Executor::sequential().run(&shared, &router, &requests);
+    let app = w.app;
+    let sequential = Executor::sequential().run(&app, &router, &requests);
     assert!(sequential.iter().all(|r| r.status == 200));
     for threads in [2, 4, 8] {
-        let concurrent = Executor::with_threads(threads).run(&shared, &router, &requests);
+        let concurrent = Executor::with_threads(threads).run(&app, &router, &requests);
         assert_eq!(concurrent, sequential, "{threads} threads");
     }
 }
@@ -181,7 +178,7 @@ fn executor_serializes_interleaved_writes() {
     // once, and a full read afterwards sees all of them.
     let w = workload::conference(8, 4);
     let router = apps::conf::router();
-    let shared = RwLock::new(w.app);
+    let app = w.app;
     let mut requests: Vec<Request> = (0..16)
         .map(|i| {
             Request::new("papers/submit", Viewer::User(1 + i % 8))
@@ -189,9 +186,8 @@ fn executor_serializes_interleaved_writes() {
         })
         .collect();
     requests.extend((0..16).map(|i| Request::new("papers/all", Viewer::User(1 + i % 8))));
-    let responses = Executor::with_threads(4).run(&shared, &router, &requests);
+    let responses = Executor::with_threads(4).run(&app, &router, &requests);
     assert!(responses.iter().all(|r| r.status == 200));
-    let app = shared.read().unwrap();
     let papers = app.all("paper").unwrap();
     let distinct_new: std::collections::BTreeSet<i64> = papers
         .iter()

@@ -1,9 +1,7 @@
 //! Fig. 9 (concurrent variant): throughput of the request executor on
 //! the conference workload at 1/2/4/8 worker threads. The read-only
-//! page mix dispatches in parallel under the shared lock; the target
-//! of the refactor is >1.5× throughput at 4 threads vs 1.
-
-use std::sync::RwLock;
+//! page mix dispatches in parallel under per-table footprint locks;
+//! the target of the refactor is >1.5× throughput at 4 threads vs 1.
 
 use apps::{conf, workload};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -13,7 +11,7 @@ fn bench_concurrent(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig9_concurrent");
     group.sample_size(10);
     let w = workload::conference(32, 48);
-    let app = RwLock::new(w.app);
+    let app = w.app;
     let router = conf::router();
     let requests = workload::conference_requests(128, 32, 48);
     for threads in [1usize, 2, 4, 8] {

@@ -1,0 +1,245 @@
+//! Bench-regression guard for CI: compares a freshly measured
+//! `experiments --smoke --json` run against the committed
+//! `BENCH_results.json` baseline and fails (exit 1) if the watched
+//! tables regressed beyond the tolerance.
+//!
+//! ```text
+//! bench_guard --baseline BENCH_results.json --fresh fresh_smoke.json \
+//!             [--prefix table3_] [--tolerance 0.25] [--mode ratio|absolute]
+//! ```
+//!
+//! Only labels present in *both* files are compared (the committed
+//! baseline holds the full sweep, a `--smoke` run only the small
+//! sizes), and only tables whose name starts with `--prefix`
+//! (default `table3_`, the unmarshalling stress tables this repo
+//! optimizes).
+//!
+//! The default mode is `ratio`: for every sweep size it compares the
+//! **jacqueline / baseline overhead ratio** of the fresh run against
+//! the committed one, and fails when the ratio grew by more than the
+//! tolerance. Machine noise (a slow container, a busy CI runner)
+//! inflates both rows of a size equally and cancels out of the
+//! ratio, while a genuine regression of the faceted hot path — a
+//! broken decode cache, say — multiplies the ratio immediately. The
+//! ratio is also portable across CI hardware, where absolute medians
+//! are not. `--mode absolute` compares raw medians instead (useful
+//! on a quiet, known machine).
+//!
+//! Two further noise defenses, tuned for `--smoke` runs (the table3
+//! measurement takes ≥15 reps precisely because it feeds this gate,
+//! but the pages are still microseconds): sizes whose committed
+//! jacqueline median is below `--min-median` (default 10µs) sit at
+//! the timer noise floor and are skipped, and the guard fails only
+//! on a *systemic* regression — at least two comparisons over
+//! tolerance, or a single one more than 3× over — because a genuine
+//! hot-path breakage (say, a dead decode cache) inflates every size
+//! at once, while scheduler noise spikes one.
+
+use std::process::ExitCode;
+
+use jbench::Report;
+
+struct Args {
+    baseline: String,
+    fresh: String,
+    prefix: String,
+    tolerance: f64,
+    absolute: bool,
+    min_median: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        baseline: "BENCH_results.json".to_owned(),
+        fresh: String::new(),
+        prefix: "table3_".to_owned(),
+        tolerance: 0.25,
+        absolute: false,
+        min_median: 10e-6,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let value = argv
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag {
+            "--baseline" => args.baseline = value.clone(),
+            "--fresh" => args.fresh = value.clone(),
+            "--prefix" => args.prefix = value.clone(),
+            "--tolerance" => {
+                args.tolerance = value.parse().map_err(|e| format!("--tolerance: {e}"))?;
+            }
+            "--min-median" => {
+                args.min_median = value.parse().map_err(|e| format!("--min-median: {e}"))?;
+            }
+            "--mode" => match value.as_str() {
+                "ratio" => args.absolute = false,
+                "absolute" => args.absolute = true,
+                other => return Err(format!("--mode must be ratio|absolute, got {other}")),
+            },
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 2;
+    }
+    if args.fresh.is_empty() {
+        return Err("--fresh <path> is required".to_owned());
+    }
+    Ok(args)
+}
+
+fn load(path: &str) -> Result<Report, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Report::parse_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn median_of(report: &Report, table: &str, label: &str) -> Option<f64> {
+    report
+        .table(table)?
+        .iter()
+        .find(|e| e.label == label)
+        .map(|e| e.median_s)
+}
+
+/// One comparison row: description, committed value, fresh value.
+struct Comparison {
+    what: String,
+    base: f64,
+    fresh: f64,
+}
+
+/// Collects the comparisons for one watched table, according to the
+/// mode: jacqueline/baseline overhead ratios per size (default) or
+/// raw medians per label.
+fn comparisons(
+    baseline: &Report,
+    fresh: &Report,
+    table: &str,
+    absolute: bool,
+    min_median: f64,
+) -> Vec<Comparison> {
+    let Some(fresh_entries) = fresh.table(table) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for fe in fresh_entries {
+        if absolute {
+            if let Some(base) = median_of(baseline, table, &fe.label) {
+                if base >= min_median {
+                    out.push(Comparison {
+                        what: format!("{table}/{}", fe.label),
+                        base,
+                        fresh: fe.median_s,
+                    });
+                }
+            }
+            continue;
+        }
+        // Ratio mode: pair each "<size> jacqueline" with its
+        // "<size> baseline" twin, in both files.
+        let Some(size) = fe.label.strip_suffix(" jacqueline") else {
+            continue;
+        };
+        let fresh_vanilla = median_of(fresh, table, &format!("{size} baseline"));
+        let base_jacq = median_of(baseline, table, &fe.label);
+        let base_vanilla = median_of(baseline, table, &format!("{size} baseline"));
+        if let (Some(fv), Some(bj), Some(bv)) = (fresh_vanilla, base_jacq, base_vanilla) {
+            if fv > 0.0 && bv > 0.0 && bj >= min_median {
+                // The committed ratio is clamped at parity: where the
+                // faceted page is currently *faster* than the
+                // hand-coded one, the contract the gate enforces is
+                // "stay at or near parity", not "stay 20% ahead".
+                out.push(Comparison {
+                    what: format!("{table}/{size} overhead-ratio"),
+                    base: (bj / bv).max(1.0),
+                    fresh: fe.median_s / fv,
+                });
+            }
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench_guard: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (baseline, fresh) = match (load(&args.baseline), load(&args.fresh)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (b, f) => {
+            for r in [b.err(), f.err()].into_iter().flatten() {
+                eprintln!("bench_guard: {r}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut compared = 0usize;
+    let mut regressions = Vec::new();
+    for table in fresh.table_names() {
+        if !table.starts_with(&args.prefix) {
+            continue;
+        }
+        for c in comparisons(&baseline, &fresh, table, args.absolute, args.min_median) {
+            compared += 1;
+            let growth = c.fresh / c.base;
+            let verdict = if growth > 1.0 + args.tolerance {
+                regressions.push((
+                    growth,
+                    format!(
+                        "{}: {:.4} -> {:.4} ({:.2}x)",
+                        c.what, c.base, c.fresh, growth
+                    ),
+                ));
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            println!(
+                "{:<44} base {:>10.4} fresh {:>10.4}  {:>5.2}x  {verdict}",
+                c.what, c.base, c.fresh, growth
+            );
+        }
+    }
+
+    if compared == 0 {
+        eprintln!(
+            "bench_guard: nothing to compare (prefix {:?} matched no shared labels)",
+            args.prefix
+        );
+        return ExitCode::FAILURE;
+    }
+    // Systemic-regression rule: one noisy outlier is tolerated
+    // (unless it is catastrophic); two or more over tolerance fail.
+    let catastrophic = 1.0 + 3.0 * args.tolerance;
+    let fail = regressions.len() >= 2 || regressions.iter().any(|(g, _)| *g > catastrophic);
+    if regressions.is_empty() {
+        println!(
+            "bench_guard: {compared} comparisons within {:.0}% of baseline",
+            args.tolerance * 100.0
+        );
+        ExitCode::SUCCESS
+    } else if !fail {
+        println!(
+            "bench_guard: 1 of {compared} comparisons over tolerance ({}) — \
+             tolerated as an isolated outlier",
+            regressions[0].1
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench_guard: {} of {compared} comparisons regressed >{:.0}%:",
+            regressions.len(),
+            args.tolerance * 100.0
+        );
+        for (_, r) in &regressions {
+            eprintln!("  {r}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -91,6 +91,59 @@ impl Report {
     pub fn write_json(&self, path: &Path) -> io::Result<()> {
         std::fs::write(path, self.to_json())
     }
+
+    /// Parses a document produced by [`Report::to_json`] (the
+    /// regression guard reads the committed `BENCH_results.json` with
+    /// this). Line-oriented: it understands exactly the shape this
+    /// module emits — one table header or one `{"label": …,
+    /// "median_s": …}` entry per line — which is all it needs, since
+    /// both sides of the comparison are written by this module.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn parse_json(text: &str) -> Result<Report, String> {
+        let mut report = Report::new();
+        let mut current: Option<String> = None;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim().trim_end_matches(',');
+            if let Some(rest) = line.strip_prefix('"') {
+                // `"table": [`  or the schema line `"schema": "…"`.
+                let Some((name, tail)) = rest.split_once('"') else {
+                    return Err(format!("line {}: unterminated name", lineno + 1));
+                };
+                if tail.trim_start().starts_with(": [") {
+                    current = Some(name.to_owned());
+                }
+            } else if line.starts_with("{\"label\":") {
+                let table = current
+                    .clone()
+                    .ok_or_else(|| format!("line {}: entry outside a table", lineno + 1))?;
+                let label = line
+                    .split_once("\"label\": \"")
+                    .and_then(|(_, t)| t.split_once('"'))
+                    .map(|(l, _)| l.to_owned())
+                    .ok_or_else(|| format!("line {}: no label", lineno + 1))?;
+                let median: f64 = line
+                    .split_once("\"median_s\": ")
+                    .map(|(_, t)| t.trim_end_matches(['}', ',']).trim())
+                    .ok_or_else(|| format!("line {}: no median_s", lineno + 1))?
+                    .parse()
+                    .map_err(|e| format!("line {}: bad median_s ({e})", lineno + 1))?;
+                report.record(&table, &label, median);
+            }
+        }
+        if report.is_empty() {
+            return Err("no tables found (is this a jacqueline-bench JSON?)".to_owned());
+        }
+        Ok(report)
+    }
+
+    /// Names of all recorded tables.
+    #[must_use]
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
 }
 
 /// Minimal JSON string escaping (labels are ASCII identifiers, but be
@@ -146,6 +199,21 @@ mod tests {
     fn strings_are_escaped() {
         assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
         assert_eq!(json_number(f64::NAN), "null");
+    }
+
+    #[test]
+    fn parse_inverts_to_json() {
+        let mut r = Report::new();
+        r.record("table3_users", "users=8 jacqueline", 0.000052216);
+        r.record("table3_users", "users=8 baseline", 0.00001191);
+        r.record("fig9_concurrent", "available_cores", 1.0);
+        let parsed = Report::parse_json(&r.to_json()).unwrap();
+        assert_eq!(parsed.table("table3_users"), r.table("table3_users"));
+        assert_eq!(
+            parsed.table_names(),
+            vec!["fig9_concurrent", "table3_users"]
+        );
+        assert!(Report::parse_json("{}").is_err());
     }
 
     #[test]

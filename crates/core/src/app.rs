@@ -2,6 +2,7 @@
 //! plus the computation-sink machinery.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::RwLock;
 
 use faceted::{Faceted, FacetedList, Label, View};
 use form::{FacetedObject, FormDb, FormResult, GuardedRow};
@@ -27,14 +28,28 @@ pub(crate) struct PolicyEntry {
 /// The programmer's contract (§2): declare policies in the models,
 /// access data only through this API, and the runtime guarantees
 /// outputs comply with the policies.
+///
+/// # Concurrency
+///
+/// Mutating object operations ([`App::create`], [`App::save`],
+/// [`App::update_fields`]) take `&self`: storage is locked per table
+/// inside the database layer, and the label→policy bookkeeping sits
+/// behind its own locks, so requests writing *different* tables run
+/// fully in parallel. Request-level isolation (a reader never sees
+/// half of a multi-statement write) is the
+/// [`Executor`](crate::Executor)'s job via footprint locks. Only
+/// structural setup ([`App::register_model`]) still needs `&mut self`.
 pub struct App {
     /// The faceted database.
     pub db: FormDb,
     models: BTreeMap<String, ModelDef>,
-    pub(crate) policies: HashMap<Label, PolicyEntry>,
+    pub(crate) policies: RwLock<HashMap<Label, PolicyEntry>>,
     /// Labels allocated per object, in model-policy order — needed to
     /// rebuild facet structure on updates.
-    object_labels: HashMap<(String, i64), Vec<Label>>,
+    object_labels: RwLock<HashMap<(String, i64), Vec<Label>>>,
+    /// Request-level footprint locks, owned by the app so concurrent
+    /// executor runs against the same app isolate against each other.
+    pub(crate) request_locks: crate::executor::RequestLocks,
 }
 
 impl App {
@@ -44,8 +59,9 @@ impl App {
         App {
             db: FormDb::new(),
             models: BTreeMap::new(),
-            policies: HashMap::new(),
-            object_labels: HashMap::new(),
+            policies: RwLock::new(HashMap::new()),
+            object_labels: RwLock::new(HashMap::new()),
+            request_locks: crate::executor::RequestLocks::default(),
         }
     }
 
@@ -80,7 +96,7 @@ impl App {
     /// # Errors
     ///
     /// Propagates insertion errors.
-    pub fn create(&mut self, model_name: &str, row: Row) -> FormResult<i64> {
+    pub fn create(&self, model_name: &str, row: Row) -> FormResult<i64> {
         let model = self.model(model_name).clone();
         let jid = self.db.reserve_jid(&model.name);
         let mut labels = Vec::with_capacity(model.policies.len());
@@ -90,7 +106,7 @@ impl App {
                 .db
                 .fresh_label(&format!("{model_name}.{}", fp.label_name));
             labels.push(label);
-            self.policies.insert(
+            self.policies.write().expect("policy lock").insert(
                 label,
                 PolicyEntry {
                     check: fp.check.clone(),
@@ -116,7 +132,10 @@ impl App {
             });
             object = Faceted::split(label, object, public_side);
         }
-        self.object_labels.insert((model.name.clone(), jid), labels);
+        self.object_labels
+            .write()
+            .expect("object-labels lock")
+            .insert((model.name.clone(), jid), labels);
         self.db.insert_with_jid(&model.name, jid, &object)?;
         Ok(jid)
     }
@@ -130,7 +149,7 @@ impl App {
     ///
     /// Propagates lookup and write errors.
     pub fn update_fields(
-        &mut self,
+        &self,
         model_name: &str,
         jid: i64,
         updates: &[(usize, Value)],
@@ -139,6 +158,8 @@ impl App {
         let model = self.model(model_name).clone();
         let labels = self
             .object_labels
+            .read()
+            .expect("object-labels lock")
             .get(&(model_name.to_owned(), jid))
             .cloned()
             .unwrap_or_default();
@@ -230,7 +251,7 @@ impl App {
     ///
     /// Propagates write errors.
     pub fn save(
-        &mut self,
+        &self,
         model: &str,
         jid: i64,
         new: &FacetedObject,
@@ -255,7 +276,13 @@ impl App {
                 continue;
             }
             seen.push(label);
-            let Some(entry) = self.policies.get(&label).cloned() else {
+            let entry = self
+                .policies
+                .read()
+                .expect("policy lock")
+                .get(&label)
+                .cloned();
+            let Some(entry) = entry else {
                 continue; // unconstrained label: defaults to shown
             };
             let mut args = PolicyArgs {
@@ -377,7 +404,7 @@ mod tests {
 
     #[test]
     fn create_allocates_labels_and_facets() {
-        let mut app = calendar_app();
+        let app = calendar_app();
         let jid = app
             .create(
                 "event",
@@ -393,7 +420,7 @@ mod tests {
 
     #[test]
     fn sink_shows_secret_to_guest_public_to_other() {
-        let mut app = calendar_app();
+        let app = calendar_app();
         let alice = app
             .create("userprofile", vec![Value::from("alice")])
             .unwrap();
@@ -424,7 +451,7 @@ mod tests {
 
     #[test]
     fn filter_on_sensitive_field_stays_protected() {
-        let mut app = calendar_app();
+        let app = calendar_app();
         let alice = app
             .create("userprofile", vec![Value::from("alice")])
             .unwrap();
@@ -451,7 +478,7 @@ mod tests {
 
     #[test]
     fn policy_reads_state_at_output_time() {
-        let mut app = calendar_app();
+        let app = calendar_app();
         let bob = app.create("userprofile", vec![Value::from("bob")]).unwrap();
         let party = app
             .create("event", vec![Value::from("secret"), Value::from("here")])
@@ -516,7 +543,7 @@ mod tests {
 
     #[test]
     fn unregistered_label_defaults_to_shown() {
-        let mut app = App::new();
+        let app = App::new();
         let k = app.db.fresh_label("loose");
         let v = Faceted::split(k, Faceted::leaf(1), Faceted::leaf(0));
         assert_eq!(app.show_value(&Viewer::Anonymous, &v), 1);

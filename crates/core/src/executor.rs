@@ -1,12 +1,19 @@
 //! The concurrent request executor: many [`Session`]-style requests
-//! against one shared [`App`].
+//! against one shared [`App`], with **table-granular** locking.
 //!
 //! The paper evaluates Jacqueline under FunkLoad-generated HTTP load;
 //! this module supplies the server side of that story for the Rust
-//! reproduction. One [`App`] (and its `Send + Sync` faceted database)
-//! sits behind a reader-writer lock; read-only page requests — the
-//! overwhelming majority of web traffic — dispatch in parallel under
-//! the read side, while mutating actions take the exclusive side.
+//! reproduction. One [`App`] (whose faceted database shards storage
+//! per table) is shared by all worker threads. Instead of a single
+//! app-wide reader-writer lock, the executor keeps one lock *per
+//! declared table*: each route's [`Footprint`] says which tables it
+//! reads and writes, and a request acquires exactly those locks — in
+//! canonical (sorted) order, so acquisition cannot deadlock. A write
+//! to `review` therefore no longer blocks readers of `user_profile`;
+//! only true conflicts on the same table serialize. Routes that
+//! declare no footprint fall back to whole-app exclusion via a global
+//! lock, preserving the old conservative behavior.
+//!
 //! Per-request Early-Pruning state lives inside each request's
 //! [`Session`], so worker threads never share resolution state.
 //!
@@ -20,25 +27,103 @@
 //! tests assert against the sequential mode.
 //!
 //! [`Session`]: crate::Session
+//! [`Footprint`]: crate::Footprint
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{OnceLock, RwLock};
+use std::sync::{OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::app::App;
-use crate::http::{Request, Response, Router};
+use crate::http::{Footprint, Request, Response, Router};
+
+/// The application's request-lock table: one reader-writer lock per
+/// table ever declared by a route footprint, plus a global fallback
+/// lock. Owned by the [`App`] (not created per `run` call), so **any
+/// number of concurrent [`Executor::run`] calls against the same app
+/// share one lock table** and isolate against each other exactly as
+/// requests within a single run do.
+///
+/// Protocol (all requests, in this order):
+/// 1. the global lock — *shared* for footprint-declared requests,
+///    *exclusive* for write routes with no footprint;
+/// 2. the declared tables, in sorted-name order — shared for tables
+///    only read, exclusive for tables written. Read routes with no
+///    footprint take shared locks on every declared table.
+///
+/// Every request acquires locks along the same global → sorted-tables
+/// chain, and holders of the exclusive global lock take nothing else,
+/// so the acquisition order is a total order and deadlock is
+/// impossible. (The lock-table map itself is extended only by
+/// [`RequestLocks::ensure`] at `run` start, while the extender holds
+/// no other lock; requests hold the map's read guard for their
+/// duration, which a concurrent `ensure` simply waits out.)
+/// Data-level safety never depends on footprints (the storage layer
+/// locks per table internally); footprints buy *request-level
+/// isolation* — a reader cannot observe half of a declared write's
+/// multi-statement update.
+#[derive(Debug, Default)]
+pub(crate) struct RequestLocks {
+    global: RwLock<()>,
+    tables: RwLock<BTreeMap<String, RwLock<()>>>,
+}
+
+/// A held per-table lock, either side. The guards exist purely for
+/// their RAII release; nothing reads them.
+#[allow(dead_code)]
+enum TableGuard<'a> {
+    Shared(RwLockReadGuard<'a, ()>),
+    Exclusive(RwLockWriteGuard<'a, ()>),
+}
+
+impl RequestLocks {
+    /// Makes sure every name has a lock, before any of them is taken
+    /// (called once per `run`, never during a request).
+    fn ensure<I: IntoIterator<Item = String>>(&self, names: I) {
+        let mut map = self.tables.write().expect("lock-table map");
+        for name in names {
+            map.entry(name).or_default();
+        }
+    }
+
+    /// Acquires the declared footprint: shared on `reads`, exclusive
+    /// on `writes`, in canonical order.
+    fn acquire<'a>(
+        map: &'a BTreeMap<String, RwLock<()>>,
+        footprint: &Footprint,
+    ) -> Vec<TableGuard<'a>> {
+        // BTreeMap iteration is sorted-by-name: the canonical order.
+        map.iter()
+            .filter_map(|(name, lock)| {
+                if footprint.writes_table(name) {
+                    Some(TableGuard::Exclusive(lock.write().expect("table lock")))
+                } else if footprint.reads.contains(name) {
+                    Some(TableGuard::Shared(lock.read().expect("table lock")))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Shared locks on every declared table (undeclared read routes).
+    fn acquire_all_shared(map: &BTreeMap<String, RwLock<()>>) -> Vec<TableGuard<'_>> {
+        map.values()
+            .map(|lock| TableGuard::Shared(lock.read().expect("table lock")))
+            .collect()
+    }
+}
 
 /// Runs batches of requests against a shared application.
 ///
 /// # Examples
 ///
 /// ```
-/// use std::sync::RwLock;
 /// use jacqueline::{App, Executor, Request, Response, Router, Viewer};
 ///
 /// let mut router = Router::new();
 /// router.route_read("ping", |_, req| Response::ok(format!("pong {}", req.viewer)));
 ///
-/// let app = RwLock::new(App::new());
+/// let app = App::new();
 /// let requests: Vec<Request> =
 ///     (0..8).map(|i| Request::new("ping", Viewer::User(i))).collect();
 /// let responses = Executor::with_threads(4).run(&app, &router, &requests);
@@ -52,16 +137,19 @@ pub struct Executor {
 
 impl Executor {
     /// The deterministic single-thread mode: requests are processed in
-    /// submission order on the calling thread, exactly like a loop
-    /// over [`Router::handle`].
+    /// submission order on the calling thread, with responses
+    /// bit-for-bit identical to a loop over [`Router::handle`].
+    /// Footprint locks are still acquired per request (uncontended
+    /// they cost nanoseconds), so a sequential run overlapping a
+    /// threaded run on the same app keeps full request isolation.
     #[must_use]
     pub fn sequential() -> Executor {
         Executor { threads: 1 }
     }
 
     /// A pool of `threads` workers (clamped to at least 1). Workers
-    /// pull requests from a shared queue; read routes run under the
-    /// app's read lock, write routes under the write lock.
+    /// pull requests from a shared queue; each request runs under the
+    /// footprint locks its route declares.
     #[must_use]
     pub fn with_threads(threads: usize) -> Executor {
         Executor {
@@ -80,14 +168,16 @@ impl Executor {
     ///
     /// # Panics
     ///
-    /// Panics if the app lock is poisoned (a prior request panicked)
-    /// or a worker thread panics.
+    /// Panics if a lock is poisoned (a prior request panicked) or a
+    /// worker thread panics.
     #[must_use]
-    pub fn run(&self, app: &RwLock<App>, router: &Router, requests: &[Request]) -> Vec<Response> {
+    pub fn run(&self, app: &App, router: &Router, requests: &[Request]) -> Vec<Response> {
+        let locks = &app.request_locks;
+        locks.ensure(router.declared_tables());
         if self.threads == 1 {
             return requests
                 .iter()
-                .map(|r| Executor::dispatch(app, router, r))
+                .map(|r| Executor::dispatch(app, router, locks, r))
                 .collect();
         }
         let next = AtomicUsize::new(0);
@@ -99,7 +189,7 @@ impl Executor {
                     let Some(request) = requests.get(i) else {
                         break;
                     };
-                    let response = Executor::dispatch(app, router, request);
+                    let response = Executor::dispatch(app, router, locks, request);
                     slots[i]
                         .set(response)
                         .unwrap_or_else(|_| unreachable!("slot {i} claimed once"));
@@ -115,16 +205,32 @@ impl Executor {
             .collect()
     }
 
-    /// Dispatches one request with the appropriate lock side. Unknown
+    /// Dispatches one request under its footprint locks. Unknown
     /// paths answer 404 without taking any lock, so stray requests
-    /// cannot stall the parallel readers behind the write side.
-    fn dispatch(app: &RwLock<App>, router: &Router, request: &Request) -> Response {
+    /// cannot stall anyone.
+    fn dispatch(app: &App, router: &Router, locks: &RequestLocks, request: &Request) -> Response {
         if let Some(controller) = router.read_controller(&request.path) {
-            let guard = app.read().expect("app lock poisoned");
-            controller(&guard, request)
+            let _global = locks.global.read().expect("global lock");
+            let map = locks.tables.read().expect("lock-table map");
+            let _tables = match router.footprint(&request.path) {
+                Some(fp) => RequestLocks::acquire(&map, fp),
+                None => RequestLocks::acquire_all_shared(&map),
+            };
+            controller(app, request)
         } else if router.has_write_route(&request.path) {
-            let mut guard = app.write().expect("app lock poisoned");
-            router.handle(&mut guard, request)
+            match router.footprint(&request.path) {
+                Some(fp) => {
+                    let _global = locks.global.read().expect("global lock");
+                    let map = locks.tables.read().expect("lock-table map");
+                    let _tables = RequestLocks::acquire(&map, fp);
+                    router.handle(app, request)
+                }
+                None => {
+                    // No footprint: conservative whole-app exclusion.
+                    let _global = locks.global.write().expect("global lock");
+                    router.handle(app, request)
+                }
+            }
         } else {
             Response::not_found()
         }
@@ -164,7 +270,7 @@ mod tests {
 
     fn note_router() -> Router {
         let mut router = Router::new();
-        router.route_read("notes", |app: &App, req| {
+        router.route_read_tables("notes", &["note"], |app: &App, req| {
             let rows = app.all("note").unwrap_or_default();
             let mut session = crate::Session::new(req.viewer.clone());
             let mut body = String::new();
@@ -174,7 +280,7 @@ mod tests {
             }
             Response::ok(body)
         });
-        router.route("note/add", |app: &mut App, req| {
+        router.route_tables("note/add", &[], &["note"], |app: &App, req| {
             let owner = req.viewer.user_jid().unwrap_or(-1);
             match app.create("note", vec![Value::Int(owner), Value::from("added")]) {
                 Ok(jid) => Response::ok(jid.to_string()),
@@ -192,21 +298,21 @@ mod tests {
 
     #[test]
     fn sequential_matches_direct_router_dispatch() {
-        let app = RwLock::new(note_app());
+        let app = note_app();
         let router = note_router();
         let requests = read_mix();
         let executed = Executor::sequential().run(&app, &router, &requests);
-        let mut direct_app = note_app();
+        let direct_app = note_app();
         let direct: Vec<Response> = requests
             .iter()
-            .map(|r| router.handle(&mut direct_app, r))
+            .map(|r| router.handle(&direct_app, r))
             .collect();
         assert_eq!(executed, direct);
     }
 
     #[test]
     fn concurrent_reads_match_sequential() {
-        let app = RwLock::new(note_app());
+        let app = note_app();
         let router = note_router();
         let requests = read_mix();
         let sequential = Executor::sequential().run(&app, &router, &requests);
@@ -218,7 +324,7 @@ mod tests {
 
     #[test]
     fn writes_take_effect_and_unknown_paths_404() {
-        let app = RwLock::new(note_app());
+        let app = note_app();
         let router = note_router();
         let requests = vec![
             Request::new("note/add", Viewer::User(1)),
@@ -235,7 +341,7 @@ mod tests {
     fn executor_shares_one_app_across_threads() {
         // Mixed reads and (commuting) writes across 4 threads: every
         // write lands exactly once in the shared database.
-        let app = RwLock::new(note_app());
+        let app = note_app();
         let router = note_router();
         let writes = 12;
         let requests: Vec<Request> = (0..writes)
@@ -244,8 +350,6 @@ mod tests {
         let responses = Executor::with_threads(4).run(&app, &router, &requests);
         assert!(responses.iter().all(|r| r.status == 200));
         let total = app
-            .read()
-            .unwrap()
             .all("note")
             .unwrap()
             .iter()
@@ -254,5 +358,139 @@ mod tests {
             .collect::<std::collections::BTreeSet<_>>()
             .len();
         assert_eq!(total as i64, writes);
+    }
+
+    #[test]
+    fn undeclared_write_routes_still_serialize() {
+        // A router registered entirely through the legacy (no
+        // footprint) API keeps the old conservative semantics.
+        let app = note_app();
+        let mut router = Router::new();
+        router.route("note/add", |app: &App, req| {
+            let owner = req.viewer.user_jid().unwrap_or(-1);
+            match app.create("note", vec![Value::Int(owner), Value::from("added")]) {
+                Ok(jid) => Response::ok(jid.to_string()),
+                Err(e) => Response::error(&e.to_string()),
+            }
+        });
+        router.route_read("notes", |app: &App, req| {
+            let rows = app.all("note").unwrap_or_default();
+            let mut session = crate::Session::new(req.viewer.clone());
+            Response::ok(format!("{}", session.view_rows(app, &rows).len()))
+        });
+        let mut requests: Vec<Request> = (0..8)
+            .map(|i| Request::new("note/add", Viewer::User(i)))
+            .collect();
+        requests.extend((0..8).map(|i| Request::new("notes", Viewer::User(i))));
+        let responses = Executor::with_threads(4).run(&app, &router, &requests);
+        assert!(responses.iter().all(|r| r.status == 200));
+        assert_eq!(app.db.physical_rows("note").unwrap(), (6 + 8) * 2);
+    }
+
+    #[test]
+    fn concurrent_run_calls_on_one_app_share_footprint_locks() {
+        // Two separate Executor::run invocations against the same App
+        // must isolate against each other: `save` is a delete +
+        // re-insert, so if the runs did not share a lock table, the
+        // reader run could observe the object mid-save as absent.
+        let app = note_app();
+        let jid = 1i64;
+        let mut writer_router = Router::new();
+        writer_router.route_tables(
+            "note/rewrite",
+            &[],
+            &["note"],
+            move |app: &App, _| match app.update_fields(
+                "note",
+                jid,
+                &[(1, Value::from("rewritten"))],
+                &Default::default(),
+            ) {
+                Ok(()) => Response::ok("ok".into()),
+                Err(e) => Response::error(&e.to_string()),
+            },
+        );
+        let mut reader_router = Router::new();
+        reader_router.route_read_tables("note/present", &["note"], move |app: &App, _| {
+            match app.get("note", jid) {
+                Ok(_) => Response::ok("present".into()),
+                Err(e) => Response::error(&e.to_string()),
+            }
+        });
+        let writes: Vec<Request> = (0..50)
+            .map(|_| Request::new("note/rewrite", Viewer::User(0)))
+            .collect();
+        let reads: Vec<Request> = (0..200)
+            .map(|_| Request::new("note/present", Viewer::User(0)))
+            .collect();
+        std::thread::scope(|scope| {
+            let w = scope.spawn(|| Executor::with_threads(2).run(&app, &writer_router, &writes));
+            let r = scope.spawn(|| Executor::with_threads(2).run(&app, &reader_router, &reads));
+            let write_responses = w.join().unwrap();
+            let read_responses = r.join().unwrap();
+            assert!(write_responses.iter().all(|resp| resp.status == 200));
+            for resp in &read_responses {
+                assert_eq!(
+                    (resp.status, resp.body.as_str()),
+                    (200, "present"),
+                    "a reader observed a torn save across executor runs"
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn write_to_one_table_does_not_block_readers_of_another() {
+        // The table-granular locking headline, demonstrated
+        // deterministically: a write controller on table `a` parks
+        // until a reader of table `b` has completed. Under the old
+        // app-wide write lock this deadlocks (the reader can never
+        // start while the writer holds the app); with footprint locks
+        // the reader proceeds and both finish.
+        use std::sync::mpsc;
+        let mut app = App::new();
+        for t in ["a", "b"] {
+            app.register_model(ModelDef::public(
+                t,
+                vec![ColumnDef::new("x", ColumnType::Int)],
+            ))
+            .unwrap();
+        }
+        app.create("b", vec![Value::Int(7)]).unwrap();
+
+        let (reader_done_tx, reader_done_rx) = mpsc::channel::<()>();
+        let reader_done_rx = std::sync::Mutex::new(reader_done_rx);
+        let reader_done_tx = std::sync::Mutex::new(Some(reader_done_tx));
+        let mut router = Router::new();
+        router.route_tables("a/slow_add", &[], &["a"], move |app: &App, _req| {
+            app.create("a", vec![Value::Int(1)]).unwrap();
+            // Park until the reader of `b` reports completion; if the
+            // reader were blocked behind this writer, this would time
+            // out and fail rather than deadlock forever.
+            let ok = reader_done_rx
+                .lock()
+                .unwrap()
+                .recv_timeout(std::time::Duration::from_secs(10))
+                .is_ok();
+            Response::ok(format!("reader_finished_first={ok}"))
+        });
+        router.route_read_tables("b/read", &["b"], move |app: &App, _req| {
+            let n = app.all("b").map(|r| r.len()).unwrap_or(0);
+            if let Some(tx) = reader_done_tx.lock().unwrap().take() {
+                let _ = tx.send(());
+            }
+            Response::ok(n.to_string())
+        });
+
+        let requests = vec![
+            Request::new("a/slow_add", Viewer::User(1)),
+            Request::new("b/read", Viewer::User(2)),
+        ];
+        let responses = Executor::with_threads(2).run(&app, &router, &requests);
+        assert_eq!(
+            responses[0].body, "reader_finished_first=true",
+            "the b-reader must complete while the a-writer is mid-request"
+        );
+        assert_eq!(responses[1].body, "1");
     }
 }

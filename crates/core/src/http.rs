@@ -6,7 +6,7 @@
 //! documents this substitution) — the work that differs between
 //! Jacqueline and the hand-coded baseline is all server-side.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::app::App;
 use crate::model::Viewer;
@@ -82,27 +82,84 @@ impl Response {
     }
 }
 
-/// A write controller: takes exclusive app access and the request,
-/// renders a response. `Send + Sync` so routers can be shared across
-/// executor worker threads.
-pub type Controller = Box<dyn Fn(&mut App, &Request) -> Response + Send + Sync>;
+/// A write controller. Since the application object locks its state
+/// internally (per-table storage locks, label/policy locks), write
+/// controllers take `&App` like read controllers do — what
+/// distinguishes them is *dispatch*: the executor grants a write
+/// route exclusive footprint locks on the tables it declares.
+/// `Send + Sync` so routers can be shared across executor worker
+/// threads.
+pub type Controller = Box<dyn Fn(&App, &Request) -> Response + Send + Sync>;
 
-/// A read-only controller: takes *shared* app access, so the
-/// concurrent executor can dispatch many of these in parallel under a
-/// read lock.
+/// A read-only controller: dispatched under *shared* footprint locks,
+/// so the concurrent executor can run many of these in parallel.
 pub type ReadController = Box<dyn Fn(&App, &Request) -> Response + Send + Sync>;
+
+/// The declared table footprint of a route: which tables its
+/// controller may read and which it may write, including tables its
+/// models' *policies* consult at output time.
+///
+/// Footprints are what give the executor table-granular locking: a
+/// write request takes exclusive locks only on its `writes` set, so
+/// it no longer blocks readers of unrelated tables. Declaring too
+/// much costs parallelism; declaring too *little* breaks request
+/// isolation (a reader could observe half of a multi-statement
+/// write), so when in doubt declare generously — and routes with no
+/// footprint at all fall back to whole-app exclusion.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Footprint {
+    /// Tables the controller (and the policies it triggers) reads.
+    pub reads: BTreeSet<String>,
+    /// Tables the controller mutates.
+    pub writes: BTreeSet<String>,
+}
+
+impl Footprint {
+    /// A read-only footprint.
+    #[must_use]
+    pub fn reads(tables: &[&str]) -> Footprint {
+        Footprint {
+            reads: tables.iter().map(|t| (*t).to_owned()).collect(),
+            writes: BTreeSet::new(),
+        }
+    }
+
+    /// A footprint with reads and writes.
+    #[must_use]
+    pub fn new(reads: &[&str], writes: &[&str]) -> Footprint {
+        Footprint {
+            reads: reads.iter().map(|t| (*t).to_owned()).collect(),
+            writes: writes.iter().map(|t| (*t).to_owned()).collect(),
+        }
+    }
+
+    /// Every table the footprint mentions, in canonical (sorted)
+    /// order — the executor's lock-acquisition order.
+    pub fn tables(&self) -> impl Iterator<Item = &str> {
+        self.reads.union(&self.writes).map(String::as_str)
+    }
+
+    /// Whether the footprint writes `table`.
+    #[must_use]
+    pub fn writes_table(&self, table: &str) -> bool {
+        self.writes.contains(table)
+    }
+}
 
 /// Routes requests to controllers by exact path.
 ///
 /// Pages that only read the database register via
-/// [`Router::route_read`]; actions that mutate register via
-/// [`Router::route`]. The split is what lets the
-/// [`Executor`](crate::Executor) run read requests concurrently while
-/// serializing writes.
+/// [`Router::route_read`] / [`Router::route_read_tables`]; actions
+/// that mutate register via [`Router::route`] /
+/// [`Router::route_tables`]. The read/write split plus the declared
+/// [`Footprint`]s are what let the [`Executor`](crate::Executor) run
+/// requests concurrently, serializing only true conflicts on the
+/// same tables.
 #[derive(Default)]
 pub struct Router {
     routes: BTreeMap<String, Controller>,
     read_routes: BTreeMap<String, ReadController>,
+    footprints: BTreeMap<String, Footprint>,
 }
 
 impl Router {
@@ -112,17 +169,36 @@ impl Router {
         Router::default()
     }
 
-    /// Registers a (write) controller under a path.
+    /// Registers a (write) controller under a path, with no declared
+    /// footprint: the executor dispatches it under whole-app
+    /// exclusion.
     pub fn route(
         &mut self,
         path: &str,
-        controller: impl Fn(&mut App, &Request) -> Response + Send + Sync + 'static,
+        controller: impl Fn(&App, &Request) -> Response + Send + Sync + 'static,
     ) {
         self.routes.insert(path.to_owned(), Box::new(controller));
     }
 
+    /// Registers a (write) controller that declares the tables it
+    /// reads and writes; the executor takes exclusive locks only on
+    /// `writes` and shared locks on `reads`.
+    pub fn route_tables(
+        &mut self,
+        path: &str,
+        reads: &[&str],
+        writes: &[&str],
+        controller: impl Fn(&App, &Request) -> Response + Send + Sync + 'static,
+    ) {
+        self.routes.insert(path.to_owned(), Box::new(controller));
+        self.footprints
+            .insert(path.to_owned(), Footprint::new(reads, writes));
+    }
+
     /// Registers a read-only controller under a path. Read routes are
-    /// preferred over write routes at dispatch time.
+    /// preferred over write routes at dispatch time. With no declared
+    /// footprint the executor takes shared locks on *every* declared
+    /// table.
     pub fn route_read(
         &mut self,
         path: &str,
@@ -132,8 +208,23 @@ impl Router {
             .insert(path.to_owned(), Box::new(controller));
     }
 
+    /// Registers a read-only controller that declares the tables it
+    /// touches (including tables consulted by output-time policies).
+    pub fn route_read_tables(
+        &mut self,
+        path: &str,
+        tables: &[&str],
+        controller: impl Fn(&App, &Request) -> Response + Send + Sync + 'static,
+    ) {
+        self.read_routes
+            .insert(path.to_owned(), Box::new(controller));
+        self.footprints
+            .insert(path.to_owned(), Footprint::reads(tables));
+    }
+
     /// The read-only controller for `path`, if one is registered —
-    /// how the executor decides between the read and the write lock.
+    /// how the executor decides between shared and exclusive
+    /// footprint locks.
     #[must_use]
     pub fn read_controller(&self, path: &str) -> Option<&ReadController> {
         self.read_routes.get(path)
@@ -141,15 +232,31 @@ impl Router {
 
     /// Whether a *write* controller is registered for `path`. The
     /// executor uses this to answer unknown paths 404 without taking
-    /// the exclusive lock.
+    /// any lock.
     #[must_use]
     pub fn has_write_route(&self, path: &str) -> bool {
         self.routes.contains_key(path)
     }
 
-    /// Dispatches one request (the sequential path: exclusive access
-    /// serves both kinds of route).
-    pub fn handle(&self, app: &mut App, request: &Request) -> Response {
+    /// The declared footprint of `path`, if any.
+    #[must_use]
+    pub fn footprint(&self, path: &str) -> Option<&Footprint> {
+        self.footprints.get(path)
+    }
+
+    /// Every table declared by any route's footprint, in canonical
+    /// order — the executor builds its lock map from this.
+    #[must_use]
+    pub fn declared_tables(&self) -> BTreeSet<String> {
+        self.footprints
+            .values()
+            .flat_map(|f| f.tables().map(str::to_owned))
+            .collect()
+    }
+
+    /// Dispatches one request on the calling thread (the sequential
+    /// path: no locks, submission order).
+    pub fn handle(&self, app: &App, request: &Request) -> Response {
         if let Some(c) = self.read_routes.get(&request.path) {
             return c(app, request);
         }
@@ -182,12 +289,28 @@ mod tests {
     fn routing_dispatches_by_path() {
         let mut router = Router::new();
         router.route("hello", |_, req| Response::ok(format!("hi {}", req.viewer)));
-        let mut app = App::new();
-        let r = router.handle(&mut app, &Request::new("hello", Viewer::User(1)));
+        let app = App::new();
+        let r = router.handle(&app, &Request::new("hello", Viewer::User(1)));
         assert_eq!(r.status, 200);
         assert_eq!(r.body, "hi user#1");
-        let miss = router.handle(&mut app, &Request::new("nope", Viewer::Anonymous));
+        let miss = router.handle(&app, &Request::new("nope", Viewer::Anonymous));
         assert_eq!(miss.status, 404);
+    }
+
+    #[test]
+    fn footprints_are_recorded_and_unioned() {
+        let mut router = Router::new();
+        router.route_read_tables("list", &["b", "a"], |_, _| Response::ok(String::new()));
+        router.route_tables("add", &["a"], &["c"], |_, _| Response::ok(String::new()));
+        router.route("legacy", |_, _| Response::ok(String::new()));
+        let list = router.footprint("list").unwrap();
+        assert_eq!(list.tables().collect::<Vec<_>>(), vec!["a", "b"]);
+        assert!(!list.writes_table("a"));
+        let add = router.footprint("add").unwrap();
+        assert!(add.writes_table("c") && !add.writes_table("a"));
+        assert!(router.footprint("legacy").is_none());
+        let declared: Vec<String> = router.declared_tables().into_iter().collect();
+        assert_eq!(declared, vec!["a", "b", "c"]);
     }
 
     #[test]

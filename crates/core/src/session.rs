@@ -81,7 +81,13 @@ impl Session {
     }
 
     fn policy_verdict(&mut self, app: &App, label: Label) -> bool {
-        let Some(entry) = app.policies.get(&label).cloned() else {
+        let entry = app
+            .policies
+            .read()
+            .expect("policy lock")
+            .get(&label)
+            .cloned();
+        let Some(entry) = entry else {
             return true; // unconstrained labels are shown
         };
         let mut args = crate::model::PolicyArgs {
@@ -114,12 +120,15 @@ impl Session {
     }
 
     /// Resolves every label guarding the rows and returns the rows
-    /// this viewer sees (pruned, concrete).
-    pub fn view_rows(&mut self, app: &App, rows: &FacetedList<GuardedRow>) -> Vec<Row> {
+    /// this viewer sees (pruned, concrete). Rows are *borrowed* from
+    /// the query result — with the decode cache that result usually
+    /// shares the cached snapshot, so a whole page renders without
+    /// copying a single field value.
+    pub fn view_rows<'r>(&mut self, app: &App, rows: &'r FacetedList<GuardedRow>) -> Vec<&'r Row> {
         let mut out = Vec::new();
         for (guard, row) in rows.iter() {
             if self.guard_holds(app, guard) {
-                out.push(row.fields.clone());
+                out.push(&row.fields);
             }
         }
         out
@@ -146,9 +155,8 @@ impl Session {
     }
 
     fn guard_holds(&mut self, app: &App, guard: &Branches) -> bool {
-        let branches: Vec<Branch> = guard.iter().collect();
-        branches
-            .into_iter()
+        guard
+            .iter()
             .all(|b| self.resolve(app, b.label()) == b.is_positive())
     }
 
@@ -187,7 +195,7 @@ mod tests {
 
     #[test]
     fn session_resolves_each_label_once() {
-        let mut app = app_with_owner_policy();
+        let app = app_with_owner_policy();
         let jid = app
             .create("note", vec![Value::Int(7), Value::from("secret text")])
             .unwrap();
@@ -203,7 +211,7 @@ mod tests {
 
     #[test]
     fn session_matches_full_sink_resolution() {
-        let mut app = app_with_owner_policy();
+        let app = app_with_owner_policy();
         let jid = app
             .create("note", vec![Value::Int(7), Value::from("secret text")])
             .unwrap();
@@ -218,7 +226,7 @@ mod tests {
 
     #[test]
     fn session_rows_prune_guards() {
-        let mut app = app_with_owner_policy();
+        let app = app_with_owner_policy();
         for i in 0..4 {
             app.create("note", vec![Value::Int(i), Value::from(format!("n{i}"))])
                 .unwrap();
@@ -229,6 +237,7 @@ mod tests {
         assert_eq!(visible.len(), 4, "all rows visible, fields differ");
         let secret_texts: Vec<&Row> = visible
             .iter()
+            .copied()
             .filter(|r| r[1] == Value::from("n2"))
             .collect();
         assert_eq!(secret_texts.len(), 1, "only own note shows its text");
@@ -255,7 +264,7 @@ mod tests {
 
     #[test]
     fn faceted_scalar_resolution() {
-        let mut app = app_with_owner_policy();
+        let app = app_with_owner_policy();
         let jid = app
             .create("note", vec![Value::Int(1), Value::from("s")])
             .unwrap();

@@ -9,6 +9,7 @@
 //! shared-row optimization.
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::branch::{Branch, Branches};
 use crate::label::Label;
@@ -18,6 +19,16 @@ use crate::view::View;
 ///
 /// This is simultaneously the runtime representation of a faceted
 /// database table and of a faceted query result (a "faceted list").
+///
+/// # Representation
+///
+/// The rows live behind an `Arc` with copy-on-write mutation:
+/// cloning a list is O(1) and shares storage, which is what lets the
+/// FORM's decoded-row cache hand the same unmarshalled table to many
+/// concurrent requests without per-row copies. Mutators
+/// ([`FacetedList::push`], [`FacetedList::extend_from`], `Extend`)
+/// take the slow path — copying the rows first — only when the
+/// storage is actually shared.
 ///
 /// # Examples
 ///
@@ -31,15 +42,26 @@ use crate::view::View;
 /// assert_eq!(t.project(&View::empty()), vec![&"public row"]);
 /// assert_eq!(t.project(&View::from_labels([k])).len(), 2);
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(PartialEq, Eq, Hash)]
 pub struct FacetedList<T> {
-    rows: Vec<(Branches, T)>,
+    rows: Arc<Vec<(Branches, T)>>,
 }
 
-// Manual impl: `derive(Default)` would wrongly require `T: Default`.
+// Manual impls: the derives would wrongly require `T: Default` /
+// `T: Clone` (the `Arc` clones without cloning rows).
 impl<T> Default for FacetedList<T> {
     fn default() -> FacetedList<T> {
-        FacetedList { rows: Vec::new() }
+        FacetedList {
+            rows: Arc::new(Vec::new()),
+        }
+    }
+}
+
+impl<T> Clone for FacetedList<T> {
+    fn clone(&self) -> FacetedList<T> {
+        FacetedList {
+            rows: Arc::clone(&self.rows),
+        }
     }
 }
 
@@ -55,19 +77,14 @@ impl<T> FacetedList<T> {
     /// Creates an empty collection.
     #[must_use]
     pub fn new() -> FacetedList<T> {
-        FacetedList { rows: Vec::new() }
+        FacetedList::default()
     }
 
     /// Creates a collection of unguarded (public) rows.
     pub fn from_public<I: IntoIterator<Item = T>>(rows: I) -> FacetedList<T> {
         FacetedList {
-            rows: rows.into_iter().map(|r| (Branches::new(), r)).collect(),
+            rows: Arc::new(rows.into_iter().map(|r| (Branches::new(), r)).collect()),
         }
-    }
-
-    /// Appends a guarded row.
-    pub fn push(&mut self, guard: Branches, row: T) {
-        self.rows.push((guard, row));
     }
 
     /// Number of physical rows (across all facets).
@@ -87,9 +104,25 @@ impl<T> FacetedList<T> {
         self.rows.iter().map(|(b, r)| (b, r))
     }
 
-    /// Consumes the collection, yielding its `(guard, row)` pairs.
-    pub fn into_rows(self) -> Vec<(Branches, T)> {
-        self.rows
+    /// The `(guard, row)` pair at physical position `ix` — used by
+    /// index-planned queries to address a decoded snapshot by the
+    /// physical row positions the planner returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ix` is out of bounds.
+    #[must_use]
+    pub fn row(&self, ix: usize) -> (&Branches, &T) {
+        let (b, r) = &self.rows[ix];
+        (b, r)
+    }
+
+    /// Whether this list shares row storage with another (both are
+    /// clones of the same underlying rows — the decode cache's
+    /// zero-copy fast path).
+    #[must_use]
+    pub fn shares_rows_with(&self, other: &FacetedList<T>) -> bool {
+        Arc::ptr_eq(&self.rows, &other.rows)
     }
 
     /// The rows visible to view `L` — the paper's
@@ -104,19 +137,25 @@ impl<T> FacetedList<T> {
     }
 
     /// Early Pruning (`F-PRUNE`, §4.4): keeps only rows whose guard is
-    /// consistent with the program counter `pc`.
+    /// consistent with the program counter `pc`. When every row
+    /// survives, the result *shares* this list's storage (no copy) —
+    /// the common case for an unconstrained request.
     #[must_use]
     pub fn prune(&self, pc: &Branches) -> FacetedList<T>
     where
         T: Clone,
     {
+        if self.rows.iter().all(|(b, _)| b.consistent_with(pc)) {
+            return self.clone();
+        }
         FacetedList {
-            rows: self
-                .rows
-                .iter()
-                .filter(|(b, _)| b.consistent_with(pc))
-                .cloned()
-                .collect(),
+            rows: Arc::new(
+                self.rows
+                    .iter()
+                    .filter(|(b, _)| b.consistent_with(pc))
+                    .cloned()
+                    .collect(),
+            ),
         }
     }
 
@@ -137,7 +176,7 @@ impl<T> FacetedList<T> {
     #[must_use]
     pub fn map_rows<U>(&self, mut f: impl FnMut(&T) -> U) -> FacetedList<U> {
         FacetedList {
-            rows: self.rows.iter().map(|(b, r)| (b.clone(), f(r))).collect(),
+            rows: Arc::new(self.rows.iter().map(|(b, r)| (b.clone(), f(r))).collect()),
         }
     }
 
@@ -151,14 +190,29 @@ impl<T> FacetedList<T> {
         T: Clone,
     {
         FacetedList {
-            rows: self.rows.iter().filter(|(_, r)| pred(r)).cloned().collect(),
+            rows: Arc::new(self.rows.iter().filter(|(_, r)| pred(r)).cloned().collect()),
         }
+    }
+}
+
+impl<T: Clone> FacetedList<T> {
+    /// Appends a guarded row (copy-on-write: clones the storage first
+    /// if it is shared).
+    pub fn push(&mut self, guard: Branches, row: T) {
+        Arc::make_mut(&mut self.rows).push((guard, row));
+    }
+
+    /// Consumes the collection, yielding its `(guard, row)` pairs
+    /// (cloning them only if the storage is shared).
+    #[must_use]
+    pub fn into_rows(self) -> Vec<(Branches, T)> {
+        Arc::try_unwrap(self.rows).unwrap_or_else(|shared| (*shared).clone())
     }
 
     /// Appends another collection (the `F-UNION` rule: plain
     /// concatenation of guarded rows).
     pub fn extend_from(&mut self, other: FacetedList<T>) {
-        self.rows.extend(other.rows);
+        Arc::make_mut(&mut self.rows).extend(other.into_rows());
     }
 }
 
@@ -173,8 +227,8 @@ impl<T: Clone + Ord> FacetedList<T> {
     #[must_use]
     pub fn facet_join(label: Label, high: &FacetedList<T>, low: &FacetedList<T>) -> FacetedList<T> {
         // Multiset intersection by sort-merge over (guard, row) pairs.
-        let mut hi: Vec<(Branches, T)> = high.rows.clone();
-        let mut lo: Vec<(Branches, T)> = low.rows.clone();
+        let mut hi: Vec<(Branches, T)> = (*high.rows).clone();
+        let mut lo: Vec<(Branches, T)> = (*low.rows).clone();
         hi.sort();
         lo.sort();
         let mut shared: Vec<(Branches, T)> = Vec::new();
@@ -212,7 +266,9 @@ impl<T: Clone + Ord> FacetedList<T> {
                 rows.push((b.with(Branch::neg(label)), r));
             }
         }
-        FacetedList { rows }
+        FacetedList {
+            rows: Arc::new(rows),
+        }
     }
 
     /// N-ary `⟨⟨B ? T_H : T_L⟩⟩`, folding [`FacetedList::facet_join`]
@@ -238,23 +294,23 @@ impl<T: Clone + Ord> FacetedList<T> {
 impl<T> FromIterator<(Branches, T)> for FacetedList<T> {
     fn from_iter<I: IntoIterator<Item = (Branches, T)>>(iter: I) -> FacetedList<T> {
         FacetedList {
-            rows: iter.into_iter().collect(),
+            rows: Arc::new(iter.into_iter().collect()),
         }
     }
 }
 
-impl<T> IntoIterator for FacetedList<T> {
+impl<T: Clone> IntoIterator for FacetedList<T> {
     type Item = (Branches, T);
     type IntoIter = std::vec::IntoIter<(Branches, T)>;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.rows.into_iter()
+        self.into_rows().into_iter()
     }
 }
 
-impl<T> Extend<(Branches, T)> for FacetedList<T> {
+impl<T: Clone> Extend<(Branches, T)> for FacetedList<T> {
     fn extend<I: IntoIterator<Item = (Branches, T)>>(&mut self, iter: I) {
-        self.rows.extend(iter);
+        Arc::make_mut(&mut self.rows).extend(iter);
     }
 }
 
@@ -350,6 +406,22 @@ mod tests {
         assert_eq!(big.len(), 1);
         assert!(big.project(&View::empty()).is_empty());
         assert_eq!(big.project(&View::from_labels([k(0)])), vec![&10]);
+    }
+
+    #[test]
+    fn clones_share_storage_until_mutation() {
+        let mut a: FacetedList<String> =
+            [guarded(&[], "x"), guarded(&[], "y")].into_iter().collect();
+        let b = a.clone();
+        assert!(a.shares_rows_with(&b), "clone is O(1), storage shared");
+        // A full-survivor prune also shares.
+        let pruned = a.prune(&Branches::new());
+        assert!(pruned.shares_rows_with(&a));
+        // Mutation copies-on-write: `b` is unaffected.
+        a.push(Branches::new(), "z".to_owned());
+        assert!(!a.shares_rows_with(&b));
+        assert_eq!(a.len(), 3);
+        assert_eq!(b.len(), 2);
     }
 
     #[test]

@@ -1,14 +1,47 @@
 //! The faceted database handle: meta-data management, marshalling,
-//! faceted queries, guarded writes, Early Pruning.
+//! faceted queries, guarded writes, Early Pruning, and the
+//! generation-stamped decode cache.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock, RwLockReadGuard};
 
 use faceted::{Branches, FacetedList, Label, LabelRegistry};
 use microdb::{
-    ColumnDef, ColumnType, Database, Operand, Predicate, Query, Row, Schema, SortOrder, Value,
+    ColumnDef, ColumnType, Database, Operand, Predicate, Query, Row, Schema, SortOrder, Table,
+    Value,
 };
 
 use crate::error::{FormError, FormResult};
 use crate::meta::{encode_jvars, parse_jvars, JID, JVARS};
 use crate::object::{flatten_object, rebuild_object, FacetedObject, GuardedRow};
+
+/// Hit/miss counters of the decode cache (diagnostics; the ablation
+/// tables report these alongside the timings).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct DecodeCacheStats {
+    /// Queries served from an already-decoded table snapshot.
+    pub hits: u64,
+    /// Queries that had to unmarshal (cold table or stale generation).
+    pub misses: u64,
+}
+
+/// One cached decoded table, valid exactly while the table's write
+/// stamp still equals `generation`. Two independent layers:
+///
+/// * `rows` — the unmarshalled guarded rows of every physical row,
+///   aligned with physical row order (populated by full-table reads;
+///   `None` while only selective queries have run since the last
+///   write);
+/// * `objects` — facet DAGs of objects already rebuilt at this
+///   generation ([`FormDb::get`] memoizes per `jid`; facet DAGs are
+///   hash-consed, so the cached clones are O(1)).
+#[derive(Clone, Debug, Default)]
+struct DecodedTable {
+    generation: u64,
+    rows: Option<FacetedList<GuardedRow>>,
+    objects: HashMap<i64, FacetedObject>,
+}
 
 /// A faceted database: a relational engine driven purely through
 /// meta-data columns, per §3 of the paper.
@@ -19,15 +52,35 @@ use crate::object::{flatten_object, rebuild_object, FacetedObject, GuardedRow};
 /// marshalling and unmarshalling happens here; the underlying
 /// [`microdb::Database`] stays completely facet-unaware.
 ///
+/// # The decode cache
+///
+/// The paper's own evaluation (§6, Tables 3–4) identifies
+/// *unmarshalling* — re-parsing `jvars` strings into facet guards —
+/// as the dominant cost of the FORM. `FormDb` therefore keeps a
+/// per-table cache of decoded [`GuardedRow`]s, keyed on the table's
+/// monotonic [`microdb::Table::generation`] stamp: every
+/// `insert`/`update`/`delete` bumps the stamp, so a cached snapshot
+/// is valid exactly until the next write *to that table* — writes to
+/// other tables invalidate nothing. Queries (`all`, `filter`,
+/// `order_by`, `get`, joins) plan against physical row indices and
+/// reuse the decoded rows; Early-Pruning variants apply the viewer
+/// constraint to the decoded rows, not to raw strings. Cache clones
+/// are O(1) ([`FacetedList`] is copy-on-write), so a cache hit costs
+/// no per-row work at all. [`FormDb::set_decode_cache`] switches the
+/// cache off for ablation measurements; cached and uncached paths are
+/// byte-identical (the differential suite pins this).
+///
 /// # Concurrency
 ///
-/// `FormDb` is `Send + Sync`: every query method takes `&self` (the
-/// engine's shared-access plan never mutates, and writers rebuild
-/// indexes eagerly), so the concurrent request executor can serve
-/// many read requests against one `FormDb` behind a reader-writer
-/// lock while writes take the exclusive side. Per-request Early
-/// Pruning should use the `*_with` query variants, which take the
-/// viewer constraint as an argument instead of mutating the shared
+/// `FormDb` is `Send + Sync`, and both queries *and row-level writes*
+/// take `&self`: storage is sharded per table inside
+/// [`microdb::Database`], label allocation and `jid` reservation use
+/// internal locks, so concurrent requests touching different tables
+/// proceed fully in parallel. Multi-statement isolation (a reader
+/// must not observe half of a `save`) is coordinated above this layer
+/// by the executor's footprint locks. Per-request Early Pruning
+/// should use the `*_with` query variants, which take the viewer
+/// constraint as an argument instead of mutating the shared
 /// [`FormDb::set_pruning`] state.
 ///
 /// # Examples
@@ -59,15 +112,52 @@ use crate::object::{flatten_object, rebuild_object, FacetedObject, GuardedRow};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Debug)]
 pub struct FormDb {
     db: Database,
-    labels: LabelRegistry,
+    labels: RwLock<LabelRegistry>,
     /// Per-table next logical id (Django primary keys are per-model).
-    next_jid: std::collections::BTreeMap<String, i64>,
+    next_jid: Mutex<BTreeMap<String, i64>>,
     /// When set, unmarshalling reconstructs only facets consistent
     /// with this viewer constraint (Early Pruning, §3.2).
     pruning: Option<Branches>,
+    /// Whether the decode cache is active (`true` by default; the
+    /// ablation experiments switch it off).
+    cache_enabled: bool,
+    decoded: RwLock<HashMap<String, DecodedTable>>,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+impl Default for FormDb {
+    fn default() -> FormDb {
+        FormDb {
+            db: Database::new(),
+            labels: RwLock::new(LabelRegistry::new()),
+            next_jid: Mutex::new(BTreeMap::new()),
+            pruning: None,
+            cache_enabled: true,
+            decoded: RwLock::new(HashMap::new()),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Clone for FormDb {
+    fn clone(&self) -> FormDb {
+        FormDb {
+            db: self.db.clone(),
+            labels: RwLock::new(self.labels.read().expect("labels lock").clone()),
+            next_jid: Mutex::new(self.next_jid.lock().expect("jid lock").clone()),
+            pruning: self.pruning.clone(),
+            cache_enabled: self.cache_enabled,
+            // A fresh clone starts cold; snapshots repopulate lazily.
+            decoded: RwLock::new(HashMap::new()),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+        }
+    }
 }
 
 impl FormDb {
@@ -79,7 +169,13 @@ impl FormDb {
 
     /// Direct access to the underlying relational engine (for
     /// baselines and diagnostics; application code should stay on the
-    /// faceted API).
+    /// faceted API). Row-level writes through the raw handle still
+    /// bump table generations, so the decode cache stays correct;
+    /// *structural* changes are different — `drop_table` through the
+    /// raw handle must be paired with [`FormDb::create_table`] (which
+    /// purges the dropped name's snapshot) rather than
+    /// `Database::create_table`, because a fresh table restarts its
+    /// generation counter.
     pub fn raw(&mut self) -> &mut Database {
         &mut self.db
     }
@@ -91,14 +187,17 @@ impl FormDb {
     }
 
     /// Allocates a fresh policy label.
-    pub fn fresh_label(&mut self, name: &str) -> Label {
-        self.labels.fresh(name)
+    pub fn fresh_label(&self, name: &str) -> Label {
+        self.labels.write().expect("labels lock").fresh(name)
     }
 
-    /// The label registry.
-    #[must_use]
-    pub fn labels(&self) -> &LabelRegistry {
-        &self.labels
+    /// Shared access to the label registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a prior label allocation panicked mid-write.
+    pub fn labels(&self) -> RwLockReadGuard<'_, LabelRegistry> {
+        self.labels.read().expect("labels lock")
     }
 
     /// Enables Early Pruning for a known viewer constraint; queries
@@ -113,6 +212,45 @@ impl FormDb {
         self.pruning.as_ref()
     }
 
+    /// Switches the decode cache on or off (ablation hook). Returns
+    /// the previous setting. Disabling also drops any cached
+    /// snapshots.
+    pub fn set_decode_cache(&mut self, enabled: bool) -> bool {
+        let was = self.cache_enabled;
+        self.cache_enabled = enabled;
+        if !enabled {
+            self.decoded.write().expect("decode cache lock").clear();
+        }
+        was
+    }
+
+    /// Whether the decode cache is active.
+    #[must_use]
+    pub fn decode_cache_enabled(&self) -> bool {
+        self.cache_enabled
+    }
+
+    /// Decode-cache hit/miss counters since construction.
+    #[must_use]
+    pub fn decode_cache_stats(&self) -> DecodeCacheStats {
+        DecodeCacheStats {
+            hits: self.cache_hits.load(Ordering::Relaxed),
+            misses: self.cache_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The generation stamp of the cached snapshot for `table`, if one
+    /// exists — test hook for the invalidation contract (a write to
+    /// table A must leave B's snapshot valid).
+    #[must_use]
+    pub fn cached_generation(&self, table: &str) -> Option<u64> {
+        self.decoded
+            .read()
+            .expect("decode cache lock")
+            .get(table)
+            .map(|d| d.generation)
+    }
+
     /// Creates a logical table: the user columns plus `jid`/`jvars`
     /// meta columns, with a hash index on `jid`.
     ///
@@ -125,6 +263,14 @@ impl FormDb {
         cols.push(ColumnDef::new(JVARS, ColumnType::Str));
         self.db.create_table(name, Schema::new(cols))?;
         self.db.table_mut(name)?.create_index(JID)?;
+        // A fresh table restarts its generation at 0, so a snapshot
+        // cached for a *previous* table of the same name (dropped via
+        // the raw handle) could look current again once the new
+        // table's write count catches up — drop it now.
+        self.decoded
+            .write()
+            .expect("decode cache lock")
+            .remove(name);
         Ok(())
     }
 
@@ -150,16 +296,12 @@ impl FormDb {
         Ok(self.db.table(table)?.len())
     }
 
-    /// Number of user columns of a logical table.
-    fn user_width(&self, table: &str) -> FormResult<usize> {
-        Ok(self.db.table(table)?.schema().len() - 2)
-    }
-
     /// Reserves the next logical object id of a table without writing
     /// anything — used when the object's own `jid` must be visible to
     /// its policies before insertion.
-    pub fn reserve_jid(&mut self, table: &str) -> i64 {
-        let next = self.next_jid.entry(table.to_owned()).or_insert(1);
+    pub fn reserve_jid(&self, table: &str) -> i64 {
+        let mut map = self.next_jid.lock().expect("jid lock");
+        let next = map.entry(table.to_owned()).or_insert(1);
         let jid = *next;
         *next += 1;
         jid
@@ -172,7 +314,7 @@ impl FormDb {
     /// # Errors
     ///
     /// Schema-validation errors from the engine.
-    pub fn insert(&mut self, table: &str, object: &FacetedObject) -> FormResult<i64> {
+    pub fn insert(&self, table: &str, object: &FacetedObject) -> FormResult<i64> {
         let jid = self.reserve_jid(table);
         self.insert_with_jid(table, jid, object)?;
         Ok(jid)
@@ -183,30 +325,30 @@ impl FormDb {
     /// # Errors
     ///
     /// Schema-validation errors from the engine.
-    pub fn insert_with_jid(
-        &mut self,
-        table: &str,
-        jid: i64,
-        object: &FacetedObject,
-    ) -> FormResult<()> {
+    pub fn insert_with_jid(&self, table: &str, jid: i64, object: &FacetedObject) -> FormResult<()> {
         self.write_rows(table, jid, object)
     }
 
-    fn write_rows(&mut self, table: &str, jid: i64, object: &FacetedObject) -> FormResult<()> {
+    fn write_rows(&self, table: &str, jid: i64, object: &FacetedObject) -> FormResult<()> {
+        // One write lock for the whole marshalling loop: rows of one
+        // object land atomically, and the index refresh rides along.
+        let mut t = self.db.table_mut(table)?;
         for (guard, fields) in flatten_object(object) {
             let mut row: Row = fields;
             row.push(Value::Int(jid));
             row.push(Value::Str(encode_jvars(&guard)));
-            self.db.insert(table, row)?;
+            t.insert(row)?;
         }
         // Writers pay for index maintenance so the shared-access query
         // plan (`&self`) always finds fresh indexes.
-        self.db.table_mut(table)?.refresh_indexes();
+        t.refresh_indexes();
         Ok(())
     }
 
-    /// Parses one physical row into a [`GuardedRow`].
-    fn decode_row(&self, row: &Row, width: usize) -> FormResult<GuardedRow> {
+    /// Parses one physical row (user columns + `jid` + `jvars`) into a
+    /// [`GuardedRow`]. Takes a slice so callers can decode sub-ranges
+    /// of joined rows without materializing intermediate `Vec`s.
+    fn decode_row(row: &[Value], width: usize) -> FormResult<GuardedRow> {
         let jid = row[width]
             .as_int()
             .ok_or_else(|| FormError::BadJvars("jid is not an integer".into()))?;
@@ -220,13 +362,170 @@ impl FormDb {
         })
     }
 
-    fn apply_pruning(rows: Vec<GuardedRow>, constraint: Option<&Branches>) -> Vec<GuardedRow> {
-        match constraint {
+    /// The decoded rows of `table` under an already-held table guard:
+    /// served from the cache when the generation stamp still matches,
+    /// unmarshalled (and, when the cache is enabled, stored) otherwise.
+    ///
+    /// The returned list is aligned with physical row order, so
+    /// [`Query::plan_indices`] results index directly into it.
+    fn decoded_rows(&self, table: &str, t: &Table) -> FormResult<FacetedList<GuardedRow>> {
+        let generation = t.generation();
+        if self.cache_enabled {
+            if let Some(rows) = self.current_snapshot(table, generation) {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(rows); // O(1): shared storage
+            }
+            // Only count misses while the cache is live — with the
+            // cache disabled the stats stay frozen (matching every
+            // other query path), so ablation counters are comparable.
+            self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        let width = t.schema().len() - 2;
+        let mut pairs = Vec::with_capacity(t.len());
+        for r in t.rows() {
+            let g = FormDb::decode_row(r, width)?;
+            // The one clone of each guard happens here — once per
+            // table *generation*, not once per request.
+            pairs.push((g.guard.clone(), g));
+        }
+        let rows: FacetedList<GuardedRow> = pairs.into_iter().collect();
+        if self.cache_enabled {
+            let mut cache = self.decoded.write().expect("decode cache lock");
+            if let Some(slot) = FormDb::slot_at(&mut cache, table, generation) {
+                slot.rows = Some(rows.clone());
+            }
+        }
+        Ok(rows)
+    }
+
+    /// The cached decoded snapshot of `table`, if one is populated and
+    /// still at `generation`.
+    fn current_snapshot(&self, table: &str, generation: u64) -> Option<FacetedList<GuardedRow>> {
+        let cache = self.decoded.read().expect("decode cache lock");
+        let slot = cache.get(table)?;
+        if slot.generation != generation {
+            return None;
+        }
+        slot.rows.clone()
+    }
+
+    /// The rebuilt facet DAG of `(table, jid)` from the object layer
+    /// of the decode cache, if the slot is still current.
+    fn cached_object(&self, table: &str, generation: u64, jid: i64) -> Option<FacetedObject> {
+        let cache = self.decoded.read().expect("decode cache lock");
+        let slot = cache.get(table)?;
+        if slot.generation != generation {
+            return None;
+        }
+        slot.objects.get(&jid).cloned()
+    }
+
+    /// The cache slot for `(table, generation)`, creating or resetting
+    /// it as needed. Generations are monotonic, so data derived at an
+    /// *older* generation must never overwrite a newer slot — callers
+    /// get `None` in that case and simply skip caching.
+    fn slot_at<'c>(
+        cache: &'c mut HashMap<String, DecodedTable>,
+        table: &str,
+        generation: u64,
+    ) -> Option<&'c mut DecodedTable> {
+        let slot = cache.entry(table.to_owned()).or_default();
+        if slot.generation < generation {
+            *slot = DecodedTable {
+                generation,
+                rows: None,
+                objects: HashMap::new(),
+            };
+        }
+        (slot.generation == generation).then_some(slot)
+    }
+
+    /// Stores a rebuilt object in the cache (kept only while the slot
+    /// generation still matches, so a concurrent write can never
+    /// resurrect a stale DAG).
+    fn store_object(&self, table: &str, generation: u64, jid: i64, obj: &FacetedObject) {
+        let mut cache = self.decoded.write().expect("decode cache lock");
+        if let Some(slot) = FormDb::slot_at(&mut cache, table, generation) {
+            slot.objects.insert(jid, obj.clone());
+        }
+    }
+
+    /// Runs a single-table query and returns its result as decoded
+    /// guarded rows, reusing the cached snapshot whenever the planner
+    /// can express the result as physical row indices.
+    fn select_decoded(
+        &self,
+        table: &str,
+        query: &Query,
+        prune: Option<&Branches>,
+    ) -> FormResult<FacetedList<GuardedRow>> {
+        let t = self.db.table(table)?;
+        let width = t.schema().len() - 2;
+        let Some(indices) = query.plan_indices(&t)? else {
+            // Shapes the index planner cannot express (none of the
+            // FORM's own queries hit this; kept for robustness).
+            drop(t);
+            let rows = query.execute_ref(&self.db)?;
+            let mut out = Vec::with_capacity(rows.len());
+            for r in &rows {
+                let g = FormDb::decode_row(r, width)?;
+                out.push((g.guard.clone(), g));
+            }
+            let list: FacetedList<GuardedRow> = out.into_iter().collect();
+            return Ok(FormDb::pruned(list, prune));
+        };
+        let full_selection =
+            indices.len() == t.len() && indices.iter().enumerate().all(|(p, &i)| p == i);
+        if self.cache_enabled {
+            if let Some(decoded) = self.current_snapshot(table, t.generation()) {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                drop(t);
+                if full_selection {
+                    // Full-table selection in physical order (e.g.
+                    // `all`): share the snapshot outright.
+                    return Ok(FormDb::pruned(decoded, prune));
+                }
+                let subset: FacetedList<GuardedRow> = indices
+                    .iter()
+                    .map(|&i| {
+                        let (guard, row) = decoded.row(i);
+                        (guard.clone(), row.clone())
+                    })
+                    .collect();
+                return Ok(FormDb::pruned(subset, prune));
+            }
+            if full_selection {
+                // Cold/stale snapshot and the query wants everything:
+                // decode once, store, share.
+                let decoded = self.decoded_rows(table, &t)?;
+                drop(t);
+                return Ok(FormDb::pruned(decoded, prune));
+            }
+            // Cold/stale snapshot but the query is *selective* (e.g.
+            // an indexed `get` right after a write): decode only the
+            // matched rows instead of unmarshalling the whole table —
+            // otherwise a write+get loop over n objects would cost
+            // O(n²) total decodes. The snapshot is rebuilt by the
+            // next full-table read.
+            self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        // Selected-rows-only decode: the selective-miss path above and
+        // the ablation (`cache_enabled == false`) path, which is the
+        // pre-cache behavior.
+        let rows = t.rows();
+        let mut out = Vec::with_capacity(indices.len());
+        for &i in &indices {
+            let g = FormDb::decode_row(&rows[i], width)?;
+            out.push((g.guard.clone(), g));
+        }
+        let list: FacetedList<GuardedRow> = out.into_iter().collect();
+        Ok(FormDb::pruned(list, prune))
+    }
+
+    fn pruned(rows: FacetedList<GuardedRow>, prune: Option<&Branches>) -> FacetedList<GuardedRow> {
+        match prune {
             None => rows,
-            Some(constraint) => rows
-                .into_iter()
-                .filter(|r| r.guard.consistent_with(constraint))
-                .collect(),
+            Some(constraint) => rows.prune(constraint),
         }
     }
 
@@ -244,6 +543,9 @@ impl FormDb {
     /// letting each concurrent request keep its pruning state
     /// thread-local instead of mutating the shared handle.
     ///
+    /// On a cache hit with no constraint this is O(1): the returned
+    /// list shares the cached snapshot's storage.
+    ///
     /// # Errors
     ///
     /// Table lookup / decoding errors.
@@ -252,9 +554,10 @@ impl FormDb {
         table: &str,
         prune: Option<&Branches>,
     ) -> FormResult<FacetedList<GuardedRow>> {
-        let width = self.user_width(table)?;
-        let rows = Query::from(table).execute_ref(&self.db)?;
-        self.collect_guarded(rows, width, prune)
+        let t = self.db.table(table)?;
+        let rows = self.decoded_rows(table, &t)?;
+        drop(t);
+        Ok(FormDb::pruned(rows, prune))
     }
 
     /// Faceted `filter`: issues the WHERE query directly against the
@@ -279,9 +582,8 @@ impl FormDb {
         predicate: Predicate,
         prune: Option<&Branches>,
     ) -> FormResult<FacetedList<GuardedRow>> {
-        let width = self.user_width(table)?;
-        let rows = Query::from(table).filter(predicate).execute_ref(&self.db)?;
-        self.collect_guarded(rows, width, prune)
+        let query = Query::from(table).filter(predicate);
+        self.select_decoded(table, &query, prune)
     }
 
     /// Faceted equality filter on one column.
@@ -329,17 +631,18 @@ impl FormDb {
         order: SortOrder,
         prune: Option<&Branches>,
     ) -> FormResult<FacetedList<GuardedRow>> {
-        let width = self.user_width(table)?;
-        let rows = Query::from(table)
-            .order_by(column, order)
-            .execute_ref(&self.db)?;
-        self.collect_guarded(rows, width, prune)
+        let query = Query::from(table).order_by(column, order);
+        self.select_decoded(table, &query, prune)
     }
 
     /// Faceted join: `left JOIN right ON left.fk = right.jid`,
-    /// SELECTing both `jvars` columns and unioning the guards — the
-    /// translated query of Table 2. Pairs whose combined guard is
-    /// contradictory are dropped (no view could see them).
+    /// unioning the guards of both sides — the translated query of
+    /// Table 2. Pairs whose combined guard is contradictory are
+    /// dropped (no view could see them).
+    ///
+    /// Both sides come from the decode cache, so the join never
+    /// re-parses `jvars` and never materializes intermediate raw-row
+    /// copies.
     ///
     /// Returns `(left_row, right_row)` pairs with the combined guard.
     ///
@@ -368,43 +671,61 @@ impl FormDb {
         right: &str,
         prune: Option<&Branches>,
     ) -> FormResult<FacetedList<(GuardedRow, GuardedRow)>> {
-        let lwidth = self.user_width(left)?;
-        let rwidth = self.user_width(right)?;
-        let rows = Query::from(left)
-            .join(right, fk_column, JID)
-            .execute_ref(&self.db)?;
-        let mut out = FacetedList::new();
-        let lphys = lwidth + 2;
-        for row in rows {
-            let l = self.decode_row(&row[..lphys].to_vec(), lwidth)?;
-            let r = self.decode_row(&row[lphys..].to_vec(), rwidth)?;
-            let guard = l.guard.union(&r.guard);
-            if !guard.is_consistent() {
-                continue;
+        let (ldec, fk_ix) = {
+            let t = self.db.table(left)?;
+            let fk_ix = t
+                .schema()
+                .column_index(fk_column)
+                .ok_or_else(|| microdb::DbError::NoSuchColumn(fk_column.to_owned()))?;
+            // The fk must be a *user* column: decoded rows carry only
+            // the user fields, and joining on the meta columns
+            // (`jid`/`jvars`) is not a faceted foreign key.
+            if fk_ix >= t.schema().len() - 2 {
+                return Err(FormError::Db(microdb::DbError::InvalidOperation(format!(
+                    "join_on_fk: {fk_column} is a meta column, not a user foreign key"
+                ))));
             }
-            let (mut l, mut r) = (l, r);
-            l.guard = guard.clone();
-            r.guard = guard.clone();
-            out.push(guard, (l, r));
+            (self.decoded_rows(left, &t)?, fk_ix)
+        };
+        let rdec = if left == right {
+            ldec.clone()
+        } else {
+            let t = self.db.table(right)?;
+            self.decoded_rows(right, &t)?
+        };
+
+        // Hash join on the right side's jid, in physical row order —
+        // the same pairing (and ordering) the relational hash join
+        // produces.
+        let mut by_jid: HashMap<i64, Vec<usize>> = HashMap::new();
+        for (i, (_, r)) in rdec.iter().enumerate() {
+            by_jid.entry(r.jid).or_default().push(i);
+        }
+        let mut out = FacetedList::new();
+        for (_, l) in ldec.iter() {
+            let Some(fk) = l.fields[fk_ix].as_int() else {
+                continue; // NULL (or non-integer) keys never join
+            };
+            let Some(matches) = by_jid.get(&fk) else {
+                continue;
+            };
+            for &ri in matches {
+                let (_, r) = rdec.row(ri);
+                let guard = l.guard.union(&r.guard);
+                if !guard.is_consistent() {
+                    continue;
+                }
+                let mut l = l.clone();
+                let mut r = r.clone();
+                l.guard = guard.clone();
+                r.guard = guard.clone();
+                out.push(guard, (l, r));
+            }
         }
         if let Some(constraint) = prune {
             out = out.prune(constraint);
         }
         Ok(out)
-    }
-
-    fn collect_guarded(
-        &self,
-        rows: Vec<Row>,
-        width: usize,
-        prune: Option<&Branches>,
-    ) -> FormResult<FacetedList<GuardedRow>> {
-        let mut decoded = Vec::with_capacity(rows.len());
-        for r in &rows {
-            decoded.push(self.decode_row(r, width)?);
-        }
-        let decoded = FormDb::apply_pruning(decoded, prune);
-        Ok(decoded.into_iter().map(|g| (g.guard.clone(), g)).collect())
     }
 
     /// Reconstructs one logical object from its physical rows.
@@ -419,6 +740,13 @@ impl FormDb {
 
     /// [`FormDb::get`] with an explicit Early-Pruning constraint.
     ///
+    /// Unpruned lookups are memoized per `(table, jid)` in the decode
+    /// cache's object layer: the facet DAG is rebuilt once per table
+    /// generation and shared by every subsequent request (policies
+    /// re-fetch the same profile objects constantly — the paper's
+    /// Table 4 workload). Pruned lookups rebuild from the decoded
+    /// rows, which still skips all `jvars` parsing.
+    ///
     /// # Errors
     ///
     /// Same as [`FormDb::get`].
@@ -428,28 +756,40 @@ impl FormDb {
         jid: i64,
         prune: Option<&Branches>,
     ) -> FormResult<FacetedObject> {
-        let width = self.user_width(table)?;
-        let rows = Query::from(table)
-            .filter(Predicate::eq(Operand::col(JID), Operand::lit(jid)))
-            .execute_ref(&self.db)?;
+        if self.cache_enabled && prune.is_none() {
+            let generation = self.db.table(table)?.generation();
+            if let Some(obj) = self.cached_object(table, generation, jid) {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(obj);
+            }
+            let obj = self.rebuild_from_rows(table, jid, None)?;
+            self.store_object(table, generation, jid, &obj);
+            return Ok(obj);
+        }
+        self.rebuild_from_rows(table, jid, prune)
+    }
+
+    /// Rebuilds one object's facet DAG from its (decoded) physical
+    /// rows — the slow path behind the object cache.
+    fn rebuild_from_rows(
+        &self,
+        table: &str,
+        jid: i64,
+        prune: Option<&Branches>,
+    ) -> FormResult<FacetedObject> {
+        let query = Query::from(table).filter(Predicate::eq(Operand::col(JID), Operand::lit(jid)));
+        let rows = self.select_decoded(table, &query, None)?;
         if rows.is_empty() {
             return Err(FormError::NoSuchObject {
                 table: table.to_owned(),
                 jid,
             });
         }
-        let mut guarded = Vec::with_capacity(rows.len());
-        for r in &rows {
-            let g = self.decode_row(r, width)?;
-            guarded.push((g.guard, g.fields));
-        }
-        let guarded = match prune {
-            None => guarded,
-            Some(c) => guarded
-                .into_iter()
-                .filter(|(g, _)| g.consistent_with(c))
-                .collect(),
-        };
+        let guarded: Vec<(Branches, Row)> = rows
+            .iter()
+            .filter(|(g, _)| prune.is_none_or(|c| g.consistent_with(c)))
+            .map(|(_, r)| (r.guard.clone(), r.fields.clone()))
+            .collect();
         rebuild_object(jid, &guarded)
     }
 
@@ -464,7 +804,7 @@ impl FormDb {
     /// (`None` facets) rather than an error, so guarded creation
     /// works.
     pub fn save(
-        &mut self,
+        &self,
         table: &str,
         jid: i64,
         new: &FacetedObject,
@@ -488,7 +828,7 @@ impl FormDb {
     /// # Errors
     ///
     /// Same as [`FormDb::save`].
-    pub fn delete(&mut self, table: &str, jid: i64, pc: &Branches) -> FormResult<()> {
+    pub fn delete(&self, table: &str, jid: i64, pc: &Branches) -> FormResult<()> {
         self.save(table, jid, &faceted::Faceted::leaf(None), pc)
     }
 }
@@ -620,7 +960,7 @@ mod tests {
 
     #[test]
     fn save_without_pc_overwrites() {
-        let (mut db, _, jid) = event_db();
+        let (db, _, jid) = event_db();
         let new = Faceted::leaf(Some(vec![Value::from("X"), Value::from("Y")]));
         db.save("event", jid, &new, &Branches::new()).unwrap();
         assert_eq!(db.physical_rows("event").unwrap(), 1);
@@ -632,7 +972,7 @@ mod tests {
     fn save_under_pc_keeps_old_value_for_other_views() {
         // The Dagstuhl-update example of §2.2: a write inside a branch
         // on sensitive data becomes ⟨k ? new : old⟩.
-        let (mut db, k, jid) = event_db();
+        let (db, k, jid) = event_db();
         let new = Faceted::leaf(Some(vec![
             Value::from("Carol's surprise party"),
             Value::from("Dagstuhl event!"),
@@ -653,7 +993,7 @@ mod tests {
 
     #[test]
     fn guarded_delete_hides_for_matching_views() {
-        let (mut db, k, jid) = event_db();
+        let (db, k, jid) = event_db();
         let pc = Branches::new().with(Branch::pos(k));
         db.delete("event", jid, &pc).unwrap();
         let obj = db.get("event", jid).unwrap();
@@ -663,7 +1003,7 @@ mod tests {
 
     #[test]
     fn full_delete_removes_object() {
-        let (mut db, _, jid) = event_db();
+        let (db, _, jid) = event_db();
         db.delete("event", jid, &Branches::new()).unwrap();
         assert!(matches!(
             db.get("event", jid),
@@ -738,5 +1078,178 @@ mod tests {
             )
             .unwrap();
         assert!(matches!(db.get("event", 50), Err(FormError::BadJvars(_))));
+    }
+
+    #[test]
+    fn cache_hit_shares_storage_and_survives_reads() {
+        let (db, _, jid) = event_db();
+        let first = db.all("event").unwrap();
+        let second = db.all("event").unwrap();
+        assert!(
+            second.shares_rows_with(&first),
+            "a cache hit returns the same decoded snapshot"
+        );
+        let stats = db.decode_cache_stats();
+        assert_eq!(stats.misses, 1, "one cold decode");
+        assert!(stats.hits >= 1);
+        // Reads (get / filter) also ride the snapshot without
+        // invalidating it.
+        let _ = db.get("event", jid).unwrap();
+        let _ = db
+            .filter_eq("event", "location", Value::from("Schloss Dagstuhl"))
+            .unwrap();
+        assert_eq!(db.decode_cache_stats().misses, 1);
+    }
+
+    #[test]
+    fn writes_invalidate_exactly_the_written_table() {
+        let (mut db, _, _) = event_db();
+        db.create_table("other", vec![ColumnDef::new("x", ColumnType::Int)])
+            .unwrap();
+        db.insert("other", &Faceted::leaf(Some(vec![Value::Int(1)])))
+            .unwrap();
+        let _ = db.all("event").unwrap();
+        let _ = db.all("other").unwrap();
+        let event_gen = db.cached_generation("event").unwrap();
+        let other_gen = db.cached_generation("other").unwrap();
+
+        // A write to `other` must stale only `other`'s snapshot.
+        db.insert("other", &Faceted::leaf(Some(vec![Value::Int(2)])))
+            .unwrap();
+        assert_eq!(
+            db.cached_generation("event"),
+            Some(event_gen),
+            "unrelated table keeps its snapshot"
+        );
+        assert_eq!(db.raw_ref().generation("event").unwrap(), event_gen);
+        assert!(db.raw_ref().generation("other").unwrap() > other_gen);
+
+        let misses_before = db.decode_cache_stats().misses;
+        let _ = db.all("event").unwrap();
+        assert_eq!(
+            db.decode_cache_stats().misses,
+            misses_before,
+            "event still served from cache"
+        );
+        let _ = db.all("other").unwrap();
+        assert_eq!(
+            db.decode_cache_stats().misses,
+            misses_before + 1,
+            "other re-decoded after the write"
+        );
+    }
+
+    #[test]
+    fn cache_disabled_path_is_identical() {
+        let (mut db, k, jid) = event_db();
+        let cached_all = db.all("event").unwrap();
+        let cached_get = db.get("event", jid).unwrap();
+        let constraint = Branches::new().with(Branch::pos(k));
+        let cached_pruned = db.all_with("event", Some(&constraint)).unwrap();
+        db.set_decode_cache(false);
+        assert_eq!(db.all("event").unwrap(), cached_all);
+        assert_eq!(db.get("event", jid).unwrap(), cached_get);
+        assert_eq!(
+            db.all_with("event", Some(&constraint)).unwrap(),
+            cached_pruned
+        );
+        assert_eq!(db.cached_generation("event"), None, "snapshots dropped");
+    }
+
+    #[test]
+    fn join_on_meta_column_is_an_error_not_a_panic() {
+        let (db, _, _) = event_db();
+        assert!(matches!(
+            db.join_on_fk("event", JID, "event"),
+            Err(FormError::Db(microdb::DbError::InvalidOperation(_)))
+        ));
+        assert!(matches!(
+            db.join_on_fk("event", "nope", "event"),
+            Err(FormError::Db(microdb::DbError::NoSuchColumn(_)))
+        ));
+    }
+
+    #[test]
+    fn selective_get_after_write_does_not_decode_whole_table() {
+        // A write+get loop must stay O(rows-of-the-object) per get,
+        // not O(table): on a stale snapshot, an indexed single-object
+        // lookup decodes only its matched rows and leaves snapshot
+        // rebuilding to the next full-table read.
+        let mut db = FormDb::new();
+        db.create_table("t", vec![ColumnDef::new("v", ColumnType::Int)])
+            .unwrap();
+        for i in 0..64 {
+            db.insert("t", &Faceted::leaf(Some(vec![Value::Int(i)])))
+                .unwrap();
+        }
+        let _ = db.all("t").unwrap(); // snapshot at current generation
+        db.insert("t", &Faceted::leaf(Some(vec![Value::Int(64)])))
+            .unwrap(); // stales it
+        let obj = db.get("t", 1).unwrap();
+        assert!(obj.project(&View::empty()).is_some());
+        assert_eq!(
+            db.cached_generation("t"),
+            Some(db.raw_ref().generation("t").unwrap()),
+            "the get advanced the slot (for its object memo)"
+        );
+        // The row snapshot was NOT rebuilt by the selective get — the
+        // next all() re-decodes (one more miss), proving the get did
+        // not pay the full-table decode.
+        let misses = db.decode_cache_stats().misses;
+        let _ = db.all("t").unwrap();
+        assert_eq!(db.decode_cache_stats().misses, misses + 1);
+        // And repeated gets now ride the object memo.
+        let misses = db.decode_cache_stats().misses;
+        let again = db.get("t", 1).unwrap();
+        assert_eq!(again, obj);
+        assert_eq!(db.decode_cache_stats().misses, misses);
+    }
+
+    #[test]
+    fn drop_and_recreate_does_not_resurrect_cached_rows() {
+        // A recreated table restarts its generation counter, so the
+        // old snapshot could otherwise look current again once the
+        // new table's write count matches the old one.
+        let mut db = FormDb::new();
+        db.create_table("t", vec![ColumnDef::new("v", ColumnType::Str)])
+            .unwrap();
+        for s in ["old1", "old2", "old3"] {
+            db.insert("t", &Faceted::leaf(Some(vec![Value::from(s)])))
+                .unwrap();
+        }
+        let _ = db.all("t").unwrap(); // cache at generation 3
+        db.raw().drop_table("t").unwrap();
+        db.create_table("t", vec![ColumnDef::new("v", ColumnType::Str)])
+            .unwrap();
+        for s in ["new1", "new2", "new3"] {
+            db.insert("t", &Faceted::leaf(Some(vec![Value::from(s)])))
+                .unwrap();
+        }
+        let rows = db.all("t").unwrap();
+        let texts: Vec<&str> = rows
+            .iter()
+            .map(|(_, r)| r.fields[0].as_str().unwrap())
+            .collect();
+        assert_eq!(texts, vec!["new1", "new2", "new3"]);
+    }
+
+    #[test]
+    fn raw_writes_invalidate_through_generations() {
+        let (mut db, _, _) = event_db();
+        let before = db.all("event").unwrap();
+        assert_eq!(before.len(), 2);
+        db.raw()
+            .insert(
+                "event",
+                vec![
+                    Value::from("late"),
+                    Value::from("row"),
+                    Value::Int(77),
+                    Value::from(""),
+                ],
+            )
+            .unwrap();
+        let after = db.all("event").unwrap();
+        assert_eq!(after.len(), 3, "raw write visible despite the cache");
     }
 }

@@ -21,6 +21,11 @@
 //! §2.2 (`⟨⟨pc ? new : old⟩⟩`), and [`FormDb::set_pruning`] implements
 //! the Early Pruning optimization of §3.2.
 //!
+//! Unmarshalling — the dominant FORM cost in the paper's Tables 3–4 —
+//! is amortized by a per-table **decode cache** keyed on the storage
+//! engine's write-generation stamps; see the [`FormDb`] type-level
+//! docs for the invalidation contract.
+//!
 //! See the crate-level example on [`FormDb`].
 
 #![forbid(unsafe_code)]
@@ -33,7 +38,7 @@ mod meta;
 mod object;
 
 pub use aggregate::{faceted_count, faceted_sum};
-pub use db::FormDb;
+pub use db::{DecodeCacheStats, FormDb};
 pub use error::{FormError, FormResult};
 pub use meta::{encode_jvars, parse_jvars, JID, JVARS};
 pub use object::{flatten_object, object_field, rebuild_object, FacetedObject, GuardedRow};

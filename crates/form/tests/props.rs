@@ -65,7 +65,7 @@ proptest! {
     /// insert ∘ get = identity on canonical objects, for every view.
     #[test]
     fn marshal_unmarshal_round_trip(obj in arb_object(3)) {
-        let mut db = fresh_db();
+        let db = fresh_db();
         let jid = db.insert("t", &obj).unwrap();
         // Fully-absent objects store zero rows and read back as "no
         // such object" — equivalent to the all-None tree.
@@ -95,7 +95,7 @@ proptest! {
         objs in proptest::collection::vec(arb_object(2), 1..6),
         needle in 0i64..6,
     ) {
-        let mut db = fresh_db();
+        let db = fresh_db();
         for o in &objs {
             db.insert("t", o).unwrap();
         }
@@ -123,7 +123,7 @@ proptest! {
     fn order_by_commutes_with_projection(
         objs in proptest::collection::vec(arb_object(2), 1..6),
     ) {
-        let mut db = fresh_db();
+        let db = fresh_db();
         for o in &objs {
             db.insert("t", o).unwrap();
         }
@@ -149,7 +149,7 @@ proptest! {
     #[test]
     fn guarded_save_semantics(old in arb_object(2), new in arb_object(2), pc in arb_branches()) {
         prop_assume!(pc.is_consistent());
-        let mut db = fresh_db();
+        let db = fresh_db();
         let jid = db.insert("t", &old).unwrap();
         db.save("t", jid, &new, &pc).unwrap();
         match db.get("t", jid) {
@@ -184,7 +184,7 @@ proptest! {
         constraint in arb_branches(),
     ) {
         prop_assume!(constraint.is_consistent());
-        let mut plain = fresh_db();
+        let plain = fresh_db();
         let mut pruned = fresh_db();
         for o in &objs {
             plain.insert("t", o).unwrap();
@@ -206,10 +206,109 @@ proptest! {
         }
     }
 
+    /// Decode-cache invalidation contract: every write to a table
+    /// bumps that table's generation and stales exactly *its* cached
+    /// snapshot — a cached snapshot of any other table stays valid
+    /// across the whole write sequence.
+    #[test]
+    fn writes_bump_generation_and_invalidate_only_written_table(
+        objs in proptest::collection::vec(arb_object(2), 1..4),
+        ops in proptest::collection::vec((any::<bool>(), 0u8..3, arb_object(1), arb_branches()), 1..8),
+    ) {
+        let mut db = fresh_db();
+        db.create_table("u", vec![ColumnDef::new("v", ColumnType::Int)]).unwrap();
+        for o in &objs {
+            db.insert("t", o).unwrap();
+            db.insert("u", o).unwrap();
+        }
+        // Warm both snapshots.
+        let _ = db.all("t").unwrap();
+        let _ = db.all("u").unwrap();
+        for (to_u, op, obj, pc) in &ops {
+            let (target, other) = if *to_u { ("u", "t") } else { ("t", "u") };
+            let gen_before = db.raw_ref().generation(target).unwrap();
+            let other_cached = db.cached_generation(other);
+            // Inserting an everywhere-absent object stores zero rows
+            // (a storage-level no-op), and an inconsistent pc never
+            // reaches the engine — substitute writes that really land.
+            let obj = if form::flatten_object(obj).is_empty() {
+                Faceted::leaf(Some(vec![Value::Int(0)]))
+            } else {
+                obj.clone()
+            };
+            let pc = if pc.is_consistent() {
+                pc.clone()
+            } else {
+                Branches::new()
+            };
+            let wrote = match op {
+                0 => db.insert(target, &obj).map(|_| true),
+                1 => db.save(target, 1, &obj, &pc).map(|_| true),
+                _ => db.delete(target, 1, &pc).map(|_| true),
+            };
+            prop_assert!(wrote.is_ok());
+            prop_assert!(
+                db.raw_ref().generation(target).unwrap() > gen_before,
+                "a write must bump the written table's generation"
+            );
+            prop_assert_eq!(
+                db.cached_generation(other), other_cached,
+                "writes must not touch the other table's snapshot"
+            );
+            // The stale snapshot is refreshed on next access and the
+            // untouched one still hits.
+            let misses_before = db.decode_cache_stats().misses;
+            let _ = db.all(other).unwrap();
+            prop_assert_eq!(db.decode_cache_stats().misses, misses_before,
+                "reading the unwritten table is still a cache hit");
+            let _ = db.all(target).unwrap();
+            prop_assert_eq!(db.decode_cache_stats().misses, misses_before + 1,
+                "reading the written table re-decodes once");
+        }
+    }
+
+    /// Cached and cache-disabled queries are byte-identical across
+    /// arbitrary data, for every query shape the FORM offers.
+    #[test]
+    fn cached_and_uncached_queries_agree(
+        objs in proptest::collection::vec(arb_object(2), 1..5),
+        needle in 0i64..6,
+    ) {
+        let cached = fresh_db();
+        let mut uncached = fresh_db();
+        uncached.set_decode_cache(false);
+        for o in &objs {
+            cached.insert("t", o).unwrap();
+            uncached.insert("t", o).unwrap();
+        }
+        prop_assert_eq!(cached.all("t").unwrap(), uncached.all("t").unwrap());
+        // Query twice so the second cached run is a guaranteed hit.
+        prop_assert_eq!(cached.all("t").unwrap(), uncached.all("t").unwrap());
+        prop_assert_eq!(
+            cached.filter_eq("t", "v", Value::Int(needle)).unwrap(),
+            uncached.filter_eq("t", "v", Value::Int(needle)).unwrap()
+        );
+        prop_assert_eq!(
+            cached.order_by("t", "v", SortOrder::Asc).unwrap(),
+            uncached.order_by("t", "v", SortOrder::Asc).unwrap()
+        );
+        for jid in 1..=objs.len() as i64 {
+            let a = cached.get("t", jid);
+            let b = uncached.get("t", jid);
+            match (a, b) {
+                (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
+                (Err(form::FormError::NoSuchObject{..}), Err(form::FormError::NoSuchObject{..})) => {}
+                (a, b) => return Err(TestCaseError::fail(format!("{a:?} vs {b:?}"))),
+            }
+        }
+        prop_assert!(cached.decode_cache_stats().hits >= 1);
+        prop_assert_eq!(uncached.decode_cache_stats().hits, 0);
+    }
+
     /// Faceted count equals per-view counting.
     #[test]
     fn count_commutes_with_projection(objs in proptest::collection::vec(arb_object(2), 0..5)) {
-        let mut db = fresh_db();
+        let db = fresh_db();
         for o in &objs {
             db.insert("t", o).unwrap();
         }

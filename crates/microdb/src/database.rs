@@ -1,6 +1,7 @@
-//! The database: a named collection of tables.
+//! The database: a named collection of tables behind per-table locks.
 
 use std::collections::BTreeMap;
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::error::{DbError, DbResult};
 use crate::predicate::Predicate;
@@ -8,7 +9,31 @@ use crate::schema::Schema;
 use crate::table::{Row, Table};
 use crate::value::Value;
 
+/// Shared (read) access to one table.
+pub type TableRef<'a> = RwLockReadGuard<'a, Table>;
+/// Exclusive (write) access to one table.
+pub type TableMut<'a> = RwLockWriteGuard<'a, Table>;
+
 /// An in-memory relational database.
+///
+/// # Concurrency
+///
+/// Storage is sharded at table granularity: every table sits behind
+/// its own `RwLock`, so a write to one table never serializes reads
+/// (or writes) of another. Row-level mutation therefore takes `&self`
+/// — [`Database::insert`], [`Database::update`] and
+/// [`Database::delete`] acquire the target table's write lock
+/// internally — while *structural* changes ([`Database::create_table`]
+/// / [`Database::drop_table`]) still require `&mut self`. Callers that
+/// need multi-statement isolation (a reader that must not observe a
+/// half-applied multi-table write) coordinate above this layer, e.g.
+/// via the executor's footprint locks; the per-table locks here
+/// guarantee that individual statements are atomic and that the map
+/// of tables itself is never mutated under a reader.
+///
+/// Lock discipline for callers holding several guards at once (query
+/// joins do): per-statement writers only ever hold one table lock at
+/// a time, so multi-guard *readers* cannot deadlock against them.
 ///
 /// # Examples
 ///
@@ -23,9 +48,33 @@ use crate::value::Value;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Debug, Default)]
 pub struct Database {
-    tables: BTreeMap<String, Table>,
+    tables: BTreeMap<String, RwLock<Table>>,
+}
+
+impl Clone for Database {
+    fn clone(&self) -> Database {
+        Database {
+            tables: self
+                .tables
+                .iter()
+                .map(|(n, t)| (n.clone(), RwLock::new(read_guard(n, t).clone())))
+                .collect(),
+        }
+    }
+}
+
+/// Acquires a read guard, panicking with the table name if a prior
+/// writer panicked mid-mutation (the table may be half-written).
+fn read_guard<'a>(name: &str, lock: &'a RwLock<Table>) -> RwLockReadGuard<'a, Table> {
+    lock.read()
+        .unwrap_or_else(|_| panic!("table {name} lock poisoned"))
+}
+
+fn write_guard<'a>(name: &str, lock: &'a RwLock<Table>) -> RwLockWriteGuard<'a, Table> {
+    lock.write()
+        .unwrap_or_else(|_| panic!("table {name} lock poisoned"))
 }
 
 impl Database {
@@ -45,7 +94,7 @@ impl Database {
             return Err(DbError::TableExists(name.to_owned()));
         }
         self.tables
-            .insert(name.to_owned(), Table::new(name, schema));
+            .insert(name.to_owned(), RwLock::new(Table::new(name, schema)));
         Ok(())
     }
 
@@ -61,25 +110,30 @@ impl Database {
             .ok_or_else(|| DbError::NoSuchTable(name.to_owned()))
     }
 
-    /// Immutable access to a table.
+    /// Shared access to a table (the table's read lock, held for the
+    /// guard's lifetime).
     ///
     /// # Errors
     ///
     /// Returns [`DbError::NoSuchTable`] if absent.
-    pub fn table(&self, name: &str) -> DbResult<&Table> {
+    pub fn table(&self, name: &str) -> DbResult<TableRef<'_>> {
         self.tables
             .get(name)
+            .map(|t| read_guard(name, t))
             .ok_or_else(|| DbError::NoSuchTable(name.to_owned()))
     }
 
-    /// Mutable access to a table.
+    /// Exclusive access to a table (the table's write lock). Note the
+    /// `&self` receiver: writes to different tables proceed in
+    /// parallel.
     ///
     /// # Errors
     ///
     /// Returns [`DbError::NoSuchTable`] if absent.
-    pub fn table_mut(&mut self, name: &str) -> DbResult<&mut Table> {
+    pub fn table_mut(&self, name: &str) -> DbResult<TableMut<'_>> {
         self.tables
-            .get_mut(name)
+            .get(name)
+            .map(|t| write_guard(name, t))
             .ok_or_else(|| DbError::NoSuchTable(name.to_owned()))
     }
 
@@ -95,12 +149,21 @@ impl Database {
         self.tables.keys().map(String::as_str).collect()
     }
 
+    /// The write stamp of one table (see [`Table::generation`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::NoSuchTable`] if absent.
+    pub fn generation(&self, table: &str) -> DbResult<u64> {
+        Ok(self.table(table)?.generation())
+    }
+
     /// Inserts a row into `table`, returning its physical position.
     ///
     /// # Errors
     ///
     /// Table lookup and schema validation errors.
-    pub fn insert(&mut self, table: &str, row: Row) -> DbResult<usize> {
+    pub fn insert(&self, table: &str, row: Row) -> DbResult<usize> {
         self.table_mut(table)?.insert(row)
     }
 
@@ -110,11 +173,11 @@ impl Database {
     ///
     /// Stops at the first failing row.
     pub fn insert_many<I: IntoIterator<Item = Row>>(
-        &mut self,
+        &self,
         table: &str,
         rows: I,
     ) -> DbResult<usize> {
-        let t = self.table_mut(table)?;
+        let mut t = self.table_mut(table)?;
         let mut n = 0;
         for r in rows {
             t.insert(r)?;
@@ -129,12 +192,12 @@ impl Database {
     ///
     /// Table/column resolution, type and predicate-evaluation errors.
     pub fn update(
-        &mut self,
+        &self,
         table: &str,
         pred: &Predicate,
         assignments: &[(String, Value)],
     ) -> DbResult<usize> {
-        let t = self.table_mut(table)?;
+        let mut t = self.table_mut(table)?;
         let schema = t.schema().clone();
         // Evaluate the predicate outside the row closure so errors
         // surface instead of silently skipping rows.
@@ -160,8 +223,8 @@ impl Database {
     /// # Errors
     ///
     /// Table resolution and predicate-evaluation errors.
-    pub fn delete(&mut self, table: &str, pred: &Predicate) -> DbResult<usize> {
-        let t = self.table_mut(table)?;
+    pub fn delete(&self, table: &str, pred: &Predicate) -> DbResult<usize> {
+        let mut t = self.table_mut(table)?;
         let schema = t.schema().clone();
         let mut err = None;
         let n = t.delete_where(|row| match pred.eval(&schema, row) {
@@ -181,7 +244,10 @@ impl Database {
     /// space-overhead experiments).
     #[must_use]
     pub fn total_rows(&self) -> usize {
-        self.tables.values().map(Table::len).sum()
+        self.tables
+            .iter()
+            .map(|(n, t)| read_guard(n, t).len())
+            .sum()
     }
 }
 
@@ -222,7 +288,7 @@ mod tests {
 
     #[test]
     fn update_via_predicate() {
-        let mut db = db();
+        let db = db();
         let n = db
             .update(
                 "t",
@@ -236,7 +302,7 @@ mod tests {
 
     #[test]
     fn delete_via_predicate() {
-        let mut db = db();
+        let db = db();
         let n = db
             .delete("t", &Predicate::lt(Operand::col("x"), Operand::lit(2i64)))
             .unwrap();
@@ -246,7 +312,7 @@ mod tests {
 
     #[test]
     fn predicate_errors_propagate() {
-        let mut db = db();
+        let db = db();
         assert!(db
             .update(
                 "t",
@@ -265,5 +331,44 @@ mod tests {
         db.create_table("a", Schema::new(vec![ColumnDef::new("y", ColumnType::Int)]))
             .unwrap();
         assert_eq!(db.table_names(), vec!["a", "t"]);
+    }
+
+    #[test]
+    fn generation_tracks_writes_per_table() {
+        let mut db = db();
+        db.create_table("u", Schema::new(vec![ColumnDef::new("y", ColumnType::Int)]))
+            .unwrap();
+        let gt = db.generation("t").unwrap();
+        let gu = db.generation("u").unwrap();
+        db.insert("u", vec![Value::Int(1)]).unwrap();
+        assert_eq!(db.generation("t").unwrap(), gt, "writes are per-table");
+        assert_eq!(db.generation("u").unwrap(), gu + 1);
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let db = db();
+        let copy = db.clone();
+        db.insert("t", vec![Value::Null, Value::Int(99)]).unwrap();
+        assert_eq!(copy.table("t").unwrap().len(), 5);
+        assert_eq!(db.table("t").unwrap().len(), 6);
+    }
+
+    #[test]
+    fn concurrent_writes_to_distinct_tables_do_not_block() {
+        // A writer holding table "a"'s write lock must not stop a
+        // write (or read) of table "b" — the heart of lock sharding.
+        let mut db = Database::new();
+        for name in ["a", "b"] {
+            db.create_table(
+                name,
+                Schema::new(vec![ColumnDef::new("x", ColumnType::Int)]),
+            )
+            .unwrap();
+        }
+        let held = db.table_mut("a").unwrap();
+        db.insert("b", vec![Value::Int(1)]).unwrap();
+        assert_eq!(db.table("b").unwrap().len(), 1);
+        drop(held);
     }
 }

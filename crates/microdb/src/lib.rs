@@ -45,7 +45,7 @@ mod table;
 mod value;
 
 pub use aggregate::Aggregate;
-pub use database::Database;
+pub use database::{Database, TableMut, TableRef};
 pub use error::{DbError, DbResult};
 pub use predicate::{resolve_column, CmpOp, Operand, Predicate};
 pub use query::{ExecStats, Query, ResultSet, SortOrder};

@@ -11,7 +11,7 @@ use crate::database::Database;
 use crate::error::{DbError, DbResult};
 use crate::predicate::{resolve_column, Predicate};
 use crate::schema::Schema;
-use crate::table::Row;
+use crate::table::{Row, Table};
 use crate::value::Value;
 
 /// Sort direction for ORDER BY.
@@ -161,6 +161,75 @@ impl Query {
     pub fn execute_full(&self, db: &mut Database) -> DbResult<ResultSet> {
         db.table_mut(&self.table)?.refresh_indexes();
         self.execute_full_ref(db)
+    }
+
+    /// Plans this query against an already-borrowed base table,
+    /// returning the *physical row indices* of the result in result
+    /// order — or `None` when the query shape needs materialized rows
+    /// (joins, projection, DISTINCT). Callers that keep per-row
+    /// derived data aligned with physical positions (e.g. the FORM's
+    /// decoded-row cache) use this to run WHERE / ORDER BY / LIMIT
+    /// without cloning a single row; the caller is responsible for
+    /// passing the table this query's `FROM` names, and for holding
+    /// the table's lock across both this call and the use of the
+    /// returned indices.
+    ///
+    /// Index usage and result order match [`Query::execute_full_ref`]
+    /// exactly (probe when the filter pins an indexed column and the
+    /// index is clean; stable sort for ORDER BY).
+    ///
+    /// # Errors
+    ///
+    /// Propagates column resolution and evaluation errors.
+    pub fn plan_indices(&self, table: &Table) -> DbResult<Option<Vec<usize>>> {
+        if !self.joins.is_empty() || self.projection.is_some() || self.distinct {
+            return Ok(None);
+        }
+        let schema = table.schema();
+        let rows = table.rows();
+        let probed = self
+            .filter
+            .index_candidate()
+            .and_then(|(col, val)| table.index_probe_ref(col, val));
+        let candidates: Vec<usize> = match probed {
+            Some(hits) => hits,
+            None => (0..rows.len()).collect(),
+        };
+        let mut kept = Vec::with_capacity(candidates.len());
+        if self.filter == Predicate::True {
+            kept = candidates;
+        } else {
+            for i in candidates {
+                if self.filter.eval(schema, &rows[i])? {
+                    kept.push(i);
+                }
+            }
+        }
+        if !self.order_by.is_empty() {
+            let keys: Vec<(usize, SortOrder)> = self
+                .order_by
+                .iter()
+                .map(|(c, o)| Ok((resolve_column(schema, c)?, *o)))
+                .collect::<DbResult<_>>()?;
+            kept.sort_by(|&a, &b| {
+                for (ix, ord) in &keys {
+                    let c = rows[a][*ix].cmp(&rows[b][*ix]);
+                    let c = if *ord == SortOrder::Desc {
+                        c.reverse()
+                    } else {
+                        c
+                    };
+                    if !c.is_eq() {
+                        return c;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+        }
+        if let Some(n) = self.limit {
+            kept.truncate(n);
+        }
+        Ok(Some(kept))
     }
 
     /// Executes against a shared database reference, returning rows
@@ -563,6 +632,59 @@ mod tests {
         let refreshed = q.execute_full(&mut db).unwrap();
         assert_eq!(refreshed.stats.index_probes, 1);
         assert_eq!(refreshed.rows, full.rows);
+    }
+
+    #[test]
+    fn plan_indices_matches_execute_for_supported_shapes() {
+        let db = db();
+        db.table_mut("events")
+            .unwrap()
+            .create_index("host")
+            .unwrap();
+        let queries = vec![
+            Query::from("events"),
+            Query::from("events").filter(Predicate::eq(
+                crate::predicate::Operand::col("host"),
+                crate::predicate::Operand::lit(1i64),
+            )),
+            Query::from("events")
+                .filter(Predicate::eq(
+                    crate::predicate::Operand::col("location"),
+                    crate::predicate::Operand::lit("MIT"),
+                ))
+                .order_by("host", SortOrder::Desc),
+            Query::from("events")
+                .order_by("location", SortOrder::Asc)
+                .limit(2),
+        ];
+        for q in queries {
+            let rows = q.execute_ref(&db).unwrap();
+            let table = db.table("events").unwrap();
+            let indices = q.plan_indices(&table).unwrap().expect("supported shape");
+            let via_indices: Vec<Row> = indices.iter().map(|&i| table.rows()[i].clone()).collect();
+            assert_eq!(via_indices, rows, "{q:?}");
+        }
+    }
+
+    #[test]
+    fn plan_indices_rejects_unsupported_shapes() {
+        let db = db();
+        let table = db.table("events").unwrap();
+        assert!(Query::from("events")
+            .join("users", "host", "id")
+            .plan_indices(&table)
+            .unwrap()
+            .is_none());
+        assert!(Query::from("events")
+            .select(&["host"])
+            .plan_indices(&table)
+            .unwrap()
+            .is_none());
+        assert!(Query::from("events")
+            .distinct()
+            .plan_indices(&table)
+            .unwrap()
+            .is_none());
     }
 
     #[test]

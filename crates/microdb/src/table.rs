@@ -33,6 +33,11 @@ impl HashIndex {
 /// [`Table::delete_where`]; reads go through [`Table::rows`] or an
 /// index probe. Indexes update incrementally on insert and rebuild
 /// lazily after updates/deletes.
+///
+/// Every mutating call also bumps a monotonic [`Table::generation`]
+/// stamp, giving caching layers (e.g. the FORM's decoded-row cache) a
+/// cheap staleness check: a cache entry captured at generation `g` is
+/// valid exactly while `generation() == g`.
 #[derive(Clone, Debug)]
 pub struct Table {
     name: String,
@@ -40,6 +45,7 @@ pub struct Table {
     rows: Vec<Row>,
     indexes: Vec<HashIndex>,
     next_auto: i64,
+    generation: u64,
 }
 
 impl Table {
@@ -52,7 +58,18 @@ impl Table {
             rows: Vec::new(),
             indexes: Vec::new(),
             next_auto: 1,
+            generation: 0,
         }
+    }
+
+    /// The table's monotonic write stamp: bumped by every call to
+    /// [`Table::insert`], [`Table::update_where`] and
+    /// [`Table::delete_where`] (even ones that end up matching no
+    /// rows — the contract is conservative so cache layers never have
+    /// to reason about whether a write was a no-op).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// The table name.
@@ -116,6 +133,7 @@ impl Table {
     /// Returns schema-validation errors from [`Schema::check_row`].
     pub fn insert(&mut self, mut values: Row) -> DbResult<usize> {
         self.schema.check_row(&values)?;
+        self.generation += 1;
         for (i, c) in self.schema.columns().iter().enumerate() {
             if c.is_auto_increment() && values[i].is_null() {
                 values[i] = Value::Int(self.next_auto);
@@ -167,6 +185,7 @@ impl Table {
             }
             resolved.push((ix, v.clone()));
         }
+        self.generation += 1;
         let mut n = 0;
         for row in &mut self.rows {
             if pred(row) {
@@ -187,6 +206,7 @@ impl Table {
     /// Deletes every row satisfying `pred`; returns how many were
     /// removed.
     pub fn delete_where(&mut self, mut pred: impl FnMut(&Row) -> bool) -> usize {
+        self.generation += 1;
         let before = self.rows.len();
         self.rows.retain(|r| !pred(r));
         let removed = before - self.rows.len();
@@ -216,6 +236,14 @@ impl Table {
     /// caller falls back to a scan instead of mutating shared state).
     /// Writers keep indexes fresh via [`Table::refresh_indexes`], so a
     /// dirty index is only seen between a mutation and its refresh.
+    ///
+    /// There is deliberately **no size threshold**: an index declared
+    /// via [`Table::create_index`] is built eagerly and probed at any
+    /// row count, so single-object lookups cost the same at 8 rows as
+    /// at 8 million (a `table4_paper` sweep anomaly was once suspected
+    /// to be a small-`n` probe→scan crossover here; no such crossover
+    /// exists — the pre-cache anomaly was unmarshalling noise at
+    /// microsecond scale, and the post-cache sweep is flat).
     #[must_use]
     pub fn index_probe_ref(&self, column: &str, value: &Value) -> Option<Vec<usize>> {
         let ix = self.schema.column_index(column)?;
@@ -360,6 +388,56 @@ mod tests {
         assert_eq!(t.index_probe("age", &Value::Int(30)).unwrap(), vec![2, 3]);
         t.delete_where(|r| r[1] == Value::from("dave"));
         assert_eq!(t.index_probe("age", &Value::Int(30)).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn index_probe_is_size_independent() {
+        // Pins the "no build threshold" contract: the probe answers
+        // from the hash index at every table size, tiny ones included.
+        for n in [2i64, 8, 1024] {
+            let schema = Schema::new(vec![
+                ColumnDef::new("id", ColumnType::Int).auto_increment(),
+                ColumnDef::new("k", ColumnType::Int),
+            ]);
+            let mut t = Table::new("t", schema);
+            t.create_index("k").unwrap();
+            for i in 0..n {
+                t.insert(vec![Value::Null, Value::Int(i % 7)]).unwrap();
+            }
+            let probed = t.index_probe_ref("k", &Value::Int(1));
+            assert!(probed.is_some(), "probe must not degrade at n={n}");
+            let expected: Vec<usize> = t
+                .rows()
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r[1] == Value::Int(1))
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(probed.unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn generation_bumps_on_every_write() {
+        let mut t = people();
+        let g0 = t.generation();
+        assert_eq!(g0, 3, "three seed inserts");
+        t.insert(vec![Value::Null, "dave".into(), Value::Int(40)])
+            .unwrap();
+        assert_eq!(t.generation(), g0 + 1);
+        t.update_where(|_| false, &[("age".to_owned(), Value::Int(1))])
+            .unwrap();
+        assert_eq!(t.generation(), g0 + 2, "no-op updates still bump");
+        t.delete_where(|_| false);
+        assert_eq!(t.generation(), g0 + 3, "no-op deletes still bump");
+        // Reads and index maintenance never bump.
+        t.create_index("age").unwrap();
+        let _ = t.index_probe("age", &Value::Int(40));
+        t.refresh_indexes();
+        assert_eq!(t.generation(), g0 + 3);
+        // Failed validation mutates nothing and does not bump.
+        assert!(t.insert(vec![Value::Null, Value::Int(5)]).is_err());
+        assert_eq!(t.generation(), g0 + 3);
     }
 
     #[test]

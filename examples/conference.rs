@@ -10,7 +10,7 @@ use microdb::Value;
 pub fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut app = App::new();
     conf::register(&mut app)?;
-    conf::set_phase(&mut app, conf::PHASE_REVIEW)?;
+    conf::set_phase(&app, conf::PHASE_REVIEW)?;
 
     let chair = app.create(
         "user_profile",
@@ -40,16 +40,16 @@ pub fn main() -> Result<(), Box<dyn std::error::Error>> {
         ],
     )?;
 
-    let paper = conf::submit_paper(&mut app, &Viewer::User(author), "Faceted Databases")?;
+    let paper = conf::submit_paper(&app, &Viewer::User(author), "Faceted Databases")?;
     conf::submit_review(
-        &mut app,
+        &app,
         &Viewer::User(pc),
         paper,
         2,
         "accept: novel FORM design",
     )?;
     // The PC member is conflicted with a second paper.
-    let other = conf::submit_paper(&mut app, &Viewer::User(chair), "Conflicted Work")?;
+    let other = conf::submit_paper(&app, &Viewer::User(chair), "Conflicted Work")?;
     app.create("paper_pc_conflict", vec![Value::Int(other), Value::Int(pc)])?;
 
     let router = conf::router();
@@ -59,21 +59,21 @@ pub fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("author", Viewer::User(author)),
         ("anonymous", Viewer::Anonymous),
     ] {
-        let resp = router.handle(&mut app, &Request::new("papers/all", viewer.clone()));
+        let resp = router.handle(&app, &Request::new("papers/all", viewer.clone()));
         println!("--- papers/all as {who} ---\n{}", resp.body);
     }
 
     // Phase change: the same pages now reveal more, with zero changes
     // to view code.
-    conf::set_phase(&mut app, conf::PHASE_FINAL)?;
-    let resp = router.handle(&mut app, &Request::new("papers/all", Viewer::Anonymous));
+    conf::set_phase(&app, conf::PHASE_FINAL)?;
+    let resp = router.handle(&app, &Request::new("papers/all", Viewer::Anonymous));
     println!(
         "--- papers/all as anonymous, final phase ---\n{}",
         resp.body
     );
 
     let resp = router.handle(
-        &mut app,
+        &app,
         &Request::new("papers/one", Viewer::User(author)).with_param("id", &paper.to_string()),
     );
     println!(

@@ -29,7 +29,7 @@ fn notes_app() -> App {
 
 #[test]
 fn stack_round_trip_physical_to_rendered() {
-    let mut app = notes_app();
+    let app = notes_app();
     let jid = app
         .create("note", vec![Value::Int(1), Value::from("hello")])
         .unwrap();
@@ -51,7 +51,7 @@ fn stack_round_trip_physical_to_rendered() {
 
 #[test]
 fn session_and_sink_paths_agree_across_the_stack() {
-    let mut app = notes_app();
+    let app = notes_app();
     for i in 0..6 {
         app.create("note", vec![Value::Int(i), Value::from(format!("n{i}"))])
             .unwrap();
@@ -65,7 +65,11 @@ fn session_and_sink_paths_agree_across_the_stack() {
     ] {
         let full: Vec<_> = app.show_rows(&viewer, &rows);
         let mut session = Session::new(viewer.clone());
-        let pruned = session.view_rows(&app, &rows);
+        let pruned: Vec<_> = session
+            .view_rows(&app, &rows)
+            .into_iter()
+            .cloned()
+            .collect();
         assert_eq!(full, pruned, "viewer {viewer}");
     }
 }
@@ -152,7 +156,7 @@ fn faceted_values_survive_database_round_trip_verbatim() {
 fn writes_in_guarded_branches_do_not_leak() {
     // The §2.2 implicit-flow scenario at the framework level: update
     // an object under a path condition derived from a sensitive value.
-    let mut app = notes_app();
+    let app = notes_app();
     let jid = app
         .create("note", vec![Value::Int(1), Value::from("original")])
         .unwrap();
