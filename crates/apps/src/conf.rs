@@ -402,7 +402,7 @@ pub fn router() -> Router {
         ],
         |app, req: &Request| match req.int_param("id") {
             Some(id) => Response::ok(single_paper(app, &req.viewer, id)),
-            None => Response::not_found(),
+            None => Response::bad_request("papers/one requires a numeric id parameter"),
         },
     );
     r.route_read_tables("users/all", &["user_profile"], |app, req: &Request| {
@@ -413,26 +413,26 @@ pub fn router() -> Router {
         &["user_profile"],
         |app, req: &Request| match req.int_param("id") {
             Some(id) => Response::ok(single_user(app, &req.viewer, id)),
-            None => Response::not_found(),
+            None => Response::bad_request("users/one requires a numeric id parameter"),
         },
     );
-    r.route_tables(
-        "papers/submit",
-        &[],
-        &["paper"],
-        |app, req: &Request| match req.params.get("title") {
+    r.route_tables("papers/submit", &[], &["paper"], |app, req: &Request| {
+        if req.viewer.user_jid().is_none() {
+            return Response::forbidden("submitting a paper requires a login session");
+        }
+        match req.params.get("title") {
             Some(title) => match submit_paper(app, &req.viewer, title) {
                 Ok(jid) => Response::ok(jid.to_string()),
                 Err(e) => Response::error(&e.to_string()),
             },
-            None => Response::not_found(),
-        },
-    );
-    r.route_tables(
-        "reviews/submit",
-        &[],
-        &["review"],
-        |app, req: &Request| match (req.int_param("paper"), req.int_param("score")) {
+            None => Response::bad_request("papers/submit requires a title parameter"),
+        }
+    });
+    r.route_tables("reviews/submit", &[], &["review"], |app, req: &Request| {
+        if req.viewer.user_jid().is_none() {
+            return Response::forbidden("submitting a review requires a login session");
+        }
+        match (req.int_param("paper"), req.int_param("score")) {
             (Some(paper), Some(score)) => {
                 let text = req.params.get("text").map_or("", String::as_str);
                 match submit_review(app, &req.viewer, paper, score, text) {
@@ -440,9 +440,9 @@ pub fn router() -> Router {
                     Err(e) => Response::error(&e.to_string()),
                 }
             }
-            _ => Response::not_found(),
-        },
-    );
+            _ => Response::bad_request("reviews/submit requires numeric paper and score"),
+        }
+    });
     r
 }
 

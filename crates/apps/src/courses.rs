@@ -9,7 +9,7 @@
 
 use faceted::{Faceted, FacetedList};
 use form::{faceted_count, object_field};
-use jacqueline::{label_for, App, ModelDef, Session, Viewer};
+use jacqueline::{label_for, App, ModelDef, Request, Response, Router, Session, Viewer};
 use microdb::{ColumnDef, ColumnType, Value};
 
 // [section: models]
@@ -229,18 +229,109 @@ pub fn view_submission(app: &App, viewer: &Viewer, submission: i64) -> String {
 
 /// Grades a submission (instructor action): a stateful update the
 /// grade policy observes. The update preserves facet structure — the
-/// public grade facet stays hidden.
+/// public grade facet stays hidden. Takes `&self` access like every
+/// row-level write, so the grade route runs under footprint locks.
 ///
 /// # Errors
 ///
 /// Propagates database errors.
-pub fn grade_submission(app: &mut App, submission: i64, grade: i64) -> form::FormResult<()> {
+pub fn grade_submission(app: &App, submission: i64, grade: i64) -> form::FormResult<()> {
     app.update_fields(
         "submission",
         submission,
         &[(3, Value::Int(grade)), (4, Value::Bool(true))],
         &faceted::Branches::new(),
     )
+}
+
+/// Submits an assignment answer (student action).
+///
+/// # Errors
+///
+/// Propagates database errors.
+pub fn submit_answer(
+    app: &App,
+    viewer: &Viewer,
+    assignment: i64,
+    text: &str,
+) -> form::FormResult<i64> {
+    let student = viewer.user_jid().unwrap_or(-1);
+    app.create(
+        "submission",
+        vec![
+            Value::Int(assignment),
+            Value::Int(student),
+            Value::from(text),
+            Value::Int(-1),
+            Value::Bool(false),
+        ],
+    )
+}
+
+/// Builds the course-manager router. Read pages declare the tables
+/// their policies consult at output time (`enrollment` for course
+/// visibility, `assignment`/`course` for the submission and grade
+/// policies); the two write actions require a login session and
+/// declare their write footprints.
+#[must_use]
+pub fn router() -> Router {
+    let mut r = Router::new();
+    r.route_read_tables(
+        "courses/all",
+        &["course", "cuser", "enrollment"],
+        |app, req: &Request| Response::ok(all_courses(app, &req.viewer)),
+    );
+    r.route_read_tables(
+        "courses/all_unpruned",
+        &["course", "cuser", "enrollment"],
+        |app, req: &Request| Response::ok(all_courses_no_pruning(app, &req.viewer)),
+    );
+    r.route_read_tables(
+        "submissions/one",
+        &["submission", "assignment", "course"],
+        |app, req: &Request| match req.int_param("id") {
+            Some(id) => Response::ok(view_submission(app, &req.viewer, id)),
+            None => Response::bad_request("submissions/one requires a numeric id parameter"),
+        },
+    );
+    r.route_tables(
+        "submissions/submit",
+        &[],
+        &["submission"],
+        |app, req: &Request| {
+            if req.viewer.user_jid().is_none() {
+                return Response::forbidden("submitting an answer requires a login session");
+            }
+            match req.int_param("assignment") {
+                Some(assignment) => {
+                    let text = req.params.get("text").map_or("", String::as_str);
+                    match submit_answer(app, &req.viewer, assignment, text) {
+                        Ok(jid) => Response::ok(jid.to_string()),
+                        Err(e) => Response::error(&e.to_string()),
+                    }
+                }
+                None => Response::bad_request("submissions/submit requires a numeric assignment"),
+            }
+        },
+    );
+    r.route_tables(
+        "submissions/grade",
+        &[],
+        &["submission"],
+        |app, req: &Request| {
+            if req.viewer.user_jid().is_none() {
+                return Response::forbidden("grading requires a login session");
+            }
+            match (req.int_param("id"), req.int_param("grade")) {
+                (Some(id), Some(grade)) => match grade_submission(app, id, grade) {
+                    Ok(()) => Response::ok("graded".to_owned()),
+                    Err(e) => Response::error(&e.to_string()),
+                },
+                _ => Response::bad_request("submissions/grade requires numeric id and grade"),
+            }
+        },
+    );
+    r
 }
 
 #[cfg(test)]
@@ -301,8 +392,48 @@ mod tests {
     }
 
     #[test]
+    fn router_serves_pages_and_gates_writes() {
+        let (app, teacher, student, course) = setup();
+        let r = router();
+        let page = r.handle(&app, &Request::new("courses/all", Viewer::User(student)));
+        assert_eq!(page.status, 200);
+        assert!(page.body.contains("PL 101"));
+        let anon_submit = r.handle(&app, &Request::new("submissions/submit", Viewer::Anonymous));
+        assert_eq!(anon_submit.status, 403, "writes require a session");
+        let missing = r.handle(
+            &app,
+            &Request::new("submissions/one", Viewer::User(student)),
+        );
+        assert_eq!(missing.status, 400, "missing id is a parameter error");
+        // Full write cycle through the router: submit then grade.
+        let assignment = app
+            .create("assignment", vec![Value::Int(course), Value::from("hw1")])
+            .unwrap();
+        let submitted = r.handle(
+            &app,
+            &Request::new("submissions/submit", Viewer::User(student))
+                .with_param("assignment", &assignment.to_string())
+                .with_param("text", "router answer"),
+        );
+        assert_eq!(submitted.status, 200);
+        let sid = submitted.body.clone();
+        let graded = r.handle(
+            &app,
+            &Request::new("submissions/grade", Viewer::User(teacher))
+                .with_param("id", &sid)
+                .with_param("grade", "91"),
+        );
+        assert_eq!(graded.status, 200);
+        let view = r.handle(
+            &app,
+            &Request::new("submissions/one", Viewer::User(student)).with_param("id", &sid),
+        );
+        assert!(view.body.contains("91"), "{}", view.body);
+    }
+
+    #[test]
     fn grade_visible_to_student_only_after_grading() {
-        let (mut app, teacher, student, course) = setup();
+        let (app, teacher, student, course) = setup();
         let assignment = app
             .create("assignment", vec![Value::Int(course), Value::from("hw1")])
             .unwrap();
@@ -320,7 +451,7 @@ mod tests {
             .unwrap();
         let before = view_submission(&app, &Viewer::User(student), submission);
         assert!(before.contains("(not released)"), "{before}");
-        grade_submission(&mut app, submission, 95).unwrap();
+        grade_submission(&app, submission, 95).unwrap();
         let after = view_submission(&app, &Viewer::User(student), submission);
         assert!(after.contains("95"), "{after}");
         let teacher_view = view_submission(&app, &Viewer::User(teacher), submission);

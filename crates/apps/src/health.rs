@@ -7,7 +7,7 @@
 
 use faceted::Faceted;
 use form::faceted_count;
-use jacqueline::{label_for, App, ModelDef, Session, Viewer};
+use jacqueline::{label_for, App, ModelDef, Request, Response, Router, Session, Viewer};
 use microdb::{ColumnDef, ColumnType, Value};
 
 // [section: models]
@@ -123,16 +123,58 @@ pub fn single_record(app: &App, viewer: &Viewer, record: i64) -> String {
     }
 }
 
-/// Grants or revokes a waiver (stateful policy input).
+/// Grants or revokes a waiver (stateful policy input). Takes `&self`
+/// like every row-level write, so the waiver route runs under
+/// footprint locks.
 ///
 /// # Errors
 ///
 /// Propagates database errors.
-pub fn set_waiver(app: &mut App, record: i64, grantee: i64, active: bool) -> form::FormResult<i64> {
+pub fn set_waiver(app: &App, record: i64, grantee: i64, active: bool) -> form::FormResult<i64> {
     app.create(
         "waiver",
         vec![Value::Int(record), Value::Int(grantee), Value::Bool(active)],
     )
+}
+
+/// Builds the health-records router: the two record pages (their
+/// disclosure policy consults `waiver` at output time) plus the
+/// waiver-granting write action, which requires a login session.
+#[must_use]
+pub fn router() -> Router {
+    let mut r = Router::new();
+    r.route_read_tables(
+        "records/all",
+        &["health_record", "individual", "waiver"],
+        |app, req: &Request| Response::ok(all_records_summary(app, &req.viewer)),
+    );
+    r.route_read_tables(
+        "records/one",
+        &["health_record", "waiver"],
+        |app, req: &Request| match req.int_param("id") {
+            Some(id) => Response::ok(single_record(app, &req.viewer, id)),
+            None => Response::bad_request("records/one requires a numeric id parameter"),
+        },
+    );
+    r.route_tables("waivers/set", &[], &["waiver"], |app, req: &Request| {
+        if req.viewer.user_jid().is_none() {
+            return Response::forbidden("granting a waiver requires a login session");
+        }
+        match (req.int_param("record"), req.int_param("grantee")) {
+            (Some(record), Some(grantee)) => {
+                let active = req
+                    .params
+                    .get("active")
+                    .is_none_or(|v| v == "true" || v == "1");
+                match set_waiver(app, record, grantee, active) {
+                    Ok(jid) => Response::ok(jid.to_string()),
+                    Err(e) => Response::error(&e.to_string()),
+                }
+            }
+            _ => Response::bad_request("waivers/set requires numeric record and grantee"),
+        }
+    });
+    r
 }
 
 #[cfg(test)]
@@ -184,19 +226,45 @@ mod tests {
 
     #[test]
     fn insurer_needs_active_waiver() {
-        let (mut app, _, _, insurer, record) = setup();
+        let (app, _, _, insurer, record) = setup();
         let before = single_record(&app, &Viewer::User(insurer), record);
         assert!(before.contains("[protected]"), "{before}");
-        set_waiver(&mut app, record, insurer, true).unwrap();
+        set_waiver(&app, record, insurer, true).unwrap();
         let after = single_record(&app, &Viewer::User(insurer), record);
         assert!(after.contains("flu"), "{after}");
     }
 
     #[test]
     fn inactive_waiver_grants_nothing() {
-        let (mut app, _, _, insurer, record) = setup();
-        set_waiver(&mut app, record, insurer, false).unwrap();
+        let (app, _, _, insurer, record) = setup();
+        set_waiver(&app, record, insurer, false).unwrap();
         assert!(single_record(&app, &Viewer::User(insurer), record).contains("[protected]"));
+    }
+
+    #[test]
+    fn router_serves_pages_and_gates_waivers() {
+        let (app, _, _, insurer, record) = setup();
+        let r = router();
+        let page = r.handle(&app, &Request::new("records/all", Viewer::User(insurer)));
+        assert_eq!(page.status, 200);
+        assert!(page.body.contains("[protected]"), "{}", page.body);
+        let missing = r.handle(&app, &Request::new("records/one", Viewer::User(insurer)));
+        assert_eq!(missing.status, 400);
+        let anon = r.handle(&app, &Request::new("waivers/set", Viewer::Anonymous));
+        assert_eq!(anon.status, 403);
+        let granted = r.handle(
+            &app,
+            &Request::new("waivers/set", Viewer::User(insurer))
+                .with_param("record", &record.to_string())
+                .with_param("grantee", &insurer.to_string()),
+        );
+        assert_eq!(granted.status, 200);
+        let after = r.handle(
+            &app,
+            &Request::new("records/one", Viewer::User(insurer))
+                .with_param("id", &record.to_string()),
+        );
+        assert!(after.body.contains("flu"), "{}", after.body);
     }
 
     #[test]

@@ -24,4 +24,5 @@ pub mod courses;
 pub mod courses_vanilla;
 pub mod health;
 pub mod health_vanilla;
+pub mod serve;
 pub mod workload;

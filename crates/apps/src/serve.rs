@@ -1,0 +1,142 @@
+//! Wiring the case-study applications to the socket front-end: each
+//! app's router registered behind its wire paths, plus a `login`
+//! route that mints session tokens.
+//!
+//! The [`Site`]s built here are what [`jacqueline::Server::bind`]
+//! serves. Viewer identity never travels in request parameters: a
+//! client POSTs `login` with `user=<jid>`, receives an opaque token
+//! (body and `Set-Cookie: session=…`), and every later request is
+//! resolved back to that viewer by the server's
+//! [`Authenticator`] — exactly the boundary the in-process harness
+//! skips.
+
+use std::sync::Arc;
+
+use jacqueline::{App, Authenticator, Request, Response, Router, Site, Viewer};
+
+use crate::{conf, courses, health};
+
+/// Adds the `login` route to a router: `user=<jid>` must name an
+/// existing profile object in `user_table`; success mints a session
+/// token, returned both as the response body and as a
+/// `Set-Cookie: session=…` header.
+///
+/// The reproduction's credential check is profile existence — the
+/// paper's evaluation drives known users through FunkLoad the same
+/// way. A real deployment would verify a password here; everything
+/// *after* this point (token → viewer → policies) is the part the
+/// paper is about.
+///
+/// Registered as a *write* route (database footprint: reads only):
+/// minting a token mutates the session store, and the server only
+/// lets write routes answer `POST` — so a crawler `GET /login?user=2`
+/// cannot leak tokens into URLs/logs or grow the session map.
+pub fn add_login_route(router: &mut Router, auth: Arc<Authenticator>, user_table: &'static str) {
+    router.route_tables(
+        "login",
+        &[user_table],
+        &[],
+        move |app: &App, req: &Request| {
+            let Some(jid) = req.int_param("user") else {
+                return Response::bad_request("login requires a numeric user=<jid> parameter");
+            };
+            if app.get(user_table, jid).is_err() {
+                return Response::forbidden("no such user");
+            }
+            let token = auth.login(Viewer::User(jid));
+            let cookie = format!("session={token}; HttpOnly");
+            Response::ok(token).with_header("Set-Cookie", &cookie)
+        },
+    );
+}
+
+fn site_with_login(app: App, mut router: Router, user_table: &'static str) -> Site {
+    let auth = Arc::new(Authenticator::new());
+    add_login_route(&mut router, Arc::clone(&auth), user_table);
+    Site {
+        app: Arc::new(app),
+        router: Arc::new(router),
+        auth,
+    }
+}
+
+/// The conference manager behind its wire paths (`papers/all`,
+/// `papers/one`, `users/all`, `users/one`, `papers/submit`,
+/// `reviews/submit`) plus `login` over `user_profile`.
+#[must_use]
+pub fn conference_site(app: App) -> Site {
+    site_with_login(app, conf::router(), "user_profile")
+}
+
+/// The course manager behind its wire paths (`courses/all`,
+/// `courses/all_unpruned`, `submissions/*`) plus `login` over
+/// `cuser`.
+#[must_use]
+pub fn courses_site(app: App) -> Site {
+    site_with_login(app, courses::router(), "cuser")
+}
+
+/// The health-record manager behind its wire paths (`records/all`,
+/// `records/one`, `waivers/set`) plus `login` over `individual`.
+#[must_use]
+pub fn health_site(app: App) -> Site {
+    site_with_login(app, health::router(), "individual")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload;
+
+    #[test]
+    fn login_mints_a_token_bound_to_the_viewer() {
+        let site = conference_site(workload::conference(6, 4).app);
+        let response = site.router.handle(
+            &site.app,
+            &Request::new("login", Viewer::Anonymous).with_param("user", "3"),
+        );
+        assert_eq!(response.status, 200);
+        let token = response.body.clone();
+        assert_eq!(site.auth.viewer_for(&token), Some(Viewer::User(3)));
+        let cookie = response.header("set-cookie").unwrap();
+        assert!(cookie.starts_with(&format!("session={token}")), "{cookie}");
+    }
+
+    #[test]
+    fn login_rejects_unknown_users_and_bad_params() {
+        let site = conference_site(workload::conference(4, 2).app);
+        let unknown = site.router.handle(
+            &site.app,
+            &Request::new("login", Viewer::Anonymous).with_param("user", "999"),
+        );
+        assert_eq!(unknown.status, 403);
+        let malformed = site.router.handle(
+            &site.app,
+            &Request::new("login", Viewer::Anonymous).with_param("user", "carol"),
+        );
+        assert_eq!(malformed.status, 400);
+        let missing = site
+            .router
+            .handle(&site.app, &Request::new("login", Viewer::Anonymous));
+        assert_eq!(missing.status, 400);
+        assert_eq!(site.auth.live_sessions(), 0, "failures mint nothing");
+    }
+
+    #[test]
+    fn all_three_sites_have_login_and_their_pages() {
+        for (site, page) in [
+            (
+                conference_site(workload::conference(4, 2).app),
+                "papers/all",
+            ),
+            (courses_site(workload::courses(3).app), "courses/all"),
+            (health_site(workload::health(6).app), "records/all"),
+        ] {
+            assert!(site.router.paths().contains(&"login"), "{page}");
+            let served = site
+                .router
+                .handle(&site.app, &Request::new(page, Viewer::Anonymous));
+            assert_eq!(served.status, 200, "{page}");
+        }
+    }
+}

@@ -131,7 +131,7 @@ fn courses_pruned_and_unpruned_agree_with_baseline() {
 fn courses_all_pages_agree_for_every_viewer() {
     use microdb::Value;
     let w = workload::courses(5);
-    let mut app = w.app;
+    let app = w.app;
     let mut vanilla = w.vanilla;
     // One submission per assignment from the enrolled student; every
     // other submission is graded, so both states of the stateful
@@ -151,7 +151,7 @@ fn courses_all_pages_agree_for_every_viewer() {
         assert_eq!(sj, sv, "submission ids must line up");
         submissions.push(sj);
         if a % 2 == 0 {
-            apps::courses::grade_submission(&mut app, sj, 80 + a).unwrap();
+            apps::courses::grade_submission(&app, sj, 80 + a).unwrap();
             vanilla
                 .db
                 .update(
@@ -269,7 +269,7 @@ fn health_waiver_lifecycle_agrees_for_every_viewer() {
 #[test]
 fn submissions_agree_after_grading() {
     let w = workload::courses(4);
-    let mut app = w.app;
+    let app = w.app;
     let mut vanilla = w.vanilla;
     use microdb::Value;
     // Create the same submission in both worlds, grade only later.
@@ -294,7 +294,7 @@ fn submissions_agree_after_grading() {
             "pre-grading view for {viewer}"
         );
     }
-    apps::courses::grade_submission(&mut app, sj, 88).unwrap();
+    apps::courses::grade_submission(&app, sj, 88).unwrap();
     vanilla
         .db
         .update(

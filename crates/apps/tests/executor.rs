@@ -6,40 +6,17 @@
 //! nothing observable.
 
 use apps::workload;
-use jacqueline::{App, Executor, Request, Response, Router, Viewer};
+use jacqueline::{App, Executor, Request, Router, Viewer};
 
-/// A read-only router over the courses pages (the conference app has
-/// its own router; courses and health get ad-hoc ones here so the
-/// whole differential suite goes through the executor).
+/// All three apps now ship real routers (with declared footprints, so
+/// in debug builds every dispatch below also runs the footprint
+/// checker over the full differential grid).
 fn courses_router() -> Router {
-    let mut r = Router::new();
-    r.route_read("courses/all", |app: &App, req: &Request| {
-        Response::ok(apps::courses::all_courses(app, &req.viewer))
-    });
-    r.route_read("courses/all_unpruned", |app: &App, req: &Request| {
-        Response::ok(apps::courses::all_courses_no_pruning(app, &req.viewer))
-    });
-    r.route_read("submissions/one", |app: &App, req: &Request| {
-        match req.int_param("id") {
-            Some(id) => Response::ok(apps::courses::view_submission(app, &req.viewer, id)),
-            None => Response::not_found(),
-        }
-    });
-    r
+    apps::courses::router()
 }
 
 fn health_router() -> Router {
-    let mut r = Router::new();
-    r.route_read("records/all", |app: &App, req: &Request| {
-        Response::ok(apps::health::all_records_summary(app, &req.viewer))
-    });
-    r.route_read("records/one", |app: &App, req: &Request| {
-        match req.int_param("id") {
-            Some(id) => Response::ok(apps::health::single_record(app, &req.viewer, id)),
-            None => Response::not_found(),
-        }
-    });
-    r
+    apps::health::router()
 }
 
 /// Runs `requests` sequentially and at 2/4 threads, asserting the

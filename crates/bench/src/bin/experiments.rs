@@ -4,8 +4,12 @@
 //!
 //! Run with `cargo run --release -p jbench --bin experiments -- --all`
 //! (or a subset: `--fig6 --fig9a --fig9b --fig9c --table3 --table4
-//! --table5 --memo --concurrent`). `--smoke` shrinks the sweeps for
-//! CI. Output mirrors the paper's rows; absolute times are this
+//! --table5 --memo --concurrent --cache --locks --load`). `--smoke`
+//! shrinks the sweeps for CI; `--serve [--port N]` skips measurement
+//! and serves the conference app over HTTP until killed. `--load`
+//! measures the socket path: the served vs in-process overhead table
+//! (gated in CI) and the open-loop load harness with queue/service
+//! latency percentiles. Output mirrors the paper's rows; absolute times are this
 //! machine's, the comparison *shapes* are the reproduction target
 //! (see EXPERIMENTS.md). Alongside the printed tables the run records
 //! per-table medians and writes them to `BENCH_results.json` (or the
@@ -13,12 +17,14 @@
 //! perf trajectory.
 
 use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
 use apps::{conf, courses, health, workload};
 use faceted::{Branch, Branches, FacetedList, Label};
 use form::GuardedRow;
-use jacqueline::{Executor, Viewer};
-use jbench::{doubling_sweep, fmt_secs, print_row, time_stats, Report};
+use jacqueline::{Executor, Server, ServerConfig, Viewer};
+use jbench::http::HttpClient;
+use jbench::{doubling_sweep, fmt_secs, percentile, print_row, time_stats, Report};
 use microdb::Value;
 
 /// Matches the paper's protocol: average over 10 sequential requests.
@@ -33,7 +39,7 @@ struct Config {
 
 /// The flags that select individual tables; any other flag is a
 /// modifier. Running with no table flag at all means `--all`.
-const TABLE_FLAGS: [&str; 11] = [
+const TABLE_FLAGS: [&str; 12] = [
     "--fig6",
     "--fig9a",
     "--fig9b",
@@ -45,11 +51,18 @@ const TABLE_FLAGS: [&str; 11] = [
     "--concurrent",
     "--cache",
     "--locks",
+    "--load",
 ];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let flags: Vec<&str> = args.iter().map(String::as_str).collect();
+    if flags.contains(&"--serve") {
+        // Not a measurement: serve the conference app until killed
+        // (for manual curl / external load-generator sessions).
+        serve_blocking(&args);
+        return;
+    }
     let all = flags.contains(&"--all") || !flags.iter().any(|f| TABLE_FLAGS.contains(f));
     let want = |flag: &str| all || flags.contains(&flag);
     let smoke = flags.contains(&"--smoke");
@@ -99,6 +112,10 @@ fn main() {
     }
     if want("--locks") {
         lock_contention(&cfg, &mut report);
+    }
+    if want("--load") {
+        served_overhead(&cfg, &mut report);
+        open_loop_load(&cfg, &mut report);
     }
 
     if !report.is_empty() {
@@ -777,6 +794,213 @@ fn concurrent(cfg: &Config, report: &mut Report) {
             fmt_secs(t),
             format!("{:.0}", n_requests as f64 / t),
             format!("{:.2}x", base_t / t),
+        ]);
+    }
+}
+
+// ---------------------------------------------------------------------
+// The socket path: `--serve` (manual sessions), `--load` (the served
+// vs. in-process overhead gate table + the open-loop load harness).
+// ---------------------------------------------------------------------
+
+/// `--serve [--port N]`: serve the conference app until killed.
+fn serve_blocking(args: &[String]) {
+    let port: u16 = args
+        .iter()
+        .position(|a| a == "--port")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|p| p.parse().ok())
+        .unwrap_or(8099);
+    let site = apps::serve::conference_site(workload::conference(64, 96).app);
+    let server = Server::bind(site, ("127.0.0.1", port), ServerConfig::default())
+        .expect("bind the HTTP server");
+    println!("serving the conference app on http://{}", server.addr());
+    println!(
+        "  login:  curl -X POST 'http://{}/login' -d user=2",
+        server.addr()
+    );
+    println!("  pages:  {:?}", server.site().router.paths());
+    println!("(ctrl-c to stop)");
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+/// Logs `user` in over the wire, panicking on failure (the harness
+/// only ever talks to users its own workload created).
+fn logged_in_client(addr: std::net::SocketAddr, user: i64) -> HttpClient {
+    let mut client = HttpClient::connect(addr);
+    let response = client.login(user);
+    assert_eq!(
+        response.status,
+        200,
+        "bench login failed: {}",
+        response.text()
+    );
+    client
+}
+
+fn bench_server(users: usize, papers: usize) -> Server {
+    let site = apps::serve::conference_site(workload::conference(users, papers).app);
+    Server::bind(
+        site,
+        "127.0.0.1:0",
+        ServerConfig {
+            conn_threads: 8,
+            executor_threads: 4,
+            read_timeout: Duration::from_secs(2),
+        },
+    )
+    .expect("bind the bench server")
+}
+
+/// The served / in-process overhead table (`e2e_overhead`): the same
+/// conference pages measured through a real TCP round-trip (keep-alive
+/// connection, session cookie) and via `Router::handle` on the same
+/// app. `bench_guard --prefix e2e_` gates the *ratio* of the two —
+/// absolute socket latency varies per machine, the parse + auth +
+/// queue + serialize overhead relative to page cost is the number
+/// this repo controls. Feeds the CI gate, so reps are floored at 15
+/// and the workload size is fixed regardless of `--smoke` — the
+/// ratio is size-dependent (socket cost is constant, page cost
+/// grows), so smoke and committed runs must measure the same size.
+fn served_overhead(cfg: &Config, report: &mut Report) {
+    println!("\n==== End-to-end overhead: served (socket) vs in-process dispatch ====");
+    let reps = cfg.reps.max(15);
+    let (users, papers) = (32, 48);
+    let server = bench_server(users, papers);
+    let viewer_jid = 2; // a PC member in the workload
+    let mut client = logged_in_client(server.addr(), viewer_jid);
+    print_row(&[
+        "Page".into(),
+        "served".into(),
+        "in-process".into(),
+        "ratio".into(),
+    ]);
+    for (key, page) in [("papers_all", "papers/all"), ("users_all", "users/all")] {
+        let served = measure(
+            report,
+            "e2e_overhead",
+            &format!("{key} served"),
+            reps,
+            || {
+                let response = client.get(page);
+                assert_eq!(response.status, 200);
+                std::hint::black_box(response.body.len());
+            },
+        );
+        let site = server.site();
+        let request = jacqueline::Request::new(page, Viewer::User(viewer_jid));
+        let in_process = measure(
+            report,
+            "e2e_overhead",
+            &format!("{key} inprocess"),
+            reps,
+            || {
+                std::hint::black_box(site.router.handle(&site.app, &request));
+            },
+        );
+        print_row(&[
+            key.to_owned(),
+            fmt_secs(served),
+            fmt_secs(in_process),
+            format!("{:.2}x", served / in_process),
+        ]);
+    }
+    server.shutdown();
+}
+
+/// The open-loop load harness (`served_latency`): requests are
+/// dispatched on a **fixed arrival schedule** (`i / rate`), not after
+/// the previous response — so server slowdowns surface as queueing
+/// delay instead of silently throttling the client (the coordinated-
+/// omission trap). Each request records three latencies:
+///
+/// * `e2e` — completion minus *scheduled* arrival (includes client-
+///   side waiting for a free connection: the open-loop number);
+/// * `queue` — the executor job queue wait, from `X-Queue-Us`;
+/// * `service` — controller execution, from `X-Service-Us`.
+fn open_loop_load(cfg: &Config, report: &mut Report) {
+    println!("\n==== Open-loop load: conference page mix over HTTP ====");
+    let (users, papers, n_requests, clients) = if cfg.smoke {
+        (16, 24, 160, 4)
+    } else {
+        (32, 48, 640, 8)
+    };
+    let rates: &[f64] = if cfg.smoke { &[200.0] } else { &[100.0, 400.0] };
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    report.record("served_latency", "available_cores", cores as f64);
+    print_row(&[
+        "rate".into(),
+        "e2e p50/p99".into(),
+        "queue p99".into(),
+        "service p50".into(),
+    ]);
+    for &rate in rates {
+        let server = bench_server(users, papers);
+        let addr = server.addr();
+        let started = Instant::now() + Duration::from_millis(50);
+        let mut all: Vec<(f64, f64, f64)> = Vec::with_capacity(n_requests);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    scope.spawn(move || {
+                        let mut client = logged_in_client(addr, 1 + (c as i64 % 8));
+                        let mut samples = Vec::new();
+                        // Client c serves every clients-th arrival of
+                        // the shared schedule.
+                        for i in (c..n_requests).step_by(clients) {
+                            let arrival = started + Duration::from_secs_f64(i as f64 / rate);
+                            if let Some(wait) = arrival.checked_duration_since(Instant::now()) {
+                                std::thread::sleep(wait);
+                            }
+                            let page = match i % 4 {
+                                0 => "papers/all".to_owned(),
+                                1 => "users/all".to_owned(),
+                                2 => format!("papers/one?id={}", 1 + i % papers),
+                                _ => format!("users/one?id={}", 1 + i % users),
+                            };
+                            let response = client.get(&page);
+                            let e2e = arrival.elapsed().as_secs_f64();
+                            assert_eq!(response.status, 200, "{page}");
+                            let micros = |name: &str| {
+                                response
+                                    .header(name)
+                                    .and_then(|v| v.parse::<f64>().ok())
+                                    .map_or(0.0, |us| us / 1e6)
+                            };
+                            samples.push((e2e, micros("x-queue-us"), micros("x-service-us")));
+                        }
+                        samples
+                    })
+                })
+                .collect();
+            for handle in handles {
+                all.extend(handle.join().expect("load client panicked"));
+            }
+        });
+        server.shutdown();
+        let e2e: Vec<f64> = all.iter().map(|s| s.0).collect();
+        let queue: Vec<f64> = all.iter().map(|s| s.1).collect();
+        let service: Vec<f64> = all.iter().map(|s| s.2).collect();
+        for (kind, samples) in [("e2e", &e2e), ("queue", &queue), ("service", &service)] {
+            for q in [50.0, 90.0, 99.0] {
+                report.record(
+                    "served_latency",
+                    &format!("rate={rate:.0} {kind}_p{q:.0}"),
+                    percentile(samples, q),
+                );
+            }
+        }
+        print_row(&[
+            format!("{rate:.0}/s"),
+            format!(
+                "{:.2}/{:.2}ms",
+                percentile(&e2e, 50.0) * 1e3,
+                percentile(&e2e, 99.0) * 1e3
+            ),
+            format!("{:.2}ms", percentile(&queue, 99.0) * 1e3),
+            format!("{:.2}ms", percentile(&service, 50.0) * 1e3),
         ]);
     }
 }

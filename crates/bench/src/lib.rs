@@ -8,6 +8,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod http;
 pub mod loc;
 pub mod report;
 
@@ -57,6 +58,22 @@ pub fn doubling_sweep() -> Vec<usize> {
     (3..=10).map(|i| 1usize << i).collect()
 }
 
+/// The `q`-th percentile (0–100, nearest-rank) of a sample set. The
+/// open-loop load harness reports latency distributions with this.
+///
+/// # Panics
+///
+/// Panics on an empty sample set — percentiles of nothing are a
+/// harness bug, not a value.
+#[must_use]
+pub fn percentile(samples: &[f64], q: f64) -> f64 {
+    assert!(!samples.is_empty(), "percentile of an empty sample set");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((q / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
 /// Formats seconds the way the paper's tables do (e.g. `0.241s`).
 #[must_use]
 pub fn fmt_secs(s: f64) -> String {
@@ -94,5 +111,14 @@ mod tests {
     #[test]
     fn formatting() {
         assert_eq!(fmt_secs(0.2414), "0.241400s");
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let samples: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&samples, 50.0), 51.0);
+        assert_eq!(percentile(&samples, 0.0), 1.0);
+        assert_eq!(percentile(&samples, 100.0), 100.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
     }
 }

@@ -1,0 +1,199 @@
+//! Session authentication: viewer identity is bound at the
+//! connection boundary, not deep in the application.
+//!
+//! In the in-process harness a test constructs `Request { viewer }`
+//! directly — fine for trusted callers, but a real socket peer must
+//! never get to *claim* a viewer. The [`Authenticator`] is the single
+//! place wire traffic turns into a [`Viewer`]: `login` mints an
+//! opaque session token for an authenticated principal, and
+//! [`Authenticator::authenticate`] resolves a parsed
+//! [`WireRequest`]'s session cookie (or `X-Session` /
+//! `Authorization: Bearer` header) back into the viewer. An absent
+//! token is an anonymous request; an *invalid* token is rejected
+//! outright (the caller answers 403) rather than silently downgraded
+//! — a stale session must be visible to the client, not turn into an
+//! information-flow change.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasher, RandomState};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+use crate::model::Viewer;
+use crate::wire::WireRequest;
+
+/// The cookie name carrying the session token (tokens are also
+/// accepted via the `X-Session` and `Authorization: Bearer` headers,
+/// never via request parameters — a token in a URL would leak into
+/// logs and history).
+pub const SESSION_COOKIE: &str = "session";
+
+/// Outcome of resolving a wire request's credentials.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AuthOutcome {
+    /// No token presented: the anonymous viewer.
+    Anonymous,
+    /// A live token: the logged-in viewer.
+    Viewer(Viewer),
+    /// A token was presented but is unknown/expired — answer 403.
+    BadToken,
+}
+
+/// An in-memory session store mapping opaque tokens to viewers.
+///
+/// Tokens are unguessable in the practical sense (a per-process
+/// random key mixed with a counter through `SipHash`), not
+/// cryptographic — the reproduction's threat model stops at "the
+/// client cannot forge another user's session by counting".
+#[derive(Debug, Default)]
+pub struct Authenticator {
+    sessions: RwLock<HashMap<String, Viewer>>,
+    counter: AtomicU64,
+    key: RandomState,
+}
+
+impl Authenticator {
+    /// An empty session store.
+    #[must_use]
+    pub fn new() -> Authenticator {
+        Authenticator::default()
+    }
+
+    /// Mints a fresh session token for a viewer. The caller has
+    /// already authenticated the principal (checked a password,
+    /// looked up the profile …) — this only records the binding.
+    pub fn login(&self, viewer: Viewer) -> String {
+        let n = self.counter.fetch_add(1, Ordering::Relaxed);
+        let a = self.key.hash_one((n, 0x6a61_6371u64));
+        let b = self.key.hash_one((n, a));
+        let token = format!("s{n}-{a:016x}{b:016x}");
+        self.sessions
+            .write()
+            .expect("session lock")
+            .insert(token.clone(), viewer);
+        token
+    }
+
+    /// Forgets a token (logout). Unknown tokens are ignored.
+    pub fn logout(&self, token: &str) {
+        self.sessions.write().expect("session lock").remove(token);
+    }
+
+    /// The viewer a live token maps to.
+    #[must_use]
+    pub fn viewer_for(&self, token: &str) -> Option<Viewer> {
+        self.sessions
+            .read()
+            .expect("session lock")
+            .get(token)
+            .cloned()
+    }
+
+    /// Number of live sessions.
+    #[must_use]
+    pub fn live_sessions(&self) -> usize {
+        self.sessions.read().expect("session lock").len()
+    }
+
+    /// Resolves a wire request's credentials: the `session` cookie,
+    /// then the `X-Session` header, then `Authorization: Bearer`.
+    #[must_use]
+    pub fn authenticate(&self, request: &WireRequest) -> AuthOutcome {
+        let token = request
+            .cookies
+            .get(SESSION_COOKIE)
+            .map(String::as_str)
+            .or_else(|| request.header("x-session"))
+            .or_else(|| {
+                request
+                    .header("authorization")
+                    .and_then(|v| v.strip_prefix("Bearer "))
+            });
+        match token {
+            None => AuthOutcome::Anonymous,
+            Some(t) => match self.viewer_for(t) {
+                Some(v) => AuthOutcome::Viewer(v),
+                None => AuthOutcome::BadToken,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn wire_with(headers: Vec<(String, String)>, cookies: &[(&str, &str)]) -> WireRequest {
+        WireRequest {
+            method: "GET".into(),
+            path: "x".into(),
+            params: BTreeMap::new(),
+            headers,
+            cookies: cookies
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+                .collect(),
+            body: Vec::new(),
+            keep_alive: true,
+        }
+    }
+
+    #[test]
+    fn login_round_trips_and_logout_revokes() {
+        let auth = Authenticator::new();
+        let token = auth.login(Viewer::User(7));
+        assert_eq!(auth.viewer_for(&token), Some(Viewer::User(7)));
+        assert_eq!(auth.live_sessions(), 1);
+        auth.logout(&token);
+        assert_eq!(auth.viewer_for(&token), None);
+        assert_eq!(auth.live_sessions(), 0);
+    }
+
+    #[test]
+    fn tokens_are_unique_and_not_sequential_guessable() {
+        let auth = Authenticator::new();
+        let a = auth.login(Viewer::User(1));
+        let b = auth.login(Viewer::User(2));
+        assert_ne!(a, b);
+        // The variable part is a 128-bit keyed hash, not the counter.
+        assert!(a.len() > 30 && b.len() > 30, "{a} {b}");
+    }
+
+    #[test]
+    fn authenticate_resolves_cookie_then_headers() {
+        let auth = Authenticator::new();
+        let token = auth.login(Viewer::User(3));
+        let by_cookie = wire_with(Vec::new(), &[(SESSION_COOKIE, token.as_str())]);
+        assert_eq!(
+            auth.authenticate(&by_cookie),
+            AuthOutcome::Viewer(Viewer::User(3))
+        );
+        let by_header = wire_with(vec![("x-session".into(), token.clone())], &[]);
+        assert_eq!(
+            auth.authenticate(&by_header),
+            AuthOutcome::Viewer(Viewer::User(3))
+        );
+        let by_bearer = wire_with(
+            vec![("authorization".into(), format!("Bearer {token}"))],
+            &[],
+        );
+        assert_eq!(
+            auth.authenticate(&by_bearer),
+            AuthOutcome::Viewer(Viewer::User(3))
+        );
+    }
+
+    #[test]
+    fn absent_token_is_anonymous_but_bad_token_is_rejected() {
+        let auth = Authenticator::new();
+        assert_eq!(
+            auth.authenticate(&wire_with(Vec::new(), &[])),
+            AuthOutcome::Anonymous
+        );
+        assert_eq!(
+            auth.authenticate(&wire_with(Vec::new(), &[(SESSION_COOKIE, "forged")])),
+            AuthOutcome::BadToken
+        );
+    }
+}

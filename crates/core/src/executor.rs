@@ -29,9 +29,10 @@
 //! [`Session`]: crate::Session
 //! [`Footprint`]: crate::Footprint
 
-use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::{Duration, Instant};
 
 use crate::app::App;
 use crate::http::{Footprint, Request, Response, Router};
@@ -212,18 +213,19 @@ impl Executor {
         if let Some(controller) = router.read_controller(&request.path) {
             let _global = locks.global.read().expect("global lock");
             let map = locks.tables.read().expect("lock-table map");
-            let _tables = match router.footprint(&request.path) {
+            let footprint = router.footprint(&request.path);
+            let _tables = match footprint {
                 Some(fp) => RequestLocks::acquire(&map, fp),
                 None => RequestLocks::acquire_all_shared(&map),
             };
-            controller(app, request)
+            Executor::call_checked(&request.path, footprint, || controller(app, request))
         } else if router.has_write_route(&request.path) {
             match router.footprint(&request.path) {
                 Some(fp) => {
                     let _global = locks.global.read().expect("global lock");
                     let map = locks.tables.read().expect("lock-table map");
                     let _tables = RequestLocks::acquire(&map, fp);
-                    router.handle(app, request)
+                    Executor::call_checked(&request.path, Some(fp), || router.handle(app, request))
                 }
                 None => {
                     // No footprint: conservative whole-app exclusion.
@@ -233,6 +235,268 @@ impl Executor {
             }
         } else {
             Response::not_found()
+        }
+    }
+
+    /// Runs a controller with debug-build footprint verification:
+    /// the FORM records every table the request actually touches
+    /// (`form::touched`), and a touch outside the route's declared
+    /// [`Footprint`] **panics** — an under-declared footprint means
+    /// the executor took too few locks, which would race silently in
+    /// release. Release builds run the controller directly; routes
+    /// with no footprint are exempt (they hold conservative locks).
+    fn call_checked(
+        path: &str,
+        footprint: Option<&Footprint>,
+        run: impl FnOnce() -> Response,
+    ) -> Response {
+        #[cfg(debug_assertions)]
+        if let Some(fp) = footprint {
+            let previous = form::touched::begin_recording();
+            let response = run();
+            if let Some(touched) = form::touched::end_recording(previous) {
+                for table in &touched.writes {
+                    assert!(
+                        fp.writes.contains(table),
+                        "route {path:?} wrote table {table:?} outside its declared \
+                         footprint (writes: {:?}) — the executor held no exclusive \
+                         lock for it; declare it via route_tables",
+                        fp.writes
+                    );
+                }
+                for table in &touched.reads {
+                    assert!(
+                        fp.reads.contains(table) || fp.writes.contains(table),
+                        "route {path:?} read table {table:?} outside its declared \
+                         footprint (reads: {:?}, writes: {:?}) — remember tables \
+                         consulted by policies at output time",
+                        fp.reads,
+                        fp.writes
+                    );
+                }
+            }
+            return response;
+        }
+        let _ = (path, footprint);
+        run()
+    }
+}
+
+/// A response that went through the [`ExecutorService`] job queue,
+/// annotated with where its latency went: queue wait (submit →
+/// worker pickup) vs service time (controller under footprint
+/// locks). The HTTP server exports both as `X-Queue-Us` /
+/// `X-Service-Us` response headers, which is what the open-loop load
+/// harness aggregates into percentiles.
+#[derive(Clone, Debug)]
+pub struct ServedResponse {
+    /// The controller's response.
+    pub response: Response,
+    /// Time the request sat in the job queue.
+    pub queued: Duration,
+    /// Time the request spent executing (including footprint-lock
+    /// acquisition — lock contention is service time, not queueing).
+    pub service: Duration,
+}
+
+/// One queued request plus the channel its response goes back on.
+struct Job {
+    request: Request,
+    enqueued: Instant,
+    reply: mpsc::SyncSender<ServedResponse>,
+}
+
+struct ServiceShared {
+    app: Arc<App>,
+    router: Arc<Router>,
+    queue: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// The executor's **job-queue mode**: a persistent worker pool
+/// serving requests submitted one at a time, instead of
+/// [`Executor::run`]'s pre-collected batches.
+///
+/// This is what a socket front-end needs: each accepted connection
+/// [`submit`](ExecutorService::submit)s requests as they arrive on
+/// the wire and the fixed pool dispatches them under the same
+/// footprint locks batch mode uses — connections never spawn
+/// threads, and a burst of arrivals queues instead of oversubscribing
+/// the machine. Responses carry queue-wait and service timings for
+/// the load harness.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use jacqueline::{App, ExecutorService, Request, Response, Router, Viewer};
+///
+/// let mut router = Router::new();
+/// router.route_read("ping", |_, req| Response::ok(format!("pong {}", req.viewer)));
+/// let service = ExecutorService::start(Arc::new(App::new()), Arc::new(router), 2);
+/// let served = service.serve(Request::new("ping", Viewer::User(1)));
+/// assert_eq!(served.response.body, "pong user#1");
+/// service.shutdown();
+/// ```
+pub struct ExecutorService {
+    shared: Arc<ServiceShared>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl ExecutorService {
+    /// Starts `threads` workers (clamped to at least 1) over a shared
+    /// app and router.
+    #[must_use]
+    pub fn start(app: Arc<App>, router: Arc<Router>, threads: usize) -> ExecutorService {
+        app.request_locks.ensure(router.declared_tables());
+        let shared = Arc::new(ServiceShared {
+            app,
+            router,
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..threads.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("executor-worker-{i}"))
+                    .spawn(move || ExecutorService::worker(&shared))
+                    .expect("spawn executor worker")
+            })
+            .collect();
+        ExecutorService {
+            shared,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    fn worker(shared: &ServiceShared) {
+        let locks = &shared.app.request_locks;
+        loop {
+            let job = {
+                let mut queue = shared.queue.lock().expect("job queue");
+                loop {
+                    if let Some(job) = queue.pop_front() {
+                        break job;
+                    }
+                    if shared.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    queue = shared.ready.wait(queue).expect("job queue");
+                }
+            };
+            let picked_up = Instant::now();
+            let queued = picked_up.duration_since(job.enqueued);
+            let response = Executor::dispatch(&shared.app, &shared.router, locks, &job.request);
+            let served = ServedResponse {
+                response,
+                queued,
+                service: picked_up.elapsed(),
+            };
+            // The submitter may have hung up (a dropped connection);
+            // that loses the response, not the worker.
+            let _ = job.reply.send(served);
+        }
+    }
+
+    /// Enqueues a request; the returned channel yields the response
+    /// once a worker has served it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service is already shut down.
+    pub fn submit(&self, request: Request) -> mpsc::Receiver<ServedResponse> {
+        let (tx, rx) = mpsc::sync_channel(1);
+        let job = Job {
+            request,
+            enqueued: Instant::now(),
+            reply: tx,
+        };
+        {
+            // The shutdown flag is only ever *set* while this lock is
+            // held, so checking it under the same lock closes the
+            // submit/shutdown race: a job either lands before the
+            // flag (workers drain it) or the submit panics — it can
+            // never slip into the queue after the drain and leave its
+            // caller blocked forever.
+            let mut queue = self.shared.queue.lock().expect("job queue");
+            assert!(
+                !self.shared.shutdown.load(Ordering::Acquire),
+                "submit on a shut-down ExecutorService"
+            );
+            queue.push_back(job);
+        }
+        self.shared.ready.notify_one();
+        rx
+    }
+
+    /// Submits and blocks for the response (the connection handler's
+    /// path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the serving worker died (it panicked mid-request).
+    #[must_use]
+    pub fn serve(&self, request: Request) -> ServedResponse {
+        self.submit(request)
+            .recv()
+            .expect("executor worker dropped the reply channel")
+    }
+
+    /// Requests currently waiting for a worker.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.lock().expect("job queue").len()
+    }
+
+    /// The worker-pool size.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.workers.lock().expect("worker registry").len()
+    }
+
+    /// Stops accepting work, lets in-flight requests finish (workers
+    /// drain the queue before exiting), answers anything left `503`,
+    /// and joins the workers. Idempotent.
+    pub fn shutdown(&self) {
+        {
+            // Set the flag under the queue lock — see submit() for
+            // why this ordering matters.
+            let _queue = self.shared.queue.lock().expect("job queue");
+            self.shared.shutdown.store(true, Ordering::Release);
+        }
+        self.shared.ready.notify_all();
+        let workers: Vec<_> = self
+            .workers
+            .lock()
+            .expect("worker registry")
+            .drain(..)
+            .collect();
+        for worker in workers {
+            if worker.join().is_err() {
+                // A worker panicked mid-request (e.g. a debug-build
+                // footprint violation); keep joining the rest.
+            }
+        }
+        let drained: Vec<Job> = self
+            .shared
+            .queue
+            .lock()
+            .expect("job queue")
+            .drain(..)
+            .collect();
+        for job in drained {
+            let _ = job.reply.send(ServedResponse {
+                response: Response {
+                    status: 503,
+                    body: "server shutting down".to_owned(),
+                    headers: Vec::new(),
+                },
+                queued: job.enqueued.elapsed(),
+                service: Duration::ZERO,
+            });
         }
     }
 }
@@ -437,6 +701,108 @@ mod tests {
                 );
             }
         });
+    }
+
+    #[test]
+    fn service_mode_serves_submitted_requests() {
+        let app = Arc::new(note_app());
+        let router = Arc::new(note_router());
+        let service = ExecutorService::start(Arc::clone(&app), router, 3);
+        assert_eq!(service.threads(), 3);
+        // Interleave reads and writes through the queue.
+        let mut receivers = Vec::new();
+        for i in 0..8 {
+            receivers.push(service.submit(Request::new("note/add", Viewer::User(i))));
+        }
+        for rx in receivers {
+            let served = rx.recv().unwrap();
+            assert_eq!(served.response.status, 200);
+            assert!(served.service >= Duration::ZERO);
+        }
+        let read = service.serve(Request::new("notes", Viewer::User(1)));
+        assert_eq!(read.response.status, 200);
+        // 6 seeded notes + 8 added = 14 rows; the viewer reads their
+        // own note's text, every other row shows the public facet.
+        assert_eq!(read.response.body.lines().count(), 6 + 8);
+        assert_eq!(read.response.body.matches("added").count(), 1);
+        let miss = service.serve(Request::new("nope", Viewer::Anonymous));
+        assert_eq!(miss.response.status, 404);
+        service.shutdown();
+    }
+
+    #[test]
+    fn service_mode_matches_batch_mode_bytes() {
+        let service_app = Arc::new(note_app());
+        let service = ExecutorService::start(Arc::clone(&service_app), Arc::new(note_router()), 4);
+        let batch_app = note_app();
+        let router = note_router();
+        let requests = read_mix();
+        let batch = Executor::sequential().run(&batch_app, &router, &requests);
+        for (request, expected) in requests.iter().zip(batch) {
+            let served = service.serve(request.clone());
+            assert_eq!(served.response, expected);
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn service_shutdown_joins_workers_and_drains() {
+        let service = ExecutorService::start(Arc::new(note_app()), Arc::new(note_router()), 2);
+        let rx = service.submit(Request::new("notes", Viewer::User(1)));
+        service.shutdown();
+        // The submitted request was either served before shutdown or
+        // drained with 503 — it is never silently dropped.
+        let served = rx.recv().unwrap();
+        assert!(served.response.status == 200 || served.response.status == 503);
+    }
+
+    /// The debug-build footprint checker: a route that reads a table
+    /// it never declared must panic the dispatch (under-declared
+    /// footprints silently break request isolation otherwise).
+    /// Release builds skip the check, so this test is debug-only.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "outside its declared footprint")]
+    fn under_declared_read_footprint_panics_in_debug() {
+        let app = note_app();
+        let mut router = Router::new();
+        // Declares nothing but reads `note`.
+        router.route_read_tables("sneaky", &[], |app: &App, _req| {
+            let rows = app.all("note").unwrap_or_default();
+            Response::ok(rows.len().to_string())
+        });
+        let requests = vec![Request::new("sneaky", Viewer::User(1))];
+        let _ = Executor::sequential().run(&app, &router, &requests);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "wrote table")]
+    fn under_declared_write_footprint_panics_in_debug() {
+        let app = note_app();
+        let mut router = Router::new();
+        // Declares `note` as a *read*, then writes it.
+        router.route_tables("sneaky/add", &["note"], &[], |app: &App, _req| {
+            app.create("note", vec![Value::Int(9), Value::from("x")])
+                .unwrap();
+            Response::ok(String::new())
+        });
+        let requests = vec![Request::new("sneaky/add", Viewer::User(1))];
+        let _ = Executor::sequential().run(&app, &router, &requests);
+    }
+
+    #[test]
+    fn declared_footprints_pass_the_debug_check() {
+        // The canonical routers run under the checker in every debug
+        // test run; this pins the simplest positive case explicitly.
+        let app = note_app();
+        let router = note_router();
+        let requests = vec![
+            Request::new("notes", Viewer::User(1)),
+            Request::new("note/add", Viewer::User(1)),
+        ];
+        let responses = Executor::sequential().run(&app, &router, &requests);
+        assert!(responses.iter().all(|r| r.status == 200));
     }
 
     #[test]

@@ -47,37 +47,107 @@ impl Request {
     }
 }
 
-/// A response: status code and rendered body.
+/// A response: status code, rendered body, and (for the wire path)
+/// extra headers. The [`wire`](crate::wire) module owns the HTTP/1.1
+/// byte format ([`Response::serialize`](crate::wire)); in-process
+/// dispatch ignores headers entirely, so the differential grids keep
+/// comparing plain bodies.
+///
+/// Error statuses are distinct on purpose: `400` for requests the
+/// server could not parse or that miss required parameters, `403` for
+/// requests a policy or the authenticator denied, `404` for unknown
+/// routes/objects, `500` for internal failures. Controllers should
+/// pick the matching constructor rather than collapsing everything
+/// into one.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Response {
-    /// HTTP-ish status code.
+    /// HTTP status code.
     pub status: u16,
     /// The rendered page body.
     pub body: String,
+    /// Extra response headers (`Set-Cookie`, `Content-Type`
+    /// overrides …), serialized verbatim by the wire layer.
+    pub headers: Vec<(String, String)>,
 }
 
 impl Response {
+    fn with_status(status: u16, body: String) -> Response {
+        Response {
+            status,
+            body,
+            headers: Vec::new(),
+        }
+    }
+
     /// A 200 response.
     #[must_use]
     pub fn ok(body: String) -> Response {
-        Response { status: 200, body }
+        Response::with_status(200, body)
+    }
+
+    /// A 400 response: the request was syntactically broken or missed
+    /// a required parameter.
+    #[must_use]
+    pub fn bad_request(message: &str) -> Response {
+        Response::with_status(400, message.to_owned())
+    }
+
+    /// A 403 response: the authenticator or a policy denied the
+    /// request outright.
+    #[must_use]
+    pub fn forbidden(message: &str) -> Response {
+        Response::with_status(403, message.to_owned())
     }
 
     /// A 404 response.
     #[must_use]
     pub fn not_found() -> Response {
-        Response {
-            status: 404,
-            body: "not found".to_owned(),
-        }
+        Response::with_status(404, "not found".to_owned())
     }
 
-    /// A 500 response.
+    /// A 500 response — internal failures only; use
+    /// [`Response::bad_request`] / [`Response::forbidden`] /
+    /// [`Response::not_found`] for client-attributable errors.
     #[must_use]
     pub fn error(message: &str) -> Response {
-        Response {
-            status: 500,
-            body: message.to_owned(),
+        Response::with_status(500, message.to_owned())
+    }
+
+    /// Appends a response header (builder style).
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.to_owned(), value.to_owned()));
+        self
+    }
+
+    /// The first header with this (case-insensitive) name, if any.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The standard reason phrase for a status code (used by the wire
+    /// serializer and handy in tests).
+    #[must_use]
+    pub fn status_text(status: u16) -> &'static str {
+        match status {
+            200 => "OK",
+            400 => "Bad Request",
+            403 => "Forbidden",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            413 => "Payload Too Large",
+            414 => "URI Too Long",
+            431 => "Request Header Fields Too Large",
+            500 => "Internal Server Error",
+            501 => "Not Implemented",
+            503 => "Service Unavailable",
+            505 => "HTTP Version Not Supported",
+            _ => "Unknown",
         }
     }
 }
@@ -325,6 +395,26 @@ mod tests {
         assert_eq!(Response::not_found().status, 404);
         assert_eq!(Response::error("x").status, 500);
         assert_eq!(Response::ok(String::new()).status, 200);
+        assert_eq!(Response::bad_request("p").status, 400);
+        assert_eq!(Response::forbidden("p").status, 403);
+    }
+
+    #[test]
+    fn response_headers_lookup_is_case_insensitive() {
+        let r = Response::ok(String::new())
+            .with_header("Set-Cookie", "session=abc")
+            .with_header("X-One", "1");
+        assert_eq!(r.header("set-cookie"), Some("session=abc"));
+        assert_eq!(r.header("X-ONE"), Some("1"));
+        assert_eq!(r.header("missing"), None);
+    }
+
+    #[test]
+    fn status_text_covers_the_served_codes() {
+        for (code, text) in [(200, "OK"), (403, "Forbidden"), (404, "Not Found")] {
+            assert_eq!(Response::status_text(code), text);
+        }
+        assert_eq!(Response::status_text(599), "Unknown");
     }
 
     #[test]

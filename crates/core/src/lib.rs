@@ -60,15 +60,20 @@
 #![warn(missing_docs)]
 
 mod app;
+mod auth;
 mod executor;
 mod http;
 mod model;
+pub mod server;
 mod session;
 mod vanilla;
+pub mod wire;
 
 pub use app::App;
-pub use executor::Executor;
-pub use http::{Controller, ReadController, Request, Response, Router};
+pub use auth::{AuthOutcome, Authenticator, SESSION_COOKIE};
+pub use executor::{Executor, ExecutorService, ServedResponse};
+pub use http::{Controller, Footprint, ReadController, Request, Response, Router};
 pub use model::{label_for, simple_policy, FieldPolicy, ModelDef, PolicyArgs, PolicyFn, Viewer};
+pub use server::{Server, ServerConfig, Site};
 pub use session::Session;
 pub use vanilla::VanillaDb;

@@ -330,6 +330,7 @@ impl FormDb {
     }
 
     fn write_rows(&self, table: &str, jid: i64, object: &FacetedObject) -> FormResult<()> {
+        crate::touched::note_write(table);
         // One write lock for the whole marshalling loop: rows of one
         // object land atomically, and the index refresh rides along.
         let mut t = self.db.table_mut(table)?;
@@ -459,6 +460,7 @@ impl FormDb {
         query: &Query,
         prune: Option<&Branches>,
     ) -> FormResult<FacetedList<GuardedRow>> {
+        crate::touched::note_read(table);
         let t = self.db.table(table)?;
         let width = t.schema().len() - 2;
         let Some(indices) = query.plan_indices(&t)? else {
@@ -554,6 +556,7 @@ impl FormDb {
         table: &str,
         prune: Option<&Branches>,
     ) -> FormResult<FacetedList<GuardedRow>> {
+        crate::touched::note_read(table);
         let t = self.db.table(table)?;
         let rows = self.decoded_rows(table, &t)?;
         drop(t);
@@ -671,6 +674,8 @@ impl FormDb {
         right: &str,
         prune: Option<&Branches>,
     ) -> FormResult<FacetedList<(GuardedRow, GuardedRow)>> {
+        crate::touched::note_read(left);
+        crate::touched::note_read(right);
         let (ldec, fk_ix) = {
             let t = self.db.table(left)?;
             let fk_ix = t
@@ -756,6 +761,7 @@ impl FormDb {
         jid: i64,
         prune: Option<&Branches>,
     ) -> FormResult<FacetedObject> {
+        crate::touched::note_read(table);
         if self.cache_enabled && prune.is_none() {
             let generation = self.db.table(table)?.generation();
             if let Some(obj) = self.cached_object(table, generation, jid) {

@@ -36,6 +36,7 @@ mod db;
 mod error;
 mod meta;
 mod object;
+pub mod touched;
 
 pub use aggregate::{faceted_count, faceted_sum};
 pub use db::{DecodeCacheStats, FormDb};

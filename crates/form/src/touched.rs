@@ -1,0 +1,153 @@
+//! Debug-build table-access recording: which tables did this thread's
+//! current request actually touch?
+//!
+//! Route footprints (`jacqueline::Footprint`) are declared by hand,
+//! and a footprint that *under*-declares breaks request isolation
+//! silently — the executor takes too few locks and a concurrent
+//! reader can observe a torn multi-statement write. This module
+//! closes that hazard in debug builds: every [`FormDb`] query notes
+//! the table it reads and every write notes the table it mutates into
+//! a thread-local set, the executor snapshots the set around each
+//! controller call, and a touch outside the declared footprint
+//! panics the request (loudly, in tests) instead of racing silently
+//! in production.
+//!
+//! In release builds every function here compiles to a no-op, so the
+//! hot path pays nothing.
+//!
+//! [`FormDb`]: crate::FormDb
+
+#[cfg(debug_assertions)]
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+
+/// The tables one request actually touched, split by access kind.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TouchedTables {
+    /// Tables read by queries (`all`, `filter`, `get`, joins — and
+    /// everything policies read at output time).
+    pub reads: BTreeSet<String>,
+    /// Tables mutated (`insert`, `save`, `delete`).
+    pub writes: BTreeSet<String>,
+}
+
+#[cfg(debug_assertions)]
+thread_local! {
+    static ACTIVE: RefCell<Option<TouchedTables>> = const { RefCell::new(None) };
+}
+
+/// Starts recording table accesses on the calling thread, returning
+/// any recording that was already in flight (recordings nest by
+/// save/restore, so a controller that itself drives a nested dispatch
+/// cannot corrupt the outer request's set).
+///
+/// No-op (returns `None`) in release builds.
+#[must_use]
+pub fn begin_recording() -> Option<TouchedTables> {
+    #[cfg(debug_assertions)]
+    {
+        ACTIVE.with(|a| a.borrow_mut().replace(TouchedTables::default()))
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        None
+    }
+}
+
+/// Stops recording on the calling thread, restoring `previous` (the
+/// value [`begin_recording`] returned) and handing back what was
+/// recorded since. Returns `None` in release builds and when no
+/// recording was active.
+pub fn end_recording(previous: Option<TouchedTables>) -> Option<TouchedTables> {
+    #[cfg(debug_assertions)]
+    {
+        ACTIVE.with(|a| {
+            let recorded = a.borrow_mut().take();
+            *a.borrow_mut() = previous;
+            recorded
+        })
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        let _ = previous;
+        None
+    }
+}
+
+/// Notes a query against `table` (no-op unless a debug-build
+/// recording is active on this thread).
+#[inline]
+pub fn note_read(table: &str) {
+    #[cfg(debug_assertions)]
+    ACTIVE.with(|a| {
+        if let Some(t) = a.borrow_mut().as_mut() {
+            if !t.reads.contains(table) {
+                t.reads.insert(table.to_owned());
+            }
+        }
+    });
+    #[cfg(not(debug_assertions))]
+    let _ = table;
+}
+
+/// Notes a mutation of `table` (no-op unless a debug-build recording
+/// is active on this thread).
+#[inline]
+pub fn note_write(table: &str) {
+    #[cfg(debug_assertions)]
+    ACTIVE.with(|a| {
+        if let Some(t) = a.borrow_mut().as_mut() {
+            if !t.writes.contains(table) {
+                t.writes.insert(table.to_owned());
+            }
+        }
+    });
+    #[cfg(not(debug_assertions))]
+    let _ = table;
+}
+
+#[cfg(all(test, debug_assertions))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_captures_reads_and_writes() {
+        let prev = begin_recording();
+        note_read("a");
+        note_read("a");
+        note_write("b");
+        let touched = end_recording(prev).unwrap();
+        assert_eq!(touched.reads.iter().collect::<Vec<_>>(), vec!["a"]);
+        assert_eq!(touched.writes.iter().collect::<Vec<_>>(), vec!["b"]);
+        // Recording is off again: notes go nowhere.
+        note_read("c");
+        let prev = begin_recording();
+        let empty = end_recording(prev).unwrap();
+        assert!(empty.reads.is_empty() && empty.writes.is_empty());
+    }
+
+    #[test]
+    fn recordings_nest_by_save_restore() {
+        let outer = begin_recording();
+        note_read("outer_table");
+        let inner = begin_recording();
+        note_read("inner_table");
+        let inner_touched = end_recording(inner).unwrap();
+        assert!(inner_touched.reads.contains("inner_table"));
+        assert!(!inner_touched.reads.contains("outer_table"));
+        note_read("outer_again");
+        let outer_touched = end_recording(outer).unwrap();
+        assert!(outer_touched.reads.contains("outer_table"));
+        assert!(outer_touched.reads.contains("outer_again"));
+        assert!(!outer_touched.reads.contains("inner_table"));
+    }
+
+    #[test]
+    fn notes_without_recording_are_ignored() {
+        note_read("nope");
+        note_write("nope");
+        let prev = begin_recording();
+        let t = end_recording(prev).unwrap();
+        assert!(t.reads.is_empty() && t.writes.is_empty());
+    }
+}

@@ -48,7 +48,7 @@ pub fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The patient signs a waiver for the insurer — policies consult
     // the waiver table at *output* time, so the same record object now
     // renders differently.
-    health::set_waiver(&mut app, record, insurer, true)?;
+    health::set_waiver(&app, record, insurer, true)?;
     println!("-- after the waiver --");
     println!(
         "insurer: {}",

@@ -1,0 +1,147 @@
+//! Serving a Jacqueline application over real HTTP.
+//!
+//! Default mode runs a self-contained demo: it binds the conference
+//! app to an ephemeral port, drives a scripted client session against
+//! it over TCP (login → list → submit → policy-denied request), and
+//! prints the transcript — so `cargo run --example serve` always
+//! shows the full round-trip and exits cleanly.
+//!
+//! To keep a server running for manual curl sessions:
+//!
+//! ```text
+//! cargo run --release --example serve -- --forever --port 8099
+//! curl http://127.0.0.1:8099/papers/all
+//! TOKEN=$(curl -s -X POST 'http://127.0.0.1:8099/login' -d user=2)
+//! curl -b "session=$TOKEN" http://127.0.0.1:8099/papers/all
+//! ```
+
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+
+use apps::{serve, workload};
+use jacqueline::wire::{read_response, WireResponse};
+use jacqueline::{Server, ServerConfig};
+
+fn request(addr: std::net::SocketAddr, raw: &str) -> WireResponse {
+    let mut stream = TcpStream::connect(addr).expect("connect to own server");
+    stream.write_all(raw.as_bytes()).expect("send request");
+    read_response(&mut BufReader::new(stream)).expect("read response")
+}
+
+/// Entry point (public so the examples smoke test can drive it).
+pub fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let forever = args.iter().any(|a| a == "--forever");
+    let port: u16 = args
+        .iter()
+        .position(|a| a == "--port")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|p| p.parse().ok())
+        .unwrap_or(0);
+
+    let site = serve::conference_site(workload::conference(16, 12).app);
+    let server = Server::bind(site, ("127.0.0.1", port), ServerConfig::default())
+        .expect("bind the HTTP server");
+    let addr = server.addr();
+    println!("== conference app serving on http://{addr} ==");
+    println!("routes: {:?}", server.site().router.paths());
+
+    if forever {
+        println!("(press ctrl-c to stop)");
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+
+    // Scripted session over real TCP.
+    println!("\n-- anonymous page (public facets only) --");
+    let page = request(
+        addr,
+        &format!("GET /papers/all HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"),
+    );
+    println!("GET /papers/all -> {}", page.status);
+    for line in page.text().lines().take(3) {
+        println!("  {line}");
+    }
+
+    println!("\n-- login as user 2 --");
+    let body = "user=2";
+    let login = request(
+        addr,
+        &format!(
+            "POST /login HTTP/1.1\r\nHost: {addr}\r\n\
+             Content-Type: application/x-www-form-urlencoded\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        ),
+    );
+    println!("POST /login -> {} (token {})", login.status, login.text());
+    let token = login.text();
+
+    println!("\n-- the same page with the session cookie --");
+    let page = request(
+        addr,
+        &format!(
+            "GET /papers/all HTTP/1.1\r\nHost: {addr}\r\nCookie: session={token}\r\n\
+             Connection: close\r\n\r\n"
+        ),
+    );
+    println!(
+        "GET /papers/all -> {} (queue {}us, service {}us)",
+        page.status,
+        page.header("x-queue-us").unwrap_or("?"),
+        page.header("x-service-us").unwrap_or("?"),
+    );
+    for line in page.text().lines().take(3) {
+        println!("  {line}");
+    }
+
+    println!("\n-- submit a paper over the wire --");
+    let body = "title=Served+over+HTTP".to_owned();
+    let submit = request(
+        addr,
+        &format!(
+            "POST /papers/submit HTTP/1.1\r\nHost: {addr}\r\nCookie: session={token}\r\n\
+             Content-Type: application/x-www-form-urlencoded\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        ),
+    );
+    println!(
+        "POST /papers/submit -> {} (jid {})",
+        submit.status,
+        submit.text()
+    );
+
+    println!("\n-- policy-denied: anonymous submit --");
+    let body = "title=sneaky";
+    let denied = request(
+        addr,
+        &format!(
+            "POST /papers/submit HTTP/1.1\r\nHost: {addr}\r\n\
+             Content-Type: application/x-www-form-urlencoded\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        ),
+    );
+    println!(
+        "POST /papers/submit (no session) -> {} ({})",
+        denied.status,
+        denied.text()
+    );
+    assert_eq!(denied.status, 403);
+
+    println!("\n-- forged session token --");
+    let forged = request(
+        addr,
+        &format!(
+            "GET /papers/all HTTP/1.1\r\nHost: {addr}\r\nCookie: session=forged\r\n\
+             Connection: close\r\n\r\n"
+        ),
+    );
+    println!("GET /papers/all (bad token) -> {}", forged.status);
+    assert_eq!(forged.status, 403);
+
+    server.shutdown();
+    println!("\nserver shut down cleanly");
+}

@@ -15,6 +15,8 @@ mod lambda_jdb_repl;
 mod policy_sat;
 #[path = "../examples/quickstart.rs"]
 mod quickstart;
+#[path = "../examples/serve.rs"]
+mod serve;
 
 #[test]
 fn quickstart_example_runs() {
@@ -39,6 +41,14 @@ fn health_records_example_runs() {
 #[test]
 fn policy_sat_example_runs() {
     policy_sat::main();
+}
+
+/// The serve example's default mode binds an ephemeral port, drives a
+/// scripted HTTP session against itself, and shuts down — so the
+/// whole socket stack is exercised here too.
+#[test]
+fn serve_example_runs() {
+    serve::main();
 }
 
 /// Drives the REPL with the exact sample session from its module
