@@ -9,7 +9,21 @@
 //! resolved back to that viewer by the server's
 //! [`Authenticator`] — exactly the boundary the in-process harness
 //! skips.
+//!
+//! # Persistence
+//!
+//! The `*_site_persistent` constructors wrap an app with the durable
+//! checkpoint machinery: the write log and meta journal attach to a
+//! checkpoint directory and the router gains the `admin/checkpoint`
+//! route (see [`jacqueline::checkpoint`]). The matching
+//! `*_site_restored` constructors are **boot-from-checkpoint**: a
+//! blank app registers the same models, restores the checkpoint (plus
+//! log replay), and comes back serving byte-identical pages to every
+//! viewer. Sessions are deliberately ephemeral — clients re-login
+//! after a restart; everything behind the login (labels, policies,
+//! facet DAGs, rows) survives.
 
+use std::path::Path;
 use std::sync::Arc;
 
 use jacqueline::{App, Authenticator, Request, Response, Router, Site, Viewer};
@@ -83,6 +97,109 @@ pub fn health_site(app: App) -> Site {
     site_with_login(app, health::router(), "individual")
 }
 
+/// Wraps an app + router with persistence: logs attached to `dir`,
+/// an initial checkpoint taken, `admin/checkpoint` registered, login
+/// wired over `user_table`.
+///
+/// The initial checkpoint matters twice over: state that predates
+/// `enable_persistence` (seed data, a freshly restored snapshot) is
+/// in neither log, so without it a crash before the first
+/// `admin/checkpoint` would leave the directory unrestorable — and
+/// on the restore path it compacts the replayed logs into a clean
+/// baseline.
+fn persistent_site(
+    mut app: App,
+    mut router: Router,
+    user_table: &'static str,
+    dir: &Path,
+) -> form::FormResult<Site> {
+    app.enable_persistence(dir)?;
+    app.checkpoint_quiescent(dir)?;
+    jacqueline::add_checkpoint_route(&mut router, dir);
+    Ok(site_with_login(app, router, user_table))
+}
+
+/// Boot-from-checkpoint: a blank app, the same models re-registered,
+/// state restored from `dir`, persistence re-enabled.
+fn restored_site(
+    register: impl FnOnce(&mut App) -> form::FormResult<()>,
+    router: Router,
+    user_table: &'static str,
+    dir: &Path,
+) -> form::FormResult<Site> {
+    let mut app = App::new();
+    register(&mut app)?;
+    app.restore_from(dir)?;
+    persistent_site(app, router, user_table, dir)
+}
+
+/// [`conference_site`] plus persistence: write log + meta journal in
+/// `dir`, and the `admin/checkpoint` route.
+///
+/// # Errors
+///
+/// I/O errors attaching the logs.
+pub fn conference_site_persistent(app: App, dir: impl AsRef<Path>) -> form::FormResult<Site> {
+    persistent_site(app, conf::router(), "user_profile", dir.as_ref())
+}
+
+/// Boots the conference app from the checkpoint in `dir`: every page
+/// a restored server renders is byte-identical to the pre-restart
+/// server, for every viewer.
+///
+/// # Errors
+///
+/// Missing/corrupt checkpoint, or a checkpoint from different
+/// application code.
+pub fn conference_site_restored(dir: impl AsRef<Path>) -> form::FormResult<Site> {
+    restored_site(conf::register, conf::router(), "user_profile", dir.as_ref())
+}
+
+/// [`courses_site`] plus persistence (see
+/// [`conference_site_persistent`]).
+///
+/// # Errors
+///
+/// I/O errors attaching the logs.
+pub fn courses_site_persistent(app: App, dir: impl AsRef<Path>) -> form::FormResult<Site> {
+    persistent_site(app, courses::router(), "cuser", dir.as_ref())
+}
+
+/// Boots the course manager from the checkpoint in `dir`.
+///
+/// # Errors
+///
+/// Missing/corrupt checkpoint, or a checkpoint from different
+/// application code.
+pub fn courses_site_restored(dir: impl AsRef<Path>) -> form::FormResult<Site> {
+    restored_site(courses::register, courses::router(), "cuser", dir.as_ref())
+}
+
+/// [`health_site`] plus persistence (see
+/// [`conference_site_persistent`]).
+///
+/// # Errors
+///
+/// I/O errors attaching the logs.
+pub fn health_site_persistent(app: App, dir: impl AsRef<Path>) -> form::FormResult<Site> {
+    persistent_site(app, health::router(), "individual", dir.as_ref())
+}
+
+/// Boots the health-record manager from the checkpoint in `dir`.
+///
+/// # Errors
+///
+/// Missing/corrupt checkpoint, or a checkpoint from different
+/// application code.
+pub fn health_site_restored(dir: impl AsRef<Path>) -> form::FormResult<Site> {
+    restored_site(
+        health::register,
+        health::router(),
+        "individual",
+        dir.as_ref(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,6 +237,88 @@ mod tests {
             .handle(&site.app, &Request::new("login", Viewer::Anonymous));
         assert_eq!(missing.status, 400);
         assert_eq!(site.auth.live_sessions(), 0, "failures mint nothing");
+    }
+
+    /// Every app's full all-pages × all-viewers grid survives a
+    /// checkpoint → blank process → restore cycle byte-for-byte, with
+    /// facet-DAG sharing intact (the ISSUE's acceptance criterion, in
+    /// its in-process form; `tests/checkpoint_e2e.rs` pins the served
+    /// version under concurrent writers).
+    #[test]
+    fn restored_sites_render_identical_grids() {
+        let dir_root =
+            std::env::temp_dir().join(format!("jacq_serve_restore_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir_root);
+        type SiteBuilder = fn(App) -> Site;
+        type RestoredBuilder = fn(&std::path::Path) -> form::FormResult<Site>;
+        type Case = (
+            &'static str,
+            App,
+            SiteBuilder,
+            RestoredBuilder,
+            Vec<String>,
+            i64,
+        );
+        let cases: Vec<Case> = vec![
+            (
+                "conference",
+                workload::conference(6, 5).app,
+                conference_site as SiteBuilder,
+                (|d| conference_site_restored(d)) as RestoredBuilder,
+                {
+                    let mut pages = vec!["papers/all".to_owned(), "users/all".to_owned()];
+                    pages.extend((1..=5).map(|p| format!("papers/one?id={p}")));
+                    pages
+                },
+                6,
+            ),
+            (
+                "courses",
+                workload::courses(4).app,
+                courses_site as SiteBuilder,
+                (|d| courses_site_restored(d)) as RestoredBuilder,
+                vec!["courses/all".to_owned()],
+                5,
+            ),
+            (
+                "health",
+                workload::health(8).app,
+                health_site as SiteBuilder,
+                (|d| health_site_restored(d)) as RestoredBuilder,
+                vec!["records/all".to_owned()],
+                8,
+            ),
+        ];
+        for (name, app, build, restore, pages, users) in cases {
+            let dir = dir_root.join(name);
+            let stats = app.checkpoint_quiescent(&dir).unwrap();
+            assert!(stats.objects > 0, "{name}: checkpoint captured objects");
+            let site = build(app);
+            let restored = restore(&dir).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let viewers: Vec<Viewer> = std::iter::once(Viewer::Anonymous)
+                .chain((1..=users).map(Viewer::User))
+                .collect();
+            for page in &pages {
+                let (path, params) = match page.split_once('?') {
+                    None => (page.as_str(), None),
+                    Some((p, q)) => (p, q.split_once('=')),
+                };
+                for viewer in &viewers {
+                    let mut request = Request::new(path, viewer.clone());
+                    if let Some((k, v)) = params {
+                        request = request.with_param(k, v);
+                    }
+                    let before = site.router.handle(&site.app, &request);
+                    let after = restored.router.handle(&restored.app, &request);
+                    assert_eq!(
+                        (before.status, before.body),
+                        (after.status, after.body),
+                        "{name}: {page} for {viewer}"
+                    );
+                }
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir_root);
     }
 
     #[test]

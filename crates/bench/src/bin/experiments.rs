@@ -4,12 +4,15 @@
 //!
 //! Run with `cargo run --release -p jbench --bin experiments -- --all`
 //! (or a subset: `--fig6 --fig9a --fig9b --fig9c --table3 --table4
-//! --table5 --memo --concurrent --cache --locks --load`). `--smoke`
-//! shrinks the sweeps for CI; `--serve [--port N]` skips measurement
-//! and serves the conference app over HTTP until killed. `--load`
-//! measures the socket path: the served vs in-process overhead table
-//! (gated in CI) and the open-loop load harness with queue/service
-//! latency percentiles. Output mirrors the paper's rows; absolute times are this
+//! --table5 --memo --concurrent --cache --locks --load
+//! --checkpoint`). `--smoke` shrinks the sweeps for CI; `--serve
+//! [--port N]` skips measurement and serves the conference app over
+//! HTTP until killed. `--load` measures the socket path: the served
+//! vs in-process overhead table (gated in CI) and the open-loop load
+//! harness with queue/service latency percentiles. `--checkpoint`
+//! measures the persistence subsystem: checkpoint + restore medians
+//! (gated in CI, absolute mode) and interner node counts around the
+//! quiescent-point GC. Output mirrors the paper's rows; absolute times are this
 //! machine's, the comparison *shapes* are the reproduction target
 //! (see EXPERIMENTS.md). Alongside the printed tables the run records
 //! per-table medians and writes them to `BENCH_results.json` (or the
@@ -39,7 +42,7 @@ struct Config {
 
 /// The flags that select individual tables; any other flag is a
 /// modifier. Running with no table flag at all means `--all`.
-const TABLE_FLAGS: [&str; 12] = [
+const TABLE_FLAGS: [&str; 13] = [
     "--fig6",
     "--fig9a",
     "--fig9b",
@@ -52,6 +55,7 @@ const TABLE_FLAGS: [&str; 12] = [
     "--cache",
     "--locks",
     "--load",
+    "--checkpoint",
 ];
 
 fn main() {
@@ -116,6 +120,9 @@ fn main() {
     if want("--load") {
         served_overhead(&cfg, &mut report);
         open_loop_load(&cfg, &mut report);
+    }
+    if want("--checkpoint") {
+        checkpoint_latency(&cfg, &mut report);
     }
 
     if !report.is_empty() {
@@ -795,6 +802,94 @@ fn concurrent(cfg: &Config, report: &mut Report) {
             format!("{:.0}", n_requests as f64 / t),
             format!("{:.2}x", base_t / t),
         ]);
+    }
+}
+
+/// Checkpoint/restore latency (`checkpoint_latency`, CI-gated in
+/// absolute mode) plus interner growth at the quiescent point
+/// (`intern_stats`): medians of [`App::checkpoint_quiescent`] and a
+/// cold [`App::restore_from`] on the conference workload at
+/// n=256/1024 users (n=256 only under `--smoke`; the committed
+/// baseline holds both sizes and the guard compares shared labels).
+/// The `intern_stats` table records nodes before/after the
+/// checkpoint-time GC and the reclaimed count, so store growth is
+/// visible in the `BENCH_results.json` trajectory.
+///
+/// Reps are floored at 7: checkpoints are milliseconds, and these
+/// medians feed a regression gate.
+fn checkpoint_latency(cfg: &Config, report: &mut Report) {
+    use jacqueline::App;
+    println!("\n==== Checkpoint & restore latency (conference workload) ====");
+    print_row(&[
+        "Users".into(),
+        "checkpoint".into(),
+        "restore".into(),
+        "nodes (pre→post GC)".into(),
+    ]);
+    let reps = cfg.reps.max(7);
+    let sizes: &[usize] = if cfg.smoke { &[256] } else { &[256, 1024] };
+    for &n in sizes {
+        let dir = std::env::temp_dir().join(format!("jacq_bench_ckpt_{n}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let app = workload::conference(n, n / 4).app;
+        // One untimed checkpoint to create the directory and warm the
+        // decode cache paths, and to sample the interner stats.
+        let stats = app
+            .checkpoint_quiescent(&dir)
+            .expect("checkpoint the bench workload");
+        report.record(
+            "intern_stats",
+            &format!("users={n} nodes_before_gc"),
+            stats.interner_nodes_before as f64,
+        );
+        report.record(
+            "intern_stats",
+            &format!("users={n} nodes_after_gc"),
+            stats.interner_nodes_after as f64,
+        );
+        report.record(
+            "intern_stats",
+            &format!("users={n} gc_reclaimed"),
+            stats.gc_reclaimed as f64,
+        );
+        report.record(
+            "intern_stats",
+            &format!("users={n} facet_nodes_exported"),
+            stats.facet_nodes as f64,
+        );
+        let t_checkpoint = measure(
+            report,
+            "checkpoint_latency",
+            &format!("users={n} checkpoint"),
+            reps,
+            || {
+                std::hint::black_box(app.checkpoint_quiescent(&dir).expect("checkpoint"));
+            },
+        );
+        // Restore into an app with the models registered but no data —
+        // the boot-from-checkpoint path. `restore_from` replaces state
+        // wholesale, so repeated restores measure the same work.
+        let mut blank = App::new();
+        apps::conf::register(&mut blank).expect("register conference models");
+        let t_restore = measure(
+            report,
+            "checkpoint_latency",
+            &format!("users={n} restore"),
+            reps,
+            || {
+                std::hint::black_box(blank.restore_from(&dir).expect("restore"));
+            },
+        );
+        print_row(&[
+            n.to_string(),
+            fmt_secs(t_checkpoint),
+            fmt_secs(t_restore),
+            format!(
+                "{}→{} (-{})",
+                stats.interner_nodes_before, stats.interner_nodes_after, stats.gc_reclaimed
+            ),
+        ]);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
 

@@ -14,12 +14,17 @@ use crate::model::{ModelDef, PolicyArgs, PolicyFn, Viewer};
 /// A policy attached to a live label: the check plus the
 /// creation-time row snapshot it closes over (§2.1.2: "with respect
 /// to the value of event at the time a value is created and the state
-/// of the system at the time of output").
+/// of the system at the time of output"). The `model`/`policy_ix`
+/// pair names where the check came from, so a checkpoint can persist
+/// the binding and a restore can re-attach the (unserializable)
+/// closure from the re-registered model.
 #[derive(Clone)]
 pub(crate) struct PolicyEntry {
     pub(crate) check: PolicyFn,
     pub(crate) row: Row,
     pub(crate) jid: i64,
+    pub(crate) model: String,
+    pub(crate) policy_ix: usize,
 }
 
 /// A Jacqueline application: registered models, the faceted database,
@@ -50,6 +55,13 @@ pub struct App {
     /// Request-level footprint locks, owned by the app so concurrent
     /// executor runs against the same app isolate against each other.
     pub(crate) request_locks: crate::executor::RequestLocks,
+    /// The append-only metadata journal, when persistence is enabled
+    /// (see [`App::enable_persistence`](crate::checkpoint)).
+    pub(crate) journal: Option<std::sync::Arc<crate::checkpoint::MetaJournal>>,
+    /// Orders concurrent `create`s' (label allocation, journal
+    /// append) pairs so journal records stay in label-index order —
+    /// taken only while the journal is attached.
+    create_order: std::sync::Mutex<()>,
 }
 
 impl App {
@@ -62,6 +74,8 @@ impl App {
             policies: RwLock::new(HashMap::new()),
             object_labels: RwLock::new(HashMap::new()),
             request_locks: crate::executor::RequestLocks::default(),
+            journal: None,
+            create_order: std::sync::Mutex::new(()),
         }
     }
 
@@ -99,21 +113,66 @@ impl App {
     pub fn create(&self, model_name: &str, row: Row) -> FormResult<i64> {
         let model = self.model(model_name).clone();
         let jid = self.db.reserve_jid(&model.name);
-        let mut labels = Vec::with_capacity(model.policies.len());
-        let mut object: FacetedObject = Faceted::leaf(Some(row.clone()));
-        for fp in &model.policies {
-            let label = self
-                .db
-                .fresh_label(&format!("{model_name}.{}", fp.label_name));
-            labels.push(label);
-            self.policies.write().expect("policy lock").insert(
-                label,
-                PolicyEntry {
-                    check: fp.check.clone(),
-                    row: row.clone(),
+        // Label allocation + journal append happen under one guard
+        // (when persistence is on): two concurrent creates on
+        // disjoint footprints would otherwise interleave allocation
+        // and journaling, producing records out of label-index order
+        // — which the strictly sequential journal replay rejects.
+        // Only the cheap bookkeeping sits inside the guard; facet
+        // construction below runs unlocked.
+        let labels: Vec<Label> = {
+            let _order = self
+                .journal
+                .as_ref()
+                .map(|_| self.create_order.lock().expect("create-order lock"));
+            let labels: Vec<Label> = model
+                .policies
+                .iter()
+                .map(|fp| {
+                    self.db
+                        .fresh_label(&format!("{model_name}.{}", fp.label_name))
+                })
+                .collect();
+            if let Some(journal) = &self.journal {
+                // Journal the metadata *before* the rows hit the
+                // write log: a crash between the two strands metadata
+                // without rows (harmless), never rows whose label
+                // indices the restored registry has not allocated
+                // (aliasing). The in-memory policy bindings are
+                // inserted only *after* the append succeeds, so a
+                // failed append (disk full) aborts the create without
+                // leaking phantom bindings into the policies map —
+                // and into every future checkpoint.
+                let registry = self.db.labels();
+                journal.append(&crate::checkpoint::CreateRecord {
+                    model: model.name.clone(),
                     jid,
-                },
-            );
+                    labels: labels
+                        .iter()
+                        .map(|l| (l.index(), registry.name(*l).to_owned()))
+                        .collect(),
+                    row: row.clone(),
+                })?;
+            }
+            {
+                let mut policies = self.policies.write().expect("policy lock");
+                for (policy_ix, (fp, label)) in model.policies.iter().zip(&labels).enumerate() {
+                    policies.insert(
+                        *label,
+                        PolicyEntry {
+                            check: fp.check.clone(),
+                            row: row.clone(),
+                            jid,
+                            model: model.name.clone(),
+                            policy_ix,
+                        },
+                    );
+                }
+            }
+            labels
+        };
+        let mut object: FacetedObject = Faceted::leaf(Some(row.clone()));
+        for (fp, label) in model.policies.iter().zip(&labels) {
             let public_values = (fp.public_view)(&row);
             assert_eq!(
                 public_values.len(),
@@ -130,7 +189,7 @@ impl App {
                     r
                 })
             });
-            object = Faceted::split(label, object, public_side);
+            object = Faceted::split(*label, object, public_side);
         }
         self.object_labels
             .write()
@@ -138,6 +197,91 @@ impl App {
             .insert((model.name.clone(), jid), labels);
         self.db.insert_with_jid(&model.name, jid, &object)?;
         Ok(jid)
+    }
+
+    /// Names of the registered models, in registration (name) order.
+    #[must_use]
+    pub fn model_names(&self) -> Vec<String> {
+        self.models.keys().cloned().collect()
+    }
+
+    /// Serializable policy bindings: for every live label, the
+    /// `(label index, model, policy index, jid, creation-time row)`
+    /// tuple a restore needs to re-attach the model's check closure.
+    /// Sorted by label index, which for any one object is also its
+    /// model-policy order.
+    pub(crate) fn export_policy_bindings(&self) -> Vec<(u32, String, usize, i64, Row)> {
+        let policies = self.policies.read().expect("policy lock");
+        let mut out: Vec<(u32, String, usize, i64, Row)> = policies
+            .iter()
+            .map(|(label, e)| {
+                (
+                    label.index(),
+                    e.model.clone(),
+                    e.policy_ix,
+                    e.jid,
+                    e.row.clone(),
+                )
+            })
+            .collect();
+        out.sort_by_key(|b| b.0);
+        out
+    }
+
+    /// Drops every policy binding and object-label association — the
+    /// first step of a restore (the checkpoint's bindings replace
+    /// them wholesale).
+    pub(crate) fn clear_policy_state(&self) {
+        self.policies.write().expect("policy lock").clear();
+        self.object_labels
+            .write()
+            .expect("object-labels lock")
+            .clear();
+    }
+
+    /// Re-attaches one persisted policy binding: the check closure
+    /// comes from this app's registered model (closures cannot be
+    /// serialized; the `(model, policy index)` pair is their stable
+    /// name), everything else from the checkpoint. Also appends the
+    /// label to the object's label list — callers bind in ascending
+    /// label-index order, which per object is model-policy order.
+    pub(crate) fn bind_policy(
+        &self,
+        label: Label,
+        model_name: &str,
+        policy_ix: usize,
+        jid: i64,
+        row: &Row,
+    ) -> FormResult<()> {
+        let model = self.models.get(model_name).ok_or_else(|| {
+            form::FormError::Db(microdb::DbError::Persist(format!(
+                "checkpoint binds model {model_name:?}, which this app does not register"
+            )))
+        })?;
+        let fp = model.policies.get(policy_ix).ok_or_else(|| {
+            form::FormError::Db(microdb::DbError::Persist(format!(
+                "checkpoint binds policy #{policy_ix} of model {model_name:?}, \
+                 which has {} policies",
+                model.policies.len()
+            )))
+        })?;
+        self.policies.write().expect("policy lock").insert(
+            label,
+            PolicyEntry {
+                check: fp.check.clone(),
+                row: row.clone(),
+                jid,
+                model: model_name.to_owned(),
+                policy_ix,
+            },
+        );
+        self.object_labels
+            .write()
+            .expect("object-labels lock")
+            .entry((model_name.to_owned(), jid))
+            .or_default()
+            .push(label);
+        Ok(())
     }
 
     /// Updates columns of an object, preserving its labels and

@@ -1,0 +1,986 @@
+//! Durable checkpoints for a whole application: database, FORM
+//! metadata, policy bindings, and the interned facet DAGs — with
+//! crash-safe restore.
+//!
+//! # What a checkpoint contains
+//!
+//! One atomic file (`checkpoint.snap`, written to a temp name and
+//! renamed into place) holding four sections:
+//!
+//! 1. the **database snapshot** ([`microdb::Snapshot`]): schemas,
+//!    rows, hash-index declarations, auto-increment cursors, and the
+//!    per-table generation stamps;
+//! 2. the **FORM metadata** ([`form::FormMeta`]): label-registry
+//!    names in allocation order and per-table `jid` cursors — the
+//!    state that keeps restored label indices from ever being
+//!    re-allocated;
+//! 3. the **policy bindings**: for every live label, which model
+//!    policy it re-binds to plus the creation-time row snapshot the
+//!    check closes over (§2.1.2 — policies are evaluated against the
+//!    creation-time row and the output-time database, so both halves
+//!    must survive);
+//! 4. the **facet DAGs** of every logical object, exported through
+//!    the interner's topological node table
+//!    ([`faceted::export_nodes`]): restore re-interns them, so a
+//!    rebooted process starts with the same node sharing (and a warm
+//!    object cache) instead of re-deriving every DAG from rows.
+//!
+//! # Between checkpoints
+//!
+//! [`App::enable_persistence`] attaches two append-only logs to the
+//! checkpoint directory: the storage engine's row-level write log
+//! (`wal.log`, see [`microdb::wal`]) and the application's meta
+//! journal (`meta.log`), which records each `create`'s label
+//! allocations and policy bindings *before* its rows are written —
+//! so a crash can strand rows without metadata only in the harmless
+//! direction (metadata without rows), never label-index aliasing.
+//!
+//! # Quiescence and garbage collection
+//!
+//! [`App::checkpoint_quiescent`] takes the executor's global request
+//! lock shared plus **all** declared table locks shared — writers
+//! drain, concurrent readers keep flowing — and snapshots at that
+//! point, then runs the interner's [`faceted::collect_garbage`] while
+//! the store is maximally quiet. The served variant is
+//! [`add_checkpoint_route`]: `admin/checkpoint` registers as a
+//! footprint-less **write** route, which the executor already
+//! dispatches under the exclusive global lock — the same quiescent
+//! point, reached through ordinary request scheduling.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use faceted::NodeTable;
+use form::{FacetedObject, FormError, FormMeta, FormResult};
+use microdb::snapshot::{decode_value, encode_value, escape_token, unescape_token};
+use microdb::wal::LineLog;
+use microdb::{Row, Snapshot, Value, WriteLog};
+
+use crate::app::App;
+use crate::http::{Response, Router};
+use crate::model::Viewer;
+
+/// The atomic checkpoint file inside a persistence directory.
+pub const CHECKPOINT_FILE: &str = "checkpoint.snap";
+/// The storage engine's append-only row log.
+pub const WAL_FILE: &str = "wal.log";
+/// The application's append-only metadata journal.
+pub const META_LOG_FILE: &str = "meta.log";
+
+fn persist_err(what: impl fmt::Display) -> FormError {
+    FormError::Db(microdb::DbError::Persist(what.to_string()))
+}
+
+/// Counters describing one completed checkpoint.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// Tables captured.
+    pub tables: usize,
+    /// Physical rows captured.
+    pub rows: usize,
+    /// Logical objects whose facet DAGs were exported.
+    pub objects: usize,
+    /// Distinct interner nodes in the exported DAG table.
+    pub facet_nodes: usize,
+    /// Interner nodes (object-DAG store) before the quiescent GC.
+    pub interner_nodes_before: usize,
+    /// Interner nodes after the GC.
+    pub interner_nodes_after: usize,
+    /// Nodes reclaimed by [`faceted::collect_garbage`].
+    pub gc_reclaimed: usize,
+}
+
+impl fmt::Display for CheckpointStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "checkpoint: tables={} rows={} objects={} facet_nodes={} \
+             interner_nodes={}->{} gc_reclaimed={}",
+            self.tables,
+            self.rows,
+            self.objects,
+            self.facet_nodes,
+            self.interner_nodes_before,
+            self.interner_nodes_after,
+            self.gc_reclaimed
+        )
+    }
+}
+
+/// Counters describing one completed restore.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct RestoreStats {
+    /// Tables restored from the snapshot section.
+    pub tables: usize,
+    /// Physical rows restored from the snapshot section.
+    pub rows: usize,
+    /// Policy bindings restored (snapshot section + journal replay).
+    pub policies: usize,
+    /// Facet DAGs re-interned into the warm object cache.
+    pub objects_primed: usize,
+    /// Row-log records replayed on top of the snapshot.
+    pub wal_applied: usize,
+    /// Journal `create` records replayed.
+    pub journal_applied: usize,
+}
+
+impl fmt::Display for RestoreStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "restore: tables={} rows={} policies={} objects_primed={} \
+             wal_applied={} journal_applied={}",
+            self.tables,
+            self.rows,
+            self.policies,
+            self.objects_primed,
+            self.wal_applied,
+            self.journal_applied
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// The meta journal: append-only `create` records between checkpoints.
+// ---------------------------------------------------------------------
+
+/// One journal record: everything [`App::create`] changes outside the
+/// database — the labels it allocated (index + stored name) and the
+/// creation-time row its policies close over.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct CreateRecord {
+    pub(crate) model: String,
+    pub(crate) jid: i64,
+    /// `(label index, stored name)` per model policy, in policy order.
+    pub(crate) labels: Vec<(u32, String)>,
+    pub(crate) row: Row,
+}
+
+fn encode_create(record: &CreateRecord) -> String {
+    let mut out = String::from("create ");
+    out.push_str(&escape_token(&record.model));
+    out.push_str(&format!(" {} {}", record.jid, record.labels.len()));
+    for (ix, name) in &record.labels {
+        out.push_str(&format!(" {ix} {}", escape_token(name)));
+    }
+    out.push_str(&format!(" {}", record.row.len()));
+    for v in &record.row {
+        out.push(' ');
+        out.push_str(&encode_value(v));
+    }
+    out.push_str(" .");
+    out
+}
+
+fn decode_create(line: &str) -> FormResult<CreateRecord> {
+    let bad = |what: &str| persist_err(format!("bad meta-journal record: {what} in {line:?}"));
+    let mut tokens = line.split_whitespace();
+    if tokens.next() != Some("create") {
+        return Err(bad("unknown record kind"));
+    }
+    let mut next = |what: &str| tokens.next().ok_or_else(|| bad(what));
+    let model = unescape_token(next("model")?)?;
+    let jid: i64 = next("jid")?.parse().map_err(|_| bad("jid"))?;
+    let n_labels: usize = next("label count")?
+        .parse()
+        .map_err(|_| bad("label count"))?;
+    let mut labels = Vec::with_capacity(n_labels);
+    for _ in 0..n_labels {
+        let ix: u32 = next("label index")?
+            .parse()
+            .map_err(|_| bad("label index"))?;
+        labels.push((ix, unescape_token(next("label name")?)?));
+    }
+    let n_values: usize = next("value count")?
+        .parse()
+        .map_err(|_| bad("value count"))?;
+    let mut row = Row::with_capacity(n_values);
+    for _ in 0..n_values {
+        row.push(decode_value(next("value")?)?);
+    }
+    if next("terminator")? != "." {
+        return Err(bad("missing terminator"));
+    }
+    if tokens.next().is_some() {
+        return Err(bad("trailing tokens"));
+    }
+    Ok(CreateRecord {
+        model,
+        jid,
+        labels,
+        row,
+    })
+}
+
+/// The append-only application-metadata journal: [`CreateRecord`]s
+/// over the storage engine's shared [`LineLog`] machinery (flushed
+/// appends, truncation after checkpoints, torn-tail detection — one
+/// implementation for both logs).
+#[derive(Debug)]
+pub(crate) struct MetaJournal {
+    log: LineLog,
+}
+
+impl MetaJournal {
+    pub(crate) fn open(path: impl AsRef<Path>) -> std::io::Result<MetaJournal> {
+        Ok(MetaJournal {
+            log: LineLog::open(path)?,
+        })
+    }
+
+    pub(crate) fn append(&self, record: &CreateRecord) -> FormResult<()> {
+        self.log
+            .append_line(&encode_create(record))
+            .map_err(|e| persist_err(format!("meta journal append: {e}")))
+    }
+
+    pub(crate) fn truncate(&self) -> std::io::Result<()> {
+        self.log.truncate()
+    }
+
+    /// Reads the records at `path`; a torn final line (no trailing
+    /// newline) is discarded, corruption elsewhere is an error. A
+    /// missing file yields no records.
+    pub(crate) fn read_records(path: &Path) -> FormResult<Vec<CreateRecord>> {
+        let Some((lines, complete_tail)) = LineLog::read_lines(path)
+            .map_err(|e| persist_err(format!("meta journal read: {e}")))?
+        else {
+            return Ok(Vec::new());
+        };
+        let mut records = Vec::with_capacity(lines.len());
+        for (i, line) in lines.iter().enumerate() {
+            match decode_create(line) {
+                Ok(r) => records.push(r),
+                Err(e) => {
+                    if i + 1 == lines.len() && !complete_tail {
+                        break; // torn tail: the crash was mid-append
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(records)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Facet-DAG section codecs: Option<Row> leaves as single-line strings.
+// ---------------------------------------------------------------------
+
+/// Encodes a [`FacetedObject`] leaf: `-` for absent, `+ v v …` for a
+/// row of whitespace-free value tokens.
+fn encode_object_leaf(leaf: &Option<Row>) -> String {
+    match leaf {
+        None => "-".to_owned(),
+        Some(row) => {
+            let mut out = String::from("+");
+            for v in row {
+                out.push(' ');
+                out.push_str(&encode_value(v));
+            }
+            out
+        }
+    }
+}
+
+fn decode_object_leaf(payload: &str) -> Option<Option<Row>> {
+    if payload == "-" {
+        return Some(None);
+    }
+    let rest = payload.strip_prefix('+')?;
+    let row: Result<Row, _> = rest.split_whitespace().map(decode_value).collect();
+    row.ok().map(Some)
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint file sections.
+// ---------------------------------------------------------------------
+
+/// The parsed contents of a checkpoint file.
+pub(crate) struct CheckpointFile {
+    pub(crate) snapshot: Snapshot,
+    pub(crate) meta: FormMeta,
+    /// `(label index, model, policy index, jid, creation row)`.
+    pub(crate) bindings: Vec<(u32, String, usize, i64, Row)>,
+    /// `(table, jid)` per facet root, aligned with `facets.roots`.
+    pub(crate) objects: Vec<(String, i64)>,
+    pub(crate) facets: NodeTable,
+}
+
+pub(crate) fn write_checkpoint_file(
+    path: &Path,
+    snapshot: &Snapshot,
+    meta: &FormMeta,
+    bindings: &[(u32, String, usize, i64, Row)],
+    objects: &[(String, i64)],
+    facets: &NodeTable,
+) -> FormResult<()> {
+    let dir = path
+        .parent()
+        .ok_or_else(|| persist_err("checkpoint path has no parent directory"))?;
+    let tmp = dir.join(format!(
+        ".{}.tmp-{}",
+        path.file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or(CHECKPOINT_FILE),
+        std::process::id()
+    ));
+    let io_err = |e: std::io::Error| persist_err(format!("checkpoint write: {e}"));
+    {
+        let mut out = BufWriter::new(File::create(&tmp).map_err(io_err)?);
+        writeln!(out, "jacqueline-checkpoint v1").map_err(io_err)?;
+        snapshot.write_to(&mut out).map_err(io_err)?;
+        out.write_all(meta.to_text().as_bytes()).map_err(io_err)?;
+        writeln!(out, "app-meta v1 {}", bindings.len()).map_err(io_err)?;
+        for (ix, model, policy_ix, jid, row) in bindings {
+            write!(
+                out,
+                "b {ix} {} {policy_ix} {jid} {}",
+                escape_token(model),
+                row.len()
+            )
+            .map_err(io_err)?;
+            for v in row {
+                write!(out, " {}", encode_value(v)).map_err(io_err)?;
+            }
+            writeln!(out, " .").map_err(io_err)?;
+        }
+        writeln!(out, "app-facets v1 {}", objects.len()).map_err(io_err)?;
+        for (table, jid) in objects {
+            writeln!(out, "f {} {jid}", escape_token(table)).map_err(io_err)?;
+        }
+        out.write_all(facets.to_text().as_bytes()).map_err(io_err)?;
+        out.flush().map_err(io_err)?;
+        out.get_ref().sync_all().map_err(io_err)?;
+    }
+    // The atomic step: readers see either the old checkpoint or the
+    // complete new one, never a torn file.
+    std::fs::rename(&tmp, path).map_err(io_err)?;
+    // Make the rename itself durable before the caller truncates the
+    // logs: without the directory fsync, a power loss could persist
+    // the truncations but not the rename, leaving the *old* snapshot
+    // next to *empty* logs — silently dropping every write since the
+    // previous checkpoint.
+    File::open(dir).and_then(|d| d.sync_all()).map_err(io_err)?;
+    Ok(())
+}
+
+pub(crate) fn read_checkpoint_file(path: &Path) -> FormResult<CheckpointFile> {
+    let file =
+        File::open(path).map_err(|e| persist_err(format!("open {}: {e}", path.display())))?;
+    let mut reader = BufReader::new(file);
+    let mut header = String::new();
+    reader
+        .read_line(&mut header)
+        .map_err(|e| persist_err(format!("checkpoint read: {e}")))?;
+    if header.trim_end() != "jacqueline-checkpoint v1" {
+        return Err(persist_err(format!(
+            "bad checkpoint header {:?}",
+            header.trim_end()
+        )));
+    }
+    let snapshot = Snapshot::read_from(&mut reader)?;
+    // The remaining sections parse straight off one shared line
+    // cursor: `FormMeta`/`NodeTable` expose `from_lines` entry points
+    // sized by their own headers, so nothing is copied back into
+    // intermediate strings and re-parsed.
+    let lines: Vec<String> = reader
+        .lines()
+        .collect::<Result<_, _>>()
+        .map_err(|e| persist_err(format!("checkpoint read: {e}")))?;
+    let mut cursor = lines.iter().map(String::as_str);
+
+    let meta = FormMeta::from_lines(&mut cursor)?;
+
+    let mut next = |what: &str| -> FormResult<&str> {
+        cursor
+            .next()
+            .ok_or_else(|| persist_err(format!("checkpoint truncated at {what}")))
+    };
+
+    // app-meta section.
+    let app_header = next("app-meta header")?;
+    let n_bindings: usize = app_header
+        .strip_prefix("app-meta v1 ")
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| persist_err(format!("bad app-meta header {app_header:?}")))?;
+    let mut bindings = Vec::with_capacity(n_bindings);
+    for _ in 0..n_bindings {
+        let line = next("binding")?;
+        let bad = || persist_err(format!("bad binding line {line:?}"));
+        let mut tokens = line.split_whitespace();
+        if tokens.next() != Some("b") {
+            return Err(bad());
+        }
+        let mut tok = |_what: &str| tokens.next().ok_or_else(bad);
+        let ix: u32 = tok("ix")?.parse().map_err(|_| bad())?;
+        let model = unescape_token(tok("model")?)?;
+        let policy_ix: usize = tok("policy")?.parse().map_err(|_| bad())?;
+        let jid: i64 = tok("jid")?.parse().map_err(|_| bad())?;
+        let n_values: usize = tok("values")?.parse().map_err(|_| bad())?;
+        let mut row = Row::with_capacity(n_values);
+        for _ in 0..n_values {
+            row.push(decode_value(tok("value")?)?);
+        }
+        if tok("terminator")? != "." {
+            return Err(bad());
+        }
+        bindings.push((ix, model, policy_ix, jid, row));
+    }
+
+    // app-facets section: the (table, jid) root directory…
+    let facets_header = next("app-facets header")?;
+    let n_objects: usize = facets_header
+        .strip_prefix("app-facets v1 ")
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| persist_err(format!("bad app-facets header {facets_header:?}")))?;
+    let mut objects = Vec::with_capacity(n_objects);
+    for _ in 0..n_objects {
+        let line = next("facet root")?;
+        let rest = line
+            .strip_prefix("f ")
+            .ok_or_else(|| persist_err(format!("bad facet-root line {line:?}")))?;
+        let (table, jid) = rest
+            .split_once(' ')
+            .ok_or_else(|| persist_err(format!("bad facet-root line {line:?}")))?;
+        let jid: i64 = jid
+            .parse()
+            .map_err(|_| persist_err(format!("bad facet-root jid {line:?}")))?;
+        objects.push((unescape_token(table)?, jid));
+    }
+    // …then the node table, off the same cursor.
+    let facets = NodeTable::from_lines(&mut cursor).map_err(persist_err)?;
+    if facets.roots.len() != objects.len() {
+        return Err(persist_err(format!(
+            "facet directory lists {} objects but the node table has {} roots",
+            objects.len(),
+            facets.roots.len()
+        )));
+    }
+    Ok(CheckpointFile {
+        snapshot,
+        meta,
+        bindings,
+        objects,
+        facets,
+    })
+}
+
+// ---------------------------------------------------------------------
+// App-level checkpoint / restore.
+// ---------------------------------------------------------------------
+
+impl App {
+    /// Attaches the persistence logs (`wal.log` + `meta.log`) in
+    /// `dir`, creating the directory if needed. From this point every
+    /// row-level write and every `create`'s metadata append durable
+    /// records, superseded at each checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors opening the logs.
+    pub fn enable_persistence(&mut self, dir: impl AsRef<Path>) -> FormResult<()> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)
+            .map_err(|e| persist_err(format!("create {}: {e}", dir.display())))?;
+        let wal = WriteLog::open(dir.join(WAL_FILE))
+            .map_err(|e| persist_err(format!("open write log: {e}")))?;
+        self.db.attach_wal(Arc::new(wal));
+        let journal = MetaJournal::open(dir.join(META_LOG_FILE))
+            .map_err(|e| persist_err(format!("open meta journal: {e}")))?;
+        self.journal = Some(Arc::new(journal));
+        Ok(())
+    }
+
+    /// Takes a checkpoint **assuming the caller holds a quiescent
+    /// point** (no concurrent writers): snapshots the database,
+    /// exports FORM metadata, policy bindings and every object's
+    /// facet DAG, atomically replaces `dir/checkpoint.snap`,
+    /// truncates the attached logs (the checkpoint supersedes them),
+    /// and finally runs the interner's garbage collector — the
+    /// quiescent point is exactly when dead nodes from completed
+    /// requests are collectable.
+    ///
+    /// Use [`App::checkpoint_quiescent`] unless you are already
+    /// inside a quiescent context (the `admin/checkpoint` route is:
+    /// the executor dispatches footprint-less write routes under the
+    /// exclusive global lock).
+    ///
+    /// # Errors
+    ///
+    /// Export or I/O failures; the previous checkpoint file is left
+    /// intact on any error.
+    pub fn checkpoint_to(&self, dir: impl AsRef<Path>) -> FormResult<CheckpointStats> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)
+            .map_err(|e| persist_err(format!("create {}: {e}", dir.display())))?;
+        let mut stats = CheckpointStats {
+            interner_nodes_before: object_store_nodes(),
+            ..CheckpointStats::default()
+        };
+
+        let snapshot = self.db.raw_ref().snapshot();
+        stats.tables = snapshot.tables.len();
+        stats.rows = snapshot.total_rows();
+        let meta = self.db.export_meta();
+        let bindings = self.export_policy_bindings();
+
+        // Export every logical object's facet DAG (model tables only;
+        // in model-name order, jid-ascending, so the file is
+        // deterministic).
+        let mut objects: Vec<(String, i64)> = Vec::new();
+        let mut roots: Vec<FacetedObject> = Vec::new();
+        for model in self.model_names() {
+            for jid in self.db.object_jids(&model)? {
+                roots.push(self.db.get(&model, jid)?);
+                objects.push((model.clone(), jid));
+            }
+        }
+        stats.objects = objects.len();
+        let facets = faceted::export_nodes(&roots, |leaf: &Option<Row>| encode_object_leaf(leaf));
+        stats.facet_nodes = facets.entries.len();
+
+        write_checkpoint_file(
+            &dir.join(CHECKPOINT_FILE),
+            &snapshot,
+            &meta,
+            &bindings,
+            &objects,
+            &facets,
+        )?;
+
+        // The durable file now contains everything the logs recorded.
+        if let Some(wal) = self.db.raw_ref().wal() {
+            wal.truncate()
+                .map_err(|e| persist_err(format!("truncate write log: {e}")))?;
+        }
+        if let Some(journal) = &self.journal {
+            journal
+                .truncate()
+                .map_err(|e| persist_err(format!("truncate meta journal: {e}")))?;
+        }
+
+        // GC at the quiescent point: request-scoped temporaries are
+        // dead, the exported roots (and the caches) stay pinned.
+        drop(roots);
+        stats.gc_reclaimed = faceted::collect_garbage::<Option<Row>>()
+            + faceted::collect_garbage::<Value>()
+            + faceted::collect_garbage::<bool>()
+            + faceted::collect_garbage::<i64>();
+        stats.interner_nodes_after = object_store_nodes();
+        Ok(stats)
+    }
+
+    /// [`App::checkpoint_to`] under a self-acquired quiescent point:
+    /// the executor's global request lock shared plus every declared
+    /// table lock shared — declared writers drain and block for the
+    /// duration, concurrent readers keep flowing. Do **not** call
+    /// from inside a dispatched request (the locks are not
+    /// reentrant); routes should use [`add_checkpoint_route`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`App::checkpoint_to`].
+    pub fn checkpoint_quiescent(&self, dir: impl AsRef<Path>) -> FormResult<CheckpointStats> {
+        self.request_locks.quiesce(|| self.checkpoint_to(dir))
+    }
+
+    /// Restores this application from `dir`'s checkpoint: the
+    /// snapshot is loaded (label registry first, so no index can
+    /// alias), the meta journal and row log are replayed on top, the
+    /// policy bindings re-bind to this app's registered models, and
+    /// the exported facet DAGs are re-interned into the warm object
+    /// cache. The app must already have its models registered — the
+    /// same application code that produced the checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Missing/corrupt checkpoint, unknown models or policy indices
+    /// (the checkpoint came from different application code), or
+    /// replay failures.
+    pub fn restore_from(&mut self, dir: impl AsRef<Path>) -> FormResult<RestoreStats> {
+        let dir = dir.as_ref();
+        let file = read_checkpoint_file(&dir.join(CHECKPOINT_FILE))?;
+        let mut stats = RestoreStats {
+            tables: file.snapshot.tables.len(),
+            rows: file.snapshot.total_rows(),
+            ..RestoreStats::default()
+        };
+
+        // 1. Metadata before rows: restored `jvars` reference label
+        //    indices, which must exist before anything re-allocates.
+        self.db.restore_meta(&file.meta);
+        self.db.restore_database(&file.snapshot)?;
+
+        // 2. Policy bindings from the snapshot section.
+        self.clear_policy_state();
+        for (ix, model, policy_ix, jid, row) in &file.bindings {
+            self.bind_policy(
+                faceted::Label::from_index(*ix),
+                model,
+                *policy_ix,
+                *jid,
+                row,
+            )?;
+            stats.policies += 1;
+        }
+
+        // 3. Journal replay: creates that happened after the
+        //    checkpoint. Labels import in allocation order (creates
+        //    journal under the app's create-order guard), then bind
+        //    exactly like step 2. A label already present in the
+        //    restored registry means the checkpoint raced ahead of
+        //    the journal truncate and step 2 restored its binding —
+        //    re-binding would push duplicate entries into the
+        //    object's label list, so those are skipped wholesale.
+        for record in MetaJournal::read_records(&dir.join(META_LOG_FILE))? {
+            let mut replayed_any = false;
+            for (policy_ix, (ix, name)) in record.labels.iter().enumerate() {
+                if (*ix as usize) < self.db.labels().len() {
+                    continue; // checkpointed: binding restored in step 2
+                }
+                let imported = self.db.import_label(name);
+                if imported.index() != *ix {
+                    return Err(persist_err(format!(
+                        "meta journal out of order: expected label {ix}, got {}",
+                        imported.index()
+                    )));
+                }
+                self.bind_policy(imported, &record.model, policy_ix, record.jid, &record.row)?;
+                stats.policies += 1;
+                replayed_any = true;
+            }
+            self.db.bump_next_jid(&record.model, record.jid + 1);
+            if replayed_any {
+                stats.journal_applied += 1;
+            }
+        }
+
+        // 4. Row-log replay on the raw engine (generation stamps skip
+        //    anything the snapshot already contains).
+        let replay = WriteLog::replay(dir.join(WAL_FILE), self.db.raw())?;
+        stats.wal_applied = replay.applied;
+
+        // 5. Defensive jid floor: even without a journal, cursors
+        //    never fall below what the restored rows prove was
+        //    allocated.
+        for model in self.model_names() {
+            if let Some(max) = self.db.object_jids(&model)?.last() {
+                self.db.bump_next_jid(&model, max + 1);
+            }
+        }
+
+        // 6. Warm start: re-intern the exported facet DAGs and prime
+        //    the object cache — but only for tables whose restored
+        //    generation still matches the snapshot (a WAL-replayed
+        //    write supersedes the exported DAGs of its table).
+        let imported =
+            faceted::import_nodes(&file.facets, decode_object_leaf).map_err(persist_err)?;
+        for ((table, jid), obj) in file.objects.iter().zip(&imported) {
+            let current = self.db.raw_ref().generation(table)?;
+            let snapshot_generation = file
+                .snapshot
+                .table(table)
+                .map(|t| t.generation)
+                .ok_or_else(|| {
+                    persist_err(format!("facet root references unknown table {table:?}"))
+                })?;
+            if current == snapshot_generation {
+                self.db.prime_object(table, *jid, obj)?;
+                stats.objects_primed += 1;
+            }
+        }
+        Ok(stats)
+    }
+}
+
+/// Distinct nodes currently interned in the object-DAG store
+/// (`Faceted<Option<Row>>` — the store the FORM's objects live in).
+#[must_use]
+pub fn object_store_nodes() -> usize {
+    let stats = faceted::intern_stats::<Option<Row>>();
+    stats.leaves + stats.splits
+}
+
+/// Registers the `admin/checkpoint` route: a **footprint-less write
+/// route**, which the executor dispatches under the exclusive global
+/// request lock — every declared route drains first, so the
+/// checkpoint observes a quiescent application without any extra
+/// locking. Any authenticated viewer may trigger it (a production
+/// deployment would restrict this to an operator role; the
+/// reproduction's auth model has no roles).
+///
+/// `POST /admin/checkpoint` answers `200` with the
+/// [`CheckpointStats`] summary line, `403` for anonymous callers,
+/// `500` with the error text on failure.
+pub fn add_checkpoint_route(router: &mut Router, dir: impl Into<PathBuf>) {
+    let dir = dir.into();
+    router.route("admin/checkpoint", move |app: &App, req| {
+        if req.viewer == Viewer::Anonymous {
+            return Response::forbidden("checkpoint requires an authenticated session");
+        }
+        match app.checkpoint_to(&dir) {
+            Ok(stats) => Response::ok(format!("{stats}\n")),
+            Err(e) => Response::error(&format!("checkpoint failed: {e}")),
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{simple_policy, ModelDef};
+    use microdb::{ColumnDef, ColumnType};
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("jacq_ckpt_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn note_model() -> ModelDef {
+        ModelDef::public(
+            "note",
+            vec![
+                ColumnDef::new("owner", ColumnType::Int),
+                ColumnDef::new("text", ColumnType::Str),
+            ],
+        )
+        .with_policy(simple_policy(
+            "note_owner",
+            vec![1],
+            |_| vec![Value::from("[private]")],
+            |args| args.viewer.user_jid() == args.row[0].as_int(),
+        ))
+    }
+
+    fn note_app() -> App {
+        let mut app = App::new();
+        app.register_model(note_model()).unwrap();
+        app
+    }
+
+    fn page(app: &App, viewer: &Viewer) -> String {
+        let rows = app.all("note").unwrap();
+        let mut session = crate::Session::new(viewer.clone());
+        session
+            .view_rows(app, &rows)
+            .into_iter()
+            .map(|r| format!("{}|{}\n", r[0], r[1]))
+            .collect()
+    }
+
+    fn grid(app: &App, users: i64) -> Vec<String> {
+        std::iter::once(Viewer::Anonymous)
+            .chain((0..users).map(Viewer::User))
+            .map(|v| page(app, &v))
+            .collect()
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trips_the_differential_grid() {
+        let dir = temp_dir("grid");
+        let app = note_app();
+        for i in 0..5 {
+            app.create("note", vec![Value::Int(i), Value::from(format!("n{i}"))])
+                .unwrap();
+        }
+        let before = grid(&app, 5);
+        let stats = app.checkpoint_quiescent(&dir).unwrap();
+        assert_eq!(stats.tables, 1);
+        assert_eq!(stats.rows, 10, "5 notes × 2 facet rows");
+        assert_eq!(stats.objects, 5);
+        assert!(stats.facet_nodes > 0);
+
+        // "Kill" the process state: a brand-new app, models re-registered.
+        let mut restored = note_app();
+        let rstats = restored.restore_from(&dir).unwrap();
+        assert_eq!(rstats.rows, 10);
+        assert_eq!(rstats.policies, 5);
+        assert_eq!(rstats.objects_primed, 5);
+        assert_eq!(grid(&restored, 5), before, "byte-identical grid");
+
+        // Policies still live: a *new* viewer-owned note behaves
+        // identically in both worlds, with no label aliasing.
+        let j1 = app
+            .create("note", vec![Value::Int(99), Value::from("after")])
+            .unwrap();
+        let j2 = restored
+            .create("note", vec![Value::Int(99), Value::from("after")])
+            .unwrap();
+        assert_eq!(j1, j2, "jid cursors restored");
+        assert_eq!(grid(&restored, 5), grid(&app, 5));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn logs_replay_creates_and_writes_after_the_checkpoint() {
+        let dir = temp_dir("logs");
+        let mut app = note_app();
+        app.enable_persistence(&dir).unwrap();
+        app.create("note", vec![Value::Int(0), Value::from("pre")])
+            .unwrap();
+        app.checkpoint_quiescent(&dir).unwrap();
+        // Post-checkpoint state lives only in the logs.
+        app.create("note", vec![Value::Int(1), Value::from("post")])
+            .unwrap();
+        app.update_fields("note", 1, &[(1, Value::from("PRE"))], &Default::default())
+            .unwrap();
+
+        let mut restored = note_app();
+        let stats = restored.restore_from(&dir).unwrap();
+        assert_eq!(stats.journal_applied, 1, "one post-checkpoint create");
+        assert!(stats.wal_applied >= 2, "create rows + update rows");
+        assert_eq!(grid(&restored, 3), grid(&app, 3));
+        // The restored app allocates *fresh* labels/jids past both
+        // the checkpoint and the logs.
+        let j = restored
+            .create("note", vec![Value::Int(2), Value::from("fresh")])
+            .unwrap();
+        assert_eq!(j, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Concurrent creates must leave the meta journal replayable:
+    /// label allocation and the journal append happen under one
+    /// guard, so records can never appear out of label-index order
+    /// (which the strictly sequential replay would reject, bricking
+    /// restore).
+    #[test]
+    fn concurrent_creates_keep_the_journal_replayable() {
+        let dir = temp_dir("concurrent_creates");
+        let mut app = note_app();
+        app.enable_persistence(&dir).unwrap();
+        app.checkpoint_quiescent(&dir).unwrap();
+        let threads = 4i64;
+        let per_thread = 16;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let app = &app;
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        app.create(
+                            "note",
+                            vec![Value::Int(t), Value::from(format!("c{t}-{i}"))],
+                        )
+                        .unwrap();
+                    }
+                });
+            }
+        });
+        let mut restored = note_app();
+        let stats = restored.restore_from(&dir).unwrap();
+        assert_eq!(stats.journal_applied as i64, threads * per_thread);
+        assert_eq!(grid(&restored, threads), grid(&app, threads));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_truncates_logs_and_is_atomic() {
+        let dir = temp_dir("truncate");
+        let mut app = note_app();
+        app.enable_persistence(&dir).unwrap();
+        app.create("note", vec![Value::Int(0), Value::from("x")])
+            .unwrap();
+        assert!(std::fs::metadata(dir.join(WAL_FILE)).unwrap().len() > 0);
+        assert!(std::fs::metadata(dir.join(META_LOG_FILE)).unwrap().len() > 0);
+        app.checkpoint_quiescent(&dir).unwrap();
+        assert_eq!(std::fs::metadata(dir.join(WAL_FILE)).unwrap().len(), 0);
+        assert_eq!(std::fs::metadata(dir.join(META_LOG_FILE)).unwrap().len(), 0);
+        // No stray tmp files: the write was renamed into place.
+        let stray: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains("tmp"))
+            .collect();
+        assert!(stray.is_empty(), "{stray:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restore_preserves_facet_dag_sharing() {
+        let dir = temp_dir("sharing");
+        let app = note_app();
+        for i in 0..8 {
+            app.create("note", vec![Value::Int(i % 2), Value::from("same text")])
+                .unwrap();
+        }
+        let stats = app.checkpoint_quiescent(&dir).unwrap();
+        // 8 objects share leaf structure ("same text" rows differ only
+        // in owner): the node table must be far smaller than
+        // 8 × nodes-per-object.
+        assert!(stats.facet_nodes > 0);
+
+        let mut restored = note_app();
+        restored.restore_from(&dir).unwrap();
+        let again = restored.checkpoint_quiescent(temp_dir("sharing2")).unwrap();
+        assert_eq!(
+            again.facet_nodes, stats.facet_nodes,
+            "re-interned DAGs have identical node counts (sharing preserved)"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(temp_dir("sharing2"));
+    }
+
+    #[test]
+    fn admin_route_checkpoints_under_the_executor() {
+        let dir = temp_dir("route");
+        let app = note_app();
+        app.create("note", vec![Value::Int(1), Value::from("served")])
+            .unwrap();
+        let mut router = Router::new();
+        add_checkpoint_route(&mut router, &dir);
+        let requests = vec![
+            crate::Request::new("admin/checkpoint", Viewer::Anonymous),
+            crate::Request::new("admin/checkpoint", Viewer::User(1)),
+        ];
+        let responses = crate::Executor::sequential().run(&app, &router, &requests);
+        assert_eq!(responses[0].status, 403, "anonymous may not checkpoint");
+        assert_eq!(responses[1].status, 200, "{}", responses[1].body);
+        assert!(responses[1].body.starts_with("checkpoint:"));
+        assert!(dir.join(CHECKPOINT_FILE).exists());
+        let mut restored = note_app();
+        restored.restore_from(&dir).unwrap();
+        assert_eq!(grid(&restored, 2), grid(&app, 2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restore_from_missing_or_corrupt_checkpoint_errors() {
+        let dir = temp_dir("corrupt");
+        let mut app = note_app();
+        assert!(app.restore_from(&dir).is_err(), "missing dir");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(CHECKPOINT_FILE), "not a checkpoint\n").unwrap();
+        assert!(app.restore_from(&dir).is_err(), "corrupt file");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_reports_gc_of_dead_nodes() {
+        let dir = temp_dir("gc");
+        let app = note_app();
+        app.create("note", vec![Value::Int(1), Value::from("alive")])
+            .unwrap();
+        // Request-scoped garbage: DAGs built and dropped.
+        for i in 0..50 {
+            let v: faceted::Faceted<i64> = faceted::Faceted::split(
+                faceted::Label::from_index(2_000_000 + i),
+                faceted::Faceted::leaf(i64::from(i)),
+                faceted::Faceted::leaf(-1),
+            );
+            drop(v);
+        }
+        let stats = app.checkpoint_quiescent(&dir).unwrap();
+        assert!(
+            stats.gc_reclaimed >= 50,
+            "quiescent GC reclaims the dead DAGs, got {}",
+            stats.gc_reclaimed
+        );
+        assert!(stats.interner_nodes_after <= stats.interner_nodes_before);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -112,6 +112,19 @@ impl RequestLocks {
             .map(|lock| TableGuard::Shared(lock.read().expect("table lock")))
             .collect()
     }
+
+    /// Runs `f` at a **quiescent point**: the global lock shared plus
+    /// every declared table lock shared, i.e. exactly the lock set of
+    /// a footprint-less read route. Declared writers drain and block
+    /// for the duration; concurrent readers keep flowing. This is
+    /// what the checkpoint subsystem snapshots (and garbage-collects
+    /// the interner) under.
+    pub(crate) fn quiesce<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _global = self.global.read().expect("global lock");
+        let map = self.tables.read().expect("lock-table map");
+        let _tables = RequestLocks::acquire_all_shared(&map);
+        f()
+    }
 }
 
 /// Runs batches of requests against a shared application.
@@ -214,11 +227,21 @@ impl Executor {
             let _global = locks.global.read().expect("global lock");
             let map = locks.tables.read().expect("lock-table map");
             let footprint = router.footprint(&request.path);
-            let _tables = match footprint {
-                Some(fp) => RequestLocks::acquire(&map, fp),
-                None => RequestLocks::acquire_all_shared(&map),
-            };
-            Executor::call_checked(&request.path, footprint, || controller(app, request))
+            match footprint {
+                Some(fp) => {
+                    let _tables = RequestLocks::acquire(&map, fp);
+                    Executor::call_checked(&request.path, footprint, || controller(app, request))
+                }
+                None => {
+                    // Footprint-less read route: all-tables shared
+                    // locks. The debug-build checker still runs under
+                    // this (global-lock) fallback — such a route must
+                    // not *write*, since it holds no exclusive lock
+                    // anywhere and would race declared readers.
+                    let _tables = RequestLocks::acquire_all_shared(&map);
+                    Executor::call_read_only_checked(&request.path, || controller(app, request))
+                }
+            }
         } else if router.has_write_route(&request.path) {
             match router.footprint(&request.path) {
                 Some(fp) => {
@@ -279,6 +302,37 @@ impl Executor {
         }
         let _ = (path, footprint);
         run()
+    }
+
+    /// Debug-build checker for the **footprint-less read-route
+    /// fallback**: the route runs under shared locks on every table,
+    /// so any *write* it performs races concurrently dispatched
+    /// declared readers (nobody holds an exclusive lock for it). The
+    /// FORM's touch recording catches exactly that: a footprint-less
+    /// read route that mutates any table panics in debug builds.
+    /// Reads are unconstrained — all-shared covers every table by
+    /// construction.
+    fn call_read_only_checked(path: &str, run: impl FnOnce() -> Response) -> Response {
+        #[cfg(debug_assertions)]
+        {
+            let previous = form::touched::begin_recording();
+            let response = run();
+            if let Some(touched) = form::touched::end_recording(previous) {
+                assert!(
+                    touched.writes.is_empty(),
+                    "footprint-less read route {path:?} wrote table(s) {:?} while \
+                     holding only shared locks — register it as a write route \
+                     (route/route_tables), or declare a footprint",
+                    touched.writes
+                );
+            }
+            response
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            let _ = path;
+            run()
+        }
     }
 }
 
@@ -773,6 +827,43 @@ mod tests {
         });
         let requests = vec![Request::new("sneaky", Viewer::User(1))];
         let _ = Executor::sequential().run(&app, &router, &requests);
+    }
+
+    /// The satellite fix: footprint-less routes used to skip the
+    /// checker entirely — a *read* route that writes would race
+    /// declared readers silently (it holds only shared locks). Now
+    /// the global-lock fallback path records too, and the write
+    /// panics the dispatch.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "footprint-less read route")]
+    fn footprint_less_read_route_that_writes_panics_in_debug() {
+        let app = note_app();
+        let mut router = Router::new();
+        // Registered through the legacy no-footprint *read* API, but
+        // it mutates the database.
+        router.route_read("sneaky/mutating-page", |app: &App, _req| {
+            app.create("note", vec![Value::Int(5), Value::from("x")])
+                .unwrap();
+            Response::ok(String::new())
+        });
+        let requests = vec![Request::new("sneaky/mutating-page", Viewer::User(1))];
+        let _ = Executor::sequential().run(&app, &router, &requests);
+    }
+
+    /// Footprint-less read routes that only *read* still pass under
+    /// the new fallback checker.
+    #[test]
+    fn footprint_less_read_route_that_reads_passes() {
+        let app = note_app();
+        let mut router = Router::new();
+        router.route_read("legacy/list", |app: &App, _req| {
+            Response::ok(app.all("note").map(|r| r.len()).unwrap_or(0).to_string())
+        });
+        let requests = vec![Request::new("legacy/list", Viewer::User(1))];
+        let responses = Executor::sequential().run(&app, &router, &requests);
+        assert_eq!(responses[0].status, 200);
+        assert_eq!(responses[0].body, "12", "6 notes × 2 facet rows");
     }
 
     #[cfg(debug_assertions)]

@@ -61,6 +61,7 @@
 
 mod app;
 mod auth;
+pub mod checkpoint;
 mod executor;
 mod http;
 mod model;
@@ -71,6 +72,7 @@ pub mod wire;
 
 pub use app::App;
 pub use auth::{AuthOutcome, Authenticator, SESSION_COOKIE};
+pub use checkpoint::{add_checkpoint_route, CheckpointStats, RestoreStats};
 pub use executor::{Executor, ExecutorService, ServedResponse};
 pub use http::{Controller, Footprint, ReadController, Request, Response, Router};
 pub use model::{label_for, simple_policy, FieldPolicy, ModelDef, PolicyArgs, PolicyFn, Viewer};

@@ -149,6 +149,41 @@ impl LabelRegistry {
     pub fn iter(&self) -> impl Iterator<Item = Label> + '_ {
         (0..self.names.len()).map(|i| Label(i as u32))
     }
+
+    /// The stored names in allocation order — the registry's
+    /// serialized form. [`LabelRegistry::from_names`] inverts this.
+    #[must_use]
+    pub fn export_names(&self) -> Vec<String> {
+        self.names.clone()
+    }
+
+    /// Rebuilds a registry from [`LabelRegistry::export_names`]
+    /// output. Stored names are already uniquified, so each maps to
+    /// its positional label and lookups behave exactly as in the
+    /// exporting registry.
+    #[must_use]
+    pub fn from_names<I: IntoIterator<Item = String>>(names: I) -> LabelRegistry {
+        let mut reg = LabelRegistry::new();
+        for name in names {
+            let _ = reg.import(&name);
+        }
+        reg
+    }
+
+    /// Appends one *stored* (already-uniquified) name verbatim,
+    /// returning its label — the replay path of the persistence
+    /// layer. Unlike [`LabelRegistry::fresh`] this never α-renames:
+    /// it must reproduce the exporting registry's state bit for bit.
+    /// Restoring a label index that is still unallocated here is the
+    /// caller's invariant (the meta log records allocations in
+    /// order).
+    pub fn import(&mut self, stored_name: &str) -> Label {
+        let id = u32::try_from(self.names.len()).expect("label space exhausted");
+        let label = Label(id);
+        self.by_name.insert(stored_name.to_owned(), label);
+        self.names.push(stored_name.to_owned());
+        label
+    }
 }
 
 #[cfg(test)]
@@ -196,5 +231,24 @@ mod tests {
     fn display_is_nonempty() {
         assert_eq!(format!("{}", Label::from_index(7)), "k7");
         assert_eq!(format!("{:?}", Label::from_index(7)), "k7");
+    }
+
+    #[test]
+    fn export_import_reproduces_the_registry() {
+        let mut reg = LabelRegistry::new();
+        let a = reg.fresh("k");
+        let b = reg.fresh("k"); // α-renamed to "k'1"
+        let c = reg.fresh("other");
+        let back = LabelRegistry::from_names(reg.export_names());
+        assert_eq!(back.len(), reg.len());
+        for l in [a, b, c] {
+            assert_eq!(back.name(l), reg.name(l));
+        }
+        assert_eq!(back.get("k"), Some(a));
+        assert_eq!(back.get("k'1"), Some(b));
+        // Allocation continues where the original left off, so no
+        // restored label index can ever be reused.
+        let mut back = back;
+        assert_eq!(back.fresh("post-restore").index(), 3);
     }
 }

@@ -69,6 +69,7 @@ mod branch;
 mod collection;
 pub mod intern;
 mod label;
+pub mod persist;
 mod value;
 mod view;
 
@@ -76,5 +77,6 @@ pub use branch::{Branch, Branches};
 pub use collection::FacetedList;
 pub use intern::{collect_garbage, intern_stats, set_memoization, Facet, InternStats};
 pub use label::{Label, LabelRegistry};
+pub use persist::{export_nodes, import_nodes, NodeEntry, NodeTable, PersistError};
 pub use value::Faceted;
 pub use view::View;

@@ -1,0 +1,538 @@
+//! A stable on-disk encoding of interned facet DAGs.
+//!
+//! The interner ([`crate::intern`]) makes every canonical node unique
+//! *within one process*; node ids are allocation order and mean
+//! nothing outside it. This module gives facet DAGs a process-
+//! independent form: a **topologically ordered node table** in which
+//! entry `i` is either a leaf (its payload encoded by the caller) or a
+//! split whose children are table indices strictly less than `i`,
+//! plus the root indices of the exported values. Importing re-interns
+//! every entry bottom-up through the ordinary canonical constructors,
+//! so the hash-consing invariants (pointer-eq ⟺ view-eq, shared
+//! sub-structure stored once) hold for restored values exactly as
+//! they do for freshly built ones — export → import → export is a
+//! fixpoint, and the imported DAG has the same node count as the
+//! exported one.
+//!
+//! Leaf payloads are opaque single-line strings supplied by caller
+//! codecs ([`export_nodes`] takes an encoder, [`import_nodes`] a
+//! decoder), so this crate stays independent of any particular leaf
+//! type's serialization. The text format is line-oriented:
+//!
+//! ```text
+//! facets v1 <entries> <roots>
+//! L <payload…to end of line>
+//! S <label-index> <high-index> <low-index>
+//! R <root-index> <root-index> …
+//! ```
+//!
+//! Payloads are escaped (`\\`, `\n`, `\r`) so a leaf can never break
+//! the line framing.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::intern::Facet;
+use crate::label::Label;
+use crate::value::{Faceted, NodeKind};
+
+/// One row of the serialized node table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NodeEntry {
+    /// A leaf, as the caller's encoded payload.
+    Leaf(String),
+    /// A split `⟨label ? high : low⟩`; children are indices of
+    /// *earlier* table entries (the topological-order invariant).
+    Split {
+        /// The guarding label's index ([`Label::index`]).
+        label: u32,
+        /// Table index of the high (authorized) child.
+        high: u32,
+        /// Table index of the low (public) child.
+        low: u32,
+    },
+}
+
+/// A serialized set of facet DAGs: the node table plus the indices of
+/// the exported roots (in export order, so callers can keep
+/// root-to-object associations positional).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NodeTable {
+    /// Topologically ordered nodes: children strictly before parents.
+    pub entries: Vec<NodeEntry>,
+    /// Indices of the exported roots, aligned with the `roots` slice
+    /// given to [`export_nodes`].
+    pub roots: Vec<u32>,
+}
+
+/// Errors raised while decoding a [`NodeTable`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PersistError {
+    /// A split or root referenced an entry at or after itself (the
+    /// table is not topologically ordered) or past the end.
+    BadIndex(u32),
+    /// The caller's leaf decoder rejected a payload.
+    BadLeaf(String),
+    /// The text form was malformed.
+    BadFormat(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::BadIndex(i) => write!(f, "node index {i} out of topological order"),
+            PersistError::BadLeaf(s) => write!(f, "undecodable leaf payload {s:?}"),
+            PersistError::BadFormat(s) => write!(f, "malformed node table: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// Exports the facet DAGs reachable from `roots` as a topologically
+/// ordered node table. Shared sub-structure is exported **once**: the
+/// walk memoizes on interned node ids, so the table has exactly one
+/// entry per distinct node — the on-disk form preserves the DAG
+/// sharing the interner established in memory.
+pub fn export_nodes<T: Facet>(
+    roots: &[Faceted<T>],
+    mut encode: impl FnMut(&T) -> String,
+) -> NodeTable {
+    let mut table = NodeTable::default();
+    let mut index_of: HashMap<u64, u32> = HashMap::new();
+    for root in roots {
+        let ix = export_walk(root, &mut encode, &mut table.entries, &mut index_of);
+        table.roots.push(ix);
+    }
+    table
+}
+
+/// Post-order DFS (iterative, so deep facet chains cannot overflow
+/// the stack): children are emitted before their parent, which *is*
+/// the topological order the format promises.
+fn export_walk<T: Facet>(
+    root: &Faceted<T>,
+    encode: &mut impl FnMut(&T) -> String,
+    entries: &mut Vec<NodeEntry>,
+    index_of: &mut HashMap<u64, u32>,
+) -> u32 {
+    // (node, children_emitted)
+    let mut stack: Vec<(Faceted<T>, bool)> = vec![(root.clone(), false)];
+    while let Some((node, expanded)) = stack.pop() {
+        if index_of.contains_key(&node.node_id()) {
+            continue;
+        }
+        match node.kind() {
+            NodeKind::Leaf(v) => {
+                let ix = u32::try_from(entries.len()).expect("node table too large");
+                entries.push(NodeEntry::Leaf(encode(v)));
+                index_of.insert(node.node_id(), ix);
+            }
+            NodeKind::Split { label, high, low } => {
+                if expanded {
+                    let ix = u32::try_from(entries.len()).expect("node table too large");
+                    let h = index_of[&high.node_id()];
+                    let l = index_of[&low.node_id()];
+                    entries.push(NodeEntry::Split {
+                        label: label.index(),
+                        high: h,
+                        low: l,
+                    });
+                    index_of.insert(node.node_id(), ix);
+                } else {
+                    let (high, low) = (high.clone(), low.clone());
+                    stack.push((node, true));
+                    stack.push((high, false));
+                    stack.push((low, false));
+                }
+            }
+        }
+    }
+    index_of[&root.node_id()]
+}
+
+/// Imports a node table, re-interning every entry bottom-up and
+/// returning the root values in table order.
+///
+/// Splits are rebuilt through [`Faceted::split`], the canonicalizing
+/// constructor — a table produced by [`export_nodes`] is already
+/// canonical, so this is a straight re-intern, but it also means a
+/// hand-written (or corrupted-but-well-formed) table can never
+/// produce a non-canonical value.
+///
+/// # Errors
+///
+/// [`PersistError::BadIndex`] on forward/out-of-range references,
+/// [`PersistError::BadLeaf`] when `decode` returns `None`.
+pub fn import_nodes<T: Facet>(
+    table: &NodeTable,
+    mut decode: impl FnMut(&str) -> Option<T>,
+) -> Result<Vec<Faceted<T>>, PersistError> {
+    let mut built: Vec<Faceted<T>> = Vec::with_capacity(table.entries.len());
+    for (i, entry) in table.entries.iter().enumerate() {
+        let node = match entry {
+            NodeEntry::Leaf(payload) => Faceted::leaf(
+                decode(payload).ok_or_else(|| PersistError::BadLeaf(payload.clone()))?,
+            ),
+            NodeEntry::Split { label, high, low } => {
+                let fetch = |ix: u32| -> Result<&Faceted<T>, PersistError> {
+                    if (ix as usize) < i {
+                        Ok(&built[ix as usize])
+                    } else {
+                        Err(PersistError::BadIndex(ix))
+                    }
+                };
+                Faceted::split(
+                    Label::from_index(*label),
+                    fetch(*high)?.clone(),
+                    fetch(*low)?.clone(),
+                )
+            }
+        };
+        built.push(node);
+    }
+    table
+        .roots
+        .iter()
+        .map(|&ix| {
+            built
+                .get(ix as usize)
+                .cloned()
+                .ok_or(PersistError::BadIndex(ix))
+        })
+        .collect()
+}
+
+/// Escapes a leaf payload so it occupies exactly one line.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape`].
+fn unescape(s: &str) -> Result<String, PersistError> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            other => {
+                return Err(PersistError::BadFormat(format!(
+                    "bad escape \\{}",
+                    other.map_or_else(String::new, |c| c.to_string())
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+impl NodeTable {
+    /// Renders the table in the line-oriented text format.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "facets v1 {} {}", self.entries.len(), self.roots.len());
+        for entry in &self.entries {
+            match entry {
+                NodeEntry::Leaf(payload) => {
+                    let _ = writeln!(out, "L {}", escape(payload));
+                }
+                NodeEntry::Split { label, high, low } => {
+                    let _ = writeln!(out, "S {label} {high} {low}");
+                }
+            }
+        }
+        out.push('R');
+        for r in &self.roots {
+            let _ = write!(out, " {r}");
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Parses the text format produced by [`NodeTable::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::BadFormat`] on any framing violation.
+    pub fn from_text(text: &str) -> Result<NodeTable, PersistError> {
+        NodeTable::from_lines(&mut text.lines())
+    }
+
+    /// Parses the table from a line iterator, consuming exactly its
+    /// own lines — callers embedding a node table inside a larger
+    /// line-oriented file (the checkpoint format) parse in place
+    /// instead of copying the section back into a string first.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::BadFormat`] on any framing violation.
+    pub fn from_lines<'a>(
+        lines: &mut impl Iterator<Item = &'a str>,
+    ) -> Result<NodeTable, PersistError> {
+        let header = lines
+            .next()
+            .ok_or_else(|| PersistError::BadFormat("empty input".into()))?;
+        let mut parts = header.split(' ');
+        if parts.next() != Some("facets") || parts.next() != Some("v1") {
+            return Err(PersistError::BadFormat(format!("bad header {header:?}")));
+        }
+        let parse_n = |s: Option<&str>| -> Result<usize, PersistError> {
+            s.and_then(|v| v.parse().ok())
+                .ok_or_else(|| PersistError::BadFormat(format!("bad header {header:?}")))
+        };
+        let n_entries = parse_n(parts.next())?;
+        let n_roots = parse_n(parts.next())?;
+        let mut table = NodeTable::default();
+        for _ in 0..n_entries {
+            let line = lines
+                .next()
+                .ok_or_else(|| PersistError::BadFormat("truncated node table".into()))?;
+            if let Some(payload) = line.strip_prefix("L ") {
+                table.entries.push(NodeEntry::Leaf(unescape(payload)?));
+            } else if line == "L" {
+                table.entries.push(NodeEntry::Leaf(String::new()));
+            } else if let Some(rest) = line.strip_prefix("S ") {
+                let mut nums = rest.split(' ').map(str::parse::<u32>);
+                let mut next = || -> Result<u32, PersistError> {
+                    nums.next()
+                        .and_then(Result::ok)
+                        .ok_or_else(|| PersistError::BadFormat(format!("bad split {line:?}")))
+                };
+                table.entries.push(NodeEntry::Split {
+                    label: next()?,
+                    high: next()?,
+                    low: next()?,
+                });
+            } else {
+                return Err(PersistError::BadFormat(format!("bad entry {line:?}")));
+            }
+        }
+        let roots_line = lines
+            .next()
+            .ok_or_else(|| PersistError::BadFormat("missing roots line".into()))?;
+        let rest = roots_line
+            .strip_prefix('R')
+            .ok_or_else(|| PersistError::BadFormat(format!("bad roots line {roots_line:?}")))?;
+        for tok in rest.split_whitespace() {
+            let ix: u32 = tok
+                .parse()
+                .map_err(|_| PersistError::BadFormat(format!("bad root index {tok:?}")))?;
+            table.roots.push(ix);
+        }
+        if table.roots.len() != n_roots {
+            return Err(PersistError::BadFormat(format!(
+                "header promised {n_roots} roots, found {}",
+                table.roots.len()
+            )));
+        }
+        Ok(table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::View;
+
+    fn k(i: u32) -> Label {
+        Label::from_index(i)
+    }
+
+    fn encode_i64(v: &i64) -> String {
+        v.to_string()
+    }
+
+    fn decode_i64(s: &str) -> Option<i64> {
+        s.parse().ok()
+    }
+
+    /// The counting DAG: 2^n facet paths, O(n²) distinct nodes.
+    fn counting_dag(n: u32) -> Faceted<i64> {
+        let mut acc = Faceted::leaf(0i64);
+        for i in 0..n {
+            let bumped = acc.map(&mut |c| c + 1);
+            acc = Faceted::split(k(i), bumped, acc);
+        }
+        acc
+    }
+
+    #[test]
+    fn leaf_round_trips() {
+        let table = export_nodes(&[Faceted::leaf(42i64)], encode_i64);
+        assert_eq!(table.entries, vec![NodeEntry::Leaf("42".into())]);
+        let back = import_nodes(&table, decode_i64).unwrap();
+        assert_eq!(back, vec![Faceted::leaf(42i64)]);
+    }
+
+    #[test]
+    fn split_round_trips_with_identity() {
+        let v = Faceted::split(k(0), Faceted::leaf(1i64), Faceted::leaf(2));
+        let table = export_nodes(std::slice::from_ref(&v), encode_i64);
+        let back = import_nodes(&table, decode_i64).unwrap();
+        // Re-interning lands on the *same* node: pointer equality.
+        assert_eq!(back[0].node_id(), v.node_id());
+    }
+
+    #[test]
+    fn sharing_is_preserved_in_the_table() {
+        // The counting DAG has O(n²) nodes; the table must too.
+        let n = 16;
+        let v = counting_dag(n);
+        assert_eq!(v.leaf_count(), 1usize << n);
+        let table = export_nodes(std::slice::from_ref(&v), encode_i64);
+        assert!(
+            table.entries.len() <= ((n * n) as usize) + 2 * n as usize + 2,
+            "table stores the DAG, not the tree: {} entries",
+            table.entries.len()
+        );
+        let back = import_nodes(&table, decode_i64).unwrap();
+        assert_eq!(back[0], v);
+    }
+
+    #[test]
+    fn export_import_export_is_a_fixpoint() {
+        let roots = vec![
+            counting_dag(6),
+            Faceted::split(k(2), Faceted::leaf(7i64), Faceted::leaf(8)),
+            Faceted::leaf(7i64),
+        ];
+        let table = export_nodes(&roots, encode_i64);
+        let imported = import_nodes(&table, decode_i64).unwrap();
+        let again = export_nodes(&imported, encode_i64);
+        assert_eq!(table, again);
+        for (a, b) in roots.iter().zip(&imported) {
+            assert_eq!(a.node_id(), b.node_id());
+        }
+    }
+
+    #[test]
+    fn shared_roots_share_entries() {
+        let shared = Faceted::split(k(1), Faceted::leaf(1i64), Faceted::leaf(2));
+        let a = Faceted::split(k(0), shared.clone(), Faceted::leaf(3));
+        let table = export_nodes(&[a, shared.clone()], encode_i64);
+        // Entries: 1, 2, shared, 3, a — the second root adds nothing.
+        assert_eq!(table.entries.len(), 5);
+        assert_eq!(table.roots.len(), 2);
+        let back = import_nodes(&table, decode_i64).unwrap();
+        assert_eq!(back[1], shared);
+    }
+
+    #[test]
+    fn text_round_trips_including_escapes() {
+        let v = Faceted::split(
+            k(3),
+            Faceted::leaf("line\none\\two\rthree".to_owned()),
+            Faceted::leaf(String::new()),
+        );
+        let table = export_nodes(std::slice::from_ref(&v), |s: &String| s.clone());
+        let text = table.to_text();
+        let parsed = NodeTable::from_text(&text).unwrap();
+        assert_eq!(parsed, table);
+        let back = import_nodes(&parsed, |s| Some(s.to_owned())).unwrap();
+        assert_eq!(back[0], v);
+        assert_eq!(
+            back[0].project(&View::from_labels([k(3)])),
+            "line\none\\two\rthree"
+        );
+    }
+
+    #[test]
+    fn malformed_text_is_rejected() {
+        for bad in [
+            "",
+            "facets v2 0 0\nR",
+            "facets v1 1 0\nR",
+            "facets v1 1 0\nX nope\nR",
+            "facets v1 1 0\nS 1\nR",
+            "facets v1 0 1\nR",
+            "facets v1 1 1\nL x\nR 0 extra-junk",
+        ] {
+            assert!(NodeTable::from_text(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn forward_references_are_rejected() {
+        let table = NodeTable {
+            entries: vec![
+                NodeEntry::Split {
+                    label: 0,
+                    high: 1,
+                    low: 2,
+                },
+                NodeEntry::Leaf("1".into()),
+                NodeEntry::Leaf("2".into()),
+            ],
+            roots: vec![0],
+        };
+        assert_eq!(
+            import_nodes(&table, decode_i64),
+            Err(PersistError::BadIndex(1))
+        );
+        let oob = NodeTable {
+            entries: vec![NodeEntry::Leaf("1".into())],
+            roots: vec![9],
+        };
+        assert_eq!(
+            import_nodes(&oob, decode_i64),
+            Err(PersistError::BadIndex(9))
+        );
+    }
+
+    #[test]
+    fn undecodable_leaves_are_reported() {
+        let table = export_nodes(&[Faceted::leaf(1i64)], encode_i64);
+        assert_eq!(
+            import_nodes(&table, |_| None::<i64>),
+            Err(PersistError::BadLeaf("1".into()))
+        );
+    }
+
+    #[test]
+    fn import_recanonicalizes_wellformed_but_noncanonical_tables() {
+        // ⟨k1 ? ⟨k0 ? 1 : 2⟩ : 2⟩ written with the *wrong* label order
+        // in the table: import still yields the canonical value.
+        let table = NodeTable {
+            entries: vec![
+                NodeEntry::Leaf("1".into()),
+                NodeEntry::Leaf("2".into()),
+                NodeEntry::Split {
+                    label: 0,
+                    high: 0,
+                    low: 1,
+                },
+                NodeEntry::Split {
+                    label: 1,
+                    high: 2,
+                    low: 1,
+                },
+            ],
+            roots: vec![3],
+        };
+        let back = import_nodes(&table, decode_i64).unwrap();
+        assert_eq!(back[0].root_label(), Some(k(0)), "canonical order restored");
+        let expect = Faceted::split(
+            k(1),
+            Faceted::split(k(0), Faceted::leaf(1i64), Faceted::leaf(2)),
+            Faceted::leaf(2),
+        );
+        assert_eq!(back[0], expect);
+    }
+}

@@ -115,6 +115,12 @@ impl<T: Facet> Faceted<T> {
         self.0.id
     }
 
+    /// Crate-internal structural access (the persistence walker needs
+    /// the children of a split without re-deriving them by cofactor).
+    pub(crate) fn kind(&self) -> &NodeKind<T> {
+        &self.0.kind
+    }
+
     /// If this value is a plain (non-faceted) leaf, returns it.
     #[must_use]
     pub fn as_leaf(&self) -> Option<&T> {

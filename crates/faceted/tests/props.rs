@@ -157,4 +157,24 @@ proptest! {
             }
         }
     }
+
+    /// Persistence: export → import → export is a fixpoint (the
+    /// checkpoint format is stable under round trips), importing
+    /// re-interns onto the *same* nodes, and the table stores shared
+    /// sub-structure once (entry count == distinct-node count).
+    #[test]
+    fn export_import_export_is_a_fixpoint(
+        roots in proptest::collection::vec(arb_faceted(4), 1..5),
+    ) {
+        let table = faceted::export_nodes(&roots, |v: &i64| v.to_string());
+        let text = table.to_text();
+        let parsed = faceted::NodeTable::from_text(&text).unwrap();
+        prop_assert_eq!(&parsed, &table, "text form round-trips");
+        let imported = faceted::import_nodes(&parsed, |s| s.parse::<i64>().ok()).unwrap();
+        for (a, b) in roots.iter().zip(&imported) {
+            prop_assert_eq!(a.node_id(), b.node_id(), "import re-interns onto the same node");
+        }
+        let again = faceted::export_nodes(&imported, |v: &i64| v.to_string());
+        prop_assert_eq!(again, table, "fixpoint");
+    }
 }

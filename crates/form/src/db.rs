@@ -338,7 +338,10 @@ impl FormDb {
             let mut row: Row = fields;
             row.push(Value::Int(jid));
             row.push(Value::Str(encode_jvars(&guard)));
-            t.insert(row)?;
+            // Inserts and logs under the held table lock, so write-log
+            // records stay in generation order and replay is
+            // byte-deterministic.
+            self.db.insert_into_locked(&mut t, row)?;
         }
         // Writers pay for index maintenance so the shared-access query
         // plan (`&self`) always finds fresh indexes.
@@ -837,6 +840,115 @@ impl FormDb {
     pub fn delete(&self, table: &str, jid: i64, pc: &Branches) -> FormResult<()> {
         self.save(table, jid, &faceted::Faceted::leaf(None), pc)
     }
+
+    // -----------------------------------------------------------------
+    // Persistence: metadata export/restore, snapshot restore with
+    // decode-cache revalidation, write-log plumbing.
+    // -----------------------------------------------------------------
+
+    /// Attaches an append-only write log to the storage engine: every
+    /// row-level write (FORM marshalling included) appends a durable
+    /// record. See [`microdb::WriteLog`].
+    pub fn attach_wal(&mut self, wal: std::sync::Arc<microdb::WriteLog>) {
+        self.db.attach_wal(wal);
+    }
+
+    /// Exports the FORM's metadata: label-registry names and per-table
+    /// `jid` cursors (see [`crate::FormMeta`] for why both must
+    /// survive a restart).
+    #[must_use]
+    pub fn export_meta(&self) -> crate::FormMeta {
+        crate::FormMeta {
+            labels: self.labels.read().expect("labels lock").export_names(),
+            next_jid: self.next_jid.lock().expect("jid lock").clone(),
+        }
+    }
+
+    /// Restores metadata exported by [`FormDb::export_meta`],
+    /// replacing the registry and the `jid` cursors wholesale.
+    pub fn restore_meta(&mut self, meta: &crate::FormMeta) {
+        *self.labels.write().expect("labels lock") =
+            LabelRegistry::from_names(meta.labels.iter().cloned());
+        *self.next_jid.lock().expect("jid lock") = meta.next_jid.clone();
+    }
+
+    /// Appends one stored label name to the registry — the meta-log
+    /// replay path (allocations recorded after the last checkpoint).
+    /// Returns the label the name now maps to.
+    pub fn import_label(&self, stored_name: &str) -> Label {
+        self.labels
+            .write()
+            .expect("labels lock")
+            .import(stored_name)
+    }
+
+    /// Advances a table's `jid` cursor to at least `next` (replay of
+    /// post-checkpoint object creations; also used to re-derive the
+    /// cursor from restored rows).
+    pub fn bump_next_jid(&self, table: &str, next: i64) {
+        let mut map = self.next_jid.lock().expect("jid lock");
+        let cur = map.entry(table.to_owned()).or_insert(1);
+        *cur = (*cur).max(next);
+    }
+
+    /// Replaces the storage engine's contents with a snapshot,
+    /// **revalidating** the decode cache against the restored
+    /// generation stamps instead of flushing it: a cached slot whose
+    /// generation equals the restored table's stamp describes exactly
+    /// the restored rows (generations are monotonic within a
+    /// lineage, and a checkpoint is a point on this database's own
+    /// lineage), so it stays warm; any other slot is dropped.
+    ///
+    /// Restoring a checkpoint and immediately serving reads therefore
+    /// costs zero re-decodes for tables that were not written after
+    /// the checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`microdb::Database::restore`] errors; on error the
+    /// database and cache are unchanged.
+    pub fn restore_database(&mut self, snapshot: &microdb::Snapshot) -> FormResult<()> {
+        self.db.restore(snapshot)?;
+        let mut cache = self.decoded.write().expect("decode cache lock");
+        cache.retain(|table, slot| {
+            self.db
+                .generation(table)
+                .is_ok_and(|g| g == slot.generation)
+        });
+        Ok(())
+    }
+
+    /// Seeds the decode cache's object layer with an already-rebuilt
+    /// facet DAG for `(table, jid)` **at the table's current
+    /// generation** — the warm-start path of checkpoint restore
+    /// (imported DAGs are re-interned, so priming preserves the
+    /// exporting process's node sharing).
+    ///
+    /// # Errors
+    ///
+    /// Table-lookup errors.
+    pub fn prime_object(&self, table: &str, jid: i64, obj: &FacetedObject) -> FormResult<()> {
+        let generation = self.db.table(table)?.generation();
+        if self.cache_enabled {
+            self.store_object(table, generation, jid, obj);
+        }
+        Ok(())
+    }
+
+    /// The `jid`s of every logical object in `table`, ascending — the
+    /// checkpoint writer enumerates objects with this.
+    ///
+    /// # Errors
+    ///
+    /// Table-lookup errors.
+    pub fn object_jids(&self, table: &str) -> FormResult<Vec<i64>> {
+        let t = self.db.table(table)?;
+        let jid_ix = t.schema().len() - 2;
+        let mut jids: Vec<i64> = t.rows().iter().filter_map(|r| r[jid_ix].as_int()).collect();
+        jids.sort_unstable();
+        jids.dedup();
+        Ok(jids)
+    }
 }
 
 #[cfg(test)]
@@ -1237,6 +1349,141 @@ mod tests {
             .map(|(_, r)| r.fields[0].as_str().unwrap())
             .collect();
         assert_eq!(texts, vec!["new1", "new2", "new3"]);
+    }
+
+    #[test]
+    fn restore_revalidates_instead_of_flushing_the_cache() {
+        let (mut db, _, _) = event_db();
+        db.create_table("other", vec![ColumnDef::new("x", ColumnType::Int)])
+            .unwrap();
+        db.insert("other", &Faceted::leaf(Some(vec![Value::Int(1)])))
+            .unwrap();
+        let _ = db.all("event").unwrap();
+        let _ = db.all("other").unwrap();
+        let snapshot = db.raw_ref().snapshot();
+        // Post-checkpoint write stales `other` relative to the
+        // snapshot; `event` is untouched.
+        db.insert("other", &Faceted::leaf(Some(vec![Value::Int(2)])))
+            .unwrap();
+        let _ = db.all("other").unwrap(); // cache re-warmed past the snapshot
+        let misses_before = db.decode_cache_stats().misses;
+
+        db.restore_database(&snapshot).unwrap();
+        assert_eq!(
+            db.cached_generation("event"),
+            Some(db.raw_ref().generation("event").unwrap()),
+            "matching-generation slot survives the restore"
+        );
+        assert_eq!(
+            db.cached_generation("other"),
+            None,
+            "rolled-back table's slot is dropped"
+        );
+        let _ = db.all("event").unwrap();
+        assert_eq!(
+            db.decode_cache_stats().misses,
+            misses_before,
+            "event is served from the revalidated snapshot"
+        );
+        let rows = db.all("other").unwrap();
+        assert_eq!(rows.len(), 1, "restored state, not the later write");
+        assert_eq!(db.decode_cache_stats().misses, misses_before + 1);
+    }
+
+    #[test]
+    fn meta_export_restore_round_trips_allocation_state() {
+        let (db, _, _) = event_db();
+        let extra = db.fresh_label("event_policy"); // α-renamed duplicate
+        let meta = db.export_meta();
+        assert_eq!(meta.labels.len(), 2);
+        assert_eq!(meta.next_jid.get("event"), Some(&2));
+
+        let mut fresh = FormDb::new();
+        fresh.restore_meta(&meta);
+        assert_eq!(
+            fresh.labels().name(extra),
+            db.labels().name(extra),
+            "stored names restore verbatim"
+        );
+        // Allocation continues past the restored state: no reuse of a
+        // persisted index, no jid collision.
+        assert_eq!(fresh.fresh_label("next").index(), 2);
+        assert_eq!(fresh.reserve_jid("event"), 2);
+        // import_label + bump_next_jid are the meta-log replay hooks.
+        let replayed = fresh.import_label("replayed.label");
+        assert_eq!(replayed.index(), 3);
+        assert_eq!(fresh.labels().name(replayed), "replayed.label");
+        fresh.bump_next_jid("event", 9);
+        assert_eq!(fresh.reserve_jid("event"), 9);
+        fresh.bump_next_jid("event", 3); // never regresses
+        assert_eq!(fresh.reserve_jid("event"), 10);
+    }
+
+    #[test]
+    fn object_jids_enumerates_distinct_objects() {
+        let (db, _, jid) = event_db();
+        assert_eq!(db.object_jids("event").unwrap(), vec![jid]);
+        let second = db
+            .insert(
+                "event",
+                &Faceted::leaf(Some(vec![Value::from("x"), Value::from("y")])),
+            )
+            .unwrap();
+        assert_eq!(db.object_jids("event").unwrap(), vec![jid, second]);
+    }
+
+    #[test]
+    fn prime_object_warms_the_object_layer() {
+        let (db, _, jid) = event_db();
+        let obj = db.get("event", jid).unwrap();
+        let mut fresh = FormDb::new();
+        fresh
+            .create_table(
+                "event",
+                vec![
+                    ColumnDef::new("name", ColumnType::Str),
+                    ColumnDef::new("location", ColumnType::Str),
+                ],
+            )
+            .unwrap();
+        fresh.restore_database(&db.raw_ref().snapshot()).unwrap();
+        fresh.prime_object("event", jid, &obj).unwrap();
+        let misses = fresh.decode_cache_stats().misses;
+        let got = fresh.get("event", jid).unwrap();
+        assert_eq!(got, obj);
+        assert_eq!(
+            fresh.decode_cache_stats().misses,
+            misses,
+            "primed object served without a decode"
+        );
+    }
+
+    #[test]
+    fn attached_wal_captures_marshalled_rows() {
+        let path = std::env::temp_dir().join(format!("form_wal_test_{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let (mut db, k, jid) = event_db();
+        let baseline = db.raw_ref().snapshot();
+        db.attach_wal(std::sync::Arc::new(microdb::WriteLog::open(&path).unwrap()));
+        // A guarded save = a logged delete + logged row inserts.
+        let pc = faceted::Branches::new().with(faceted::Branch::pos(k));
+        db.save(
+            "event",
+            jid,
+            &Faceted::leaf(Some(vec![Value::from("new"), Value::from("spot")])),
+            &pc,
+        )
+        .unwrap();
+
+        let mut restored = microdb::Database::new();
+        restored.restore(&baseline).unwrap();
+        let stats = microdb::WriteLog::replay(&path, &mut restored).unwrap();
+        assert!(stats.applied >= 2, "delete + re-inserted facet rows");
+        assert_eq!(
+            restored.table("event").unwrap().rows(),
+            db.raw_ref().table("event").unwrap().rows()
+        );
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

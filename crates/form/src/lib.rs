@@ -36,6 +36,7 @@ mod db;
 mod error;
 mod meta;
 mod object;
+pub mod persist;
 pub mod touched;
 
 pub use aggregate::{faceted_count, faceted_sum};
@@ -43,3 +44,4 @@ pub use db::{DecodeCacheStats, FormDb};
 pub use error::{FormError, FormResult};
 pub use meta::{encode_jvars, parse_jvars, JID, JVARS};
 pub use object::{flatten_object, object_field, rebuild_object, FacetedObject, GuardedRow};
+pub use persist::FormMeta;

@@ -1,13 +1,14 @@
 //! The database: a named collection of tables behind per-table locks.
 
 use std::collections::BTreeMap;
-use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::error::{DbError, DbResult};
 use crate::predicate::Predicate;
 use crate::schema::Schema;
 use crate::table::{Row, Table};
 use crate::value::Value;
+use crate::wal::{Statement, WriteLog};
 
 /// Shared (read) access to one table.
 pub type TableRef<'a> = RwLockReadGuard<'a, Table>;
@@ -51,6 +52,10 @@ pub type TableMut<'a> = RwLockWriteGuard<'a, Table>;
 #[derive(Debug, Default)]
 pub struct Database {
     tables: BTreeMap<String, RwLock<Table>>,
+    /// Optional append-only write log: when attached, every
+    /// successful row-level statement appends one durable record (see
+    /// [`crate::wal`]).
+    wal: Option<Arc<WriteLog>>,
 }
 
 impl Clone for Database {
@@ -61,6 +66,9 @@ impl Clone for Database {
                 .iter()
                 .map(|(n, t)| (n.clone(), RwLock::new(read_guard(n, t).clone())))
                 .collect(),
+            // A clone is a divergent copy; sharing the log would
+            // interleave two histories into one file.
+            wal: None,
         }
     }
 }
@@ -137,6 +145,63 @@ impl Database {
             .ok_or_else(|| DbError::NoSuchTable(name.to_owned()))
     }
 
+    /// Attaches an append-only write log: from now on every
+    /// successful row-level statement ([`Database::insert`],
+    /// [`Database::update`], [`Database::delete`], and raw per-row
+    /// inserts logged by higher layers) appends a durable record.
+    pub fn attach_wal(&mut self, wal: Arc<WriteLog>) {
+        self.wal = Some(wal);
+    }
+
+    /// Detaches the write log, returning it if one was attached.
+    pub fn detach_wal(&mut self) -> Option<Arc<WriteLog>> {
+        self.wal.take()
+    }
+
+    /// The attached write log, if any — higher layers that mutate
+    /// tables through raw guards (e.g. the FORM's marshalling loop)
+    /// use this to log their per-row inserts under the same table
+    /// lock.
+    #[must_use]
+    pub fn wal(&self) -> Option<&Arc<WriteLog>> {
+        self.wal.as_ref()
+    }
+
+    /// Appends `stmt` to the attached log (no-op without one).
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Persist`] if the log could not be written — the
+    /// statement has been applied but is not durable, which callers
+    /// must surface rather than swallow.
+    pub fn log_statement(&self, stmt: &Statement, generation: u64) -> DbResult<()> {
+        match &self.wal {
+            Some(wal) => wal.append(stmt, generation),
+            None => Ok(()),
+        }
+    }
+
+    /// Applies one logged statement *without* re-logging it — the
+    /// replay path of [`WriteLog::replay`].
+    pub(crate) fn apply_statement(&self, stmt: &Statement) -> DbResult<()> {
+        match stmt {
+            Statement::Insert { table, row } => {
+                self.table_mut(table)?.insert(row.clone())?;
+            }
+            Statement::Update {
+                table,
+                pred,
+                assignments,
+            } => {
+                self.update_unlogged(table, pred, assignments)?;
+            }
+            Statement::Delete { table, pred } => {
+                self.delete_unlogged(table, pred)?;
+            }
+        }
+        Ok(())
+    }
+
     /// Whether a table exists.
     #[must_use]
     pub fn has_table(&self, name: &str) -> bool {
@@ -158,13 +223,39 @@ impl Database {
         Ok(self.table(table)?.generation())
     }
 
+    /// Inserts into an **already write-locked** table and, with a
+    /// write log attached, logs the *stored* row (auto-increment
+    /// columns resolved) under that same lock — the one place the
+    /// replay-determinism contract lives. Callers holding a guard
+    /// for a multi-row operation (the FORM's marshalling loop) use
+    /// this directly; [`Database::insert`] wraps it.
+    ///
+    /// # Errors
+    ///
+    /// Schema-validation errors, or [`DbError::Persist`] if the
+    /// applied row could not be logged.
+    pub fn insert_into_locked(&self, t: &mut Table, row: Row) -> DbResult<usize> {
+        let pos = t.insert(row)?;
+        if self.wal.is_some() {
+            self.log_statement(
+                &Statement::Insert {
+                    table: t.name().to_owned(),
+                    row: t.rows()[pos].clone(),
+                },
+                t.generation(),
+            )?;
+        }
+        Ok(pos)
+    }
+
     /// Inserts a row into `table`, returning its physical position.
     ///
     /// # Errors
     ///
     /// Table lookup and schema validation errors.
     pub fn insert(&self, table: &str, row: Row) -> DbResult<usize> {
-        self.table_mut(table)?.insert(row)
+        let mut t = self.table_mut(table)?;
+        self.insert_into_locked(&mut t, row)
     }
 
     /// Inserts many rows.
@@ -180,7 +271,7 @@ impl Database {
         let mut t = self.table_mut(table)?;
         let mut n = 0;
         for r in rows {
-            t.insert(r)?;
+            self.insert_into_locked(&mut t, r)?;
             n += 1;
         }
         Ok(n)
@@ -197,6 +288,25 @@ impl Database {
         pred: &Predicate,
         assignments: &[(String, Value)],
     ) -> DbResult<usize> {
+        self.update_impl(table, pred, assignments, true)
+    }
+
+    fn update_unlogged(
+        &self,
+        table: &str,
+        pred: &Predicate,
+        assignments: &[(String, Value)],
+    ) -> DbResult<usize> {
+        self.update_impl(table, pred, assignments, false)
+    }
+
+    fn update_impl(
+        &self,
+        table: &str,
+        pred: &Predicate,
+        assignments: &[(String, Value)],
+        log: bool,
+    ) -> DbResult<usize> {
         let mut t = self.table_mut(table)?;
         let schema = t.schema().clone();
         // Evaluate the predicate outside the row closure so errors
@@ -212,10 +322,20 @@ impl Database {
             },
             assignments,
         )?;
-        match err {
-            Some(e) => Err(e),
-            None => Ok(n),
+        if let Some(e) = err {
+            return Err(e);
         }
+        if log && self.wal.is_some() {
+            self.log_statement(
+                &Statement::Update {
+                    table: table.to_owned(),
+                    pred: pred.clone(),
+                    assignments: assignments.to_vec(),
+                },
+                t.generation(),
+            )?;
+        }
+        Ok(n)
     }
 
     /// Deletes rows of `table` matching `pred`; returns the count.
@@ -224,6 +344,14 @@ impl Database {
     ///
     /// Table resolution and predicate-evaluation errors.
     pub fn delete(&self, table: &str, pred: &Predicate) -> DbResult<usize> {
+        self.delete_impl(table, pred, true)
+    }
+
+    fn delete_unlogged(&self, table: &str, pred: &Predicate) -> DbResult<usize> {
+        self.delete_impl(table, pred, false)
+    }
+
+    fn delete_impl(&self, table: &str, pred: &Predicate, log: bool) -> DbResult<usize> {
         let mut t = self.table_mut(table)?;
         let schema = t.schema().clone();
         let mut err = None;
@@ -234,10 +362,25 @@ impl Database {
                 false
             }
         });
-        match err {
-            Some(e) => Err(e),
-            None => Ok(n),
+        if let Some(e) = err {
+            return Err(e);
         }
+        if log && self.wal.is_some() {
+            self.log_statement(
+                &Statement::Delete {
+                    table: table.to_owned(),
+                    pred: pred.clone(),
+                },
+                t.generation(),
+            )?;
+        }
+        Ok(n)
+    }
+
+    /// Wholesale table replacement — the restore path of
+    /// [`crate::Snapshot`].
+    pub(crate) fn replace_tables(&mut self, tables: BTreeMap<String, RwLock<Table>>) {
+        self.tables = tables;
     }
 
     /// Total number of physical rows across all tables (used by the

@@ -37,6 +37,10 @@ pub enum DbError {
     },
     /// A predicate or aggregate was applied to an unsupported operand.
     InvalidOperation(String),
+    /// Persistence failure: a snapshot or write-log could not be
+    /// written, read, or parsed (I/O errors are carried as text so
+    /// `DbError` stays `Clone + PartialEq`).
+    Persist(String),
 }
 
 impl fmt::Display for DbError {
@@ -57,6 +61,7 @@ impl fmt::Display for DbError {
                 write!(f, "column {column} expects {expected}, got {got}")
             }
             DbError::InvalidOperation(m) => write!(f, "invalid operation: {m}"),
+            DbError::Persist(m) => write!(f, "persistence failure: {m}"),
         }
     }
 }

@@ -41,8 +41,10 @@ mod error;
 mod predicate;
 mod query;
 mod schema;
+pub mod snapshot;
 mod table;
 mod value;
+pub mod wal;
 
 pub use aggregate::Aggregate;
 pub use database::{Database, TableMut, TableRef};
@@ -50,5 +52,7 @@ pub use error::{DbError, DbResult};
 pub use predicate::{resolve_column, CmpOp, Operand, Predicate};
 pub use query::{ExecStats, Query, ResultSet, SortOrder};
 pub use schema::{ColumnDef, Schema};
+pub use snapshot::{Snapshot, TableSnapshot};
 pub use table::{Row, Table};
 pub use value::{ColumnType, Value};
+pub use wal::{LineLog, ReplayStats, Statement, WriteLog};

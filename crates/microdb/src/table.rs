@@ -274,6 +274,53 @@ impl Table {
             .column_index(column)
             .is_some_and(|ix| self.indexes.iter().any(|i| i.column == ix))
     }
+
+    /// Names of the columns with declared hash indexes, in declaration
+    /// order (snapshots persist these so restored tables keep their
+    /// probe plans).
+    #[must_use]
+    pub fn indexed_columns(&self) -> Vec<&str> {
+        self.indexes
+            .iter()
+            .map(|i| self.schema.columns()[i.column].name())
+            .collect()
+    }
+
+    /// The auto-increment cursor: the id the next `Null` insert into
+    /// an auto column would receive.
+    #[must_use]
+    pub fn next_auto(&self) -> i64 {
+        self.next_auto
+    }
+
+    /// Rebuilds a table from persisted parts, preserving the write
+    /// stamp and auto-increment cursor — the restore half of the
+    /// snapshot subsystem. Every row is validated against the schema;
+    /// indexes are *not* created here (callers re-declare them via
+    /// [`Table::create_index`], which builds eagerly).
+    ///
+    /// # Errors
+    ///
+    /// Schema-validation errors for any row that does not fit.
+    pub fn from_parts(
+        name: &str,
+        schema: Schema,
+        rows: Vec<Row>,
+        next_auto: i64,
+        generation: u64,
+    ) -> DbResult<Table> {
+        for row in &rows {
+            schema.check_row(row)?;
+        }
+        Ok(Table {
+            name: name.to_owned(),
+            schema,
+            rows,
+            indexes: Vec::new(),
+            next_auto,
+            generation,
+        })
+    }
 }
 
 #[cfg(test)]
