@@ -411,6 +411,83 @@ fn decode_cache_differential_all_pages_all_viewers() {
     assert_eq!(render_health(&app), cached, "health pages differ");
 }
 
+/// Delta-maintenance differential: a deltas-on app and a deltas-off
+/// twin (every stale slot pays a full re-decode) must render the full
+/// all-pages × all-viewers conference grid byte-identically across an
+/// interleaved write mix — inserts (papers, reviews), updates (phase,
+/// review score), and a delete. Pins WAL-fed delta repair as a pure
+/// optimization: same bytes, fewer decodes.
+#[test]
+fn delta_maintenance_differential_all_pages_under_writes() {
+    use microdb::Value;
+    let on = workload::conference(8, 6).app;
+    let mut off = workload::conference(8, 6).app;
+    assert!(
+        off.db.set_delta_maintenance(false),
+        "the ablation flag reports the previous (enabled) state"
+    );
+    let viewers: Vec<Viewer> = std::iter::once(Viewer::Anonymous)
+        .chain((1..=8).map(Viewer::User))
+        .collect();
+    let render = |app: &jacqueline::App, papers: &[i64]| {
+        let mut pages = Vec::new();
+        for viewer in &viewers {
+            pages.push(apps::conf::all_papers(app, viewer));
+            pages.push(apps::conf::all_users(app, viewer));
+            for paper in papers {
+                pages.push(apps::conf::single_paper(app, viewer, *paper));
+            }
+            for user in 1..=8 {
+                pages.push(apps::conf::single_user(app, viewer, user));
+            }
+        }
+        pages
+    };
+    let mut papers: Vec<i64> = (1..=6).collect();
+    let check = |on: &jacqueline::App, off: &jacqueline::App, papers: &[i64], when: &str| {
+        assert_eq!(render(on, papers), render(off, papers), "grid {when}");
+    };
+    check(&on, &off, &papers, "before any write");
+
+    // Insert: a new paper lands in both twins.
+    let pa = apps::conf::submit_paper(&on, &Viewer::User(3), "Delta paper").unwrap();
+    let pb = apps::conf::submit_paper(&off, &Viewer::User(3), "Delta paper").unwrap();
+    assert_eq!(pa, pb);
+    papers.push(pa);
+    check(&on, &off, &papers, "after insert");
+
+    // Insert + update: a review, then the phase flips to final.
+    let ra = apps::conf::submit_review(&on, &Viewer::User(2), pa, 2, "ok").unwrap();
+    let rb = apps::conf::submit_review(&off, &Viewer::User(2), pa, 2, "ok").unwrap();
+    assert_eq!(ra, rb);
+    apps::conf::set_phase(&on, apps::conf::PHASE_FINAL).unwrap();
+    apps::conf::set_phase(&off, apps::conf::PHASE_FINAL).unwrap();
+    check(&on, &off, &papers, "after review + phase flip");
+
+    // Update: the review's score changes in place.
+    on.update_fields("review", ra, &[(2, Value::Int(-1))], &Default::default())
+        .unwrap();
+    off.update_fields("review", rb, &[(2, Value::Int(-1))], &Default::default())
+        .unwrap();
+    check(&on, &off, &papers, "after review rescore");
+
+    // Delete: the review is withdrawn from both twins.
+    on.db.delete("review", ra, &Default::default()).unwrap();
+    off.db.delete("review", rb, &Default::default()).unwrap();
+    check(&on, &off, &papers, "after review delete");
+
+    // The twins diverged only in *how* pages were produced.
+    assert!(
+        on.db.decode_cache_stats().delta_applies > 0,
+        "the deltas-on twin must actually repair slots in place"
+    );
+    assert_eq!(
+        off.db.decode_cache_stats().delta_applies,
+        0,
+        "the ablated twin never applies deltas"
+    );
+}
+
 /// Cache differential across *mutation*: pages rendered after a write
 /// agree between cached and uncached apps (the cache must invalidate,
 /// not serve stale facets).

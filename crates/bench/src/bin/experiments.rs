@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo run --release -p jbench --bin experiments -- --all`
 //! (or a subset: `--fig6 --fig9a --fig9b --fig9c --table3 --table4
-//! --table5 --memo --concurrent --cache --locks --load
+//! --table5 --memo --concurrent --cache --deltas --locks --load
 //! --checkpoint`). `--smoke` shrinks the sweeps for CI; `--serve
 //! [--port N]` skips measurement and serves the conference app over
 //! HTTP until killed. `--load` measures the socket path: the served
@@ -42,7 +42,7 @@ struct Config {
 
 /// The flags that select individual tables; any other flag is a
 /// modifier. Running with no table flag at all means `--all`.
-const TABLE_FLAGS: [&str; 13] = [
+const TABLE_FLAGS: [&str; 14] = [
     "--fig6",
     "--fig9a",
     "--fig9b",
@@ -53,6 +53,7 @@ const TABLE_FLAGS: [&str; 13] = [
     "--memo",
     "--concurrent",
     "--cache",
+    "--deltas",
     "--locks",
     "--load",
     "--checkpoint",
@@ -113,6 +114,9 @@ fn main() {
     }
     if want("--cache") {
         cache_ablation(&cfg, &mut report);
+    }
+    if want("--deltas") {
+        delta_ablation(&cfg, &mut report);
     }
     if want("--locks") {
         lock_contention(&cfg, &mut report);
@@ -623,6 +627,50 @@ fn cache_ablation(cfg: &Config, report: &mut Report) {
         "  [decode cache: {} hits / {} misses]",
         stats.hits, stats.misses
     );
+}
+
+/// Delta-maintenance ablation: the write-heavy Table 3 mix. Every
+/// request submits one paper and then fetches the decoded paper
+/// table — the step every Table 3 page performs before rendering,
+/// and the one the decode cache serves. With delta maintenance off,
+/// each single-row write stales the whole `(table, generation)` slot
+/// and the next fetch re-decodes every row's `jvars`; with it on,
+/// the change journal patches the warm snapshot in place and the
+/// fetch decodes exactly the one new row. (The page *render* on top
+/// of the fetch is O(rows) in both arms — label resolution and
+/// string formatting — so it is excluded here to keep the table
+/// about the decode path; `cache_ablation` measures full pages.)
+fn delta_ablation(cfg: &Config, report: &mut Report) {
+    println!("\n==== Delta-maintenance ablation: write-heavy Table 3 mix ====");
+    print_row(&[
+        "Size".into(),
+        "deltas off".into(),
+        "deltas on".into(),
+        "speedup".into(),
+    ]);
+    println!("  [submit one paper + fetch the decoded paper table, per request]");
+    for &n in &cfg.sweep {
+        let run = |enabled: bool, report: &mut Report, label: &str| {
+            let w = workload::conference(32, n);
+            let mut app = w.app;
+            app.db.set_delta_maintenance(enabled);
+            let author = Viewer::User(w.author);
+            // Warm the decode cache before the clock starts.
+            let _ = app.all("paper").unwrap();
+            measure(report, "table3_write_mix", label, cfg.reps, || {
+                conf::submit_paper(&app, &author, "delta bench paper").unwrap();
+                std::hint::black_box(app.all("paper").unwrap());
+            })
+        };
+        let off = run(false, report, &format!("papers={n} deltas_off"));
+        let on = run(true, report, &format!("papers={n} deltas_on"));
+        print_row(&[
+            n.to_string(),
+            fmt_secs(off),
+            fmt_secs(on),
+            format!("{:.1}x", off / on),
+        ]);
+    }
 }
 
 /// A conservative router: the same conference controllers registered

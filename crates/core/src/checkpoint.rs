@@ -844,6 +844,55 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    /// Reconciliation between restored generation stamps and the
+    /// change journals: restoring over a live app retains warm decode
+    /// slots whose generation matches the snapshot, and the restored
+    /// table's journal window restarts at `snapshot_generation + 1`,
+    /// so WAL-replayed writes land as deltas. The first read after
+    /// restore is then served by delta repair — not a full re-decode —
+    /// and must equal what a cold restore decodes from scratch.
+    #[test]
+    fn restore_reconciles_journals_so_warm_slots_delta_repair() {
+        let dir = temp_dir("delta_reconcile");
+        let mut app = note_app();
+        app.enable_persistence(&dir).unwrap();
+        for i in 0..4 {
+            app.create("note", vec![Value::Int(i), Value::from(format!("n{i}"))])
+                .unwrap();
+        }
+        app.checkpoint_quiescent(&dir).unwrap();
+        // Warm the decode cache at exactly the snapshot generation.
+        app.all("note").unwrap();
+        // A post-checkpoint write lives only in the WAL.
+        app.create("note", vec![Value::Int(9), Value::from("post")])
+            .unwrap();
+
+        // Crash-safe restore over the same app: the table rewinds to
+        // the snapshot (the warm slot's generation matches and is
+        // retained), then WAL replay rolls it forward again.
+        app.restore_from(&dir).unwrap();
+        let before = app.db.decode_cache_stats();
+        let rows = app.all("note").unwrap();
+        assert_eq!(rows.len(), 10, "5 notes × 2 facet rows, replay included");
+        let stats = app.db.decode_cache_stats();
+        assert_eq!(
+            stats.misses, before.misses,
+            "the retained slot must not pay a full re-decode"
+        );
+        assert_eq!(
+            stats.delta_applies,
+            before.delta_applies + 1,
+            "the replayed write patches the snapshot as a delta"
+        );
+
+        // Byte-identity against the cold path: a fresh app restoring
+        // the same directory decodes everything from scratch.
+        let mut cold = note_app();
+        cold.restore_from(&dir).unwrap();
+        assert_eq!(grid(&app, 5), grid(&cold, 5));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     /// Concurrent creates must leave the meta journal replayable:
     /// label allocation and the journal append happen under one
     /// guard, so records can never appear out of label-index order

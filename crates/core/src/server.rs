@@ -290,11 +290,14 @@ impl Server {
             && router.read_controller(&wire_request.path).is_none()
             && router.has_write_route(&wire_request.path)
         {
+            // RFC 9110 §15.5.6: a 405 must name the methods the
+            // target does support.
             return Response {
                 status: 405,
                 body: format!("{} requires POST", wire_request.path),
                 headers: Vec::new(),
-            };
+            }
+            .with_header("Allow", "POST");
         }
         let request = Request {
             path: wire_request.path,
@@ -479,6 +482,11 @@ mod tests {
             ),
         );
         assert_eq!(refused.status, 405);
+        assert_eq!(
+            refused.header("allow"),
+            Some("POST"),
+            "RFC 9110: 405 must name the allowed methods"
+        );
         let body = "text=from+the+wire";
         let accepted = send(
             server.addr(),
@@ -508,6 +516,11 @@ mod tests {
         assert_eq!(no_host.status, 400);
         let bad_method = send(server.addr(), "BREW / HTTP/1.1\r\nHost: t\r\n\r\n");
         assert_eq!(bad_method.status, 405);
+        assert_eq!(
+            bad_method.header("allow"),
+            Some("GET, HEAD, POST"),
+            "the wire-level 405 also carries Allow"
+        );
         let unknown = send(
             server.addr(),
             "GET /zzz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",

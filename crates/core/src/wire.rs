@@ -66,15 +66,23 @@ impl WireError {
         }
     }
 
-    /// The error response to answer a [`WireError::Bad`] with.
+    /// The error response to answer a [`WireError::Bad`] with. A 405
+    /// names the implemented methods, per RFC 9110 §15.5.6.
     #[must_use]
     pub fn response(&self) -> Option<Response> {
         match self {
-            WireError::Bad { status, reason } => Some(Response {
-                status: *status,
-                body: reason.clone(),
-                headers: Vec::new(),
-            }),
+            WireError::Bad { status, reason } => {
+                let response = Response {
+                    status: *status,
+                    body: reason.clone(),
+                    headers: Vec::new(),
+                };
+                Some(if *status == 405 {
+                    response.with_header("Allow", "GET, HEAD, POST")
+                } else {
+                    response
+                })
+            }
             _ => None,
         }
     }

@@ -202,6 +202,29 @@ impl<T: Clone> FacetedList<T> {
         Arc::make_mut(&mut self.rows).push((guard, row));
     }
 
+    /// Replaces the `(guard, row)` pair at physical position `ix`
+    /// (copy-on-write, like [`FacetedList::push`]) — the in-place
+    /// patch used when a cached decoded snapshot is repaired from a
+    /// table's change deltas instead of rebuilt.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ix` is out of bounds.
+    pub fn replace_row(&mut self, ix: usize, guard: Branches, row: T) {
+        Arc::make_mut(&mut self.rows)[ix] = (guard, row);
+    }
+
+    /// Removes the row at physical position `ix`, shifting later rows
+    /// up (copy-on-write). Callers removing several positions must go
+    /// in descending order so earlier indices stay valid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ix` is out of bounds.
+    pub fn remove_row(&mut self, ix: usize) {
+        Arc::make_mut(&mut self.rows).remove(ix);
+    }
+
     /// Consumes the collection, yielding its `(guard, row)` pairs
     /// (cloning them only if the storage is shared).
     #[must_use]

@@ -8,8 +8,8 @@ use std::sync::{Mutex, RwLock, RwLockReadGuard};
 
 use faceted::{Branches, FacetedList, Label, LabelRegistry};
 use microdb::{
-    ColumnDef, ColumnType, Database, Operand, Predicate, Query, Row, Schema, SortOrder, Table,
-    Value,
+    ColumnDef, ColumnType, Database, Operand, Predicate, Query, Row, RowDelta, Schema, SortOrder,
+    Table, Value,
 };
 
 use crate::error::{FormError, FormResult};
@@ -22,8 +22,12 @@ use crate::object::{flatten_object, rebuild_object, FacetedObject, GuardedRow};
 pub struct DecodeCacheStats {
     /// Queries served from an already-decoded table snapshot.
     pub hits: u64,
-    /// Queries that had to unmarshal (cold table or stale generation).
+    /// Queries that had to unmarshal (cold table or stale generation
+    /// past the journal window).
     pub misses: u64,
+    /// Stale slots repaired in place from the table's change journal
+    /// (each avoided a full-table re-decode).
+    pub delta_applies: u64,
 }
 
 /// One cached decoded table, valid exactly while the table's write
@@ -66,9 +70,20 @@ struct DecodedTable {
 /// reuse the decoded rows; Early-Pruning variants apply the viewer
 /// constraint to the decoded rows, not to raw strings. Cache clones
 /// are O(1) ([`FacetedList`] is copy-on-write), so a cache hit costs
-/// no per-row work at all. [`FormDb::set_decode_cache`] switches the
-/// cache off for ablation measurements; cached and uncached paths are
-/// byte-identical (the differential suite pins this).
+/// no per-row work at all.
+///
+/// Invalidation is *delta-maintained*: a write bumps the stamp, but
+/// the next query repairs the stale snapshot from the table's bounded
+/// change journal ([`microdb::Table::deltas_since`]) — a single-row
+/// insert appends one decoded row instead of re-decoding the whole
+/// table; updates/deletes patch or evict only the touched rows and
+/// object memos. When the journal window has slid past the snapshot,
+/// the query falls back to a full re-decode, so correctness never
+/// depends on journal retention. [`FormDb::set_decode_cache`]
+/// switches the cache off and [`FormDb::set_delta_maintenance`]
+/// switches just the repair path off for ablation measurements;
+/// cached, uncached, and delta-maintained paths are byte-identical
+/// (the differential suite pins this).
 ///
 /// # Concurrency
 ///
@@ -124,9 +139,14 @@ pub struct FormDb {
     /// Whether the decode cache is active (`true` by default; the
     /// ablation experiments switch it off).
     cache_enabled: bool,
+    /// Whether stale cache slots are repaired from the tables' change
+    /// journals instead of waiting for a full re-decode (`true` by
+    /// default; the `--deltas` ablation switches it off).
+    delta_maintenance: bool,
     decoded: RwLock<HashMap<String, DecodedTable>>,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    delta_applies: AtomicU64,
 }
 
 impl Default for FormDb {
@@ -137,9 +157,11 @@ impl Default for FormDb {
             next_jid: Mutex::new(BTreeMap::new()),
             pruning: None,
             cache_enabled: true,
+            delta_maintenance: true,
             decoded: RwLock::new(HashMap::new()),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            delta_applies: AtomicU64::new(0),
         }
     }
 }
@@ -152,10 +174,12 @@ impl Clone for FormDb {
             next_jid: Mutex::new(self.next_jid.lock().expect("jid lock").clone()),
             pruning: self.pruning.clone(),
             cache_enabled: self.cache_enabled,
+            delta_maintenance: self.delta_maintenance,
             // A fresh clone starts cold; snapshots repopulate lazily.
             decoded: RwLock::new(HashMap::new()),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            delta_applies: AtomicU64::new(0),
         }
     }
 }
@@ -230,12 +254,29 @@ impl FormDb {
         self.cache_enabled
     }
 
-    /// Decode-cache hit/miss counters since construction.
+    /// Switches delta maintenance of stale cache slots on or off
+    /// (ablation hook for the write-mix experiments). Returns the
+    /// previous setting. With it off, a stale slot waits for the next
+    /// full-table read to re-decode — the pre-journal behavior.
+    pub fn set_delta_maintenance(&mut self, enabled: bool) -> bool {
+        let was = self.delta_maintenance;
+        self.delta_maintenance = enabled;
+        was
+    }
+
+    /// Whether stale cache slots are repaired from change journals.
+    #[must_use]
+    pub fn delta_maintenance_enabled(&self) -> bool {
+        self.delta_maintenance
+    }
+
+    /// Decode-cache hit/miss/delta counters since construction.
     #[must_use]
     pub fn decode_cache_stats(&self) -> DecodeCacheStats {
         DecodeCacheStats {
             hits: self.cache_hits.load(Ordering::Relaxed),
             misses: self.cache_misses.load(Ordering::Relaxed),
+            delta_applies: self.delta_applies.load(Ordering::Relaxed),
         }
     }
 
@@ -375,6 +416,7 @@ impl FormDb {
     fn decoded_rows(&self, table: &str, t: &Table) -> FormResult<FacetedList<GuardedRow>> {
         let generation = t.generation();
         if self.cache_enabled {
+            self.try_delta_advance(table, t);
             if let Some(rows) = self.current_snapshot(table, generation) {
                 self.cache_hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(rows); // O(1): shared storage
@@ -411,6 +453,88 @@ impl FormDb {
             return None;
         }
         slot.rows.clone()
+    }
+
+    /// Delta maintenance: when `table`'s cache slot is stale but the
+    /// table's change journal still covers the window between the
+    /// slot's generation and the present, repair the slot in place —
+    /// append/rewrite/remove only the touched rows of the decoded
+    /// snapshot, evict only the touched objects' memos — instead of
+    /// leaving the whole slot to a full re-decode. A single-row insert
+    /// into an n-row table thus costs one row decode, not n.
+    ///
+    /// This is strictly an optimization: a slid-past journal window
+    /// leaves the slot stale (next full read re-decodes), and a row
+    /// that fails to decode evicts the slot outright (a full decode
+    /// would fail on the same row) — correctness never depends on the
+    /// journal.
+    fn try_delta_advance(&self, table: &str, t: &Table) {
+        if !self.cache_enabled || !self.delta_maintenance {
+            return;
+        }
+        let generation = t.generation();
+        let mut cache = self.decoded.write().expect("decode cache lock");
+        let Some(slot) = cache.get_mut(table) else {
+            return;
+        };
+        if slot.generation >= generation {
+            return;
+        }
+        let Some(deltas) = t.deltas_since(slot.generation) else {
+            return; // window slid past the slot: full decode rebuilds
+        };
+        let width = t.schema().len() - 2;
+        let jid_of = |row: &Row| row[width].as_int();
+        for delta in deltas {
+            match delta {
+                RowDelta::Append(row) => {
+                    if let Some(jid) = jid_of(row) {
+                        slot.objects.remove(&jid);
+                    }
+                    if let Some(rows) = &mut slot.rows {
+                        match FormDb::decode_row(row, width) {
+                            Ok(g) => rows.push(g.guard.clone(), g),
+                            Err(_) => {
+                                cache.remove(table);
+                                return;
+                            }
+                        }
+                    }
+                }
+                RowDelta::Rewrite(rewrites) => {
+                    for (ix, old, new) in rewrites {
+                        if let Some(jid) = jid_of(old) {
+                            slot.objects.remove(&jid);
+                        }
+                        if let Some(jid) = jid_of(new) {
+                            slot.objects.remove(&jid);
+                        }
+                        if let Some(rows) = &mut slot.rows {
+                            match FormDb::decode_row(new, width) {
+                                Ok(g) => rows.replace_row(*ix, g.guard.clone(), g),
+                                Err(_) => {
+                                    cache.remove(table);
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                }
+                RowDelta::Remove(removals) => {
+                    // Descending order keeps the earlier indices valid.
+                    for (ix, row) in removals.iter().rev() {
+                        if let Some(jid) = jid_of(row) {
+                            slot.objects.remove(&jid);
+                        }
+                        if let Some(rows) = &mut slot.rows {
+                            rows.remove_row(*ix);
+                        }
+                    }
+                }
+            }
+        }
+        slot.generation = generation;
+        self.delta_applies.fetch_add(1, Ordering::Relaxed);
     }
 
     /// The rebuilt facet DAG of `(table, jid)` from the object layer
@@ -482,6 +606,7 @@ impl FormDb {
         let full_selection =
             indices.len() == t.len() && indices.iter().enumerate().all(|(p, &i)| p == i);
         if self.cache_enabled {
+            self.try_delta_advance(table, &t);
             if let Some(decoded) = self.current_snapshot(table, t.generation()) {
                 self.cache_hits.fetch_add(1, Ordering::Relaxed);
                 drop(t);
@@ -766,7 +891,13 @@ impl FormDb {
     ) -> FormResult<FacetedObject> {
         crate::touched::note_read(table);
         if self.cache_enabled && prune.is_none() {
-            let generation = self.db.table(table)?.generation();
+            let generation = {
+                let t = self.db.table(table)?;
+                // Repair the slot before probing the object layer, so
+                // memos of objects the write did not touch stay warm.
+                self.try_delta_advance(table, &t);
+                t.generation()
+            };
             if let Some(obj) = self.cached_object(table, generation, jid) {
                 self.cache_hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(obj);
@@ -1242,18 +1373,41 @@ mod tests {
         assert_eq!(db.raw_ref().generation("event").unwrap(), event_gen);
         assert!(db.raw_ref().generation("other").unwrap() > other_gen);
 
-        let misses_before = db.decode_cache_stats().misses;
+        let stats_before = db.decode_cache_stats();
         let _ = db.all("event").unwrap();
         assert_eq!(
             db.decode_cache_stats().misses,
-            misses_before,
+            stats_before.misses,
             "event still served from cache"
         );
+        assert_eq!(
+            db.decode_cache_stats().delta_applies,
+            stats_before.delta_applies,
+            "a current slot needs no repair"
+        );
+        let rows = db.all("other").unwrap();
+        assert_eq!(rows.len(), 2, "the write is visible");
+        assert_eq!(
+            db.decode_cache_stats().misses,
+            stats_before.misses,
+            "other's stale slot is repaired from deltas, not re-decoded"
+        );
+        assert_eq!(
+            db.decode_cache_stats().delta_applies,
+            stats_before.delta_applies + 1
+        );
+
+        // With delta maintenance ablated, the same write pattern pays
+        // the full re-decode — the pre-journal behavior.
+        db.set_delta_maintenance(false);
+        db.insert("other", &Faceted::leaf(Some(vec![Value::Int(3)])))
+            .unwrap();
+        let misses_before = db.decode_cache_stats().misses;
         let _ = db.all("other").unwrap();
         assert_eq!(
             db.decode_cache_stats().misses,
             misses_before + 1,
-            "other re-decoded after the write"
+            "other re-decoded after the write with deltas off"
         );
     }
 
@@ -1290,9 +1444,11 @@ mod tests {
     #[test]
     fn selective_get_after_write_does_not_decode_whole_table() {
         // A write+get loop must stay O(rows-of-the-object) per get,
-        // not O(table): on a stale snapshot, an indexed single-object
-        // lookup decodes only its matched rows and leaves snapshot
-        // rebuilding to the next full-table read.
+        // not O(table). With delta maintenance the stale snapshot is
+        // repaired in place (one decoded row per insert); with it
+        // ablated, an indexed single-object lookup decodes only its
+        // matched rows and leaves snapshot rebuilding to the next
+        // full-table read.
         let mut db = FormDb::new();
         db.create_table("t", vec![ColumnDef::new("v", ColumnType::Int)])
             .unwrap();
@@ -1303,24 +1459,155 @@ mod tests {
         let _ = db.all("t").unwrap(); // snapshot at current generation
         db.insert("t", &Faceted::leaf(Some(vec![Value::Int(64)])))
             .unwrap(); // stales it
+        let stats = db.decode_cache_stats();
         let obj = db.get("t", 1).unwrap();
         assert!(obj.project(&View::empty()).is_some());
         assert_eq!(
             db.cached_generation("t"),
             Some(db.raw_ref().generation("t").unwrap()),
-            "the get advanced the slot (for its object memo)"
+            "the get advanced the slot"
         );
-        // The row snapshot was NOT rebuilt by the selective get — the
-        // next all() re-decodes (one more miss), proving the get did
-        // not pay the full-table decode.
+        assert_eq!(
+            db.decode_cache_stats().delta_applies,
+            stats.delta_applies + 1,
+            "the get repaired the snapshot from the insert's delta"
+        );
+        // The repaired snapshot serves the next all() without a
+        // re-decode, and repeated gets ride the object memo.
         let misses = db.decode_cache_stats().misses;
-        let _ = db.all("t").unwrap();
-        assert_eq!(db.decode_cache_stats().misses, misses + 1);
-        // And repeated gets now ride the object memo.
-        let misses = db.decode_cache_stats().misses;
+        let all = db.all("t").unwrap();
+        assert_eq!(all.len(), 65);
+        assert_eq!(db.decode_cache_stats().misses, misses);
         let again = db.get("t", 1).unwrap();
         assert_eq!(again, obj);
         assert_eq!(db.decode_cache_stats().misses, misses);
+
+        // Ablated: the selective get must not pay a full-table decode
+        // — the next all() re-decodes (one more miss).
+        db.set_delta_maintenance(false);
+        db.insert("t", &Faceted::leaf(Some(vec![Value::Int(65)])))
+            .unwrap();
+        let _ = db.get("t", 1).unwrap();
+        let misses = db.decode_cache_stats().misses;
+        let _ = db.all("t").unwrap();
+        assert_eq!(db.decode_cache_stats().misses, misses + 1);
+    }
+
+    #[test]
+    fn single_row_insert_into_large_table_is_served_by_delta_repair() {
+        // The acceptance pin: a 1-row insert into an n=1024 table
+        // followed by all() must be served by delta application (one
+        // decoded row), not a full re-decode of all 1024 rows.
+        let mut db = FormDb::new();
+        db.create_table("t", vec![ColumnDef::new("v", ColumnType::Int)])
+            .unwrap();
+        for i in 0..1024 {
+            db.insert("t", &Faceted::leaf(Some(vec![Value::Int(i)])))
+                .unwrap();
+        }
+        let _ = db.all("t").unwrap();
+        let stats = db.decode_cache_stats();
+        db.insert("t", &Faceted::leaf(Some(vec![Value::Int(1024)])))
+            .unwrap();
+        let all = db.all("t").unwrap();
+        assert_eq!(all.len(), 1025);
+        let after = db.decode_cache_stats();
+        assert_eq!(after.misses, stats.misses, "no full re-decode");
+        assert_eq!(after.delta_applies, stats.delta_applies + 1);
+        assert_eq!(after.hits, stats.hits + 1, "served as a cache hit");
+    }
+
+    #[test]
+    fn overflowed_journal_window_falls_back_to_full_decode() {
+        // Writes can outrun the journal's bounded window; the slot is
+        // then unrepairable and the next read pays a full decode —
+        // same rows, just slower. Correctness never depends on
+        // retention.
+        let mut db = FormDb::new();
+        db.create_table("t", vec![ColumnDef::new("v", ColumnType::Int)])
+            .unwrap();
+        for i in 0..4 {
+            db.insert("t", &Faceted::leaf(Some(vec![Value::Int(i)])))
+                .unwrap();
+        }
+        let _ = db.all("t").unwrap();
+        let stats = db.decode_cache_stats();
+        // Far past the journal's row budget (1024).
+        for i in 0..1100 {
+            db.insert("t", &Faceted::leaf(Some(vec![Value::Int(100 + i)])))
+                .unwrap();
+        }
+        let all = db.all("t").unwrap();
+        assert_eq!(all.len(), 1104);
+        let after = db.decode_cache_stats();
+        assert_eq!(
+            after.delta_applies, stats.delta_applies,
+            "window slid: no repair"
+        );
+        assert_eq!(after.misses, stats.misses + 1, "full re-decode instead");
+        // The rebuilt snapshot matches a cold decode.
+        assert_eq!(db.clone().all("t").unwrap(), all);
+    }
+
+    #[test]
+    fn delta_repair_evicts_only_touched_object_memos() {
+        let mut db = FormDb::new();
+        db.create_table("t", vec![ColumnDef::new("v", ColumnType::Int)])
+            .unwrap();
+        let a = db
+            .insert("t", &Faceted::leaf(Some(vec![Value::Int(1)])))
+            .unwrap();
+        let b = db
+            .insert("t", &Faceted::leaf(Some(vec![Value::Int(2)])))
+            .unwrap();
+        let obj_a = db.get("t", a).unwrap(); // memoized
+        let _ = db.get("t", b).unwrap(); // memoized
+        let _ = db.all("t").unwrap();
+        // Rewrite b; a's memo must survive the repair.
+        let new_b = Faceted::leaf(Some(vec![Value::Int(20)]));
+        db.save("t", b, &new_b, &Branches::new()).unwrap();
+        let stats = db.decode_cache_stats();
+        let again_a = db.get("t", a).unwrap();
+        assert_eq!(again_a, obj_a);
+        assert_eq!(
+            db.decode_cache_stats().misses,
+            stats.misses,
+            "untouched object's memo stays warm across the write"
+        );
+        let again_b = db.get("t", b).unwrap();
+        assert_eq!(again_b, new_b, "touched object's memo was evicted");
+    }
+
+    #[test]
+    fn raw_update_and_delete_repair_through_rewrite_deltas() {
+        // Engine-level update/delete through the raw handle produce
+        // Rewrite/Remove deltas; the repaired snapshot must equal a
+        // cold decode.
+        let mut db = FormDb::new();
+        db.create_table("t", vec![ColumnDef::new("v", ColumnType::Int)])
+            .unwrap();
+        for i in 0..8 {
+            db.insert("t", &Faceted::leaf(Some(vec![Value::Int(i)])))
+                .unwrap();
+        }
+        let _ = db.all("t").unwrap();
+        let stats = db.decode_cache_stats();
+        db.raw()
+            .update(
+                "t",
+                &Predicate::lt(Operand::col("v"), Operand::lit(3i64)),
+                &[("v".to_owned(), Value::Int(-1))],
+            )
+            .unwrap();
+        db.raw()
+            .delete("t", &Predicate::eq(Operand::col("v"), Operand::lit(5i64)))
+            .unwrap();
+        let repaired = db.all("t").unwrap();
+        assert_eq!(repaired.len(), 7);
+        let after = db.decode_cache_stats();
+        assert_eq!(after.misses, stats.misses, "patched, not re-decoded");
+        assert_eq!(after.delta_applies, stats.delta_applies + 1);
+        assert_eq!(db.clone().all("t").unwrap(), repaired);
     }
 
     #[test]

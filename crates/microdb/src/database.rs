@@ -325,7 +325,10 @@ impl Database {
         if let Some(e) = err {
             return Err(e);
         }
-        if log && self.wal.is_some() {
+        // A zero-row update does not bump the generation (see
+        // `Table::update_where`), so logging it would produce a record
+        // that replay always skips — don't.
+        if n > 0 && log && self.wal.is_some() {
             self.log_statement(
                 &Statement::Update {
                     table: table.to_owned(),
@@ -365,7 +368,8 @@ impl Database {
         if let Some(e) = err {
             return Err(e);
         }
-        if log && self.wal.is_some() {
+        // Mirrors `update_impl`: no generation bump, nothing to log.
+        if n > 0 && log && self.wal.is_some() {
             self.log_statement(
                 &Statement::Delete {
                     table: table.to_owned(),

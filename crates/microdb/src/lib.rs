@@ -53,6 +53,6 @@ pub use predicate::{resolve_column, CmpOp, Operand, Predicate};
 pub use query::{ExecStats, Query, ResultSet, SortOrder};
 pub use schema::{ColumnDef, Schema};
 pub use snapshot::{Snapshot, TableSnapshot};
-pub use table::{Row, Table};
+pub use table::{Row, RowDelta, Table};
 pub use value::{ColumnType, Value};
 pub use wal::{LineLog, ReplayStats, Statement, WriteLog};

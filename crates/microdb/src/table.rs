@@ -1,6 +1,6 @@
 //! Physical tables: row storage plus hash indexes.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use crate::error::{DbError, DbResult};
 use crate::schema::Schema;
@@ -8,6 +8,82 @@ use crate::value::Value;
 
 /// A stored row: one value per schema column.
 pub type Row = Vec<Value>;
+
+/// One logical write, recorded in the table's change journal. Each
+/// generation bump produces exactly one delta, so a caching layer
+/// holding a snapshot at generation `g` can replay
+/// [`Table::deltas_since`]`(g)` instead of re-reading every row.
+///
+/// Deltas are self-contained: rewrites and removals carry the *old*
+/// row images, so consumers can invalidate derived per-row state (e.g.
+/// decoded-object memos keyed by a column of the old row) without
+/// consulting any other copy of the table.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RowDelta {
+    /// A row appended at the end of the table (physical position =
+    /// previous row count), auto-increment columns already resolved.
+    Append(Row),
+    /// In-place rewrites: `(physical index, old row, new row)` for
+    /// every row the update matched, in ascending index order.
+    Rewrite(Vec<(usize, Row, Row)>),
+    /// Removals: `(pre-removal physical index, removed row)` in
+    /// ascending index order. Replaying requires removing in
+    /// *descending* order so earlier indices stay valid.
+    Remove(Vec<(usize, Row)>),
+}
+
+impl RowDelta {
+    /// Rows touched — the unit the journal's sliding window is
+    /// bounded in.
+    fn cost(&self) -> usize {
+        match self {
+            RowDelta::Append(_) => 1,
+            RowDelta::Rewrite(v) => v.len(),
+            RowDelta::Remove(v) => v.len(),
+        }
+    }
+}
+
+/// Rows (not entries) a table's change journal retains before the
+/// oldest deltas slide out of the window. Sized so the common
+/// single-row write stream keeps ~a thousand generations replayable
+/// while a bulk rewrite of a huge table evicts itself immediately —
+/// consumers always fall back to a full re-read when the window has
+/// slid past their snapshot.
+const JOURNAL_ROW_BUDGET: usize = 1024;
+
+/// Bounded sliding window of [`RowDelta`]s. Entry `i` describes the
+/// write that produced generation `first + i`.
+#[derive(Clone, Debug, Default)]
+struct ChangeJournal {
+    /// Generation of the oldest retained entry.
+    first: u64,
+    entries: VecDeque<RowDelta>,
+    /// Sum of `cost()` over `entries`.
+    cost: usize,
+}
+
+impl ChangeJournal {
+    fn starting_at(first: u64) -> ChangeJournal {
+        ChangeJournal {
+            first,
+            entries: VecDeque::new(),
+            cost: 0,
+        }
+    }
+
+    fn push(&mut self, delta: RowDelta) {
+        self.cost += delta.cost();
+        self.entries.push_back(delta);
+        while self.cost > JOURNAL_ROW_BUDGET {
+            let Some(old) = self.entries.pop_front() else {
+                break;
+            };
+            self.cost -= old.cost();
+            self.first += 1;
+        }
+    }
+}
 
 /// A hash index over a single column.
 #[derive(Clone, Debug, Default)]
@@ -34,10 +110,13 @@ impl HashIndex {
 /// index probe. Indexes update incrementally on insert and rebuild
 /// lazily after updates/deletes.
 ///
-/// Every mutating call also bumps a monotonic [`Table::generation`]
-/// stamp, giving caching layers (e.g. the FORM's decoded-row cache) a
-/// cheap staleness check: a cache entry captured at generation `g` is
-/// valid exactly while `generation() == g`.
+/// Every mutation that changes at least one row bumps a monotonic
+/// [`Table::generation`] stamp and records a [`RowDelta`] in a bounded
+/// change journal, giving caching layers (e.g. the FORM's decoded-row
+/// cache) both a cheap staleness check — a cache entry captured at
+/// generation `g` is valid exactly while `generation() == g` — and a
+/// cheap *repair* path: [`Table::deltas_since`]`(g)` replays the
+/// writes between a stale snapshot and the present.
 #[derive(Clone, Debug)]
 pub struct Table {
     name: String,
@@ -46,6 +125,7 @@ pub struct Table {
     indexes: Vec<HashIndex>,
     next_auto: i64,
     generation: u64,
+    journal: ChangeJournal,
 }
 
 impl Table {
@@ -59,17 +139,35 @@ impl Table {
             indexes: Vec::new(),
             next_auto: 1,
             generation: 0,
+            journal: ChangeJournal::starting_at(1),
         }
     }
 
     /// The table's monotonic write stamp: bumped by every call to
-    /// [`Table::insert`], [`Table::update_where`] and
-    /// [`Table::delete_where`] (even ones that end up matching no
-    /// rows — the contract is conservative so cache layers never have
-    /// to reason about whether a write was a no-op).
+    /// [`Table::insert`], and by [`Table::update_where`] /
+    /// [`Table::delete_where`] **when at least one row changed**. A
+    /// write that matches zero rows leaves the stamp (and therefore
+    /// every warm cache slot keyed on it) untouched — the stamp
+    /// changes exactly when the physical rows do, which is also the
+    /// invariant the change journal depends on: one [`RowDelta`] per
+    /// bump.
     #[must_use]
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// The deltas for generations `g+1 ..= generation()`, oldest
+    /// first — what a consumer holding a snapshot at generation `g`
+    /// must replay to catch up. Returns `None` when the journal's
+    /// sliding window no longer reaches back to `g` (or `g` is from
+    /// the future); the caller falls back to a full re-read, so
+    /// correctness never depends on journal retention.
+    pub fn deltas_since(&self, g: u64) -> Option<impl Iterator<Item = &RowDelta>> {
+        if g > self.generation || g + 1 < self.journal.first {
+            return None;
+        }
+        let skip = usize::try_from(g + 1 - self.journal.first).ok()?;
+        Some(self.journal.entries.iter().skip(skip))
     }
 
     /// The table name.
@@ -154,6 +252,7 @@ impl Table {
                     .push(pos);
             }
         }
+        self.journal.push(RowDelta::Append(values.clone()));
         self.rows.push(values);
         Ok(pos)
     }
@@ -185,17 +284,20 @@ impl Table {
             }
             resolved.push((ix, v.clone()));
         }
-        self.generation += 1;
-        let mut n = 0;
-        for row in &mut self.rows {
+        let mut rewrites = Vec::new();
+        for (i, row) in self.rows.iter_mut().enumerate() {
             if pred(row) {
+                let old = row.clone();
                 for (ix, v) in &resolved {
                     row[*ix] = v.clone();
                 }
-                n += 1;
+                rewrites.push((i, old, row.clone()));
             }
         }
+        let n = rewrites.len();
         if n > 0 {
+            self.generation += 1;
+            self.journal.push(RowDelta::Rewrite(rewrites));
             for index in &mut self.indexes {
                 index.dirty = true;
             }
@@ -206,11 +308,20 @@ impl Table {
     /// Deletes every row satisfying `pred`; returns how many were
     /// removed.
     pub fn delete_where(&mut self, mut pred: impl FnMut(&Row) -> bool) -> usize {
-        self.generation += 1;
-        let before = self.rows.len();
-        self.rows.retain(|r| !pred(r));
-        let removed = before - self.rows.len();
+        let mut removals = Vec::new();
+        let mut i = 0;
+        self.rows.retain(|r| {
+            let keep = !pred(r);
+            if !keep {
+                removals.push((i, r.clone()));
+            }
+            i += 1;
+            keep
+        });
+        let removed = removals.len();
         if removed > 0 {
+            self.generation += 1;
+            self.journal.push(RowDelta::Remove(removals));
             for index in &mut self.indexes {
                 index.dirty = true;
             }
@@ -297,7 +408,11 @@ impl Table {
     /// stamp and auto-increment cursor — the restore half of the
     /// snapshot subsystem. Every row is validated against the schema;
     /// indexes are *not* created here (callers re-declare them via
-    /// [`Table::create_index`], which builds eagerly).
+    /// [`Table::create_index`], which builds eagerly). The change
+    /// journal restarts empty at `generation + 1`: deltas from before
+    /// the snapshot are unreplayable (consumers at older generations
+    /// fall back to a full read), while writes replayed on top — e.g.
+    /// WAL records after a restore — journal normally.
     ///
     /// # Errors
     ///
@@ -319,6 +434,7 @@ impl Table {
             indexes: Vec::new(),
             next_auto,
             generation,
+            journal: ChangeJournal::starting_at(generation + 1),
         })
     }
 }
@@ -465,18 +581,29 @@ mod tests {
     }
 
     #[test]
-    fn generation_bumps_on_every_write() {
+    fn generation_bumps_exactly_when_rows_change() {
         let mut t = people();
         let g0 = t.generation();
         assert_eq!(g0, 3, "three seed inserts");
         t.insert(vec![Value::Null, "dave".into(), Value::Int(40)])
             .unwrap();
         assert_eq!(t.generation(), g0 + 1);
+        // Regression: writes that match zero rows must NOT bump — a
+        // spurious bump evicts warm cache slots for no reason.
         t.update_where(|_| false, &[("age".to_owned(), Value::Int(1))])
             .unwrap();
-        assert_eq!(t.generation(), g0 + 2, "no-op updates still bump");
+        assert_eq!(t.generation(), g0 + 1, "no-op updates must not bump");
         t.delete_where(|_| false);
-        assert_eq!(t.generation(), g0 + 3, "no-op deletes still bump");
+        assert_eq!(t.generation(), g0 + 1, "no-op deletes must not bump");
+        // Effective update/delete writes do bump.
+        t.update_where(
+            |r| r[1] == Value::from("dave"),
+            &[("age".to_owned(), Value::Int(41))],
+        )
+        .unwrap();
+        assert_eq!(t.generation(), g0 + 2);
+        t.delete_where(|r| r[1] == Value::from("dave"));
+        assert_eq!(t.generation(), g0 + 3);
         // Reads and index maintenance never bump.
         t.create_index("age").unwrap();
         let _ = t.index_probe("age", &Value::Int(40));
@@ -485,6 +612,117 @@ mod tests {
         // Failed validation mutates nothing and does not bump.
         assert!(t.insert(vec![Value::Null, Value::Int(5)]).is_err());
         assert_eq!(t.generation(), g0 + 3);
+    }
+
+    /// Replays `deltas` on top of `rows`, the way a cache layer would.
+    fn apply_deltas(rows: &mut Vec<Row>, deltas: Vec<RowDelta>) {
+        for d in deltas {
+            match d {
+                RowDelta::Append(row) => rows.push(row),
+                RowDelta::Rewrite(rw) => {
+                    for (ix, _, new) in rw {
+                        rows[ix] = new;
+                    }
+                }
+                RowDelta::Remove(rm) => {
+                    for (ix, _) in rm.into_iter().rev() {
+                        rows.remove(ix);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deltas_since_replays_to_current_rows() {
+        let mut t = people();
+        let g0 = t.generation();
+        let mut snapshot = t.rows().to_vec();
+        t.insert(vec![Value::Null, "dave".into(), Value::Int(40)])
+            .unwrap();
+        t.update_where(
+            |r| r[2] == Value::Int(30),
+            &[("age".to_owned(), Value::Int(31))],
+        )
+        .unwrap();
+        t.delete_where(|r| r[1] == Value::from("bob"));
+        let deltas: Vec<RowDelta> = t.deltas_since(g0).unwrap().cloned().collect();
+        assert_eq!(deltas.len(), 3, "one delta per generation bump");
+        apply_deltas(&mut snapshot, deltas);
+        assert_eq!(snapshot, t.rows());
+        // Old row images ride along on rewrites and removals.
+        let deltas: Vec<RowDelta> = t.deltas_since(g0).unwrap().cloned().collect();
+        match &deltas[1] {
+            RowDelta::Rewrite(rw) => {
+                assert_eq!(rw.len(), 2);
+                assert_eq!(rw[0].1[2], Value::Int(30), "old image preserved");
+                assert_eq!(rw[0].2[2], Value::Int(31));
+            }
+            other => panic!("expected rewrite, got {other:?}"),
+        }
+        match &deltas[2] {
+            RowDelta::Remove(rm) => assert_eq!(rm[0].1[1], Value::from("bob")),
+            other => panic!("expected remove, got {other:?}"),
+        }
+        // Caught-up consumers get an empty (but present) window.
+        assert_eq!(t.deltas_since(t.generation()).unwrap().count(), 0);
+        // Future generations are unanswerable.
+        assert!(t.deltas_since(t.generation() + 1).is_none());
+    }
+
+    #[test]
+    fn journal_window_slides_and_reports_overflow() {
+        let schema = Schema::new(vec![
+            ColumnDef::new("id", ColumnType::Int).auto_increment(),
+            ColumnDef::new("k", ColumnType::Int),
+        ]);
+        let mut t = Table::new("t", schema);
+        let total = JOURNAL_ROW_BUDGET + 64;
+        for i in 0..total {
+            t.insert(vec![Value::Null, Value::Int(i as i64)]).unwrap();
+        }
+        // Generation 0 slid out of the window long ago.
+        assert!(t.deltas_since(0).is_none());
+        // The newest JOURNAL_ROW_BUDGET generations stay replayable.
+        let g = t.generation() - JOURNAL_ROW_BUDGET as u64;
+        let kept: Vec<RowDelta> = t.deltas_since(g).unwrap().cloned().collect();
+        assert_eq!(kept.len(), JOURNAL_ROW_BUDGET);
+        let mut snapshot = t.rows()[..total - JOURNAL_ROW_BUDGET].to_vec();
+        apply_deltas(&mut snapshot, kept);
+        assert_eq!(snapshot, t.rows());
+        assert!(t.deltas_since(g - 1).is_none(), "window edge is exact");
+        // A bulk rewrite larger than the whole budget evicts itself:
+        // nothing older than "now" is replayable afterwards.
+        t.update_where(|_| true, &[("k".to_owned(), Value::Int(-1))])
+            .unwrap();
+        assert!(t.deltas_since(t.generation() - 1).is_none());
+        assert_eq!(t.deltas_since(t.generation()).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn restored_table_journals_fresh_writes_only() {
+        let t = people();
+        let restored = Table::from_parts(
+            t.name(),
+            t.schema().clone(),
+            t.rows().to_vec(),
+            t.next_auto(),
+            t.generation(),
+        )
+        .unwrap();
+        let g = restored.generation();
+        // Pre-snapshot history is gone...
+        assert!(restored.deltas_since(g - 1).is_none());
+        // ...but the restored stamp itself is a valid (empty) window,
+        // and writes on top journal normally.
+        assert_eq!(restored.deltas_since(g).unwrap().count(), 0);
+        let mut restored = restored;
+        restored
+            .insert(vec![Value::Null, "dave".into(), Value::Int(40)])
+            .unwrap();
+        let deltas: Vec<RowDelta> = restored.deltas_since(g).unwrap().cloned().collect();
+        assert_eq!(deltas.len(), 1);
+        assert!(matches!(&deltas[0], RowDelta::Append(r) if r[1] == Value::from("dave")));
     }
 
     #[test]

@@ -644,6 +644,73 @@ mod tests {
     }
 
     #[test]
+    fn replayed_inserts_advance_the_auto_increment_cursor() {
+        // The restore-then-insert hazard: WAL records store rows "as
+        // stored" (auto-increment columns resolved), so a restore
+        // whose cursor trailed the replayed rows would hand out
+        // duplicate ids on the next insert.
+        let path = temp_path("cursor");
+        let _ = std::fs::remove_file(&path);
+        let mut db = fresh_db();
+        let snapshot = db.snapshot(); // cursor = 1 in the baseline
+        db.attach_wal(Arc::new(WriteLog::open(&path).unwrap()));
+        for s in ["one", "two", "three"] {
+            db.insert("t", vec![Value::Null, Value::from(s)]).unwrap();
+        }
+        assert_eq!(db.table("t").unwrap().next_auto(), 4);
+
+        let mut restored = Database::new();
+        restored.restore(&snapshot).unwrap();
+        WriteLog::replay(&path, &mut restored).unwrap();
+        assert_eq!(
+            restored.table("t").unwrap().next_auto(),
+            4,
+            "replayed explicit ids must advance the cursor"
+        );
+        // The next Null insert gets a fresh id, not a duplicate.
+        let pos = restored
+            .insert("t", vec![Value::Null, Value::from("four")])
+            .unwrap();
+        assert_eq!(restored.table("t").unwrap().rows()[pos][0], Value::Int(4));
+        let ids: Vec<i64> = restored
+            .table("t")
+            .unwrap()
+            .rows()
+            .iter()
+            .map(|r| r[0].as_int().unwrap())
+            .collect();
+        assert_eq!(ids, vec![1, 2, 3, 4], "no id collision after restore");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn no_op_updates_and_deletes_are_not_logged() {
+        // A zero-row write does not bump the generation, so its record
+        // would always be skipped on replay — the log must not grow.
+        let path = temp_path("noop");
+        let _ = std::fs::remove_file(&path);
+        let mut db = fresh_db();
+        db.attach_wal(Arc::new(WriteLog::open(&path).unwrap()));
+        db.insert("t", vec![Value::Null, Value::from("row")])
+            .unwrap();
+        db.update(
+            "t",
+            &Predicate::eq(Operand::col("x"), Operand::lit("absent")),
+            &[("x".to_owned(), Value::from("y"))],
+        )
+        .unwrap();
+        db.delete(
+            "t",
+            &Predicate::eq(Operand::col("x"), Operand::lit("absent")),
+        )
+        .unwrap();
+        let (lines, complete_tail) = LineLog::read_lines(&path).unwrap().unwrap();
+        assert!(complete_tail);
+        assert_eq!(lines.len(), 1, "only the insert was logged");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn torn_tail_is_discarded_but_midfile_corruption_is_an_error() {
         let path = temp_path("torn");
         std::fs::write(

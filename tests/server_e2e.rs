@@ -263,3 +263,18 @@ fn auth_gates_the_wire_path() {
     assert!(queue_us < 60_000_000 && service_us < 60_000_000);
     server.shutdown();
 }
+
+#[test]
+fn get_on_a_write_route_is_405_with_allow_post() {
+    let server = start(serve::conference_site(workload::conference(4, 2).app));
+    let mut user = Client::connect(server.addr());
+    user.login(2);
+    let refused = user.get("papers/submit?title=crawled");
+    assert_eq!(refused.status, 405, "write routes only answer POST");
+    assert_eq!(
+        refused.header("allow"),
+        Some("POST"),
+        "RFC 9110: 405 names the allowed methods on the wire"
+    );
+    server.shutdown();
+}
