@@ -443,6 +443,13 @@ pub fn router() -> Router {
             _ => Response::bad_request("reviews/submit requires numeric paper and score"),
         }
     });
+    // Render-cache key canonicalization: the object pages read only
+    // `id`, the list pages read nothing — stray params and
+    // denormalized ids (`id=07`) fold onto one cached entry.
+    r.canonicalize_int_params("papers/one", &["id"]);
+    r.canonicalize_int_params("users/one", &["id"]);
+    r.canonicalize_int_params("papers/all", &[]);
+    r.canonicalize_int_params("users/all", &[]);
     r
 }
 

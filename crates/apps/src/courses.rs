@@ -331,6 +331,12 @@ pub fn router() -> Router {
             }
         },
     );
+    // Render-cache key canonicalization (see the conf router): only
+    // `id` distinguishes submission pages; the course lists read no
+    // params at all.
+    r.canonicalize_int_params("submissions/one", &["id"]);
+    r.canonicalize_int_params("courses/all", &[]);
+    r.canonicalize_int_params("courses/all_unpruned", &[]);
     r
 }
 

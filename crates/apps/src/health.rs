@@ -174,6 +174,10 @@ pub fn router() -> Router {
             _ => Response::bad_request("waivers/set requires numeric record and grantee"),
         }
     });
+    // Render-cache key canonicalization: record pages key on `id`
+    // alone, the summary page on nothing.
+    r.canonicalize_int_params("records/one", &["id"]);
+    r.canonicalize_int_params("records/all", &[]);
     r
 }
 

@@ -488,6 +488,152 @@ fn delta_maintenance_differential_all_pages_under_writes() {
     );
 }
 
+/// Render-cache differential + adversarial per-viewer key safety: the
+/// full all-pages × all-viewers conference grid served through the
+/// executor with the render cache ON must be byte-identical to a
+/// cache-OFF twin *and* to the hand-coded vanilla baseline, across
+/// interleaved writes (paper insert, review insert, phase flip). The
+/// serving order is adversarial on purpose: by the time any viewer
+/// requests a page, the cache is already warm with *other* viewers'
+/// renders of that same page — a key that under-distinguished viewers
+/// would serve one viewer's bytes to another and break the grid
+/// against the baseline immediately.
+#[test]
+fn render_cache_differential_all_pages_all_viewers_under_writes() {
+    use jacqueline::{Executor, Request};
+    let on = workload::conference(10, 8);
+    let off = workload::conference(10, 8);
+    let app_on = on.app;
+    let app_off = off.app;
+    let mut vanilla = on.vanilla;
+    assert!(
+        app_off.set_render_cache(false),
+        "the ablation flag reports the previous (enabled) state"
+    );
+    let router = apps::conf::router();
+    let viewers: Vec<Viewer> = std::iter::once(Viewer::Anonymous)
+        .chain((1..=10).map(Viewer::User))
+        .collect();
+
+    let grid = |app: &jacqueline::App, papers: &[i64]| -> Vec<String> {
+        let mut requests = Vec::new();
+        for viewer in &viewers {
+            requests.push(Request::new("papers/all", viewer.clone()));
+            requests.push(Request::new("users/all", viewer.clone()));
+            for paper in papers {
+                requests.push(
+                    Request::new("papers/one", viewer.clone()).with_param("id", &paper.to_string()),
+                );
+            }
+            for user in 1..=10 {
+                requests.push(
+                    Request::new("users/one", viewer.clone()).with_param("id", &user.to_string()),
+                );
+            }
+        }
+        Executor::sequential()
+            .run(app, &router, &requests)
+            .into_iter()
+            .map(|r| {
+                assert_eq!(r.status, 200);
+                r.body
+            })
+            .collect()
+    };
+    let baseline = |vanilla: &mut apps::conf_vanilla::ConfVanilla,
+                    viewers: &[Viewer],
+                    papers: &[i64]|
+     -> Vec<String> {
+        let mut pages = Vec::new();
+        for viewer in viewers {
+            pages.push(vanilla.all_papers(viewer));
+            pages.push(vanilla.all_users(viewer));
+            for paper in papers {
+                pages.push(vanilla.single_paper(viewer, *paper));
+            }
+            for user in 1..=10 {
+                pages.push(vanilla.single_user(viewer, user));
+            }
+        }
+        pages
+    };
+
+    let mut papers: Vec<i64> = (1..=8).collect();
+    // Cold pass populates, warm pass must serve the same bytes back.
+    let cold = grid(&app_on, &papers);
+    let warm = grid(&app_on, &papers);
+    assert_eq!(warm, cold, "hits must replay the rendered bytes exactly");
+    let warm_stats = app_on.render_cache_stats();
+    assert_eq!(
+        warm_stats.hits as usize,
+        cold.len(),
+        "the second pass must be all hits"
+    );
+    assert_eq!(grid(&app_off, &papers), cold, "cache-off twin agrees");
+    assert_eq!(
+        baseline(&mut vanilla, &viewers, &papers),
+        cold,
+        "hand-coded baseline agrees"
+    );
+    let off_stats = app_off.render_cache_stats();
+    assert_eq!(
+        (off_stats.hits, off_stats.misses),
+        (0, 0),
+        "the ablated twin never consults the cache"
+    );
+
+    // Interleaved writes, mirrored into all three worlds.
+    let stages: Vec<&str> = vec!["after paper insert", "after review", "after phase flip"];
+    for stage in stages {
+        match stage {
+            "after paper insert" => {
+                let a = apps::conf::submit_paper(&app_on, &Viewer::User(3), "Cache paper").unwrap();
+                let b =
+                    apps::conf::submit_paper(&app_off, &Viewer::User(3), "Cache paper").unwrap();
+                let v = vanilla.submit_paper(&Viewer::User(3), "Cache paper");
+                assert_eq!((a, b), (v, v), "paper ids line up");
+                papers.push(a);
+            }
+            "after review" => {
+                let paper = *papers.last().unwrap();
+                let a =
+                    apps::conf::submit_review(&app_on, &Viewer::User(2), paper, 2, "ok").unwrap();
+                let b =
+                    apps::conf::submit_review(&app_off, &Viewer::User(2), paper, 2, "ok").unwrap();
+                let v = vanilla.submit_review(&Viewer::User(2), paper, 2, "ok");
+                assert_eq!((a, b), (v, v), "review ids line up");
+            }
+            "after phase flip" => {
+                apps::conf::set_phase(&app_on, apps::conf::PHASE_FINAL).unwrap();
+                apps::conf::set_phase(&app_off, apps::conf::PHASE_FINAL).unwrap();
+                vanilla.set_phase(apps::conf::PHASE_FINAL);
+            }
+            _ => unreachable!(),
+        }
+        // Double pass on the cached app: the first re-validates and
+        // re-renders what the write invalidated, the second must hit —
+        // and every byte must match the ablated twin and the baseline.
+        let first = grid(&app_on, &papers);
+        let second = grid(&app_on, &papers);
+        assert_eq!(second, first, "{stage}: warm pass replays bytes");
+        assert_eq!(grid(&app_off, &papers), first, "{stage}: cache-off twin");
+        assert_eq!(
+            baseline(&mut vanilla, &viewers, &papers),
+            first,
+            "{stage}: baseline"
+        );
+    }
+    let final_stats = app_on.render_cache_stats();
+    assert!(
+        final_stats.invalidated > 0,
+        "the writes must actually invalidate stamped entries"
+    );
+    assert!(
+        final_stats.hits > warm_stats.hits,
+        "post-write passes must re-warm and hit again"
+    );
+}
+
 /// Cache differential across *mutation*: pages rendered after a write
 /// agree between cached and uncached apps (the cache must invalidate,
 /// not serve stale facets).

@@ -13,10 +13,12 @@
 //! sizes), and only tables whose name starts with `--prefix`
 //! (default `table3_`, the unmarshalling stress tables this repo
 //! optimizes; CI runs further passes with `--prefix e2e_` to gate
-//! the HTTP front-end's served / in-process overhead ratio and
+//! the HTTP front-end's served / in-process overhead ratio,
 //! `--prefix table3_write_mix --min-median 0.000001` to gate the
 //! deltas_on / deltas_off write-mix speedup, whose numerator medians
-//! sit below the default noise floor by design).
+//! sit below the default noise floor by design, and `--prefix
+//! render_ --min-median 0.0000005` to gate the render_on /
+//! render_off hit-path speedup of the render cache).
 //!
 //! The default mode is `ratio`: for every sweep size it compares the
 //! **jacqueline / baseline overhead ratio** of the fresh run against
@@ -141,18 +143,21 @@ fn comparisons(
             continue;
         }
         // Ratio mode: pair each numerator label with its denominator
-        // twin, in both files. Three label conventions exist:
+        // twin, in both files. Four label conventions exist:
         // "<size> jacqueline" / "<size> baseline" (the faceted
         // overhead of the paper's tables), "<page> served" /
         // "<page> inprocess" (the socket-path overhead of the HTTP
-        // front-end), and "<size> deltas_on" / "<size> deltas_off"
-        // (the write-mix win of decode-cache delta maintenance). The
-        // third field marks overhead pairs whose committed ratio is
-        // clamped at parity — see below.
-        const RATIO_PAIRS: [(&str, &str, bool); 3] = [
+        // front-end), "<size> deltas_on" / "<size> deltas_off" (the
+        // write-mix win of decode-cache delta maintenance), and
+        // "<mix> render_on" / "<mix> render_off" (the hit-path win of
+        // the generation-validated render cache). The third field
+        // marks overhead pairs whose committed ratio is clamped at
+        // parity — see below.
+        const RATIO_PAIRS: [(&str, &str, bool); 4] = [
             (" jacqueline", " baseline", true),
             (" served", " inprocess", true),
             (" deltas_on", " deltas_off", false),
+            (" render_on", " render_off", false),
         ];
         let Some((size, den_suffix, clamp)) = RATIO_PAIRS
             .iter()

@@ -4,8 +4,9 @@
 //!
 //! Run with `cargo run --release -p jbench --bin experiments -- --all`
 //! (or a subset: `--fig6 --fig9a --fig9b --fig9c --table3 --table4
-//! --table5 --memo --concurrent --cache --deltas --locks --load
-//! --checkpoint`). `--smoke` shrinks the sweeps for CI; `--serve
+//! --table5 --memo --concurrent --cache --deltas --render-cache
+//! --locks --load --checkpoint`). `--smoke` shrinks the sweeps for
+//! CI; `--serve
 //! [--port N]` skips measurement and serves the conference app over
 //! HTTP until killed. `--load` measures the socket path: the served
 //! vs in-process overhead table (gated in CI) and the open-loop load
@@ -42,7 +43,7 @@ struct Config {
 
 /// The flags that select individual tables; any other flag is a
 /// modifier. Running with no table flag at all means `--all`.
-const TABLE_FLAGS: [&str; 14] = [
+const TABLE_FLAGS: [&str; 15] = [
     "--fig6",
     "--fig9a",
     "--fig9b",
@@ -54,6 +55,7 @@ const TABLE_FLAGS: [&str; 14] = [
     "--concurrent",
     "--cache",
     "--deltas",
+    "--render-cache",
     "--locks",
     "--load",
     "--checkpoint",
@@ -117,6 +119,9 @@ fn main() {
     }
     if want("--deltas") {
         delta_ablation(&cfg, &mut report);
+    }
+    if want("--render-cache") {
+        render_cache_mix(&cfg, &mut report);
     }
     if want("--locks") {
         lock_contention(&cfg, &mut report);
@@ -673,6 +678,133 @@ fn delta_ablation(cfg: &Config, report: &mut Report) {
     }
 }
 
+/// Render-cache ablation (`render_cache_read_mix`, CI-gated on the
+/// `render_` prefix): the conference page mix through the sequential
+/// executor with the generation-validated render cache on vs off.
+///
+/// Two mixes per size. The *read* mix replays a fixed
+/// [`workload::conference_requests`] batch — after the untimed
+/// warm-up call every `(page, viewer)` key is populated, so the "on"
+/// arm measures steady-state hits (lock + generation check + byte
+/// clone) against full policy renders. The *25%-write* mix submits a
+/// paper every 4th request: each write moves the `paper` table's
+/// generation, so `papers/all` re-renders on its next touch while the
+/// `users/one` pages keep hitting — the honest invalidation-cost
+/// number, on a fresh app per rep (the writes grow the tables).
+///
+/// Reps are floored at 15: the hit-path medians feed the CI gate.
+fn render_cache_mix(cfg: &Config, report: &mut Report) {
+    println!("\n==== Render-cache ablation: conference page mix, cache on vs off ====");
+    let reps = cfg.reps.max(15);
+    let executor = Executor::sequential();
+    let router = conf::router();
+    print_row(&[
+        "Mix / size".into(),
+        "render off".into(),
+        "render on".into(),
+        "speedup".into(),
+    ]);
+    let users = 16;
+    let n_requests = 64;
+    for &n in &cfg.sweep {
+        let requests = workload::conference_requests(n_requests, users, n);
+        let run = |enabled: bool, report: &mut Report, label: &str| {
+            let app = workload::conference(users, n).app;
+            if !enabled {
+                app.set_render_cache(false);
+            }
+            measure(report, "render_cache_read_mix", label, reps, || {
+                std::hint::black_box(executor.run(&app, &router, &requests));
+            })
+        };
+        let off = run(false, report, &format!("read papers={n} render_off"));
+        let on = run(true, report, &format!("read papers={n} render_on"));
+        print_row(&[
+            format!("read {n}"),
+            fmt_secs(off),
+            fmt_secs(on),
+            format!("{:.1}x", off / on),
+        ]);
+    }
+    // The 25%-write mix at two fixed sizes (one under --smoke): the
+    // gate compares labels shared between the smoke and committed
+    // runs, so the small size appears in both.
+    let write_sizes: &[usize] = if cfg.smoke { &[16] } else { &[16, 256] };
+    for &n in write_sizes {
+        let mix: Vec<jacqueline::Request> = (0..n_requests)
+            .map(|i| {
+                let viewer = Viewer::User(1 + (i % users) as i64);
+                match i % 4 {
+                    0 => jacqueline::Request::new("papers/submit", viewer)
+                        .with_param("title", &format!("render-mix paper {i}")),
+                    1 => jacqueline::Request::new("papers/all", viewer),
+                    _ => jacqueline::Request::new("users/one", viewer)
+                        .with_param("id", &(1 + (i % users) as i64).to_string()),
+                }
+            })
+            .collect();
+        // The two arms sit near parity here (the invalidated
+        // `papers/all` re-renders dominate the batch), so back-to-back
+        // arm runs would let environmental drift — the global interner
+        // and memo tables grow monotonically across a long bench run —
+        // masquerade as a difference. Interleave the arms rep by rep
+        // instead: both see the same drift, and the ratio stays
+        // honest. A fresh app per rep (built and dropped outside the
+        // clock): each rep's paper submissions grow the tables the
+        // next rep would measure.
+        let build = |enabled: bool| {
+            let app = workload::conference(users, n).app;
+            if !enabled {
+                app.set_render_cache(false);
+            }
+            app
+        };
+        let mut samples: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
+        for arm in 0..2 {
+            let app = build(arm == 1);
+            let _ = executor.run(&app, &router, &mix); // untimed warm-up
+        }
+        for _ in 0..reps {
+            for (arm, sink) in samples.iter_mut().enumerate() {
+                let app = build(arm == 1);
+                let clock = Instant::now();
+                std::hint::black_box(executor.run(&app, &router, &mix));
+                sink.push(clock.elapsed().as_secs_f64());
+            }
+        }
+        let off = percentile(&samples[0], 50.0);
+        let on = percentile(&samples[1], 50.0);
+        report.record(
+            "render_cache_read_mix",
+            &format!("write25 papers={n} render_off"),
+            off,
+        );
+        report.record(
+            "render_cache_read_mix",
+            &format!("write25 papers={n} render_on"),
+            on,
+        );
+        print_row(&[
+            format!("write25 {n}"),
+            fmt_secs(off),
+            fmt_secs(on),
+            format!("{:.1}x", off / on),
+        ]);
+    }
+    // Counter footer: one warm batch, so the hit/invalidation traffic
+    // of the read mix is visible next to the medians.
+    let n = 64;
+    let app = workload::conference(users, n).app;
+    let requests = workload::conference_requests(n_requests, users, n);
+    let _ = executor.run(&app, &router, &requests);
+    let _ = executor.run(&app, &router, &requests);
+    let stats = app.render_cache_stats();
+    println!(
+        "  [render cache: {} hits / {} misses, {} invalidated, {} uncacheable]",
+        stats.hits, stats.misses, stats.invalidated, stats.uncacheable
+    );
+}
+
 /// A conservative router: the same conference controllers registered
 /// through the legacy no-footprint API, so every write serializes the
 /// whole app and reads exclude all declared tables — the pre-sharding
@@ -767,7 +899,16 @@ fn lock_contention(cfg: &Config, report: &mut Report) {
     // rep's inserts grow the tables the next rep measures.
     let fresh_apps = |n: usize| -> std::collections::VecDeque<jacqueline::App> {
         (0..n)
-            .map(|_| workload::conference(users, papers).app)
+            .map(|_| {
+                let app = workload::conference(users, papers).app;
+                // This table measures *locking* overhead on real
+                // renders; the render cache would replay bytes for
+                // repeated reads and erase the contention being
+                // measured (`render_cache_read_mix` measures the
+                // cache itself).
+                app.set_render_cache(false);
+                app
+            })
             .collect()
     };
     for (mix_name, requests) in &mixes {
@@ -829,6 +970,10 @@ fn concurrent(cfg: &Config, report: &mut Report) {
     let (users, papers, n_requests) = if smoke { (16, 24, 64) } else { (32, 48, 128) };
     let w = workload::conference(users, papers);
     let app = w.app;
+    // Throughput of real renders, not byte replays: with the render
+    // cache on, every repeated (page, viewer) pair would be a cache
+    // hit and the table would stop measuring executor scaling.
+    app.set_render_cache(false);
     let router = conf::router();
     let requests = workload::conference_requests(n_requests, users, papers);
     let mut base = None;
@@ -984,7 +1129,13 @@ fn logged_in_client(addr: std::net::SocketAddr, user: i64) -> HttpClient {
 }
 
 fn bench_server(users: usize, papers: usize) -> Server {
-    let site = apps::serve::conference_site(workload::conference(users, papers).app);
+    let app = workload::conference(users, papers).app;
+    // The socket tables measure parse + auth + queue + render +
+    // serialize per request; serving repeats from the render cache
+    // would collapse the gated served / in-process ratio. The cache's
+    // own win is measured by `render_cache_read_mix`.
+    app.set_render_cache(false);
+    let site = apps::serve::conference_site(app);
     Server::bind(
         site,
         "127.0.0.1:0",

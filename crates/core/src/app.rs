@@ -55,6 +55,10 @@ pub struct App {
     /// Request-level footprint locks, owned by the app so concurrent
     /// executor runs against the same app isolate against each other.
     pub(crate) request_locks: crate::executor::RequestLocks,
+    /// The generation-validated cache of rendered pages, consulted by
+    /// the executor under footprint locks (see
+    /// [`rendercache`](crate::rendercache)).
+    pub(crate) render_cache: crate::rendercache::RenderCache,
     /// The append-only metadata journal, when persistence is enabled
     /// (see [`App::enable_persistence`](crate::checkpoint)).
     pub(crate) journal: Option<std::sync::Arc<crate::checkpoint::MetaJournal>>,
@@ -74,9 +78,32 @@ impl App {
             policies: RwLock::new(HashMap::new()),
             object_labels: RwLock::new(HashMap::new()),
             request_locks: crate::executor::RequestLocks::default(),
+            render_cache: crate::rendercache::RenderCache::new(),
             journal: None,
             create_order: std::sync::Mutex::new(()),
         }
+    }
+
+    /// Switches the render cache on or off (ablation hook — the
+    /// `--render-cache` experiment tables and the differential grids
+    /// use this). Returns the previous setting; disabling drops every
+    /// stored page. Takes `&self`: unlike the decode cache this is
+    /// toggled on served apps behind `Arc`s.
+    pub fn set_render_cache(&self, enabled: bool) -> bool {
+        self.render_cache.set_enabled(enabled)
+    }
+
+    /// Whether the render cache is currently enabled.
+    #[must_use]
+    pub fn render_cache_enabled(&self) -> bool {
+        self.render_cache.enabled()
+    }
+
+    /// Render-cache hit/miss/invalidated/uncacheable counters since
+    /// construction.
+    #[must_use]
+    pub fn render_cache_stats(&self) -> crate::rendercache::RenderCacheStats {
+        self.render_cache.stats()
     }
 
     /// Registers a model, creating its backing table.

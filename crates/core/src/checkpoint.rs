@@ -893,6 +893,61 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    /// The render-cache restore contract, same as the decode cache's:
+    /// `restore_from` never flushes — it *revalidates*. An entry whose
+    /// generation vector matches the restored table stamps stays warm,
+    /// so the first read after a kill/restore round trip is a byte
+    /// hit, not a re-render; and a post-restore write still
+    /// invalidates it through the ordinary generation check.
+    #[test]
+    fn restore_keeps_matching_render_cache_entries_warm() {
+        use crate::http::{Request, Response, Router};
+        use crate::Executor;
+        let dir = temp_dir("render_warm");
+        let mut app = note_app();
+        app.enable_persistence(&dir).unwrap();
+        for i in 0..4 {
+            app.create("note", vec![Value::Int(i), Value::from(format!("n{i}"))])
+                .unwrap();
+        }
+        app.checkpoint_quiescent(&dir).unwrap();
+
+        let mut router = Router::new();
+        router.route_read_tables("notes", &["note"], |app: &App, req| {
+            Response::ok(page(app, &req.viewer))
+        });
+        let request = [Request::new("notes", Viewer::User(1))];
+        let cold = Executor::sequential()
+            .run(&app, &router, &request)
+            .remove(0);
+        let before = app.render_cache_stats();
+        assert_eq!((before.hits, before.misses), (0, 1));
+
+        // Kill/restore over the same live app: the table rewinds to
+        // the snapshot and WAL replay rolls it forward to exactly the
+        // generation the page was stamped under.
+        app.restore_from(&dir).unwrap();
+        let warm = Executor::sequential()
+            .run(&app, &router, &request)
+            .remove(0);
+        assert_eq!(warm, cold, "the warm hit serves the pre-kill bytes");
+        let stats = app.render_cache_stats();
+        assert_eq!(stats.hits, before.hits + 1, "warm across the restore");
+        assert_eq!(stats.misses, before.misses, "no re-render happened");
+        assert_eq!(stats.invalidated, 0);
+
+        // Revalidate, not blind trust: a post-restore write moves the
+        // generation and the stale page is dropped, not served.
+        app.create("note", vec![Value::Int(1), Value::from("post-restore")])
+            .unwrap();
+        let fresh = Executor::sequential()
+            .run(&app, &router, &request)
+            .remove(0);
+        assert!(fresh.body.contains("post-restore"));
+        assert_eq!(app.render_cache_stats().invalidated, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     /// Concurrent creates must leave the meta journal replayable:
     /// label allocation and the journal append happen under one
     /// guard, so records can never appear out of label-index order

@@ -36,6 +36,7 @@ use std::time::{Duration, Instant};
 
 use crate::app::App;
 use crate::http::{Footprint, Request, Response, Router};
+use crate::rendercache::{RenderCacheStatus, RenderKey};
 
 /// The application's request-lock table: one reader-writer lock per
 /// table ever declared by a route footprint, plus a global fallback
@@ -223,6 +224,48 @@ impl Executor {
     /// paths answer 404 without taking any lock, so stray requests
     /// cannot stall anyone.
     fn dispatch(app: &App, router: &Router, locks: &RequestLocks, request: &Request) -> Response {
+        Executor::dispatch_traced(app, router, locks, request).0
+    }
+
+    /// The render-cache key for a request: path, canonicalized params,
+    /// viewer. Canonicalization runs on a *copy* of the params — the
+    /// controller always sees the originals.
+    fn render_key(router: &Router, request: &Request) -> RenderKey {
+        let mut params = request.params.clone();
+        if let Some(canonicalize) = router.canonicalizer(&request.path) {
+            canonicalize(&mut params);
+        }
+        RenderKey {
+            path: request.path.clone(),
+            params: params.into_iter().collect(),
+            viewer: request.viewer.clone(),
+        }
+    }
+
+    /// [`Executor::dispatch`] plus how the render cache handled the
+    /// request (the server's `X-Render-Cache` header).
+    ///
+    /// Declared read routes consult the [`rendercache`] **after**
+    /// acquiring their shared footprint locks: a hit serves the stored
+    /// bytes without running the controller at all; a miss renders,
+    /// then stamps the entry with the footprint tables' generations —
+    /// read *while the locks are still held*, so no writer can bump a
+    /// generation between render and stamp and leave a stale page
+    /// validating as fresh.
+    ///
+    /// The debug-build `form::touched` checker stays honest across
+    /// hits even though a hit records nothing: cached bytes are only
+    /// ever produced by a checked render at miss time, and a route
+    /// whose footprint is under-declared panics on that first miss —
+    /// an unchecked render can never populate the cache.
+    ///
+    /// [`rendercache`]: crate::rendercache
+    pub(crate) fn dispatch_traced(
+        app: &App,
+        router: &Router,
+        locks: &RequestLocks,
+        request: &Request,
+    ) -> (Response, RenderCacheStatus) {
         if let Some(controller) = router.read_controller(&request.path) {
             let _global = locks.global.read().expect("global lock");
             let map = locks.tables.read().expect("lock-table map");
@@ -230,20 +273,56 @@ impl Executor {
             match footprint {
                 Some(fp) => {
                     let _tables = RequestLocks::acquire(&map, fp);
-                    Executor::call_checked(&request.path, footprint, || controller(app, request))
+                    let cache = &app.render_cache;
+                    if !cache.enabled() {
+                        let response = Executor::call_checked(&request.path, footprint, || {
+                            controller(app, request)
+                        });
+                        return (response, RenderCacheStatus::Bypass);
+                    }
+                    let key = Executor::render_key(router, request);
+                    let db = app.db.raw_ref();
+                    if let Some(response) = cache.lookup(&key, |table| db.generation(table).ok()) {
+                        return (response, RenderCacheStatus::Hit);
+                    }
+                    let response = Executor::call_checked(&request.path, footprint, || {
+                        controller(app, request)
+                    });
+                    // The stamp: footprint-table generations observed
+                    // under the same shared locks the render ran
+                    // under. A table the footprint names but the
+                    // database lacks (possible in synthetic tests)
+                    // makes the page unstampable — skip the store.
+                    let generations: Option<Vec<(String, u64)>> = fp
+                        .tables()
+                        .map(|t| db.generation(t).ok().map(|g| (t.to_owned(), g)))
+                        .collect();
+                    if let Some(generations) = generations {
+                        cache.store(key, generations, &response);
+                    }
+                    (response, RenderCacheStatus::Miss)
                 }
                 None => {
                     // Footprint-less read route: all-tables shared
                     // locks. The debug-build checker still runs under
                     // this (global-lock) fallback — such a route must
                     // not *write*, since it holds no exclusive lock
-                    // anywhere and would race declared readers.
+                    // anywhere and would race declared readers. With
+                    // no declared table set there is nothing to stamp
+                    // a cache entry with, so the route is uncacheable:
+                    // counted, never stored.
+                    if app.render_cache.enabled() {
+                        app.render_cache.note_uncacheable();
+                    }
                     let _tables = RequestLocks::acquire_all_shared(&map);
-                    Executor::call_read_only_checked(&request.path, || controller(app, request))
+                    let response = Executor::call_read_only_checked(&request.path, || {
+                        controller(app, request)
+                    });
+                    (response, RenderCacheStatus::Bypass)
                 }
             }
         } else if router.has_write_route(&request.path) {
-            match router.footprint(&request.path) {
+            let response = match router.footprint(&request.path) {
                 Some(fp) => {
                     let _global = locks.global.read().expect("global lock");
                     let map = locks.tables.read().expect("lock-table map");
@@ -255,9 +334,10 @@ impl Executor {
                     let _global = locks.global.write().expect("global lock");
                     router.handle(app, request)
                 }
-            }
+            };
+            (response, RenderCacheStatus::Bypass)
         } else {
-            Response::not_found()
+            (Response::not_found(), RenderCacheStatus::Bypass)
         }
     }
 
@@ -351,6 +431,8 @@ pub struct ServedResponse {
     /// Time the request spent executing (including footprint-lock
     /// acquisition — lock contention is service time, not queueing).
     pub service: Duration,
+    /// How the render cache handled the request (`X-Render-Cache`).
+    pub render_cache: RenderCacheStatus,
 }
 
 /// One queued request plus the channel its response goes back on.
@@ -443,11 +525,13 @@ impl ExecutorService {
             };
             let picked_up = Instant::now();
             let queued = picked_up.duration_since(job.enqueued);
-            let response = Executor::dispatch(&shared.app, &shared.router, locks, &job.request);
+            let (response, render_cache) =
+                Executor::dispatch_traced(&shared.app, &shared.router, locks, &job.request);
             let served = ServedResponse {
                 response,
                 queued,
                 service: picked_up.elapsed(),
+                render_cache,
             };
             // The submitter may have hung up (a dropped connection);
             // that loses the response, not the worker.
@@ -550,6 +634,7 @@ impl ExecutorService {
                 },
                 queued: job.enqueued.elapsed(),
                 service: Duration::ZERO,
+                render_cache: RenderCacheStatus::Bypass,
             });
         }
     }
@@ -894,6 +979,180 @@ mod tests {
         ];
         let responses = Executor::sequential().run(&app, &router, &requests);
         assert!(responses.iter().all(|r| r.status == 200));
+    }
+
+    #[test]
+    fn render_cache_serves_hits_until_a_write_invalidates() {
+        let app = note_app();
+        let router = note_router();
+        let read = |app: &App| {
+            Executor::sequential()
+                .run(app, &router, &[Request::new("notes", Viewer::User(1))])
+                .remove(0)
+        };
+        let cold = read(&app);
+        let warm = read(&app);
+        assert_eq!(warm, cold, "a hit serves the same bytes as the render");
+        let stats = app.render_cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.invalidated), (1, 1, 0));
+        // A real write to the footprint table moves its generation:
+        // the next read invalidates, re-renders, and re-caches.
+        let responses = Executor::sequential().run(
+            &app,
+            &router,
+            &[
+                Request::new("note/add", Viewer::User(1)),
+                Request::new("notes", Viewer::User(1)),
+                Request::new("notes", Viewer::User(1)),
+            ],
+        );
+        assert!(responses[1].body.contains("added"));
+        assert_eq!(responses[2], responses[1]);
+        let stats = app.render_cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.invalidated), (2, 2, 1));
+    }
+
+    #[test]
+    fn render_cache_keys_are_per_viewer() {
+        let app = note_app();
+        let router = note_router();
+        let pages: Vec<Response> = Executor::sequential().run(
+            &app,
+            &router,
+            &[
+                Request::new("notes", Viewer::User(1)),
+                Request::new("notes", Viewer::User(2)),
+                Request::new("notes", Viewer::Anonymous),
+            ],
+        );
+        // Three viewers, three private projections — none may share.
+        assert!(pages[0].body.contains("n1") && !pages[0].body.contains("n2"));
+        assert!(pages[1].body.contains("n2") && !pages[1].body.contains("n1"));
+        assert!(!pages[2].body.contains("n1") && !pages[2].body.contains("n2"));
+        let stats = app.render_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (0, 3), "no cross-viewer hits");
+    }
+
+    #[test]
+    fn render_cache_ablation_bypasses_and_restores() {
+        let app = note_app();
+        let router = note_router();
+        assert!(app.set_render_cache(false), "default is enabled");
+        let requests = vec![
+            Request::new("notes", Viewer::User(1)),
+            Request::new("notes", Viewer::User(1)),
+        ];
+        let off = Executor::sequential().run(&app, &router, &requests);
+        let stats = app.render_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (0, 0), "disabled = untouched");
+        assert!(!app.set_render_cache(true));
+        let on = Executor::sequential().run(&app, &router, &requests);
+        assert_eq!(on, off, "ablation changes cost, never bytes");
+        assert_eq!(app.render_cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn footprint_less_read_routes_are_counted_uncacheable() {
+        let app = note_app();
+        let mut router = note_router();
+        router.route_read("legacy/count", |app: &App, _| {
+            Response::ok(app.all("note").map(|r| r.len()).unwrap_or(0).to_string())
+        });
+        let requests = vec![
+            Request::new("legacy/count", Viewer::User(1)),
+            Request::new("legacy/count", Viewer::User(1)),
+        ];
+        let responses = Executor::sequential().run(&app, &router, &requests);
+        assert_eq!(responses[0], responses[1]);
+        let stats = app.render_cache_stats();
+        assert_eq!(stats.uncacheable, 2, "counted, not cached");
+        assert_eq!((stats.hits, stats.misses), (0, 0));
+    }
+
+    /// The PR 6 interaction pin: generation-silent no-op writes
+    /// (`update_where`/`delete_where` touching zero rows) must leave
+    /// render-cache entries valid — the generation vector never moved,
+    /// so hits keep hitting.
+    #[test]
+    fn no_op_writes_leave_render_cache_hits_hitting() {
+        use microdb::{Operand, Predicate};
+        let app = note_app();
+        let router = note_router();
+        let request = [Request::new("notes", Viewer::User(1))];
+        let _ = Executor::sequential().run(&app, &router, &request);
+        let _ = Executor::sequential().run(&app, &router, &request);
+        let before = app.render_cache_stats();
+        assert_eq!((before.hits, before.invalidated), (1, 0));
+        // Zero-row update and delete: PR 6 made these generation-silent.
+        let nobody = Predicate::eq(Operand::col("owner"), Operand::Lit(Value::Int(999)));
+        let updated = app
+            .db
+            .raw_ref()
+            .update(
+                "note",
+                &nobody,
+                &[("text".to_owned(), Value::from("never"))],
+            )
+            .unwrap();
+        let deleted = app.db.raw_ref().delete("note", &nobody).unwrap();
+        assert_eq!((updated, deleted), (0, 0));
+        let _ = Executor::sequential().run(&app, &router, &request);
+        let after = app.render_cache_stats();
+        assert_eq!(after.hits, before.hits + 1, "no-op writes must not evict");
+        assert_eq!(after.invalidated, 0);
+    }
+
+    #[test]
+    fn service_mode_reports_render_cache_status() {
+        let app = Arc::new(note_app());
+        let service = ExecutorService::start(Arc::clone(&app), Arc::new(note_router()), 2);
+        let first = service.serve(Request::new("notes", Viewer::User(1)));
+        assert_eq!(first.render_cache, RenderCacheStatus::Miss);
+        let second = service.serve(Request::new("notes", Viewer::User(1)));
+        assert_eq!(second.render_cache, RenderCacheStatus::Hit);
+        assert_eq!(second.response, first.response);
+        let write = service.serve(Request::new("note/add", Viewer::User(1)));
+        assert_eq!(write.render_cache, RenderCacheStatus::Bypass);
+        let miss = service.serve(Request::new("nope", Viewer::Anonymous));
+        assert_eq!(miss.render_cache, RenderCacheStatus::Bypass);
+        service.shutdown();
+    }
+
+    #[test]
+    fn canonicalized_params_share_one_cache_entry() {
+        let app = note_app();
+        let mut router = note_router();
+        router.route_read_tables("note/one", &["note"], |app: &App, req| {
+            let Some(jid) = req.int_param("id") else {
+                return Response::bad_request("id required");
+            };
+            match app.get("note", jid) {
+                Ok(obj) => {
+                    let mut session = crate::Session::new(req.viewer.clone());
+                    let row = session.view_object(app, &obj);
+                    Response::ok(
+                        row.map_or_else(String::new, |r| r[1].as_str().unwrap_or("?").to_owned()),
+                    )
+                }
+                Err(e) => Response::error(&e.to_string()),
+            }
+        });
+        router.canonicalize_int_params("note/one", &["id"]);
+        let responses = Executor::sequential().run(
+            &app,
+            &router,
+            &[
+                Request::new("note/one", Viewer::User(1)).with_param("id", "1"),
+                // Same object, denormalized id plus a stray param: the
+                // canonicalizer folds it onto the warm entry.
+                Request::new("note/one", Viewer::User(1))
+                    .with_param("id", "01")
+                    .with_param("utm", "x"),
+            ],
+        );
+        assert_eq!(responses[0], responses[1]);
+        let stats = app.render_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
     }
 
     #[test]

@@ -165,6 +165,17 @@ pub type Controller = Box<dyn Fn(&App, &Request) -> Response + Send + Sync>;
 /// so the concurrent executor can run many of these in parallel.
 pub type ReadController = Box<dyn Fn(&App, &Request) -> Response + Send + Sync>;
 
+/// A per-route params-canonicalization hook for the render cache:
+/// rewrites a *copy* of the request params into the canonical form
+/// used in cache keys, so equivalent requests (`id=07` vs `id=7`,
+/// stray unused params) collide onto one cached page. The controller
+/// always sees the original params — canonicalization only shapes the
+/// key. Like a [`Footprint`], this is an app-author declaration: a
+/// hook that conflates params the controller actually distinguishes
+/// would serve the wrong page, so canonicalize only what the route
+/// provably ignores.
+pub type ParamCanonicalizer = Box<dyn Fn(&mut BTreeMap<String, String>) + Send + Sync>;
+
 /// The declared table footprint of a route: which tables its
 /// controller may read and which it may write, including tables its
 /// models' *policies* consult at output time.
@@ -230,6 +241,7 @@ pub struct Router {
     routes: BTreeMap<String, Controller>,
     read_routes: BTreeMap<String, ReadController>,
     footprints: BTreeMap<String, Footprint>,
+    canonicalizers: BTreeMap<String, ParamCanonicalizer>,
 }
 
 impl Router {
@@ -312,6 +324,40 @@ impl Router {
     #[must_use]
     pub fn footprint(&self, path: &str) -> Option<&Footprint> {
         self.footprints.get(path)
+    }
+
+    /// Registers a render-cache params canonicalizer for `path` (see
+    /// [`ParamCanonicalizer`] for the contract).
+    pub fn canonicalize_params(
+        &mut self,
+        path: &str,
+        f: impl Fn(&mut BTreeMap<String, String>) + Send + Sync + 'static,
+    ) {
+        self.canonicalizers.insert(path.to_owned(), Box::new(f));
+    }
+
+    /// The common canonicalizer: keeps only `keys` (params the route
+    /// never reads cannot fragment the cache) and normalizes each kept
+    /// value through an `i64` parse round-trip, so `id=07`, `id=+7`,
+    /// and `id=7` share one cache entry. Unparseable values are left
+    /// verbatim — the route answers them 4xx, which is never cached.
+    pub fn canonicalize_int_params(&mut self, path: &str, keys: &[&str]) {
+        let keys: Vec<String> = keys.iter().map(|k| (*k).to_owned()).collect();
+        self.canonicalize_params(path, move |params| {
+            params.retain(|k, _| keys.contains(k));
+            for value in params.values_mut() {
+                if let Ok(n) = value.parse::<i64>() {
+                    *value = n.to_string();
+                }
+            }
+        });
+    }
+
+    /// The registered canonicalizer for `path`, if any (the executor
+    /// applies it to a copy of the params when building cache keys).
+    #[must_use]
+    pub fn canonicalizer(&self, path: &str) -> Option<&ParamCanonicalizer> {
+        self.canonicalizers.get(path)
     }
 
     /// Every table declared by any route's footprint, in canonical
@@ -415,6 +461,27 @@ mod tests {
             assert_eq!(Response::status_text(code), text);
         }
         assert_eq!(Response::status_text(599), "Unknown");
+    }
+
+    #[test]
+    fn int_param_canonicalizer_normalizes_and_prunes() {
+        let mut router = Router::new();
+        router.canonicalize_int_params("papers/one", &["id"]);
+        let f = router.canonicalizer("papers/one").unwrap();
+        let mut params: BTreeMap<String, String> = [
+            ("id".to_owned(), "007".to_owned()),
+            ("utm_source".to_owned(), "feed".to_owned()),
+        ]
+        .into();
+        f(&mut params);
+        assert_eq!(params.get("id").map(String::as_str), Some("7"));
+        assert!(!params.contains_key("utm_source"), "unused params pruned");
+        // Unparseable ids stay verbatim (the 400 they produce is
+        // never cached anyway).
+        let mut bad: BTreeMap<String, String> = [("id".to_owned(), "abc".to_owned())].into();
+        f(&mut bad);
+        assert_eq!(bad.get("id").map(String::as_str), Some("abc"));
+        assert!(router.canonicalizer("papers/all").is_none());
     }
 
     #[test]

@@ -65,6 +65,7 @@ pub mod checkpoint;
 mod executor;
 mod http;
 mod model;
+mod rendercache;
 pub mod server;
 mod session;
 mod vanilla;
@@ -76,6 +77,7 @@ pub use checkpoint::{add_checkpoint_route, CheckpointStats, RestoreStats};
 pub use executor::{Executor, ExecutorService, ServedResponse};
 pub use http::{Controller, Footprint, ReadController, Request, Response, Router};
 pub use model::{label_for, simple_policy, FieldPolicy, ModelDef, PolicyArgs, PolicyFn, Viewer};
+pub use rendercache::{RenderCacheStats, RenderCacheStatus};
 pub use server::{Server, ServerConfig, Site};
 pub use session::Session;
 pub use vanilla::VanillaDb;

@@ -15,7 +15,7 @@ use microdb::{ColumnDef, Row, Value};
 
 /// The viewing context (the `ctxt` argument of Jacqueline policies):
 /// who is looking at the page.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Viewer {
     /// Not logged in.
     Anonymous,

@@ -1,0 +1,396 @@
+//! A generation-validated cache of fully rendered [`Response`]s: the
+//! executor serves hot pages as **byte hits** instead of re-running
+//! decode, policy resolution, and page assembly per request.
+//!
+//! PR 6 made decode-cache repair O(1), which left *rendering* — label
+//! resolution plus page assembly — the dominant per-request cost on
+//! every read route. This module closes that gap with the same
+//! validate-on-read discipline the decode cache uses, one level up:
+//!
+//! * **Key**: `(path, canonicalized params, viewer)`. The viewer is
+//!   part of the key because a rendered page *is* a policy-resolved
+//!   projection — serving one viewer's bytes to another would leak
+//!   exactly what the faceted runtime exists to protect (the LWeb
+//!   argument: label-based enforcement must survive caching).
+//! * **Stamp**: the generation vector of the route's declared
+//!   footprint tables, captured at render time **while the executor
+//!   still holds the route's shared footprint locks** — a writer
+//!   cannot slip between render and stamp, so a stored entry's vector
+//!   is exactly the state its bytes were rendered from.
+//! * **Validation**: lookup compares the stored vector against live
+//!   [`microdb`] table generations. Any mismatch removes the entry
+//!   (counted in [`RenderCacheStats::invalidated`]) and falls through
+//!   to a fresh render. There is no push invalidation to get wrong —
+//!   and because no-op writes are generation-silent, a write that
+//!   changes nothing leaves every entry valid.
+//!
+//! Only routes with a *declared* footprint are cacheable: a
+//! footprint-less read route gives the cache no table set to stamp,
+//! so it is counted ([`RenderCacheStats::uncacheable`]) and rendered
+//! normally. Only plain `200` responses with no extra headers are
+//! stored — anything setting cookies or error statuses always
+//! re-renders.
+
+use std::collections::hash_map::RandomState;
+use std::collections::HashMap;
+use std::hash::BuildHasher;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::RwLock;
+
+use crate::http::Response;
+use crate::model::Viewer;
+
+/// Number of independently locked shards. Lookups on different shards
+/// never contend; 16 is plenty for the executor's worker counts.
+const SHARDS: usize = 16;
+
+/// Per-shard entry cap. The cache is bounded at `SHARDS * SHARD_CAP`
+/// entries total; a full shard evicts an arbitrary resident entry
+/// (validate-on-read makes eviction purely a performance decision,
+/// never a correctness one).
+const SHARD_CAP: usize = 512;
+
+/// How one request interacted with the render cache — exported by the
+/// HTTP server as the `X-Render-Cache` response header.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum RenderCacheStatus {
+    /// Served from cached bytes; no controller ran.
+    Hit,
+    /// Rendered and stored (or at least render-cache-eligible).
+    Miss,
+    /// Not eligible: cache disabled, write route, footprint-less read
+    /// route, or unknown path.
+    Bypass,
+}
+
+impl RenderCacheStatus {
+    /// The wire form: `hit` / `miss` / `bypass`.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RenderCacheStatus::Hit => "hit",
+            RenderCacheStatus::Miss => "miss",
+            RenderCacheStatus::Bypass => "bypass",
+        }
+    }
+}
+
+/// Counters since construction (diagnostics; the `--render-cache`
+/// ablation tables report these alongside the timings).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct RenderCacheStats {
+    /// Requests served from cached bytes.
+    pub hits: u64,
+    /// Cacheable requests that had to render (cold key).
+    pub misses: u64,
+    /// Entries dropped because a footprint table's generation moved.
+    pub invalidated: u64,
+    /// Requests on footprint-less read routes, which cannot be
+    /// stamped and are never cached.
+    pub uncacheable: u64,
+}
+
+/// The cache key: one rendered page for one viewer. Params arrive
+/// canonicalized (route-registered hook, see
+/// [`Router::canonicalize_params`](crate::Router::canonicalize_params))
+/// and sorted, so equivalent requests collide onto one entry.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub(crate) struct RenderKey {
+    pub(crate) path: String,
+    pub(crate) params: Vec<(String, String)>,
+    pub(crate) viewer: Viewer,
+}
+
+/// A stored page: the bytes plus the footprint-table generations they
+/// were rendered under.
+struct Entry {
+    generations: Vec<(String, u64)>,
+    response: Response,
+}
+
+/// The bounded, sharded render cache. Owned by the
+/// [`App`](crate::App); consulted by the executor after footprint-lock
+/// acquisition.
+pub(crate) struct RenderCache {
+    enabled: AtomicBool,
+    hasher: RandomState,
+    shards: Vec<RwLock<HashMap<RenderKey, Entry>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidated: AtomicU64,
+    uncacheable: AtomicU64,
+}
+
+impl RenderCache {
+    pub(crate) fn new() -> RenderCache {
+        RenderCache {
+            enabled: AtomicBool::new(true),
+            hasher: RandomState::new(),
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidated: AtomicU64::new(0),
+            uncacheable: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Acquire)
+    }
+
+    /// Switches the cache on or off (ablation hook). Returns the
+    /// previous setting. Disabling drops every stored page.
+    pub(crate) fn set_enabled(&self, enabled: bool) -> bool {
+        let was = self.enabled.swap(enabled, Ordering::AcqRel);
+        if !enabled {
+            for shard in &self.shards {
+                shard.write().expect("render cache shard").clear();
+            }
+        }
+        was
+    }
+
+    pub(crate) fn stats(&self) -> RenderCacheStats {
+        RenderCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidated: self.invalidated.load(Ordering::Relaxed),
+            uncacheable: self.uncacheable.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Records a request on a footprint-less read route — the
+    /// "uncacheable: count them, don't cache them" rule.
+    pub(crate) fn note_uncacheable(&self) {
+        self.uncacheable.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn shard(&self, key: &RenderKey) -> &RwLock<HashMap<RenderKey, Entry>> {
+        &self.shards[(self.hasher.hash_one(key) as usize) % SHARDS]
+    }
+
+    /// Looks up `key`, validating the stored generation vector with
+    /// `live` (a closure over the live database; `None` means the
+    /// table is gone, which also invalidates). A valid entry returns
+    /// its bytes; a stale entry is removed and counted. Either way the
+    /// caller learns whether to render.
+    pub(crate) fn lookup(
+        &self,
+        key: &RenderKey,
+        live: impl Fn(&str) -> Option<u64>,
+    ) -> Option<Response> {
+        let shard = self.shard(key);
+        let stale = {
+            let map = shard.read().expect("render cache shard");
+            match map.get(key) {
+                None => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    return None;
+                }
+                Some(entry) => {
+                    let valid = entry
+                        .generations
+                        .iter()
+                        .all(|(table, gen)| live(table) == Some(*gen));
+                    if valid {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return Some(entry.response.clone());
+                    }
+                    true
+                }
+            }
+        };
+        if stale {
+            shard.write().expect("render cache shard").remove(key);
+            self.invalidated.fetch_add(1, Ordering::Relaxed);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        None
+    }
+
+    /// Stores a rendered page under the generation vector observed at
+    /// render time. Only plain `200` responses with no extra headers
+    /// are cacheable — errors and cookie-setting responses always
+    /// re-render. A full shard evicts an arbitrary resident entry.
+    pub(crate) fn store(
+        &self,
+        key: RenderKey,
+        generations: Vec<(String, u64)>,
+        response: &Response,
+    ) {
+        if response.status != 200 || !response.headers.is_empty() {
+            return;
+        }
+        let shard = self.shard(&key);
+        let mut map = shard.write().expect("render cache shard");
+        if map.len() >= SHARD_CAP && !map.contains_key(&key) {
+            if let Some(evict) = map.keys().next().cloned() {
+                map.remove(&evict);
+            }
+        }
+        map.insert(
+            key,
+            Entry {
+                generations,
+                response: response.clone(),
+            },
+        );
+    }
+
+    /// Resident entries across all shards (test hook).
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("render cache shard").len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(path: &str, viewer: Viewer) -> RenderKey {
+        RenderKey {
+            path: path.to_owned(),
+            params: Vec::new(),
+            viewer,
+        }
+    }
+
+    fn gens(v: &[(&str, u64)]) -> Vec<(String, u64)> {
+        v.iter().map(|(t, g)| ((*t).to_owned(), *g)).collect()
+    }
+
+    #[test]
+    fn hit_after_store_while_generations_hold() {
+        let cache = RenderCache::new();
+        let k = key("papers/all", Viewer::User(1));
+        assert!(cache.lookup(&k, |_| Some(3)).is_none());
+        cache.store(
+            k.clone(),
+            gens(&[("paper", 3)]),
+            &Response::ok("page".into()),
+        );
+        let hit = cache.lookup(&k, |_| Some(3)).expect("valid entry hits");
+        assert_eq!(hit.body, "page");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.invalidated), (1, 1, 0));
+    }
+
+    #[test]
+    fn generation_move_invalidates_exactly_once() {
+        let cache = RenderCache::new();
+        let k = key("papers/all", Viewer::User(1));
+        cache.store(
+            k.clone(),
+            gens(&[("paper", 3)]),
+            &Response::ok("old".into()),
+        );
+        assert!(cache.lookup(&k, |_| Some(4)).is_none(), "stale vector");
+        assert_eq!(cache.stats().invalidated, 1);
+        assert_eq!(cache.len(), 0, "stale entry removed");
+        // The follow-up miss is a plain cold miss, not another
+        // invalidation.
+        assert!(cache.lookup(&k, |_| Some(4)).is_none());
+        assert_eq!(cache.stats().invalidated, 1);
+    }
+
+    #[test]
+    fn dropped_table_invalidates() {
+        let cache = RenderCache::new();
+        let k = key("papers/all", Viewer::Anonymous);
+        cache.store(k.clone(), gens(&[("paper", 1)]), &Response::ok("p".into()));
+        assert!(cache.lookup(&k, |_| None).is_none());
+        assert_eq!(cache.stats().invalidated, 1);
+    }
+
+    #[test]
+    fn viewers_never_share_entries() {
+        let cache = RenderCache::new();
+        let alice = key("papers/all", Viewer::User(1));
+        let bob = key("papers/all", Viewer::User(2));
+        cache.store(
+            alice.clone(),
+            gens(&[("paper", 1)]),
+            &Response::ok("alice's view".into()),
+        );
+        assert!(
+            cache.lookup(&bob, |_| Some(1)).is_none(),
+            "a page rendered for one viewer must never serve another"
+        );
+        assert!(cache
+            .lookup(&key("papers/all", Viewer::Anonymous), |_| Some(1))
+            .is_none());
+        let hit = cache.lookup(&alice, |_| Some(1)).unwrap();
+        assert_eq!(hit.body, "alice's view");
+    }
+
+    #[test]
+    fn params_distinguish_entries() {
+        let cache = RenderCache::new();
+        let mut one = key("papers/one", Viewer::User(1));
+        one.params = vec![("id".to_owned(), "1".to_owned())];
+        let mut two = one.clone();
+        two.params = vec![("id".to_owned(), "2".to_owned())];
+        cache.store(
+            one.clone(),
+            gens(&[("paper", 1)]),
+            &Response::ok("p1".into()),
+        );
+        assert!(cache.lookup(&two, |_| Some(1)).is_none());
+        assert_eq!(cache.lookup(&one, |_| Some(1)).unwrap().body, "p1");
+    }
+
+    #[test]
+    fn only_plain_200_responses_are_stored() {
+        let cache = RenderCache::new();
+        let k = key("x", Viewer::Anonymous);
+        cache.store(k.clone(), Vec::new(), &Response::not_found());
+        cache.store(k.clone(), Vec::new(), &Response::forbidden("no"));
+        cache.store(
+            k.clone(),
+            Vec::new(),
+            &Response::ok("s".into()).with_header("Set-Cookie", "session=x"),
+        );
+        assert_eq!(cache.len(), 0, "errors and cookie-setters never cached");
+        cache.store(k.clone(), Vec::new(), &Response::ok("plain".into()));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn disable_clears_and_reports_previous_setting() {
+        let cache = RenderCache::new();
+        let k = key("papers/all", Viewer::User(1));
+        cache.store(k.clone(), gens(&[("paper", 1)]), &Response::ok("p".into()));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.set_enabled(false), "was enabled");
+        assert_eq!(cache.len(), 0, "disable drops stored pages");
+        assert!(!cache.set_enabled(true), "was disabled");
+    }
+
+    #[test]
+    fn shard_cap_bounds_residency() {
+        let cache = RenderCache::new();
+        for i in 0..(SHARDS * SHARD_CAP * 2) {
+            cache.store(
+                key(&format!("page/{i}"), Viewer::Anonymous),
+                gens(&[("t", 1)]),
+                &Response::ok(i.to_string()),
+            );
+        }
+        assert!(
+            cache.len() <= SHARDS * SHARD_CAP,
+            "cache must stay bounded, holds {}",
+            cache.len()
+        );
+    }
+
+    #[test]
+    fn status_wire_forms() {
+        assert_eq!(RenderCacheStatus::Hit.as_str(), "hit");
+        assert_eq!(RenderCacheStatus::Miss.as_str(), "miss");
+        assert_eq!(RenderCacheStatus::Bypass.as_str(), "bypass");
+    }
+}

@@ -305,10 +305,15 @@ impl Server {
             params: wire_request.params,
         };
         let served = shared.service.serve(request);
+        // Timing and cache-status headers are appended *after* the
+        // executor round-trip, so a render-cache hit still reports its
+        // own fresh queue/service numbers instead of replaying the
+        // ones stored with the page.
         served
             .response
             .with_header("X-Queue-Us", &served.queued.as_micros().to_string())
             .with_header("X-Service-Us", &served.service.as_micros().to_string())
+            .with_header("X-Render-Cache", served.render_cache.as_str())
     }
 
     /// Stops the server: no new connections, parked readers unblocked,

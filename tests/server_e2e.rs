@@ -264,6 +264,61 @@ fn auth_gates_the_wire_path() {
     server.shutdown();
 }
 
+/// The render-cache diagnostic header over a live socket: a cold page
+/// is a `miss`, the repeat is a `hit` with byte-identical body, a
+/// write route reports `bypass`, and a read after the write is a
+/// `miss` again (the generation stamp invalidated). Cached responses
+/// still carry *fresh* `X-Queue-Us`/`X-Service-Us` timings — the
+/// server appends them after the executor round-trip, and only
+/// header-less responses are ever stored, so there are no stale
+/// timing headers to replay.
+#[test]
+fn render_cache_header_reports_hit_miss_bypass_over_the_socket() {
+    let server = start(serve::conference_site(workload::conference(6, 4).app));
+    let mut client = Client::connect(server.addr());
+    client.login(2);
+    let first = client.get("papers/all");
+    assert_eq!(first.status, 200);
+    assert_eq!(first.header("x-render-cache"), Some("miss"));
+    let second = client.get("papers/all");
+    assert_eq!(second.header("x-render-cache"), Some("hit"));
+    assert_eq!(
+        second.text(),
+        first.text(),
+        "a hit replays the rendered bytes exactly"
+    );
+    // Fresh per-request timings on the hit, exactly one value each.
+    for header in ["x-queue-us", "x-service-us"] {
+        let micros: u64 = second.header(header).unwrap().parse().unwrap();
+        assert!(micros < 60_000_000, "{header} is a live measurement");
+    }
+    // Another viewer never borrows this session's bytes: their first
+    // request is its own miss.
+    let mut other = Client::connect(server.addr());
+    other.login(3);
+    let others_page = other.get("papers/all");
+    assert_eq!(others_page.header("x-render-cache"), Some("miss"));
+
+    let write = client.post("papers/submit", "title=fresh+paper");
+    assert_eq!(write.status, 200, "{}", write.text());
+    assert_eq!(
+        write.header("x-render-cache"),
+        Some("bypass"),
+        "write routes never touch the cache"
+    );
+    let after = client.get("papers/all");
+    assert_eq!(
+        after.header("x-render-cache"),
+        Some("miss"),
+        "the write moved the paper table's generation"
+    );
+    assert!(after.text().contains("fresh paper"), "{}", after.text());
+    let warm = client.get("papers/all");
+    assert_eq!(warm.header("x-render-cache"), Some("hit"));
+    assert_eq!(warm.text(), after.text());
+    server.shutdown();
+}
+
 #[test]
 fn get_on_a_write_route_is_405_with_allow_post() {
     let server = start(serve::conference_site(workload::conference(4, 2).app));
