@@ -67,6 +67,10 @@ pub fn add_login_route(router: &mut Router, auth: Arc<Authenticator>, user_table
 fn site_with_login(app: App, mut router: Router, user_table: &'static str) -> Site {
     let auth = Arc::new(Authenticator::new());
     add_login_route(&mut router, Arc::clone(&auth), user_table);
+    // Every served site exposes `admin/health`, so an operator (or
+    // the chaos harness) can tell "down" apart from "read-only
+    // degraded" without guessing from a failed write.
+    jacqueline::add_health_route(&mut router);
     Site {
         app: Arc::new(app),
         router: Arc::new(router),

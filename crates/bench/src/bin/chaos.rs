@@ -1,0 +1,40 @@
+//! CI chaos driver: runs one seeded chaos scenario sweep (see
+//! [`jbench::chaos`]) and exits non-zero on the first violated
+//! robustness invariant.
+//!
+//! Usage: `chaos --seed N` (defaults to seed 1). Each seed is a
+//! fully deterministic interleaving of writes, checkpoints, injected
+//! storage faults, kills and restores over the three case-study
+//! applications — a failing seed replays exactly.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut seed = 1u64;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => match args.next().as_deref().map(str::parse) {
+                Some(Ok(s)) => seed = s,
+                _ => {
+                    eprintln!("chaos: --seed requires an unsigned integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("chaos: unknown argument {other} (usage: chaos --seed N)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match jbench::chaos::run_seed(seed) {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(violation) => {
+            eprintln!("chaos seed {seed} FAILED: {violation}");
+            ExitCode::FAILURE
+        }
+    }
+}

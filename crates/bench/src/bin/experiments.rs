@@ -1143,6 +1143,7 @@ fn bench_server(users: usize, papers: usize) -> Server {
             conn_threads: 8,
             executor_threads: 4,
             read_timeout: Duration::from_secs(2),
+            ..ServerConfig::default()
         },
     )
     .expect("bind the bench server")

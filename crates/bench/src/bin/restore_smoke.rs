@@ -29,6 +29,7 @@ fn run() -> Result<(), String> {
         conn_threads: 4,
         executor_threads: 4,
         read_timeout: Duration::from_secs(2),
+        ..jacqueline::ServerConfig::default()
     };
 
     // 1. Run: the conference app with persistence enabled.

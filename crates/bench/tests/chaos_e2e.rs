@@ -1,0 +1,22 @@
+//! The pinned chaos seeds CI runs on every push: three deterministic
+//! fault/kill/restore interleavings over the three applications (see
+//! `jbench::chaos` for the scenario generator and its oracles).
+//!
+//! The seeds run **sequentially inside one test** on purpose: the
+//! fault-injection registry is process-global, and arming a fault
+//! point replaces any prior plan for that point — parallel seeds
+//! would disarm each other.
+
+#[test]
+fn pinned_chaos_seeds_hold_every_invariant() {
+    for seed in [1, 7, 0xc4a0] {
+        let report = jbench::chaos::run_seed(seed)
+            .unwrap_or_else(|violation| panic!("chaos seed {seed}: {violation}"));
+        println!("{report}");
+        assert!(report.kills >= 3, "every app gets killed at least once");
+        assert!(report.degraded_arcs >= 3, "every app degrades + recovers");
+        assert!(report.sheds > 0, "the flood stage must shed");
+        assert!(report.writes_ok > 0, "scenarios must land real writes");
+        assert!(report.grid_cells_checked > 0);
+    }
+}

@@ -66,6 +66,14 @@ pub struct App {
     /// append) pairs so journal records stay in label-index order —
     /// taken only while the journal is attached.
     create_order: std::sync::Mutex<()>,
+    /// `Some(reason)` while the app is in **read-only degraded mode**:
+    /// a durable write failed (WAL or meta-journal append — disk full,
+    /// I/O error), the in-memory mutation was rolled back, and the
+    /// executor answers write routes `503 Retry-After` until a
+    /// successful checkpoint re-establishes durability and clears the
+    /// flag. Reads keep serving throughout — they are exactly as
+    /// consistent as before the fault.
+    degraded: RwLock<Option<String>>,
 }
 
 impl App {
@@ -81,6 +89,45 @@ impl App {
             render_cache: crate::rendercache::RenderCache::new(),
             journal: None,
             create_order: std::sync::Mutex::new(()),
+            degraded: RwLock::new(None),
+        }
+    }
+
+    /// The reason this app is in read-only degraded mode, or `None`
+    /// when healthy. See the `degraded` field for the protocol.
+    #[must_use]
+    pub fn degraded_reason(&self) -> Option<String> {
+        self.degraded.read().expect("degraded flag").clone()
+    }
+
+    /// Whether the app is currently in read-only degraded mode.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.read().expect("degraded flag").is_some()
+    }
+
+    /// Enters degraded mode (first reason wins — later faults while
+    /// already degraded do not overwrite the original diagnosis).
+    pub(crate) fn enter_degraded(&self, reason: String) {
+        let mut flag = self.degraded.write().expect("degraded flag");
+        flag.get_or_insert(reason);
+    }
+
+    /// Leaves degraded mode — called after a successful checkpoint
+    /// has re-established durability (the logs are freshly truncated,
+    /// so the next append starts clean).
+    pub(crate) fn clear_degraded(&self) {
+        *self.degraded.write().expect("degraded flag") = None;
+    }
+
+    /// Inspects a write result: a persistence error (`DbError::
+    /// Persist` — a failed WAL or journal append) flips the app into
+    /// read-only degraded mode. Logic errors (type mismatches, unknown
+    /// tables …) are the caller's bug, not a storage fault, and leave
+    /// the mode untouched.
+    fn note_write_result<T>(&self, result: &FormResult<T>) {
+        if let Err(form::FormError::Db(microdb::DbError::Persist(reason))) = result {
+            self.enter_degraded(reason.clone());
         }
     }
 
@@ -136,8 +183,17 @@ impl App {
     ///
     /// # Errors
     ///
-    /// Propagates insertion errors.
+    /// Propagates insertion errors. A *persistence* failure (the WAL
+    /// or meta-journal append) additionally flips the app into
+    /// read-only degraded mode — the in-memory state was rolled back,
+    /// so reads stay consistent while the executor sheds writes.
     pub fn create(&self, model_name: &str, row: Row) -> FormResult<i64> {
+        let result = self.create_impl(model_name, row);
+        self.note_write_result(&result);
+        result
+    }
+
+    fn create_impl(&self, model_name: &str, row: Row) -> FormResult<i64> {
         let model = self.model(model_name).clone();
         let jid = self.db.reserve_jid(&model.name);
         // Label allocation + journal append happen under one guard
@@ -358,7 +414,9 @@ impl App {
             });
             object = Faceted::split(*label, object, public_side);
         }
-        self.db.save(&model.name, jid, &object, pc)
+        let result = self.db.save(&model.name, jid, &object, pc);
+        self.note_write_result(&result);
+        result
     }
 
     /// Faceted `objects.all()`.
@@ -428,7 +486,9 @@ impl App {
         new: &FacetedObject,
         pc: &faceted::Branches,
     ) -> FormResult<()> {
-        self.db.save(model, jid, new, pc)
+        let result = self.db.save(model, jid, new, pc);
+        self.note_write_result(&result);
+        result
     }
 
     /// Resolves the given labels (and, transitively, every label their

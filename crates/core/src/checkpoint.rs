@@ -55,6 +55,7 @@ use std::sync::Arc;
 
 use faceted::NodeTable;
 use form::{FacetedObject, FormError, FormMeta, FormResult};
+use microdb::faults::{self, FaultKind, FaultPoint};
 use microdb::snapshot::{decode_value, encode_value, escape_token, unescape_token};
 use microdb::wal::LineLog;
 use microdb::{Row, Snapshot, Value, WriteLog};
@@ -356,6 +357,12 @@ pub(crate) fn write_checkpoint_file(
         out.flush().map_err(io_err)?;
         out.get_ref().sync_all().map_err(io_err)?;
     }
+    // Injected crash point: die *before* the rename. The tmp file is
+    // left behind as debris (exactly what a real crash leaves) and
+    // the previous `checkpoint.snap` must remain the valid one.
+    if faults::check(FaultPoint::CheckpointPreRename, path).is_some() {
+        return Err(io_err(faults::injected_err("checkpoint pre-rename crash")));
+    }
     // The atomic step: readers see either the old checkpoint or the
     // complete new one, never a torn file.
     std::fs::rename(&tmp, path).map_err(io_err)?;
@@ -365,10 +372,40 @@ pub(crate) fn write_checkpoint_file(
     // next to *empty* logs — silently dropping every write since the
     // previous checkpoint.
     File::open(dir).and_then(|d| d.sync_all()).map_err(io_err)?;
+    // Injected crash point: die *after* the rename but before the
+    // caller truncates the logs — the new snapshot and the old logs
+    // overlap, and replay idempotence (generation stamps) must absorb
+    // every doubly-recorded write.
+    if faults::check(FaultPoint::CheckpointPostRename, path).is_some() {
+        return Err(io_err(faults::injected_err("checkpoint post-rename crash")));
+    }
     Ok(())
 }
 
 pub(crate) fn read_checkpoint_file(path: &Path) -> FormResult<CheckpointFile> {
+    match faults::check(FaultPoint::RestoreRead, path) {
+        Some(FaultKind::Error) => {
+            return Err(persist_err(format!(
+                "open {}: {}",
+                path.display(),
+                faults::injected_err("checkpoint read")
+            )));
+        }
+        Some(FaultKind::ShortWrite) => {
+            // Physically truncate the snapshot to half its length so
+            // the damage flows through the *real* parse paths below —
+            // the injected analogue of a torn copy or a bad sector.
+            let len = std::fs::metadata(path)
+                .map_err(|e| persist_err(format!("checkpoint corrupt-inject: {e}")))?
+                .len();
+            std::fs::OpenOptions::new()
+                .write(true)
+                .open(path)
+                .and_then(|f| f.set_len(len / 2))
+                .map_err(|e| persist_err(format!("checkpoint corrupt-inject: {e}")))?;
+        }
+        None => {}
+    }
     let file =
         File::open(path).map_err(|e| persist_err(format!("open {}: {e}", path.display())))?;
     let mut reader = BufReader::new(file);
@@ -562,6 +599,11 @@ impl App {
                 .truncate()
                 .map_err(|e| persist_err(format!("truncate meta journal: {e}")))?;
         }
+        // Durability is re-established: the snapshot holds every
+        // acknowledged write and the logs start clean, so a read-only
+        // degraded app (a failed append flipped the flag; the failed
+        // write was rolled back) can take writes again.
+        self.clear_degraded();
 
         // GC at the quiescent point: request-scoped temporaries are
         // dead, the exported roots (and the caches) stay pinned.
@@ -725,6 +767,24 @@ pub fn add_checkpoint_route(router: &mut Router, dir: impl Into<PathBuf>) {
         match app.checkpoint_to(&dir) {
             Ok(stats) => Response::ok(format!("{stats}\n")),
             Err(e) => Response::error(&format!("checkpoint failed: {e}")),
+        }
+    });
+    // The checkpoint is the *recovery* action of read-only degraded
+    // mode — it must keep dispatching while ordinary writes shed.
+    router.exempt_from_degraded("admin/checkpoint");
+}
+
+/// Registers the `admin/health` route: a footprint-less **read**
+/// route (dispatched under all-shared locks, never render-cached)
+/// answering `200 ok` while the app is healthy and
+/// `503 Retry-After: 1` with the degradation reason while a failed
+/// durable write has it in read-only mode. Load balancers and the
+/// chaos harness poll this to observe degradation and recovery.
+pub fn add_health_route(router: &mut Router) {
+    router.route_read("admin/health", |app: &App, _req| {
+        match app.degraded_reason() {
+            None => Response::ok("ok\n".to_owned()),
+            Some(reason) => Response::unavailable(&format!("degraded (read-only): {reason}\n")),
         }
     });
 }
@@ -1049,6 +1109,298 @@ mod tests {
         let mut restored = note_app();
         restored.restore_from(&dir).unwrap();
         assert_eq!(grid(&restored, 2), grid(&app, 2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Tentpole scenario: an injected crash *before* the tmp→snap
+    /// rename must leave the previous checkpoint file the valid one —
+    /// restore still reproduces the full pre-crash state from the old
+    /// snapshot plus the (untruncated) logs, and a retried checkpoint
+    /// succeeds.
+    #[test]
+    fn pre_rename_crash_leaves_the_previous_checkpoint_valid() {
+        let dir = temp_dir("prerename");
+        let mut app = note_app();
+        app.enable_persistence(&dir).unwrap();
+        app.create("note", vec![Value::Int(0), Value::from("base")])
+            .unwrap();
+        app.checkpoint_quiescent(&dir).unwrap();
+        app.create("note", vec![Value::Int(1), Value::from("walled")])
+            .unwrap();
+        let before = grid(&app, 3);
+
+        faults::arm_at(
+            FaultPoint::CheckpointPreRename,
+            0,
+            FaultKind::Error,
+            "jacq_ckpt_prerename",
+        );
+        let err = app.checkpoint_quiescent(&dir).unwrap_err();
+        assert!(err.to_string().contains("injected"), "{err}");
+        // The old snapshot + the untouched logs restore everything.
+        let mut restored = note_app();
+        restored.restore_from(&dir).unwrap();
+        assert_eq!(grid(&restored, 3), before, "no acknowledged write lost");
+
+        // The fault was one-shot: the retried checkpoint goes through
+        // and truncates the logs.
+        app.checkpoint_quiescent(&dir).unwrap();
+        assert_eq!(std::fs::metadata(dir.join(WAL_FILE)).unwrap().len(), 0);
+        let mut again = note_app();
+        again.restore_from(&dir).unwrap();
+        assert_eq!(grid(&again, 3), before);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Tentpole scenario: an injected crash *after* the rename but
+    /// before the log truncation leaves the new snapshot next to logs
+    /// that double-record its writes — replay idempotence (generation
+    /// stamps, label-index skips) must absorb the overlap so nothing
+    /// applies twice.
+    #[test]
+    fn post_rename_crash_overlap_is_absorbed_by_replay() {
+        let dir = temp_dir("postrename");
+        let mut app = note_app();
+        app.enable_persistence(&dir).unwrap();
+        for i in 0..3 {
+            app.create("note", vec![Value::Int(i), Value::from(format!("n{i}"))])
+                .unwrap();
+        }
+        faults::arm_at(
+            FaultPoint::CheckpointPostRename,
+            0,
+            FaultKind::Error,
+            "jacq_ckpt_postrename",
+        );
+        let err = app.checkpoint_quiescent(&dir).unwrap_err();
+        assert!(err.to_string().contains("injected"), "{err}");
+        // The rename happened, the truncation did not: overlap.
+        assert!(std::fs::metadata(dir.join(WAL_FILE)).unwrap().len() > 0);
+        assert!(std::fs::metadata(dir.join(META_LOG_FILE)).unwrap().len() > 0);
+
+        let mut restored = note_app();
+        restored.restore_from(&dir).unwrap();
+        assert_eq!(grid(&restored, 4), grid(&app, 4));
+        assert_eq!(
+            restored.db.physical_rows("note").unwrap(),
+            app.db.physical_rows("note").unwrap(),
+            "no doubly-applied rows from the snapshot/log overlap"
+        );
+        // Exactly-once across the recovery: a fresh create allocates
+        // the same next jid in both worlds.
+        let j1 = app
+            .create("note", vec![Value::Int(9), Value::from("after")])
+            .unwrap();
+        let j2 = restored
+            .create("note", vec![Value::Int(9), Value::from("after")])
+            .unwrap();
+        assert_eq!(j1, j2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Tentpole scenario: injected read faults on restore surface as
+    /// clean errors (never a panic), and the app object stays usable.
+    #[test]
+    fn injected_restore_read_faults_error_cleanly() {
+        let dir = temp_dir("restoreread");
+        let app = note_app();
+        app.create("note", vec![Value::Int(1), Value::from("kept")])
+            .unwrap();
+        app.checkpoint_quiescent(&dir).unwrap();
+
+        // Error kind: the open itself fails.
+        faults::arm_at(
+            FaultPoint::RestoreRead,
+            0,
+            FaultKind::Error,
+            "jacq_ckpt_restoreread",
+        );
+        let mut fresh = note_app();
+        let err = fresh.restore_from(&dir).unwrap_err();
+        assert!(err.to_string().contains("injected"), "{err}");
+        fresh
+            .create("note", vec![Value::Int(2), Value::from("usable")])
+            .unwrap();
+
+        // ShortWrite kind: the snapshot is physically truncated, and
+        // the damage flows through the real parsers.
+        faults::arm_at(
+            FaultPoint::RestoreRead,
+            0,
+            FaultKind::ShortWrite,
+            "jacq_ckpt_restoreread",
+        );
+        let mut torn = note_app();
+        assert!(torn.restore_from(&dir).is_err(), "truncated file rejected");
+        torn.create("note", vec![Value::Int(3), Value::from("usable")])
+            .unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Satellite: hand-corrupted snapshots — header bit-flips,
+    /// truncations, and a bit-flip sweep — must yield clean
+    /// [`FormError`]s, never a panic, and leave the app usable.
+    #[test]
+    fn corrupted_or_truncated_snapshot_errors_without_panicking() {
+        let dir = temp_dir("bitflip");
+        let app = note_app();
+        for i in 0..3 {
+            app.create("note", vec![Value::Int(i), Value::from(format!("n{i}"))])
+                .unwrap();
+        }
+        app.checkpoint_quiescent(&dir).unwrap();
+        let path = dir.join(CHECKPOINT_FILE);
+        let pristine = std::fs::read(&path).unwrap();
+
+        // A flipped header byte is always structural damage.
+        let mut bytes = pristine.clone();
+        bytes[3] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+        let mut r = note_app();
+        let err = r.restore_from(&dir).unwrap_err();
+        assert!(matches!(err, FormError::Db(microdb::DbError::Persist(_))));
+        r.create("note", vec![Value::Int(9), Value::from("ok")])
+            .unwrap();
+
+        // Truncations that cut inside a sized section (a cut that
+        // only drops the final newline is semantically complete and
+        // may legitimately restore): empty, a third, half, two
+        // thirds.
+        for keep in [
+            0,
+            pristine.len() / 3,
+            pristine.len() / 2,
+            2 * pristine.len() / 3,
+        ] {
+            std::fs::write(&path, &pristine[..keep]).unwrap();
+            let mut r = note_app();
+            assert!(
+                r.restore_from(&dir).is_err(),
+                "truncation to {keep} bytes must be rejected"
+            );
+            r.create("note", vec![Value::Int(9), Value::from("ok")])
+                .unwrap();
+        }
+
+        // Bit-flip sweep: a flip in a payload byte may legitimately
+        // decode (the value merely differs), but no position may ever
+        // panic the parser or poison the app.
+        let stride = (pristine.len() / 40).max(1);
+        for pos in (0..pristine.len()).step_by(stride) {
+            let mut bytes = pristine.clone();
+            bytes[pos] ^= 0x40;
+            std::fs::write(&path, &bytes).unwrap();
+            let mut r = note_app();
+            let _ = r.restore_from(&dir); // Ok or clean Err — no panic
+            r.create("note", vec![Value::Int(9), Value::from("ok")])
+                .unwrap();
+        }
+
+        // The pristine bytes still restore (the sweep broke nothing
+        // about the app-building path itself).
+        std::fs::write(&path, &pristine).unwrap();
+        let mut r = note_app();
+        r.restore_from(&dir).unwrap();
+        assert_eq!(grid(&r, 3), grid(&app, 3));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The degraded-mode arc, end to end through served routes: a WAL
+    /// append fault fails a write and flips the app read-only; writes
+    /// answer `503 Retry-After` while reads and `admin/health` keep
+    /// serving; the (exempt) `admin/checkpoint` route re-establishes
+    /// durability and clears the mode; the retried write then lands
+    /// exactly once.
+    #[test]
+    fn wal_fault_degrades_to_read_only_and_checkpoint_recovers() {
+        use crate::http::Request;
+        use crate::Executor;
+        let dir = temp_dir("degrade");
+        let mut app = note_app();
+        app.enable_persistence(&dir).unwrap();
+        app.create("note", vec![Value::Int(1), Value::from("seed")])
+            .unwrap();
+        let mut router = Router::new();
+        router.route_read_tables("notes", &["note"], |app: &App, req| {
+            Response::ok(page(app, &req.viewer))
+        });
+        router.route_tables("note/add", &[], &["note"], |app: &App, req| {
+            let owner = req.viewer.user_jid().unwrap_or(-1);
+            let text = req.params.get("text").cloned().unwrap_or_default();
+            match app.create("note", vec![Value::Int(owner), Value::from(text)]) {
+                Ok(jid) => Response::ok(jid.to_string()),
+                Err(e) => Response::error(&e.to_string()),
+            }
+        });
+        add_checkpoint_route(&mut router, &dir);
+        add_health_route(&mut router);
+        let run =
+            |app: &App, req: Request| Executor::sequential().run(app, &router, &[req]).remove(0);
+
+        assert_eq!(
+            run(&app, Request::new("admin/health", Viewer::Anonymous)).body,
+            "ok\n"
+        );
+
+        // The fault: this write's WAL append fails; the rows roll
+        // back and the app degrades.
+        faults::arm_at(
+            FaultPoint::WalAppend,
+            0,
+            FaultKind::Error,
+            "jacq_ckpt_degrade",
+        );
+        let failed = run(
+            &app,
+            Request::new("note/add", Viewer::User(1)).with_param("text", "marker-lost"),
+        );
+        assert_eq!(failed.status, 500, "{}", failed.body);
+        assert!(app.is_degraded());
+
+        // Degraded: writes shed, reads and health keep serving.
+        let shed = run(
+            &app,
+            Request::new("note/add", Viewer::User(1)).with_param("text", "marker-shed"),
+        );
+        assert_eq!(shed.status, 503);
+        assert_eq!(shed.header("Retry-After"), Some("1"));
+        let health = run(&app, Request::new("admin/health", Viewer::Anonymous));
+        assert_eq!(health.status, 503);
+        assert!(
+            health.body.contains("degraded (read-only)"),
+            "{}",
+            health.body
+        );
+        let read = run(&app, Request::new("notes", Viewer::User(1)));
+        assert_eq!(read.status, 200);
+        assert!(
+            !read.body.contains("marker"),
+            "neither failed nor shed write is visible"
+        );
+
+        // Recovery: the exempt checkpoint route runs, re-establishes
+        // durability, and clears the mode.
+        let ckpt = run(&app, Request::new("admin/checkpoint", Viewer::User(1)));
+        assert_eq!(ckpt.status, 200, "{}", ckpt.body);
+        assert!(!app.is_degraded());
+        assert_eq!(
+            run(&app, Request::new("admin/health", Viewer::Anonymous)).status,
+            200
+        );
+
+        // The retried write lands exactly once, durably.
+        let retry = run(
+            &app,
+            Request::new("note/add", Viewer::User(1)).with_param("text", "marker-kept"),
+        );
+        assert_eq!(retry.status, 200, "{}", retry.body);
+        let page_now = run(&app, Request::new("notes", Viewer::User(1))).body;
+        assert_eq!(page_now.matches("marker-kept").count(), 1);
+        assert_eq!(page_now.matches("marker-lost").count(), 0);
+
+        let mut restored = note_app();
+        restored.restore_from(&dir).unwrap();
+        assert_eq!(grid(&restored, 3), grid(&app, 3), "durable across restore");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -322,6 +322,21 @@ impl Executor {
                 }
             }
         } else if router.has_write_route(&request.path) {
+            // The read-only degraded gate: after a durable-write
+            // failure the app sheds ordinary writes with `503
+            // Retry-After` *before* taking any lock; reads (above)
+            // keep flowing, and exempted recovery routes
+            // (`admin/checkpoint`) still dispatch so the mode can be
+            // cleared.
+            if !router.is_degraded_exempt(&request.path) {
+                if let Some(reason) = app.degraded_reason() {
+                    let response = Response::unavailable(&format!(
+                        "service degraded (read-only): {reason}; \
+                         writes resume after the next successful checkpoint"
+                    ));
+                    return (response, RenderCacheStatus::Bypass);
+                }
+            }
             let response = match router.footprint(&request.path) {
                 Some(fp) => {
                     let _global = locks.global.read().expect("global lock");
@@ -448,6 +463,12 @@ struct ServiceShared {
     queue: Mutex<VecDeque<Job>>,
     ready: Condvar,
     shutdown: AtomicBool,
+    /// Jobs the queue will hold before [`ExecutorService::submit`]
+    /// sheds with `503 Retry-After` (in-flight requests don't count —
+    /// they left the queue).
+    max_queue: usize,
+    /// Requests shed because the queue was full.
+    sheds: AtomicUsize,
 }
 
 /// The executor's **job-queue mode**: a persistent worker pool
@@ -480,11 +501,33 @@ pub struct ExecutorService {
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
+/// The default [`ExecutorService`] queue bound: deep enough that a
+/// burst never sheds in ordinary operation, shallow enough that a
+/// stalled pool fails fast instead of buffering unbounded memory.
+pub const DEFAULT_QUEUE_DEPTH: usize = 1024;
+
 impl ExecutorService {
     /// Starts `threads` workers (clamped to at least 1) over a shared
-    /// app and router.
+    /// app and router, with the [`DEFAULT_QUEUE_DEPTH`] job-queue
+    /// bound.
     #[must_use]
     pub fn start(app: Arc<App>, router: Arc<Router>, threads: usize) -> ExecutorService {
+        ExecutorService::start_bounded(app, router, threads, DEFAULT_QUEUE_DEPTH)
+    }
+
+    /// [`ExecutorService::start`] with an explicit queue bound
+    /// (clamped to at least 1): once `max_queue` jobs are waiting,
+    /// further submissions are **shed** immediately with
+    /// `503 Retry-After: 1` instead of queueing — backpressure
+    /// reaches the client while the server is still healthy, rather
+    /// than as an unbounded latency tail.
+    #[must_use]
+    pub fn start_bounded(
+        app: Arc<App>,
+        router: Arc<Router>,
+        threads: usize,
+        max_queue: usize,
+    ) -> ExecutorService {
         app.request_locks.ensure(router.declared_tables());
         let shared = Arc::new(ServiceShared {
             app,
@@ -492,6 +535,8 @@ impl ExecutorService {
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            max_queue: max_queue.max(1),
+            sheds: AtomicUsize::new(0),
         });
         let workers = (0..threads.max(1))
             .map(|i| {
@@ -540,7 +585,10 @@ impl ExecutorService {
     }
 
     /// Enqueues a request; the returned channel yields the response
-    /// once a worker has served it.
+    /// once a worker has served it. If the queue is already at its
+    /// bound, the request is **shed**: the channel yields an
+    /// immediate `503` with `Retry-After: 1` and no worker ever sees
+    /// the job.
     ///
     /// # Panics
     ///
@@ -564,6 +612,17 @@ impl ExecutorService {
                 !self.shared.shutdown.load(Ordering::Acquire),
                 "submit on a shut-down ExecutorService"
             );
+            if queue.len() >= self.shared.max_queue {
+                drop(queue);
+                self.shared.sheds.fetch_add(1, Ordering::Relaxed);
+                let _ = job.reply.send(ServedResponse {
+                    response: Response::unavailable("server overloaded: the request queue is full"),
+                    queued: Duration::ZERO,
+                    service: Duration::ZERO,
+                    render_cache: RenderCacheStatus::Bypass,
+                });
+                return rx;
+            }
             queue.push_back(job);
         }
         self.shared.ready.notify_one();
@@ -587,6 +646,18 @@ impl ExecutorService {
     #[must_use]
     pub fn queue_depth(&self) -> usize {
         self.shared.queue.lock().expect("job queue").len()
+    }
+
+    /// The configured queue bound.
+    #[must_use]
+    pub fn max_queue(&self) -> usize {
+        self.shared.max_queue
+    }
+
+    /// Requests shed (answered `503` without queueing) since start.
+    #[must_use]
+    pub fn sheds(&self) -> usize {
+        self.shared.sheds.load(Ordering::Relaxed)
     }
 
     /// The worker-pool size.
@@ -1153,6 +1224,92 @@ mod tests {
         assert_eq!(responses[0], responses[1]);
         let stats = app.render_cache_stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn degraded_mode_sheds_writes_serves_reads_and_recovers() {
+        let app = note_app();
+        let router = note_router();
+        app.enter_degraded("disk full (test)".to_owned());
+        let responses = Executor::sequential().run(
+            &app,
+            &router,
+            &[
+                Request::new("note/add", Viewer::User(1)),
+                Request::new("notes", Viewer::User(1)),
+            ],
+        );
+        assert_eq!(responses[0].status, 503, "writes shed while degraded");
+        assert_eq!(responses[0].header("Retry-After"), Some("1"));
+        assert!(responses[0].body.contains("disk full (test)"));
+        assert_eq!(responses[1].status, 200, "reads keep serving");
+        assert_eq!(
+            app.db.physical_rows("note").unwrap(),
+            12,
+            "the shed write never reached storage"
+        );
+        app.clear_degraded();
+        let retry =
+            Executor::sequential().run(&app, &router, &[Request::new("note/add", Viewer::User(1))]);
+        assert_eq!(retry[0].status, 200, "writes resume once cleared");
+    }
+
+    #[test]
+    fn degraded_exempt_routes_still_dispatch() {
+        let app = note_app();
+        let mut router = note_router();
+        router.route("admin/fix", |_, _| Response::ok("fixed".into()));
+        router.exempt_from_degraded("admin/fix");
+        app.enter_degraded("disk full (test)".to_owned());
+        let responses = Executor::sequential().run(
+            &app,
+            &router,
+            &[
+                Request::new("admin/fix", Viewer::User(1)),
+                Request::new("note/add", Viewer::User(1)),
+            ],
+        );
+        assert_eq!(responses[0].status, 200, "the recovery route runs");
+        assert_eq!(responses[1].status, 503, "ordinary writes still shed");
+    }
+
+    #[test]
+    fn bounded_queue_sheds_with_retry_after_and_recovers() {
+        // One worker, queue bound 2. A parked request occupies the
+        // worker; two more fill the queue; the fourth must shed
+        // immediately with 503 + Retry-After, and once the queue
+        // drains the service takes work again.
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let release_rx = Mutex::new(release_rx);
+        let mut router = Router::new();
+        router.route_read("park", move |_, _| {
+            release_rx.lock().unwrap().recv().unwrap();
+            Response::ok("parked".into())
+        });
+        router.route_read("ping", |_, _| Response::ok("pong".into()));
+        let service = ExecutorService::start_bounded(Arc::new(App::new()), Arc::new(router), 1, 2);
+        assert_eq!(service.max_queue(), 2);
+        let parked = service.submit(Request::new("park", Viewer::User(1)));
+        // Wait for the worker to pick the parked job up, so the two
+        // fillers below land in the queue rather than on the worker.
+        while service.queue_depth() > 0 {
+            std::thread::yield_now();
+        }
+        let fill_a = service.submit(Request::new("ping", Viewer::User(1)));
+        let fill_b = service.submit(Request::new("ping", Viewer::User(2)));
+        let shed = service.serve(Request::new("ping", Viewer::User(3)));
+        assert_eq!(shed.response.status, 503, "{}", shed.response.body);
+        assert_eq!(shed.response.header("Retry-After"), Some("1"));
+        assert_eq!(service.sheds(), 1);
+        release_tx.send(()).unwrap();
+        assert_eq!(parked.recv().unwrap().response.body, "parked");
+        assert_eq!(fill_a.recv().unwrap().response.status, 200);
+        assert_eq!(fill_b.recv().unwrap().response.status, 200);
+        // Recovery: the drained queue accepts and serves new work.
+        let after = service.serve(Request::new("ping", Viewer::User(4)));
+        assert_eq!(after.response.status, 200);
+        assert_eq!(service.sheds(), 1, "no further sheds after recovery");
+        service.shutdown();
     }
 
     #[test]

@@ -113,6 +113,15 @@ impl Response {
         Response::with_status(500, message.to_owned())
     }
 
+    /// A 503 response with `Retry-After: 1` — the server is
+    /// *temporarily* unable to take the request (read-only degraded
+    /// mode, a full job queue) and the client should back off and
+    /// retry, not treat the failure as permanent.
+    #[must_use]
+    pub fn unavailable(message: &str) -> Response {
+        Response::with_status(503, message.to_owned()).with_header("Retry-After", "1")
+    }
+
     /// Appends a response header (builder style).
     #[must_use]
     pub fn with_header(mut self, name: &str, value: &str) -> Response {
@@ -242,6 +251,10 @@ pub struct Router {
     read_routes: BTreeMap<String, ReadController>,
     footprints: BTreeMap<String, Footprint>,
     canonicalizers: BTreeMap<String, ParamCanonicalizer>,
+    /// Write routes the executor still dispatches while the app is in
+    /// read-only degraded mode — the recovery paths themselves
+    /// (`admin/checkpoint` must run to *clear* the mode).
+    degraded_exempt: BTreeSet<String>,
 }
 
 impl Router {
@@ -324,6 +337,20 @@ impl Router {
     #[must_use]
     pub fn footprint(&self, path: &str) -> Option<&Footprint> {
         self.footprints.get(path)
+    }
+
+    /// Exempts a write route from the executor's read-only degraded
+    /// gate. Only recovery actions belong here: a route that *repairs*
+    /// persistence (like `admin/checkpoint`) must stay dispatchable
+    /// while ordinary writes answer `503`.
+    pub fn exempt_from_degraded(&mut self, path: &str) {
+        self.degraded_exempt.insert(path.to_owned());
+    }
+
+    /// Whether `path` bypasses the degraded-mode write gate.
+    #[must_use]
+    pub fn is_degraded_exempt(&self, path: &str) -> bool {
+        self.degraded_exempt.contains(path)
     }
 
     /// Registers a render-cache params canonicalizer for `path` (see
@@ -443,6 +470,19 @@ mod tests {
         assert_eq!(Response::ok(String::new()).status, 200);
         assert_eq!(Response::bad_request("p").status, 400);
         assert_eq!(Response::forbidden("p").status, 403);
+        let busy = Response::unavailable("overloaded");
+        assert_eq!(busy.status, 503);
+        assert_eq!(busy.header("Retry-After"), Some("1"));
+    }
+
+    #[test]
+    fn degraded_exemptions_are_per_path() {
+        let mut router = Router::new();
+        router.route("admin/checkpoint", |_, _| Response::ok(String::new()));
+        router.route("note/add", |_, _| Response::ok(String::new()));
+        router.exempt_from_degraded("admin/checkpoint");
+        assert!(router.is_degraded_exempt("admin/checkpoint"));
+        assert!(!router.is_degraded_exempt("note/add"));
     }
 
     #[test]

@@ -80,6 +80,16 @@ pub struct ServerConfig {
     /// window is closed, so silent peers release their connection
     /// worker instead of pinning the fixed pool.
     pub read_timeout: Duration,
+    /// Socket **write** timeout: a peer that stops draining its
+    /// receive window (a stalled or malicious reader) blocks the
+    /// response `write_all` at most this long before the connection
+    /// is dropped — without it, one dead reader pins a connection
+    /// worker forever.
+    pub write_timeout: Duration,
+    /// The executor job-queue bound (see
+    /// [`ExecutorService::start_bounded`]): submissions past this
+    /// depth are shed with `503 Retry-After: 1` instead of queueing.
+    pub queue_depth: usize,
 }
 
 impl Default for ServerConfig {
@@ -88,6 +98,8 @@ impl Default for ServerConfig {
             conn_threads: 4,
             executor_threads: 4,
             read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            queue_depth: crate::executor::DEFAULT_QUEUE_DEPTH,
         }
     }
 }
@@ -129,10 +141,11 @@ impl Server {
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let service = ExecutorService::start(
+        let service = ExecutorService::start_bounded(
             Arc::clone(&site.app),
             Arc::clone(&site.router),
             config.executor_threads,
+            config.queue_depth,
         );
         let shared = Arc::new(ServerShared {
             site,
@@ -189,6 +202,7 @@ impl Server {
                         break; // the shutdown wake-up connection
                     }
                     let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+                    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
                     let _ = stream.set_nodelay(true);
                     shared.conns.lock().expect("conn queue").push_back(stream);
                     shared.conn_ready.notify_one();
@@ -403,6 +417,7 @@ mod tests {
                 conn_threads: 2,
                 executor_threads: 2,
                 read_timeout: Duration::from_millis(200),
+                ..ServerConfig::default()
             },
         )
         .expect("bind ephemeral port")
@@ -593,6 +608,7 @@ mod tests {
                 conn_threads: 1,
                 executor_threads: 1,
                 read_timeout: Duration::from_millis(500),
+                ..ServerConfig::default()
             },
         )
         .unwrap();

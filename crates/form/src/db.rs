@@ -9,7 +9,7 @@ use std::sync::{Mutex, RwLock, RwLockReadGuard};
 use faceted::{Branches, FacetedList, Label, LabelRegistry};
 use microdb::{
     ColumnDef, ColumnType, Database, Operand, Predicate, Query, Row, RowDelta, Schema, SortOrder,
-    Table, Value,
+    Statement, Table, Value,
 };
 
 use crate::error::{FormError, FormResult};
@@ -371,19 +371,40 @@ impl FormDb {
     }
 
     fn write_rows(&self, table: &str, jid: i64, object: &FacetedObject) -> FormResult<()> {
+        self.write_rows_with_prelude(table, jid, object, Vec::new())
+    }
+
+    /// The marshalling loop behind every object write: `prelude`
+    /// statements (e.g. [`FormDb::save`]'s delete of the old rows),
+    /// then one insert per reachable facet leaf, applied and logged
+    /// as a *single atomic batch* under one table write lock. A
+    /// failure anywhere — a bad row, a full disk on the WAL append —
+    /// rolls the whole object write back, so neither memory nor the
+    /// log ever holds a torn object and reads keep serving the intact
+    /// pre-write state.
+    fn write_rows_with_prelude(
+        &self,
+        table: &str,
+        jid: i64,
+        object: &FacetedObject,
+        prelude: Vec<Statement>,
+    ) -> FormResult<()> {
         crate::touched::note_write(table);
-        // One write lock for the whole marshalling loop: rows of one
-        // object land atomically, and the index refresh rides along.
-        let mut t = self.db.table_mut(table)?;
+        let mut stmts = prelude;
         for (guard, fields) in flatten_object(object) {
             let mut row: Row = fields;
             row.push(Value::Int(jid));
             row.push(Value::Str(encode_jvars(&guard)));
-            // Inserts and logs under the held table lock, so write-log
-            // records stay in generation order and replay is
-            // byte-deterministic.
-            self.db.insert_into_locked(&mut t, row)?;
+            stmts.push(Statement::Insert {
+                table: table.to_owned(),
+                row,
+            });
         }
+        // One write lock for the whole batch: rows of one object land
+        // atomically, records stay in generation order, and replay is
+        // byte-deterministic.
+        let mut t = self.db.table_mut(table)?;
+        self.db.apply_batch_locked(&mut t, &stmts)?;
         // Writers pay for index maintenance so the shared-access query
         // plan (`&self`) always finds fresh indexes.
         t.refresh_indexes();
@@ -956,9 +977,18 @@ impl FormDb {
             Err(e) => return Err(e),
         };
         let merged = faceted::Faceted::split_branches(pc, new.clone(), current);
-        self.db
-            .delete(table, &Predicate::eq(Operand::col(JID), Operand::lit(jid)))?;
-        self.write_rows(table, jid, &merged)
+        // Delete-then-reinsert as ONE atomic batch: a failure (e.g. a
+        // WAL append on a full disk) must not leave the object
+        // deleted-but-not-rewritten in memory or in the log.
+        self.write_rows_with_prelude(
+            table,
+            jid,
+            &merged,
+            vec![Statement::Delete {
+                table: table.to_owned(),
+                pred: Predicate::eq(Operand::col(JID), Operand::lit(jid)),
+            }],
+        )
     }
 
     /// Deletes an object under a path condition: views satisfying
@@ -1752,7 +1782,9 @@ mod tests {
         let (mut db, k, jid) = event_db();
         let baseline = db.raw_ref().snapshot();
         db.attach_wal(std::sync::Arc::new(microdb::WriteLog::open(&path).unwrap()));
-        // A guarded save = a logged delete + logged row inserts.
+        // A guarded save = delete + re-inserted facet rows, logged as
+        // ONE atomic batch record so a failed append can never leave
+        // a torn object in the log.
         let pc = faceted::Branches::new().with(faceted::Branch::pos(k));
         db.save(
             "event",
@@ -1761,15 +1793,61 @@ mod tests {
             &pc,
         )
         .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1, "one record for the whole save");
+        assert!(text.starts_with("bat "), "batch record kind");
 
         let mut restored = microdb::Database::new();
         restored.restore(&baseline).unwrap();
         let stats = microdb::WriteLog::replay(&path, &mut restored).unwrap();
-        assert!(stats.applied >= 2, "delete + re-inserted facet rows");
+        assert_eq!(stats.applied, 1, "the batch replays as a unit");
         assert_eq!(
             restored.table("event").unwrap().rows(),
             db.raw_ref().table("event").unwrap().rows()
         );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn failed_wal_append_rolls_back_the_whole_save() {
+        use microdb::faults::{self, FaultKind, FaultPoint};
+        let path = std::env::temp_dir().join(format!("form_walfault_{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let (mut db, k, jid) = event_db();
+        db.attach_wal(std::sync::Arc::new(microdb::WriteLog::open(&path).unwrap()));
+        let before = db.get("event", jid).unwrap();
+        let rows_before = db.raw_ref().table("event").unwrap().rows().to_vec();
+
+        faults::arm_at(FaultPoint::WalAppend, 0, FaultKind::Error, "form_walfault");
+        let pc = faceted::Branches::new().with(faceted::Branch::pos(k));
+        let err = db
+            .save(
+                "event",
+                jid,
+                &Faceted::leaf(Some(vec![Value::from("lost"), Value::from("write")])),
+                &pc,
+            )
+            .unwrap_err();
+        assert!(format!("{err}").contains("injected"), "{err}");
+
+        // The failed save is invisible: the old rows are intact in
+        // memory (the delete rolled back too) and the log is empty.
+        assert_eq!(
+            db.raw_ref().table("event").unwrap().rows(),
+            rows_before.as_slice()
+        );
+        assert_eq!(db.get("event", jid).unwrap(), before);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
+
+        // The store keeps working: a retry (fault now spent) lands.
+        db.save(
+            "event",
+            jid,
+            &Faceted::leaf(Some(vec![Value::from("second"), Value::from("try")])),
+            &pc,
+        )
+        .unwrap();
+        assert_ne!(db.get("event", jid).unwrap(), before);
         let _ = std::fs::remove_file(&path);
     }
 

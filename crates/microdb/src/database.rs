@@ -248,6 +248,112 @@ impl Database {
         Ok(pos)
     }
 
+    /// Applies `stmts` to an **already write-locked** table as one
+    /// atomic unit: all statements are applied in memory, then the
+    /// effective ones (a zero-row update/delete does not bump the
+    /// generation and is omitted, mirroring the single-statement
+    /// paths) are logged as a *single* batch WAL record. If any
+    /// statement fails — or the WAL append does — the table is rolled
+    /// back to its pre-batch rows, so neither memory nor the log ever
+    /// holds a torn multi-row write. This is what makes a faceted
+    /// object save all-or-nothing: after a disk-full fault, reads
+    /// serve the intact pre-write state and a restore replays exactly
+    /// the writes that were acknowledged.
+    ///
+    /// # Errors
+    ///
+    /// The failing statement's error, or [`DbError::Persist`] from
+    /// the log append. The table is unchanged on error unless the
+    /// rollback window overflowed (batches beyond ~1k rows), which
+    /// upgrades the error to a `Persist` describing the overflow.
+    pub fn apply_batch_locked(&self, t: &mut Table, stmts: &[Statement]) -> DbResult<()> {
+        let g0 = t.generation();
+        let mut logged: Vec<Statement> = Vec::with_capacity(stmts.len());
+        let result = self
+            .apply_batch_statements(t, stmts, &mut logged)
+            .and_then(|()| {
+                if logged.is_empty() {
+                    return Ok(());
+                }
+                match &self.wal {
+                    Some(wal) => wal.append_batch(t.name(), &logged, t.generation()),
+                    None => Ok(()),
+                }
+            });
+        if let Err(e) = result {
+            if !t.rollback_to(g0) {
+                return Err(DbError::Persist(format!(
+                    "batch write failed ({e}) and the rollback window overflowed: \
+                     in-memory table {} may be ahead of the log",
+                    t.name()
+                )));
+            }
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    fn apply_batch_statements(
+        &self,
+        t: &mut Table,
+        stmts: &[Statement],
+        logged: &mut Vec<Statement>,
+    ) -> DbResult<()> {
+        let schema = t.schema().clone();
+        for stmt in stmts {
+            debug_assert_eq!(stmt.table(), t.name(), "batch statements share one table");
+            match stmt {
+                Statement::Insert { table, row } => {
+                    let pos = t.insert(row.clone())?;
+                    // Log the *stored* row (auto-increment resolved)
+                    // so replay is deterministic.
+                    logged.push(Statement::Insert {
+                        table: table.clone(),
+                        row: t.rows()[pos].clone(),
+                    });
+                }
+                Statement::Update {
+                    pred, assignments, ..
+                } => {
+                    let mut err = None;
+                    let n = t.update_where(
+                        |row| match pred.eval(&schema, row) {
+                            Ok(b) => b,
+                            Err(e) => {
+                                err = Some(e);
+                                false
+                            }
+                        },
+                        assignments,
+                    )?;
+                    if let Some(e) = err {
+                        return Err(e);
+                    }
+                    if n > 0 {
+                        logged.push(stmt.clone());
+                    }
+                }
+                Statement::Delete { pred, .. } => {
+                    let mut err = None;
+                    let n = t.delete_where(|row| match pred.eval(&schema, row) {
+                        Ok(b) => b,
+                        Err(e) => {
+                            err = Some(e);
+                            false
+                        }
+                    });
+                    if let Some(e) = err {
+                        return Err(e);
+                    }
+                    if n > 0 {
+                        logged.push(stmt.clone());
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Inserts a row into `table`, returning its physical position.
     ///
     /// # Errors
@@ -499,6 +605,95 @@ mod tests {
         db.insert("t", vec![Value::Null, Value::Int(99)]).unwrap();
         assert_eq!(copy.table("t").unwrap().len(), 5);
         assert_eq!(db.table("t").unwrap().len(), 6);
+    }
+
+    #[test]
+    fn batch_rolls_back_memory_when_the_wal_append_fails() {
+        use crate::faults::{self, FaultKind, FaultPoint};
+        use crate::wal::WriteLog;
+        use std::sync::Arc;
+
+        let dir = std::env::temp_dir().join(format!("microdb_batchfault_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.log");
+        let _ = std::fs::remove_file(&path);
+        let mut db = db();
+        db.attach_wal(Arc::new(WriteLog::open(&path).unwrap()));
+
+        // A healthy batch commits atomically: one line, all rows.
+        {
+            let mut t = db.table_mut("t").unwrap();
+            db.apply_batch_locked(
+                &mut t,
+                &[
+                    Statement::Insert {
+                        table: "t".into(),
+                        row: vec![Value::Null, Value::Int(100)],
+                    },
+                    Statement::Insert {
+                        table: "t".into(),
+                        row: vec![Value::Null, Value::Int(101)],
+                    },
+                ],
+            )
+            .unwrap();
+        }
+        assert_eq!(db.table("t").unwrap().len(), 7);
+        let lines = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(lines.lines().count(), 1, "one record for the whole batch");
+
+        // Now the append fails: memory must roll back to match the
+        // log — no torn object on either side.
+        let rows_before = db.table("t").unwrap().rows().to_vec();
+        faults::arm_at(FaultPoint::WalAppend, 0, FaultKind::Error, "batchfault");
+        let err = {
+            let mut t = db.table_mut("t").unwrap();
+            db.apply_batch_locked(
+                &mut t,
+                &[
+                    Statement::Insert {
+                        table: "t".into(),
+                        row: vec![Value::Null, Value::Int(200)],
+                    },
+                    Statement::Insert {
+                        table: "t".into(),
+                        row: vec![Value::Null, Value::Int(201)],
+                    },
+                ],
+            )
+            .unwrap_err()
+        };
+        assert!(format!("{err}").contains("injected"), "{err}");
+        assert_eq!(db.table("t").unwrap().rows(), rows_before.as_slice());
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap().lines().count(),
+            1,
+            "failed batch left no log record"
+        );
+
+        // A failing statement mid-batch rolls back without touching
+        // the log at all (the append never ran).
+        let err = {
+            let mut t = db.table_mut("t").unwrap();
+            db.apply_batch_locked(
+                &mut t,
+                &[
+                    Statement::Insert {
+                        table: "t".into(),
+                        row: vec![Value::Null, Value::Int(300)],
+                    },
+                    Statement::Insert {
+                        table: "t".into(),
+                        row: vec![Value::Null, Value::from("not an int")],
+                    },
+                ],
+            )
+            .unwrap_err()
+        };
+        assert!(matches!(err, DbError::TypeMismatch { .. }), "{err:?}");
+        assert_eq!(db.table("t").unwrap().rows(), rows_before.as_slice());
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
     }
 
     #[test]

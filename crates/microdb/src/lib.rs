@@ -38,6 +38,7 @@
 mod aggregate;
 mod database;
 mod error;
+pub mod faults;
 mod predicate;
 mod query;
 mod schema;
@@ -55,4 +56,4 @@ pub use schema::{ColumnDef, Schema};
 pub use snapshot::{Snapshot, TableSnapshot};
 pub use table::{Row, RowDelta, Table};
 pub use value::{ColumnType, Value};
-pub use wal::{LineLog, ReplayStats, Statement, WriteLog};
+pub use wal::{LineLog, LogRecord, ReplayStats, Statement, SyncPolicy, WriteLog};

@@ -404,6 +404,63 @@ impl Table {
         self.next_auto
     }
 
+    /// Undoes one journaled delta (the newest first — callers walk
+    /// the journal tail in reverse).
+    fn undo_delta(&mut self, delta: &RowDelta) {
+        match delta {
+            RowDelta::Append(row) => {
+                let popped = self.rows.pop();
+                debug_assert_eq!(popped.as_ref(), Some(row), "undo out of order");
+            }
+            RowDelta::Rewrite(rw) => {
+                for (ix, old, _new) in rw {
+                    self.rows[*ix] = old.clone();
+                }
+            }
+            RowDelta::Remove(rm) => {
+                // Indices are pre-removal positions in ascending
+                // order, so re-inserting ascending restores them.
+                for (ix, row) in rm {
+                    self.rows.insert(*ix, row.clone());
+                }
+            }
+        }
+    }
+
+    /// Rolls the rows back to their state at generation `g` by
+    /// undoing the journal tail — the in-memory half of an atomic
+    /// multi-statement write whose WAL append failed. Returns `false`
+    /// (and changes nothing) if the journal window no longer reaches
+    /// `g`; object writes are a handful of rows, far inside the
+    /// budget, so that only happens for pathological batches.
+    ///
+    /// On success the generation still advances (partial states may
+    /// have been observed by caches stamped with intermediate
+    /// generations — rolling the stamp *back* would validate them)
+    /// and the journal restarts empty, so delta consumers behind the
+    /// rollback fall back to a full re-read. The auto-increment
+    /// cursor is deliberately left advanced: skipped ids are
+    /// harmless, reused ids are not.
+    pub fn rollback_to(&mut self, g: u64) -> bool {
+        if g == self.generation {
+            return true; // nothing applied, nothing to undo
+        }
+        let Some(deltas) = self.deltas_since(g) else {
+            return false;
+        };
+        let tail: Vec<RowDelta> = deltas.cloned().collect();
+        for delta in tail.iter().rev() {
+            self.undo_delta(delta);
+        }
+        self.generation += 1;
+        self.journal = ChangeJournal::starting_at(self.generation + 1);
+        for index in &mut self.indexes {
+            index.dirty = true;
+        }
+        self.refresh_indexes();
+        true
+    }
+
     /// Rebuilds a table from persisted parts, preserving the write
     /// stamp and auto-increment cursor — the restore half of the
     /// snapshot subsystem. Every row is validated against the schema;
@@ -723,6 +780,43 @@ mod tests {
         let deltas: Vec<RowDelta> = restored.deltas_since(g).unwrap().cloned().collect();
         assert_eq!(deltas.len(), 1);
         assert!(matches!(&deltas[0], RowDelta::Append(r) if r[1] == Value::from("dave")));
+    }
+
+    #[test]
+    fn rollback_to_undoes_the_journal_tail() {
+        let mut t = people();
+        t.create_index("age").unwrap();
+        let g0 = t.generation();
+        let before = t.rows().to_vec();
+        // A mixed tail: delete + two inserts + a rewrite, like a
+        // faceted object save.
+        t.delete_where(|r| r[1] == Value::from("bob"));
+        t.insert(vec![Value::Null, "dave".into(), Value::Int(40)])
+            .unwrap();
+        t.insert(vec![Value::Null, "erin".into(), Value::Int(41)])
+            .unwrap();
+        t.update_where(
+            |r| r[2] == Value::Int(30),
+            &[("age".to_owned(), Value::Int(31))],
+        )
+        .unwrap();
+        assert!(t.rollback_to(g0));
+        assert_eq!(t.rows(), before);
+        // The stamp advanced past every intermediate state...
+        assert!(t.generation() > g0 + 4);
+        // ...and delta consumers at g0 must fall back to a full read.
+        assert!(t.deltas_since(g0).is_none());
+        // Indexes were refreshed, not left dirty.
+        assert_eq!(
+            t.index_probe_ref("age", &Value::Int(30)).unwrap(),
+            vec![0, 2]
+        );
+        // Rolling back to the current generation is a no-op.
+        let g = t.generation();
+        assert!(t.rollback_to(g));
+        assert_eq!(t.generation(), g);
+        // An unreachable generation is refused.
+        assert!(!t.rollback_to(g + 5));
     }
 
     #[test]

@@ -27,15 +27,30 @@
 //! Writers append under the table's write lock, so per-table records
 //! appear in generation order even with concurrent writers on other
 //! tables.
+//!
+//! # Durability window
+//!
+//! `append_line` **flushes** each record to the OS but, under the
+//! default [`SyncPolicy::Never`], does **not** fsync it. The window
+//! this opens is precise: a *process* crash (panic, kill -9) loses
+//! nothing — the bytes are in the kernel page cache and reach disk on
+//! the OS's schedule — but a *power loss / kernel panic* can lose
+//! every record appended since the last checkpoint's `sync_all`.
+//! Checkpoints themselves are fsynced (file + directory), so the
+//! exposure is exactly the WAL tail. [`SyncPolicy::EveryN`] bounds
+//! that tail to N records; [`SyncPolicy::Always`] closes it at one
+//! `fdatasync` per write.
 
 use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Seek, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use crate::database::Database;
 use crate::error::{DbError, DbResult};
+use crate::faults::{self, FaultKind, FaultPoint};
 use crate::predicate::{CmpOp, Operand, Predicate};
 use crate::snapshot::{decode_value, encode_value, escape_token, unescape_token};
 use crate::table::Row;
@@ -304,6 +319,143 @@ pub fn decode_record(line: &str) -> DbResult<(Statement, u64)> {
     Ok((stmt, generation))
 }
 
+/// One decoded log line: a single statement or an atomic batch.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LogRecord {
+    /// A single statement with its generation-after stamp.
+    Single(Statement, u64),
+    /// An atomic multi-statement record over one table. All-or-
+    /// nothing on disk by construction (one line), so a failed append
+    /// leaves no partial object write in the log. The stamp is the
+    /// table's generation after the *last* statement; snapshots are
+    /// only taken at executor quiescence, so a checkpoint never lands
+    /// mid-batch and the whole batch skips or replays as a unit.
+    Batch {
+        /// The single table every statement in the batch targets.
+        table: String,
+        /// The statements, in application order.
+        stmts: Vec<Statement>,
+        /// Table generation after the last statement.
+        generation: u64,
+    },
+}
+
+/// Renders an atomic batch of same-table statements as one log line
+/// (kind `bat`). Panics in debug builds if a statement targets a
+/// different table.
+#[must_use]
+pub fn encode_batch_record(table: &str, stmts: &[Statement], generation: u64) -> String {
+    let mut out = String::new();
+    out.push_str("bat ");
+    out.push_str(&escape_token(table));
+    out.push(' ');
+    out.push_str(&generation.to_string());
+    out.push(' ');
+    out.push_str(&stmts.len().to_string());
+    for stmt in stmts {
+        debug_assert_eq!(stmt.table(), table, "batch statements share one table");
+        match stmt {
+            Statement::Insert { row, .. } => {
+                out.push_str(" ins ");
+                out.push_str(&row.len().to_string());
+                for v in row {
+                    out.push(' ');
+                    out.push_str(&encode_value(v));
+                }
+            }
+            Statement::Update {
+                pred, assignments, ..
+            } => {
+                out.push_str(" upd ");
+                out.push_str(&assignments.len().to_string());
+                for (col, v) in assignments {
+                    out.push(' ');
+                    out.push_str(&escape_token(col));
+                    out.push(' ');
+                    out.push_str(&encode_value(v));
+                }
+                out.push(' ');
+                push_predicate(&mut out, pred);
+            }
+            Statement::Delete { pred, .. } => {
+                out.push_str(" del ");
+                push_predicate(&mut out, pred);
+            }
+        }
+    }
+    out.push_str(" .");
+    out
+}
+
+/// Parses one log line into a [`LogRecord`] — the entry point replay
+/// uses, accepting both single-statement and batch records.
+///
+/// # Errors
+///
+/// [`DbError::Persist`] on any malformed record.
+pub fn decode_line(line: &str) -> DbResult<LogRecord> {
+    if line.split_whitespace().next() != Some("bat") {
+        let (stmt, generation) = decode_record(line)?;
+        return Ok(LogRecord::Single(stmt, generation));
+    }
+    let mut tokens = line.split_whitespace();
+    let _ = tokens.next(); // "bat"
+    let table = unescape_token(next_token(&mut tokens, "table")?)?;
+    let generation: u64 = next_token(&mut tokens, "generation")?
+        .parse()
+        .map_err(|_| parse_err("bad generation"))?;
+    let count: usize = next_token(&mut tokens, "batch count")?
+        .parse()
+        .map_err(|_| parse_err("bad batch count"))?;
+    let mut stmts = Vec::with_capacity(count);
+    for _ in 0..count {
+        let stmt = match next_token(&mut tokens, "batch statement")? {
+            "ins" => {
+                let n: usize = next_token(&mut tokens, "row width")?
+                    .parse()
+                    .map_err(|_| parse_err("bad row width"))?;
+                let mut row = Row::with_capacity(n);
+                for _ in 0..n {
+                    row.push(decode_value(next_token(&mut tokens, "row value")?)?);
+                }
+                Statement::Insert {
+                    table: table.clone(),
+                    row,
+                }
+            }
+            "upd" => {
+                let n: usize = next_token(&mut tokens, "assignment count")?
+                    .parse()
+                    .map_err(|_| parse_err("bad assignment count"))?;
+                let mut assignments = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let col = unescape_token(next_token(&mut tokens, "assignment column")?)?;
+                    let v = decode_value(next_token(&mut tokens, "assignment value")?)?;
+                    assignments.push((col, v));
+                }
+                let pred = parse_predicate(&mut tokens)?;
+                Statement::Update {
+                    table: table.clone(),
+                    pred,
+                    assignments,
+                }
+            }
+            "del" => Statement::Delete {
+                table: table.clone(),
+                pred: parse_predicate(&mut tokens)?,
+            },
+            other => return Err(parse_err(&format!("unknown batch statement {other:?}"))),
+        };
+        stmts.push(stmt);
+    }
+    expect_terminator(&mut tokens)?;
+    Ok(LogRecord::Batch {
+        table,
+        stmts,
+        generation,
+    })
+}
+
 fn ensure_exhausted<'a>(tokens: &mut impl Iterator<Item = &'a str>) -> DbResult<()> {
     match tokens.next() {
         None => Ok(()),
@@ -329,6 +481,26 @@ pub struct ReplayStats {
     pub torn_tail: bool,
 }
 
+/// When (if ever) an append is fsynced, not just flushed. See the
+/// module-level *Durability window* note: the default trades power-
+/// loss durability of the WAL tail for write latency, exactly like
+/// `synchronous=NORMAL` databases.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// Flush to the OS only (the historical behavior). Survives
+    /// process crashes; a power loss can lose the whole WAL tail
+    /// since the last checkpoint.
+    Never,
+    /// `fdatasync` every Nth append: bounds power-loss exposure to at
+    /// most N-1 records. `EveryN(1)` is equivalent to [`Always`].
+    ///
+    /// [`Always`]: SyncPolicy::Always
+    EveryN(u32),
+    /// `fdatasync` every append: no durability window, one disk
+    /// round-trip per write.
+    Always,
+}
+
 /// The reusable append-only line-log machinery: open-append, one
 /// flushed line per record, truncation after a checkpoint, and
 /// torn-tail-aware reading. [`WriteLog`] layers the statement codec
@@ -338,6 +510,11 @@ pub struct ReplayStats {
 pub struct LineLog {
     path: PathBuf,
     file: Mutex<BufWriter<File>>,
+    policy: SyncPolicy,
+    /// Appends since the last fsync (only tracked for `EveryN`).
+    since_sync: AtomicU64,
+    /// Total fsyncs issued — observability for tests and stats.
+    syncs: AtomicU64,
 }
 
 impl fmt::Debug for LineLog {
@@ -353,11 +530,27 @@ impl LineLog {
     ///
     /// Propagates I/O errors.
     pub fn open(path: impl AsRef<Path>) -> std::io::Result<LineLog> {
+        LineLog::open_with_policy(path, SyncPolicy::Never)
+    }
+
+    /// Opens (creating if absent) the log at `path` with an explicit
+    /// [`SyncPolicy`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn open_with_policy(
+        path: impl AsRef<Path>,
+        policy: SyncPolicy,
+    ) -> std::io::Result<LineLog> {
         let path = path.as_ref().to_path_buf();
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
         Ok(LineLog {
             path,
             file: Mutex::new(BufWriter::new(file)),
+            policy,
+            since_sync: AtomicU64::new(0),
+            syncs: AtomicU64::new(0),
         })
     }
 
@@ -367,8 +560,29 @@ impl LineLog {
         &self.path
     }
 
+    /// The log's fsync policy.
+    #[must_use]
+    pub fn sync_policy(&self) -> SyncPolicy {
+        self.policy
+    }
+
+    /// Total fsyncs this log has issued (0 under
+    /// [`SyncPolicy::Never`]).
+    #[must_use]
+    pub fn sync_count(&self) -> u64 {
+        self.syncs.load(Ordering::Relaxed)
+    }
+
     /// Appends one line (no embedded newlines) and flushes it to the
-    /// OS, so a crash after the append returns cannot lose it.
+    /// OS, so a *process* crash after the append returns cannot lose
+    /// it; whether it also survives power loss is the [`SyncPolicy`]'s
+    /// call (see the module-level *Durability window* note).
+    ///
+    /// This is the [`FaultPoint::WalAppend`] injection site: an armed
+    /// [`FaultKind::Error`] fails before any byte is written (disk
+    /// full); an armed [`FaultKind::ShortWrite`] leaves a torn,
+    /// newline-less prefix in the file — exactly the tail shape
+    /// [`WriteLog::replay`] must discard — then fails.
     ///
     /// # Errors
     ///
@@ -376,7 +590,35 @@ impl LineLog {
     pub fn append_line(&self, line: &str) -> std::io::Result<()> {
         debug_assert!(!line.contains('\n'), "records are single lines");
         let mut file = self.file.lock().expect("line log poisoned");
-        writeln!(file, "{line}").and_then(|()| file.flush())
+        match faults::check(FaultPoint::WalAppend, &self.path) {
+            Some(FaultKind::Error) => return Err(faults::injected_err("append")),
+            Some(FaultKind::ShortWrite) => {
+                let cut = line.len() / 2;
+                file.write_all(&line.as_bytes()[..cut])
+                    .and_then(|()| file.flush())?;
+                return Err(faults::injected_err("append torn mid-record"));
+            }
+            None => {}
+        }
+        writeln!(file, "{line}").and_then(|()| file.flush())?;
+        let due = match self.policy {
+            SyncPolicy::Never => false,
+            SyncPolicy::Always => true,
+            SyncPolicy::EveryN(n) => {
+                let seen = self.since_sync.fetch_add(1, Ordering::Relaxed) + 1;
+                if seen >= u64::from(n.max(1)) {
+                    self.since_sync.store(0, Ordering::Relaxed);
+                    true
+                } else {
+                    false
+                }
+            }
+        };
+        if due {
+            file.get_ref().sync_data()?;
+            self.syncs.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
     }
 
     /// Truncates the log — called right after a snapshot superseding
@@ -440,6 +682,26 @@ impl WriteLog {
         })
     }
 
+    /// Opens the log with an explicit [`SyncPolicy`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn open_with_policy(
+        path: impl AsRef<Path>,
+        policy: SyncPolicy,
+    ) -> std::io::Result<WriteLog> {
+        Ok(WriteLog {
+            log: LineLog::open_with_policy(path, policy)?,
+        })
+    }
+
+    /// Total fsyncs the underlying log has issued.
+    #[must_use]
+    pub fn sync_count(&self) -> u64 {
+        self.log.sync_count()
+    }
+
     /// The log's file path.
     #[must_use]
     pub fn path(&self) -> &Path {
@@ -456,6 +718,21 @@ impl WriteLog {
     pub fn append(&self, stmt: &Statement, generation: u64) -> DbResult<()> {
         self.log
             .append_line(&encode_record(stmt, generation))
+            .map_err(|e| DbError::Persist(format!("write log append: {e}")))
+    }
+
+    /// Appends an atomic batch of same-table statements as one record
+    /// (one line): either the whole object write is in the log or
+    /// none of it is, so a failed append never leaves a torn object.
+    /// `generation` is the table's generation after the last
+    /// statement.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Persist`] wrapping the I/O failure.
+    pub fn append_batch(&self, table: &str, stmts: &[Statement], generation: u64) -> DbResult<()> {
+        self.log
+            .append_line(&encode_batch_record(table, stmts, generation))
             .map_err(|e| DbError::Persist(format!("write log append: {e}")))
     }
 
@@ -489,7 +766,7 @@ impl WriteLog {
         };
         let mut stats = ReplayStats::default();
         for (i, line) in lines.iter().enumerate() {
-            let (stmt, generation) = match decode_record(line) {
+            let record = match decode_line(line) {
                 Ok(r) => r,
                 Err(e) => {
                     if i + 1 == lines.len() && !complete_tail {
@@ -499,12 +776,33 @@ impl WriteLog {
                     return Err(e);
                 }
             };
-            if generation <= db.generation(stmt.table())? {
-                stats.skipped += 1;
-                continue;
+            match record {
+                LogRecord::Single(stmt, generation) => {
+                    if generation <= db.generation(stmt.table())? {
+                        stats.skipped += 1;
+                        continue;
+                    }
+                    db.apply_statement(&stmt)?;
+                    stats.applied += 1;
+                }
+                LogRecord::Batch {
+                    table,
+                    stmts,
+                    generation,
+                } => {
+                    // Snapshots are taken at quiescence, so the
+                    // restored generation is never *inside* a batch:
+                    // the whole batch skips or replays as a unit.
+                    if generation <= db.generation(&table)? {
+                        stats.skipped += 1;
+                        continue;
+                    }
+                    for stmt in &stmts {
+                        db.apply_statement(stmt)?;
+                    }
+                    stats.applied += 1;
+                }
             }
-            db.apply_statement(&stmt)?;
-            stats.applied += 1;
         }
         Ok(stats)
     }
@@ -777,5 +1075,148 @@ mod tests {
         let mut db = fresh_db();
         let stats = WriteLog::replay(temp_path("never-created"), &mut db).unwrap();
         assert_eq!(stats, ReplayStats::default());
+    }
+
+    #[test]
+    fn batch_records_round_trip() {
+        let stmts = vec![
+            Statement::Delete {
+                table: "t".into(),
+                pred: Predicate::eq(Operand::col("id"), Operand::lit(3i64)),
+            },
+            Statement::Insert {
+                table: "t".into(),
+                row: vec![Value::Int(3), Value::from("a b")],
+            },
+            Statement::Insert {
+                table: "t".into(),
+                row: vec![Value::Int(4), Value::Null],
+            },
+            Statement::Update {
+                table: "t".into(),
+                pred: Predicate::True,
+                assignments: vec![("x".into(), Value::from("v"))],
+            },
+        ];
+        let line = encode_batch_record("t", &stmts, 9);
+        assert!(!line.contains('\n'));
+        match decode_line(&line).unwrap() {
+            LogRecord::Batch {
+                table,
+                stmts: back,
+                generation,
+            } => {
+                assert_eq!(table, "t");
+                assert_eq!(back, stmts);
+                assert_eq!(generation, 9);
+            }
+            other => panic!("expected batch, got {other:?}"),
+        }
+        // Single records still decode through decode_line.
+        let single = encode_record(&stmts[1], 5);
+        assert!(matches!(
+            decode_line(&single).unwrap(),
+            LogRecord::Single(Statement::Insert { .. }, 5)
+        ));
+        // A truncated batch (no terminator) is rejected.
+        assert!(decode_line(line.trim_end_matches(" .")).is_err());
+        assert!(decode_line("bat t 1 2 ins 1 i1 .").is_err());
+    }
+
+    #[test]
+    fn batch_replay_skips_or_applies_as_a_unit() {
+        let path = temp_path("batch");
+        let _ = std::fs::remove_file(&path);
+        let db = fresh_db();
+        let snapshot = db.snapshot();
+        let log = WriteLog::open(&path).unwrap();
+        // Simulate an object write: two inserts, one batch record,
+        // stamped with the generation after the last statement.
+        db.insert("t", vec![Value::Null, Value::from("r1")])
+            .unwrap();
+        db.insert("t", vec![Value::Null, Value::from("r2")])
+            .unwrap();
+        let stmts: Vec<Statement> = db
+            .table("t")
+            .unwrap()
+            .rows()
+            .iter()
+            .map(|r| Statement::Insert {
+                table: "t".into(),
+                row: r.clone(),
+            })
+            .collect();
+        log.append_batch("t", &stmts, db.generation("t").unwrap())
+            .unwrap();
+
+        let mut restored = Database::new();
+        restored.restore(&snapshot).unwrap();
+        let stats = WriteLog::replay(&path, &mut restored).unwrap();
+        assert_eq!((stats.applied, stats.skipped), (1, 0));
+        assert_eq!(
+            restored.table("t").unwrap().rows(),
+            db.table("t").unwrap().rows()
+        );
+        // Replaying onto the already-current database skips the batch.
+        let stats2 = WriteLog::replay(&path, &mut restored).unwrap();
+        assert_eq!((stats2.applied, stats2.skipped), (0, 1));
+        assert_eq!(restored.table("t").unwrap().len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn injected_short_write_leaves_a_replayable_torn_tail() {
+        let path = temp_path("fault_short");
+        let _ = std::fs::remove_file(&path);
+        let log = WriteLog::open(&path).unwrap();
+        let whole = Statement::Insert {
+            table: "t".into(),
+            row: vec![Value::Int(1), Value::from("whole")],
+        };
+        log.append(&whole, 1).unwrap();
+
+        // Path-scoped so a parallel test's appends can't trip it; one-
+        // shot so it is inert afterwards (no disarm needed, which
+        // would clear other tests' plans).
+        faults::arm_at(
+            FaultPoint::WalAppend,
+            0,
+            FaultKind::ShortWrite,
+            "fault_short",
+        );
+        let torn = Statement::Insert {
+            table: "t".into(),
+            row: vec![Value::Int(2), Value::from("torn")],
+        };
+        let err = log.append(&torn, 2).unwrap_err();
+        assert!(format!("{err}").contains("injected"), "{err}");
+
+        let mut db = fresh_db();
+        let stats = WriteLog::replay(&path, &mut db).unwrap();
+        assert!(stats.torn_tail, "{stats:?}");
+        assert_eq!(stats.applied, 1);
+        assert_eq!(db.table("t").unwrap().len(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sync_policy_every_n_counts_fsyncs() {
+        let path = temp_path("sync_policy");
+        let _ = std::fs::remove_file(&path);
+        let log = LineLog::open_with_policy(&path, SyncPolicy::EveryN(2)).unwrap();
+        assert_eq!(log.sync_policy(), SyncPolicy::EveryN(2));
+        for i in 0..5 {
+            log.append_line(&format!("line{i}")).unwrap();
+        }
+        assert_eq!(log.sync_count(), 2, "5 appends at EveryN(2) -> 2 syncs");
+
+        let always = LineLog::open_with_policy(&path, SyncPolicy::Always).unwrap();
+        always.append_line("x").unwrap();
+        assert_eq!(always.sync_count(), 1);
+
+        let never = LineLog::open_with_policy(&path, SyncPolicy::Never).unwrap();
+        never.append_line("y").unwrap();
+        assert_eq!(never.sync_count(), 0);
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -24,6 +24,7 @@ fn start(site: Site) -> Server {
             conn_threads: 4,
             executor_threads: 4,
             read_timeout: Duration::from_millis(500),
+            ..ServerConfig::default()
         },
     )
     .expect("bind an ephemeral port")
