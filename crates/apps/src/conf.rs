@@ -266,6 +266,24 @@ pub fn all_papers(app: &App, viewer: &Viewer) -> String {
     page
 }
 
+/// One paper's line of [`all_papers`], rendered for `viewer` through
+/// the same faceted projection the full page runs — the render
+/// cache's repair path re-renders exactly these. A paper the viewer
+/// cannot see (or that no longer exists) contributes no bytes, which
+/// matches the full page's guard-filtered row scan.
+pub fn paper_fragment(app: &App, viewer: &Viewer, jid: i64) -> String {
+    let mut session = Session::new(viewer.clone());
+    let Ok(paper) = app.get("paper", jid) else {
+        return String::new();
+    };
+    let Some(row) = session.view_object(app, &paper) else {
+        return String::new();
+    };
+    let title = row[0].as_str().unwrap_or("?").to_owned();
+    let author = author_name(app, &mut session, &row[1]);
+    format!("{title} by {author}\n")
+}
+
 fn author_name(app: &App, session: &mut Session, author: &Value) -> String {
     match author.as_int() {
         Some(jid) if jid >= 0 => match app.get("user_profile", jid) {
@@ -390,6 +408,17 @@ pub fn router() -> Router {
         "papers/all",
         &["conf_state", "paper", "paper_pc_conflict", "user_profile"],
         |app, req: &Request| Response::ok(all_papers(app, &req.viewer)),
+    );
+    // Fragment repair: one line per paper, spliced from the write
+    // journal on single-paper writes. `users/all` deliberately does
+    // NOT register fragments — the chair check in `restrict_email`
+    // makes one user's row change how *every* user's line renders,
+    // violating the no-cross-row-dependence contract.
+    r.route_fragments(
+        "papers/all",
+        "paper",
+        |_, _| ("== Papers ==\n".to_owned(), String::new()),
+        |app, req: &Request, jid| paper_fragment(app, &req.viewer, jid),
     );
     r.route_read_tables(
         "papers/one",

@@ -182,6 +182,36 @@ pub fn all_courses(app: &App, viewer: &Viewer) -> String {
     page
 }
 
+/// One course's line of [`all_courses`], rendered for `viewer`
+/// through the same faceted projection the full page runs — the
+/// render cache's repair path re-renders exactly these. A course the
+/// viewer cannot see (or that no longer exists) contributes no bytes,
+/// matching the full page's guard-filtered row scan. The enrollment
+/// table (which the course policy consults) is a *different*
+/// footprint table, so any enrollment change blocks repair outright.
+pub fn course_fragment(app: &App, viewer: &Viewer, jid: i64) -> String {
+    let mut session = Session::new(viewer.clone());
+    let Ok(course) = app.get("course", jid) else {
+        return String::new();
+    };
+    let Some(row) = session.view_object(app, &course) else {
+        return String::new();
+    };
+    let instructor = row[1].as_int().unwrap_or(-1);
+    let name = if instructor >= 0 {
+        app.get("cuser", instructor)
+            .ok()
+            .and_then(|o| session.view_object(app, &o))
+            .map_or_else(
+                || "(unknown)".to_owned(),
+                |r| r[0].as_str().unwrap_or("?").to_owned(),
+            )
+    } else {
+        "(unlisted)".to_owned()
+    };
+    format!("{} taught by {name}\n", row[0].as_str().unwrap_or("?"))
+}
+
 /// The same page with Early Pruning OFF: the page is built as one
 /// *faceted* string — every course's label doubles the facet count,
 /// reproducing the blowup of Table 5. Policies are resolved only at
@@ -286,6 +316,20 @@ pub fn router() -> Router {
         &["course", "cuser", "enrollment"],
         |app, req: &Request| Response::ok(all_courses_no_pruning(app, &req.viewer)),
     );
+    // Fragment repair for both course listings: one line per course.
+    // The unpruned ablation page renders byte-identically to the
+    // pruned one (the Early Pruning soundness the differential suite
+    // pins), so one fragment renderer serves both — and the executor
+    // verifies the decomposition against each page's actual bytes on
+    // every store.
+    for path in ["courses/all", "courses/all_unpruned"] {
+        r.route_fragments(
+            path,
+            "course",
+            |_, _| ("== Courses ==\n".to_owned(), String::new()),
+            |app, req: &Request, jid| course_fragment(app, &req.viewer, jid),
+        );
+    }
     r.route_read_tables(
         "submissions/one",
         &["submission", "assignment", "course"],

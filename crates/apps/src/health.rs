@@ -106,6 +106,35 @@ pub fn all_records_summary(app: &App, viewer: &Viewer) -> String {
     page
 }
 
+/// One record's line of [`all_records_summary`], rendered for
+/// `viewer` through the same faceted projection the full page runs —
+/// the render cache's repair path re-renders exactly these. The
+/// waiver table (which the record policy consults) is a different
+/// footprint table, so any waiver change blocks repair outright.
+pub fn record_fragment(app: &App, viewer: &Viewer, jid: i64) -> String {
+    let mut session = Session::new(viewer.clone());
+    let Ok(record) = app.get("health_record", jid) else {
+        return String::new();
+    };
+    let Some(row) = session.view_object(app, &record) else {
+        return String::new();
+    };
+    let patient = row[0].as_int().unwrap_or(-1);
+    let name = app
+        .get("individual", patient)
+        .ok()
+        .and_then(|o| session.view_object(app, &o))
+        .map_or_else(
+            || "(unknown)".to_owned(),
+            |r| r[0].as_str().unwrap_or("?").to_owned(),
+        );
+    format!(
+        "{name}: {} / {}\n",
+        row[3].as_str().unwrap_or("?"),
+        row[4].as_str().unwrap_or("?"),
+    )
+}
+
 /// One record in detail.
 pub fn single_record(app: &App, viewer: &Viewer, record: i64) -> String {
     let mut session = Session::new(viewer.clone());
@@ -147,6 +176,14 @@ pub fn router() -> Router {
         "records/all",
         &["health_record", "individual", "waiver"],
         |app, req: &Request| Response::ok(all_records_summary(app, &req.viewer)),
+    );
+    // Fragment repair: one line per record, spliced from the write
+    // journal on single-record writes.
+    r.route_fragments(
+        "records/all",
+        "health_record",
+        |_, _| ("== Records ==\n".to_owned(), String::new()),
+        |app, req: &Request, jid| record_fragment(app, &req.viewer, jid),
     );
     r.route_read_tables(
         "records/one",

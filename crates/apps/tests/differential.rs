@@ -505,10 +505,15 @@ fn render_cache_differential_all_pages_all_viewers_under_writes() {
     let off = workload::conference(10, 8);
     let app_on = on.app;
     let app_off = off.app;
+    let app_norepair = workload::conference(10, 8).app;
     let mut vanilla = on.vanilla;
     assert!(
         app_off.set_render_cache(false),
         "the ablation flag reports the previous (enabled) state"
+    );
+    assert!(
+        app_norepair.set_fragment_repair(false),
+        "fragment repair defaults on; this leg ablates it (cache stays on)"
     );
     let router = apps::conf::router();
     let viewers: Vec<Viewer> = std::iter::once(Viewer::Anonymous)
@@ -570,6 +575,7 @@ fn render_cache_differential_all_pages_all_viewers_under_writes() {
         "the second pass must be all hits"
     );
     assert_eq!(grid(&app_off, &papers), cold, "cache-off twin agrees");
+    assert_eq!(grid(&app_norepair, &papers), cold, "repair-off twin agrees");
     assert_eq!(
         baseline(&mut vanilla, &viewers, &papers),
         cold,
@@ -590,8 +596,10 @@ fn render_cache_differential_all_pages_all_viewers_under_writes() {
                 let a = apps::conf::submit_paper(&app_on, &Viewer::User(3), "Cache paper").unwrap();
                 let b =
                     apps::conf::submit_paper(&app_off, &Viewer::User(3), "Cache paper").unwrap();
+                let n = apps::conf::submit_paper(&app_norepair, &Viewer::User(3), "Cache paper")
+                    .unwrap();
                 let v = vanilla.submit_paper(&Viewer::User(3), "Cache paper");
-                assert_eq!((a, b), (v, v), "paper ids line up");
+                assert_eq!((a, b, n), (v, v, v), "paper ids line up");
                 papers.push(a);
             }
             "after review" => {
@@ -600,12 +608,15 @@ fn render_cache_differential_all_pages_all_viewers_under_writes() {
                     apps::conf::submit_review(&app_on, &Viewer::User(2), paper, 2, "ok").unwrap();
                 let b =
                     apps::conf::submit_review(&app_off, &Viewer::User(2), paper, 2, "ok").unwrap();
+                let n = apps::conf::submit_review(&app_norepair, &Viewer::User(2), paper, 2, "ok")
+                    .unwrap();
                 let v = vanilla.submit_review(&Viewer::User(2), paper, 2, "ok");
-                assert_eq!((a, b), (v, v), "review ids line up");
+                assert_eq!((a, b, n), (v, v, v), "review ids line up");
             }
             "after phase flip" => {
                 apps::conf::set_phase(&app_on, apps::conf::PHASE_FINAL).unwrap();
                 apps::conf::set_phase(&app_off, apps::conf::PHASE_FINAL).unwrap();
+                apps::conf::set_phase(&app_norepair, apps::conf::PHASE_FINAL).unwrap();
                 vanilla.set_phase(apps::conf::PHASE_FINAL);
             }
             _ => unreachable!(),
@@ -617,6 +628,11 @@ fn render_cache_differential_all_pages_all_viewers_under_writes() {
         let second = grid(&app_on, &papers);
         assert_eq!(second, first, "{stage}: warm pass replays bytes");
         assert_eq!(grid(&app_off, &papers), first, "{stage}: cache-off twin");
+        assert_eq!(
+            grid(&app_norepair, &papers),
+            first,
+            "{stage}: repair-off twin"
+        );
         assert_eq!(
             baseline(&mut vanilla, &viewers, &papers),
             first,
@@ -631,6 +647,179 @@ fn render_cache_differential_all_pages_all_viewers_under_writes() {
     assert!(
         final_stats.hits > warm_stats.hits,
         "post-write passes must re-warm and hit again"
+    );
+    assert!(
+        final_stats.repairs > 0,
+        "the paper insert must repair the warm papers/all entries in place"
+    );
+    assert_eq!(
+        app_norepair.render_cache_stats().repairs,
+        0,
+        "the repair-off twin never repairs — it pays full re-renders"
+    );
+}
+
+/// Fragment-repair property test: over randomized interleavings of
+/// paper inserts, in-place title updates, and deletes, the page grid
+/// served for *every* viewer must stay byte-identical across three
+/// worlds — fragments on (stale entries repaired from the journal),
+/// fragments off (stale entries discarded, full re-render), and cache
+/// off (ground truth) — after every single write. Seeds are pinned so
+/// a failure replays deterministically; `users/all` rides along as
+/// the no-fragment-spec control.
+#[test]
+fn fragment_repair_differential_randomized_interleavings() {
+    use jacqueline::{Executor, Request};
+    use microdb::Value;
+
+    struct SplitMix64(u64);
+    impl SplitMix64 {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    let router = apps::conf::router();
+    let viewers: Vec<Viewer> = std::iter::once(Viewer::Anonymous)
+        .chain((1..=6).map(Viewer::User))
+        .collect();
+    for seed in [1u64, 7, 42, 0xbeef] {
+        let mut rng = SplitMix64(seed);
+        let repairing = workload::conference(6, 4).app;
+        let discarding = workload::conference(6, 4).app;
+        let uncached = workload::conference(6, 4).app;
+        assert!(discarding.set_fragment_repair(false));
+        assert!(uncached.set_render_cache(false));
+        let grid = |app: &jacqueline::App| -> Vec<String> {
+            let requests: Vec<Request> = viewers
+                .iter()
+                .flat_map(|v| {
+                    [
+                        Request::new("papers/all", v.clone()),
+                        Request::new("users/all", v.clone()),
+                    ]
+                })
+                .collect();
+            Executor::sequential()
+                .run(app, &router, &requests)
+                .into_iter()
+                .map(|r| {
+                    assert_eq!(r.status, 200);
+                    r.body
+                })
+                .collect()
+        };
+        // Warm every world so the first write lands on stamped entries.
+        let cold = grid(&repairing);
+        assert_eq!(grid(&discarding), cold, "seed {seed}: warm-up");
+        assert_eq!(grid(&uncached), cold, "seed {seed}: warm-up uncached");
+
+        let mut papers: Vec<i64> = (1..=4).collect();
+        for step in 0..24 {
+            match rng.next() % 3 {
+                0 => {
+                    let author = 1 + (rng.next() % 6) as i64;
+                    let title = format!("p{seed}-{step}");
+                    let a = apps::conf::submit_paper(&repairing, &Viewer::User(author), &title)
+                        .unwrap();
+                    let b = apps::conf::submit_paper(&discarding, &Viewer::User(author), &title)
+                        .unwrap();
+                    let c =
+                        apps::conf::submit_paper(&uncached, &Viewer::User(author), &title).unwrap();
+                    assert_eq!((a, b), (c, c), "seed {seed} step {step}: ids line up");
+                    papers.push(a);
+                }
+                1 => {
+                    let jid = papers[(rng.next() as usize) % papers.len()];
+                    let title = Value::from(format!("re{seed}-{step}"));
+                    for app in [&repairing, &discarding, &uncached] {
+                        app.update_fields("paper", jid, &[(0, title.clone())], &Default::default())
+                            .unwrap();
+                    }
+                }
+                _ => {
+                    if papers.len() > 1 {
+                        let ix = (rng.next() as usize) % papers.len();
+                        let jid = papers.swap_remove(ix);
+                        for app in [&repairing, &discarding, &uncached] {
+                            app.db.delete("paper", jid, &Default::default()).unwrap();
+                        }
+                    }
+                }
+            }
+            let now = grid(&repairing);
+            assert_eq!(
+                grid(&discarding),
+                now,
+                "seed {seed} step {step}: repair ≡ full re-render"
+            );
+            assert_eq!(
+                grid(&uncached),
+                now,
+                "seed {seed} step {step}: repair ≡ uncached ground truth"
+            );
+        }
+        let stats = repairing.render_cache_stats();
+        assert!(
+            stats.repairs > 0,
+            "seed {seed}: the repairing world must exercise the repair path"
+        );
+        assert_eq!(
+            discarding.render_cache_stats().repairs,
+            0,
+            "seed {seed}: the ablated world never repairs"
+        );
+    }
+}
+
+/// The O(1) claim, counter-pinned at scale: with 1024 papers on the
+/// page, one `papers/submit` repairs exactly **one** fragment — the
+/// `repaired_fragments` counter moves by 1, not by 1024 — and the
+/// spliced page is byte-identical to a from-scratch faceted render.
+#[test]
+fn single_write_repairs_one_fragment_at_scale() {
+    use jacqueline::{Executor, Request};
+    let app = workload::conference(6, 4).app;
+    let router = apps::conf::router();
+    for i in 5..=1024i64 {
+        let author = 1 + (i % 6);
+        apps::conf::submit_paper(&app, &Viewer::User(author), &format!("bulk {i}")).unwrap();
+    }
+    let viewer = Viewer::User(2);
+    let warm = Executor::sequential().run(
+        &app,
+        &router,
+        &[
+            Request::new("papers/all", viewer.clone()),
+            Request::new("papers/all", viewer.clone()),
+        ],
+    );
+    assert_eq!(warm[1].body, warm[0].body, "the second read is a hit");
+    let before = app.render_cache_stats();
+
+    apps::conf::submit_paper(&app, &Viewer::User(3), "the one new paper").unwrap();
+    let repaired =
+        Executor::sequential().run(&app, &router, &[Request::new("papers/all", viewer.clone())]);
+    assert!(repaired[0].body.contains("the one new paper"));
+    let after = app.render_cache_stats();
+    assert_eq!(
+        after.repairs - before.repairs,
+        1,
+        "the stale entry is repaired, not discarded"
+    );
+    assert_eq!(
+        after.repaired_fragments - before.repaired_fragments,
+        1,
+        "one write to a 1024-row page re-renders one fragment, not a thousand"
+    );
+    assert_eq!(
+        repaired[0].body,
+        apps::conf::all_papers(&app, &viewer),
+        "the spliced page equals a from-scratch render"
     );
 }
 

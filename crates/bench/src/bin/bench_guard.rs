@@ -14,11 +14,13 @@
 //! (default `table3_`, the unmarshalling stress tables this repo
 //! optimizes; CI runs further passes with `--prefix e2e_` to gate
 //! the HTTP front-end's served / in-process overhead ratio,
-//! `--prefix table3_write_mix --min-median 0.000001` to gate the
+//! `--prefix deltas_write_mix --min-median 0.000001` to gate the
 //! deltas_on / deltas_off write-mix speedup, whose numerator medians
-//! sit below the default noise floor by design, and `--prefix
+//! sit below the default noise floor by design, `--prefix
 //! render_ --min-median 0.0000005` to gate the render_on /
-//! render_off hit-path speedup of the render cache).
+//! render_off hit-path speedup of the render cache, and `--prefix
+//! fragment_ --min-median 0.0000005` to gate the fragments_on /
+//! fragments_off repair-vs-invalidate speedup).
 //!
 //! The default mode is `ratio`: for every sweep size it compares the
 //! **jacqueline / baseline overhead ratio** of the fresh run against
@@ -143,21 +145,24 @@ fn comparisons(
             continue;
         }
         // Ratio mode: pair each numerator label with its denominator
-        // twin, in both files. Four label conventions exist:
+        // twin, in both files. Five label conventions exist:
         // "<size> jacqueline" / "<size> baseline" (the faceted
         // overhead of the paper's tables), "<page> served" /
         // "<page> inprocess" (the socket-path overhead of the HTTP
         // front-end), "<size> deltas_on" / "<size> deltas_off" (the
-        // write-mix win of decode-cache delta maintenance), and
+        // write-mix win of decode-cache delta maintenance),
         // "<mix> render_on" / "<mix> render_off" (the hit-path win of
-        // the generation-validated render cache). The third field
-        // marks overhead pairs whose committed ratio is clamped at
-        // parity — see below.
-        const RATIO_PAIRS: [(&str, &str, bool); 4] = [
+        // the generation-validated render cache), and
+        // "<mix> fragments_on" / "<mix> fragments_off" (the
+        // repair-vs-full-invalidate win of fragment repair). The
+        // third field marks overhead pairs whose committed ratio is
+        // clamped at parity — see below.
+        const RATIO_PAIRS: [(&str, &str, bool); 5] = [
             (" jacqueline", " baseline", true),
             (" served", " inprocess", true),
             (" deltas_on", " deltas_off", false),
             (" render_on", " render_off", false),
+            (" fragments_on", " fragments_off", false),
         ];
         let Some((size, den_suffix, clamp)) = RATIO_PAIRS
             .iter()

@@ -2,16 +2,20 @@
 //! [`jbench::chaos`]) and exits non-zero on the first violated
 //! robustness invariant.
 //!
-//! Usage: `chaos --seed N` (defaults to seed 1). Each seed is a
-//! fully deterministic interleaving of writes, checkpoints, injected
+//! Usage: `chaos --seed N [--no-fragments]` (defaults to seed 1 with
+//! render-cache fragment repair enabled). Each seed is a fully
+//! deterministic interleaving of writes, checkpoints, injected
 //! storage faults, kills and restores over the three case-study
-//! applications — a failing seed replays exactly.
+//! applications — a failing seed replays exactly, and
+//! `--no-fragments` replays the *same* interleaving with every stale
+//! cache entry paying a full re-render instead of a repair.
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut seed = 1u64;
+    let mut fragments = true;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--seed" => match args.next().as_deref().map(str::parse) {
@@ -21,13 +25,17 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--no-fragments" => fragments = false,
             other => {
-                eprintln!("chaos: unknown argument {other} (usage: chaos --seed N)");
+                eprintln!(
+                    "chaos: unknown argument {other} \
+                     (usage: chaos --seed N [--no-fragments])"
+                );
                 return ExitCode::FAILURE;
             }
         }
     }
-    match jbench::chaos::run_seed(seed) {
+    match jbench::chaos::run_seed_with_fragments(seed, fragments) {
         Ok(report) => {
             println!("{report}");
             ExitCode::SUCCESS

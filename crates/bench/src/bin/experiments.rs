@@ -5,7 +5,8 @@
 //! Run with `cargo run --release -p jbench --bin experiments -- --all`
 //! (or a subset: `--fig6 --fig9a --fig9b --fig9c --table3 --table4
 //! --table5 --memo --concurrent --cache --deltas --render-cache
-//! --locks --load --checkpoint`). `--smoke` shrinks the sweeps for
+//! --fragments --locks --load --checkpoint`). `--smoke` shrinks the
+//! sweeps for
 //! CI; `--serve
 //! [--port N]` skips measurement and serves the conference app over
 //! HTTP until killed. `--load` measures the socket path: the served
@@ -43,7 +44,7 @@ struct Config {
 
 /// The flags that select individual tables; any other flag is a
 /// modifier. Running with no table flag at all means `--all`.
-const TABLE_FLAGS: [&str; 15] = [
+const TABLE_FLAGS: [&str; 16] = [
     "--fig6",
     "--fig9a",
     "--fig9b",
@@ -56,6 +57,7 @@ const TABLE_FLAGS: [&str; 15] = [
     "--cache",
     "--deltas",
     "--render-cache",
+    "--fragments",
     "--locks",
     "--load",
     "--checkpoint",
@@ -122,6 +124,9 @@ fn main() {
     }
     if want("--render-cache") {
         render_cache_mix(&cfg, &mut report);
+    }
+    if want("--fragments") {
+        fragment_mix(&cfg, &mut report);
     }
     if want("--locks") {
         lock_contention(&cfg, &mut report);
@@ -662,7 +667,7 @@ fn delta_ablation(cfg: &Config, report: &mut Report) {
             let author = Viewer::User(w.author);
             // Warm the decode cache before the clock starts.
             let _ = app.all("paper").unwrap();
-            measure(report, "table3_write_mix", label, cfg.reps, || {
+            measure(report, "deltas_write_mix", label, cfg.reps, || {
                 conf::submit_paper(&app, &author, "delta bench paper").unwrap();
                 std::hint::black_box(app.all("paper").unwrap());
             })
@@ -802,6 +807,118 @@ fn render_cache_mix(cfg: &Config, report: &mut Report) {
     println!(
         "  [render cache: {} hits / {} misses, {} invalidated, {} uncacheable]",
         stats.hits, stats.misses, stats.invalidated, stats.uncacheable
+    );
+}
+
+/// Fragment-repair ablation (`fragment_write_mix`, CI-gated on the
+/// `fragment_` prefix): the 25%-write conference mix of
+/// [`render_cache_mix`] across **three** arms — cache off entirely
+/// (`render_off`), cache on with fragment repair ablated so every
+/// write-invalidated `papers/all` pays a full faceted re-render
+/// (`fragments_off`), and cache on with repair so a single paper
+/// submit re-renders exactly the one touched fragment and splices it
+/// into the cached shell (`fragments_on`). The arms interleave rep by
+/// rep on fresh apps, same as the render-cache table and for the same
+/// drift reasons; the gate's unclamped `fragments_on/fragments_off`
+/// ratio pair is the headline repair-vs-invalidate number.
+fn fragment_mix(cfg: &Config, report: &mut Report) {
+    println!(
+        "\n==== Fragment-repair ablation: 25%-write mix, repair vs invalidate vs no cache ===="
+    );
+    let reps = cfg.reps.max(15);
+    let executor = Executor::sequential();
+    let router = conf::router();
+    print_row(&[
+        "Size".into(),
+        "render off".into(),
+        "fragments off".into(),
+        "fragments on".into(),
+        "repair speedup".into(),
+    ]);
+    let users = 16;
+    let n_requests = 64;
+    let write_sizes: &[usize] = if cfg.smoke { &[16] } else { &[16, 256] };
+    for &n in write_sizes {
+        let mix: Vec<jacqueline::Request> = (0..n_requests)
+            .map(|i| {
+                let viewer = Viewer::User(1 + (i % users) as i64);
+                match i % 4 {
+                    0 => jacqueline::Request::new("papers/submit", viewer)
+                        .with_param("title", &format!("fragment-mix paper {i}")),
+                    1 => jacqueline::Request::new("papers/all", viewer),
+                    _ => jacqueline::Request::new("users/one", viewer)
+                        .with_param("id", &(1 + (i % users) as i64).to_string()),
+                }
+            })
+            .collect();
+        // Arm 0: no render cache. Arm 1: cache, repair ablated.
+        // Arm 2: cache with fragment repair.
+        let build = |arm: usize| {
+            let app = workload::conference(users, n).app;
+            match arm {
+                0 => {
+                    app.set_render_cache(false);
+                }
+                1 => {
+                    app.set_fragment_repair(false);
+                }
+                _ => {}
+            }
+            app
+        };
+        let mut samples: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for arm in 0..3 {
+            let app = build(arm);
+            let _ = executor.run(&app, &router, &mix); // untimed warm-up
+        }
+        for _ in 0..reps {
+            for (arm, sink) in samples.iter_mut().enumerate() {
+                let app = build(arm);
+                let clock = Instant::now();
+                std::hint::black_box(executor.run(&app, &router, &mix));
+                sink.push(clock.elapsed().as_secs_f64());
+            }
+        }
+        let labels = ["render_off", "fragments_off", "fragments_on"];
+        let medians: Vec<f64> = samples.iter().map(|s| percentile(s, 50.0)).collect();
+        for (label, median) in labels.iter().zip(&medians) {
+            report.record(
+                "fragment_write_mix",
+                &format!("write25 papers={n} {label}"),
+                *median,
+            );
+        }
+        print_row(&[
+            n.to_string(),
+            fmt_secs(medians[0]),
+            fmt_secs(medians[1]),
+            fmt_secs(medians[2]),
+            format!("{:.1}x", medians[1] / medians[2]),
+        ]);
+    }
+    // Counter footer: one warm write-mix batch with repair on, so the
+    // repair/invalidate traffic behind the medians is visible.
+    let n = write_sizes[write_sizes.len() - 1];
+    let app = workload::conference(users, n).app;
+    let mix: Vec<jacqueline::Request> = (0..n_requests)
+        .map(|i| {
+            let viewer = Viewer::User(1 + (i % users) as i64);
+            match i % 4 {
+                0 => jacqueline::Request::new("papers/submit", viewer)
+                    .with_param("title", &format!("fragment-footer paper {i}")),
+                1 => jacqueline::Request::new("papers/all", viewer),
+                _ => jacqueline::Request::new("users/one", viewer)
+                    .with_param("id", &(1 + (i % users) as i64).to_string()),
+            }
+        })
+        .collect();
+    let _ = executor.run(&app, &router, &mix);
+    let _ = executor.run(&app, &router, &mix);
+    let stats = app.render_cache_stats();
+    println!(
+        "  [render cache: {} hits / {} misses, {} repairs ({} fragments re-rendered), \
+         {} invalidated]",
+        stats.hits, stats.misses, stats.repairs, stats.repaired_fragments, stats.invalidated
     );
 }
 

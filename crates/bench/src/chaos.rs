@@ -103,6 +103,10 @@ pub struct ChaosReport {
     pub sheds: usize,
     /// Grid cells (page × viewer) compared byte-for-byte.
     pub grid_cells_checked: usize,
+    /// Render-cache entries repaired in place from the write journal
+    /// (accumulated across kills, since each restore starts a fresh
+    /// cache).
+    pub fragment_repairs: u64,
 }
 
 impl fmt::Display for ChaosReport {
@@ -111,7 +115,8 @@ impl fmt::Display for ChaosReport {
             f,
             "chaos seed {}: {} steps, {} writes ok / {} rejected, \
              {} faults, {} checkpoints, {} kills ({} restore retries), \
-             {} degraded arcs, {} sheds, {} grid cells verified",
+             {} degraded arcs, {} sheds, {} grid cells verified, \
+             {} fragment repairs",
             self.seed,
             self.steps,
             self.writes_ok,
@@ -122,7 +127,8 @@ impl fmt::Display for ChaosReport {
             self.restore_retries,
             self.degraded_arcs,
             self.sheds,
-            self.grid_cells_checked
+            self.grid_cells_checked,
+            self.fragment_repairs
         )
     }
 }
@@ -211,6 +217,10 @@ struct Scenario {
     kind: AppKind,
     dir: PathBuf,
     frag: String,
+    /// Whether render-cache fragment repair is enabled (the scenario
+    /// knob); re-applied after every restore, since a restored app
+    /// starts with the default-on cache.
+    fragments: bool,
     site: Site,
     service: ExecutorService,
     pages: Vec<String>,
@@ -250,13 +260,16 @@ fn parse_page(page: &str, viewer: &Viewer) -> Request {
 }
 
 impl Scenario {
-    fn start(kind: AppKind, seed: u64) -> Result<Scenario, String> {
+    fn start(kind: AppKind, seed: u64, fragments: bool) -> Result<Scenario, String> {
         let frag = format!("jacq_chaos_s{seed}_{}_{}", kind.name(), std::process::id());
         let dir = std::env::temp_dir().join(&frag);
         let _ = std::fs::remove_dir_all(&dir);
         let site = kind
             .build_persistent(&dir)
             .map_err(|e| format!("{}: building persistent site: {e}", kind.name()))?;
+        if !fragments {
+            site.app.set_fragment_repair(false);
+        }
 
         // Discover the seeded object jids by probing — robust against
         // workload jid-allocation changes.
@@ -283,6 +296,7 @@ impl Scenario {
             kind,
             dir,
             frag,
+            fragments,
             site,
             service,
             pages,
@@ -478,6 +492,9 @@ impl Scenario {
                 self.kind.name()
             ));
         }
+        // Entries the cache repaired (or warmed) across the arc must
+        // still serve the post-recovery truth.
+        self.cached_grid_matches_uncached(report)?;
         report.degraded_arcs += 1;
         Ok(())
     }
@@ -510,6 +527,9 @@ impl Scenario {
     ) -> Result<(), String> {
         let before_grid = self.grid();
         let before_rows = self.physical_rows();
+        // The restored app starts a fresh cache: bank this life's
+        // repair count before it vanishes with the process.
+        report.fragment_repairs += self.site.app.render_cache_stats().repairs;
         self.service.shutdown();
         report.kills += 1;
 
@@ -539,6 +559,9 @@ impl Scenario {
             .kind
             .restore(&self.dir)
             .map_err(|e| format!("{}: restore: {e}", self.kind.name()))?;
+        if !self.fragments {
+            self.site.app.set_fragment_repair(false);
+        }
         self.service = start_service(&self.site);
 
         let after_grid = self.grid();
@@ -568,6 +591,9 @@ impl Scenario {
             ));
         }
         self.check_markers(&after_grid)?;
+        // The reborn service's *cached* reads must agree with the
+        // uncached grid it was just checked against.
+        self.cached_grid_matches_uncached(report)?;
         Ok(())
     }
 
@@ -603,7 +629,99 @@ impl Scenario {
         Ok(())
     }
 
-    fn finish(self) {
+    /// Render-cache oracle: every list page for every viewer, served
+    /// through the executor (cache consulted — miss, hit, or fragment
+    /// repair, whatever state the scenario left) **twice**, each
+    /// response compared byte-for-byte against an uncached
+    /// `Router::handle` render. The second pass guarantees a stamped
+    /// entry exists afterwards, so any later write exercises the
+    /// stale path.
+    fn cached_grid_matches_uncached(&self, report: &mut ChaosReport) -> Result<(), String> {
+        for page in self.kind.list_pages() {
+            for viewer in &self.viewers {
+                let uncached = self
+                    .site
+                    .router
+                    .handle(&self.site.app, &parse_page(&page, viewer));
+                for pass in ["populate", "replay"] {
+                    let served = self.service.serve(parse_page(&page, viewer)).response;
+                    if served.status != uncached.status || served.body != uncached.body {
+                        return Err(format!(
+                            "{}: cached serve diverged from the uncached render \
+                             at {page} for {viewer:?} ({pass} pass): \
+                             {} {:?} != {} {:?}",
+                            self.kind.name(),
+                            served.status,
+                            served.body,
+                            uncached.status,
+                            uncached.body
+                        ));
+                    }
+                    report.grid_cells_checked += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Deterministic fragment-repair exercise: warm the first list
+    /// page for a logged-in viewer, push one marker write through the
+    /// service, and require the next cached serve to agree with an
+    /// uncached render byte-for-byte. For the conference app the
+    /// write's only moving table *is* the fragment table, so with the
+    /// knob on the warm entry must be **repaired** (counter-pinned);
+    /// courses writes leave the course page valid (hit path) and
+    /// health writes move the non-fragment `waiver` table (refused
+    /// repair → invalidation fallback), so those apps pin the
+    /// fallback arms of the same contract.
+    fn repair_probe(
+        &mut self,
+        rng: &mut SplitMix64,
+        report: &mut ChaosReport,
+    ) -> Result<(), String> {
+        let page = self.kind.list_pages()[0].clone();
+        let viewer = self.viewers[self.viewers.len() - 1].clone();
+        for _ in 0..2 {
+            let _ = self.service.serve(parse_page(&page, &viewer));
+        }
+        let repairs_before = self.site.app.render_cache_stats().repairs;
+        let status = self.write(rng, report);
+        if status != 200 {
+            return Err(format!(
+                "{}: the repair probe's write got {status}, want 200",
+                self.kind.name()
+            ));
+        }
+        let served = self.service.serve(parse_page(&page, &viewer)).response;
+        let uncached = self
+            .site
+            .router
+            .handle(&self.site.app, &parse_page(&page, &viewer));
+        if served.status != uncached.status || served.body != uncached.body {
+            return Err(format!(
+                "{}: post-write cached serve diverged from the uncached render \
+                 at {page} for {viewer:?}: {:?} != {:?}",
+                self.kind.name(),
+                served.body,
+                uncached.body
+            ));
+        }
+        report.grid_cells_checked += 1;
+        if self.fragments && matches!(self.kind, AppKind::Conference) {
+            let repairs_after = self.site.app.render_cache_stats().repairs;
+            if repairs_after <= repairs_before {
+                return Err(format!(
+                    "{}: the probe write must repair the warm {page} entry \
+                     in place (repairs stayed at {repairs_before})",
+                    self.kind.name()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self, report: &mut ChaosReport) {
+        report.fragment_repairs += self.site.app.render_cache_stats().repairs;
         self.service.shutdown();
         let _ = std::fs::remove_dir_all(&self.dir);
     }
@@ -668,14 +786,29 @@ fn flood_stage(report: &mut ChaosReport) -> Result<(), String> {
     Ok(())
 }
 
-/// Runs one full chaos seed: a randomized scenario over each of the
-/// three applications, then the executor flood stage.
+/// Runs one full chaos seed with render-cache fragment repair in its
+/// default (enabled) state. See [`run_seed_with_fragments`].
 ///
 /// # Errors
 ///
 /// The first violated invariant, with enough context to replay
 /// (`chaos --seed N` reproduces the exact interleaving).
 pub fn run_seed(seed: u64) -> Result<ChaosReport, String> {
+    run_seed_with_fragments(seed, true)
+}
+
+/// Runs one full chaos seed: a randomized scenario over each of the
+/// three applications, then the executor flood stage. `fragments`
+/// is the scenario knob for render-cache fragment repair: with it
+/// off, every stale cache entry pays a full re-render, giving an
+/// ablated arm whose interleaving is bit-identical (the knob never
+/// draws from the RNG).
+///
+/// # Errors
+///
+/// The first violated invariant, with enough context to replay
+/// (`chaos --seed N` reproduces the exact interleaving).
+pub fn run_seed_with_fragments(seed: u64, fragments: bool) -> Result<ChaosReport, String> {
     let mut rng = SplitMix64::new(seed.wrapping_mul(0x5851_f42d_4c95_7f2d).wrapping_add(seed));
     let mut report = ChaosReport {
         seed,
@@ -683,7 +816,7 @@ pub fn run_seed(seed: u64) -> Result<ChaosReport, String> {
     };
 
     for kind in [AppKind::Conference, AppKind::Courses, AppKind::Health] {
-        let mut scenario = Scenario::start(kind, seed)?;
+        let mut scenario = Scenario::start(kind, seed, fragments)?;
         let steps = 14 + rng.below(8);
         let mut had_degraded_arc = false;
         let mut had_kill = false;
@@ -726,11 +859,13 @@ pub fn run_seed(seed: u64) -> Result<ChaosReport, String> {
             report.steps += 1;
             scenario.degraded_arc(&mut rng, &mut report)?;
         }
+        report.steps += 1;
+        scenario.repair_probe(&mut rng, &mut report)?;
         if !had_kill {
             report.steps += 1;
         }
         scenario.kill_and_restore(&mut rng, &mut report)?;
-        scenario.finish();
+        scenario.finish(&mut report);
     }
 
     flood_stage(&mut report)?;

@@ -18,5 +18,41 @@ fn pinned_chaos_seeds_hold_every_invariant() {
         assert!(report.sheds > 0, "the flood stage must shed");
         assert!(report.writes_ok > 0, "scenarios must land real writes");
         assert!(report.grid_cells_checked > 0);
+        assert!(
+            report.fragment_repairs > 0,
+            "with fragments on, the repair probe must repair entries in place"
+        );
     }
+}
+
+/// The fragment-repair knob under chaos: the same pinned seed runs
+/// once with repair enabled (entries spliced back together from the
+/// journal survive kill/restore and degraded-mode arcs byte-identical
+/// to uncached renders) and once ablated (bit-identical interleaving,
+/// zero repairs, every stale entry paying a full re-render). Runs
+/// sequentially after the sweep above for the same global-fault-
+/// registry reason.
+#[test]
+fn pinned_fragment_seed_repairs_and_its_ablation_does_not() {
+    let seed = 0xf4a6;
+    let on = jbench::chaos::run_seed_with_fragments(seed, true)
+        .unwrap_or_else(|violation| panic!("chaos seed {seed} (fragments on): {violation}"));
+    println!("{on}");
+    assert!(
+        on.fragment_repairs > 0,
+        "the conference repair probe must repair its warm list page"
+    );
+    assert!(on.kills >= 3 && on.degraded_arcs >= 3);
+    let off = jbench::chaos::run_seed_with_fragments(seed, false)
+        .unwrap_or_else(|violation| panic!("chaos seed {seed} (fragments off): {violation}"));
+    println!("{off}");
+    assert_eq!(
+        off.fragment_repairs, 0,
+        "the ablated arm never repairs — it discards and re-renders"
+    );
+    assert_eq!(
+        (off.steps, off.kills, off.checkpoints),
+        (on.steps, on.kills, on.checkpoints),
+        "the knob never draws from the RNG: both arms replay one interleaving"
+    );
 }

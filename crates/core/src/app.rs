@@ -146,8 +146,24 @@ impl App {
         self.render_cache.enabled()
     }
 
-    /// Render-cache hit/miss/invalidated/uncacheable counters since
-    /// construction.
+    /// Switches the render cache's fragment-repair path on or off
+    /// (ablation hook — the `--fragments` experiment tables and the
+    /// differential grids use this). Returns the previous setting.
+    /// Disabled, the cache behaves exactly as before repair existed:
+    /// entries store un-fragmented and every stale probe is a full
+    /// invalidation.
+    pub fn set_fragment_repair(&self, enabled: bool) -> bool {
+        self.render_cache.set_fragments_enabled(enabled)
+    }
+
+    /// Whether fragment repair is currently enabled.
+    #[must_use]
+    pub fn fragment_repair_enabled(&self) -> bool {
+        self.render_cache.fragments_enabled()
+    }
+
+    /// Render-cache hit/miss/repair/invalidated/uncacheable counters
+    /// since construction.
     #[must_use]
     pub fn render_cache_stats(&self) -> crate::rendercache::RenderCacheStats {
         self.render_cache.stats()

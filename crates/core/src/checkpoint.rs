@@ -780,11 +780,23 @@ pub fn add_checkpoint_route(router: &mut Router, dir: impl Into<PathBuf>) {
 /// `503 Retry-After: 1` with the degradation reason while a failed
 /// durable write has it in read-only mode. Load balancers and the
 /// chaos harness poll this to observe degradation and recovery.
+///
+/// The second body line publishes the live
+/// [`RenderCacheStats`](crate::RenderCacheStats) counters — the only
+/// runtime window into cache behavior on a served app.
 pub fn add_health_route(router: &mut Router) {
     router.route_read("admin/health", |app: &App, _req| {
+        let s = app.render_cache_stats();
+        let stats = format!(
+            "render_cache hits={} misses={} repairs={} repaired_fragments={} \
+             invalidated={} uncacheable={}\n",
+            s.hits, s.misses, s.repairs, s.repaired_fragments, s.invalidated, s.uncacheable
+        );
         match app.degraded_reason() {
-            None => Response::ok("ok\n".to_owned()),
-            Some(reason) => Response::unavailable(&format!("degraded (read-only): {reason}\n")),
+            None => Response::ok(format!("ok\n{stats}")),
+            Some(reason) => {
+                Response::unavailable(&format!("degraded (read-only): {reason}\n{stats}"))
+            }
         }
     });
 }
@@ -1337,9 +1349,13 @@ mod tests {
         let run =
             |app: &App, req: Request| Executor::sequential().run(app, &router, &[req]).remove(0);
 
-        assert_eq!(
-            run(&app, Request::new("admin/health", Viewer::Anonymous)).body,
-            "ok\n"
+        let healthy = run(&app, Request::new("admin/health", Viewer::Anonymous));
+        assert_eq!(healthy.status, 200);
+        assert!(healthy.body.starts_with("ok\n"), "{}", healthy.body);
+        assert!(
+            healthy.body.contains("render_cache hits="),
+            "health publishes the render-cache counters: {}",
+            healthy.body
         );
 
         // The fault: this write's WAL append fails; the rows roll

@@ -36,7 +36,7 @@ use std::time::{Duration, Instant};
 
 use crate::app::App;
 use crate::http::{Footprint, Request, Response, Router};
-use crate::rendercache::{RenderCacheStatus, RenderKey};
+use crate::rendercache::{FragmentedPage, Lookup, RenderCacheStatus, RenderKey, StaleEntry};
 
 /// The application's request-lock table: one reader-writer lock per
 /// table ever declared by a route footprint, plus a global fallback
@@ -247,11 +247,13 @@ impl Executor {
     ///
     /// Declared read routes consult the [`rendercache`] **after**
     /// acquiring their shared footprint locks: a hit serves the stored
-    /// bytes without running the controller at all; a miss renders,
-    /// then stamps the entry with the footprint tables' generations —
-    /// read *while the locks are still held*, so no writer can bump a
-    /// generation between render and stamp and leave a stale page
-    /// validating as fresh.
+    /// bytes without running the controller at all; a stale entry on a
+    /// fragment-registered route first attempts a journal-driven
+    /// repair ([`Executor::try_repair`]); a miss renders, then stamps
+    /// the entry with the footprint tables' generations — read *while
+    /// the locks are still held*, so no writer can bump a generation
+    /// between render and stamp and leave a stale page validating as
+    /// fresh.
     ///
     /// The debug-build `form::touched` checker stays honest across
     /// hits even though a hit records nothing: cached bytes are only
@@ -282,12 +284,59 @@ impl Executor {
                     }
                     let key = Executor::render_key(router, request);
                     let db = app.db.raw_ref();
-                    if let Some(response) = cache.lookup(&key, |table| db.generation(table).ok()) {
-                        return (response, RenderCacheStatus::Hit);
+                    match cache.lookup(&key, |table| db.generation(table).ok()) {
+                        Lookup::Hit(response) => return (response, RenderCacheStatus::Hit),
+                        Lookup::Stale(stale) => {
+                            if let Some(response) =
+                                Executor::try_repair(app, router, request, fp, &key, stale)
+                            {
+                                return (response, RenderCacheStatus::Repair);
+                            }
+                            cache.note_invalidated();
+                        }
+                        Lookup::Cold => {}
                     }
-                    let response = Executor::call_checked(&request.path, footprint, || {
-                        controller(app, request)
-                    });
+                    // Cold miss (or unrepairable stale): render.
+                    // Fragment-registered routes render *by fragments*
+                    // — one pass that is simultaneously the response
+                    // bytes and the stored decomposition, so a cold
+                    // miss costs a single render. Debug builds run the
+                    // controller too and assert byte-identity, the
+                    // same contract the differential grids and the
+                    // chaos cached-vs-uncached oracle pin end-to-end.
+                    let (response, fragments) =
+                        match Executor::render_fragmented(app, router, request) {
+                            Some((page, body)) => {
+                                #[cfg(debug_assertions)]
+                                {
+                                    let checked =
+                                        Executor::call_checked(&request.path, footprint, || {
+                                            controller(app, request)
+                                        });
+                                    assert!(
+                                        checked.status == 200
+                                            && checked.headers.is_empty()
+                                            && checked.body == body,
+                                        "route {:?}: the registered fragment renderer does \
+                                         not reproduce the controller's page (controller: \
+                                         status {}, {} bytes; fragments: {} bytes) — fix \
+                                         the fragment renderer or unregister it",
+                                        request.path,
+                                        checked.status,
+                                        checked.body.len(),
+                                        body.len(),
+                                    );
+                                }
+                                (Response::ok(body), Some(page))
+                            }
+                            None => {
+                                let response =
+                                    Executor::call_checked(&request.path, footprint, || {
+                                        controller(app, request)
+                                    });
+                                (response, None)
+                            }
+                        };
                     // The stamp: footprint-table generations observed
                     // under the same shared locks the render ran
                     // under. A table the footprint names but the
@@ -298,7 +347,7 @@ impl Executor {
                         .map(|t| db.generation(t).ok().map(|g| (t.to_owned(), g)))
                         .collect();
                     if let Some(generations) = generations {
-                        cache.store(key, generations, &response);
+                        cache.store(key, generations, &response, fragments);
                     }
                     (response, RenderCacheStatus::Miss)
                 }
@@ -354,6 +403,139 @@ impl Executor {
         } else {
             (Response::not_found(), RenderCacheStatus::Bypass)
         }
+    }
+
+    /// Renders a fragment-registered page **fragment-wise**: the
+    /// shell plus every fragment of the table in first-appearance jid
+    /// order, each through full faceted projection under the
+    /// request's viewer. One pass produces both the response bytes
+    /// and the decomposition the repair path needs — a cold miss on a
+    /// fragment route costs a single render, not a render plus a
+    /// decompose. Byte-identity with the route's own controller is
+    /// the registration contract ([`Router::route_fragments`]):
+    /// asserted against a real controller render in debug builds at
+    /// every miss, and pinned end-to-end by the differential grids.
+    /// Returns `None` (controller renders instead) when the route has
+    /// no spec, fragments are disabled, or the table is unreadable.
+    fn render_fragmented(
+        app: &App,
+        router: &Router,
+        request: &Request,
+    ) -> Option<(FragmentedPage, String)> {
+        if !app.render_cache.fragments_enabled() {
+            return None;
+        }
+        let spec = router.fragment_spec(&request.path)?;
+        let order = app.db.jid_order(&spec.table).ok()?;
+        let (prefix, suffix) = (spec.shell)(app, request);
+        let mut body = prefix.clone();
+        let mut fragments = Vec::with_capacity(order.len());
+        for jid in order {
+            let piece = (spec.fragment)(app, request, jid);
+            body.push_str(&piece);
+            fragments.push((jid, piece));
+        }
+        body.push_str(&suffix);
+        Some((
+            FragmentedPage {
+                table: spec.table.clone(),
+                prefix,
+                suffix,
+                fragments,
+            },
+            body,
+        ))
+    }
+
+    /// Attempts to repair a stale fragmented entry from the write
+    /// journal instead of discarding it. Succeeds only when:
+    ///
+    /// * the route still registers a fragment spec over the entry's
+    ///   table, and fragments are enabled;
+    /// * the fragment table is the **only** footprint table whose
+    ///   generation moved (other tables feed fragment policies, so
+    ///   movement there can change untouched fragments' bytes);
+    /// * the table's journal still covers the window since the stamp
+    ///   (`deltas_since`), naming every touched jid.
+    ///
+    /// On success, only the touched jids' fragments re-render — full
+    /// faceted projection under the entry's viewer, so no bytes are
+    /// spliced that didn't pass policy enforcement — the shell and
+    /// untouched fragments are reused, and the entry is restored with
+    /// a fresh generation vector read under the caller's still-held
+    /// shared footprint locks. Any failure returns `None` and the
+    /// caller falls back to the full re-render: correctness never
+    /// depends on the journal.
+    fn try_repair(
+        app: &App,
+        router: &Router,
+        request: &Request,
+        fp: &Footprint,
+        key: &RenderKey,
+        stale: StaleEntry,
+    ) -> Option<Response> {
+        let cache = &app.render_cache;
+        if !cache.fragments_enabled() {
+            return None;
+        }
+        let page = stale.fragments?;
+        let spec = router.fragment_spec(&request.path)?;
+        if spec.table != page.table {
+            return None;
+        }
+        let db = app.db.raw_ref();
+        let mut stamped = None;
+        for (table, gen) in &stale.generations {
+            let live = db.generation(table).ok()?;
+            if *table == page.table {
+                stamped = Some(*gen);
+            } else if live != *gen {
+                return None;
+            }
+        }
+        let touched = app.db.touched_jids_since(&page.table, stamped?).ok()??;
+        let order = app.db.jid_order(&page.table).ok()?;
+        let stored: BTreeMap<i64, &str> = page
+            .fragments
+            .iter()
+            .map(|(jid, piece)| (*jid, piece.as_str()))
+            .collect();
+        let (prefix, suffix) = (spec.shell)(app, request);
+        let mut body = prefix.clone();
+        let mut fragments = Vec::with_capacity(order.len());
+        let mut rerendered = 0u64;
+        for jid in order {
+            let piece = if touched.binary_search(&jid).is_ok() {
+                rerendered += 1;
+                (spec.fragment)(app, request, jid)
+            } else {
+                // An untouched jid absent from the stored decomposition
+                // would mean the journal missed a write; treat it like
+                // a decode error and fall back.
+                (*stored.get(&jid)?).to_owned()
+            };
+            body.push_str(&piece);
+            fragments.push((jid, piece));
+        }
+        body.push_str(&suffix);
+        let generations: Vec<(String, u64)> = fp
+            .tables()
+            .map(|t| db.generation(t).ok().map(|g| (t.to_owned(), g)))
+            .collect::<Option<_>>()?;
+        let response = Response::ok(body);
+        cache.note_repaired(rerendered);
+        cache.store(
+            key.clone(),
+            generations,
+            &response,
+            Some(FragmentedPage {
+                table: page.table,
+                prefix,
+                suffix,
+                fragments,
+            }),
+        );
+        Some(response)
     }
 
     /// Runs a controller with debug-build footprint verification:
@@ -761,6 +943,30 @@ mod tests {
                 Err(e) => Response::error(&e.to_string()),
             }
         });
+        router
+    }
+
+    /// [`note_router`] plus a fragment renderer over `note` for the
+    /// `notes` page — one line per note, byte-identical to the full
+    /// page's slice for that note.
+    fn fragment_router() -> Router {
+        let mut router = note_router();
+        router.route_fragments(
+            "notes",
+            "note",
+            |_, _| (String::new(), String::new()),
+            |app: &App, req, jid| {
+                let Ok(obj) = app.get("note", jid) else {
+                    return String::new();
+                };
+                let mut session = crate::Session::new(req.viewer.clone());
+                session
+                    .view_object(app, &obj)
+                    .map_or_else(String::new, |row| {
+                        format!("{}\n", row[1].as_str().unwrap_or("?"))
+                    })
+            },
+        );
         router
     }
 
@@ -1186,6 +1392,191 @@ mod tests {
         assert_eq!(write.render_cache, RenderCacheStatus::Bypass);
         let miss = service.serve(Request::new("nope", Viewer::Anonymous));
         assert_eq!(miss.render_cache, RenderCacheStatus::Bypass);
+        service.shutdown();
+    }
+
+    #[test]
+    fn fragment_repair_repairs_in_place_with_one_fragment() {
+        let app = Arc::new(note_app());
+        let service = ExecutorService::start(Arc::clone(&app), Arc::new(fragment_router()), 2);
+        let cold = service.serve(Request::new("notes", Viewer::User(1)));
+        assert_eq!(cold.render_cache, RenderCacheStatus::Miss);
+        let warm = service.serve(Request::new("notes", Viewer::User(1)));
+        assert_eq!(warm.render_cache, RenderCacheStatus::Hit);
+
+        let write = service.serve(Request::new("note/add", Viewer::User(1)));
+        assert_eq!(write.response.status, 200, "{}", write.response.body);
+        let repaired = service.serve(Request::new("notes", Viewer::User(1)));
+        assert_eq!(repaired.render_cache, RenderCacheStatus::Repair);
+        assert!(repaired.response.body.contains("added"));
+        // Byte-identity with a full, uncached render of the live state.
+        let fresh = fragment_router().handle(&app, &Request::new("notes", Viewer::User(1)));
+        assert_eq!(repaired.response.body, fresh.body);
+
+        let stats = app.render_cache_stats();
+        assert_eq!(
+            (stats.repairs, stats.repaired_fragments),
+            (1, 1),
+            "one single-note write re-rendered exactly one fragment"
+        );
+        assert_eq!(
+            (stats.hits, stats.misses, stats.invalidated),
+            (1, 1, 0),
+            "a repair is neither a miss nor an invalidation"
+        );
+        // The repaired entry is restamped: the next read is a hit.
+        let hot = service.serve(Request::new("notes", Viewer::User(1)));
+        assert_eq!(hot.render_cache, RenderCacheStatus::Hit);
+        assert_eq!(hot.response, repaired.response);
+        service.shutdown();
+    }
+
+    #[test]
+    fn fragment_repair_disabled_falls_back_to_invalidation() {
+        let app = Arc::new(note_app());
+        assert!(app.set_fragment_repair(false), "fragments default on");
+        let service = ExecutorService::start(Arc::clone(&app), Arc::new(fragment_router()), 2);
+        let _ = service.serve(Request::new("notes", Viewer::User(1)));
+        let _ = service.serve(Request::new("note/add", Viewer::User(1)));
+        let after = service.serve(Request::new("notes", Viewer::User(1)));
+        assert_eq!(
+            after.render_cache,
+            RenderCacheStatus::Miss,
+            "with fragments off a stale entry is discarded, PR 7 style"
+        );
+        let stats = app.render_cache_stats();
+        assert_eq!((stats.repairs, stats.invalidated), (0, 1));
+        assert!(!app.fragment_repair_enabled());
+        assert!(!app.set_fragment_repair(true), "reports previous setting");
+        service.shutdown();
+    }
+
+    #[test]
+    fn fragment_repair_falls_back_when_the_journal_window_slides() {
+        let app = Arc::new(note_app());
+        let service = ExecutorService::start(Arc::clone(&app), Arc::new(fragment_router()), 2);
+        let _ = service.serve(Request::new("notes", Viewer::User(1)));
+        // Push the note table's journal past its 1024-row budget: each
+        // note is two facet rows, so 600 creates overflow the window.
+        for i in 0..600 {
+            app.create("note", vec![Value::Int(i), Value::from("bulk")])
+                .unwrap();
+        }
+        let after = service.serve(Request::new("notes", Viewer::User(1)));
+        assert_eq!(
+            after.render_cache,
+            RenderCacheStatus::Miss,
+            "a slid-past journal window must fall back to a full render"
+        );
+        let fresh = fragment_router().handle(&app, &Request::new("notes", Viewer::User(1)));
+        assert_eq!(after.response.body, fresh.body);
+        let stats = app.render_cache_stats();
+        assert_eq!((stats.repairs, stats.invalidated), (0, 1));
+        service.shutdown();
+    }
+
+    #[test]
+    fn fragment_repair_requires_the_fragment_table_to_be_the_only_mover() {
+        // Two-table page: notes joined with a `tag` table the
+        // fragments also read. A tag write moves a non-fragment
+        // footprint table, so repair must refuse (untouched fragments'
+        // bytes could depend on it) and fall back to a full render.
+        let mut app = note_app();
+        app.register_model(ModelDef::public(
+            "tag",
+            vec![ColumnDef::new("label", ColumnType::Str)],
+        ))
+        .unwrap();
+        app.create("tag", vec![Value::from("v1")]).unwrap();
+        let app = Arc::new(app);
+        let mut router = Router::new();
+        let page = |app: &App, req: &Request| {
+            let tag = app
+                .all("tag")
+                .ok()
+                .and_then(|rows| {
+                    let mut session = crate::Session::new(req.viewer.clone());
+                    session
+                        .view_rows(app, &rows)
+                        .last()
+                        .map(|r| r[0].as_str().unwrap_or("?").to_owned())
+                })
+                .unwrap_or_default();
+            let rows = app.all("note").unwrap_or_default();
+            let mut session = crate::Session::new(req.viewer.clone());
+            let mut body = String::new();
+            for row in session.view_rows(app, &rows) {
+                body.push_str(&format!("{} [{tag}]\n", row[1].as_str().unwrap_or("?")));
+            }
+            body
+        };
+        router.route_read_tables("tagged", &["note", "tag"], move |app: &App, req| {
+            Response::ok(page(app, req))
+        });
+        router.route_tables("tag/set", &[], &["tag"], |app: &App, req| {
+            let label = req.params.get("label").cloned().unwrap_or_default();
+            match app.create("tag", vec![Value::from(label)]) {
+                Ok(jid) => Response::ok(jid.to_string()),
+                Err(e) => Response::error(&e.to_string()),
+            }
+        });
+        router.route_tables("note/add", &[], &["note"], |app: &App, req| {
+            let owner = req.viewer.user_jid().unwrap_or(-1);
+            match app.create("note", vec![Value::Int(owner), Value::from("added")]) {
+                Ok(jid) => Response::ok(jid.to_string()),
+                Err(e) => Response::error(&e.to_string()),
+            }
+        });
+        router.route_fragments(
+            "tagged",
+            "note",
+            |_, _| (String::new(), String::new()),
+            |app: &App, req, jid| {
+                let tag = app
+                    .all("tag")
+                    .ok()
+                    .and_then(|rows| {
+                        let mut session = crate::Session::new(req.viewer.clone());
+                        session
+                            .view_rows(app, &rows)
+                            .last()
+                            .map(|r| r[0].as_str().unwrap_or("?").to_owned())
+                    })
+                    .unwrap_or_default();
+                let Ok(obj) = app.get("note", jid) else {
+                    return String::new();
+                };
+                let mut session = crate::Session::new(req.viewer.clone());
+                session
+                    .view_object(app, &obj)
+                    .map_or_else(String::new, |row| {
+                        format!("{} [{tag}]\n", row[1].as_str().unwrap_or("?"))
+                    })
+            },
+        );
+        let router = Arc::new(router);
+        let service = ExecutorService::start(Arc::clone(&app), Arc::clone(&router), 2);
+        let _ = service.serve(Request::new("tagged", Viewer::User(1)));
+        let tag_write =
+            service.serve(Request::new("tag/set", Viewer::User(1)).with_param("label", "v2"));
+        assert_eq!(tag_write.response.status, 200);
+        let after = service.serve(Request::new("tagged", Viewer::User(1)));
+        assert_eq!(
+            after.render_cache,
+            RenderCacheStatus::Miss,
+            "a non-fragment footprint table moved: full re-render, no splice"
+        );
+        assert!(
+            after.response.body.contains("[v2]"),
+            "{}",
+            after.response.body
+        );
+        // A note write with the tag table quiescent *does* repair.
+        let _ = service.serve(Request::new("note/add", Viewer::User(1)));
+        let repaired = service.serve(Request::new("tagged", Viewer::User(1)));
+        assert_eq!(repaired.render_cache, RenderCacheStatus::Repair);
+        let fresh = router.handle(&app, &Request::new("tagged", Viewer::User(1)));
+        assert_eq!(repaired.response.body, fresh.body);
         service.shutdown();
     }
 

@@ -185,6 +185,30 @@ pub type ReadController = Box<dyn Fn(&App, &Request) -> Response + Send + Sync>;
 /// provably ignores.
 pub type ParamCanonicalizer = Box<dyn Fn(&mut BTreeMap<String, String>) + Send + Sync>;
 
+/// Renders a fragment-registered page's shell: `(prefix, suffix)`
+/// around the per-object fragments.
+pub type ShellRenderer = Box<dyn Fn(&App, &Request) -> (String, String) + Send + Sync>;
+
+/// Renders one object's fragment for the request's viewer — a full
+/// faceted projection, exactly what the complete page would emit for
+/// that object (empty if the viewer cannot see it, or it no longer
+/// exists).
+pub type FragmentRenderer = Box<dyn Fn(&App, &Request, i64) -> String + Send + Sync>;
+
+/// A route's registered fragment decomposition for the render cache's
+/// repair path: the page is a shell (prefix + suffix) around one
+/// fragment per object of `table`, rendered in first-appearance row
+/// order. Registered via [`Router::route_fragments`] (see there for
+/// the declaration contract); consulted only by the executor.
+pub(crate) struct FragmentSpec {
+    /// The table whose objects the fragments decompose.
+    pub(crate) table: String,
+    /// Renders the shell around the fragments.
+    pub(crate) shell: ShellRenderer,
+    /// Renders one object's fragment.
+    pub(crate) fragment: FragmentRenderer,
+}
+
 /// The declared table footprint of a route: which tables its
 /// controller may read and which it may write, including tables its
 /// models' *policies* consult at output time.
@@ -251,6 +275,7 @@ pub struct Router {
     read_routes: BTreeMap<String, ReadController>,
     footprints: BTreeMap<String, Footprint>,
     canonicalizers: BTreeMap<String, ParamCanonicalizer>,
+    fragments: BTreeMap<String, FragmentSpec>,
     /// Write routes the executor still dispatches while the app is in
     /// read-only degraded mode — the recovery paths themselves
     /// (`admin/checkpoint` must run to *clear* the mode).
@@ -385,6 +410,45 @@ impl Router {
     #[must_use]
     pub fn canonicalizer(&self, path: &str) -> Option<&ParamCanonicalizer> {
         self.canonicalizers.get(path)
+    }
+
+    /// Registers a fragment renderer for `path`, opting the route's
+    /// cached pages into journal-driven repair. `shell` renders the
+    /// page's constant surround as `(prefix, suffix)`; `fragment`
+    /// renders one object of `table` for the request's viewer,
+    /// byte-identically to the slice of the full page that object
+    /// produces (empty if the viewer cannot see it, or it no longer
+    /// exists).
+    ///
+    /// Like a [`Footprint`], this is an app-author **declaration**,
+    /// with one contract beyond byte-fidelity (which the executor
+    /// verifies on every store): a fragment's bytes must not depend on
+    /// *other rows of the fragment table*. They may depend freely on
+    /// the object's own rows and on any other footprint table — repair
+    /// falls back to a full render whenever those tables move. A page
+    /// like the conference app's `users/all`, where one user's `role`
+    /// row changes how *every* user's email renders, must not register
+    /// a fragment renderer over `user_profile`.
+    pub fn route_fragments(
+        &mut self,
+        path: &str,
+        table: &str,
+        shell: impl Fn(&App, &Request) -> (String, String) + Send + Sync + 'static,
+        fragment: impl Fn(&App, &Request, i64) -> String + Send + Sync + 'static,
+    ) {
+        self.fragments.insert(
+            path.to_owned(),
+            FragmentSpec {
+                table: table.to_owned(),
+                shell: Box::new(shell),
+                fragment: Box::new(fragment),
+            },
+        );
+    }
+
+    /// The registered fragment spec for `path`, if any.
+    pub(crate) fn fragment_spec(&self, path: &str) -> Option<&FragmentSpec> {
+        self.fragments.get(path)
     }
 
     /// Every table declared by any route's footprint, in canonical
@@ -522,6 +586,28 @@ mod tests {
         f(&mut bad);
         assert_eq!(bad.get("id").map(String::as_str), Some("abc"));
         assert!(router.canonicalizer("papers/all").is_none());
+    }
+
+    #[test]
+    fn fragment_specs_are_per_path() {
+        let mut router = Router::new();
+        router.route_read_tables("list", &["t"], |_, _| Response::ok(String::new()));
+        router.route_fragments(
+            "list",
+            "t",
+            |_, _| ("head\n".to_owned(), String::new()),
+            |_, _, jid| format!("row {jid}\n"),
+        );
+        let spec = router.fragment_spec("list").unwrap();
+        assert_eq!(spec.table, "t");
+        let app = App::new();
+        let req = Request::new("list", Viewer::Anonymous);
+        assert_eq!(
+            (spec.shell)(&app, &req),
+            ("head\n".to_owned(), String::new())
+        );
+        assert_eq!((spec.fragment)(&app, &req, 7), "row 7\n");
+        assert!(router.fragment_spec("other").is_none());
     }
 
     #[test]

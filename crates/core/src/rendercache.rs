@@ -19,10 +19,28 @@
 //!   is exactly the state its bytes were rendered from.
 //! * **Validation**: lookup compares the stored vector against live
 //!   [`microdb`] table generations. Any mismatch removes the entry
+//!   and hands its carcass back to the executor, which either
+//!   *repairs* it from the write journal (below) or discards it
 //!   (counted in [`RenderCacheStats::invalidated`]) and falls through
 //!   to a fresh render. There is no push invalidation to get wrong —
 //!   and because no-op writes are generation-silent, a write that
 //!   changes nothing leaves every entry valid.
+//! * **Repair**: routes that register a fragment renderer
+//!   ([`Router::route_fragments`](crate::Router::route_fragments))
+//!   have their pages stored as a [`FragmentedPage`] — a shell
+//!   (prefix + suffix) around per-object fragments keyed by jid. On a
+//!   generation mismatch where the fragment table is the *only* mover,
+//!   the executor pulls the table's `deltas_since(stamped_gen)`
+//!   journal, re-renders only the fragments whose jids the deltas
+//!   touch (full faceted projection under the entry's viewer — no
+//!   bytes are spliced that didn't pass policy enforcement), splices
+//!   them into the shell, and restamps the generation vector. A
+//!   single-row write thus repairs a hot page at O(1) fragment cost
+//!   instead of invalidating every viewer's copy. Window overflow,
+//!   movement of any *other* footprint table, or any decomposition
+//!   mismatch falls back to the full re-render — correctness never
+//!   depends on the journal, exactly like the decode cache's
+//!   delta-maintenance contract.
 //!
 //! Only routes with a *declared* footprint are cacheable: a
 //! footprint-less read route gives the cache no table set to stamp,
@@ -58,18 +76,23 @@ pub enum RenderCacheStatus {
     Hit,
     /// Rendered and stored (or at least render-cache-eligible).
     Miss,
+    /// A stale entry was repaired in place from the write journal:
+    /// only the touched fragments re-rendered, the shell and every
+    /// untouched fragment's bytes were reused.
+    Repair,
     /// Not eligible: cache disabled, write route, footprint-less read
     /// route, or unknown path.
     Bypass,
 }
 
 impl RenderCacheStatus {
-    /// The wire form: `hit` / `miss` / `bypass`.
+    /// The wire form: `hit` / `miss` / `repair` / `bypass`.
     #[must_use]
     pub fn as_str(self) -> &'static str {
         match self {
             RenderCacheStatus::Hit => "hit",
             RenderCacheStatus::Miss => "miss",
+            RenderCacheStatus::Repair => "repair",
             RenderCacheStatus::Bypass => "bypass",
         }
     }
@@ -81,9 +104,18 @@ impl RenderCacheStatus {
 pub struct RenderCacheStats {
     /// Requests served from cached bytes.
     pub hits: u64,
-    /// Cacheable requests that had to render (cold key).
+    /// Cacheable requests that had to render (cold key, or a stale
+    /// entry that could not be repaired).
     pub misses: u64,
-    /// Entries dropped because a footprint table's generation moved.
+    /// Stale entries repaired in place from the write journal instead
+    /// of being discarded.
+    pub repairs: u64,
+    /// Individual fragments re-rendered across all repairs — the O(1)
+    /// claim in numbers: one single-row write to a thousand-row page
+    /// should add one here, not a thousand.
+    pub repaired_fragments: u64,
+    /// Entries dropped because a footprint table's generation moved
+    /// and repair was not possible.
     pub invalidated: u64,
     /// Requests on footprint-less read routes, which cannot be
     /// stamped and are never cached.
@@ -101,11 +133,56 @@ pub(crate) struct RenderKey {
     pub(crate) viewer: Viewer,
 }
 
+/// The fragment decomposition of a cached page: a shell (prefix +
+/// suffix) around per-object fragments in first-appearance row order,
+/// each keyed by the jid of the object that rendered it. Stored only
+/// for routes that registered a fragment renderer, and only when the
+/// decomposition reassembled byte-identically to the controller's own
+/// render — so splicing repaired fragments back in can never produce
+/// bytes a full render would not.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct FragmentedPage {
+    /// The table whose rows the fragments decompose (the journal the
+    /// repair path replays).
+    pub(crate) table: String,
+    /// Bytes before the first fragment.
+    pub(crate) prefix: String,
+    /// Bytes after the last fragment.
+    pub(crate) suffix: String,
+    /// `(jid, rendered bytes)` in page order. An object the entry's
+    /// viewer cannot see contributes an empty fragment.
+    pub(crate) fragments: Vec<(i64, String)>,
+}
+
 /// A stored page: the bytes plus the footprint-table generations they
-/// were rendered under.
+/// were rendered under, and — for fragment-registered routes — the
+/// decomposition the repair path splices into.
 struct Entry {
     generations: Vec<(String, u64)>,
     response: Response,
+    fragments: Option<FragmentedPage>,
+}
+
+/// A stale entry, already removed from the cache, handed to the
+/// executor for a repair attempt. Counting is deferred until the
+/// attempt resolves: [`RenderCache::note_repaired`] on success,
+/// [`RenderCache::note_invalidated`] on fallback.
+pub(crate) struct StaleEntry {
+    /// The generation vector the bytes were rendered under.
+    pub(crate) generations: Vec<(String, u64)>,
+    /// The stored decomposition, if the entry was fragmented.
+    pub(crate) fragments: Option<FragmentedPage>,
+}
+
+/// The three-way outcome of a cache probe.
+pub(crate) enum Lookup {
+    /// A valid entry: serve these bytes.
+    Hit(Response),
+    /// A stale entry, removed from the map: try to repair it, else
+    /// render in full.
+    Stale(StaleEntry),
+    /// No entry: render in full.
+    Cold,
 }
 
 /// The bounded, sharded render cache. Owned by the
@@ -113,10 +190,13 @@ struct Entry {
 /// acquisition.
 pub(crate) struct RenderCache {
     enabled: AtomicBool,
+    fragments_enabled: AtomicBool,
     hasher: RandomState,
     shards: Vec<RwLock<HashMap<RenderKey, Entry>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    repairs: AtomicU64,
+    repaired_fragments: AtomicU64,
     invalidated: AtomicU64,
     uncacheable: AtomicU64,
 }
@@ -125,10 +205,13 @@ impl RenderCache {
     pub(crate) fn new() -> RenderCache {
         RenderCache {
             enabled: AtomicBool::new(true),
+            fragments_enabled: AtomicBool::new(true),
             hasher: RandomState::new(),
             shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            repairs: AtomicU64::new(0),
+            repaired_fragments: AtomicU64::new(0),
             invalidated: AtomicU64::new(0),
             uncacheable: AtomicU64::new(0),
         }
@@ -150,10 +233,26 @@ impl RenderCache {
         was
     }
 
+    /// Whether stale entries may be stored fragmented and repaired
+    /// from the write journal (the `--fragments` ablation knob).
+    pub(crate) fn fragments_enabled(&self) -> bool {
+        self.fragments_enabled.load(Ordering::Acquire)
+    }
+
+    /// Switches fragment repair on or off; returns the previous
+    /// setting. Disabling reverts to PR 7 behavior — stale entries
+    /// are always discarded — without touching stored pages (their
+    /// decompositions simply stop being consulted).
+    pub(crate) fn set_fragments_enabled(&self, enabled: bool) -> bool {
+        self.fragments_enabled.swap(enabled, Ordering::AcqRel)
+    }
+
     pub(crate) fn stats(&self) -> RenderCacheStats {
         RenderCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            repairs: self.repairs.load(Ordering::Relaxed),
+            repaired_fragments: self.repaired_fragments.load(Ordering::Relaxed),
             invalidated: self.invalidated.load(Ordering::Relaxed),
             uncacheable: self.uncacheable.load(Ordering::Relaxed),
         }
@@ -165,6 +264,23 @@ impl RenderCache {
         self.uncacheable.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Resolves a [`Lookup::Stale`] probe as *discarded*: the entry
+    /// could not be repaired, the request renders in full. Counted
+    /// exactly like the pre-repair cache did — one invalidation plus
+    /// the miss the re-render is.
+    pub(crate) fn note_invalidated(&self) {
+        self.invalidated.fetch_add(1, Ordering::Relaxed);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Resolves a [`Lookup::Stale`] probe as *repaired*, with the
+    /// number of fragments that had to re-render.
+    pub(crate) fn note_repaired(&self, fragments: u64) {
+        self.repairs.fetch_add(1, Ordering::Relaxed);
+        self.repaired_fragments
+            .fetch_add(fragments, Ordering::Relaxed);
+    }
+
     fn shard(&self, key: &RenderKey) -> &RwLock<HashMap<RenderKey, Entry>> {
         &self.shards[(self.hasher.hash_one(key) as usize) % SHARDS]
     }
@@ -172,20 +288,20 @@ impl RenderCache {
     /// Looks up `key`, validating the stored generation vector with
     /// `live` (a closure over the live database; `None` means the
     /// table is gone, which also invalidates). A valid entry returns
-    /// its bytes; a stale entry is removed and counted. Either way the
-    /// caller learns whether to render.
-    pub(crate) fn lookup(
-        &self,
-        key: &RenderKey,
-        live: impl Fn(&str) -> Option<u64>,
-    ) -> Option<Response> {
+    /// its bytes ([`Lookup::Hit`], counted); a missing entry is a
+    /// counted [`Lookup::Cold`]. A *stale* entry is removed from the
+    /// map and handed back **uncounted** — the caller resolves it via
+    /// [`RenderCache::note_repaired`] or
+    /// [`RenderCache::note_invalidated`] once the repair attempt
+    /// settles.
+    pub(crate) fn lookup(&self, key: &RenderKey, live: impl Fn(&str) -> Option<u64>) -> Lookup {
         let shard = self.shard(key);
-        let stale = {
+        {
             let map = shard.read().expect("render cache shard");
             match map.get(key) {
                 None => {
                     self.misses.fetch_add(1, Ordering::Relaxed);
-                    return None;
+                    return Lookup::Cold;
                 }
                 Some(entry) => {
                     let valid = entry
@@ -194,33 +310,46 @@ impl RenderCache {
                         .all(|(table, gen)| live(table) == Some(*gen));
                     if valid {
                         self.hits.fetch_add(1, Ordering::Relaxed);
-                        return Some(entry.response.clone());
+                        return Lookup::Hit(entry.response.clone());
                     }
-                    true
                 }
             }
-        };
-        if stale {
-            shard.write().expect("render cache shard").remove(key);
-            self.invalidated.fetch_add(1, Ordering::Relaxed);
-            self.misses.fetch_add(1, Ordering::Relaxed);
         }
-        None
+        match shard.write().expect("render cache shard").remove(key) {
+            Some(entry) => Lookup::Stale(StaleEntry {
+                generations: entry.generations,
+                fragments: entry.fragments,
+            }),
+            // Another worker took the stale entry between our read and
+            // write locks; for this request the probe was simply cold.
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Lookup::Cold
+            }
+        }
     }
 
     /// Stores a rendered page under the generation vector observed at
-    /// render time. Only plain `200` responses with no extra headers
-    /// are cacheable — errors and cookie-setting responses always
-    /// re-render. A full shard evicts an arbitrary resident entry.
+    /// render time, with an optional fragment decomposition for the
+    /// repair path (dropped while fragments are disabled). Only plain
+    /// `200` responses with no extra headers are cacheable — errors
+    /// and cookie-setting responses always re-render. A full shard
+    /// evicts an arbitrary resident entry.
     pub(crate) fn store(
         &self,
         key: RenderKey,
         generations: Vec<(String, u64)>,
         response: &Response,
+        fragments: Option<FragmentedPage>,
     ) {
         if response.status != 200 || !response.headers.is_empty() {
             return;
         }
+        let fragments = if self.fragments_enabled() {
+            fragments
+        } else {
+            None
+        };
         let shard = self.shard(&key);
         let mut map = shard.write().expect("render cache shard");
         if map.len() >= SHARD_CAP && !map.contains_key(&key) {
@@ -233,6 +362,7 @@ impl RenderCache {
             Entry {
                 generations,
                 response: response.clone(),
+                fragments,
             },
         );
     }
@@ -263,17 +393,37 @@ mod tests {
         v.iter().map(|(t, g)| ((*t).to_owned(), *g)).collect()
     }
 
+    fn as_hit(probe: Lookup) -> Option<Response> {
+        match probe {
+            Lookup::Hit(response) => Some(response),
+            Lookup::Stale(_) | Lookup::Cold => None,
+        }
+    }
+
+    fn page(table: &str, fragments: &[(i64, &str)]) -> FragmentedPage {
+        FragmentedPage {
+            table: table.to_owned(),
+            prefix: "== P ==\n".to_owned(),
+            suffix: String::new(),
+            fragments: fragments
+                .iter()
+                .map(|(jid, f)| (*jid, (*f).to_owned()))
+                .collect(),
+        }
+    }
+
     #[test]
     fn hit_after_store_while_generations_hold() {
         let cache = RenderCache::new();
         let k = key("papers/all", Viewer::User(1));
-        assert!(cache.lookup(&k, |_| Some(3)).is_none());
+        assert!(matches!(cache.lookup(&k, |_| Some(3)), Lookup::Cold));
         cache.store(
             k.clone(),
             gens(&[("paper", 3)]),
             &Response::ok("page".into()),
+            None,
         );
-        let hit = cache.lookup(&k, |_| Some(3)).expect("valid entry hits");
+        let hit = as_hit(cache.lookup(&k, |_| Some(3))).expect("valid entry hits");
         assert_eq!(hit.body, "page");
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.invalidated), (1, 1, 0));
@@ -287,13 +437,20 @@ mod tests {
             k.clone(),
             gens(&[("paper", 3)]),
             &Response::ok("old".into()),
+            None,
         );
-        assert!(cache.lookup(&k, |_| Some(4)).is_none(), "stale vector");
-        assert_eq!(cache.stats().invalidated, 1);
+        let probe = cache.lookup(&k, |_| Some(4));
+        assert!(matches!(probe, Lookup::Stale(_)), "stale vector");
         assert_eq!(cache.len(), 0, "stale entry removed");
+        // A stale probe is uncounted until the caller resolves it.
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.invalidated), (0, 0));
+        cache.note_invalidated();
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.invalidated), (1, 1));
         // The follow-up miss is a plain cold miss, not another
         // invalidation.
-        assert!(cache.lookup(&k, |_| Some(4)).is_none());
+        assert!(matches!(cache.lookup(&k, |_| Some(4)), Lookup::Cold));
         assert_eq!(cache.stats().invalidated, 1);
     }
 
@@ -301,9 +458,62 @@ mod tests {
     fn dropped_table_invalidates() {
         let cache = RenderCache::new();
         let k = key("papers/all", Viewer::Anonymous);
-        cache.store(k.clone(), gens(&[("paper", 1)]), &Response::ok("p".into()));
-        assert!(cache.lookup(&k, |_| None).is_none());
-        assert_eq!(cache.stats().invalidated, 1);
+        cache.store(
+            k.clone(),
+            gens(&[("paper", 1)]),
+            &Response::ok("p".into()),
+            None,
+        );
+        assert!(matches!(cache.lookup(&k, |_| None), Lookup::Stale(_)));
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn stale_entries_carry_their_decomposition_out() {
+        let cache = RenderCache::new();
+        let k = key("papers/all", Viewer::User(1));
+        cache.store(
+            k.clone(),
+            gens(&[("paper", 3)]),
+            &Response::ok("== P ==\na\nb\n".into()),
+            Some(page("paper", &[(1, "a\n"), (2, "b\n")])),
+        );
+        let Lookup::Stale(stale) = cache.lookup(&k, |_| Some(4)) else {
+            panic!("stale probe expected");
+        };
+        assert_eq!(stale.generations, gens(&[("paper", 3)]));
+        let fragments = stale.fragments.expect("decomposition preserved");
+        assert_eq!(fragments.table, "paper");
+        assert_eq!(fragments.fragments.len(), 2);
+        cache.note_repaired(1);
+        let stats = cache.stats();
+        assert_eq!((stats.repairs, stats.repaired_fragments), (1, 1));
+        assert_eq!(
+            (stats.misses, stats.invalidated),
+            (0, 0),
+            "a repair is neither a miss nor an invalidation"
+        );
+    }
+
+    #[test]
+    fn disabling_fragments_strips_decompositions_at_store() {
+        let cache = RenderCache::new();
+        assert!(cache.set_fragments_enabled(false), "was enabled");
+        let k = key("papers/all", Viewer::User(1));
+        cache.store(
+            k.clone(),
+            gens(&[("paper", 3)]),
+            &Response::ok("p".into()),
+            Some(page("paper", &[(1, "p")])),
+        );
+        let Lookup::Stale(stale) = cache.lookup(&k, |_| Some(4)) else {
+            panic!("stale probe expected");
+        };
+        assert!(
+            stale.fragments.is_none(),
+            "fragments-off stores plain entries (the full-invalidate arm)"
+        );
+        assert!(!cache.set_fragments_enabled(true), "was disabled");
     }
 
     #[test]
@@ -315,15 +525,14 @@ mod tests {
             alice.clone(),
             gens(&[("paper", 1)]),
             &Response::ok("alice's view".into()),
+            None,
         );
         assert!(
-            cache.lookup(&bob, |_| Some(1)).is_none(),
+            as_hit(cache.lookup(&bob, |_| Some(1))).is_none(),
             "a page rendered for one viewer must never serve another"
         );
-        assert!(cache
-            .lookup(&key("papers/all", Viewer::Anonymous), |_| Some(1))
-            .is_none());
-        let hit = cache.lookup(&alice, |_| Some(1)).unwrap();
+        assert!(as_hit(cache.lookup(&key("papers/all", Viewer::Anonymous), |_| Some(1))).is_none());
+        let hit = as_hit(cache.lookup(&alice, |_| Some(1))).unwrap();
         assert_eq!(hit.body, "alice's view");
     }
 
@@ -338,24 +547,26 @@ mod tests {
             one.clone(),
             gens(&[("paper", 1)]),
             &Response::ok("p1".into()),
+            None,
         );
-        assert!(cache.lookup(&two, |_| Some(1)).is_none());
-        assert_eq!(cache.lookup(&one, |_| Some(1)).unwrap().body, "p1");
+        assert!(as_hit(cache.lookup(&two, |_| Some(1))).is_none());
+        assert_eq!(as_hit(cache.lookup(&one, |_| Some(1))).unwrap().body, "p1");
     }
 
     #[test]
     fn only_plain_200_responses_are_stored() {
         let cache = RenderCache::new();
         let k = key("x", Viewer::Anonymous);
-        cache.store(k.clone(), Vec::new(), &Response::not_found());
-        cache.store(k.clone(), Vec::new(), &Response::forbidden("no"));
+        cache.store(k.clone(), Vec::new(), &Response::not_found(), None);
+        cache.store(k.clone(), Vec::new(), &Response::forbidden("no"), None);
         cache.store(
             k.clone(),
             Vec::new(),
             &Response::ok("s".into()).with_header("Set-Cookie", "session=x"),
+            None,
         );
         assert_eq!(cache.len(), 0, "errors and cookie-setters never cached");
-        cache.store(k.clone(), Vec::new(), &Response::ok("plain".into()));
+        cache.store(k.clone(), Vec::new(), &Response::ok("plain".into()), None);
         assert_eq!(cache.len(), 1);
     }
 
@@ -363,7 +574,12 @@ mod tests {
     fn disable_clears_and_reports_previous_setting() {
         let cache = RenderCache::new();
         let k = key("papers/all", Viewer::User(1));
-        cache.store(k.clone(), gens(&[("paper", 1)]), &Response::ok("p".into()));
+        cache.store(
+            k.clone(),
+            gens(&[("paper", 1)]),
+            &Response::ok("p".into()),
+            None,
+        );
         assert_eq!(cache.len(), 1);
         assert!(cache.set_enabled(false), "was enabled");
         assert_eq!(cache.len(), 0, "disable drops stored pages");
@@ -378,6 +594,7 @@ mod tests {
                 key(&format!("page/{i}"), Viewer::Anonymous),
                 gens(&[("t", 1)]),
                 &Response::ok(i.to_string()),
+                None,
             );
         }
         assert!(
@@ -391,6 +608,7 @@ mod tests {
     fn status_wire_forms() {
         assert_eq!(RenderCacheStatus::Hit.as_str(), "hit");
         assert_eq!(RenderCacheStatus::Miss.as_str(), "miss");
+        assert_eq!(RenderCacheStatus::Repair.as_str(), "repair");
         assert_eq!(RenderCacheStatus::Bypass.as_str(), "bypass");
     }
 }

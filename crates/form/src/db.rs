@@ -1110,6 +1110,76 @@ impl FormDb {
         jids.dedup();
         Ok(jids)
     }
+
+    /// The `jid`s of every logical object in `table`, in
+    /// **first-appearance physical-row order** — the order a list page
+    /// that scans the table renders objects in. This differs from
+    /// [`FormDb::object_jids`] (ascending) because `save` re-inserts:
+    /// an updated object's rows move to the table's end, and so does
+    /// its rendered line.
+    ///
+    /// # Errors
+    ///
+    /// Table-lookup errors.
+    pub fn jid_order(&self, table: &str) -> FormResult<Vec<i64>> {
+        crate::touched::note_read(table);
+        let t = self.db.table(table)?;
+        let jid_ix = t.schema().len() - 2;
+        let mut seen = std::collections::HashSet::new();
+        let mut jids = Vec::new();
+        for row in t.rows() {
+            if let Some(jid) = row[jid_ix].as_int() {
+                if seen.insert(jid) {
+                    jids.push(jid);
+                }
+            }
+        }
+        Ok(jids)
+    }
+
+    /// The `jid`s whose rows appear in `table`'s change journal after
+    /// generation `since`: old **and** new rows of every delta,
+    /// deduplicated and sorted ascending. `None` when the journal
+    /// window has slid past `since`, when `since` is from the future
+    /// (a restore to an older checkpoint), or when a journaled row
+    /// carries a non-integer jid — in every such case the caller must
+    /// fall back to a full rebuild, exactly like the decode cache's
+    /// [`delta-advance`](FormDb::set_delta_maintenance) contract:
+    /// correctness never depends on the journal.
+    ///
+    /// # Errors
+    ///
+    /// Table-lookup errors.
+    pub fn touched_jids_since(&self, table: &str, since: u64) -> FormResult<Option<Vec<i64>>> {
+        crate::touched::note_read(table);
+        let t = self.db.table(table)?;
+        let Some(deltas) = t.deltas_since(since) else {
+            return Ok(None);
+        };
+        let width = t.schema().len() - 2;
+        let mut jids = Vec::new();
+        let mut push = |row: &Row| -> bool {
+            row[width].as_int().is_some_and(|jid| {
+                jids.push(jid);
+                true
+            })
+        };
+        for delta in deltas {
+            let journaled = match delta {
+                RowDelta::Append(row) => push(row),
+                RowDelta::Rewrite(rewrites) => {
+                    rewrites.iter().all(|(_, old, new)| push(old) && push(new))
+                }
+                RowDelta::Remove(removals) => removals.iter().all(|(_, row)| push(row)),
+            };
+            if !journaled {
+                return Ok(None);
+            }
+        }
+        jids.sort_unstable();
+        jids.dedup();
+        Ok(Some(jids))
+    }
 }
 
 #[cfg(test)]
@@ -1869,5 +1939,103 @@ mod tests {
             .unwrap();
         let after = db.all("event").unwrap();
         assert_eq!(after.len(), 3, "raw write visible despite the cache");
+    }
+
+    #[test]
+    fn jid_order_tracks_first_appearance_and_save_moves_to_the_end() {
+        let mut db = FormDb::new();
+        db.create_table("t", vec![ColumnDef::new("v", ColumnType::Int)])
+            .unwrap();
+        let jids: Vec<i64> = (0..4)
+            .map(|i| {
+                db.insert("t", &Faceted::leaf(Some(vec![Value::Int(i)])))
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(db.jid_order("t").unwrap(), jids);
+        // `save` deletes and re-inserts: the updated object's rows —
+        // and its slot in first-appearance order — move to the end.
+        db.save(
+            "t",
+            jids[1],
+            &Faceted::leaf(Some(vec![Value::Int(99)])),
+            &Branches::new(),
+        )
+        .unwrap();
+        assert_eq!(
+            db.jid_order("t").unwrap(),
+            vec![jids[0], jids[2], jids[3], jids[1]]
+        );
+        let mut ascending = db.object_jids("t").unwrap();
+        ascending.sort_unstable();
+        assert_eq!(
+            db.object_jids("t").unwrap(),
+            ascending,
+            "object_jids stays sorted"
+        );
+    }
+
+    #[test]
+    fn touched_jids_since_reports_append_rewrite_and_remove() {
+        let mut db = FormDb::new();
+        db.create_table("t", vec![ColumnDef::new("v", ColumnType::Int)])
+            .unwrap();
+        let a = db
+            .insert("t", &Faceted::leaf(Some(vec![Value::Int(1)])))
+            .unwrap();
+        let b = db
+            .insert("t", &Faceted::leaf(Some(vec![Value::Int(2)])))
+            .unwrap();
+        let g0 = db.raw_ref().generation("t").unwrap();
+        assert_eq!(
+            db.touched_jids_since("t", g0).unwrap(),
+            Some(Vec::new()),
+            "nothing written since g0"
+        );
+        // A save is delete + re-insert: Remove + Append deltas, one jid.
+        db.save(
+            "t",
+            b,
+            &Faceted::leaf(Some(vec![Value::Int(20)])),
+            &Branches::new(),
+        )
+        .unwrap();
+        assert_eq!(db.touched_jids_since("t", g0).unwrap(), Some(vec![b]));
+        // An engine-level update produces Rewrite deltas; both old and
+        // new rows name the same jid here.
+        db.raw()
+            .update(
+                "t",
+                &Predicate::eq(Operand::col("v"), Operand::lit(1i64)),
+                &[("v".to_owned(), Value::Int(-1))],
+            )
+            .unwrap();
+        assert_eq!(db.touched_jids_since("t", g0).unwrap(), Some(vec![a, b]));
+    }
+
+    #[test]
+    fn touched_jids_since_refuses_slid_windows_and_future_stamps() {
+        let mut db = FormDb::new();
+        db.create_table("t", vec![ColumnDef::new("v", ColumnType::Int)])
+            .unwrap();
+        db.insert("t", &Faceted::leaf(Some(vec![Value::Int(0)])))
+            .unwrap();
+        let g = db.raw_ref().generation("t").unwrap();
+        assert_eq!(
+            db.touched_jids_since("t", g + 1).unwrap(),
+            None,
+            "a stamp from the future (restore to an older checkpoint) must fall back"
+        );
+        // Push the journal past its row budget (1024 rows); the
+        // window slides off g.
+        for i in 0..1100i64 {
+            db.insert("t", &Faceted::leaf(Some(vec![Value::Int(i)])))
+                .unwrap();
+        }
+        assert_eq!(
+            db.touched_jids_since("t", g).unwrap(),
+            None,
+            "a slid-past window must fall back"
+        );
     }
 }

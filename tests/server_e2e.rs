@@ -268,13 +268,16 @@ fn auth_gates_the_wire_path() {
 /// The render-cache diagnostic header over a live socket: a cold page
 /// is a `miss`, the repeat is a `hit` with byte-identical body, a
 /// write route reports `bypass`, and a read after the write is a
-/// `miss` again (the generation stamp invalidated). Cached responses
-/// still carry *fresh* `X-Queue-Us`/`X-Service-Us` timings — the
-/// server appends them after the executor round-trip, and only
+/// `repair` — `papers/all` registers a fragment renderer, so the
+/// stale entry is spliced back together from the write journal
+/// instead of discarded, byte-identical to a full render. Cached
+/// responses still carry *fresh* `X-Queue-Us`/`X-Service-Us` timings —
+/// the server appends them after the executor round-trip, and only
 /// header-less responses are ever stored, so there are no stale
-/// timing headers to replay.
+/// timing headers to replay. `admin/health` publishes the counters
+/// behind all of this.
 #[test]
-fn render_cache_header_reports_hit_miss_bypass_over_the_socket() {
+fn render_cache_header_reports_hit_miss_repair_bypass_over_the_socket() {
     let server = start(serve::conference_site(workload::conference(6, 4).app));
     let mut client = Client::connect(server.addr());
     client.login(2);
@@ -310,13 +313,34 @@ fn render_cache_header_reports_hit_miss_bypass_over_the_socket() {
     let after = client.get("papers/all");
     assert_eq!(
         after.header("x-render-cache"),
-        Some("miss"),
-        "the write moved the paper table's generation"
+        Some("repair"),
+        "the write moved the paper table's generation; the fragment \
+         renderer splices the new row in from the journal"
     );
     assert!(after.text().contains("fresh paper"), "{}", after.text());
+    // The repaired bytes equal a from-scratch faceted render.
+    {
+        let site = server.site();
+        let full = site
+            .router
+            .handle(&site.app, &Request::new("papers/all", Viewer::User(2)));
+        assert_eq!(after.text(), full.body, "repair is byte-identical");
+    }
     let warm = client.get("papers/all");
-    assert_eq!(warm.header("x-render-cache"), Some("hit"));
+    assert_eq!(
+        warm.header("x-render-cache"),
+        Some("hit"),
+        "a repaired entry is restamped, not re-rendered"
+    );
     assert_eq!(warm.text(), after.text());
+    // The counters behind the header are wire-visible on admin/health.
+    let health = client.get("admin/health");
+    assert_eq!(health.status, 200);
+    assert!(
+        health.text().contains("render_cache hits=") && health.text().contains(" repairs=1 "),
+        "admin/health publishes the cache counters: {}",
+        health.text()
+    );
     server.shutdown();
 }
 
