@@ -157,12 +157,13 @@ fn comparisons(
         // repair-vs-full-invalidate win of fragment repair). The
         // third field marks overhead pairs whose committed ratio is
         // clamped at parity — see below.
-        const RATIO_PAIRS: [(&str, &str, bool); 5] = [
+        const RATIO_PAIRS: [(&str, &str, bool); 6] = [
             (" jacqueline", " baseline", true),
             (" served", " inprocess", true),
             (" deltas_on", " deltas_off", false),
             (" render_on", " render_off", false),
             (" fragments_on", " fragments_off", false),
+            (" incremental", " full", false),
         ];
         let Some((size, den_suffix, clamp)) = RATIO_PAIRS
             .iter()

@@ -2,13 +2,16 @@
 //! [`jbench::chaos`]) and exits non-zero on the first violated
 //! robustness invariant.
 //!
-//! Usage: `chaos --seed N [--no-fragments]` (defaults to seed 1 with
-//! render-cache fragment repair enabled). Each seed is a fully
-//! deterministic interleaving of writes, checkpoints, injected
-//! storage faults, kills and restores over the three case-study
-//! applications — a failing seed replays exactly, and
-//! `--no-fragments` replays the *same* interleaving with every stale
-//! cache entry paying a full re-render instead of a repair.
+//! Usage: `chaos --seed N [--no-fragments] [--no-incremental]`
+//! (defaults to seed 1 with render-cache fragment repair and
+//! incremental checkpoints enabled). Each seed is a fully
+//! deterministic interleaving of writes, checkpoints (explicit and
+//! record-pressure-scheduled), injected storage faults, kills and
+//! restores over the three case-study applications — a failing seed
+//! replays exactly. `--no-fragments` replays the *same* interleaving
+//! with every stale cache entry paying a full re-render instead of a
+//! repair; `--no-incremental` replays it with every checkpoint
+//! re-exporting the full snapshot instead of only dirty chunks.
 
 use std::process::ExitCode;
 
@@ -16,6 +19,7 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut seed = 1u64;
     let mut fragments = true;
+    let mut incremental = true;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--seed" => match args.next().as_deref().map(str::parse) {
@@ -26,16 +30,17 @@ fn main() -> ExitCode {
                 }
             },
             "--no-fragments" => fragments = false,
+            "--no-incremental" => incremental = false,
             other => {
                 eprintln!(
                     "chaos: unknown argument {other} \
-                     (usage: chaos --seed N [--no-fragments])"
+                     (usage: chaos --seed N [--no-fragments] [--no-incremental])"
                 );
                 return ExitCode::FAILURE;
             }
         }
     }
-    match jbench::chaos::run_seed_with_fragments(seed, fragments) {
+    match jbench::chaos::run_seed_configured(seed, fragments, incremental) {
         Ok(report) => {
             println!("{report}");
             ExitCode::SUCCESS

@@ -137,6 +137,7 @@ fn main() {
     }
     if want("--checkpoint") {
         checkpoint_latency(&cfg, &mut report);
+        incremental_checkpoint_latency(&cfg, &mut report);
     }
 
     if !report.is_empty() {
@@ -1142,6 +1143,12 @@ fn checkpoint_latency(cfg: &Config, report: &mut Report) {
         let dir = std::env::temp_dir().join(format!("jacq_bench_ckpt_{n}_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let app = workload::conference(n, n / 4).app;
+        // This table's contract (and its absolute CI gate) is the
+        // *full* snapshot cost: with incremental mode left on, every
+        // timed rep after the first would be a no-write no-op that
+        // reuses every chunk. The incremental path gets its own
+        // ratio-gated table below.
+        app.set_incremental_checkpoints(false);
         // One untimed checkpoint to create the directory and warm the
         // decode cache paths, and to sample the interner stats.
         let stats = app
@@ -1200,6 +1207,86 @@ fn checkpoint_latency(cfg: &Config, report: &mut Report) {
             ),
         ]);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Incremental vs full checkpoint latency (`ckpt_incremental`,
+/// CI-gated as an unclamped " incremental"/" full" ratio pair): the
+/// conference workload at n=256/1024 users, checkpointed after a
+/// 1-row write and after a 25%-of-users write burst, once with the
+/// content-addressed dirty-chunk path and once ablated to the full
+/// re-export. Only the checkpoint call is timed — the writes between
+/// reps alternate values so they are never no-ops (a no-op write
+/// bumps no generation and would make the incremental arm a pure
+/// chunk-reuse measurement). The headline the gate enforces: the
+/// 1-row incremental checkpoint is several times faster than the
+/// full export and stays flat as n grows.
+fn incremental_checkpoint_latency(cfg: &Config, report: &mut Report) {
+    println!("\n==== Incremental vs full checkpoint (conference workload) ====");
+    print_row(&[
+        "Users".into(),
+        "writes".into(),
+        "full".into(),
+        "incremental".into(),
+        "speedup".into(),
+    ]);
+    let reps = cfg.reps.max(7);
+    let sizes: &[usize] = if cfg.smoke { &[256] } else { &[256, 1024] };
+    for &n in sizes {
+        for (tag, writes) in [("write1", 1usize), ("write25pct", n / 4)] {
+            let mut medians = [0.0f64; 2];
+            for (slot, mode) in ["full", "incremental"].into_iter().enumerate() {
+                let dir = std::env::temp_dir().join(format!(
+                    "jacq_bench_ckpt_inc_{n}_{tag}_{mode}_{}",
+                    std::process::id()
+                ));
+                let _ = std::fs::remove_dir_all(&dir);
+                let app = workload::conference(n, n / 4).app;
+                app.set_incremental_checkpoints(mode == "incremental");
+                // The user jids the write burst rotates over.
+                let users: Vec<i64> = (1..=(4 * n as i64))
+                    .filter(|&jid| app.get("user_profile", jid).is_ok())
+                    .take(writes)
+                    .collect();
+                assert_eq!(users.len(), writes, "workload has enough user rows");
+                // Untimed first checkpoint: seeds the chunk store and
+                // (in incremental mode) the carry-over memory.
+                app.checkpoint_quiescent(&dir).expect("seed checkpoint");
+                let mut samples = Vec::with_capacity(reps);
+                for rep in 0..reps {
+                    for (i, jid) in users.iter().enumerate() {
+                        // Alternating per-rep values: never a no-op.
+                        let v = Value::from(format!("aff-{rep}-{i}"));
+                        app.update_fields("user_profile", *jid, &[(2, v)], &Default::default())
+                            .expect("bench write");
+                    }
+                    let start = std::time::Instant::now();
+                    let stats = app.checkpoint_quiescent(&dir).expect("checkpoint");
+                    samples.push(start.elapsed().as_secs_f64());
+                    assert_eq!(
+                        stats.incremental,
+                        mode == "incremental",
+                        "checkpoint ran the selected path"
+                    );
+                }
+                samples.sort_by(f64::total_cmp);
+                let median = samples[samples.len() / 2];
+                report.record(
+                    "ckpt_incremental",
+                    &format!("users={n} {tag} {mode}"),
+                    median,
+                );
+                medians[slot] = median;
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+            print_row(&[
+                n.to_string(),
+                tag.into(),
+                fmt_secs(medians[0]),
+                fmt_secs(medians[1]),
+                format!("{:.1}x", medians[0] / medians[1]),
+            ]);
+        }
     }
 }
 

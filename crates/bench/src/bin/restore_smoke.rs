@@ -39,8 +39,11 @@ fn run() -> Result<(), String> {
     let mut client = HttpClient::connect(server.addr());
     check(client.login(2).status == 200, "login before the kill")?;
 
-    // 2. Write: one paper before the checkpoint, one after (the
-    //    second must survive purely via log replay).
+    // 2. Write: one paper before the checkpoint chain, one after
+    //    (the last must survive purely via log replay). The site
+    //    boot already took a *full* checkpoint, so the admin-route
+    //    checkpoints here exercise the incremental path: only dirty
+    //    chunks written, clean ones carried over by content hash.
     let submitted = client.post("papers/submit", "title=before+checkpoint");
     check(submitted.status == 200, "pre-checkpoint write accepted")?;
     let checkpoint = client.post("admin/checkpoint", "");
@@ -49,6 +52,28 @@ fn run() -> Result<(), String> {
         "admin/checkpoint succeeds for a logged-in session",
     )?;
     println!("restore_smoke: {}", checkpoint.text().trim_end());
+    check(
+        checkpoint.text().contains("mode=incremental"),
+        "checkpoint after the boot-time full one runs incrementally",
+    )?;
+    check(
+        !checkpoint.text().contains("chunks_reused=0 "),
+        "an incremental checkpoint of a mostly-clean store reuses chunks",
+    )?;
+    let mid = client.post("papers/submit", "title=mid+checkpoints");
+    check(mid.status == 200, "between-checkpoints write accepted")?;
+    let second = client.post("admin/checkpoint", "");
+    check(
+        second.status == 200 && second.text().contains("mode=incremental"),
+        "second checkpoint also incremental",
+    )?;
+    let health = client.get("admin/health");
+    check(
+        health.status == 200
+            && health.text().contains("checkpoint mode=incremental")
+            && health.text().contains("wal records=0"),
+        "admin/health reports the checkpoint vector and a compacted WAL",
+    )?;
     let late = client.post("papers/submit", "title=after+checkpoint");
     check(late.status == 200, "post-checkpoint write accepted")?;
 
@@ -78,8 +103,9 @@ fn run() -> Result<(), String> {
     )?;
     check(
         papers_after.text().contains("before checkpoint")
+            && papers_after.text().contains("mid checkpoints")
             && papers_after.text().contains("after checkpoint"),
-        "both the snapshotted and the log-replayed write survived",
+        "the full-snapshotted, incrementally-snapshotted, and log-replayed writes all survived",
     )?;
     let users_after = client.get("users/all");
     check(

@@ -38,7 +38,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use apps::{serve, workload};
-use jacqueline::{App, ExecutorService, Request, Response, Router, Site, Viewer};
+use jacqueline::{App, CheckpointPolicy, ExecutorService, Request, Response, Router, Site, Viewer};
 use microdb::faults::{self, FaultKind, FaultPoint};
 
 /// Sebastiano Vigna's SplitMix64 — a tiny, well-mixed generator,
@@ -107,6 +107,9 @@ pub struct ChaosReport {
     /// (accumulated across kills, since each restore starts a fresh
     /// cache).
     pub fragment_repairs: u64,
+    /// Checkpoints the executor's record-pressure scheduler ran on
+    /// its own (accumulated across kills, like `fragment_repairs`).
+    pub scheduled_checkpoints: u64,
 }
 
 impl fmt::Display for ChaosReport {
@@ -114,15 +117,16 @@ impl fmt::Display for ChaosReport {
         write!(
             f,
             "chaos seed {}: {} steps, {} writes ok / {} rejected, \
-             {} faults, {} checkpoints, {} kills ({} restore retries), \
-             {} degraded arcs, {} sheds, {} grid cells verified, \
-             {} fragment repairs",
+             {} faults, {} checkpoints (+{} scheduled), {} kills \
+             ({} restore retries), {} degraded arcs, {} sheds, \
+             {} grid cells verified, {} fragment repairs",
             self.seed,
             self.steps,
             self.writes_ok,
             self.writes_rejected,
             self.faults_injected,
             self.checkpoints,
+            self.scheduled_checkpoints,
             self.kills,
             self.restore_retries,
             self.degraded_arcs,
@@ -221,6 +225,11 @@ struct Scenario {
     /// knob); re-applied after every restore, since a restored app
     /// starts with the default-on cache.
     fragments: bool,
+    /// Whether incremental (dirty-chunk-only) checkpoints are enabled
+    /// — the `--no-incremental` ablation forces every checkpoint,
+    /// scheduled or explicit, down the full-export path. Re-applied
+    /// after every restore like `fragments`.
+    incremental: bool,
     site: Site,
     service: ExecutorService,
     pages: Vec<String>,
@@ -234,13 +243,22 @@ struct Scenario {
 
 const EXECUTOR_THREADS: usize = 3;
 const SCENARIO_QUEUE: usize = 64;
+/// The scheduled-checkpoint policy the scenarios run under:
+/// record-count-only, so the schedule is a pure function of the WAL
+/// stream (a wall-clock term would make the interleaving depend on
+/// machine speed and break seed replay).
+const SCHEDULE_EVERY_RECORDS: u64 = 3;
 
 fn start_service(site: &Site) -> ExecutorService {
-    ExecutorService::start_bounded(
+    ExecutorService::start_scheduled(
         Arc::clone(&site.app),
         Arc::clone(&site.router),
         EXECUTOR_THREADS,
         SCENARIO_QUEUE,
+        CheckpointPolicy {
+            every_records: Some(SCHEDULE_EVERY_RECORDS),
+            every: None,
+        },
     )
 }
 
@@ -260,7 +278,12 @@ fn parse_page(page: &str, viewer: &Viewer) -> Request {
 }
 
 impl Scenario {
-    fn start(kind: AppKind, seed: u64, fragments: bool) -> Result<Scenario, String> {
+    fn start(
+        kind: AppKind,
+        seed: u64,
+        fragments: bool,
+        incremental: bool,
+    ) -> Result<Scenario, String> {
         let frag = format!("jacq_chaos_s{seed}_{}_{}", kind.name(), std::process::id());
         let dir = std::env::temp_dir().join(&frag);
         let _ = std::fs::remove_dir_all(&dir);
@@ -269,6 +292,9 @@ impl Scenario {
             .map_err(|e| format!("{}: building persistent site: {e}", kind.name()))?;
         if !fragments {
             site.app.set_fragment_repair(false);
+        }
+        if !incremental {
+            site.app.set_incremental_checkpoints(false);
         }
 
         // Discover the seeded object jids by probing — robust against
@@ -297,6 +323,7 @@ impl Scenario {
             dir,
             frag,
             fragments,
+            incremental,
             site,
             service,
             pages,
@@ -527,9 +554,11 @@ impl Scenario {
     ) -> Result<(), String> {
         let before_grid = self.grid();
         let before_rows = self.physical_rows();
-        // The restored app starts a fresh cache: bank this life's
-        // repair count before it vanishes with the process.
+        // The restored app starts a fresh cache and fresh counters:
+        // bank this life's repair and scheduled-checkpoint counts
+        // before they vanish with the process.
         report.fragment_repairs += self.site.app.render_cache_stats().repairs;
+        report.scheduled_checkpoints += self.site.app.scheduled_checkpoint_count();
         self.service.shutdown();
         report.kills += 1;
 
@@ -561,6 +590,9 @@ impl Scenario {
             .map_err(|e| format!("{}: restore: {e}", self.kind.name()))?;
         if !self.fragments {
             self.site.app.set_fragment_repair(false);
+        }
+        if !self.incremental {
+            self.site.app.set_incremental_checkpoints(false);
         }
         self.service = start_service(&self.site);
 
@@ -722,6 +754,7 @@ impl Scenario {
 
     fn finish(self, report: &mut ChaosReport) {
         report.fragment_repairs += self.site.app.render_cache_stats().repairs;
+        report.scheduled_checkpoints += self.site.app.scheduled_checkpoint_count();
         self.service.shutdown();
         let _ = std::fs::remove_dir_all(&self.dir);
     }
@@ -809,6 +842,26 @@ pub fn run_seed(seed: u64) -> Result<ChaosReport, String> {
 /// The first violated invariant, with enough context to replay
 /// (`chaos --seed N` reproduces the exact interleaving).
 pub fn run_seed_with_fragments(seed: u64, fragments: bool) -> Result<ChaosReport, String> {
+    run_seed_configured(seed, fragments, true)
+}
+
+/// Runs one full chaos seed with both scenario knobs explicit:
+/// `fragments` (render-cache fragment repair) and `incremental`
+/// (dirty-chunk-only checkpoints — off means every checkpoint,
+/// scheduled or explicit, re-exports the full snapshot). Neither
+/// knob draws from the RNG, so all four arms of one seed replay the
+/// same logical interleaving.
+///
+/// # Errors
+///
+/// The first violated invariant, with enough context to replay
+/// (`chaos --seed N [--no-incremental]` reproduces the exact
+/// interleaving).
+pub fn run_seed_configured(
+    seed: u64,
+    fragments: bool,
+    incremental: bool,
+) -> Result<ChaosReport, String> {
     let mut rng = SplitMix64::new(seed.wrapping_mul(0x5851_f42d_4c95_7f2d).wrapping_add(seed));
     let mut report = ChaosReport {
         seed,
@@ -816,7 +869,7 @@ pub fn run_seed_with_fragments(seed: u64, fragments: bool) -> Result<ChaosReport
     };
 
     for kind in [AppKind::Conference, AppKind::Courses, AppKind::Health] {
-        let mut scenario = Scenario::start(kind, seed, fragments)?;
+        let mut scenario = Scenario::start(kind, seed, fragments, incremental)?;
         let steps = 14 + rng.below(8);
         let mut had_degraded_arc = false;
         let mut had_kill = false;

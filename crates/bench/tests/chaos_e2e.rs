@@ -56,3 +56,37 @@ fn pinned_fragment_seed_repairs_and_its_ablation_does_not() {
         "the knob never draws from the RNG: both arms replay one interleaving"
     );
 }
+
+/// The incremental-checkpoint knob under chaos: the same pinned seed
+/// runs once with dirty-chunk-only checkpoints (the default) and
+/// once ablated (`--no-incremental`: every checkpoint re-exports the
+/// full snapshot). Both arms run under the executor's record-
+/// pressure checkpoint scheduler, so scheduled checkpoints interleave
+/// with kills, restores, injected faults, and degraded arcs — and
+/// every recovery oracle (grid identity, exactly-once markers,
+/// physical rows) must hold in both. Sequential after the tests
+/// above for the global-fault-registry reason.
+#[test]
+fn pinned_incremental_seed_matches_its_full_snapshot_ablation() {
+    let seed = 0x1c4e;
+    let on = jbench::chaos::run_seed_configured(seed, true, true)
+        .unwrap_or_else(|violation| panic!("chaos seed {seed} (incremental on): {violation}"));
+    println!("{on}");
+    assert!(
+        on.scheduled_checkpoints > 0,
+        "record pressure must trigger scheduled checkpoints during the run"
+    );
+    assert!(on.kills >= 3 && on.degraded_arcs >= 3 && on.checkpoints > 0);
+    let off = jbench::chaos::run_seed_configured(seed, true, false)
+        .unwrap_or_else(|violation| panic!("chaos seed {seed} (incremental off): {violation}"));
+    println!("{off}");
+    assert!(
+        off.scheduled_checkpoints > 0,
+        "the full-snapshot arm schedules checkpoints too"
+    );
+    assert_eq!(
+        (off.steps, off.kills, off.checkpoints),
+        (on.steps, on.kills, on.checkpoints),
+        "the knob never draws from the RNG: both arms replay one interleaving"
+    );
+}

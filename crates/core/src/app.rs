@@ -74,6 +74,25 @@ pub struct App {
     /// flag. Reads keep serving throughout — they are exactly as
     /// consistent as before the fault.
     degraded: RwLock<Option<String>>,
+    /// The persistence directory [`App::enable_persistence`] attached
+    /// its logs to — where scheduled checkpoints land.
+    pub(crate) persist_dir: RwLock<Option<std::path::PathBuf>>,
+    /// Bumped by every mutation of checkpointable app metadata (label
+    /// allocation + policy binding + jid-cursor movement, i.e. every
+    /// `create`/`bind_policy`). The incremental checkpointer keys the
+    /// app-meta chunk on this: an unchanged epoch means the chunk can
+    /// be carried over without re-exporting [`form::FormMeta`] or the
+    /// bindings.
+    pub(crate) meta_epoch: std::sync::atomic::AtomicU64,
+    /// Whether checkpoints may reuse clean chunks from the previous
+    /// checkpoint (the default) or must re-export everything (the
+    /// `--no-incremental` ablation).
+    incremental_checkpoints: std::sync::atomic::AtomicBool,
+    /// What the last successful checkpoint wrote — the clean-chunk
+    /// reuse substrate (see [`checkpoint`](crate::checkpoint)).
+    pub(crate) ckpt_memory: std::sync::Mutex<Option<crate::checkpoint::CheckpointMemory>>,
+    /// Checkpoints the executor's scheduler has completed.
+    pub(crate) scheduled_checkpoints: std::sync::atomic::AtomicU64,
 }
 
 impl App {
@@ -90,6 +109,11 @@ impl App {
             journal: None,
             create_order: std::sync::Mutex::new(()),
             degraded: RwLock::new(None),
+            persist_dir: RwLock::new(None),
+            meta_epoch: std::sync::atomic::AtomicU64::new(0),
+            incremental_checkpoints: std::sync::atomic::AtomicBool::new(true),
+            ckpt_memory: std::sync::Mutex::new(None),
+            scheduled_checkpoints: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -162,6 +186,49 @@ impl App {
         self.render_cache.fragments_enabled()
     }
 
+    /// Switches incremental (chunk-reusing) checkpoints on or off
+    /// (ablation hook — the `--no-incremental` chaos arm and the
+    /// incremental-vs-full experiment table use this). Returns the
+    /// previous setting. Disabled, every checkpoint re-exports and
+    /// re-chunks everything, exactly like the first checkpoint of a
+    /// fresh process.
+    pub fn set_incremental_checkpoints(&self, enabled: bool) -> bool {
+        self.incremental_checkpoints
+            .swap(enabled, std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Whether incremental checkpoints are currently enabled.
+    #[must_use]
+    pub fn incremental_checkpoints_enabled(&self) -> bool {
+        self.incremental_checkpoints
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// The directory persistence was enabled on, if any — the target
+    /// of scheduled checkpoints.
+    #[must_use]
+    pub fn persist_dir(&self) -> Option<std::path::PathBuf> {
+        self.persist_dir.read().expect("persist dir").clone()
+    }
+
+    /// Checkpoints completed by the executor's scheduler (as opposed
+    /// to operator-triggered `admin/checkpoint` calls).
+    #[must_use]
+    pub fn scheduled_checkpoint_count(&self) -> u64 {
+        self.scheduled_checkpoints
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// WAL pressure since the last checkpoint: `(records, bytes)`
+    /// appended to the row log since it was last truncated/compacted.
+    /// `(0, 0)` when persistence is not enabled.
+    #[must_use]
+    pub fn wal_pressure(&self) -> (u64, u64) {
+        self.db.raw_ref().wal().map_or((0, 0), |wal| {
+            (wal.records_since_truncate(), wal.bytes_since_truncate())
+        })
+    }
+
     /// Render-cache hit/miss/repair/invalidated/uncacheable counters
     /// since construction.
     #[must_use]
@@ -212,6 +279,10 @@ impl App {
     fn create_impl(&self, model_name: &str, row: Row) -> FormResult<i64> {
         let model = self.model(model_name).clone();
         let jid = self.db.reserve_jid(&model.name);
+        // The jid cursor moved (and labels/bindings may follow): the
+        // checkpointed app-meta chunk is stale.
+        self.meta_epoch
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         // Label allocation + journal append happen under one guard
         // (when persistence is on): two concurrent creates on
         // disjoint footprints would otherwise interleave allocation
@@ -380,6 +451,8 @@ impl App {
             .entry((model_name.to_owned(), jid))
             .or_default()
             .push(label);
+        self.meta_epoch
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         Ok(())
     }
 

@@ -47,18 +47,25 @@
 //! dispatches under the exclusive global lock — the same quiescent
 //! point, reached through ordinary request scheduling.
 
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::fmt;
 use std::fs::File;
-use std::io::{BufRead, BufReader, BufWriter, Write as _};
+use std::io::{BufWriter, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use faceted::NodeTable;
 use form::{FacetedObject, FormError, FormMeta, FormResult};
+use microdb::chunkstore::{
+    is_valid_hash, load_rows, write_dirty_row_chunks, write_row_chunks, ChunkRef, ChunkStore,
+    ChunkWriteStats, DirtyRows,
+};
 use microdb::faults::{self, FaultKind, FaultPoint};
-use microdb::snapshot::{decode_value, encode_value, escape_token, unescape_token};
+use microdb::snapshot::{
+    decode_value, encode_column, encode_value, escape_token, parse_column, unescape_token,
+};
 use microdb::wal::LineLog;
-use microdb::{Row, Snapshot, Value, WriteLog};
+use microdb::{Row, Snapshot, TableSnapshot, Value, WriteLog};
 
 use crate::app::App;
 use crate::http::{Response, Router};
@@ -82,9 +89,10 @@ pub struct CheckpointStats {
     pub tables: usize,
     /// Physical rows captured.
     pub rows: usize,
-    /// Logical objects whose facet DAGs were exported.
+    /// Logical objects covered (exported or carried over).
     pub objects: usize,
-    /// Distinct interner nodes in the exported DAG table.
+    /// Interner nodes across the exported object-group tables (shared
+    /// nodes are counted once per group holding them).
     pub facet_nodes: usize,
     /// Interner nodes (object-DAG store) before the quiescent GC.
     pub interner_nodes_before: usize,
@@ -92,6 +100,14 @@ pub struct CheckpointStats {
     pub interner_nodes_after: usize,
     /// Nodes reclaimed by [`faceted::collect_garbage`].
     pub gc_reclaimed: usize,
+    /// Chunk files physically written by this checkpoint.
+    pub chunks_written: usize,
+    /// Chunks satisfied without writing bytes: carried over from the
+    /// previous checkpoint, or re-encoded to content already stored.
+    pub chunks_reused: usize,
+    /// Whether this checkpoint ran the incremental (clean-chunk
+    /// carry-over) path rather than a full re-export.
+    pub incremental: bool,
 }
 
 impl fmt::Display for CheckpointStats {
@@ -99,14 +115,22 @@ impl fmt::Display for CheckpointStats {
         write!(
             f,
             "checkpoint: tables={} rows={} objects={} facet_nodes={} \
-             interner_nodes={}->{} gc_reclaimed={}",
+             interner_nodes={}->{} gc_reclaimed={} chunks_written={} \
+             chunks_reused={} mode={}",
             self.tables,
             self.rows,
             self.objects,
             self.facet_nodes,
             self.interner_nodes_before,
             self.interner_nodes_after,
-            self.gc_reclaimed
+            self.gc_reclaimed,
+            self.chunks_written,
+            self.chunks_reused,
+            if self.incremental {
+                "incremental"
+            } else {
+                "full"
+            }
         )
     }
 }
@@ -297,28 +321,452 @@ fn decode_object_leaf(payload: &str) -> Option<Option<Row>> {
 }
 
 // ---------------------------------------------------------------------
-// Checkpoint file sections.
+// The chunked manifest (`checkpoint.snap` v2) and its chunk payloads.
 // ---------------------------------------------------------------------
 
-/// The parsed contents of a checkpoint file.
-pub(crate) struct CheckpointFile {
-    pub(crate) snapshot: Snapshot,
-    pub(crate) meta: FormMeta,
-    /// `(label index, model, policy index, jid, creation row)`.
-    pub(crate) bindings: Vec<(u32, String, usize, i64, Row)>,
-    /// `(table, jid)` per facet root, aligned with `facets.roots`.
-    pub(crate) objects: Vec<(String, i64)>,
-    pub(crate) facets: NodeTable,
+/// Logical objects per jid-range group chunk: group `g` covers jids
+/// `(g·32, (g+1)·32]`. Jid ranges are stable across an object's whole
+/// life (unlike physical row positions, which `save`'s re-insert
+/// moves), so a single-object write dirties exactly one group.
+const GROUP_JIDS: i64 = 32;
+
+/// The group index a jid belongs to.
+fn group_of(jid: i64) -> i64 {
+    (jid - 1).div_euclid(GROUP_JIDS)
 }
 
-pub(crate) fn write_checkpoint_file(
-    path: &Path,
-    snapshot: &Snapshot,
-    meta: &FormMeta,
-    bindings: &[(u32, String, usize, i64, Row)],
-    objects: &[(String, i64)],
-    facets: &NodeTable,
-) -> FormResult<()> {
+/// One object-group chunk as recorded in a manifest's model section.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct GroupRef {
+    /// Group index (jid range `(group·32, (group+1)·32]`).
+    pub(crate) group: i64,
+    /// Content hash of the group chunk.
+    pub(crate) hash: String,
+    /// Logical objects in the group.
+    pub(crate) objects: usize,
+    /// Node-table entries in the group's exported DAG table.
+    pub(crate) nodes: usize,
+}
+
+/// One table's entry in the manifest: everything `TableSnapshot`
+/// carried except the rows themselves, which live in content-addressed
+/// chunks.
+pub(crate) struct TableManifest {
+    pub(crate) name: String,
+    pub(crate) generation: u64,
+    pub(crate) next_auto: i64,
+    pub(crate) rows: usize,
+    pub(crate) columns: Vec<microdb::ColumnDef>,
+    pub(crate) indexes: Vec<String>,
+    pub(crate) chunks: Vec<ChunkRef>,
+}
+
+/// One model's object-group directory in the manifest.
+pub(crate) struct ModelManifest {
+    pub(crate) table: String,
+    /// The model table's generation when the groups were captured —
+    /// restore primes the warm object cache only while this still
+    /// matches after WAL replay.
+    pub(crate) generation: u64,
+    pub(crate) groups: Vec<GroupRef>,
+}
+
+/// The root manifest: the one small file naming every chunk of a
+/// checkpoint. Committed atomically via tmp + rename; everything
+/// heavy lives in the `chunks/` store it points into.
+pub(crate) struct Manifest {
+    /// Hash of the app-meta chunk (FORM metadata + policy bindings).
+    pub(crate) app_meta: String,
+    pub(crate) tables: Vec<TableManifest>,
+    pub(crate) models: Vec<ModelManifest>,
+}
+
+impl Manifest {
+    fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "jacqueline-checkpoint v2");
+        let _ = writeln!(out, "app-meta {}", self.app_meta);
+        let _ = writeln!(out, "db-tables {}", self.tables.len());
+        for t in &self.tables {
+            let _ = writeln!(out, "table {}", escape_token(&t.name));
+            let _ = writeln!(out, "meta {} {} {}", t.generation, t.next_auto, t.rows);
+            let _ = writeln!(out, "columns {}", t.columns.len());
+            for c in &t.columns {
+                let _ = writeln!(out, "c {}", encode_column(c));
+            }
+            let _ = writeln!(out, "indexes {}", t.indexes.len());
+            for x in &t.indexes {
+                let _ = writeln!(out, "x {}", escape_token(x));
+            }
+            let _ = writeln!(out, "chunks {}", t.chunks.len());
+            for c in &t.chunks {
+                let _ = writeln!(out, "h {} {}", c.hash, c.rows);
+            }
+            let _ = writeln!(out, "end");
+        }
+        let _ = writeln!(out, "objects {}", self.models.len());
+        for m in &self.models {
+            let _ = writeln!(
+                out,
+                "model {} {} {}",
+                escape_token(&m.table),
+                m.generation,
+                m.groups.len()
+            );
+            for g in &m.groups {
+                let _ = writeln!(out, "g {} {} {} {}", g.group, g.hash, g.objects, g.nodes);
+            }
+            let _ = writeln!(out, "end");
+        }
+        // The terminator proves the manifest was not truncated: every
+        // prefix of the file fails to parse.
+        let _ = writeln!(out, "manifest-end");
+        out
+    }
+
+    /// Every chunk hash the manifest references — the keep-set for the
+    /// post-checkpoint store sweep.
+    fn referenced_hashes(&self) -> HashSet<String> {
+        let mut keep = HashSet::new();
+        keep.insert(self.app_meta.clone());
+        for t in &self.tables {
+            for c in &t.chunks {
+                keep.insert(c.hash.clone());
+            }
+        }
+        for m in &self.models {
+            for g in &m.groups {
+                keep.insert(g.hash.clone());
+            }
+        }
+        keep
+    }
+
+    fn from_lines<'a>(mut cursor: impl Iterator<Item = &'a str>) -> FormResult<Manifest> {
+        let mut next = |what: &str| -> FormResult<&str> {
+            cursor
+                .next()
+                .ok_or_else(|| persist_err(format!("manifest truncated at {what}")))
+        };
+        let field = |line: &str, prefix: &str| -> FormResult<String> {
+            line.strip_prefix(prefix)
+                .map(str::to_owned)
+                .ok_or_else(|| persist_err(format!("expected {prefix:?} line, got {line:?}")))
+        };
+        let count = |line: &str, prefix: &str| -> FormResult<usize> {
+            field(line, prefix)?
+                .parse()
+                .map_err(|_| persist_err(format!("bad count line {line:?}")))
+        };
+        let hash_of = |tok: &str| -> FormResult<String> {
+            if is_valid_hash(tok) {
+                Ok(tok.to_owned())
+            } else {
+                Err(persist_err(format!("malformed chunk hash {tok:?}")))
+            }
+        };
+        let app_meta = hash_of(&field(next("app-meta")?, "app-meta ")?)?;
+        let n_tables = count(next("db-tables")?, "db-tables ")?;
+        let mut tables = Vec::with_capacity(n_tables);
+        for _ in 0..n_tables {
+            let name = unescape_token(&field(next("table")?, "table ")?)?;
+            let meta = field(next("meta")?, "meta ")?;
+            let mut parts = meta.split(' ');
+            let bad_meta = || persist_err(format!("bad meta line {meta:?}"));
+            let generation: u64 = parts
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(bad_meta)?;
+            let next_auto: i64 = parts
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(bad_meta)?;
+            let rows: usize = parts
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(bad_meta)?;
+            if parts.next().is_some() {
+                return Err(bad_meta());
+            }
+            let n_columns = count(next("columns")?, "columns ")?;
+            let mut columns = Vec::with_capacity(n_columns);
+            for _ in 0..n_columns {
+                columns.push(parse_column(&field(next("column")?, "c ")?)?);
+            }
+            let n_indexes = count(next("indexes")?, "indexes ")?;
+            let mut indexes = Vec::with_capacity(n_indexes);
+            for _ in 0..n_indexes {
+                indexes.push(unescape_token(&field(next("index")?, "x ")?)?);
+            }
+            let n_chunks = count(next("chunks")?, "chunks ")?;
+            let mut chunks = Vec::with_capacity(n_chunks);
+            for _ in 0..n_chunks {
+                let spec = field(next("chunk")?, "h ")?;
+                let (hash, rows) = spec
+                    .split_once(' ')
+                    .ok_or_else(|| persist_err(format!("bad chunk line {spec:?}")))?;
+                chunks.push(ChunkRef {
+                    hash: hash_of(hash)?,
+                    rows: rows
+                        .parse()
+                        .map_err(|_| persist_err(format!("bad chunk rows {spec:?}")))?,
+                });
+            }
+            if next("table end")? != "end" {
+                return Err(persist_err(format!("unterminated table {name:?}")));
+            }
+            let chunk_rows: usize = chunks.iter().map(|c| c.rows).sum();
+            if chunk_rows != rows {
+                return Err(persist_err(format!(
+                    "table {name:?} declares {rows} rows but its chunks hold {chunk_rows}"
+                )));
+            }
+            tables.push(TableManifest {
+                name,
+                generation,
+                next_auto,
+                rows,
+                columns,
+                indexes,
+                chunks,
+            });
+        }
+        let n_models = count(next("objects")?, "objects ")?;
+        let mut models = Vec::with_capacity(n_models);
+        for _ in 0..n_models {
+            let spec = field(next("model")?, "model ")?;
+            let mut parts = spec.split(' ');
+            let bad = || persist_err(format!("bad model line {spec:?}"));
+            let table = unescape_token(parts.next().ok_or_else(bad)?)?;
+            let generation: u64 = parts.next().and_then(|v| v.parse().ok()).ok_or_else(bad)?;
+            let n_groups: usize = parts.next().and_then(|v| v.parse().ok()).ok_or_else(bad)?;
+            if parts.next().is_some() {
+                return Err(bad());
+            }
+            let mut groups = Vec::with_capacity(n_groups);
+            for _ in 0..n_groups {
+                let spec = field(next("group")?, "g ")?;
+                let bad = || persist_err(format!("bad group line {spec:?}"));
+                let mut parts = spec.split(' ');
+                let group: i64 = parts.next().and_then(|v| v.parse().ok()).ok_or_else(bad)?;
+                let hash = hash_of(parts.next().ok_or_else(bad)?)?;
+                let objects: usize = parts.next().and_then(|v| v.parse().ok()).ok_or_else(bad)?;
+                let nodes: usize = parts.next().and_then(|v| v.parse().ok()).ok_or_else(bad)?;
+                if parts.next().is_some() {
+                    return Err(bad());
+                }
+                groups.push(GroupRef {
+                    group,
+                    hash,
+                    objects,
+                    nodes,
+                });
+            }
+            if next("model end")? != "end" {
+                return Err(persist_err(format!("unterminated model {table:?}")));
+            }
+            models.push(ModelManifest {
+                table,
+                generation,
+                groups,
+            });
+        }
+        if next("manifest terminator")? != "manifest-end" {
+            return Err(persist_err("manifest missing terminator"));
+        }
+        Ok(Manifest {
+            app_meta,
+            tables,
+            models,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Chunk payload codecs.
+// ---------------------------------------------------------------------
+
+fn encode_binding(b: &(u32, String, usize, i64, Row)) -> String {
+    let (ix, model, policy_ix, jid, row) = b;
+    let mut out = format!(
+        "b {ix} {} {policy_ix} {jid} {}",
+        escape_token(model),
+        row.len()
+    );
+    for v in row {
+        out.push(' ');
+        out.push_str(&encode_value(v));
+    }
+    out.push_str(" .");
+    out
+}
+
+fn decode_binding(line: &str) -> FormResult<(u32, String, usize, i64, Row)> {
+    let bad = || persist_err(format!("bad binding line {line:?}"));
+    let mut tokens = line.split_whitespace();
+    if tokens.next() != Some("b") {
+        return Err(bad());
+    }
+    let mut tok = || tokens.next().ok_or_else(bad);
+    let ix: u32 = tok()?.parse().map_err(|_| bad())?;
+    let model = unescape_token(tok()?)?;
+    let policy_ix: usize = tok()?.parse().map_err(|_| bad())?;
+    let jid: i64 = tok()?.parse().map_err(|_| bad())?;
+    let n_values: usize = tok()?.parse().map_err(|_| bad())?;
+    let mut row = Row::with_capacity(n_values);
+    for _ in 0..n_values {
+        row.push(decode_value(tok()?)?);
+    }
+    if tok()? != "." {
+        return Err(bad());
+    }
+    Ok((ix, model, policy_ix, jid, row))
+}
+
+/// The app-meta chunk: FORM metadata (label registry + jid cursors)
+/// followed by the policy-binding section. One chunk for the whole
+/// app — it is small, and it changes exactly when [`App::create`] or
+/// a policy binding does (`meta_epoch`), so an idle metadata surface
+/// costs nothing per checkpoint.
+fn encode_app_meta_chunk(meta: &FormMeta, bindings: &[(u32, String, usize, i64, Row)]) -> Vec<u8> {
+    let mut out = meta.to_text();
+    out.push_str(&format!("app-meta v1 {}\n", bindings.len()));
+    for b in bindings {
+        out.push_str(&encode_binding(b));
+        out.push('\n');
+    }
+    out.into_bytes()
+}
+
+type Bindings = Vec<(u32, String, usize, i64, Row)>;
+
+fn decode_app_meta_chunk(bytes: &[u8]) -> FormResult<(FormMeta, Bindings)> {
+    let text =
+        std::str::from_utf8(bytes).map_err(|_| persist_err("app-meta chunk is not UTF-8"))?;
+    let mut cursor = text.lines();
+    let meta = FormMeta::from_lines(&mut cursor)?;
+    let header = cursor
+        .next()
+        .ok_or_else(|| persist_err("app-meta chunk truncated at bindings header"))?;
+    let n_bindings: usize = header
+        .strip_prefix("app-meta v1 ")
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| persist_err(format!("bad app-meta header {header:?}")))?;
+    let mut bindings = Vec::with_capacity(n_bindings);
+    for _ in 0..n_bindings {
+        let line = cursor
+            .next()
+            .ok_or_else(|| persist_err("app-meta chunk truncated at binding"))?;
+        bindings.push(decode_binding(line)?);
+    }
+    if cursor.next().is_some() {
+        return Err(persist_err("trailing lines in app-meta chunk"));
+    }
+    Ok((meta, bindings))
+}
+
+/// An object-group chunk: the group's jids (ascending) followed by the
+/// exported node table of their facet DAGs, roots aligned with the
+/// jid list.
+fn encode_group_chunk(jids: &[i64], facets: &NodeTable) -> Vec<u8> {
+    let mut out = format!("group v1 {}\n", jids.len());
+    for jid in jids {
+        out.push_str(&format!("f {jid}\n"));
+    }
+    out.push_str(&facets.to_text());
+    out.into_bytes()
+}
+
+fn decode_group_chunk(bytes: &[u8]) -> FormResult<(Vec<i64>, NodeTable)> {
+    let text = std::str::from_utf8(bytes).map_err(|_| persist_err("group chunk is not UTF-8"))?;
+    let mut cursor = text.lines();
+    let header = cursor
+        .next()
+        .ok_or_else(|| persist_err("empty group chunk"))?;
+    let n_jids: usize = header
+        .strip_prefix("group v1 ")
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| persist_err(format!("bad group header {header:?}")))?;
+    let mut jids = Vec::with_capacity(n_jids);
+    for _ in 0..n_jids {
+        let line = cursor
+            .next()
+            .ok_or_else(|| persist_err("group chunk truncated at jid"))?;
+        let jid: i64 = line
+            .strip_prefix("f ")
+            .and_then(|j| j.parse().ok())
+            .ok_or_else(|| persist_err(format!("bad group jid line {line:?}")))?;
+        jids.push(jid);
+    }
+    let facets = NodeTable::from_lines(&mut cursor).map_err(persist_err)?;
+    if facets.roots.len() != jids.len() {
+        return Err(persist_err(format!(
+            "group chunk lists {} jids but its node table has {} roots",
+            jids.len(),
+            facets.roots.len()
+        )));
+    }
+    if cursor.next().is_some() {
+        return Err(persist_err("trailing lines in group chunk"));
+    }
+    Ok((jids, facets))
+}
+
+// ---------------------------------------------------------------------
+// Clean-chunk memory and observability.
+// ---------------------------------------------------------------------
+
+/// What the last successful checkpoint wrote — held on the [`App`] so
+/// the next checkpoint can prove chunks clean (by generation stamp /
+/// `meta_epoch`) and carry them over without re-serializing. Dropping
+/// it is always safe: the next checkpoint simply runs the full path.
+pub(crate) struct CheckpointMemory {
+    /// The directory the memory describes; a checkpoint to any other
+    /// directory ignores it.
+    pub(crate) dir: PathBuf,
+    /// `meta_epoch` at app-meta export time; `None` forces re-export
+    /// (set after a restore that replayed any log records).
+    pub(crate) app_meta_epoch: Option<u64>,
+    pub(crate) app_meta_hash: String,
+    pub(crate) tables: BTreeMap<String, TableMemory>,
+    pub(crate) models: BTreeMap<String, ModelMemory>,
+    /// Chunk counters of the checkpoint that produced this memory.
+    pub(crate) last_written: usize,
+    pub(crate) last_reused: usize,
+    pub(crate) last_incremental: bool,
+}
+
+pub(crate) struct TableMemory {
+    pub(crate) generation: u64,
+    pub(crate) rows: usize,
+    pub(crate) chunks: Vec<ChunkRef>,
+}
+
+pub(crate) struct ModelMemory {
+    pub(crate) generation: u64,
+    pub(crate) groups: Vec<GroupRef>,
+}
+
+/// A snapshot of checkpoint observability for `admin/health` and
+/// operator tooling.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckpointObservability {
+    /// The generation vector the last checkpoint captured, per table.
+    pub generations: BTreeMap<String, u64>,
+    /// Chunk files the last checkpoint physically wrote.
+    pub chunks_written: usize,
+    /// Chunks the last checkpoint reused without writing bytes.
+    pub chunks_reused: usize,
+    /// Whether the last checkpoint ran the incremental path.
+    pub incremental: bool,
+}
+
+// ---------------------------------------------------------------------
+// Manifest file I/O (tmp + rename discipline, fault points).
+// ---------------------------------------------------------------------
+
+pub(crate) fn write_manifest_file(path: &Path, text: &str) -> FormResult<()> {
     let dir = path
         .parent()
         .ok_or_else(|| persist_err("checkpoint path has no parent directory"))?;
@@ -332,28 +780,7 @@ pub(crate) fn write_checkpoint_file(
     let io_err = |e: std::io::Error| persist_err(format!("checkpoint write: {e}"));
     {
         let mut out = BufWriter::new(File::create(&tmp).map_err(io_err)?);
-        writeln!(out, "jacqueline-checkpoint v1").map_err(io_err)?;
-        snapshot.write_to(&mut out).map_err(io_err)?;
-        out.write_all(meta.to_text().as_bytes()).map_err(io_err)?;
-        writeln!(out, "app-meta v1 {}", bindings.len()).map_err(io_err)?;
-        for (ix, model, policy_ix, jid, row) in bindings {
-            write!(
-                out,
-                "b {ix} {} {policy_ix} {jid} {}",
-                escape_token(model),
-                row.len()
-            )
-            .map_err(io_err)?;
-            for v in row {
-                write!(out, " {}", encode_value(v)).map_err(io_err)?;
-            }
-            writeln!(out, " .").map_err(io_err)?;
-        }
-        writeln!(out, "app-facets v1 {}", objects.len()).map_err(io_err)?;
-        for (table, jid) in objects {
-            writeln!(out, "f {} {jid}", escape_token(table)).map_err(io_err)?;
-        }
-        out.write_all(facets.to_text().as_bytes()).map_err(io_err)?;
+        out.write_all(text.as_bytes()).map_err(io_err)?;
         out.flush().map_err(io_err)?;
         out.get_ref().sync_all().map_err(io_err)?;
     }
@@ -382,7 +809,7 @@ pub(crate) fn write_checkpoint_file(
     Ok(())
 }
 
-pub(crate) fn read_checkpoint_file(path: &Path) -> FormResult<CheckpointFile> {
+pub(crate) fn read_manifest_file(path: &Path) -> FormResult<Manifest> {
     match faults::check(FaultPoint::RestoreRead, path) {
         Some(FaultKind::Error) => {
             return Err(persist_err(format!(
@@ -392,7 +819,7 @@ pub(crate) fn read_checkpoint_file(path: &Path) -> FormResult<CheckpointFile> {
             )));
         }
         Some(FaultKind::ShortWrite) => {
-            // Physically truncate the snapshot to half its length so
+            // Physically truncate the manifest to half its length so
             // the damage flows through the *real* parse paths below —
             // the injected analogue of a torn copy or a bad sector.
             let len = std::fs::metadata(path)
@@ -406,104 +833,16 @@ pub(crate) fn read_checkpoint_file(path: &Path) -> FormResult<CheckpointFile> {
         }
         None => {}
     }
-    let file =
-        File::open(path).map_err(|e| persist_err(format!("open {}: {e}", path.display())))?;
-    let mut reader = BufReader::new(file);
-    let mut header = String::new();
-    reader
-        .read_line(&mut header)
-        .map_err(|e| persist_err(format!("checkpoint read: {e}")))?;
-    if header.trim_end() != "jacqueline-checkpoint v1" {
-        return Err(persist_err(format!(
-            "bad checkpoint header {:?}",
-            header.trim_end()
-        )));
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| persist_err(format!("open {}: {e}", path.display())))?;
+    let mut cursor = text.lines();
+    let header = cursor
+        .next()
+        .ok_or_else(|| persist_err("empty checkpoint manifest"))?;
+    if header != "jacqueline-checkpoint v2" {
+        return Err(persist_err(format!("bad checkpoint header {header:?}")));
     }
-    let snapshot = Snapshot::read_from(&mut reader)?;
-    // The remaining sections parse straight off one shared line
-    // cursor: `FormMeta`/`NodeTable` expose `from_lines` entry points
-    // sized by their own headers, so nothing is copied back into
-    // intermediate strings and re-parsed.
-    let lines: Vec<String> = reader
-        .lines()
-        .collect::<Result<_, _>>()
-        .map_err(|e| persist_err(format!("checkpoint read: {e}")))?;
-    let mut cursor = lines.iter().map(String::as_str);
-
-    let meta = FormMeta::from_lines(&mut cursor)?;
-
-    let mut next = |what: &str| -> FormResult<&str> {
-        cursor
-            .next()
-            .ok_or_else(|| persist_err(format!("checkpoint truncated at {what}")))
-    };
-
-    // app-meta section.
-    let app_header = next("app-meta header")?;
-    let n_bindings: usize = app_header
-        .strip_prefix("app-meta v1 ")
-        .and_then(|n| n.parse().ok())
-        .ok_or_else(|| persist_err(format!("bad app-meta header {app_header:?}")))?;
-    let mut bindings = Vec::with_capacity(n_bindings);
-    for _ in 0..n_bindings {
-        let line = next("binding")?;
-        let bad = || persist_err(format!("bad binding line {line:?}"));
-        let mut tokens = line.split_whitespace();
-        if tokens.next() != Some("b") {
-            return Err(bad());
-        }
-        let mut tok = |_what: &str| tokens.next().ok_or_else(bad);
-        let ix: u32 = tok("ix")?.parse().map_err(|_| bad())?;
-        let model = unescape_token(tok("model")?)?;
-        let policy_ix: usize = tok("policy")?.parse().map_err(|_| bad())?;
-        let jid: i64 = tok("jid")?.parse().map_err(|_| bad())?;
-        let n_values: usize = tok("values")?.parse().map_err(|_| bad())?;
-        let mut row = Row::with_capacity(n_values);
-        for _ in 0..n_values {
-            row.push(decode_value(tok("value")?)?);
-        }
-        if tok("terminator")? != "." {
-            return Err(bad());
-        }
-        bindings.push((ix, model, policy_ix, jid, row));
-    }
-
-    // app-facets section: the (table, jid) root directory…
-    let facets_header = next("app-facets header")?;
-    let n_objects: usize = facets_header
-        .strip_prefix("app-facets v1 ")
-        .and_then(|n| n.parse().ok())
-        .ok_or_else(|| persist_err(format!("bad app-facets header {facets_header:?}")))?;
-    let mut objects = Vec::with_capacity(n_objects);
-    for _ in 0..n_objects {
-        let line = next("facet root")?;
-        let rest = line
-            .strip_prefix("f ")
-            .ok_or_else(|| persist_err(format!("bad facet-root line {line:?}")))?;
-        let (table, jid) = rest
-            .split_once(' ')
-            .ok_or_else(|| persist_err(format!("bad facet-root line {line:?}")))?;
-        let jid: i64 = jid
-            .parse()
-            .map_err(|_| persist_err(format!("bad facet-root jid {line:?}")))?;
-        objects.push((unescape_token(table)?, jid));
-    }
-    // …then the node table, off the same cursor.
-    let facets = NodeTable::from_lines(&mut cursor).map_err(persist_err)?;
-    if facets.roots.len() != objects.len() {
-        return Err(persist_err(format!(
-            "facet directory lists {} objects but the node table has {} roots",
-            objects.len(),
-            facets.roots.len()
-        )));
-    }
-    Ok(CheckpointFile {
-        snapshot,
-        meta,
-        bindings,
-        objects,
-        facets,
-    })
+    Manifest::from_lines(cursor)
 }
 
 // ---------------------------------------------------------------------
@@ -529,7 +868,27 @@ impl App {
         let journal = MetaJournal::open(dir.join(META_LOG_FILE))
             .map_err(|e| persist_err(format!("open meta journal: {e}")))?;
         self.journal = Some(Arc::new(journal));
+        // Remember the durable home: the scheduler checkpoints here.
+        *self.persist_dir.write().expect("persist dir") = Some(dir.to_path_buf());
         Ok(())
+    }
+
+    /// Observability snapshot of the last successful checkpoint (or
+    /// restore) of this process: the captured generation vector and
+    /// the chunk written/reused split. `None` before any checkpoint.
+    #[must_use]
+    pub fn checkpoint_observability(&self) -> Option<CheckpointObservability> {
+        let guard = self.ckpt_memory.lock().expect("checkpoint memory");
+        guard.as_ref().map(|m| CheckpointObservability {
+            generations: m
+                .tables
+                .iter()
+                .map(|(name, t)| (name.clone(), t.generation))
+                .collect(),
+            chunks_written: m.last_written,
+            chunks_reused: m.last_reused,
+            incremental: m.last_incremental,
+        })
     }
 
     /// Takes a checkpoint **assuming the caller holds a quiescent
@@ -551,6 +910,7 @@ impl App {
     /// Export or I/O failures; the previous checkpoint file is left
     /// intact on any error.
     pub fn checkpoint_to(&self, dir: impl AsRef<Path>) -> FormResult<CheckpointStats> {
+        use std::sync::atomic::Ordering;
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)
             .map_err(|e| persist_err(format!("create {}: {e}", dir.display())))?;
@@ -559,60 +919,269 @@ impl App {
             ..CheckpointStats::default()
         };
 
-        let snapshot = self.db.raw_ref().snapshot();
-        stats.tables = snapshot.tables.len();
-        stats.rows = snapshot.total_rows();
-        let meta = self.db.export_meta();
-        let bindings = self.export_policy_bindings();
-
-        // Export every logical object's facet DAG (model tables only;
-        // in model-name order, jid-ascending, so the file is
-        // deterministic).
-        let mut objects: Vec<(String, i64)> = Vec::new();
-        let mut roots: Vec<FacetedObject> = Vec::new();
-        for model in self.model_names() {
-            for jid in self.db.object_jids(&model)? {
-                roots.push(self.db.get(&model, jid)?);
-                objects.push((model.clone(), jid));
+        // Take the clean-chunk memory if it describes *this*
+        // directory; its presence selects the incremental path. It is
+        // held out of the app for the duration, so a failure part-way
+        // leaves no memory behind and the next attempt runs full.
+        let memory = {
+            let mut guard = self.ckpt_memory.lock().expect("checkpoint memory");
+            match guard.take() {
+                Some(m) if m.dir == dir && self.incremental_checkpoints_enabled() => Some(m),
+                _ => None,
             }
+        };
+        let incremental = memory.is_some();
+        stats.incremental = incremental;
+
+        let store =
+            ChunkStore::open(dir).map_err(|e| persist_err(format!("open chunk store: {e}")))?;
+        let mut chunk_stats = ChunkWriteStats::default();
+
+        // App-meta chunk: clean exactly when no create/bind moved the
+        // epoch since the last export to this store.
+        let epoch = self.meta_epoch.load(Ordering::Acquire);
+        let app_meta = match memory
+            .as_ref()
+            .filter(|m| m.app_meta_epoch == Some(epoch))
+            .map(|m| m.app_meta_hash.clone())
+        {
+            Some(hash) => {
+                chunk_stats.reused += 1;
+                hash
+            }
+            None => {
+                let meta = self.db.export_meta();
+                let bindings = self.export_policy_bindings();
+                let (hash, written) = store
+                    .insert(&encode_app_meta_chunk(&meta, &bindings))
+                    .map_err(|e| persist_err(format!("write app-meta chunk: {e}")))?;
+                if written {
+                    chunk_stats.written += 1;
+                } else {
+                    chunk_stats.reused += 1;
+                }
+                hash
+            }
+        };
+
+        // Row chunks, table by table. Three tiers: an unchanged
+        // generation reuses the previous chunk list without touching a
+        // row; a changed table whose journal still reaches back folds
+        // its deltas into per-chunk dirty bits and re-encodes only
+        // those; a slid journal (or no memory) re-chunks the table —
+        // where the content-addressed store still dedups untouched
+        // spans by hash.
+        let db = self.db.raw_ref();
+        let mut tables = Vec::new();
+        for name in db.table_names().iter().map(|s| (*s).to_owned()) {
+            let t = db.table(&name)?;
+            let generation = t.generation();
+            stats.tables += 1;
+            stats.rows += t.rows().len();
+            let prev = memory.as_ref().and_then(|m| m.tables.get(&name));
+            let chunks = match prev {
+                Some(p) if p.generation == generation => {
+                    chunk_stats.reused += p.chunks.len();
+                    p.chunks.clone()
+                }
+                Some(p) => {
+                    let dirty = t.deltas_since(p.generation).map(|deltas| {
+                        let mut d = DirtyRows::new(p.rows);
+                        for delta in deltas {
+                            d.apply(delta);
+                        }
+                        d
+                    });
+                    let (chunks, s) = match dirty {
+                        Some(d) => write_dirty_row_chunks(&store, t.rows(), &p.chunks, &d),
+                        None => write_row_chunks(&store, t.rows()),
+                    }
+                    .map_err(|e| persist_err(format!("write chunks of {name:?}: {e}")))?;
+                    chunk_stats.absorb(s);
+                    chunks
+                }
+                None => {
+                    let (chunks, s) = write_row_chunks(&store, t.rows())
+                        .map_err(|e| persist_err(format!("write chunks of {name:?}: {e}")))?;
+                    chunk_stats.absorb(s);
+                    chunks
+                }
+            };
+            tables.push(TableManifest {
+                name: name.clone(),
+                generation,
+                next_auto: t.next_auto(),
+                rows: t.rows().len(),
+                columns: t.schema().columns().to_vec(),
+                indexes: t
+                    .indexed_columns()
+                    .iter()
+                    .map(|s| (*s).to_owned())
+                    .collect(),
+                chunks,
+            });
         }
-        stats.objects = objects.len();
-        let facets = faceted::export_nodes(&roots, |leaf: &Option<Row>| encode_object_leaf(leaf));
-        stats.facet_nodes = facets.entries.len();
 
-        write_checkpoint_file(
-            &dir.join(CHECKPOINT_FILE),
-            &snapshot,
-            &meta,
-            &bindings,
-            &objects,
-            &facets,
-        )?;
+        // Object-group chunks: each model's objects partition into
+        // fixed jid ranges; `touched_jids_since` names the groups a
+        // write dirtied, everything else carries its previous
+        // reference over without re-walking a DAG.
+        let mut models = Vec::new();
+        for model in self.model_names() {
+            let generation = db.generation(&model)?;
+            let jids = self.db.object_jids(&model)?;
+            let prev = memory.as_ref().and_then(|m| m.models.get(&model));
+            let prev_groups: BTreeMap<i64, &GroupRef> = prev
+                .map(|p| p.groups.iter().map(|g| (g.group, g)).collect())
+                .unwrap_or_default();
+            // Which groups changed? `None` means "unknown — treat all
+            // as dirty" (no memory, or the journal window slid).
+            let touched: Option<BTreeSet<i64>> = match prev {
+                Some(p) if p.generation == generation => Some(BTreeSet::new()),
+                Some(p) => self
+                    .db
+                    .touched_jids_since(&model, p.generation)?
+                    .map(|jids| jids.iter().map(|&j| group_of(j)).collect()),
+                None => None,
+            };
+            let mut groups: Vec<GroupRef> = Vec::new();
+            let mut ix = 0;
+            while ix < jids.len() {
+                let group = group_of(jids[ix]);
+                let mut end = ix;
+                while end < jids.len() && group_of(jids[end]) == group {
+                    end += 1;
+                }
+                let members = &jids[ix..end];
+                ix = end;
+                let clean = match (&touched, prev_groups.get(&group)) {
+                    (Some(t), Some(p)) => !t.contains(&group) && p.objects == members.len(),
+                    _ => false,
+                };
+                if let Some(p) = clean.then(|| prev_groups[&group]) {
+                    chunk_stats.reused += 1;
+                    stats.objects += p.objects;
+                    stats.facet_nodes += p.nodes;
+                    groups.push((*p).clone());
+                    continue;
+                }
+                let mut roots: Vec<FacetedObject> = Vec::with_capacity(members.len());
+                for &jid in members {
+                    roots.push(self.db.get(&model, jid)?);
+                }
+                let facets =
+                    faceted::export_nodes(&roots, |leaf: &Option<Row>| encode_object_leaf(leaf));
+                let (hash, written) = store
+                    .insert(&encode_group_chunk(members, &facets))
+                    .map_err(|e| persist_err(format!("write group chunk of {model:?}: {e}")))?;
+                if written {
+                    chunk_stats.written += 1;
+                } else {
+                    chunk_stats.reused += 1;
+                }
+                stats.objects += members.len();
+                stats.facet_nodes += facets.entries.len();
+                groups.push(GroupRef {
+                    group,
+                    hash,
+                    objects: members.len(),
+                    nodes: facets.entries.len(),
+                });
+            }
+            models.push(ModelManifest {
+                table: model,
+                generation,
+                groups,
+            });
+        }
 
-        // The durable file now contains everything the logs recorded.
-        if let Some(wal) = self.db.raw_ref().wal() {
-            wal.truncate()
-                .map_err(|e| persist_err(format!("truncate write log: {e}")))?;
+        let manifest = Manifest {
+            app_meta,
+            tables,
+            models,
+        };
+        stats.chunks_written = chunk_stats.written;
+        stats.chunks_reused = chunk_stats.reused;
+        write_manifest_file(&dir.join(CHECKPOINT_FILE), &manifest.to_text())?;
+
+        // The durable manifest + chunks now cover everything the logs
+        // recorded up to the captured generation vector — compact the
+        // row log down to records newer than it (at a quiescent point
+        // that is all of them, so the file empties) and drop the meta
+        // journal.
+        let floor: BTreeMap<String, u64> = manifest
+            .tables
+            .iter()
+            .map(|t| (t.name.clone(), t.generation))
+            .collect();
+        if let Some(wal) = db.wal() {
+            wal.compact(&floor)
+                .map_err(|e| persist_err(format!("compact write log: {e}")))?;
         }
         if let Some(journal) = &self.journal {
             journal
                 .truncate()
                 .map_err(|e| persist_err(format!("truncate meta journal: {e}")))?;
         }
-        // Durability is re-established: the snapshot holds every
+        // Durability is re-established: the checkpoint holds every
         // acknowledged write and the logs start clean, so a read-only
         // degraded app (a failed append flipped the flag; the failed
         // write was rolled back) can take writes again.
         self.clear_degraded();
 
+        // Drop chunks no manifest references any more. Best-effort:
+        // the manifest never points at a missing file, so a failed
+        // unlink only leaves garbage, and the next sweep retries.
+        let _ = store.sweep(&manifest.referenced_hashes());
+
         // GC at the quiescent point: request-scoped temporaries are
-        // dead, the exported roots (and the caches) stay pinned.
-        drop(roots);
-        stats.gc_reclaimed = faceted::collect_garbage::<Option<Row>>()
-            + faceted::collect_garbage::<Value>()
-            + faceted::collect_garbage::<bool>()
-            + faceted::collect_garbage::<i64>();
+        // dead, the exported roots (and the caches) stay pinned. The
+        // incremental path skips it — a scheduled checkpoint after one
+        // small write should not pay a full-store sweep.
+        if !incremental {
+            stats.gc_reclaimed = faceted::collect_garbage::<Option<Row>>()
+                + faceted::collect_garbage::<Value>()
+                + faceted::collect_garbage::<bool>()
+                + faceted::collect_garbage::<i64>();
+        }
         stats.interner_nodes_after = object_store_nodes();
+
+        // Remember what this checkpoint wrote for the next one.
+        *self.ckpt_memory.lock().expect("checkpoint memory") = Some(CheckpointMemory {
+            dir: dir.to_path_buf(),
+            app_meta_epoch: Some(epoch),
+            app_meta_hash: manifest.app_meta.clone(),
+            tables: manifest
+                .tables
+                .iter()
+                .map(|t| {
+                    (
+                        t.name.clone(),
+                        TableMemory {
+                            generation: t.generation,
+                            rows: t.rows,
+                            chunks: t.chunks.clone(),
+                        },
+                    )
+                })
+                .collect(),
+            models: manifest
+                .models
+                .iter()
+                .map(|m| {
+                    (
+                        m.table.clone(),
+                        ModelMemory {
+                            generation: m.generation,
+                            groups: m.groups.clone(),
+                        },
+                    )
+                })
+                .collect(),
+            last_written: chunk_stats.written,
+            last_reused: chunk_stats.reused,
+            last_incremental: incremental,
+        });
         Ok(stats)
     }
 
@@ -630,6 +1199,32 @@ impl App {
         self.request_locks.quiesce(|| self.checkpoint_to(dir))
     }
 
+    /// [`App::checkpoint_quiescent`], but skipped (returning
+    /// `Ok(None)`) while the app is in read-only degraded mode — the
+    /// entry point for the executor's *scheduled* checkpoints.
+    /// Degraded mode wants operator attention; a background
+    /// checkpoint silently clearing it would hide the fault. The
+    /// degraded check runs **under** the quiescent locks, so it can
+    /// never interleave wrongly with the failing write that sets the
+    /// flag: either the write applied first (flag visible, checkpoint
+    /// skipped) or the checkpoint ran to completion first (the write
+    /// was still blocked, so there was nothing to clear).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`App::checkpoint_to`].
+    pub fn checkpoint_scheduled(
+        &self,
+        dir: impl AsRef<Path>,
+    ) -> FormResult<Option<CheckpointStats>> {
+        self.request_locks.quiesce(|| {
+            if self.is_degraded() {
+                return Ok(None);
+            }
+            self.checkpoint_to(dir).map(Some)
+        })
+    }
+
     /// Restores this application from `dir`'s checkpoint: the
     /// snapshot is loaded (label registry first, so no index can
     /// alias), the meta journal and row log are replayed on top, the
@@ -644,22 +1239,75 @@ impl App {
     /// (the checkpoint came from different application code), or
     /// replay failures.
     pub fn restore_from(&mut self, dir: impl AsRef<Path>) -> FormResult<RestoreStats> {
+        use std::sync::atomic::Ordering;
         let dir = dir.as_ref();
-        let file = read_checkpoint_file(&dir.join(CHECKPOINT_FILE))?;
+        let manifest = read_manifest_file(&dir.join(CHECKPOINT_FILE))?;
+        let store =
+            ChunkStore::open(dir).map_err(|e| persist_err(format!("open chunk store: {e}")))?;
+
+        // Materialize the chunked tables back into a snapshot. Every
+        // chunk read re-hashes its bytes, so a flipped bit anywhere in
+        // the store surfaces here as a clean persistence error.
+        let meta_bytes = store
+            .read(&manifest.app_meta)
+            .map_err(|e| persist_err(format!("read app-meta chunk: {e}")))?;
+        let (meta, bindings) = decode_app_meta_chunk(&meta_bytes)?;
+        let mut snapshot = Snapshot { tables: Vec::new() };
+        for t in &manifest.tables {
+            let rows = load_rows(&store, &t.chunks)
+                .map_err(|e| persist_err(format!("read chunks of {:?}: {e}", t.name)))?;
+            snapshot.tables.push(TableSnapshot {
+                name: t.name.clone(),
+                columns: t.columns.clone(),
+                indexes: t.indexes.clone(),
+                generation: t.generation,
+                next_auto: t.next_auto,
+                rows,
+            });
+        }
         let mut stats = RestoreStats {
-            tables: file.snapshot.tables.len(),
-            rows: file.snapshot.total_rows(),
+            tables: snapshot.tables.len(),
+            rows: snapshot.total_rows(),
             ..RestoreStats::default()
         };
 
+        // Structural cross-check before any mutation: every
+        // registered model must appear in the snapshot under the
+        // schema this application registered. Damage that still
+        // parses — a case-flipped table or column name, say — must
+        // not replace the app's tables with ones its models cannot
+        // reach.
+        for model in self.model_names() {
+            let restored = snapshot
+                .tables
+                .iter()
+                .find(|t| t.name == model)
+                .ok_or_else(|| {
+                    persist_err(format!("checkpoint is missing model table {model:?}"))
+                })?;
+            let live = self.db.raw_ref().table(&model)?;
+            let live_cols = live.schema().columns();
+            let matches = restored.columns.len() == live_cols.len()
+                && restored
+                    .columns
+                    .iter()
+                    .zip(live_cols)
+                    .all(|(a, b)| a.name() == b.name() && a.column_type() == b.column_type());
+            if !matches {
+                return Err(persist_err(format!(
+                    "checkpointed schema of {model:?} does not match the registered model"
+                )));
+            }
+        }
+
         // 1. Metadata before rows: restored `jvars` reference label
         //    indices, which must exist before anything re-allocates.
-        self.db.restore_meta(&file.meta);
-        self.db.restore_database(&file.snapshot)?;
+        self.db.restore_meta(&meta);
+        self.db.restore_database(&snapshot)?;
 
-        // 2. Policy bindings from the snapshot section.
+        // 2. Policy bindings from the app-meta chunk.
         self.clear_policy_state();
-        for (ix, model, policy_ix, jid, row) in &file.bindings {
+        for (ix, model, policy_ix, jid, row) in &bindings {
             self.bind_policy(
                 faceted::Label::from_index(*ix),
                 model,
@@ -716,25 +1364,77 @@ impl App {
         }
 
         // 6. Warm start: re-intern the exported facet DAGs and prime
-        //    the object cache — but only for tables whose restored
-        //    generation still matches the snapshot (a WAL-replayed
-        //    write supersedes the exported DAGs of its table).
-        let imported =
-            faceted::import_nodes(&file.facets, decode_object_leaf).map_err(persist_err)?;
-        for ((table, jid), obj) in file.objects.iter().zip(&imported) {
-            let current = self.db.raw_ref().generation(table)?;
-            let snapshot_generation = file
-                .snapshot
-                .table(table)
-                .map(|t| t.generation)
-                .ok_or_else(|| {
-                    persist_err(format!("facet root references unknown table {table:?}"))
-                })?;
-            if current == snapshot_generation {
-                self.db.prime_object(table, *jid, obj)?;
-                stats.objects_primed += 1;
+        //    the object cache, group chunk by group chunk — but only
+        //    for models whose restored generation still matches the
+        //    manifest (a WAL-replayed write supersedes the exported
+        //    DAGs of its table).
+        for m in &manifest.models {
+            if self.db.raw_ref().generation(&m.table)? != m.generation {
+                continue;
+            }
+            for g in &m.groups {
+                let bytes = store
+                    .read(&g.hash)
+                    .map_err(|e| persist_err(format!("read group chunk of {:?}: {e}", m.table)))?;
+                let (jids, facets) = decode_group_chunk(&bytes)?;
+                if jids.len() != g.objects || facets.entries.len() != g.nodes {
+                    return Err(persist_err(format!(
+                        "group chunk of {:?} does not match its manifest entry",
+                        m.table
+                    )));
+                }
+                let imported =
+                    faceted::import_nodes(&facets, decode_object_leaf).map_err(persist_err)?;
+                for (jid, obj) in jids.iter().zip(&imported) {
+                    self.db.prime_object(&m.table, *jid, obj)?;
+                    stats.objects_primed += 1;
+                }
             }
         }
+
+        // 7. Seed the clean-chunk memory from the *manifest* (not the
+        //    live tables): the row journal restarts right after each
+        //    table's restored generation, so the next checkpoint's
+        //    delta walk covers everything the logs replayed on top.
+        //    The app-meta chunk stays reusable only if nothing
+        //    replayed at all.
+        let app_meta_epoch = (stats.journal_applied == 0 && stats.wal_applied == 0)
+            .then(|| self.meta_epoch.load(Ordering::Acquire));
+        *self.ckpt_memory.lock().expect("checkpoint memory") = Some(CheckpointMemory {
+            dir: dir.to_path_buf(),
+            app_meta_epoch,
+            app_meta_hash: manifest.app_meta.clone(),
+            tables: manifest
+                .tables
+                .iter()
+                .map(|t| {
+                    (
+                        t.name.clone(),
+                        TableMemory {
+                            generation: t.generation,
+                            rows: t.rows,
+                            chunks: t.chunks.clone(),
+                        },
+                    )
+                })
+                .collect(),
+            models: manifest
+                .models
+                .iter()
+                .map(|m| {
+                    (
+                        m.table.clone(),
+                        ModelMemory {
+                            generation: m.generation,
+                            groups: m.groups.clone(),
+                        },
+                    )
+                })
+                .collect(),
+            last_written: 0,
+            last_reused: 0,
+            last_incremental: false,
+        });
         Ok(stats)
     }
 }
@@ -782,16 +1482,41 @@ pub fn add_checkpoint_route(router: &mut Router, dir: impl Into<PathBuf>) {
 /// chaos harness poll this to observe degradation and recovery.
 ///
 /// The second body line publishes the live
-/// [`RenderCacheStats`](crate::RenderCacheStats) counters — the only
-/// runtime window into cache behavior on a served app.
+/// [`RenderCacheStats`](crate::RenderCacheStats) counters; the third
+/// and fourth cover checkpoint observability — the last checkpoint's
+/// generation vector and chunk written/reused split, and the WAL
+/// pressure (records/bytes appended since the last truncation) the
+/// scheduler watches.
 pub fn add_health_route(router: &mut Router) {
     router.route_read("admin/health", |app: &App, _req| {
         let s = app.render_cache_stats();
-        let stats = format!(
+        let mut stats = format!(
             "render_cache hits={} misses={} repairs={} repaired_fragments={} \
              invalidated={} uncacheable={}\n",
             s.hits, s.misses, s.repairs, s.repaired_fragments, s.invalidated, s.uncacheable
         );
+        match app.checkpoint_observability() {
+            Some(o) => {
+                let gens: Vec<String> = o
+                    .generations
+                    .iter()
+                    .map(|(table, g)| format!("{table}:{g}"))
+                    .collect();
+                stats.push_str(&format!(
+                    "checkpoint mode={} chunks_written={} chunks_reused={} generations={}\n",
+                    if o.incremental { "incremental" } else { "full" },
+                    o.chunks_written,
+                    o.chunks_reused,
+                    gens.join(",")
+                ));
+            }
+            None => stats.push_str("checkpoint none\n"),
+        }
+        let (records, bytes) = app.wal_pressure();
+        stats.push_str(&format!(
+            "wal records={records} bytes={bytes} scheduled_checkpoints={}\n",
+            app.scheduled_checkpoint_count()
+        ));
         match app.degraded_reason() {
             None => Response::ok(format!("ok\n{stats}")),
             Some(reason) => {
@@ -1453,6 +2178,210 @@ mod tests {
             stats.gc_reclaimed
         );
         assert!(stats.interner_nodes_after <= stats.interner_nodes_before);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The filenames in `dir/chunks/` (content hashes) plus the
+    /// manifest bytes.
+    fn chunk_files(dir: &Path) -> std::collections::BTreeSet<String> {
+        std::fs::read_dir(dir.join("chunks"))
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect()
+    }
+
+    /// Satellite: the chunked export is a fixpoint — checkpoint,
+    /// restore into a fresh app, checkpoint again to a fresh
+    /// directory, and both the manifest bytes and the chunk-file sets
+    /// are identical.
+    #[test]
+    fn checkpoint_restore_checkpoint_is_a_byte_fixpoint() {
+        let dir_a = temp_dir("fix_a");
+        let dir_b = temp_dir("fix_b");
+        let app = note_app();
+        for i in 0..70 {
+            app.create(
+                "note",
+                vec![Value::Int(i % 3), Value::from(format!("n{i}"))],
+            )
+            .unwrap();
+        }
+        app.checkpoint_quiescent(&dir_a).unwrap();
+
+        let mut restored = note_app();
+        restored.restore_from(&dir_a).unwrap();
+        restored.checkpoint_quiescent(&dir_b).unwrap();
+
+        assert_eq!(
+            std::fs::read(dir_a.join(CHECKPOINT_FILE)).unwrap(),
+            std::fs::read(dir_b.join(CHECKPOINT_FILE)).unwrap(),
+            "manifest bytes are a fixpoint across restore"
+        );
+        assert_eq!(
+            chunk_files(&dir_a),
+            chunk_files(&dir_b),
+            "chunk stores hold identical content-addressed sets"
+        );
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
+    }
+
+    /// Satellite: consecutive checkpoints of a barely-changed app
+    /// share almost all chunks — the second writes O(one chunk)
+    /// after a single-row write and reuses the rest by hash.
+    #[test]
+    fn incremental_checkpoint_writes_only_dirty_chunks() {
+        let dir = temp_dir("incr");
+        let app = note_app();
+        for i in 0..200 {
+            app.create(
+                "note",
+                vec![Value::Int(i % 5), Value::from(format!("n{i}"))],
+            )
+            .unwrap();
+        }
+        let first = app.checkpoint_quiescent(&dir).unwrap();
+        assert!(!first.incremental, "first checkpoint runs the full path");
+        assert!(first.chunks_written > 4, "enough rows for several chunks");
+        let before = chunk_files(&dir);
+
+        // One-row write, then checkpoint again.
+        app.update_fields(
+            "note",
+            7,
+            &[(1, Value::from("edited"))],
+            &Default::default(),
+        )
+        .unwrap();
+        let second = app.checkpoint_quiescent(&dir).unwrap();
+        assert!(second.incremental);
+        assert!(
+            second.chunks_written <= 3,
+            "a single-row write dirties O(one chunk) per layer, wrote {}",
+            second.chunks_written
+        );
+        assert!(
+            second.chunks_reused > first.chunks_written / 2,
+            "clean chunks carried over: reused {} of {}",
+            second.chunks_reused,
+            first.chunks_written
+        );
+        let after = chunk_files(&dir);
+        let shared = before.intersection(&after).count();
+        assert!(
+            shared >= before.len() - 4,
+            "consecutive checkpoints byte-share clean chunks: {shared}/{}",
+            before.len()
+        );
+
+        // Observability reflects the incremental pass.
+        let obs = app.checkpoint_observability().unwrap();
+        assert!(obs.incremental);
+        assert_eq!(obs.chunks_written, second.chunks_written);
+        assert_eq!(obs.chunks_reused, second.chunks_reused);
+        assert!(!obs.generations.is_empty());
+
+        // A restored app answers the same grid the live one does.
+        let mut restored = note_app();
+        restored.restore_from(&dir).unwrap();
+        assert_eq!(grid(&restored, 5), grid(&app, 5));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Satellite: the ablation knob — with incremental checkpoints
+    /// off, every checkpoint runs the full path, and the chunk store
+    /// still dedups identical content by hash.
+    #[test]
+    fn incremental_ablation_falls_back_to_full_checkpoints() {
+        let dir = temp_dir("ablate");
+        let app = note_app();
+        assert!(app.incremental_checkpoints_enabled());
+        app.set_incremental_checkpoints(false);
+        for i in 0..40 {
+            app.create("note", vec![Value::Int(i), Value::from(format!("n{i}"))])
+                .unwrap();
+        }
+        app.checkpoint_quiescent(&dir).unwrap();
+        let second = app.checkpoint_quiescent(&dir).unwrap();
+        assert!(!second.incremental, "ablated: full path every time");
+        assert_eq!(
+            second.chunks_written, 0,
+            "identical content dedups by hash even on the full path"
+        );
+        assert!(second.chunks_reused > 0);
+        app.set_incremental_checkpoints(true);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Satellite: a bit-flipped chunk *file* (the manifest is intact)
+    /// fails restore with a clean persistence error — the read-back
+    /// hash verification catches it — and the app stays usable.
+    #[test]
+    fn bit_flipped_chunk_file_yields_clean_error() {
+        let dir = temp_dir("chunkflip");
+        let app = note_app();
+        for i in 0..80 {
+            app.create("note", vec![Value::Int(i), Value::from(format!("n{i}"))])
+                .unwrap();
+        }
+        app.checkpoint_quiescent(&dir).unwrap();
+        for name in chunk_files(&dir) {
+            let path = dir.join("chunks").join(&name);
+            let pristine = std::fs::read(&path).unwrap();
+            let mut bytes = pristine.clone();
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x01;
+            std::fs::write(&path, &bytes).unwrap();
+
+            let mut r = note_app();
+            let err = r.restore_from(&dir).unwrap_err();
+            assert!(
+                matches!(err, FormError::Db(microdb::DbError::Persist(_))),
+                "flip in {name} must surface as a Persist error, got {err:?}"
+            );
+            r.create("note", vec![Value::Int(9), Value::from("ok")])
+                .unwrap();
+            std::fs::write(&path, &pristine).unwrap();
+        }
+        // Pristine bytes restore again.
+        let mut r = note_app();
+        r.restore_from(&dir).unwrap();
+        assert_eq!(grid(&r, 3), grid(&app, 3));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Satellite: WAL compaction — the row log is truncated to
+    /// records newer than the manifest's generation vector after
+    /// every checkpoint, and the pressure counters the scheduler
+    /// watches reset with it.
+    #[test]
+    fn checkpoint_compacts_the_wal_and_resets_pressure() {
+        let dir = temp_dir("compact");
+        let mut app = note_app();
+        app.enable_persistence(&dir).unwrap();
+        assert_eq!(app.persist_dir().as_deref(), Some(dir.as_path()));
+        for i in 0..10 {
+            app.create("note", vec![Value::Int(i), Value::from(format!("n{i}"))])
+                .unwrap();
+        }
+        let (records, bytes) = app.wal_pressure();
+        assert!(records > 0 && bytes > 0, "writes build WAL pressure");
+        app.checkpoint_quiescent(&dir).unwrap();
+        assert_eq!(
+            std::fs::metadata(dir.join(WAL_FILE)).unwrap().len(),
+            0,
+            "a quiescent checkpoint covers every record: the WAL empties"
+        );
+        assert_eq!(app.wal_pressure(), (0, 0), "pressure counters reset");
+
+        // Writes after the checkpoint rebuild pressure; the next
+        // (incremental) checkpoint compacts again.
+        app.update_fields("note", 3, &[(1, Value::from("x"))], &Default::default())
+            .unwrap();
+        assert!(app.wal_pressure().0 > 0);
+        let stats = app.checkpoint_quiescent(&dir).unwrap();
+        assert!(stats.incremental);
+        assert_eq!(std::fs::metadata(dir.join(WAL_FILE)).unwrap().len(), 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

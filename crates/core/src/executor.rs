@@ -633,10 +633,58 @@ pub struct ServedResponse {
 }
 
 /// One queued request plus the channel its response goes back on.
-struct Job {
+struct RequestJob {
     request: Request,
     enqueued: Instant,
     reply: mpsc::SyncSender<ServedResponse>,
+}
+
+/// A unit of worker work: an ordinary request, or a scheduled
+/// checkpoint riding the same queue — a checkpoint is dispatched by
+/// whichever worker pops it, exactly like a request, and takes its
+/// quiescent point through the ordinary footprint-lock protocol.
+enum Job {
+    Request(Box<RequestJob>),
+    Checkpoint,
+}
+
+/// When the [`ExecutorService`] enqueues an automatic checkpoint:
+/// after `every_records` WAL records have accumulated since the last
+/// truncation, or `every` wall-clock time since the last scheduled
+/// checkpoint — whichever fires first. Both `None` disables
+/// scheduling. Policies are evaluated after each served request (the
+/// executor is the scheduling substrate; an idle service takes no
+/// checkpoints), and at most one scheduled checkpoint is queued or
+/// running at a time.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Checkpoint once this many WAL records sit above the last
+    /// checkpoint (compared against
+    /// [`App::wal_pressure`](crate::App::wal_pressure)).
+    pub every_records: Option<u64>,
+    /// Checkpoint once this much time has passed since the last
+    /// scheduled checkpoint.
+    pub every: Option<Duration>,
+}
+
+impl CheckpointPolicy {
+    /// Whether any trigger is configured.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.every_records.is_some() || self.every.is_some()
+    }
+}
+
+/// The scheduling state behind a [`CheckpointPolicy`].
+struct Scheduler {
+    policy: CheckpointPolicy,
+    /// When the last scheduled checkpoint finished (or the service
+    /// started) — the time-based trigger's reference point.
+    last: Mutex<Instant>,
+    /// One scheduled checkpoint queued or running at a time: set by
+    /// the CAS in [`ExecutorService::maybe_enqueue_checkpoint`],
+    /// cleared when the checkpoint job finishes.
+    in_flight: AtomicBool,
 }
 
 struct ServiceShared {
@@ -651,6 +699,8 @@ struct ServiceShared {
     max_queue: usize,
     /// Requests shed because the queue was full.
     sheds: AtomicUsize,
+    /// Automatic checkpoint scheduling, when configured.
+    scheduler: Option<Scheduler>,
 }
 
 /// The executor's **job-queue mode**: a persistent worker pool
@@ -710,6 +760,33 @@ impl ExecutorService {
         threads: usize,
         max_queue: usize,
     ) -> ExecutorService {
+        ExecutorService::start_scheduled(
+            app,
+            router,
+            threads,
+            max_queue,
+            CheckpointPolicy::default(),
+        )
+    }
+
+    /// [`ExecutorService::start_bounded`] plus automatic checkpoint
+    /// scheduling: when `policy` has a trigger and the app has a
+    /// persistence directory ([`App::enable_persistence`]), workers
+    /// enqueue a checkpoint job through the ordinary queue whenever
+    /// the policy says one is due. The checkpoint runs
+    /// [`App::checkpoint_quiescent`] — incremental after the first —
+    /// and truncates the WAL, resetting the record trigger.
+    ///
+    /// [`App::enable_persistence`]: crate::App::enable_persistence
+    /// [`App::checkpoint_quiescent`]: crate::App::checkpoint_quiescent
+    #[must_use]
+    pub fn start_scheduled(
+        app: Arc<App>,
+        router: Arc<Router>,
+        threads: usize,
+        max_queue: usize,
+        policy: CheckpointPolicy,
+    ) -> ExecutorService {
         app.request_locks.ensure(router.declared_tables());
         let shared = Arc::new(ServiceShared {
             app,
@@ -719,6 +796,11 @@ impl ExecutorService {
             shutdown: AtomicBool::new(false),
             max_queue: max_queue.max(1),
             sheds: AtomicUsize::new(0),
+            scheduler: policy.is_enabled().then(|| Scheduler {
+                policy,
+                last: Mutex::new(Instant::now()),
+                in_flight: AtomicBool::new(false),
+            }),
         });
         let workers = (0..threads.max(1))
             .map(|i| {
@@ -750,20 +832,96 @@ impl ExecutorService {
                     queue = shared.ready.wait(queue).expect("job queue");
                 }
             };
-            let picked_up = Instant::now();
-            let queued = picked_up.duration_since(job.enqueued);
-            let (response, render_cache) =
-                Executor::dispatch_traced(&shared.app, &shared.router, locks, &job.request);
-            let served = ServedResponse {
-                response,
-                queued,
-                service: picked_up.elapsed(),
-                render_cache,
-            };
-            // The submitter may have hung up (a dropped connection);
-            // that loses the response, not the worker.
-            let _ = job.reply.send(served);
+            match job {
+                Job::Request(job) => {
+                    let picked_up = Instant::now();
+                    let queued = picked_up.duration_since(job.enqueued);
+                    let (response, render_cache) =
+                        Executor::dispatch_traced(&shared.app, &shared.router, locks, &job.request);
+                    let served = ServedResponse {
+                        response,
+                        queued,
+                        service: picked_up.elapsed(),
+                        render_cache,
+                    };
+                    // The submitter may have hung up (a dropped
+                    // connection); that loses the response, not the
+                    // worker.
+                    let _ = job.reply.send(served);
+                    ExecutorService::maybe_enqueue_checkpoint(shared);
+                }
+                Job::Checkpoint => ExecutorService::run_scheduled_checkpoint(shared),
+            }
         }
+    }
+
+    /// Evaluated by a worker after each served request: if the
+    /// scheduling policy says a checkpoint is due and none is already
+    /// queued or running, push a checkpoint job. Runs outside any
+    /// lock the request held; the CAS on `in_flight` makes the check
+    /// race-free across workers.
+    fn maybe_enqueue_checkpoint(shared: &ServiceShared) {
+        let Some(sched) = &shared.scheduler else {
+            return;
+        };
+        if shared.app.is_degraded() {
+            // Pressure can't drain while writes are shed, and the
+            // checkpoint job would skip anyway (see
+            // `App::checkpoint_scheduled`) — don't churn the queue.
+            return;
+        }
+        let due_records = sched
+            .policy
+            .every_records
+            .is_some_and(|n| shared.app.wal_pressure().0 >= n);
+        let due_time = sched
+            .policy
+            .every
+            .is_some_and(|d| sched.last.lock().expect("scheduler clock").elapsed() >= d);
+        if !(due_records || due_time) {
+            return;
+        }
+        if sched
+            .in_flight
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return; // one scheduled checkpoint at a time
+        }
+        {
+            let mut queue = shared.queue.lock().expect("job queue");
+            if shared.shutdown.load(Ordering::Acquire) {
+                sched.in_flight.store(false, Ordering::Release);
+                return;
+            }
+            // The checkpoint job bypasses the submit() bound: it
+            // *reduces* pending durability debt, and there is at most
+            // one.
+            queue.push_back(Job::Checkpoint);
+        }
+        shared.ready.notify_one();
+    }
+
+    /// Runs a scheduled checkpoint job: `checkpoint_scheduled` into
+    /// the app's persistence directory (a no-op while degraded —
+    /// clearing that flag is the operator's `admin/checkpoint` call,
+    /// not a background task). Errors are swallowed — a failed
+    /// checkpoint leaves the logs for the next attempt; scheduling
+    /// must never take a worker down.
+    fn run_scheduled_checkpoint(shared: &ServiceShared) {
+        let Some(sched) = &shared.scheduler else {
+            return;
+        };
+        if let Some(dir) = shared.app.persist_dir() {
+            if let Ok(Some(_)) = shared.app.checkpoint_scheduled(&dir) {
+                shared
+                    .app
+                    .scheduled_checkpoints
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        *sched.last.lock().expect("scheduler clock") = Instant::now();
+        sched.in_flight.store(false, Ordering::Release);
     }
 
     /// Enqueues a request; the returned channel yields the response
@@ -777,7 +935,7 @@ impl ExecutorService {
     /// Panics if the service is already shut down.
     pub fn submit(&self, request: Request) -> mpsc::Receiver<ServedResponse> {
         let (tx, rx) = mpsc::sync_channel(1);
-        let job = Job {
+        let job = RequestJob {
             request,
             enqueued: Instant::now(),
             reply: tx,
@@ -805,7 +963,7 @@ impl ExecutorService {
                 });
                 return rx;
             }
-            queue.push_back(job);
+            queue.push_back(Job::Request(Box::new(job)));
         }
         self.shared.ready.notify_one();
         rx
@@ -879,6 +1037,9 @@ impl ExecutorService {
             .drain(..)
             .collect();
         for job in drained {
+            // A drained checkpoint job has no reply channel and no
+            // caller: it is simply dropped.
+            let Job::Request(job) = job else { continue };
             let _ = job.reply.send(ServedResponse {
                 response: Response {
                     status: 503,
@@ -1756,5 +1917,85 @@ mod tests {
             "the b-reader must complete while the a-writer is mid-request"
         );
         assert_eq!(responses[1].body, "1");
+    }
+
+    #[test]
+    fn scheduled_checkpoints_fire_on_record_pressure_and_compact_the_wal() {
+        let dir = std::env::temp_dir().join(format!("jacq_exec_sched_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut app = note_app();
+        app.enable_persistence(&dir).unwrap();
+        let app = Arc::new(app);
+        let policy = CheckpointPolicy {
+            every_records: Some(1),
+            every: None,
+        };
+        let service = ExecutorService::start_scheduled(
+            Arc::clone(&app),
+            Arc::new(note_router()),
+            2,
+            DEFAULT_QUEUE_DEPTH,
+            policy,
+        );
+        let mut receivers = Vec::new();
+        for i in 0..6 {
+            receivers.push(service.submit(Request::new("note/add", Viewer::User(i))));
+        }
+        for rx in receivers {
+            assert_eq!(rx.recv().unwrap().response.status, 200);
+        }
+        // The checkpoint rides the same queue as requests, so give
+        // the workers a bounded window to reach it.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while app.scheduled_checkpoint_count() == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(
+            app.scheduled_checkpoint_count() > 0,
+            "record pressure above the policy threshold must trigger a checkpoint"
+        );
+        // The service keeps serving while and after checkpoints run.
+        let read = service.serve(Request::new("notes", Viewer::User(1)));
+        assert_eq!(read.response.status, 200);
+        assert_eq!(read.response.body.lines().count(), 6 + 6);
+        service.shutdown();
+        // The scheduled checkpoint committed the chunked snapshot and
+        // compacted the WAL below its pre-checkpoint record count.
+        assert!(dir.join(crate::checkpoint::CHECKPOINT_FILE).exists());
+        assert!(dir.join("chunks").is_dir());
+        let (records, _) = app.wal_pressure();
+        assert!(
+            records < 6,
+            "WAL must have been compacted at the last checkpoint (records={records})"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disabled_policy_never_schedules_checkpoints() {
+        let dir = std::env::temp_dir().join(format!("jacq_exec_nosched_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut app = note_app();
+        app.enable_persistence(&dir).unwrap();
+        let app = Arc::new(app);
+        assert!(!CheckpointPolicy::default().is_enabled());
+        let service = ExecutorService::start_scheduled(
+            Arc::clone(&app),
+            Arc::new(note_router()),
+            2,
+            DEFAULT_QUEUE_DEPTH,
+            CheckpointPolicy::default(),
+        );
+        let mut receivers = Vec::new();
+        for i in 0..4 {
+            receivers.push(service.submit(Request::new("note/add", Viewer::User(i))));
+        }
+        for rx in receivers {
+            assert_eq!(rx.recv().unwrap().response.status, 200);
+        }
+        service.shutdown();
+        assert_eq!(app.scheduled_checkpoint_count(), 0);
+        assert!(!dir.join(crate::checkpoint::CHECKPOINT_FILE).exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -73,8 +73,12 @@ pub mod wire;
 
 pub use app::App;
 pub use auth::{AuthOutcome, Authenticator, SESSION_COOKIE};
-pub use checkpoint::{add_checkpoint_route, add_health_route, CheckpointStats, RestoreStats};
-pub use executor::{Executor, ExecutorService, ServedResponse, DEFAULT_QUEUE_DEPTH};
+pub use checkpoint::{
+    add_checkpoint_route, add_health_route, CheckpointObservability, CheckpointStats, RestoreStats,
+};
+pub use executor::{
+    CheckpointPolicy, Executor, ExecutorService, ServedResponse, DEFAULT_QUEUE_DEPTH,
+};
 pub use http::{Controller, Footprint, ReadController, Request, Response, Router};
 pub use model::{label_for, simple_policy, FieldPolicy, ModelDef, PolicyArgs, PolicyFn, Viewer};
 pub use rendercache::{RenderCacheStats, RenderCacheStatus};

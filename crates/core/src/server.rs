@@ -90,6 +90,11 @@ pub struct ServerConfig {
     /// [`ExecutorService::start_bounded`]): submissions past this
     /// depth are shed with `503 Retry-After: 1` instead of queueing.
     pub queue_depth: usize,
+    /// Automatic checkpoint policy (see
+    /// [`crate::CheckpointPolicy`]). The default is disabled: no
+    /// scheduled checkpoints unless the operator opts in. Only
+    /// takes effect once `App::enable_persistence` has run.
+    pub checkpoint: crate::CheckpointPolicy,
 }
 
 impl Default for ServerConfig {
@@ -100,6 +105,7 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
             queue_depth: crate::executor::DEFAULT_QUEUE_DEPTH,
+            checkpoint: crate::CheckpointPolicy::default(),
         }
     }
 }
@@ -141,11 +147,12 @@ impl Server {
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let service = ExecutorService::start_bounded(
+        let service = ExecutorService::start_scheduled(
             Arc::clone(&site.app),
             Arc::clone(&site.router),
             config.executor_threads,
             config.queue_depth,
+            config.checkpoint,
         );
         let shared = Arc::new(ServerShared {
             site,

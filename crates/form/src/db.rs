@@ -977,6 +977,19 @@ impl FormDb {
             Err(e) => return Err(e),
         };
         let merged = faceted::Faceted::split_branches(pc, new.clone(), current);
+        // Fast path: when the merged object flattens to exactly the
+        // guard set its stored rows already carry, overwrite each row
+        // where it sits. Physical positions are preserved, so a
+        // single-object save dirties O(object) of the table — the
+        // property the incremental checkpointer's row-range chunks
+        // rely on — instead of shifting the whole tail.
+        if let Some(stmts) = self.in_place_save_stmts(table, jid, &merged)? {
+            crate::touched::note_write(table);
+            let mut t = self.db.table_mut(table)?;
+            self.db.apply_batch_locked(&mut t, &stmts)?;
+            t.refresh_indexes();
+            return Ok(());
+        }
         // Delete-then-reinsert as ONE atomic batch: a failure (e.g. a
         // WAL append on a full disk) must not leave the object
         // deleted-but-not-rewritten in memory or in the log.
@@ -989,6 +1002,74 @@ impl FormDb {
                 pred: Predicate::eq(Operand::col(JID), Operand::lit(jid)),
             }],
         )
+    }
+
+    /// Builds the per-row `Update` batch of the in-place save fast
+    /// path, or `None` when the write must fall back to
+    /// delete + re-insert: the object's guard structure changed (its
+    /// flattened `jvars` set differs from the stored rows'), a guard
+    /// repeats (the per-guard predicate would no longer address one
+    /// row), or the object has no stored rows yet.
+    ///
+    /// Each statement targets one stored row by `(jid, jvars)` and
+    /// reassigns every user column, so the batch replays to the same
+    /// physical state the live table reached — row order included.
+    fn in_place_save_stmts(
+        &self,
+        table: &str,
+        jid: i64,
+        merged: &FacetedObject,
+    ) -> FormResult<Option<Vec<Statement>>> {
+        let flat = flatten_object(merged);
+        let t = self.db.table(table)?;
+        let schema = t.schema();
+        let width = schema.len() - 2;
+        let mut current: Vec<String> = Vec::new();
+        for row in t.rows() {
+            if row[width].as_int() == Some(jid) {
+                match row[width + 1].as_str() {
+                    Some(s) => current.push(s.to_owned()),
+                    None => return Ok(None),
+                }
+            }
+        }
+        if current.is_empty()
+            || current.len() != flat.len()
+            || flat.iter().any(|(_, fields)| fields.len() != width)
+        {
+            return Ok(None);
+        }
+        let user_cols: Vec<String> = schema.columns()[..width]
+            .iter()
+            .map(|c| c.name().to_owned())
+            .collect();
+        drop(t);
+        let encoded: Vec<(String, &Row)> = flat
+            .iter()
+            .map(|(guard, fields)| (encode_jvars(guard), fields))
+            .collect();
+        let mut stored: Vec<&str> = current.iter().map(String::as_str).collect();
+        let mut fresh: Vec<&str> = encoded.iter().map(|(g, _)| g.as_str()).collect();
+        stored.sort_unstable();
+        fresh.sort_unstable();
+        if stored != fresh || fresh.windows(2).any(|w| w[0] == w[1]) {
+            return Ok(None);
+        }
+        Ok(Some(
+            encoded
+                .into_iter()
+                .map(|(guard, fields)| Statement::Update {
+                    table: table.to_owned(),
+                    pred: Predicate::eq(Operand::col(JID), Operand::lit(jid))
+                        .and(Predicate::eq(Operand::col(JVARS), Operand::lit(guard))),
+                    assignments: user_cols
+                        .iter()
+                        .cloned()
+                        .zip(fields.iter().cloned())
+                        .collect(),
+                })
+                .collect(),
+        ))
     }
 
     /// Deletes an object under a path condition: views satisfying
@@ -1942,7 +2023,7 @@ mod tests {
     }
 
     #[test]
-    fn jid_order_tracks_first_appearance_and_save_moves_to_the_end() {
+    fn jid_order_tracks_first_appearance_and_in_place_save_keeps_it() {
         let mut db = FormDb::new();
         db.create_table("t", vec![ColumnDef::new("v", ColumnType::Int)])
             .unwrap();
@@ -1953,12 +2034,32 @@ mod tests {
             })
             .collect();
         assert_eq!(db.jid_order("t").unwrap(), jids);
-        // `save` deletes and re-inserts: the updated object's rows —
-        // and its slot in first-appearance order — move to the end.
+        // A structure-preserving `save` overwrites rows where they
+        // sit: the object keeps its slot in first-appearance order
+        // and the table's tail never shifts.
         db.save(
             "t",
             jids[1],
             &Faceted::leaf(Some(vec![Value::Int(99)])),
+            &Branches::new(),
+        )
+        .unwrap();
+        assert_eq!(db.jid_order("t").unwrap(), jids, "in-place save");
+        let view = faceted::View::empty();
+        let got = db.get("t", jids[1]).unwrap().project(&view).clone();
+        assert_eq!(got, Some(vec![Value::Int(99)]), "the write landed");
+        // A guard-structure change (a policy label appears) falls
+        // back to delete + re-insert: the object's rows — and its
+        // slot in first-appearance order — move to the end.
+        let k = db.fresh_label("late_policy");
+        db.save(
+            "t",
+            jids[1],
+            &Faceted::split(
+                k,
+                Faceted::leaf(Some(vec![Value::Int(100)])),
+                Faceted::leaf(Some(vec![Value::Int(-1)])),
+            ),
             &Branches::new(),
         )
         .unwrap();

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 mod aggregate;
+pub mod chunkstore;
 mod database;
 mod error;
 pub mod faults;

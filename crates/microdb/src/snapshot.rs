@@ -202,14 +202,7 @@ impl Snapshot {
             writeln!(out, "meta {} {}", t.generation, t.next_auto)?;
             writeln!(out, "columns {}", t.columns.len())?;
             for c in &t.columns {
-                writeln!(
-                    out,
-                    "c {} {} {} {}",
-                    c.column_type(),
-                    u8::from(c.is_nullable()),
-                    u8::from(c.is_auto_increment()),
-                    escape_token(c.name())
-                )?;
+                writeln!(out, "c {}", encode_column(c))?;
             }
             writeln!(out, "indexes {}", t.indexes.len())?;
             for x in &t.indexes {
@@ -299,7 +292,26 @@ impl Snapshot {
     }
 }
 
-fn parse_column(spec: &str) -> DbResult<ColumnDef> {
+/// Renders one column definition as the space-separated token run
+/// used after a `c ` prefix in the snapshot and chunked-manifest
+/// formats: `TYPE nullable auto name`.
+#[must_use]
+pub fn encode_column(c: &ColumnDef) -> String {
+    format!(
+        "{} {} {} {}",
+        c.column_type(),
+        u8::from(c.is_nullable()),
+        u8::from(c.is_auto_increment()),
+        escape_token(c.name())
+    )
+}
+
+/// Parses the token run produced by [`encode_column`].
+///
+/// # Errors
+///
+/// [`DbError::Persist`] on any malformed field.
+pub fn parse_column(spec: &str) -> DbResult<ColumnDef> {
     let bad = || DbError::Persist(format!("bad column line {spec:?}"));
     let mut parts = spec.splitn(4, ' ');
     let ty = match parts.next().ok_or_else(bad)? {

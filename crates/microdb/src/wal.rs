@@ -515,6 +515,12 @@ pub struct LineLog {
     since_sync: AtomicU64,
     /// Total fsyncs issued — observability for tests and stats.
     syncs: AtomicU64,
+    /// Records in the file — seeded from the file at open, bumped per
+    /// append, reset by truncation/compaction. Drives checkpoint
+    /// scheduling ("every N records") and observability.
+    records: AtomicU64,
+    /// Bytes in the file, maintained alongside `records`.
+    bytes: AtomicU64,
 }
 
 impl fmt::Debug for LineLog {
@@ -545,12 +551,24 @@ impl LineLog {
     ) -> std::io::Result<LineLog> {
         let path = path.as_ref().to_path_buf();
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        // Seed the pressure counters from whatever the file already
+        // holds, so scheduling thresholds account for a pre-existing
+        // (e.g. post-restore) backlog.
+        let (records, bytes) = match std::fs::read(&path) {
+            Ok(existing) => (
+                existing.iter().filter(|&&b| b == b'\n').count() as u64,
+                existing.len() as u64,
+            ),
+            Err(_) => (0, 0),
+        };
         Ok(LineLog {
             path,
             file: Mutex::new(BufWriter::new(file)),
             policy,
             since_sync: AtomicU64::new(0),
             syncs: AtomicU64::new(0),
+            records: AtomicU64::new(records),
+            bytes: AtomicU64::new(bytes),
         })
     }
 
@@ -571,6 +589,21 @@ impl LineLog {
     #[must_use]
     pub fn sync_count(&self) -> u64 {
         self.syncs.load(Ordering::Relaxed)
+    }
+
+    /// Records appended since the log was last truncated or compacted
+    /// (seeded from the file at open). The checkpoint scheduler's
+    /// "every N records" pressure gauge.
+    #[must_use]
+    pub fn records_since_truncate(&self) -> u64 {
+        self.records.load(Ordering::Relaxed)
+    }
+
+    /// Bytes appended since the log was last truncated or compacted
+    /// (seeded from the file at open).
+    #[must_use]
+    pub fn bytes_since_truncate(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
     }
 
     /// Appends one line (no embedded newlines) and flushes it to the
@@ -618,6 +651,9 @@ impl LineLog {
             file.get_ref().sync_data()?;
             self.syncs.fetch_add(1, Ordering::Relaxed);
         }
+        self.records.fetch_add(1, Ordering::Relaxed);
+        self.bytes
+            .fetch_add(line.len() as u64 + 1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -633,7 +669,57 @@ impl LineLog {
         let f = file.get_mut();
         f.set_len(0)?;
         f.seek(std::io::SeekFrom::Start(0))?;
+        self.records.store(0, Ordering::Relaxed);
+        self.bytes.store(0, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Compacts the log in place: keeps exactly the complete lines
+    /// `keep` accepts, drops the rest (including any torn,
+    /// newline-less tail — it was never a durable record). The whole
+    /// rewrite happens under the append mutex, so no record can land
+    /// between the read and the rewrite, and the result is fsynced
+    /// before returning. Returns `(kept, dropped)` line counts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors. On error the file may hold a prefix of
+    /// the kept lines — every one a complete record that the keep
+    /// predicate accepted, so replay is still sound.
+    pub fn retain_lines(&self, mut keep: impl FnMut(&str) -> bool) -> std::io::Result<(u64, u64)> {
+        let mut file = self.file.lock().expect("line log poisoned");
+        file.flush()?;
+        let mut text = String::new();
+        File::open(&self.path)?.read_to_string(&mut text)?;
+        let complete_tail = text.is_empty() || text.ends_with('\n');
+        let all: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+        let n_complete = if complete_tail {
+            all.len()
+        } else {
+            all.len().saturating_sub(1)
+        };
+        let mut kept = 0u64;
+        let mut dropped = all.len() as u64 - n_complete as u64;
+        let f = file.get_mut();
+        f.set_len(0)?;
+        f.seek(std::io::SeekFrom::Start(0))?;
+        self.records.store(0, Ordering::Relaxed);
+        self.bytes.store(0, Ordering::Relaxed);
+        let mut bytes = 0u64;
+        for line in &all[..n_complete] {
+            if keep(line) {
+                writeln!(f, "{line}")?;
+                kept += 1;
+                bytes += line.len() as u64 + 1;
+            } else {
+                dropped += 1;
+            }
+        }
+        f.flush()?;
+        f.sync_data()?;
+        self.records.store(kept, Ordering::Relaxed);
+        self.bytes.store(bytes, Ordering::Relaxed);
+        Ok((kept, dropped))
     }
 
     /// Reads the non-empty lines at `path`, plus whether the file
@@ -702,6 +788,18 @@ impl WriteLog {
         self.log.sync_count()
     }
 
+    /// Records appended since the last truncation/compaction.
+    #[must_use]
+    pub fn records_since_truncate(&self) -> u64 {
+        self.log.records_since_truncate()
+    }
+
+    /// Bytes appended since the last truncation/compaction.
+    #[must_use]
+    pub fn bytes_since_truncate(&self) -> u64 {
+        self.log.bytes_since_truncate()
+    }
+
     /// The log's file path.
     #[must_use]
     pub fn path(&self) -> &Path {
@@ -744,6 +842,41 @@ impl WriteLog {
     /// Propagates I/O errors.
     pub fn truncate(&self) -> std::io::Result<()> {
         self.log.truncate()
+    }
+
+    /// Compacts the log against a checkpoint's generation vector:
+    /// keeps exactly the records *newer* than `floor[table]` (the
+    /// generation the checkpoint captured for that table), drops
+    /// records the checkpoint already reflects, records for tables the
+    /// vector does not name (their tables are fully captured or gone),
+    /// and any torn tail. At quiescence — when the vector matches the
+    /// live generations — this degenerates to an empty file, like
+    /// [`WriteLog::truncate`], but it is also safe against records
+    /// that raced in after the floor was captured. Returns
+    /// `(kept, dropped)`.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Persist`] wrapping I/O failure; replay stays sound
+    /// on a partial rewrite (see [`LineLog::retain_lines`]).
+    pub fn compact(&self, floor: &std::collections::BTreeMap<String, u64>) -> DbResult<(u64, u64)> {
+        self.log
+            .retain_lines(|line| match decode_line(line) {
+                Ok(LogRecord::Single(stmt, generation)) => floor
+                    .get(stmt.table())
+                    .is_some_and(|&captured| generation > captured),
+                Ok(LogRecord::Batch {
+                    table, generation, ..
+                }) => floor
+                    .get(&table)
+                    .is_some_and(|&captured| generation > captured),
+                // A line that does not decode is either a torn tail
+                // (already excluded by retain_lines) or corruption the
+                // checkpoint has superseded; keeping it would poison
+                // the next replay.
+                Err(_) => false,
+            })
+            .map_err(|e| DbError::Persist(format!("write log compact: {e}")))
     }
 
     /// Replays the log at `path` onto `db`: each record whose
@@ -1217,6 +1350,67 @@ mod tests {
         let never = LineLog::open_with_policy(&path, SyncPolicy::Never).unwrap();
         never.append_line("y").unwrap();
         assert_eq!(never.sync_count(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn pressure_counters_track_appends_and_survive_reopen() {
+        let path = temp_path("pressure");
+        let _ = std::fs::remove_file(&path);
+        let log = LineLog::open(&path).unwrap();
+        assert_eq!(log.records_since_truncate(), 0);
+        log.append_line("one").unwrap();
+        log.append_line("two").unwrap();
+        assert_eq!(log.records_since_truncate(), 2);
+        assert_eq!(log.bytes_since_truncate(), 8, "`one\\n` + `two\\n`");
+        drop(log);
+
+        // A reopen (restore path) seeds the gauges from the file.
+        let log = LineLog::open(&path).unwrap();
+        assert_eq!(log.records_since_truncate(), 2);
+        assert_eq!(log.bytes_since_truncate(), 8);
+        log.truncate().unwrap();
+        assert_eq!(log.records_since_truncate(), 0);
+        assert_eq!(log.bytes_since_truncate(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compact_keeps_only_records_above_the_floor() {
+        let path = temp_path("compact");
+        let _ = std::fs::remove_file(&path);
+        let log = Arc::new(WriteLog::open(&path).unwrap());
+        let stmt = |x: &str| Statement::Insert {
+            table: "t".into(),
+            row: vec![Value::Null, Value::from(x)],
+        };
+        log.append(&stmt("a"), 1).unwrap();
+        log.append(&stmt("b"), 2).unwrap();
+        log.append(&stmt("c"), 3).unwrap();
+        let other = Statement::Insert {
+            table: "u".into(),
+            row: vec![Value::Int(9)],
+        };
+        log.append(&other, 5).unwrap();
+
+        // Checkpoint captured t@2; table u is not in the vector (fully
+        // captured), so its records drop too.
+        let floor: std::collections::BTreeMap<String, u64> = [("t".to_owned(), 2)].into();
+        let (kept, dropped) = log.compact(&floor).unwrap();
+        assert_eq!((kept, dropped), (1, 3));
+        assert_eq!(log.records_since_truncate(), 1);
+
+        let mut db = fresh_db();
+        let stats = WriteLog::replay(&path, &mut db).unwrap();
+        assert_eq!(stats.applied, 1, "only t@3 survives and replays");
+        assert_eq!(db.table("t").unwrap().rows()[0][1], Value::from("c"));
+
+        // At quiescence the vector matches live generations and the
+        // file degenerates to empty.
+        let floor: std::collections::BTreeMap<String, u64> = [("t".to_owned(), 3)].into();
+        let (kept, _) = log.compact(&floor).unwrap();
+        assert_eq!(kept, 0);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
         let _ = std::fs::remove_file(&path);
     }
 }
